@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the hybrid engine decode path: per-op
+//! launches vs single-graph replay, with and without Expert Deferral.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kt_core::{EngineConfig, HybridEngine, SchedMode, VgpuConfig};
+use kt_model::ModelPreset;
+use std::time::Duration;
+
+fn engine(mode: SchedMode, n_deferred: usize, launch_us: u64) -> HybridEngine {
+    let cfg = ModelPreset::DeepSeekV3.tiny_config();
+    HybridEngine::random(
+        &cfg,
+        EngineConfig {
+            n_cpu_workers: 2,
+            mode,
+            n_deferred,
+            vgpu: VgpuConfig {
+                launch_latency: Duration::from_micros(launch_us),
+                graph_launch_latency: Duration::from_micros(launch_us),
+                n_streams: 1,
+            },
+            seed: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+fn bench_decode_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_decode");
+    group.sample_size(10);
+    for (name, mode, launch_us) in [
+        ("sync_16us_launch", SchedMode::Sync, 16),
+        ("graph_16us_launch", SchedMode::AsyncGraph, 16),
+    ] {
+        let e = engine(mode, 0, launch_us);
+        let _ = e.forward(&[1, 2, 3]).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| e.forward(&[7]).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_deferral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_deferral");
+    group.sample_size(10);
+    for (name, n_def) in [("defer0", 0usize), ("defer3", 3)] {
+        let e = engine(SchedMode::AsyncGraph, n_def, 0);
+        let _ = e.forward(&[1, 2, 3]).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| e.forward(&[7]).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode_modes, bench_deferral);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Criterion benchmarks of the fused MoE operator: scheduling policy,
+//! decode vs prefill shapes, and quantized experts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kt_kernels::dispatch::Backend;
+use kt_kernels::moe::{FusedMoE, MoeRouting};
+use kt_kernels::schedule::{SchedulePolicy, ThreadPool};
+use kt_tensor::rng::seeded;
+use kt_tensor::{Matrix, WeightDtype};
+use rand::Rng;
+
+fn routing(n_tokens: usize, n_experts: usize, k: usize, seed: u64) -> MoeRouting {
+    let mut rng = seeded(seed);
+    MoeRouting::new(
+        (0..n_tokens)
+            .map(|_| {
+                let mut picks: Vec<usize> = (0..n_experts).collect();
+                for i in (1..picks.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    picks.swap(i, j);
+                }
+                picks[..k].iter().map(|&e| (e, 0.5f32)).collect()
+            })
+            .collect(),
+    )
+}
+
+fn bench_moe_phases(c: &mut Criterion) {
+    let mut rng = seeded(3);
+    let hidden = 128;
+    let inter = 128;
+    let moe = FusedMoE::random(16, hidden, inter, WeightDtype::F32, Backend::HybridAmxAvx512, &mut rng)
+        .unwrap();
+    let pool = ThreadPool::new(2).unwrap();
+    let mut group = c.benchmark_group("fused_moe");
+    // Decode shape: 1 token, top-8.
+    let decode_r = routing(1, 16, 8, 4);
+    let decode_x = Matrix::random_uniform(1, hidden, 1.0, &mut rng).unwrap();
+    group.bench_function("decode_top8", |b| {
+        b.iter(|| {
+            moe.forward(&decode_x, &decode_r, Some(&pool), SchedulePolicy::Dynamic)
+                .unwrap()
+        });
+    });
+    // Prefill shape: 32 tokens.
+    let prefill_r = routing(32, 16, 8, 5);
+    let prefill_x = Matrix::random_uniform(32, hidden, 1.0, &mut rng).unwrap();
+    for policy in [SchedulePolicy::Static, SchedulePolicy::Dynamic] {
+        group.bench_with_input(
+            BenchmarkId::new("prefill32", format!("{policy:?}")),
+            &policy,
+            |b, &p| {
+                b.iter(|| moe.forward(&prefill_x, &prefill_r, Some(&pool), p).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_quantized_moe(c: &mut Criterion) {
+    let mut rng = seeded(6);
+    let hidden = 128;
+    let inter = 128;
+    let mut group = c.benchmark_group("moe_dtype_decode");
+    for (name, dt) in [
+        ("f32", WeightDtype::F32),
+        ("int8", WeightDtype::Int8 { group: 64 }),
+        ("int4", WeightDtype::Int4 { group: 64 }),
+    ] {
+        let moe =
+            FusedMoE::random(8, hidden, inter, dt, Backend::HybridAmxAvx512, &mut rng).unwrap();
+        let r = routing(1, 8, 4, 7);
+        let x = Matrix::random_uniform(1, hidden, 1.0, &mut rng).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| moe.forward(&x, &r, None, SchedulePolicy::Dynamic).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    // Shared-counter dynamic queue vs work-stealing deques on a skewed
+    // task set (the §3.2 scheduling design space).
+    use kt_kernels::{run_stealing, ThreadPool};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let n_tasks = 256;
+    let cost = |i: usize| if i.is_multiple_of(16) { 40u64 } else { 4 };
+    let work = |i: usize| {
+        let mut acc = 0u64;
+        for _ in 0..cost(i) * 100 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        std::hint::black_box(acc);
+    };
+    let mut group = c.benchmark_group("schedulers_skewed");
+    let pool = ThreadPool::new(4).unwrap();
+    group.bench_function("dynamic_counter_queue", |b| {
+        b.iter(|| {
+            let done = AtomicU64::new(0);
+            pool.run_dynamic(n_tasks, |i| {
+                work(i);
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(done.load(Ordering::Relaxed), n_tasks as u64);
+        });
+    });
+    group.bench_function("work_stealing_deques", |b| {
+        b.iter(|| {
+            let done = AtomicU64::new(0);
+            run_stealing(4, n_tasks, |i| i % 4, |i| {
+                work(i);
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+            assert_eq!(done.load(Ordering::Relaxed), n_tasks as u64);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_moe_phases, bench_quantized_moe, bench_schedulers);
+criterion_main!(benches);

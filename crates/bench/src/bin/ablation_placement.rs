@@ -1,0 +1,47 @@
+//! §1 extension: Fiddler-style expert-popularity placement. With
+//! Zipf-skewed routing (models without balanced shared-expert designs),
+//! pinning hot experts to the GPU trades CPU traffic for GPU traffic —
+//! up to an optimum, past which the GPU becomes the bottleneck.
+
+use kt_bench::{section, table};
+use kt_hwsim::experiments::placement_study;
+use kt_hwsim::workload::Precision;
+use kt_hwsim::Calibration;
+use kt_model::ModelPreset;
+
+fn main() {
+    let cal = Calibration::default();
+    let pinned = [0usize, 2, 4, 8, 16, 32, 64];
+    for zipf_s in [0.0f64, 0.7, 1.0] {
+        section(&format!(
+            "Popularity placement, DS-3 Int4 decode on A100, Zipf skew s = {zipf_s}"
+        ));
+        let rows = placement_study(&cal, ModelPreset::DeepSeekV3, zipf_s, Precision::Int4, &pinned)
+            .expect("simulation");
+        let printable: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.n_pinned.to_string(),
+                    format!("{:.0}%", r.coverage * 100.0),
+                    format!("{:.2}", r.tokens_per_s),
+                    format!(
+                        "{:.0} GB{}",
+                        r.vram_needed_gb,
+                        if r.vram_feasible { "" } else { "  (exceeds VRAM!)" }
+                    ),
+                ]
+            })
+            .collect();
+        table(
+            &["Pinned experts", "Activation coverage", "Decode tok/s", "VRAM needed"],
+            &printable,
+        );
+    }
+    println!();
+    println!("Balanced routers (s=0, DeepSeek's design goal) gain little from any");
+    println!("FEASIBLE pin count; skewed routers gain meaningfully within the VRAM");
+    println!("budget — quantifying §1's 'popular experts can still be identified");
+    println!("via offline profiling' remark, and why shared experts (always-hot by");
+    println!("construction) are the better design.");
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 11: prefill throughput vs prompt length for every
+//! deployment and system.
+
+use kt_bench::{section, series_table, tput};
+use kt_hwsim::experiments::fig11_prefill;
+use kt_hwsim::Calibration;
+
+fn main() {
+    let prompts = [32usize, 128, 512, 2048, 8192];
+    let all = fig11_prefill(&Calibration::default(), &prompts).expect("simulation");
+    for (dep, series) in &all {
+        section(&format!("Figure 11: prefill tok/s, {}", dep.label()));
+        series_table("prompt", series, tput);
+    }
+    println!();
+    println!("Paper reference: KTransformers leads at every prompt length");
+    println!("(4.62-19.74x total prefill speedups); Llama.cpp beats Fiddler at");
+    println!("short prompts, Fiddler (oneDNN AMX) wins at long prompts.");
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 7: MoE-layer latency of the KT AMX vs AVX-512
+//! kernels at low tokens-per-expert, per model.
+
+use kt_bench::{section, series_table};
+use kt_hwsim::experiments::fig7_kernel_latency;
+use kt_hwsim::Calibration;
+
+fn main() {
+    for (model, series) in fig7_kernel_latency(&Calibration::default()) {
+        section(&format!("Figure 7: MoE layer latency (ms), {model}"));
+        series_table("tokens/expert", &series, |v| format!("{v:.2}"));
+    }
+    println!();
+    println!("Paper reference: AVX-512 wins at <= 4 tokens/expert (crossover),");
+    println!("AMX wins above; hybrid dispatch uses AVX-512 at ARI <= 4.");
+}

@@ -1,0 +1,29 @@
+//! Regenerates Table 1: configuration of evaluated MoE models.
+
+use kt_bench::{section, table};
+use kt_model::config::format_params;
+use kt_model::ModelPreset;
+
+fn main() {
+    section("Table 1: Configuration of evaluated MoE models");
+    let presets = ModelPreset::all();
+    let mut rows = Vec::new();
+    let cfgs: Vec<_> = presets.iter().map(|p| p.full_config()).collect();
+    let row = |name: &str, f: &dyn Fn(usize) -> String| {
+        let mut r = vec![name.to_string()];
+        for i in 0..cfgs.len() {
+            r.push(f(i));
+        }
+        r
+    };
+    rows.push(row("Total Parameters", &|i| format_params(cfgs[i].total_params())));
+    rows.push(row("GPU Parameters", &|i| format_params(cfgs[i].gpu_params())));
+    rows.push(row("CPU Parameters", &|i| format_params(cfgs[i].cpu_params())));
+    rows.push(row("MoE Layers", &|i| cfgs[i].n_moe_layers().to_string()));
+    rows.push(row("Routed Experts per Layer", &|i| cfgs[i].n_routed_experts.to_string()));
+    rows.push(row("Routing Strategy", &|i| format!("Top-{}", cfgs[i].top_k)));
+    table(&["Model", "DS-3", "DS-2", "QW-2"], &rows);
+    println!();
+    println!("Paper reference: 671B/236B/57B total; 17B/13B/8B GPU; 654B/223B/49B CPU;");
+    println!("58/59/28 MoE layers; 256/160/64 experts; Top-8/Top-6/Top-8.");
+}

@@ -1,0 +1,106 @@
+//! Placement plans: which module runs on which device.
+//!
+//! Mirrors §3.1's split: attention (highest arithmetic intensity),
+//! shared experts, router, embeddings and the LM head live on the GPU;
+//! routed experts live in CPU DRAM and execute on the CPU.
+
+use kt_model::ModelConfig;
+
+/// Execution device of a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// GPU-resident (virtual GPU in this reproduction).
+    Gpu,
+    /// CPU-resident with CPU compute (computation offloading).
+    Cpu,
+}
+
+/// A module placement plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementPlan {
+    /// `(module path, device)` entries, one per placed module class.
+    pub entries: Vec<(String, DeviceKind)>,
+}
+
+impl PlacementPlan {
+    /// Builds the paper's default plan for a model config.
+    pub fn for_model(cfg: &ModelConfig) -> Self {
+        let mut entries = vec![
+            ("model.embed_tokens".to_string(), DeviceKind::Gpu),
+            ("lm_head".to_string(), DeviceKind::Gpu),
+            ("model.norm".to_string(), DeviceKind::Gpu),
+        ];
+        for layer in 0..cfg.n_layers {
+            entries.push((format!("model.layers.{layer}.self_attn"), DeviceKind::Gpu));
+            if layer < cfg.n_dense_layers {
+                entries.push((format!("model.layers.{layer}.mlp"), DeviceKind::Gpu));
+            } else {
+                entries.push((format!("model.layers.{layer}.mlp.gate"), DeviceKind::Gpu));
+                if cfg.n_shared_experts > 0 {
+                    entries.push((
+                        format!("model.layers.{layer}.mlp.shared_experts"),
+                        DeviceKind::Gpu,
+                    ));
+                }
+                entries.push((format!("model.layers.{layer}.mlp.experts"), DeviceKind::Cpu));
+            }
+        }
+        PlacementPlan { entries }
+    }
+
+    /// Device for a module path, if placed.
+    pub fn device_of(&self, path: &str) -> Option<DeviceKind> {
+        self.entries
+            .iter()
+            .find(|(p, _)| p == path)
+            .map(|&(_, d)| d)
+    }
+
+    /// Count of modules placed on a device.
+    pub fn count(&self, device: DeviceKind) -> usize {
+        self.entries.iter().filter(|&&(_, d)| d == device).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kt_model::ModelPreset;
+
+    #[test]
+    fn routed_experts_go_to_cpu_everything_else_gpu() {
+        let cfg = ModelPreset::DeepSeekV3.tiny_config();
+        let plan = PlacementPlan::for_model(&cfg);
+        assert_eq!(
+            plan.device_of("model.layers.1.mlp.experts"),
+            Some(DeviceKind::Cpu)
+        );
+        assert_eq!(
+            plan.device_of("model.layers.1.self_attn"),
+            Some(DeviceKind::Gpu)
+        );
+        assert_eq!(
+            plan.device_of("model.layers.1.mlp.shared_experts"),
+            Some(DeviceKind::Gpu)
+        );
+        assert_eq!(plan.device_of("lm_head"), Some(DeviceKind::Gpu));
+        assert_eq!(plan.device_of("nonexistent"), None);
+        // Exactly one CPU entry per MoE layer.
+        assert_eq!(plan.count(DeviceKind::Cpu), cfg.n_moe_layers());
+    }
+
+    #[test]
+    fn dense_layers_have_gpu_mlp() {
+        let cfg = ModelPreset::DeepSeekV3.tiny_config(); // 1 dense layer
+        let plan = PlacementPlan::for_model(&cfg);
+        assert_eq!(plan.device_of("model.layers.0.mlp"), Some(DeviceKind::Gpu));
+        assert_eq!(plan.device_of("model.layers.0.mlp.experts"), None);
+    }
+
+    #[test]
+    fn qwen_has_no_dense_layers() {
+        let cfg = ModelPreset::Qwen2Moe.tiny_config();
+        let plan = PlacementPlan::for_model(&cfg);
+        assert_eq!(plan.device_of("model.layers.0.mlp.experts"), Some(DeviceKind::Cpu));
+    }
+}

@@ -1,0 +1,184 @@
+//! Expert-popularity profiling and hot-expert placement.
+//!
+//! §1: "for models without shared experts, popular experts can still be
+//! identified via offline profiling, as done in Fiddler". The engine
+//! records which routed experts each layer activates; a placement pass
+//! then pins the hottest experts of every layer to the GPU, where they
+//! execute alongside the shared experts instead of travelling to the
+//! CPU backend. Placement is a pure scheduling decision — outputs are
+//! bit-identical regardless of where an expert runs.
+
+use kt_kernels::moe::MoeRouting;
+
+/// Per-layer expert activation counts.
+#[derive(Debug, Clone)]
+pub struct ExpertProfile {
+    counts: Vec<Vec<u64>>,
+}
+
+impl ExpertProfile {
+    /// Creates an empty profile for `n_layers` layers of `n_experts`.
+    pub fn new(n_layers: usize, n_experts: usize) -> Self {
+        ExpertProfile {
+            counts: vec![vec![0; n_experts]; n_layers],
+        }
+    }
+
+    /// Number of layers tracked.
+    pub fn n_layers(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Records one routing decision for `layer`.
+    pub fn record(&mut self, layer: usize, routing: &MoeRouting) {
+        for assignment in &routing.assignments {
+            for &(e, _) in assignment {
+                if let Some(c) = self.counts.get_mut(layer).and_then(|l| l.get_mut(e)) {
+                    *c += 1;
+                }
+            }
+        }
+    }
+
+    /// Raw activation count of `(layer, expert)`.
+    pub fn count(&self, layer: usize, expert: usize) -> u64 {
+        self.counts[layer][expert]
+    }
+
+    /// Total activations recorded for `layer`.
+    pub fn total(&self, layer: usize) -> u64 {
+        self.counts[layer].iter().sum()
+    }
+
+    /// The `n` most-activated experts of `layer`, hottest first (ties
+    /// broken by expert index for determinism).
+    pub fn hottest(&self, layer: usize, n: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.counts[layer].len()).collect();
+        idx.sort_by_key(|&e| (std::cmp::Reverse(self.counts[layer][e]), e));
+        idx.truncate(n);
+        idx
+    }
+
+    /// Herfindahl index of `layer`'s activation distribution: 1/E for a
+    /// perfectly balanced router, approaching 1 under collapse. Useful
+    /// for deciding whether popularity pinning is worthwhile.
+    pub fn concentration(&self, layer: usize) -> f64 {
+        let total = self.total(layer) as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.counts[layer]
+            .iter()
+            .map(|&c| {
+                let f = c as f64 / total;
+                f * f
+            })
+            .sum()
+    }
+
+    /// Merges another profile (e.g. from a second profiling shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched shapes (programming error).
+    pub fn merge(&mut self, other: &ExpertProfile) {
+        assert_eq!(self.counts.len(), other.counts.len(), "layer count");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            assert_eq!(a.len(), b.len(), "expert count");
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+    }
+
+    /// Builds a per-layer hot-expert placement: the `n_gpu` hottest
+    /// experts of each layer, as membership masks.
+    pub fn placement_masks(&self, n_gpu: usize) -> Vec<Vec<bool>> {
+        (0..self.counts.len())
+            .map(|layer| {
+                let mut mask = vec![false; self.counts[layer].len()];
+                for e in self.hottest(layer, n_gpu) {
+                    mask[e] = true;
+                }
+                mask
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn routing(pairs: &[usize]) -> MoeRouting {
+        MoeRouting::new(vec![pairs.iter().map(|&e| (e, 1.0)).collect()])
+    }
+
+    #[test]
+    fn records_and_counts() {
+        let mut p = ExpertProfile::new(2, 4);
+        p.record(0, &routing(&[0, 2]));
+        p.record(0, &routing(&[2, 3]));
+        p.record(1, &routing(&[1]));
+        assert_eq!(p.count(0, 2), 2);
+        assert_eq!(p.count(0, 1), 0);
+        assert_eq!(p.total(0), 4);
+        assert_eq!(p.total(1), 1);
+    }
+
+    #[test]
+    fn out_of_range_records_are_ignored() {
+        let mut p = ExpertProfile::new(1, 2);
+        p.record(0, &routing(&[7]));
+        p.record(5, &routing(&[0]));
+        assert_eq!(p.total(0), 0);
+    }
+
+    #[test]
+    fn hottest_orders_by_count_then_index() {
+        let mut p = ExpertProfile::new(1, 4);
+        p.record(0, &routing(&[3, 3, 1, 2]));
+        p.record(0, &routing(&[3, 1]));
+        assert_eq!(p.hottest(0, 2), vec![3, 1]);
+        // Ties (experts 0 and 2 after another record) break by index.
+        let mut q = ExpertProfile::new(1, 3);
+        q.record(0, &routing(&[2, 0]));
+        assert_eq!(q.hottest(0, 3), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn concentration_detects_skew() {
+        let mut balanced = ExpertProfile::new(1, 4);
+        balanced.record(0, &routing(&[0, 1, 2, 3]));
+        let mut skewed = ExpertProfile::new(1, 4);
+        for _ in 0..4 {
+            skewed.record(0, &routing(&[0]));
+        }
+        assert!((balanced.concentration(0) - 0.25).abs() < 1e-9);
+        assert!((skewed.concentration(0) - 1.0).abs() < 1e-9);
+        assert_eq!(ExpertProfile::new(1, 4).concentration(0), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ExpertProfile::new(1, 3);
+        a.record(0, &routing(&[0]));
+        let mut b = ExpertProfile::new(1, 3);
+        b.record(0, &routing(&[0, 1]));
+        a.merge(&b);
+        assert_eq!(a.count(0, 0), 2);
+        assert_eq!(a.count(0, 1), 1);
+    }
+
+    #[test]
+    fn placement_masks_mark_hot_experts() {
+        let mut p = ExpertProfile::new(2, 4);
+        p.record(0, &routing(&[1, 1, 3]));
+        p.record(1, &routing(&[0]));
+        let masks = p.placement_masks(1);
+        assert_eq!(masks[0], vec![false, true, false, false]);
+        assert_eq!(masks[1], vec![true, false, false, false]);
+        let none = p.placement_masks(0);
+        assert!(none.iter().all(|m| m.iter().all(|&b| !b)));
+    }
+}

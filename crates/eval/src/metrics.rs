@@ -1,0 +1,106 @@
+//! Evaluation metrics.
+
+use crate::net::{EvalMode, MoeNet};
+
+/// Classification accuracy of `net` on `data` under `mode`.
+pub fn accuracy(net: &MoeNet, data: &[(Vec<f32>, usize)], mode: EvalMode) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let correct = data
+        .iter()
+        .filter(|(x, y)| net.predict(x, mode) == *y)
+        .count();
+    correct as f64 / data.len() as f64
+}
+
+/// Softmax of logits (f64 accumulation).
+fn softmax64(logits: &[f32]) -> Vec<f64> {
+    let max = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v)) as f64;
+    let exps: Vec<f64> = logits.iter().map(|&v| ((v as f64) - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// KL divergence `KL(p || q)` between the softmax distributions of two
+/// logit vectors — the distributional distance used for the
+/// logit-divergence study.
+pub fn kl_divergence(p_logits: &[f32], q_logits: &[f32]) -> f64 {
+    assert_eq!(p_logits.len(), q_logits.len());
+    let p = softmax64(p_logits);
+    let q = softmax64(q_logits);
+    p.iter()
+        .zip(&q)
+        .map(|(&pi, &qi)| {
+            if pi <= 0.0 {
+                0.0
+            } else {
+                pi * (pi / qi.max(1e-12)).ln()
+            }
+        })
+        .sum()
+}
+
+/// Whether two logit vectors agree on the argmax (greedy-decoding
+/// agreement).
+pub fn top1_agreement(a: &[f32], b: &[f32]) -> bool {
+    let am = a
+        .iter()
+        .enumerate()
+        .max_by(|x, y| x.1.total_cmp(y.1))
+        .map(|(i, _)| i);
+    let bm = b
+        .iter()
+        .enumerate()
+        .max_by(|x, y| x.1.total_cmp(y.1))
+        .map(|(i, _)| i);
+    am == bm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetConfig;
+
+    #[test]
+    fn kl_of_identical_is_zero() {
+        let l = vec![0.5f32, -1.0, 2.0];
+        assert!(kl_divergence(&l, &l).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_grows_with_perturbation() {
+        let l = vec![0.5f32, -1.0, 2.0];
+        let small = vec![0.6f32, -1.0, 2.0];
+        let big = vec![2.5f32, -1.0, 0.0];
+        assert!(kl_divergence(&l, &small) < kl_divergence(&l, &big));
+        assert!(kl_divergence(&l, &big) > 0.0);
+    }
+
+    #[test]
+    fn top1_agreement_checks_argmax() {
+        assert!(top1_agreement(&[1.0, 3.0], &[0.0, 10.0]));
+        assert!(!top1_agreement(&[1.0, 3.0], &[5.0, 3.0]));
+    }
+
+    #[test]
+    fn accuracy_counts_correct_predictions() {
+        let net = MoeNet::random(
+            NetConfig {
+                input_dim: 4,
+                dim: 6,
+                hidden: 4,
+                n_blocks: 1,
+                n_experts: 4,
+                top_k: 2,
+                n_classes: 2,
+            },
+            1,
+        );
+        let x = vec![0.5f32; 4];
+        let predicted = net.predict(&x, EvalMode::Standard);
+        let data = vec![(x.clone(), predicted), (x, 1 - predicted)];
+        assert!((accuracy(&net, &data, EvalMode::Standard) - 0.5).abs() < 1e-9);
+        assert_eq!(accuracy(&net, &[], EvalMode::Standard), 0.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Binary persistence for trained evaluation networks.
+//!
+//! Training the Table 2 / Figure 13 analogs takes minutes at full
+//! budget; persisting the trained `MoeNet`s lets benchmark reruns and
+//! downstream analyses reuse them. The format is a small versioned
+//! little-endian layout (no external serialization crates, per
+//! DESIGN.md's dependency policy):
+//!
+//! ```text
+//! magic "KTNET\x01" | 7 x u32 config | f32 arrays in fixed order
+//! ```
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use crate::net::{MoeNet, NetConfig};
+
+const MAGIC: &[u8; 6] = b"KTNET\x01";
+
+/// Errors from persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a KTNET file or unsupported version.
+    BadMagic,
+    /// Config failed validation or arrays were truncated.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::BadMagic => write!(f, "not a KTNET v1 file"),
+            PersistError::Corrupt(what) => write!(f, "corrupt net file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+fn write_f32s(w: &mut impl Write, data: &[f32]) -> io::Result<()> {
+    for &v in data {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_f32s(r: &mut impl Read, n: usize) -> Result<Vec<f32>, PersistError> {
+    let mut bytes = vec![0u8; n * 4];
+    r.read_exact(&mut bytes)
+        .map_err(|_| PersistError::Corrupt(format!("expected {n} f32s")))?;
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+        .collect())
+}
+
+/// Serializes a network to a writer.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save(net: &MoeNet, w: &mut impl Write) -> Result<(), PersistError> {
+    let c = net.config();
+    w.write_all(MAGIC)?;
+    for v in [
+        c.input_dim,
+        c.dim,
+        c.hidden,
+        c.n_blocks,
+        c.n_experts,
+        c.top_k,
+        c.n_classes,
+    ] {
+        w.write_all(&(v as u32).to_le_bytes())?;
+    }
+    write_f32s(w, &net.input_w)?;
+    for block in &net.blocks {
+        write_f32s(w, &block.gate)?;
+        for e in 0..c.n_experts {
+            write_f32s(w, &block.w1[e])?;
+            write_f32s(w, &block.w2[e])?;
+        }
+    }
+    write_f32s(w, &net.head_w)?;
+    Ok(())
+}
+
+/// Deserializes a network from a reader.
+///
+/// # Errors
+///
+/// Returns [`PersistError::BadMagic`] for foreign files and
+/// [`PersistError::Corrupt`] for invalid configs or truncated payloads.
+pub fn load(r: &mut impl Read) -> Result<MoeNet, PersistError> {
+    let mut magic = [0u8; 6];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let mut fields = [0u32; 7];
+    for f in &mut fields {
+        let mut b = [0u8; 4];
+        r.read_exact(&mut b)?;
+        *f = u32::from_le_bytes(b);
+    }
+    let cfg = NetConfig {
+        input_dim: fields[0] as usize,
+        dim: fields[1] as usize,
+        hidden: fields[2] as usize,
+        n_blocks: fields[3] as usize,
+        n_experts: fields[4] as usize,
+        top_k: fields[5] as usize,
+        n_classes: fields[6] as usize,
+    };
+    cfg.validate().map_err(PersistError::Corrupt)?;
+    let mut net = MoeNet::random(cfg, 0);
+    net.input_w = read_f32s(r, cfg.dim * cfg.input_dim)?;
+    for block in &mut net.blocks {
+        block.gate = read_f32s(r, cfg.n_experts * cfg.dim)?;
+        for e in 0..cfg.n_experts {
+            block.w1[e] = read_f32s(r, cfg.hidden * cfg.dim)?;
+            block.w2[e] = read_f32s(r, cfg.dim * cfg.hidden)?;
+        }
+    }
+    net.head_w = read_f32s(r, cfg.n_classes * cfg.dim)?;
+    Ok(net)
+}
+
+/// Saves a network to a file.
+///
+/// # Errors
+///
+/// Propagates I/O and serialization errors.
+pub fn save_file(net: &MoeNet, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    save(net, &mut f)
+}
+
+/// Loads a network from a file.
+///
+/// # Errors
+///
+/// Propagates I/O and deserialization errors.
+pub fn load_file(path: impl AsRef<Path>) -> Result<MoeNet, PersistError> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+    load(&mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use crate::net::EvalMode;
+    use crate::tasks::{Task, TaskKind};
+    use crate::train::{train, TrainConfig};
+
+    fn small_net(seed: u64) -> MoeNet {
+        MoeNet::random(
+            NetConfig {
+                input_dim: 8,
+                dim: 10,
+                hidden: 6,
+                n_blocks: 2,
+                n_experts: 4,
+                top_k: 2,
+                n_classes: 3,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let net = small_net(1);
+        let mut buf = Vec::new();
+        save(&net, &mut buf).unwrap();
+        let loaded = load(&mut buf.as_slice()).unwrap();
+        let x = vec![0.25f32; 8];
+        assert_eq!(
+            net.forward(&x, EvalMode::Standard),
+            loaded.forward(&x, EvalMode::Standard)
+        );
+        assert_eq!(
+            net.forward(&x, EvalMode::Deferred { n_immediate: 1 }),
+            loaded.forward(&x, EvalMode::Deferred { n_immediate: 1 })
+        );
+    }
+
+    #[test]
+    fn trained_net_survives_persistence() {
+        let task = Task::generate(TaskKind::Blobs, 8, 200, 80, 2);
+        let mut net = MoeNet::random(
+            NetConfig {
+                input_dim: 8,
+                dim: 12,
+                hidden: 12,
+                n_blocks: 2,
+                n_experts: 4,
+                top_k: 2,
+                n_classes: 6,
+            },
+            3,
+        );
+        train(
+            &mut net,
+            &task,
+            &TrainConfig {
+                epochs: 8,
+                ..Default::default()
+            },
+        );
+        let acc_before = accuracy(&net, &task.test, EvalMode::Standard);
+        let dir = std::env::temp_dir().join("ktnet_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trained.ktnet");
+        save_file(&net, &path).unwrap();
+        let loaded = load_file(&path).unwrap();
+        let acc_after = accuracy(&loaded, &task.test, EvalMode::Standard);
+        assert_eq!(acc_before, acc_after);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_files_are_rejected() {
+        let junk = b"definitely not a net";
+        assert!(matches!(
+            load(&mut junk.as_slice()),
+            Err(PersistError::BadMagic) | Err(PersistError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected() {
+        let net = small_net(4);
+        let mut buf = Vec::new();
+        save(&net, &mut buf).unwrap();
+        buf.truncate(buf.len() - 11);
+        assert!(matches!(
+            load(&mut buf.as_slice()),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let net = small_net(5);
+        let mut buf = Vec::new();
+        save(&net, &mut buf).unwrap();
+        // Corrupt top_k (field 6 of 7) to exceed n_experts.
+        let off = 6 + 5 * 4;
+        buf[off..off + 4].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            load(&mut buf.as_slice()),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,505 @@
+//! Deterministic task-graph discrete-event engine.
+//!
+//! Tasks bind to a resource (a CPU socket pool, the GPU compute engine,
+//! the GPU launch engine, the PCIe link) and execute FIFO per resource
+//! once their dependencies complete — the semantics of in-order GPU
+//! streams and of the CPU control thread's task queue. The engine
+//! reports the makespan, per-resource useful/overhead busy time and the
+//! full execution timeline; Figure 10's utilization numbers are
+//! computed exactly this way.
+
+use crate::error::SimError;
+
+/// Whether a timeline segment is useful work or framework overhead
+/// (kernel-launch latency, synchronization stalls).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// Useful computation or data movement.
+    Work,
+    /// Overhead the paper's optimizations target (launch latency,
+    /// submit/sync barriers).
+    Overhead,
+}
+
+/// Specification of one task.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// Resource index the task executes on.
+    pub resource: usize,
+    /// Execution duration in seconds.
+    pub duration: f64,
+    /// Indices of tasks that must finish first (all `<` this task's
+    /// index — graphs are built in submission order).
+    pub deps: Vec<usize>,
+    /// Segment classification.
+    pub kind: SegmentKind,
+    /// Human-readable label for timeline rendering.
+    pub label: String,
+}
+
+impl TaskSpec {
+    /// Convenience constructor for a work task.
+    pub fn work(resource: usize, duration: f64, deps: Vec<usize>, label: impl Into<String>) -> Self {
+        TaskSpec {
+            resource,
+            duration,
+            deps,
+            kind: SegmentKind::Work,
+            label: label.into(),
+        }
+    }
+
+    /// Convenience constructor for an overhead task.
+    pub fn overhead(
+        resource: usize,
+        duration: f64,
+        deps: Vec<usize>,
+        label: impl Into<String>,
+    ) -> Self {
+        TaskSpec {
+            resource,
+            duration,
+            deps,
+            kind: SegmentKind::Overhead,
+            label: label.into(),
+        }
+    }
+}
+
+/// One executed interval on a resource's timeline.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Task index.
+    pub task: usize,
+    /// Start time (s).
+    pub start: f64,
+    /// End time (s).
+    pub end: f64,
+    /// Work/overhead classification.
+    pub kind: SegmentKind,
+    /// Task label.
+    pub label: String,
+}
+
+/// Simulation outcome.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Completion time of the last task (s).
+    pub makespan: f64,
+    /// Finish time per task.
+    pub finish: Vec<f64>,
+    /// Useful busy time per resource.
+    pub work_busy: Vec<f64>,
+    /// Overhead busy time per resource.
+    pub overhead_busy: Vec<f64>,
+    /// Execution timeline per resource.
+    pub timelines: Vec<Vec<Segment>>,
+}
+
+impl SimResult {
+    /// Utilization of a resource counting only useful work, as the
+    /// paper reports it (launch overhead does not count as utilization).
+    pub fn utilization(&self, resource: usize) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.work_busy[resource] / self.makespan
+    }
+
+    /// Fraction of a resource's busy time that is overhead (Figure 4's
+    /// "% of GPU execution time spent on kernel launch").
+    pub fn overhead_fraction(&self, resource: usize) -> f64 {
+        let total = self.work_busy[resource] + self.overhead_busy[resource];
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.overhead_busy[resource] / total
+    }
+}
+
+/// A task-graph simulation over a fixed set of resources.
+///
+/// # Examples
+///
+/// ```
+/// use kt_hwsim::{Sim, TaskSpec};
+///
+/// // CPU (resource 0) computes for 3 ms, then the GPU (resource 1)
+/// // consumes the result for 1 ms.
+/// let mut sim = Sim::new(2);
+/// let cpu = sim.push(TaskSpec::work(0, 3e-3, vec![], "experts")).unwrap();
+/// sim.push(TaskSpec::work(1, 1e-3, vec![cpu], "attention")).unwrap();
+/// let result = sim.run();
+/// assert_eq!(result.makespan, 4e-3);
+/// assert!((result.utilization(0) - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default)]
+pub struct Sim {
+    n_resources: usize,
+    tasks: Vec<TaskSpec>,
+}
+
+impl Sim {
+    /// Creates a simulation with `n_resources` FIFO resources.
+    pub fn new(n_resources: usize) -> Self {
+        Sim {
+            n_resources,
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Number of tasks added so far.
+    pub fn n_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Adds a task and returns its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Graph`] for an invalid resource, a forward
+    /// dependency, or a negative duration.
+    pub fn push(&mut self, task: TaskSpec) -> Result<usize, SimError> {
+        let id = self.tasks.len();
+        if task.resource >= self.n_resources {
+            return Err(SimError::graph(format!(
+                "task {id} targets resource {} of {}",
+                task.resource, self.n_resources
+            )));
+        }
+        if task.duration < 0.0 || !task.duration.is_finite() {
+            return Err(SimError::graph(format!(
+                "task {id} has invalid duration {}",
+                task.duration
+            )));
+        }
+        for &d in &task.deps {
+            if d >= id {
+                return Err(SimError::graph(format!(
+                    "task {id} depends on not-yet-submitted task {d}"
+                )));
+            }
+        }
+        self.tasks.push(task);
+        Ok(id)
+    }
+
+    /// Runs the simulation: each task starts at
+    /// `max(resource free time, dependency finish times)` in submission
+    /// order per resource.
+    pub fn run(&self) -> SimResult {
+        let mut finish = vec![0.0f64; self.tasks.len()];
+        let mut free = vec![0.0f64; self.n_resources];
+        let mut work_busy = vec![0.0f64; self.n_resources];
+        let mut overhead_busy = vec![0.0f64; self.n_resources];
+        let mut timelines: Vec<Vec<Segment>> = vec![Vec::new(); self.n_resources];
+        let mut makespan = 0.0f64;
+
+        for (id, t) in self.tasks.iter().enumerate() {
+            let dep_ready = t
+                .deps
+                .iter()
+                .map(|&d| finish[d])
+                .fold(0.0f64, f64::max);
+            let start = dep_ready.max(free[t.resource]);
+            let end = start + t.duration;
+            finish[id] = end;
+            free[t.resource] = end;
+            match t.kind {
+                SegmentKind::Work => work_busy[t.resource] += t.duration,
+                SegmentKind::Overhead => overhead_busy[t.resource] += t.duration,
+            }
+            if t.duration > 0.0 {
+                timelines[t.resource].push(Segment {
+                    task: id,
+                    start,
+                    end,
+                    kind: t.kind,
+                    label: t.label.clone(),
+                });
+            }
+            makespan = makespan.max(end);
+        }
+        SimResult {
+            makespan,
+            finish,
+            work_busy,
+            overhead_busy,
+            timelines,
+        }
+    }
+}
+
+impl Sim {
+    /// Runs the simulation with **out-of-order** resources: each
+    /// resource, whenever free, starts the ready task (all dependencies
+    /// complete) with the smallest submission index. This models
+    /// multi-stream GPUs and worker pools, where independent work can
+    /// overtake a stalled queue head; [`Sim::run`]'s in-order semantics
+    /// model single CUDA streams.
+    ///
+    /// Deterministic: ties break by submission index.
+    pub fn run_out_of_order(&self) -> SimResult {
+        let n = self.tasks.len();
+        let mut dep_remaining: Vec<usize> = self.tasks.iter().map(|t| t.deps.len()).collect();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (id, t) in self.tasks.iter().enumerate() {
+            for &d in &t.deps {
+                dependents[d].push(id);
+            }
+        }
+        // Ready sets per resource, ordered by submission index.
+        let mut ready: Vec<std::collections::BTreeSet<usize>> =
+            vec![std::collections::BTreeSet::new(); self.n_resources];
+        for (id, t) in self.tasks.iter().enumerate() {
+            if t.deps.is_empty() {
+                ready[t.resource].insert(id);
+            }
+        }
+        let mut free = vec![0.0f64; self.n_resources];
+        let mut running: Vec<Option<usize>> = vec![None; self.n_resources];
+        let mut finish = vec![0.0f64; n];
+        let mut work_busy = vec![0.0f64; self.n_resources];
+        let mut overhead_busy = vec![0.0f64; self.n_resources];
+        let mut timelines: Vec<Vec<Segment>> = vec![Vec::new(); self.n_resources];
+        let mut done = 0usize;
+        let mut makespan = 0.0f64;
+        // Event queue of (finish time, resource); BinaryHeap is a
+        // max-heap, so order by Reverse.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        #[derive(PartialEq)]
+        struct Ev(f64, usize);
+        impl Eq for Ev {}
+        impl PartialOrd for Ev {
+            fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(o))
+            }
+        }
+        impl Ord for Ev {
+            fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&o.0).then(self.1.cmp(&o.1))
+            }
+        }
+        let mut events: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
+
+        let start_ready =
+            |r: usize,
+             now: f64,
+             ready: &mut Vec<std::collections::BTreeSet<usize>>,
+             free: &mut Vec<f64>,
+             running: &mut Vec<Option<usize>>,
+             timelines: &mut Vec<Vec<Segment>>,
+             work_busy: &mut Vec<f64>,
+             overhead_busy: &mut Vec<f64>,
+             events: &mut BinaryHeap<Reverse<Ev>>,
+             tasks: &[TaskSpec]| {
+                if running[r].is_some() {
+                    return;
+                }
+                let Some(&id) = ready[r].iter().next() else {
+                    return;
+                };
+                ready[r].remove(&id);
+                let t = &tasks[id];
+                let start = now.max(free[r]);
+                let end = start + t.duration;
+                free[r] = end;
+                running[r] = Some(id);
+                match t.kind {
+                    SegmentKind::Work => work_busy[r] += t.duration,
+                    SegmentKind::Overhead => overhead_busy[r] += t.duration,
+                }
+                if t.duration > 0.0 {
+                    timelines[r].push(Segment {
+                        task: id,
+                        start,
+                        end,
+                        kind: t.kind,
+                        label: t.label.clone(),
+                    });
+                }
+                events.push(Reverse(Ev(end, r)));
+            };
+
+        // Kick off every resource at t = 0.
+        for r in 0..self.n_resources {
+            start_ready(
+                r, 0.0, &mut ready, &mut free, &mut running, &mut timelines, &mut work_busy,
+                &mut overhead_busy, &mut events, &self.tasks,
+            );
+        }
+        while let Some(Reverse(Ev(now, r))) = events.pop() {
+            let Some(id) = running[r].take() else {
+                continue;
+            };
+            finish[id] = now;
+            makespan = makespan.max(now);
+            done += 1;
+            // Release dependents.
+            for &dep in &dependents[id] {
+                dep_remaining[dep] -= 1;
+                if dep_remaining[dep] == 0 {
+                    ready[self.tasks[dep].resource].insert(dep);
+                }
+            }
+            // Try to start work everywhere something may have unblocked.
+            for rr in 0..self.n_resources {
+                start_ready(
+                    rr, now, &mut ready, &mut free, &mut running, &mut timelines,
+                    &mut work_busy, &mut overhead_busy, &mut events, &self.tasks,
+                );
+            }
+        }
+        debug_assert_eq!(done, n, "all tasks must complete");
+        SimResult {
+            makespan,
+            finish,
+            work_busy,
+            overhead_busy,
+            timelines,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_chain_sums_durations() {
+        let mut sim = Sim::new(1);
+        let a = sim.push(TaskSpec::work(0, 1.0, vec![], "a")).unwrap();
+        let b = sim.push(TaskSpec::work(0, 2.0, vec![a], "b")).unwrap();
+        sim.push(TaskSpec::work(0, 3.0, vec![b], "c")).unwrap();
+        let r = sim.run();
+        assert_eq!(r.makespan, 6.0);
+        assert_eq!(r.utilization(0), 1.0);
+    }
+
+    #[test]
+    fn independent_tasks_on_two_resources_overlap() {
+        let mut sim = Sim::new(2);
+        sim.push(TaskSpec::work(0, 3.0, vec![], "cpu")).unwrap();
+        sim.push(TaskSpec::work(1, 2.0, vec![], "gpu")).unwrap();
+        let r = sim.run();
+        assert_eq!(r.makespan, 3.0);
+        assert_eq!(r.utilization(0), 1.0);
+        assert!((r.utilization(1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependency_across_resources_serializes() {
+        let mut sim = Sim::new(2);
+        let a = sim.push(TaskSpec::work(0, 3.0, vec![], "cpu")).unwrap();
+        sim.push(TaskSpec::work(1, 2.0, vec![a], "gpu")).unwrap();
+        let r = sim.run();
+        assert_eq!(r.makespan, 5.0);
+    }
+
+    #[test]
+    fn fifo_order_is_respected_within_resource() {
+        // Task c has no deps but was submitted after b on the same
+        // resource, so it cannot jump the queue.
+        let mut sim = Sim::new(2);
+        let a = sim.push(TaskSpec::work(1, 5.0, vec![], "slow-dep")).unwrap();
+        sim.push(TaskSpec::work(0, 1.0, vec![a], "b")).unwrap();
+        sim.push(TaskSpec::work(0, 1.0, vec![], "c")).unwrap();
+        let r = sim.run();
+        // b starts at 5, ends 6; c runs after b (FIFO): ends 7.
+        assert_eq!(r.finish[1], 6.0);
+        assert_eq!(r.finish[2], 7.0);
+    }
+
+    #[test]
+    fn overhead_is_tracked_separately() {
+        let mut sim = Sim::new(1);
+        let a = sim.push(TaskSpec::overhead(0, 1.0, vec![], "launch")).unwrap();
+        sim.push(TaskSpec::work(0, 3.0, vec![a], "kernel")).unwrap();
+        let r = sim.run();
+        assert_eq!(r.makespan, 4.0);
+        assert_eq!(r.work_busy[0], 3.0);
+        assert_eq!(r.overhead_busy[0], 1.0);
+        assert!((r.utilization(0) - 0.75).abs() < 1e-12);
+        assert!((r.overhead_fraction(0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn graph_validation_catches_errors() {
+        let mut sim = Sim::new(1);
+        assert!(sim.push(TaskSpec::work(1, 1.0, vec![], "bad-res")).is_err());
+        assert!(sim.push(TaskSpec::work(0, -1.0, vec![], "bad-dur")).is_err());
+        assert!(sim.push(TaskSpec::work(0, f64::NAN, vec![], "nan")).is_err());
+        assert!(sim.push(TaskSpec::work(0, 1.0, vec![3], "fwd-dep")).is_err());
+    }
+
+    #[test]
+    fn zero_duration_tasks_do_not_pollute_timeline() {
+        let mut sim = Sim::new(1);
+        sim.push(TaskSpec::work(0, 0.0, vec![], "nop")).unwrap();
+        sim.push(TaskSpec::work(0, 1.0, vec![], "real")).unwrap();
+        let r = sim.run();
+        assert_eq!(r.timelines[0].len(), 1);
+        assert_eq!(r.timelines[0][0].label, "real");
+    }
+
+    #[test]
+    fn empty_sim_is_safe() {
+        let sim = Sim::new(2);
+        let r = sim.run();
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(r.utilization(0), 0.0);
+        assert_eq!(r.overhead_fraction(1), 0.0);
+    }
+
+    #[test]
+    fn out_of_order_overtakes_stalled_queue_head() {
+        // In-order: b (behind stalled a) waits; out-of-order: b runs
+        // immediately.
+        let mut sim = Sim::new(2);
+        let slow = sim.push(TaskSpec::work(1, 10.0, vec![], "slow-dep")).unwrap();
+        sim.push(TaskSpec::work(0, 1.0, vec![slow], "a")).unwrap();
+        sim.push(TaskSpec::work(0, 1.0, vec![], "b")).unwrap();
+        let fifo = sim.run();
+        let ooo = sim.run_out_of_order();
+        assert_eq!(fifo.finish[2], 12.0, "FIFO: b behind a");
+        assert_eq!(ooo.finish[2], 1.0, "OOO: b overtakes");
+        assert_eq!(ooo.finish[1], 11.0);
+        assert_eq!(ooo.makespan, 11.0);
+    }
+
+    #[test]
+    fn out_of_order_matches_in_order_for_chains() {
+        // With pure chains there is nothing to reorder.
+        let mut sim = Sim::new(2);
+        let a = sim.push(TaskSpec::work(0, 2.0, vec![], "a")).unwrap();
+        let b = sim.push(TaskSpec::work(1, 3.0, vec![a], "b")).unwrap();
+        sim.push(TaskSpec::work(0, 1.0, vec![b], "c")).unwrap();
+        let fifo = sim.run();
+        let ooo = sim.run_out_of_order();
+        assert_eq!(fifo.makespan, ooo.makespan);
+        assert_eq!(fifo.finish, ooo.finish);
+        assert_eq!(fifo.work_busy, ooo.work_busy);
+    }
+
+    #[test]
+    fn out_of_order_ties_break_by_submission_index() {
+        let mut sim = Sim::new(1);
+        sim.push(TaskSpec::work(0, 1.0, vec![], "first")).unwrap();
+        sim.push(TaskSpec::work(0, 1.0, vec![], "second")).unwrap();
+        let r = sim.run_out_of_order();
+        assert!(r.finish[0] < r.finish[1]);
+    }
+
+    #[test]
+    fn diamond_dependency_waits_for_both_parents() {
+        let mut sim = Sim::new(3);
+        let root = sim.push(TaskSpec::work(0, 1.0, vec![], "root")).unwrap();
+        let left = sim.push(TaskSpec::work(1, 5.0, vec![root], "left")).unwrap();
+        let right = sim.push(TaskSpec::work(2, 2.0, vec![root], "right")).unwrap();
+        sim.push(TaskSpec::work(0, 1.0, vec![left, right], "join"))
+            .unwrap();
+        let r = sim.run();
+        assert_eq!(r.makespan, 7.0); // 1 + 5 + 1
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type for the simulator.
+
+use std::fmt;
+
+/// Errors produced when building or running simulations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A task graph is malformed (bad resource id, forward dependency).
+    Graph {
+        /// Human-readable description.
+        what: String,
+    },
+    /// An experiment configuration is invalid.
+    Config {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl SimError {
+    /// Convenience constructor for [`SimError::Graph`].
+    pub fn graph(what: impl Into<String>) -> Self {
+        SimError::Graph { what: what.into() }
+    }
+
+    /// Convenience constructor for [`SimError::Config`].
+    pub fn config(what: impl Into<String>) -> Self {
+        SimError::Config { what: what.into() }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Graph { what } => write!(f, "invalid task graph: {what}"),
+            SimError::Config { what } => write!(f, "invalid sim config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(SimError::graph("dep 5 >= task 3").to_string().contains("dep 5"));
+        assert!(SimError::config("no layers").to_string().contains("no layers"));
+    }
+}

@@ -1,0 +1,841 @@
+//! Series builders for every table and figure of the paper's
+//! evaluation, consumed by the `kt-bench` regeneration binaries.
+
+use kt_model::{ModelConfig, ModelPreset};
+
+use crate::cost::{Calibration, CpuKernel, CpuMoeOp, KernelPhase};
+use crate::error::SimError;
+use crate::hardware::{CpuSpec, Platform};
+use crate::policy::{simulate, Phase, PhaseReport, SystemPolicy};
+use crate::workload::Precision;
+
+/// One point of a named series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// X value (tokens per expert, prompt length, ...).
+    pub x: f64,
+    /// Y value (TFLOPS, tokens/s, ms, ...).
+    pub y: f64,
+}
+
+/// A labeled series of points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedSeries {
+    /// Series label (system or kernel name).
+    pub name: String,
+    /// The data points.
+    pub points: Vec<SeriesPoint>,
+}
+
+/// The GPU/precision deployments of §6.1, per model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deployment {
+    /// Model under test.
+    pub model: ModelPreset,
+    /// Whether this is the A100 (true) or RTX 4080 (false) setup.
+    pub a100: bool,
+    /// Weight precision for this deployment.
+    pub precision: Precision,
+}
+
+impl Deployment {
+    /// The six deployments of the evaluation: every model on the A100
+    /// at BF16 and on the RTX 4080 at its §6.1 quantization.
+    pub fn all() -> Vec<Deployment> {
+        let mut v = Vec::new();
+        for model in ModelPreset::all() {
+            v.push(Deployment {
+                model,
+                a100: true,
+                precision: Precision::Bf16,
+            });
+            let precision = match model {
+                ModelPreset::DeepSeekV3 => Precision::Int4,
+                _ => Precision::Int8,
+            };
+            v.push(Deployment {
+                model,
+                a100: false,
+                precision,
+            });
+        }
+        v
+    }
+
+    /// Platform for this deployment.
+    pub fn platform(&self) -> Platform {
+        if self.a100 {
+            Platform::a100_dual_xeon()
+        } else {
+            Platform::rtx4080_dual_xeon()
+        }
+    }
+
+    /// Display label ("DS-3 / A100 / BF16").
+    pub fn label(&self) -> String {
+        format!(
+            "{} / {} / {}",
+            self.model.short_name(),
+            if self.a100 { "A100" } else { "RTX4080" },
+            self.precision.label()
+        )
+    }
+
+    fn config(&self) -> ModelConfig {
+        self.model.full_config()
+    }
+}
+
+/// Figure 3: single-socket MoE-layer throughput (TFLOPS) vs tokens per
+/// expert, for PyTorch-AMX (oneDNN), PyTorch-AVX512 and the KT AMX
+/// kernel, on the DS-3 MoE layer.
+pub fn fig3_kernel_throughput(cal: &Calibration) -> Vec<NamedSeries> {
+    let mut cpu = CpuSpec::dual_xeon_8452y();
+    cpu.sockets = 1;
+    let cfg = ModelPreset::DeepSeekV3.full_config();
+    let xs: Vec<f64> = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+        .iter()
+        .map(|&v| v as f64)
+        .collect();
+    let kernels = [
+        ("PyTorch AMX (oneDNN)", CpuKernel::TorchAmx),
+        ("PyTorch AVX-512", CpuKernel::TorchAvx512),
+        ("KTransformers AMX", CpuKernel::KtAmx),
+    ];
+    kernels
+        .iter()
+        .map(|(name, k)| NamedSeries {
+            name: (*name).into(),
+            points: xs
+                .iter()
+                .map(|&m| {
+                    let op = moe_op(&cfg, m);
+                    let phase = if m > 4.0 {
+                        KernelPhase::Prefill
+                    } else {
+                        KernelPhase::Decode
+                    };
+                    SeriesPoint {
+                        x: m,
+                        y: cal.cpu_moe_tflops(*k, &op, &cpu, true, phase),
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+fn moe_op(cfg: &ModelConfig, tokens_per_expert: f64) -> CpuMoeOp {
+    let h = cfg.hidden as f64;
+    let mi = cfg.moe_inter as f64;
+    let n = cfg.n_routed_experts as f64;
+    CpuMoeOp {
+        tokens_per_expert,
+        n_active_experts: n,
+        flops: tokens_per_expert * n * 3.0 * 2.0 * h * mi,
+        bytes: n * 3.0 * h * mi * 2.0,
+    }
+}
+
+/// One row of Figure 4's launch-overhead analysis.
+#[derive(Debug, Clone)]
+pub struct LaunchRow {
+    /// System name.
+    pub system: String,
+    /// Kernel launches per decoded token.
+    pub launches_per_token: f64,
+    /// Average launch latency in microseconds.
+    pub launch_latency_us: f64,
+    /// Fraction of GPU busy time spent on launch/sync overhead.
+    pub gpu_overhead_frac: f64,
+}
+
+/// Figure 4: kernel-launch analysis of DS-3 decode under Fiddler,
+/// llama.cpp and KTransformers.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn fig4_launch_analysis(cal: &Calibration) -> Result<Vec<LaunchRow>, SimError> {
+    let cfg = ModelPreset::DeepSeekV3.full_config();
+    let platform = Platform::a100_dual_xeon();
+    let mut rows = Vec::new();
+    for policy in [
+        SystemPolicy::fiddler(),
+        SystemPolicy::llamacpp(),
+        SystemPolicy::ktransformers(),
+    ] {
+        let rep = simulate(
+            &policy,
+            &platform,
+            &cfg,
+            Precision::Bf16,
+            Precision::Bf16,
+            Phase::Decode {
+                prompt: 32,
+                steps: 8,
+            },
+            cal,
+        )?;
+        rows.push(LaunchRow {
+            system: policy.name.clone(),
+            launches_per_token: if policy.cuda_graph {
+                cfg.n_layers as f64 // one graph-replay node per layer
+            } else {
+                policy.launches_per_layer * cfg.n_layers as f64
+            },
+            launch_latency_us: policy.launch_latency_s * 1e6,
+            gpu_overhead_frac: rep.gpu_overhead_frac,
+        });
+    }
+    Ok(rows)
+}
+
+/// Figure 7: MoE-layer latency (ms) of the KT AMX vs AVX-512 kernels at
+/// low tokens-per-expert, for each model.
+pub fn fig7_kernel_latency(cal: &Calibration) -> Vec<(String, Vec<NamedSeries>)> {
+    let cpu = CpuSpec::dual_xeon_8452y();
+    let xs = [1.0f64, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0];
+    ModelPreset::all()
+        .iter()
+        .map(|preset| {
+            let cfg = preset.full_config();
+            let series = [("AMX kernel", CpuKernel::KtAmx), ("AVX-512 kernel", CpuKernel::KtAvx512)]
+                .iter()
+                .map(|(name, k)| NamedSeries {
+                    name: (*name).into(),
+                    points: xs
+                        .iter()
+                        .map(|&m| {
+                            let op = moe_op(&cfg, m);
+                            let phase = if m > 4.0 {
+                                KernelPhase::Prefill
+                            } else {
+                                KernelPhase::Decode
+                            };
+                            SeriesPoint {
+                                x: m,
+                                y: cal.cpu_moe_time(*k, &op, &cpu, true, true, phase) * 1e3,
+                            }
+                        })
+                        .collect(),
+                })
+                .collect();
+            (preset.short_name().to_string(), series)
+        })
+        .collect()
+}
+
+/// One row of the Figure 10 deferral-configuration study.
+#[derive(Debug, Clone)]
+pub struct DeferRow {
+    /// Deferred experts per layer.
+    pub n_deferred: usize,
+    /// CPU utilization.
+    pub cpu_util: f64,
+    /// GPU utilization.
+    pub gpu_util: f64,
+    /// Decode throughput, tokens/s.
+    pub tokens_per_s: f64,
+    /// Per-token time relative to no deferral (1.0 = baseline).
+    pub relative_time: f64,
+}
+
+/// Figure 10: CPU/GPU utilization and execution time for 0/2/3/4
+/// deferred experts (DS-3, BF16, A100).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn fig10_deferral_study(cal: &Calibration) -> Result<Vec<DeferRow>, SimError> {
+    let cfg = ModelPreset::DeepSeekV3.full_config();
+    let platform = Platform::a100_dual_xeon();
+    let mut rows = Vec::new();
+    let mut baseline = 0.0f64;
+    for n_def in [0usize, 2, 3, 4] {
+        let policy = if n_def == 0 {
+            SystemPolicy::ktransformers()
+        } else {
+            SystemPolicy::ktransformers_deferred(n_def)
+        };
+        let rep = simulate(
+            &policy,
+            &platform,
+            &cfg,
+            Precision::Bf16,
+            Precision::Bf16,
+            Phase::Decode {
+                prompt: 32,
+                steps: 8,
+            },
+            cal,
+        )?;
+        if n_def == 0 {
+            baseline = rep.tokens_per_s;
+        }
+        rows.push(DeferRow {
+            n_deferred: n_def,
+            cpu_util: rep.cpu_util,
+            gpu_util: rep.gpu_util,
+            tokens_per_s: rep.tokens_per_s,
+            relative_time: baseline / rep.tokens_per_s,
+        });
+    }
+    Ok(rows)
+}
+
+/// Figure 11: prefill throughput vs prompt length for each deployment
+/// and system.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn fig11_prefill(
+    cal: &Calibration,
+    prompts: &[usize],
+) -> Result<Vec<(Deployment, Vec<NamedSeries>)>, SimError> {
+    let mut out = Vec::new();
+    for dep in Deployment::all() {
+        let cfg = dep.config();
+        let platform = dep.platform();
+        let mut series = Vec::new();
+        for policy in [
+            SystemPolicy::fiddler(),
+            SystemPolicy::llamacpp(),
+            SystemPolicy::ktransformers(),
+        ] {
+            // The paper compares quantized deployments against
+            // llama.cpp only (Fiddler lacks quantized kernels); keep
+            // all three for completeness.
+            let mut points = Vec::new();
+            for &p in prompts {
+                let rep = simulate(
+                    &policy,
+                    &platform,
+                    &cfg,
+                    dep.precision,
+                    dep.precision,
+                    Phase::Prefill { prompt: p },
+                    cal,
+                )?;
+                points.push(SeriesPoint {
+                    x: p as f64,
+                    y: rep.tokens_per_s,
+                });
+            }
+            series.push(NamedSeries {
+                name: policy.name.clone(),
+                points,
+            });
+        }
+        out.push((dep, series));
+    }
+    Ok(out)
+}
+
+/// Deferred-expert counts used in §6.3 per (model, quantized?) pair.
+pub fn paper_deferral_config(model: ModelPreset, quantized: bool) -> usize {
+    match (model, quantized) {
+        (ModelPreset::DeepSeekV3, false) => 3,
+        (ModelPreset::DeepSeekV3, true) => 6,
+        (ModelPreset::DeepSeekV2, _) => 4,
+        (ModelPreset::Qwen2Moe, false) => 2,
+        (ModelPreset::Qwen2Moe, true) => 4,
+    }
+}
+
+/// Figure 12: decode throughput for each deployment and system,
+/// including KTransformers with the paper's per-model deferral configs.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn fig12_decode(cal: &Calibration) -> Result<Vec<(Deployment, Vec<NamedSeries>)>, SimError> {
+    let mut out = Vec::new();
+    for dep in Deployment::all() {
+        let cfg = dep.config();
+        let platform = dep.platform();
+        let n_def = paper_deferral_config(dep.model, dep.precision != Precision::Bf16);
+        let policies = vec![
+            SystemPolicy::fiddler(),
+            SystemPolicy::llamacpp(),
+            SystemPolicy::ktransformers(),
+            SystemPolicy::ktransformers_deferred(n_def),
+        ];
+        let mut series = Vec::new();
+        for policy in policies {
+            let rep = simulate(
+                &policy,
+                &platform,
+                &cfg,
+                dep.precision,
+                dep.precision,
+                Phase::Decode {
+                    prompt: 32,
+                    steps: 16,
+                },
+                cal,
+            )?;
+            series.push(NamedSeries {
+                name: policy.name.clone(),
+                points: vec![SeriesPoint {
+                    x: 0.0,
+                    y: rep.tokens_per_s,
+                }],
+            });
+        }
+        out.push((dep, series));
+    }
+    Ok(out)
+}
+
+/// One model's Figure 14 rows: `(model, [(stage, prefill speedup,
+/// decode speedup)])`.
+pub type BreakdownRows = (String, Vec<(String, f64, f64)>);
+
+/// Figure 14: normalized speedup over the Fiddler baseline as the
+/// optimizations v/m/d/n/c are merged cumulatively, for prefill
+/// (prompt 8192) and decode, per model (BF16, A100).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn fig14_breakdown(cal: &Calibration) -> Result<Vec<BreakdownRows>, SimError> {
+    let platform = Platform::a100_dual_xeon();
+    let mut out = Vec::new();
+    for preset in ModelPreset::all() {
+        let cfg = preset.full_config();
+        let stages = SystemPolicy::breakdown_stages();
+        let mut base_prefill = 0.0;
+        let mut base_decode = 0.0;
+        let mut rows = Vec::new();
+        for (i, policy) in stages.iter().enumerate() {
+            let pre = simulate(
+                policy,
+                &platform,
+                &cfg,
+                Precision::Bf16,
+                Precision::Bf16,
+                Phase::Prefill { prompt: 8192 },
+                cal,
+            )?
+            .tokens_per_s;
+            let dec = simulate(
+                policy,
+                &platform,
+                &cfg,
+                Precision::Bf16,
+                Precision::Bf16,
+                Phase::Decode {
+                    prompt: 32,
+                    steps: 8,
+                },
+                cal,
+            )?
+            .tokens_per_s;
+            if i == 0 {
+                base_prefill = pre;
+                base_decode = dec;
+            }
+            rows.push((policy.name.clone(), pre / base_prefill, dec / base_decode));
+        }
+        out.push((preset.short_name().to_string(), rows));
+    }
+    Ok(out)
+}
+
+/// §3.3 / §6.4 ablation: decode throughput with NUMA-aware tensor
+/// parallelism vs a NUMA-oblivious baseline, plus the §2.3 single-layer
+/// latencies.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn ablation_numa(cal: &Calibration) -> Result<Vec<(String, f64)>, SimError> {
+    let cfg = ModelPreset::DeepSeekV3.full_config();
+    let platform = Platform::a100_dual_xeon();
+    let mut rows = Vec::new();
+    for (name, aware) in [("NUMA-oblivious", false), ("NUMA-aware TP", true)] {
+        let mut policy = SystemPolicy::ktransformers();
+        policy.numa_aware = aware;
+        let rep = simulate(
+            &policy,
+            &platform,
+            &cfg,
+            Precision::Bf16,
+            Precision::Bf16,
+            Phase::Decode {
+                prompt: 32,
+                steps: 8,
+            },
+            cal,
+        )?;
+        rows.push((name.to_string(), rep.tokens_per_s));
+    }
+    Ok(rows)
+}
+
+/// §3.3 ablation: decode throughput with and without the single-graph
+/// CUDA Graph design (paper: up to 1.23x).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn ablation_graph(cal: &Calibration) -> Result<Vec<(String, f64)>, SimError> {
+    let cfg = ModelPreset::DeepSeekV3.full_config();
+    let platform = Platform::a100_dual_xeon();
+    let mut rows = Vec::new();
+    for (name, graph) in [("per-op launches", false), ("single CUDA Graph", true)] {
+        let mut policy = SystemPolicy::ktransformers();
+        policy.cuda_graph = graph;
+        let rep = simulate(
+            &policy,
+            &platform,
+            &cfg,
+            Precision::Bf16,
+            Precision::Bf16,
+            Phase::Decode {
+                prompt: 32,
+                steps: 8,
+            },
+            cal,
+        )?;
+        rows.push((name.to_string(), rep.tokens_per_s));
+    }
+    Ok(rows)
+}
+
+/// Zipf coverage: fraction of activation mass captured by the `top_n`
+/// most popular of `n_experts` experts when popularity follows a
+/// Zipf(`s`) law (`s = 0` is uniform routing, larger `s` = more skew).
+pub fn zipf_coverage(n_experts: usize, top_n: usize, s: f64) -> f64 {
+    if n_experts == 0 {
+        return 0.0;
+    }
+    let h = |n: usize| -> f64 { (1..=n).map(|k| (k as f64).powf(-s)).sum() };
+    (h(top_n.min(n_experts)) / h(n_experts)).max(0.0)
+}
+
+/// One row of the popularity-placement study.
+#[derive(Debug, Clone)]
+pub struct PlacementRow {
+    /// Experts pinned to the GPU per layer.
+    pub n_pinned: usize,
+    /// Fraction of routed activations they cover.
+    pub coverage: f64,
+    /// Decode throughput, tokens/s.
+    pub tokens_per_s: f64,
+    /// VRAM the pinned experts plus the resident model need, GB.
+    pub vram_needed_gb: f64,
+    /// Whether that fits the platform's GPU.
+    pub vram_feasible: bool,
+}
+
+/// Popularity-placement study (§1's Fiddler-style path for models
+/// without shared experts): with Zipf(`s`)-skewed routing, pin the top
+/// `n_pinned` experts of every layer to the GPU and measure decode.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn placement_study(
+    cal: &Calibration,
+    preset: ModelPreset,
+    zipf_s: f64,
+    precision: Precision,
+    pinned: &[usize],
+) -> Result<Vec<PlacementRow>, SimError> {
+    let cfg = preset.full_config();
+    let platform = Platform::a100_dual_xeon();
+    // VRAM accounting: the resident model (attention, shared experts,
+    // embeddings, router) plus the pinned experts of every MoE layer.
+    let bytes_per_w = precision.bytes_per_weight();
+    let base_gb = cfg.gpu_params() as f64 * bytes_per_w / 1e9;
+    let per_expert_gb = 3.0 * cfg.hidden as f64 * cfg.moe_inter as f64 * bytes_per_w
+        * cfg.n_moe_layers() as f64
+        / 1e9;
+    let mut rows = Vec::new();
+    for &n in pinned {
+        let coverage = zipf_coverage(cfg.n_routed_experts, n, zipf_s);
+        let mut policy = SystemPolicy::ktransformers();
+        policy.gpu_pinned_coverage = coverage;
+        let rep = simulate(
+            &policy,
+            &platform,
+            &cfg,
+            precision,
+            precision,
+            Phase::Decode {
+                prompt: 32,
+                steps: 8,
+            },
+            cal,
+        )?;
+        let vram_needed_gb = base_gb + n as f64 * per_expert_gb;
+        rows.push(PlacementRow {
+            n_pinned: n,
+            coverage,
+            tokens_per_s: rep.tokens_per_s,
+            vram_needed_gb,
+            vram_feasible: vram_needed_gb <= platform.gpu.vram_gb,
+        });
+    }
+    Ok(rows)
+}
+
+/// Convenience wrapper: run one deployment/phase under one policy.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_deployment(
+    dep: &Deployment,
+    policy: &SystemPolicy,
+    phase: Phase,
+    cal: &Calibration,
+) -> Result<PhaseReport, SimError> {
+    simulate(
+        policy,
+        &dep.platform(),
+        &dep.config(),
+        dep.precision,
+        dep.precision,
+        phase,
+        cal,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cal() -> Calibration {
+        Calibration::default()
+    }
+
+    #[test]
+    fn fig3_series_have_expected_shape() {
+        let series = fig3_kernel_throughput(&cal());
+        assert_eq!(series.len(), 3);
+        for s in &series {
+            // Throughput is non-decreasing with ARI until the plateau.
+            let first = s.points.first().unwrap().y;
+            let last = s.points.last().unwrap().y;
+            assert!(last > first, "{}", s.name);
+        }
+        // KT-AMX plateau ~21.3, oneDNN ~5.4, torch-AVX <= 1.8.
+        let plateau = |name: &str| {
+            series
+                .iter()
+                .find(|s| s.name.contains(name))
+                .unwrap()
+                .points
+                .last()
+                .unwrap()
+                .y
+        };
+        assert!((plateau("KTransformers") - 21.3).abs() < 2.5);
+        assert!((plateau("oneDNN") - 5.4).abs() < 1.5);
+        assert!(plateau("AVX-512") < 2.0);
+    }
+
+    #[test]
+    fn fig4_rows_match_paper_shape() {
+        let rows = fig4_launch_analysis(&cal()).unwrap();
+        assert_eq!(rows.len(), 3);
+        let fiddler = &rows[0];
+        let llama = &rows[1];
+        let kt = &rows[2];
+        assert!(fiddler.launches_per_token > 6000.0);
+        assert!((fiddler.launch_latency_us - 16.0).abs() < 1e-9);
+        assert!(llama.launches_per_token > 2500.0 && llama.launches_per_token < 3500.0);
+        assert!(fiddler.gpu_overhead_frac > llama.gpu_overhead_frac);
+        assert!(llama.gpu_overhead_frac > kt.gpu_overhead_frac);
+    }
+
+    #[test]
+    fn fig7_crossover_present_for_all_models() {
+        for (model, series) in fig7_kernel_latency(&cal()) {
+            let amx = &series[0];
+            let avx = &series[1];
+            // At 1 token/expert AVX wins; at 32 AMX wins.
+            assert!(
+                avx.points[0].y < amx.points[0].y,
+                "{model}: AVX should win at ARI=1"
+            );
+            assert!(
+                amx.points.last().unwrap().y < avx.points.last().unwrap().y,
+                "{model}: AMX should win at ARI=32"
+            );
+        }
+    }
+
+    #[test]
+    fn fig10_three_deferred_is_optimal() {
+        let rows = fig10_deferral_study(&cal()).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].n_deferred, 0);
+        // Throughput at 3 deferred >= at 2 deferred; 4 gives no real
+        // further benefit (§4.2).
+        let by_def: Vec<f64> = rows.iter().map(|r| r.tokens_per_s).collect();
+        assert!(by_def[2] >= by_def[1]);
+        assert!(by_def[3] <= by_def[2] * 1.05);
+        // Deferral saturates the CPU.
+        assert!(rows[2].cpu_util > rows[0].cpu_util);
+        // Paper: 33% end-to-end decode gain at 3 deferred (accept 15-45%).
+        let gain = by_def[2] / by_def[0];
+        assert!(gain > 1.15 && gain < 1.5, "gain={gain}");
+    }
+
+    #[test]
+    fn fig12_speedups_in_paper_range() {
+        let all = fig12_decode(&cal()).unwrap();
+        assert_eq!(all.len(), 6);
+        let mut gainful = 0;
+        for (dep, series) in &all {
+            let get = |name: &str| {
+                series
+                    .iter()
+                    .find(|s| s.name == name)
+                    .unwrap()
+                    .points[0]
+                    .y
+            };
+            let fiddler = get("Fiddler");
+            let llama = get("Llama.cpp");
+            let kt = get("KTransformers");
+            assert!(kt > fiddler && kt > llama, "{}", dep.label());
+            // §6.2: 2.42-4.09x over Fiddler, 1.25-1.93x over llama.cpp
+            // (accept a widened band for the simulator).
+            let vs_fiddler = kt / fiddler;
+            let vs_llama = kt / llama;
+            // The paper only benchmarks Fiddler on BF16 (it lacks
+            // quantized kernels); on quantized deployments our simulated
+            // Fiddler is dominated by its per-layer Python overhead, so
+            // the band is wider there.
+            let fiddler_band = if dep.precision == Precision::Bf16 {
+                (1.5, 6.0)
+            } else {
+                (1.5, 9.0)
+            };
+            assert!(
+                vs_fiddler > fiddler_band.0 && vs_fiddler < fiddler_band.1,
+                "{}: vs fiddler {vs_fiddler}",
+                dep.label()
+            );
+            assert!(
+                vs_llama > 1.1 && vs_llama < 2.5,
+                "{}: vs llama {vs_llama}",
+                dep.label()
+            );
+            // Deferral never hurts and adds up to ~45% in the paper;
+            // our simulator over-rewards the extreme Int4 configuration
+            // and finds the QW-2/RTX4080 deployment GPU-bound (no CPU
+            // idle to reclaim), so the accepted band is wider
+            // (documented in EXPERIMENTS.md).
+            let deferred = series.last().unwrap().points[0].y;
+            let gain = deferred / kt;
+            assert!((0.999..1.75).contains(&gain), "{}: defer gain {gain}", dep.label());
+            if gain > 1.05 {
+                gainful += 1;
+            }
+        }
+        // Deferral must help clearly on most deployments.
+        assert!(gainful >= 4, "deferral helped only {gainful}/6 deployments");
+    }
+
+    #[test]
+    fn fig14_final_stage_dominates() {
+        let rows = fig14_breakdown(&cal()).unwrap();
+        assert_eq!(rows.len(), 3);
+        for (model, stages) in rows {
+            assert_eq!(stages.len(), 6);
+            let last = stages.last().unwrap();
+            assert!(last.1 > 2.0, "{model}: prefill breakdown {:.2}", last.1);
+            assert!(last.2 > 1.5, "{model}: decode breakdown {:.2}", last.2);
+            // The AVX-512-only stage should HURT prefill (Figure 14a
+            // shows v below baseline for prefill).
+            assert!(stages[1].1 < 1.0, "{model}: +v prefill {:.2}", stages[1].1);
+            // ... but help decode (Figure 14b).
+            assert!(stages[1].2 > 1.0, "{model}: +v decode {:.2}", stages[1].2);
+        }
+    }
+
+    #[test]
+    fn numa_ablation_in_paper_range() {
+        let rows = ablation_numa(&cal()).unwrap();
+        let ratio = rows[1].1 / rows[0].1;
+        // §3.3: up to 1.63x.
+        assert!(ratio > 1.15 && ratio < 1.7, "ratio={ratio}");
+    }
+
+    #[test]
+    fn graph_ablation_in_paper_range() {
+        let rows = ablation_graph(&cal()).unwrap();
+        let ratio = rows[1].1 / rows[0].1;
+        // §3.3: up to 1.23x.
+        assert!(ratio > 1.03 && ratio < 1.35, "ratio={ratio}");
+    }
+
+    #[test]
+    fn deployments_cover_the_grid() {
+        let deps = Deployment::all();
+        assert_eq!(deps.len(), 6);
+        assert_eq!(
+            deps.iter().filter(|d| d.a100).count(),
+            3,
+            "three A100 deployments"
+        );
+        assert!(deps
+            .iter()
+            .any(|d| !d.a100 && d.precision == Precision::Int4));
+    }
+
+    #[test]
+    fn zipf_coverage_behaves() {
+        // Uniform: coverage is proportional.
+        assert!((zipf_coverage(256, 64, 0.0) - 0.25).abs() < 1e-12);
+        // Skewed: the head captures outsized mass.
+        assert!(zipf_coverage(256, 64, 1.0) > 0.6);
+        // Monotone and bounded.
+        assert!(zipf_coverage(256, 8, 1.0) < zipf_coverage(256, 64, 1.0));
+        assert!((zipf_coverage(256, 256, 1.3) - 1.0).abs() < 1e-12);
+        assert_eq!(zipf_coverage(0, 4, 1.0), 0.0);
+    }
+
+    #[test]
+    fn placement_has_an_optimum_under_skew() {
+        // Pinning hot experts moves routed traffic from the CPU (the
+        // decode bottleneck) to the GPU; past the balance point the GPU
+        // becomes the bottleneck instead, so throughput peaks at an
+        // intermediate pin count.
+        let rows = placement_study(
+            &cal(),
+            ModelPreset::DeepSeekV3,
+            1.0,
+            Precision::Int4,
+            &[0, 32, 160],
+        )
+        .unwrap();
+        assert_eq!(rows[0].coverage, 0.0);
+        assert!(rows[1].tokens_per_s > rows[0].tokens_per_s * 1.2, "{rows:?}");
+        assert!(
+            rows[2].tokens_per_s < rows[1].tokens_per_s,
+            "over-pinning must shift the bottleneck to the GPU: {rows:?}"
+        );
+        assert!(rows[2].coverage > rows[1].coverage);
+        // VRAM feasibility: Int4 DS-3 fits a handful of pinned experts
+        // per layer on a 40 GB A100, not 160.
+        assert!(rows[0].vram_feasible);
+        assert!(!rows[2].vram_feasible, "{rows:?}");
+    }
+
+    #[test]
+    fn paper_deferral_configs() {
+        use ModelPreset::*;
+        assert_eq!(paper_deferral_config(DeepSeekV3, false), 3);
+        assert_eq!(paper_deferral_config(DeepSeekV3, true), 6);
+        assert_eq!(paper_deferral_config(DeepSeekV2, false), 4);
+        assert_eq!(paper_deferral_config(Qwen2Moe, true), 4);
+    }
+}

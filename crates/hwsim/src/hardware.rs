@@ -1,0 +1,153 @@
+//! Hardware platform descriptions, with presets matching §6.1.
+
+/// CPU-side description of the platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuSpec {
+    /// NUMA sockets.
+    pub sockets: usize,
+    /// Physical cores per socket.
+    pub cores_per_socket: usize,
+    /// Theoretical AMX BF16 peak per socket, TFLOPS (§2.2: 73.7).
+    pub amx_peak_tflops: f64,
+    /// Achievable AVX-512 throughput per socket at high ARI, TFLOPS
+    /// (§2.2 / Figure 3: ~1.8).
+    pub avx512_tflops: f64,
+    /// Intra-socket DRAM bandwidth, GB/s (§6.1: 220).
+    pub local_bw_gbs: f64,
+    /// Cross-socket bandwidth, GB/s (§6.1: 125).
+    pub remote_bw_gbs: f64,
+}
+
+impl CpuSpec {
+    /// Dual Intel Xeon Platinum 8452Y (the paper's testbed).
+    pub fn dual_xeon_8452y() -> Self {
+        CpuSpec {
+            sockets: 2,
+            cores_per_socket: 36,
+            amx_peak_tflops: 73.7,
+            avx512_tflops: 1.8,
+            local_bw_gbs: 220.0,
+            remote_bw_gbs: 125.0,
+        }
+    }
+
+    /// Total DRAM bandwidth when every socket streams only local memory
+    /// (the NUMA-aware case).
+    pub fn total_local_bw_gbs(&self) -> f64 {
+        self.local_bw_gbs * self.sockets as f64
+    }
+
+    /// Effective total bandwidth when placement is NUMA-oblivious: each
+    /// socket's accesses are split evenly between local and remote
+    /// memory, so per-socket throughput is the harmonic mean of the two
+    /// link speeds.
+    pub fn total_oblivious_bw_gbs(&self) -> f64 {
+        if self.sockets == 1 {
+            return self.local_bw_gbs;
+        }
+        let harmonic = 2.0 / (1.0 / self.local_bw_gbs + 1.0 / self.remote_bw_gbs);
+        harmonic * self.sockets as f64
+    }
+}
+
+/// GPU description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSpec {
+    /// Dense BF16/FP16 tensor throughput, TFLOPS.
+    pub tflops: f64,
+    /// HBM bandwidth, GB/s.
+    pub hbm_gbs: f64,
+    /// VRAM capacity, GB.
+    pub vram_gb: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA A100 40 GB (server-grade GPU of §6.1).
+    pub fn a100_40gb() -> Self {
+        GpuSpec {
+            tflops: 312.0,
+            hbm_gbs: 1555.0,
+            vram_gb: 40.0,
+        }
+    }
+
+    /// NVIDIA RTX 4080 16 GB (consumer-grade GPU of §6.1).
+    pub fn rtx_4080() -> Self {
+        GpuSpec {
+            tflops: 97.0,
+            hbm_gbs: 717.0,
+            vram_gb: 16.0,
+        }
+    }
+}
+
+/// Full platform: CPUs + one GPU + the PCIe link between them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Platform {
+    /// CPU-side spec.
+    pub cpu: CpuSpec,
+    /// GPU spec.
+    pub gpu: GpuSpec,
+    /// PCIe bandwidth, GB/s (§6.1: PCIe 4.0 x16 = 32).
+    pub pcie_gbs: f64,
+}
+
+impl Platform {
+    /// The paper's server configuration: dual Xeon + A100.
+    pub fn a100_dual_xeon() -> Self {
+        Platform {
+            cpu: CpuSpec::dual_xeon_8452y(),
+            gpu: GpuSpec::a100_40gb(),
+            pcie_gbs: 32.0,
+        }
+    }
+
+    /// The paper's consumer configuration: dual Xeon + RTX 4080.
+    pub fn rtx4080_dual_xeon() -> Self {
+        Platform {
+            cpu: CpuSpec::dual_xeon_8452y(),
+            gpu: GpuSpec::rtx_4080(),
+            pcie_gbs: 32.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_section_6_1() {
+        let p = Platform::a100_dual_xeon();
+        assert_eq!(p.cpu.sockets, 2);
+        assert_eq!(p.cpu.cores_per_socket, 36);
+        assert_eq!(p.cpu.local_bw_gbs, 220.0);
+        assert_eq!(p.cpu.remote_bw_gbs, 125.0);
+        assert_eq!(p.pcie_gbs, 32.0);
+        assert_eq!(p.gpu.vram_gb, 40.0);
+        let c = Platform::rtx4080_dual_xeon();
+        assert_eq!(c.gpu.vram_gb, 16.0);
+        assert!(c.gpu.tflops < p.gpu.tflops);
+    }
+
+    #[test]
+    fn numa_oblivious_bandwidth_is_lower() {
+        let cpu = CpuSpec::dual_xeon_8452y();
+        let aware = cpu.total_local_bw_gbs();
+        let oblivious = cpu.total_oblivious_bw_gbs();
+        assert_eq!(aware, 440.0);
+        assert!(oblivious < aware);
+        // Harmonic mean of 220/125 is ~159.4 per socket.
+        assert!((oblivious - 318.8).abs() < 1.0, "{oblivious}");
+        // §3.3: up to 1.63x decode speedup from NUMA awareness; the pure
+        // bandwidth ratio gives ~1.38x, the rest comes from sync costs.
+        assert!(aware / oblivious > 1.3);
+    }
+
+    #[test]
+    fn single_socket_has_no_numa_penalty() {
+        let mut cpu = CpuSpec::dual_xeon_8452y();
+        cpu.sockets = 1;
+        assert_eq!(cpu.total_oblivious_bw_gbs(), cpu.local_bw_gbs);
+    }
+}

@@ -1,0 +1,797 @@
+//! System policies and task-graph builders.
+//!
+//! A [`SystemPolicy`] captures how one inference system (Fiddler,
+//! llama.cpp, or KTransformers with any subset of its optimizations)
+//! schedules the hybrid computation. The builders turn a policy, a
+//! platform and a model configuration into task graphs for the
+//! discrete-event engine:
+//!
+//! * **Decode** — per layer: GPU attention → router → (submit) →
+//!   CPU routed experts ∥ GPU shared experts → (sync) → merge. Without
+//!   async scheduling, submit/sync are explicit overhead barriers and
+//!   every layer pays kernel-launch latency (Figure 4); with the
+//!   single-CUDA-Graph design, launch cost collapses to a replay fee and
+//!   the barriers become in-stream `cudaLaunchHostFunc` callbacks
+//!   (§3.3). With Expert Deferral, the routed work splits into an
+//!   immediate part (blocking the next layer) and a deferred part that
+//!   executes concurrently with the next layer's GPU work and merges one
+//!   layer later (§4.1, Figure 10).
+//! * **Prefill** — the same structure with prefill-sized operations; the
+//!   paper applies no deferral in prefill.
+
+use kt_model::ModelConfig;
+
+use crate::cost::{Calibration, CpuKernel, CpuMoeOp, KernelPhase};
+use crate::desim::{Sim, SimResult, TaskSpec};
+use crate::error::SimError;
+use crate::hardware::Platform;
+use crate::workload::{dense_layer_workload, head_workload, moe_layer_workload, Precision};
+
+/// Resource indices used by the builders.
+pub const RES_CPU: usize = 0;
+/// GPU compute/launch engine.
+pub const RES_GPU: usize = 1;
+/// PCIe link.
+pub const RES_PCIE: usize = 2;
+/// Total resources.
+pub const N_RESOURCES: usize = 3;
+
+/// Execution phase descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Prompt processing of the given length.
+    Prefill {
+        /// Prompt length in tokens.
+        prompt: usize,
+    },
+    /// Token-by-token generation.
+    Decode {
+        /// Prompt length already in the cache.
+        prompt: usize,
+        /// Tokens to generate.
+        steps: usize,
+    },
+}
+
+/// How one system schedules hybrid MoE inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemPolicy {
+    /// Display name.
+    pub name: String,
+    /// CPU kernel used during prefill.
+    pub kernel_prefill: CpuKernel,
+    /// CPU kernel used during decode.
+    pub kernel_decode: CpuKernel,
+    /// Dynamic task scheduling (§3.2) instead of static partitioning.
+    pub dynamic_sched: bool,
+    /// NUMA-aware tensor placement (§3.3).
+    pub numa_aware: bool,
+    /// Whole-decode-path CUDA Graph with host-function callbacks (§3.3).
+    pub cuda_graph: bool,
+    /// GPU kernel launches issued per layer when not graph-captured.
+    pub launches_per_layer: f64,
+    /// Latency of one kernel launch, seconds (Figure 4: 16 µs for
+    /// Fiddler's Python path, 5 µs for C++ paths).
+    pub launch_latency_s: f64,
+    /// Whether the CPU path pays per-layer Python/framework overhead.
+    pub python_overhead: bool,
+    /// Deferred experts per layer during decode (0 = no deferral).
+    pub n_deferred: usize,
+    /// Fraction of routed-expert activations served by GPU-pinned hot
+    /// experts. Zero is the paper's default shared-experts-only
+    /// placement; positive values model Fiddler-style popularity
+    /// pinning for models without shared experts (§1).
+    pub gpu_pinned_coverage: f64,
+    /// Weight offloading instead of computation offloading (§2.1's
+    /// baseline): routed experts stay in DRAM but are TRANSFERRED to
+    /// the GPU over PCIe on demand and computed there.
+    pub weight_offloading: bool,
+}
+
+impl SystemPolicy {
+    /// Fiddler: PyTorch-based hybrid system; oneDNN AMX in prefill,
+    /// torch GEMV in decode, NUMA-oblivious, no CUDA graphs, ~7000
+    /// launches per token at 16 µs (Figure 4).
+    pub fn fiddler() -> Self {
+        SystemPolicy {
+            name: "Fiddler".into(),
+            kernel_prefill: CpuKernel::TorchAmx,
+            kernel_decode: CpuKernel::TorchAvx512,
+            dynamic_sched: false,
+            numa_aware: false,
+            cuda_graph: false,
+            launches_per_layer: 7000.0 / 61.0,
+            launch_latency_s: 16e-6,
+            python_overhead: true,
+            n_deferred: 0,
+            gpu_pinned_coverage: 0.0,
+            weight_offloading: false,
+        }
+    }
+
+    /// llama.cpp with expert-level offloading: fused C++ AVX-512
+    /// kernels, ~3000 launches per token at 5 µs, CUDA graphs disabled
+    /// (§2.3).
+    pub fn llamacpp() -> Self {
+        SystemPolicy {
+            name: "Llama.cpp".into(),
+            kernel_prefill: CpuKernel::LlamaCppAvx,
+            kernel_decode: CpuKernel::LlamaCppAvx,
+            dynamic_sched: false,
+            numa_aware: false,
+            cuda_graph: false,
+            launches_per_layer: 3000.0 / 61.0,
+            launch_latency_s: 5e-6,
+            python_overhead: false,
+            n_deferred: 0,
+            gpu_pinned_coverage: 0.0,
+            weight_offloading: false,
+        }
+    }
+
+    /// KTransformers with every optimization except Expert Deferral.
+    pub fn ktransformers() -> Self {
+        SystemPolicy {
+            name: "KTransformers".into(),
+            kernel_prefill: CpuKernel::KtHybrid,
+            kernel_decode: CpuKernel::KtHybrid,
+            dynamic_sched: true,
+            numa_aware: true,
+            cuda_graph: true,
+            launches_per_layer: 60.0,
+            launch_latency_s: 5e-6,
+            python_overhead: false,
+            n_deferred: 0,
+            gpu_pinned_coverage: 0.0,
+            weight_offloading: false,
+        }
+    }
+
+    /// Weight-offloading baseline (§2.1): expert weights ship over PCIe
+    /// to the GPU per activation instead of computing on the CPU —
+    /// "this approach quickly hits a bottleneck due to PCIe bandwidth
+    /// limits".
+    pub fn weight_offloading() -> Self {
+        let mut p = Self::ktransformers();
+        p.name = "WeightOffload".into();
+        p.weight_offloading = true;
+        p
+    }
+
+    /// KTransformers with Expert Deferral (`n_deferred` experts).
+    pub fn ktransformers_deferred(n_deferred: usize) -> Self {
+        let mut p = Self::ktransformers();
+        p.name = format!("KTransformers+Defer({n_deferred})");
+        p.n_deferred = n_deferred;
+        p
+    }
+
+    /// The cumulative optimization stages of Figure 14, in order:
+    /// baseline (Fiddler), +v (AVX-512 fused kernel), +m (AMX/hybrid
+    /// kernel), +d (dynamic scheduling), +n (NUMA-aware TP), +c (CUDA
+    /// Graph).
+    pub fn breakdown_stages() -> Vec<SystemPolicy> {
+        let base = Self::fiddler();
+        let mut v = base.clone();
+        v.name = "+v (AVX-512 kernel)".into();
+        v.kernel_prefill = CpuKernel::KtAvx512;
+        v.kernel_decode = CpuKernel::KtAvx512;
+        v.python_overhead = false;
+        v.launches_per_layer = 60.0;
+        v.launch_latency_s = 5e-6;
+        let mut m = v.clone();
+        m.name = "+m (AMX kernel)".into();
+        m.kernel_prefill = CpuKernel::KtHybrid;
+        m.kernel_decode = CpuKernel::KtHybrid;
+        let mut d = m.clone();
+        d.name = "+d (dynamic sched)".into();
+        d.dynamic_sched = true;
+        let mut n = d.clone();
+        n.name = "+n (NUMA-aware TP)".into();
+        n.numa_aware = true;
+        let mut c = n.clone();
+        c.name = "+c (CUDA Graph)".into();
+        c.cuda_graph = true;
+        vec![base, v, m, d, n, c]
+    }
+}
+
+/// Outcome of one simulated phase.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Throughput in tokens per second.
+    pub tokens_per_s: f64,
+    /// CPU utilization (useful work / makespan).
+    pub cpu_util: f64,
+    /// GPU utilization (useful work / makespan).
+    pub gpu_util: f64,
+    /// Fraction of GPU busy time spent on launch/sync overhead.
+    pub gpu_overhead_frac: f64,
+    /// Raw simulation result (timelines etc.).
+    pub result: SimResult,
+}
+
+/// Builds and runs the simulation for a phase.
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] on empty phases or inconsistent model
+/// configurations.
+pub fn simulate(
+    policy: &SystemPolicy,
+    platform: &Platform,
+    cfg: &ModelConfig,
+    cpu_prec: Precision,
+    gpu_prec: Precision,
+    phase: Phase,
+    cal: &Calibration,
+) -> Result<PhaseReport, SimError> {
+    match phase {
+        Phase::Prefill { prompt } => {
+            if prompt == 0 {
+                return Err(SimError::config("prefill needs a nonempty prompt"));
+            }
+            let mut sim = Sim::new(N_RESOURCES);
+            let mut prev: Option<usize> = None;
+            build_forward(
+                &mut sim, policy, platform, cfg, cpu_prec, gpu_prec, prompt, 0, false, &mut prev,
+                &mut None, cal,
+            )?;
+            let result = sim.run();
+            Ok(report(result, prompt as f64))
+        }
+        Phase::Decode { prompt, steps } => simulate_with_tokens(
+            policy, platform, cfg, cpu_prec, gpu_prec, prompt, steps, 1, cal,
+        ),
+    }
+}
+
+/// Decode-style simulation with `batch` tokens per step (batch 1 is
+/// the paper's setting; `kt-hwsim::pipeline` uses larger batches).
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] on zero steps/batch.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_with_tokens(
+    policy: &SystemPolicy,
+    platform: &Platform,
+    cfg: &ModelConfig,
+    cpu_prec: Precision,
+    gpu_prec: Precision,
+    prompt: usize,
+    steps: usize,
+    batch: usize,
+    cal: &Calibration,
+) -> Result<PhaseReport, SimError> {
+    if steps == 0 || batch == 0 {
+        return Err(SimError::config("steps and batch must be nonzero"));
+    }
+    let mut sim = Sim::new(N_RESOURCES);
+    let mut prev: Option<usize> = None;
+    let mut deferred: Option<usize> = None;
+    for s in 0..steps {
+        build_forward(
+            &mut sim,
+            policy,
+            platform,
+            cfg,
+            cpu_prec,
+            gpu_prec,
+            batch,
+            prompt + s * batch,
+            true,
+            &mut prev,
+            &mut deferred,
+            cal,
+        )?;
+    }
+    let result = sim.run();
+    Ok(report(result, (steps * batch) as f64))
+}
+
+fn report(result: SimResult, tokens: f64) -> PhaseReport {
+    let tokens_per_s = if result.makespan > 0.0 {
+        tokens / result.makespan
+    } else {
+        0.0
+    };
+    PhaseReport {
+        tokens_per_s,
+        cpu_util: result.utilization(RES_CPU),
+        gpu_util: result.utilization(RES_GPU),
+        gpu_overhead_frac: result.overhead_fraction(RES_GPU),
+        result,
+    }
+}
+
+/// Appends one full forward pass (all layers + head) over `tokens` new
+/// tokens at context `ctx` to the simulation.
+#[allow(clippy::too_many_arguments)]
+fn build_forward(
+    sim: &mut Sim,
+    policy: &SystemPolicy,
+    platform: &Platform,
+    cfg: &ModelConfig,
+    cpu_prec: Precision,
+    gpu_prec: Precision,
+    tokens: usize,
+    ctx: usize,
+    decode: bool,
+    prev: &mut Option<usize>,
+    deferred_in: &mut Option<usize>,
+    cal: &Calibration,
+) -> Result<(), SimError> {
+    let gpu = &platform.gpu;
+    let cpu = &platform.cpu;
+    let large = !decode;
+    let phase = if decode {
+        KernelPhase::Decode
+    } else {
+        KernelPhase::Prefill
+    };
+    let kernel = if decode {
+        policy.kernel_decode
+    } else {
+        policy.kernel_prefill
+    };
+    let deps_of = |p: &Option<usize>| p.iter().copied().collect::<Vec<_>>();
+
+    for layer in 0..cfg.n_layers {
+        // Per-layer kernel-launch cost on the GPU stream.
+        let launch_cost = if policy.cuda_graph {
+            cal.graph_replay_layer_s
+        } else {
+            policy.launches_per_layer * policy.launch_latency_s
+        };
+        let launch = sim.push(TaskSpec::overhead(
+            RES_GPU,
+            launch_cost,
+            deps_of(prev),
+            format!("L{layer}:launch"),
+        ))?;
+
+        if layer < cfg.n_dense_layers {
+            let w = dense_layer_workload(cfg, tokens, ctx, gpu_prec);
+            let attn = sim.push(TaskSpec::work(
+                RES_GPU,
+                cal.gpu_op_time(gpu, w.attn_flops, w.attn_bytes, large),
+                vec![launch],
+                format!("L{layer}:attn"),
+            ))?;
+            let mlp = sim.push(TaskSpec::work(
+                RES_GPU,
+                cal.gpu_op_time(gpu, w.shared_flops, w.shared_bytes, large),
+                vec![attn],
+                format!("L{layer}:dense-mlp"),
+            ))?;
+            *prev = Some(mlp);
+            continue;
+        }
+
+        let mut w = moe_layer_workload(cfg, tokens, ctx, cpu_prec, gpu_prec);
+        // Popularity pinning: the covered fraction of routed activations
+        // executes on the GPU next to the shared experts instead of the
+        // CPU backend (pinned weights live in VRAM at GPU precision).
+        let cov = policy.gpu_pinned_coverage.clamp(0.0, 1.0);
+        if cov > 0.0 {
+            let moved_flops = w.routed_flops * cov;
+            let moved_bytes_gpu = w.routed_bytes * cov
+                * (gpu_prec.bytes_per_weight() / cpu_prec.bytes_per_weight());
+            w.routed_flops -= moved_flops;
+            w.routed_bytes *= 1.0 - cov;
+            w.n_active_experts *= 1.0 - cov;
+            w.shared_flops += moved_flops;
+            w.shared_bytes += moved_bytes_gpu;
+        }
+
+        // GPU attention and router.
+        let attn = sim.push(TaskSpec::work(
+            RES_GPU,
+            cal.gpu_op_time(gpu, w.attn_flops, w.attn_bytes, large),
+            vec![launch],
+            format!("L{layer}:attn"),
+        ))?;
+        let router = sim.push(TaskSpec::work(
+            RES_GPU,
+            cal.gpu_op_time(gpu, w.router_flops, w.router_flops / 2.0, false),
+            vec![attn],
+            format!("L{layer}:router"),
+        ))?;
+
+        // Submit barrier: a real sync outside CUDA graphs, an in-stream
+        // host callback inside them.
+        let submit_cost = if policy.cuda_graph {
+            cal.hostfunc_latency_s
+        } else {
+            cal.sync_latency_s
+        };
+        let submit = sim.push(TaskSpec::overhead(
+            RES_GPU,
+            submit_cost,
+            vec![router],
+            format!("L{layer}:submit"),
+        ))?;
+
+        // Ship activations to the CPU.
+        let xfer = sim.push(TaskSpec::work(
+            RES_PCIE,
+            cal.pcie_time(w.transfer_bytes, platform.pcie_gbs),
+            vec![submit],
+            format!("L{layer}:h2d... d2h"),
+        ))?;
+
+        // CPU routed experts, split into immediate and deferred parts.
+        let top_k = cfg.top_k.max(1);
+        let n_def = if decode {
+            policy.n_deferred.min(top_k.saturating_sub(1))
+        } else {
+            0
+        };
+        let imm_frac = (top_k - n_def) as f64 / top_k as f64;
+        let python = if policy.python_overhead {
+            cal.python_layer_overhead_s
+        } else {
+            0.0
+        };
+        // The PyTorch module path (Fiddler) re-reads intermediates and
+        // launches unfused ops; its kernels see inflated work.
+        let unfused = if policy.python_overhead {
+            cal.torch_unfused_factor
+        } else {
+            1.0
+        };
+        let make_op = |frac: f64| CpuMoeOp {
+            tokens_per_expert: w.tokens_per_expert,
+            n_active_experts: w.n_active_experts * frac,
+            flops: w.routed_flops * frac * unfused,
+            bytes: w.routed_bytes * frac * unfused,
+        };
+        let cpu_imm = if policy.weight_offloading {
+            // §2.1 baseline: stream the activated experts' weights over
+            // PCIe and run the expert GEMMs on the GPU.
+            let weight_xfer = sim.push(TaskSpec::work(
+                RES_PCIE,
+                cal.pcie_time(w.routed_bytes * imm_frac, platform.pcie_gbs),
+                vec![xfer],
+                format!("L{layer}:weight-h2d"),
+            ))?;
+            sim.push(TaskSpec::work(
+                RES_GPU,
+                cal.gpu_op_time(gpu, w.routed_flops * imm_frac, w.routed_bytes * imm_frac, large),
+                vec![weight_xfer],
+                format!("L{layer}:experts-on-gpu"),
+            ))?
+        } else {
+            let imm_time = cal.cpu_moe_time(
+                kernel,
+                &make_op(imm_frac),
+                cpu,
+                policy.numa_aware,
+                policy.dynamic_sched,
+                phase,
+            ) + python;
+            sim.push(TaskSpec::work(
+                RES_CPU,
+                imm_time,
+                vec![xfer],
+                format!("L{layer}:experts-imm"),
+            ))?
+        };
+
+        // GPU shared experts overlap the CPU work.
+        let shared = sim.push(TaskSpec::work(
+            RES_GPU,
+            cal.gpu_op_time(gpu, w.shared_flops, w.shared_bytes, large),
+            vec![router],
+            format!("L{layer}:shared"),
+        ))?;
+
+        // Immediate results return to the GPU.
+        let xfer_back = sim.push(TaskSpec::work(
+            RES_PCIE,
+            cal.pcie_time(w.transfer_bytes, platform.pcie_gbs),
+            vec![cpu_imm],
+            format!("L{layer}:d2h"),
+        ))?;
+        let sync_cost = if policy.cuda_graph {
+            cal.hostfunc_latency_s
+        } else {
+            cal.sync_latency_s
+        };
+        let sync = sim.push(TaskSpec::overhead(
+            RES_GPU,
+            sync_cost,
+            vec![xfer_back],
+            format!("L{layer}:sync"),
+        ))?;
+
+        // Merge: needs shared experts, immediate experts, and the
+        // PREVIOUS layer's deferred experts (their output lands here).
+        let mut merge_deps = vec![shared, sync];
+        if let Some(d) = deferred_in.take() {
+            merge_deps.push(d);
+        }
+        let merge = sim.push(TaskSpec::work(
+            RES_GPU,
+            1e-6,
+            merge_deps,
+            format!("L{layer}:merge"),
+        ))?;
+
+        // Deferred experts execute after the immediate batch on the CPU
+        // queue, overlapping the NEXT layer's GPU work; their result
+        // merges one layer later. They are submitted after this layer's
+        // merge so the in-order PCIe/GPU queues never head-of-line
+        // block the immediate path behind deferred work.
+        let deferred_new = if n_def > 0 {
+            let def_time = cal.cpu_moe_time(
+                kernel,
+                &make_op(1.0 - imm_frac),
+                cpu,
+                policy.numa_aware,
+                policy.dynamic_sched,
+                phase,
+            );
+            let cpu_def = sim.push(TaskSpec::work(
+                RES_CPU,
+                def_time,
+                vec![xfer],
+                format!("L{layer}:experts-def"),
+            ))?;
+            let def_xfer = sim.push(TaskSpec::work(
+                RES_PCIE,
+                cal.pcie_time(w.transfer_bytes, platform.pcie_gbs),
+                vec![cpu_def],
+                format!("L{layer}:def-d2h"),
+            ))?;
+            Some(def_xfer)
+        } else {
+            None
+        };
+        *deferred_in = deferred_new;
+        *prev = Some(merge);
+    }
+
+    // Any deferral left at the last layer must complete before the LM
+    // head (the paper disables deferral at the final layer; workloads
+    // equivalently merge it here).
+    let (hf, hb) = head_workload(cfg, tokens, gpu_prec);
+    let mut deps = deps_of(prev);
+    if let Some(d) = deferred_in.take() {
+        deps.push(d);
+    }
+    let head = sim.push(TaskSpec::work(
+        RES_GPU,
+        cal.gpu_op_time(&platform.gpu, hf, hb, large),
+        deps,
+        "head",
+    ))?;
+    *prev = Some(head);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kt_model::ModelPreset;
+
+    fn ds3() -> ModelConfig {
+        ModelPreset::DeepSeekV3.full_config()
+    }
+
+    fn run_decode(policy: &SystemPolicy) -> PhaseReport {
+        simulate(
+            policy,
+            &Platform::a100_dual_xeon(),
+            &ds3(),
+            Precision::Bf16,
+            Precision::Bf16,
+            Phase::Decode {
+                prompt: 32,
+                steps: 8,
+            },
+            &Calibration::default(),
+        )
+        .unwrap()
+    }
+
+    fn run_prefill(policy: &SystemPolicy, prompt: usize) -> PhaseReport {
+        simulate(
+            policy,
+            &Platform::a100_dual_xeon(),
+            &ds3(),
+            Precision::Bf16,
+            Precision::Bf16,
+            Phase::Prefill { prompt },
+            &Calibration::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn decode_ordering_matches_paper() {
+        // Figure 12 (DS-3, A100 BF16): Fiddler < Llama.cpp < KT < KT+defer.
+        let fiddler = run_decode(&SystemPolicy::fiddler()).tokens_per_s;
+        let llama = run_decode(&SystemPolicy::llamacpp()).tokens_per_s;
+        let kt = run_decode(&SystemPolicy::ktransformers()).tokens_per_s;
+        let kt_def = run_decode(&SystemPolicy::ktransformers_deferred(3)).tokens_per_s;
+        assert!(
+            fiddler < llama && llama < kt && kt < kt_def,
+            "fiddler={fiddler:.2} llama={llama:.2} kt={kt:.2} kt_def={kt_def:.2}"
+        );
+        // Absolute anchors (loose): Fiddler ~2-5 tok/s, KT ~5-9 tok/s.
+        assert!(fiddler > 1.0 && fiddler < 6.0, "fiddler={fiddler}");
+        assert!(kt > 4.0 && kt < 10.0, "kt={kt}");
+        // Deferral gain bounded by the paper's observed range (<= 45%).
+        let gain = kt_def / kt;
+        assert!(gain > 1.1 && gain < 1.5, "gain={gain}");
+    }
+
+    #[test]
+    fn decode_utilization_matches_figure10() {
+        // §4.2: without deferral CPU ~74% / GPU ~28%; with 3 deferred
+        // experts CPU approaches saturation.
+        let kt = run_decode(&SystemPolicy::ktransformers());
+        assert!(kt.cpu_util > 0.55 && kt.cpu_util < 0.9, "cpu={}", kt.cpu_util);
+        assert!(kt.gpu_util > 0.1 && kt.gpu_util < 0.5, "gpu={}", kt.gpu_util);
+        let kt_def = run_decode(&SystemPolicy::ktransformers_deferred(3));
+        assert!(kt_def.cpu_util > kt.cpu_util);
+        assert!(kt_def.cpu_util > 0.85, "cpu={}", kt_def.cpu_util);
+        assert!(kt_def.gpu_util > kt.gpu_util);
+    }
+
+    #[test]
+    fn fiddler_gpu_overhead_fraction_matches_figure4() {
+        // Figure 4: launch overhead ~73% of Fiddler's GPU busy time and
+        // ~21% of llama.cpp's; KT's graph mode eliminates it.
+        let fiddler = run_decode(&SystemPolicy::fiddler());
+        assert!(
+            fiddler.gpu_overhead_frac > 0.5 && fiddler.gpu_overhead_frac < 0.9,
+            "{}",
+            fiddler.gpu_overhead_frac
+        );
+        let llama = run_decode(&SystemPolicy::llamacpp());
+        assert!(
+            llama.gpu_overhead_frac > 0.1 && llama.gpu_overhead_frac < 0.4,
+            "{}",
+            llama.gpu_overhead_frac
+        );
+        let kt = run_decode(&SystemPolicy::ktransformers());
+        assert!(kt.gpu_overhead_frac < 0.02, "{}", kt.gpu_overhead_frac);
+    }
+
+    #[test]
+    fn prefill_ordering_matches_paper() {
+        // Figure 11: KT beats both baselines at all prompt lengths;
+        // llama.cpp beats Fiddler at short prompts, Fiddler wins at long
+        // prompts (oneDNN AMX).
+        for prompt in [32usize, 8192] {
+            let fiddler = run_prefill(&SystemPolicy::fiddler(), prompt).tokens_per_s;
+            let llama = run_prefill(&SystemPolicy::llamacpp(), prompt).tokens_per_s;
+            let kt = run_prefill(&SystemPolicy::ktransformers(), prompt).tokens_per_s;
+            assert!(kt > fiddler && kt > llama, "prompt={prompt}");
+            if prompt <= 32 {
+                assert!(llama > fiddler, "short prompts favor llama.cpp");
+            } else {
+                assert!(fiddler > llama, "long prompts favor Fiddler's AMX");
+            }
+        }
+    }
+
+    #[test]
+    fn prefill_anchor_fiddler_70_tokens_per_s() {
+        // §1: the Fiddler-style baseline prefills DS-3 at ~70 tok/s.
+        let fiddler = run_prefill(&SystemPolicy::fiddler(), 8192).tokens_per_s;
+        assert!(fiddler > 35.0 && fiddler < 160.0, "fiddler={fiddler}");
+    }
+
+    #[test]
+    fn prefill_speedup_in_paper_range() {
+        // §1: 4.62-19.74x prefill speedups (here vs the weaker baseline
+        // at this prompt length).
+        let p = 8192;
+        let kt = run_prefill(&SystemPolicy::ktransformers(), p).tokens_per_s;
+        let base = run_prefill(&SystemPolicy::fiddler(), p)
+            .tokens_per_s
+            .min(run_prefill(&SystemPolicy::llamacpp(), p).tokens_per_s);
+        let speedup = kt / base;
+        assert!(speedup > 4.0 && speedup < 25.0, "speedup={speedup}");
+    }
+
+    #[test]
+    fn breakdown_stages_are_monotonic_in_decode() {
+        // Figure 14b: each added optimization should not hurt decode.
+        let stages = SystemPolicy::breakdown_stages();
+        let mut last = 0.0;
+        for (i, s) in stages.iter().enumerate() {
+            let t = run_decode(s).tokens_per_s;
+            // AMX-over-AVX (stage 2) may tie in decode since the hybrid
+            // picks AVX anyway; allow tiny regressions from noise-free
+            // model differences.
+            assert!(
+                t >= last * 0.98,
+                "stage {i} ({}) regressed: {t} < {last}",
+                s.name
+            );
+            last = t;
+        }
+    }
+
+    #[test]
+    fn deferral_is_disabled_in_prefill() {
+        let kt = run_prefill(&SystemPolicy::ktransformers(), 512).tokens_per_s;
+        let kt_def = run_prefill(&SystemPolicy::ktransformers_deferred(3), 512).tokens_per_s;
+        assert!((kt - kt_def).abs() / kt < 1e-9);
+    }
+
+    #[test]
+    fn invalid_phases_error() {
+        let p = SystemPolicy::ktransformers();
+        let plat = Platform::a100_dual_xeon();
+        let cal = Calibration::default();
+        assert!(simulate(
+            &p,
+            &plat,
+            &ds3(),
+            Precision::Bf16,
+            Precision::Bf16,
+            Phase::Prefill { prompt: 0 },
+            &cal
+        )
+        .is_err());
+        assert!(simulate(
+            &p,
+            &plat,
+            &ds3(),
+            Precision::Bf16,
+            Precision::Bf16,
+            Phase::Decode {
+                prompt: 0,
+                steps: 0
+            },
+            &cal
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn weight_offloading_is_pcie_bound() {
+        // §2.1: compute offloading beats shipping weights over PCIe by
+        // roughly the DRAM-vs-PCIe bandwidth ratio.
+        let weight = run_decode(&SystemPolicy::weight_offloading()).tokens_per_s;
+        let compute = run_decode(&SystemPolicy::ktransformers()).tokens_per_s;
+        let adv = compute / weight;
+        assert!(adv > 5.0 && adv < 20.0, "advantage={adv}");
+        // Sanity: the PCIe-bound rate is near bytes/bandwidth: 58 layers
+        // x 704 MB / 32 GB/s ~ 1.28 s/token.
+        assert!(weight > 0.4 && weight < 1.5, "weight={weight}");
+    }
+
+    #[test]
+    fn quantized_decode_is_faster() {
+        // Quantization shrinks the streamed bytes, so decode speeds up.
+        let plat = Platform::rtx4080_dual_xeon();
+        let cal = Calibration::default();
+        let cfg = ds3();
+        let run = |prec: Precision| {
+            simulate(
+                &SystemPolicy::ktransformers(),
+                &plat,
+                &cfg,
+                prec,
+                prec,
+                Phase::Decode {
+                    prompt: 32,
+                    steps: 4,
+                },
+                &cal,
+            )
+            .unwrap()
+            .tokens_per_s
+        };
+        let bf16 = run(Precision::Bf16);
+        let int4 = run(Precision::Int4);
+        assert!(int4 > bf16 * 2.0, "int4={int4} bf16={bf16}");
+    }
+}

@@ -1,0 +1,291 @@
+//! Per-layer FLOP/byte workloads derived from model configurations.
+//!
+//! Translates a full-scale [`ModelConfig`] (Table 1) plus a phase
+//! description (how many new tokens, at what context length, with which
+//! weight precision) into the operation sizes the cost models consume.
+
+use kt_model::{AttentionKind, ModelConfig};
+
+/// Weight precision of a deployment (determines streamed bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Precision {
+    /// BF16/FP16 full-precision deployment.
+    Bf16,
+    /// Int8 quantized experts (DS-2/QW-2 on RTX 4080 in §6.1).
+    Int8,
+    /// Int4 quantized experts (DS-3 on RTX 4080 in §6.1).
+    Int4,
+}
+
+impl Precision {
+    /// Bytes per weight (including group-scale overhead for integer
+    /// formats at the paper's typical group sizes).
+    pub fn bytes_per_weight(self) -> f64 {
+        match self {
+            Precision::Bf16 => 2.0,
+            Precision::Int8 => 8.5 / 8.0,
+            Precision::Int4 => 4.5 / 8.0,
+        }
+    }
+
+    /// Display name matching the paper's labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            Precision::Bf16 => "BF16",
+            Precision::Int8 => "Int8",
+            Precision::Int4 => "Int4",
+        }
+    }
+}
+
+/// Cost-relevant sizes of one transformer layer's execution over a
+/// group of new tokens.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerWorkload {
+    /// New tokens processed.
+    pub tokens: f64,
+    /// GPU attention FLOPs (projections + score/value matmuls).
+    pub attn_flops: f64,
+    /// GPU attention bytes (weights + KV cache traffic).
+    pub attn_bytes: f64,
+    /// GPU shared-expert FLOPs.
+    pub shared_flops: f64,
+    /// GPU shared-expert bytes.
+    pub shared_bytes: f64,
+    /// GPU router FLOPs (gate projection; tiny).
+    pub router_flops: f64,
+    /// CPU routed-expert FLOPs.
+    pub routed_flops: f64,
+    /// CPU routed-expert bytes (weights streamed from DRAM).
+    pub routed_bytes: f64,
+    /// Tokens per activated expert (the ARI axis).
+    pub tokens_per_expert: f64,
+    /// Distinct experts activated (expected value).
+    pub n_active_experts: f64,
+    /// Activation bytes shipped over PCIe per direction.
+    pub transfer_bytes: f64,
+}
+
+/// Expected number of distinct experts hit by `n_draws` uniform top-k
+/// draws over `n_experts` experts (balanced routing assumption — the
+/// design goal of MoE load-balancing losses).
+pub fn expected_active_experts(n_experts: usize, n_draws: f64) -> f64 {
+    let n = n_experts as f64;
+    if n_draws <= 0.0 {
+        return 0.0;
+    }
+    n * (1.0 - (1.0 - 1.0 / n).powf(n_draws))
+}
+
+/// Attention parameter count per layer (mirrors
+/// `ModelConfig::gpu_params`' decomposition).
+pub fn attn_params(cfg: &ModelConfig) -> f64 {
+    let hidden = cfg.hidden as f64;
+    let hd = (cfg.n_heads * cfg.head_dim) as f64;
+    match cfg.attention {
+        AttentionKind::Gqa { kv_heads } => {
+            2.0 * hidden * hd + 2.0 * hidden * (kv_heads * cfg.head_dim) as f64
+        }
+        AttentionKind::Mla { kv_lora_rank } => {
+            let r = kv_lora_rank as f64;
+            hidden * r + r * hd + hidden * r + r * 2.0 * hd + hd * hidden
+        }
+    }
+}
+
+/// KV cache row bytes per position (what decode attention streams).
+pub fn kv_row_bytes(cfg: &ModelConfig, gpu_bytes_per_w: f64) -> f64 {
+    match cfg.attention {
+        AttentionKind::Gqa { kv_heads } => {
+            2.0 * (kv_heads * cfg.head_dim) as f64 * gpu_bytes_per_w
+        }
+        AttentionKind::Mla { kv_lora_rank } => kv_lora_rank as f64 * gpu_bytes_per_w,
+    }
+}
+
+/// Builds the workload of one **MoE** layer processing `tokens` new
+/// tokens at context length `ctx` (positions already cached), with
+/// experts stored at `cpu_prec` and GPU weights at `gpu_prec`.
+pub fn moe_layer_workload(
+    cfg: &ModelConfig,
+    tokens: usize,
+    ctx: usize,
+    cpu_prec: Precision,
+    gpu_prec: Precision,
+) -> LayerWorkload {
+    let t = tokens as f64;
+    let hidden = cfg.hidden as f64;
+    let mi = cfg.moe_inter as f64;
+    let gpu_b = gpu_prec.bytes_per_weight();
+    let cpu_b = cpu_prec.bytes_per_weight();
+
+    // Attention: weight matmuls are 2*params*T; score/value matmuls are
+    // 2 * sum over new tokens of (context length) * heads * 2*head_dim.
+    let params = attn_params(cfg);
+    let avg_ctx = ctx as f64 + (t + 1.0) / 2.0;
+    let attn_flops = 2.0 * params * t
+        + 2.0 * t * avg_ctx * (cfg.n_heads * cfg.head_dim) as f64 * 2.0;
+    let attn_bytes = params * gpu_b + t * avg_ctx.min(cfg.max_seq as f64)
+        * kv_row_bytes(cfg, gpu_b).min(1e18);
+
+    // Shared experts (always active on GPU).
+    let shared = cfg.n_shared_experts as f64;
+    let shared_flops = t * shared * 3.0 * 2.0 * hidden * mi;
+    let shared_bytes = shared * 3.0 * hidden * mi * gpu_b + t * hidden * 4.0;
+
+    // Router.
+    let router_flops = 2.0 * t * cfg.n_routed_experts as f64 * hidden;
+
+    // Routed experts (CPU): balanced top-k routing.
+    let draws = t * cfg.top_k as f64;
+    let n_active = expected_active_experts(cfg.n_routed_experts, draws);
+    let tokens_per_expert = if n_active > 0.0 { draws / n_active } else { 0.0 };
+    let routed_flops = draws * 3.0 * 2.0 * hidden * mi;
+    let routed_bytes = n_active * 3.0 * hidden * mi * cpu_b
+        + draws * (hidden + mi) * 4.0; // activations in f32
+
+    LayerWorkload {
+        tokens: t,
+        attn_flops,
+        attn_bytes,
+        shared_flops,
+        shared_bytes,
+        router_flops,
+        routed_flops,
+        routed_bytes,
+        tokens_per_expert,
+        n_active_experts: n_active,
+        transfer_bytes: t * hidden * 4.0,
+    }
+}
+
+/// Builds the workload of one **dense** layer (leading DeepSeek layers;
+/// everything runs on the GPU).
+pub fn dense_layer_workload(
+    cfg: &ModelConfig,
+    tokens: usize,
+    ctx: usize,
+    gpu_prec: Precision,
+) -> LayerWorkload {
+    let t = tokens as f64;
+    let hidden = cfg.hidden as f64;
+    let di = cfg.dense_inter as f64;
+    let gpu_b = gpu_prec.bytes_per_weight();
+    let params = attn_params(cfg);
+    let avg_ctx = ctx as f64 + (t + 1.0) / 2.0;
+    let attn_flops = 2.0 * params * t
+        + 2.0 * t * avg_ctx * (cfg.n_heads * cfg.head_dim) as f64 * 2.0;
+    let attn_bytes = params * gpu_b + t * avg_ctx * kv_row_bytes(cfg, gpu_b);
+    LayerWorkload {
+        tokens: t,
+        attn_flops,
+        attn_bytes,
+        shared_flops: t * 3.0 * 2.0 * hidden * di,
+        shared_bytes: 3.0 * hidden * di * gpu_b,
+        router_flops: 0.0,
+        routed_flops: 0.0,
+        routed_bytes: 0.0,
+        tokens_per_expert: 0.0,
+        n_active_experts: 0.0,
+        transfer_bytes: 0.0,
+    }
+}
+
+/// GPU head/embedding work per forward (LM head dominates).
+pub fn head_workload(cfg: &ModelConfig, tokens: usize, gpu_prec: Precision) -> (f64, f64) {
+    let t = tokens as f64;
+    let flops = 2.0 * t * cfg.vocab as f64 * cfg.hidden as f64;
+    let bytes = cfg.vocab as f64 * cfg.hidden as f64 * gpu_prec.bytes_per_weight();
+    (flops, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kt_model::ModelPreset;
+
+    #[test]
+    fn expected_active_experts_limits() {
+        // One draw hits exactly one expert.
+        assert!((expected_active_experts(256, 1.0) - 1.0).abs() < 1e-6);
+        // Many draws saturate the pool.
+        assert!(expected_active_experts(256, 1e6) > 255.9);
+        // Monotone in draws.
+        let a = expected_active_experts(64, 8.0);
+        let b = expected_active_experts(64, 64.0);
+        assert!(a < b && b < 64.0);
+        assert_eq!(expected_active_experts(64, 0.0), 0.0);
+    }
+
+    #[test]
+    fn ds3_decode_layer_streams_all_activated_expert_bytes() {
+        let cfg = ModelPreset::DeepSeekV3.full_config();
+        let w = moe_layer_workload(&cfg, 1, 32, Precision::Bf16, Precision::Bf16);
+        // 8 experts x 3 x 7168 x 2048 x 2 bytes ~ 704 MB.
+        assert!((w.routed_bytes / 1e6 - 704.6).abs() < 10.0, "{}", w.routed_bytes / 1e6);
+        assert!((w.tokens_per_expert - 1.0).abs() < 0.02);
+        assert!((w.n_active_experts - 8.0).abs() < 0.2);
+        // Routed flops: 8 x 3 x 2 x 7168 x 2048 ~ 0.70 GFLOP.
+        assert!((w.routed_flops / 1e9 - 0.705).abs() < 0.02);
+    }
+
+    #[test]
+    fn ds3_prefill_layer_is_high_ari() {
+        let cfg = ModelPreset::DeepSeekV3.full_config();
+        let w = moe_layer_workload(&cfg, 8192, 0, Precision::Bf16, Precision::Bf16);
+        // 8192 x 8 / 256 = 256 tokens per expert on average.
+        assert!(w.tokens_per_expert > 200.0, "{}", w.tokens_per_expert);
+        assert!(w.n_active_experts > 255.0);
+        // 5.77 TFLOP of routed work per layer.
+        assert!((w.routed_flops / 1e12 - 5.77).abs() < 0.2);
+        // All 256 experts streamed (~22.5 GB) plus ~2.4 GB activations.
+        assert!((w.routed_bytes / 1e9 - 25.0).abs() < 1.5, "{}", w.routed_bytes / 1e9);
+    }
+
+    #[test]
+    fn quantization_shrinks_cpu_bytes_only() {
+        let cfg = ModelPreset::DeepSeekV3.full_config();
+        let bf = moe_layer_workload(&cfg, 1, 32, Precision::Bf16, Precision::Bf16);
+        let q4 = moe_layer_workload(&cfg, 1, 32, Precision::Int4, Precision::Bf16);
+        assert!(q4.routed_bytes < bf.routed_bytes * 0.35);
+        assert_eq!(q4.routed_flops, bf.routed_flops);
+        assert_eq!(q4.attn_bytes, bf.attn_bytes);
+    }
+
+    #[test]
+    fn mla_kv_rows_are_compressed() {
+        let ds3 = ModelPreset::DeepSeekV3.full_config();
+        let qw2 = ModelPreset::Qwen2Moe.full_config();
+        let mla = kv_row_bytes(&ds3, 2.0);
+        let gqa = kv_row_bytes(&qw2, 2.0);
+        assert_eq!(mla, 512.0 * 2.0);
+        assert_eq!(gqa, 2.0 * 4.0 * 128.0 * 2.0);
+    }
+
+    #[test]
+    fn attention_grows_quadratically_with_prompt() {
+        let cfg = ModelPreset::Qwen2Moe.full_config();
+        let short = moe_layer_workload(&cfg, 1024, 0, Precision::Bf16, Precision::Bf16);
+        let long = moe_layer_workload(&cfg, 8192, 0, Precision::Bf16, Precision::Bf16);
+        let ratio = (long.attn_flops / 8.0) / short.attn_flops;
+        assert!(ratio > 1.5, "per-token attention flops must grow, ratio={ratio}");
+    }
+
+    #[test]
+    fn dense_layer_has_no_cpu_work() {
+        let cfg = ModelPreset::DeepSeekV3.full_config();
+        let w = dense_layer_workload(&cfg, 16, 0, Precision::Bf16);
+        assert_eq!(w.routed_flops, 0.0);
+        assert_eq!(w.routed_bytes, 0.0);
+        assert!(w.shared_flops > 0.0);
+    }
+
+    #[test]
+    fn head_workload_scales_with_tokens() {
+        let cfg = ModelPreset::DeepSeekV2.full_config();
+        let (f1, b1) = head_workload(&cfg, 1, Precision::Bf16);
+        let (f8, b8) = head_workload(&cfg, 8, Precision::Bf16);
+        assert!((f8 / f1 - 8.0).abs() < 1e-9);
+        assert_eq!(b1, b8);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the discrete-event engine's scheduling
+//! invariants over randomly generated task graphs.
+
+use kt_hwsim::{Sim, TaskSpec};
+use proptest::prelude::*;
+
+/// A random DAG: each task picks a resource, a duration and backward
+/// dependencies.
+#[derive(Debug, Clone)]
+struct RandomGraph {
+    n_resources: usize,
+    tasks: Vec<(usize, f64, Vec<usize>)>,
+}
+
+fn graph_strategy() -> impl Strategy<Value = RandomGraph> {
+    (1usize..4, 1usize..24).prop_flat_map(|(n_resources, n_tasks)| {
+        let task =
+            move |id: usize| {
+                (
+                    0..n_resources,
+                    0.0f64..5.0,
+                    proptest::collection::vec(0..id.max(1), 0..3.min(id + 1)),
+                )
+            };
+        let mut tasks = Vec::new();
+        for id in 0..n_tasks {
+            tasks.push(task(id));
+        }
+        tasks.prop_map(move |tasks| RandomGraph {
+            n_resources,
+            tasks,
+        })
+    })
+}
+
+fn build(g: &RandomGraph) -> Sim {
+    let mut sim = Sim::new(g.n_resources);
+    for (i, (r, d, deps)) in g.tasks.iter().enumerate() {
+        let deps: Vec<usize> = deps.iter().copied().filter(|&x| x < i).collect();
+        sim.push(TaskSpec::work(*r, *d, deps, format!("t{i}")))
+            .unwrap();
+    }
+    sim
+}
+
+/// Longest dependency chain length (sum of durations), a makespan lower
+/// bound for any valid schedule.
+fn critical_path(g: &RandomGraph) -> f64 {
+    let mut depth = vec![0.0f64; g.tasks.len()];
+    for (i, (_, d, deps)) in g.tasks.iter().enumerate() {
+        let base = deps
+            .iter()
+            .filter(|&&x| x < i)
+            .map(|&x| depth[x])
+            .fold(0.0f64, f64::max);
+        depth[i] = base + d;
+    }
+    depth.into_iter().fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Both schedulers respect the two fundamental lower bounds: the
+    /// critical path and the busiest resource's total work.
+    #[test]
+    fn makespan_respects_lower_bounds(g in graph_strategy()) {
+        let sim = build(&g);
+        let cp = critical_path(&g);
+        let mut per_resource = vec![0.0f64; g.n_resources];
+        for (r, d, _) in &g.tasks {
+            per_resource[*r] += d;
+        }
+        let busiest = per_resource.iter().fold(0.0f64, |m, &x| m.max(x));
+        for result in [sim.run(), sim.run_out_of_order()] {
+            prop_assert!(result.makespan >= cp - 1e-9, "cp {cp} vs {}", result.makespan);
+            prop_assert!(result.makespan >= busiest - 1e-9);
+        }
+    }
+
+    /// Total busy time is schedule-independent, and utilization never
+    /// exceeds 1.
+    #[test]
+    fn busy_time_is_conserved(g in graph_strategy()) {
+        let sim = build(&g);
+        let fifo = sim.run();
+        let ooo = sim.run_out_of_order();
+        for r in 0..g.n_resources {
+            prop_assert!((fifo.work_busy[r] - ooo.work_busy[r]).abs() < 1e-9);
+            prop_assert!(fifo.utilization(r) <= 1.0 + 1e-9);
+            prop_assert!(ooo.utilization(r) <= 1.0 + 1e-9);
+        }
+    }
+
+    /// Every task finishes after all of its dependencies, in both
+    /// schedulers.
+    #[test]
+    fn dependencies_are_respected(g in graph_strategy()) {
+        let sim = build(&g);
+        for result in [sim.run(), sim.run_out_of_order()] {
+            for (i, (_, d, deps)) in g.tasks.iter().enumerate() {
+                for &dep in deps.iter().filter(|&&x| x < i) {
+                    prop_assert!(
+                        result.finish[i] >= result.finish[dep] + d - 1e-9,
+                        "task {i} finished before its dependency {dep} plus itself"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Timeline segments on one resource never overlap (a resource runs
+    /// one task at a time), in both schedulers.
+    #[test]
+    fn timelines_have_no_overlap(g in graph_strategy()) {
+        let sim = build(&g);
+        for result in [sim.run(), sim.run_out_of_order()] {
+            for lane in &result.timelines {
+                let mut sorted: Vec<(f64, f64)> =
+                    lane.iter().map(|s| (s.start, s.end)).collect();
+                sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+                for w in sorted.windows(2) {
+                    prop_assert!(w[1].0 >= w[0].1 - 1e-9, "overlap: {w:?}");
+                }
+            }
+        }
+    }
+}

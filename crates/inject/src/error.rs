@@ -1,0 +1,78 @@
+//! Error type for the injection framework.
+
+use std::fmt;
+
+/// Errors produced while parsing configuration or rewriting trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectError {
+    /// YAML syntax error.
+    Yaml {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        what: String,
+    },
+    /// Invalid regex pattern.
+    Pattern {
+        /// The offending pattern text.
+        pattern: String,
+        /// Human-readable description.
+        what: String,
+    },
+    /// Malformed rule structure.
+    Rule {
+        /// Human-readable description.
+        what: String,
+    },
+    /// Replacement class not present in the operator registry.
+    UnknownOperator {
+        /// The unknown class name.
+        class: String,
+    },
+}
+
+impl InjectError {
+    /// Convenience constructor for [`InjectError::Yaml`].
+    pub fn yaml(line: usize, what: impl Into<String>) -> Self {
+        InjectError::Yaml {
+            line,
+            what: what.into(),
+        }
+    }
+
+    /// Convenience constructor for [`InjectError::Rule`].
+    pub fn rule(what: impl Into<String>) -> Self {
+        InjectError::Rule { what: what.into() }
+    }
+}
+
+impl fmt::Display for InjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectError::Yaml { line, what } => write!(f, "YAML error at line {line}: {what}"),
+            InjectError::Pattern { pattern, what } => {
+                write!(f, "invalid pattern '{pattern}': {what}")
+            }
+            InjectError::Rule { what } => write!(f, "invalid rule: {what}"),
+            InjectError::UnknownOperator { class } => {
+                write!(f, "unknown operator class '{class}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InjectError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        assert!(InjectError::yaml(3, "bad indent").to_string().contains("line 3"));
+        let e = InjectError::UnknownOperator {
+            class: "Nope".into(),
+        };
+        assert!(e.to_string().contains("Nope"));
+    }
+}

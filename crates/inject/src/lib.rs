@@ -1,0 +1,51 @@
+//! Flexible module injection framework (§5).
+//!
+//! KTransformers adapts a stock HuggingFace model by walking its module
+//! tree and swapping matched modules for optimized implementations; a
+//! single YAML file drives the process. This crate reproduces that
+//! pipeline end to end, dependency-free:
+//!
+//! * [`yaml`] — a hand-rolled parser for the YAML subset the paper's
+//!   configurations use (block lists, nested maps, quoted scalars,
+//!   comments).
+//! * [`pattern`] — a small backtracking regex engine covering the
+//!   constructs of Listing 1: anchors, literals, escaped dots, `.`,
+//!   `*`, and negative lookahead (`^(?!lm_head$).*`).
+//! * [`tree`] — the module tree of a model (HuggingFace-style paths and
+//!   class names), generated from a `kt_model::ModelConfig`.
+//! * [`rules`] — match clauses (name regex and/or class), replace
+//!   clauses (class, device, kwargs), rule parsing from YAML, and the
+//!   recursive tree-rewriting pass ("whenever a module satisfies a
+//!   match clause it is replaced ... and traversal continues
+//!   recursively").
+//! * [`registry`] — the operator registry that validates replacement
+//!   classes (FusedMoE, FlashInferMLA, MarlinLinear, ...).
+
+pub mod error;
+pub mod pattern;
+pub mod registry;
+pub mod rules;
+pub mod tree;
+pub mod yaml;
+
+pub use error::InjectError;
+pub use pattern::Pattern;
+pub use registry::OperatorRegistry;
+pub use rules::{InjectionReport, MatchClause, ReplaceClause, Rule};
+pub use tree::{ModuleNode, ModuleTree};
+pub use yaml::Value;
+
+/// Parses a rule file and applies it to a module tree, validating the
+/// replacement classes against `registry`.
+///
+/// # Errors
+///
+/// Propagates parse, pattern and registry errors.
+pub fn inject(
+    tree: &mut ModuleTree,
+    yaml_text: &str,
+    registry: &OperatorRegistry,
+) -> Result<InjectionReport, InjectError> {
+    let rules = rules::parse_rules(yaml_text)?;
+    rules::apply_rules(tree, &rules, registry)
+}

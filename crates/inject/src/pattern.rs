@@ -1,0 +1,283 @@
+//! A small backtracking regex engine for module-name matching.
+//!
+//! Supports exactly the constructs the paper's configurations use
+//! (Listing 1): `^` / `$` anchors, literal characters, escaped
+//! metacharacters (`\.`), the `.` wildcard, the `*` quantifier, and
+//! negative lookahead groups (`^(?!lm_head$).*`). Matching uses `search`
+//! semantics: an unanchored pattern may match anywhere in the string.
+
+use crate::error::InjectError;
+
+/// One compiled pattern element.
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    /// A literal character.
+    Lit(char),
+    /// `.` — any single character.
+    Any,
+    /// `X*` — zero or more of the inner element.
+    Star(Box<Tok>),
+    /// `(?!...)` — succeeds iff the inner pattern does NOT match here.
+    NegLookahead(Vec<Tok>),
+    /// `$` — end of input.
+    End,
+}
+
+/// A compiled name pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    toks: Vec<Tok>,
+    anchored_start: bool,
+    source: String,
+}
+
+impl Pattern {
+    /// Compiles a pattern.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kt_inject::Pattern;
+    ///
+    /// let p = Pattern::compile(r"^model\.layers\..*\.self_attn$").unwrap();
+    /// assert!(p.is_match("model.layers.12.self_attn"));
+    /// assert!(!p.is_match("model.layers.12.mlp"));
+    ///
+    /// // Negative lookahead, as used by Listing 1's lm_head exclusion.
+    /// let p = Pattern::compile(r"^(?!lm_head$).*").unwrap();
+    /// assert!(p.is_match("model.norm"));
+    /// assert!(!p.is_match("lm_head"));
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InjectError::Pattern`] on unsupported or malformed
+    /// syntax.
+    pub fn compile(src: &str) -> Result<Self, InjectError> {
+        let chars: Vec<char> = src.chars().collect();
+        let mut pos = 0;
+        let anchored_start = chars.first() == Some(&'^');
+        if anchored_start {
+            pos = 1;
+        }
+        let toks = parse_seq(&chars, &mut pos, src, false)?;
+        if pos != chars.len() {
+            return Err(err(src, format!("unexpected ')' at offset {pos}")));
+        }
+        Ok(Pattern {
+            toks,
+            anchored_start,
+            source: src.to_string(),
+        })
+    }
+
+    /// The original pattern text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Whether the pattern matches anywhere in `text` (search
+    /// semantics; `^`/`$` restrict as usual).
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        if self.anchored_start {
+            return match_here(&self.toks, &chars, 0);
+        }
+        (0..=chars.len()).any(|start| match_here(&self.toks, &chars, start))
+    }
+}
+
+fn err(src: &str, what: impl Into<String>) -> InjectError {
+    InjectError::Pattern {
+        pattern: src.to_string(),
+        what: what.into(),
+    }
+}
+
+/// Parses a token sequence until end of input or an unmatched `)` (when
+/// `in_group`).
+fn parse_seq(
+    chars: &[char],
+    pos: &mut usize,
+    src: &str,
+    in_group: bool,
+) -> Result<Vec<Tok>, InjectError> {
+    let mut toks = Vec::new();
+    while *pos < chars.len() {
+        let c = chars[*pos];
+        match c {
+            ')' => {
+                if in_group {
+                    return Ok(toks);
+                }
+                return Err(err(src, "unmatched ')'"));
+            }
+            '(' => {
+                if chars.get(*pos + 1) == Some(&'?') && chars.get(*pos + 2) == Some(&'!') {
+                    *pos += 3;
+                    let inner = parse_seq(chars, pos, src, true)?;
+                    if chars.get(*pos) != Some(&')') {
+                        return Err(err(src, "unterminated lookahead group"));
+                    }
+                    *pos += 1;
+                    toks.push(Tok::NegLookahead(inner));
+                } else {
+                    return Err(err(src, "only (?!...) groups are supported"));
+                }
+            }
+            '$' => {
+                *pos += 1;
+                toks.push(Tok::End);
+            }
+            '.' => {
+                *pos += 1;
+                toks.push(Tok::Any);
+            }
+            '*' => {
+                *pos += 1;
+                match toks.pop() {
+                    Some(Tok::End) | None => {
+                        return Err(err(src, "'*' must follow a matchable element"))
+                    }
+                    Some(Tok::Star(_)) => return Err(err(src, "'**' is not supported")),
+                    Some(t) => toks.push(Tok::Star(Box::new(t))),
+                }
+            }
+            '\\' => {
+                let Some(&escaped) = chars.get(*pos + 1) else {
+                    return Err(err(src, "dangling escape"));
+                };
+                *pos += 2;
+                toks.push(Tok::Lit(escaped));
+            }
+            '^' => return Err(err(src, "'^' is only supported at the start")),
+            other => {
+                *pos += 1;
+                toks.push(Tok::Lit(other));
+            }
+        }
+    }
+    if in_group {
+        return Err(err(src, "unterminated group"));
+    }
+    Ok(toks)
+}
+
+/// Backtracking matcher: does `toks` match starting at `pos`?
+fn match_here(toks: &[Tok], text: &[char], pos: usize) -> bool {
+    let Some((first, rest)) = toks.split_first() else {
+        return true;
+    };
+    match first {
+        Tok::Lit(c) => text.get(pos) == Some(c) && match_here(rest, text, pos + 1),
+        Tok::Any => pos < text.len() && match_here(rest, text, pos + 1),
+        Tok::End => pos == text.len() && match_here(rest, text, pos),
+        Tok::NegLookahead(inner) => {
+            !match_here(inner, text, pos) && match_here(rest, text, pos)
+        }
+        Tok::Star(t) => {
+            // Greedy with backtracking: consume as many as possible.
+            let mut count = 0;
+            while single_matches(t, text, pos + count) {
+                count += 1;
+            }
+            loop {
+                if match_here(rest, text, pos + count) {
+                    return true;
+                }
+                if count == 0 {
+                    return false;
+                }
+                count -= 1;
+            }
+        }
+    }
+}
+
+fn single_matches(t: &Tok, text: &[char], pos: usize) -> bool {
+    match t {
+        Tok::Lit(c) => text.get(pos) == Some(c),
+        Tok::Any => pos < text.len(),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pattern: &str, text: &str) -> bool {
+        Pattern::compile(pattern).unwrap().is_match(text)
+    }
+
+    #[test]
+    fn literals_and_search_semantics() {
+        assert!(m("attn", "model.layers.0.self_attn"));
+        assert!(!m("attn", "model.layers.0.mlp"));
+    }
+
+    #[test]
+    fn anchors_restrict_matches() {
+        assert!(m("^model", "model.layers"));
+        assert!(!m("^layers", "model.layers"));
+        assert!(m("experts$", "mlp.experts"));
+        assert!(!m("experts$", "mlp.experts.0"));
+    }
+
+    #[test]
+    fn escaped_dot_is_literal() {
+        assert!(m("^a\\.b$", "a.b"));
+        assert!(!m("^a\\.b$", "axb"));
+        assert!(m("^a.b$", "axb"));
+    }
+
+    #[test]
+    fn star_backtracks() {
+        assert!(m("^a.*b$", "a-xxx-b"));
+        assert!(m("^a.*b$", "ab"));
+        assert!(m("^.*\\.self_attn$", "model.layers.12.self_attn"));
+        assert!(!m("^.*\\.self_attn$", "model.layers.12.self_attn.q"));
+        assert!(m("^ab*c$", "ac"));
+        assert!(m("^ab*c$", "abbbc"));
+        assert!(!m("^ab*c$", "adc"));
+    }
+
+    #[test]
+    fn listing1_attention_pattern() {
+        // Line 12 of Listing 1.
+        let p = Pattern::compile("^model\\.layers\\..*\\.self_attn$").unwrap();
+        assert!(p.is_match("model.layers.0.self_attn"));
+        assert!(p.is_match("model.layers.57.self_attn"));
+        assert!(!p.is_match("model.layers.57.mlp"));
+        assert!(!p.is_match("layers.57.self_attn"));
+    }
+
+    #[test]
+    fn listing1_negative_lookahead_pattern() {
+        // Line 18 of Listing 1: everything except lm_head.
+        let p = Pattern::compile("^(?!lm_head$).*").unwrap();
+        assert!(p.is_match("model.layers.0.mlp.gate"));
+        assert!(p.is_match("lm_head_extra")); // lookahead needs the $
+        assert!(!p.is_match("lm_head"));
+    }
+
+    #[test]
+    fn malformed_patterns_are_rejected() {
+        assert!(Pattern::compile("a(b)").is_err());
+        assert!(Pattern::compile("(?!x").is_err());
+        assert!(Pattern::compile("*a").is_err());
+        assert!(Pattern::compile("a**").is_err());
+        assert!(Pattern::compile("a\\").is_err());
+        assert!(Pattern::compile("ab^c").is_err());
+        assert!(Pattern::compile("a)b").is_err());
+        assert!(Pattern::compile("$*").is_err());
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        assert!(m("", ""));
+        assert!(m("", "anything"));
+        assert!(m("^$", ""));
+        assert!(!m("^$", "x"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Operator registry: the replacement classes the framework knows.
+//!
+//! §5: optimized kernels are "packaged as ordinary PyTorch modules, so
+//! they can stand in for any existing ones". The registry validates
+//! that a replace clause names a real operator — a typo in a YAML file
+//! fails loudly at injection time, not silently at runtime.
+
+use std::collections::BTreeSet;
+
+/// Registry of known replacement operator classes.
+#[derive(Debug, Clone, Default)]
+pub struct OperatorRegistry {
+    classes: BTreeSet<String>,
+}
+
+impl OperatorRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The operators shipped by this reproduction (the classes used in
+    /// Listing 1 plus the CPU/linear variants).
+    pub fn builtin() -> Self {
+        let mut r = Self::new();
+        for class in [
+            "operators.experts.FusedMoE",
+            "operators.attention.FlashInferMLA",
+            "operators.attention.GqaAttention",
+            "operators.linear.MarlinLinear",
+            "operators.linear.PackedLinear",
+            "operators.norm.RmsNorm",
+            "operators.embedding.Embedding",
+        ] {
+            r.register(class);
+        }
+        r
+    }
+
+    /// Registers a class name.
+    pub fn register(&mut self, class: impl Into<String>) {
+        self.classes.insert(class.into());
+    }
+
+    /// Whether a class is known.
+    pub fn contains(&self, class: &str) -> bool {
+        self.classes.contains(class)
+    }
+
+    /// All registered classes (sorted).
+    pub fn classes(&self) -> impl Iterator<Item = &str> {
+        self.classes.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_contains_listing1_classes() {
+        let r = OperatorRegistry::builtin();
+        assert!(r.contains("operators.experts.FusedMoE"));
+        assert!(r.contains("operators.attention.FlashInferMLA"));
+        assert!(r.contains("operators.linear.MarlinLinear"));
+        assert!(!r.contains("operators.experts.Bogus"));
+    }
+
+    #[test]
+    fn custom_registration_works() {
+        let mut r = OperatorRegistry::new();
+        assert!(!r.contains("my.Op"));
+        r.register("my.Op");
+        assert!(r.contains("my.Op"));
+        assert_eq!(r.classes().count(), 1);
+    }
+}

@@ -1,0 +1,369 @@
+//! Match/replace rules and the tree-rewriting pass.
+//!
+//! A rule file is a YAML list of `{match, replace}` entries. Match
+//! clauses "identify target modules by regular-expression name
+//! matching, class matching, or both"; replace clauses "specify the new
+//! class, its execution device, and any keyword arguments required by
+//! the kernel" (§5). The first matching rule wins per module; traversal
+//! continues into children after a replacement, exactly as the paper
+//! describes.
+
+use crate::error::InjectError;
+use crate::pattern::Pattern;
+use crate::registry::OperatorRegistry;
+use crate::tree::{ModuleNode, ModuleTree};
+use crate::yaml::{self, Value};
+
+/// A match clause: name pattern and/or class equality.
+#[derive(Debug, Clone)]
+pub struct MatchClause {
+    /// Regex over the module path.
+    pub name: Option<Pattern>,
+    /// Exact class name.
+    pub class: Option<String>,
+}
+
+impl MatchClause {
+    /// Whether this clause matches a module.
+    pub fn matches(&self, node: &ModuleNode) -> bool {
+        if let Some(p) = &self.name {
+            if !p.is_match(&node.path) {
+                return false;
+            }
+        }
+        if let Some(c) = &self.class {
+            if *c != node.class {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A replace clause: the injected implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplaceClause {
+    /// Replacement class (must be registered).
+    pub class: String,
+    /// Execution device (e.g. `cpu`, `cuda:0`).
+    pub device: Option<String>,
+    /// Operator keyword arguments, stringified.
+    pub kwargs: Vec<(String, String)>,
+}
+
+/// One injection rule.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// What to match.
+    pub match_clause: MatchClause,
+    /// What to inject.
+    pub replace: ReplaceClause,
+}
+
+/// Outcome of an injection pass.
+#[derive(Debug, Clone, Default)]
+pub struct InjectionReport {
+    /// `(path, old class, new class)` per replacement, in traversal
+    /// order.
+    pub replacements: Vec<(String, String, String)>,
+    /// Replacements performed by each rule (same order as the file).
+    pub per_rule: Vec<usize>,
+}
+
+impl InjectionReport {
+    /// Total replacements.
+    pub fn total(&self) -> usize {
+        self.replacements.len()
+    }
+}
+
+/// Parses a YAML rule file.
+///
+/// # Errors
+///
+/// Returns [`InjectError`] on YAML/pattern/rule-structure problems.
+pub fn parse_rules(text: &str) -> Result<Vec<Rule>, InjectError> {
+    let doc = yaml::parse(text)?;
+    let Some(items) = doc.as_list() else {
+        return Err(InjectError::rule("rule file must be a YAML list"));
+    };
+    items.iter().map(parse_rule).collect()
+}
+
+fn parse_rule(item: &Value) -> Result<Rule, InjectError> {
+    let m = item
+        .get("match")
+        .ok_or_else(|| InjectError::rule("rule missing 'match' clause"))?;
+    let name = match m.get("name") {
+        Some(v) => Some(Pattern::compile(v.as_str().ok_or_else(|| {
+            InjectError::rule("'match.name' must be a string")
+        })?)?),
+        None => None,
+    };
+    let class = match m.get("class") {
+        Some(v) => Some(
+            v.as_str()
+                .ok_or_else(|| InjectError::rule("'match.class' must be a string"))?
+                .to_string(),
+        ),
+        None => None,
+    };
+    if name.is_none() && class.is_none() {
+        return Err(InjectError::rule(
+            "'match' needs at least one of 'name' or 'class'",
+        ));
+    }
+    let r = item
+        .get("replace")
+        .ok_or_else(|| InjectError::rule("rule missing 'replace' clause"))?;
+    let rclass = r
+        .get("class")
+        .and_then(Value::as_str)
+        .ok_or_else(|| InjectError::rule("'replace.class' is required"))?
+        .to_string();
+    let device = r.get("device").and_then(Value::as_str).map(str::to_string);
+    let kwargs = match r.get("kwargs") {
+        Some(Value::Map(entries)) => entries
+            .iter()
+            .map(|(k, v)| {
+                v.scalar_string()
+                    .map(|s| (k.clone(), s))
+                    .ok_or_else(|| InjectError::rule(format!("kwarg '{k}' must be a scalar")))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        Some(_) => return Err(InjectError::rule("'replace.kwargs' must be a map")),
+        None => Vec::new(),
+    };
+    Ok(Rule {
+        match_clause: MatchClause { name, class },
+        replace: ReplaceClause {
+            class: rclass,
+            device,
+            kwargs,
+        },
+    })
+}
+
+/// Applies rules to a tree (first matching rule wins per module;
+/// traversal continues through replaced modules).
+///
+/// # Errors
+///
+/// Returns [`InjectError::UnknownOperator`] if any rule names an
+/// unregistered replacement class.
+pub fn apply_rules(
+    tree: &mut ModuleTree,
+    rules: &[Rule],
+    registry: &OperatorRegistry,
+) -> Result<InjectionReport, InjectError> {
+    for rule in rules {
+        if !registry.contains(&rule.replace.class) {
+            return Err(InjectError::UnknownOperator {
+                class: rule.replace.class.clone(),
+            });
+        }
+    }
+    let mut report = InjectionReport {
+        replacements: Vec::new(),
+        per_rule: vec![0; rules.len()],
+    };
+    tree.walk_mut(&mut |node| {
+        for (i, rule) in rules.iter().enumerate() {
+            if rule.match_clause.matches(node) {
+                report.replacements.push((
+                    node.path.clone(),
+                    node.class.clone(),
+                    rule.replace.class.clone(),
+                ));
+                report.per_rule[i] += 1;
+                node.class = rule.replace.class.clone();
+                if let Some(d) = &rule.replace.device {
+                    node.device = d.clone();
+                }
+                node.kwargs = rule.replace.kwargs.clone();
+                break;
+            }
+        }
+    });
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Listing 1, verbatim structure.
+    const LISTING_1: &str = r#"
+- match:
+    class: modeling_deepseek_v3.DeepseekV3MoE
+  replace:
+    class: operators.experts.FusedMoE
+    device: "cpu"
+    kwargs:
+      backend: "hybrid_AMX_AVX512"
+      data_type: "Int4"
+      n_deferred_experts: 6
+
+- match:
+    name: "^model\\.layers\\..*\\.self_attn$"
+  replace:
+    class: operators.attention.FlashInferMLA
+    device: "cuda:0"
+
+- match:
+    name: "^(?!lm_head$).*"
+    class: torch.nn.Linear
+  replace:
+    class: operators.linear.MarlinLinear
+    device: "cuda:0"
+    kwargs:
+      data_type: "Int4"
+"#;
+
+    fn ds3_tree() -> ModuleTree {
+        ModuleTree::hf_moe_model("modeling_deepseek_v3.DeepseekV3", 4, 1, true)
+    }
+
+    #[test]
+    fn listing1_parses_into_three_rules() {
+        let rules = parse_rules(LISTING_1).unwrap();
+        assert_eq!(rules.len(), 3);
+        assert_eq!(rules[0].replace.class, "operators.experts.FusedMoE");
+        assert_eq!(rules[0].replace.device.as_deref(), Some("cpu"));
+        assert_eq!(
+            rules[0].replace.kwargs,
+            vec![
+                ("backend".to_string(), "hybrid_AMX_AVX512".to_string()),
+                ("data_type".to_string(), "Int4".to_string()),
+                ("n_deferred_experts".to_string(), "6".to_string()),
+            ]
+        );
+        assert!(rules[1].match_clause.name.is_some());
+        assert!(rules[2].match_clause.class.as_deref() == Some("torch.nn.Linear"));
+    }
+
+    #[test]
+    fn listing1_applies_like_the_paper_describes() {
+        let mut tree = ds3_tree();
+        let registry = OperatorRegistry::builtin();
+        let rules = parse_rules(LISTING_1).unwrap();
+        let report = apply_rules(&mut tree, &rules, &registry).unwrap();
+
+        // All MoE modules -> FusedMoE on cpu with kwargs.
+        let moe = tree.find("model.layers.2.mlp").unwrap();
+        assert_eq!(moe.class, "operators.experts.FusedMoE");
+        assert_eq!(moe.device, "cpu");
+        assert!(moe
+            .kwargs
+            .iter()
+            .any(|(k, v)| k == "n_deferred_experts" && v == "6"));
+
+        // All self_attn modules -> FlashInferMLA on cuda:0.
+        let attn = tree.find("model.layers.0.self_attn").unwrap();
+        assert_eq!(attn.class, "operators.attention.FlashInferMLA");
+        assert_eq!(attn.device, "cuda:0");
+
+        // Linears become MarlinLinear... except lm_head.
+        let q = tree.find("model.layers.0.self_attn.q_proj").unwrap();
+        assert_eq!(q.class, "operators.linear.MarlinLinear");
+        let lm = tree.find("lm_head").unwrap();
+        assert_eq!(lm.class, "torch.nn.Linear");
+        assert_eq!(lm.device, "meta");
+
+        // Rule 1 hit the 3 MoE layers; rule 2 the 4 attention blocks.
+        assert_eq!(report.per_rule[0], 3);
+        assert_eq!(report.per_rule[1], 4);
+        assert!(report.per_rule[2] > 10);
+        assert_eq!(report.total(), report.per_rule.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let text = r#"
+- match:
+    class: torch.nn.Linear
+  replace:
+    class: operators.linear.PackedLinear
+- match:
+    name: "lm_head"
+  replace:
+    class: operators.linear.MarlinLinear
+"#;
+        let mut tree = ds3_tree();
+        let rules = parse_rules(text).unwrap();
+        let registry = OperatorRegistry::builtin();
+        apply_rules(&mut tree, &rules, &registry).unwrap();
+        // lm_head is a Linear, so the FIRST rule claims it.
+        assert_eq!(tree.find("lm_head").unwrap().class, "operators.linear.PackedLinear");
+    }
+
+    #[test]
+    fn adapting_to_v2_needs_one_line_change() {
+        // §5: "For related models such as DeepSeek-V2, seamless
+        // integration can be achieved by simply updating the model
+        // class name."
+        let v2 = LISTING_1.replace("modeling_deepseek_v3.DeepseekV3MoE", "modeling_deepseek_v2.DeepseekV2MoE");
+        let mut tree = ModuleTree::hf_moe_model("modeling_deepseek_v2.DeepseekV2", 3, 1, true);
+        let rules = parse_rules(&v2).unwrap();
+        let report = apply_rules(&mut tree, &rules, &OperatorRegistry::builtin()).unwrap();
+        assert_eq!(
+            tree.find("model.layers.1.mlp").unwrap().class,
+            "operators.experts.FusedMoE"
+        );
+        assert!(report.total() > 0);
+    }
+
+    #[test]
+    fn unknown_operator_fails_loudly() {
+        let text = r#"
+- match:
+    class: torch.nn.Linear
+  replace:
+    class: operators.linear.Typo
+"#;
+        let mut tree = ds3_tree();
+        let rules = parse_rules(text).unwrap();
+        let err = apply_rules(&mut tree, &rules, &OperatorRegistry::builtin()).unwrap_err();
+        assert!(matches!(err, InjectError::UnknownOperator { .. }));
+        // Nothing was rewritten.
+        assert_eq!(tree.find("lm_head").unwrap().class, "torch.nn.Linear");
+    }
+
+    #[test]
+    fn malformed_rules_are_rejected() {
+        assert!(parse_rules("- replace:\n    class: x").is_err());
+        assert!(parse_rules("- match:\n    name: a\n").is_err());
+        assert!(parse_rules("- match: {}\n  replace:\n    class: x").is_err());
+        assert!(parse_rules("key: not-a-list").is_err());
+        let bad_kwargs = r#"
+- match:
+    class: a
+  replace:
+    class: b
+    kwargs:
+      nested:
+        too: deep
+"#;
+        assert!(parse_rules(bad_kwargs).is_err());
+    }
+
+    #[test]
+    fn match_by_both_name_and_class_requires_both() {
+        let text = r#"
+- match:
+    name: "^model\\.layers\\.0\\."
+    class: torch.nn.Linear
+  replace:
+    class: operators.linear.MarlinLinear
+"#;
+        let mut tree = ds3_tree();
+        let rules = parse_rules(text).unwrap();
+        let report = apply_rules(&mut tree, &rules, &OperatorRegistry::builtin()).unwrap();
+        // Only layer-0 linears (4 attention + 3 dense-MLP projections).
+        assert_eq!(report.total(), 7);
+        assert_eq!(
+            tree.find("model.layers.1.self_attn.q_proj").unwrap().class,
+            "torch.nn.Linear"
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! Module trees: the structure the injection framework rewrites.
+//!
+//! Mirrors HuggingFace module naming (`model.layers.3.self_attn`,
+//! `model.layers.3.mlp.experts`, `lm_head`, ...) with per-module class
+//! names, so match clauses behave exactly as they do against a real
+//! Transformers model.
+
+/// One module in the tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleNode {
+    /// Full dotted path (e.g. `model.layers.0.self_attn`).
+    pub path: String,
+    /// Current (possibly replaced) class name.
+    pub class: String,
+    /// Execution device ("meta" until placed).
+    pub device: String,
+    /// Keyword arguments attached by a replace clause.
+    pub kwargs: Vec<(String, String)>,
+    /// Child modules.
+    pub children: Vec<ModuleNode>,
+}
+
+impl ModuleNode {
+    /// Creates a leaf module.
+    pub fn leaf(path: impl Into<String>, class: impl Into<String>) -> Self {
+        ModuleNode {
+            path: path.into(),
+            class: class.into(),
+            device: "meta".into(),
+            kwargs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Creates a module with children.
+    pub fn with_children(
+        path: impl Into<String>,
+        class: impl Into<String>,
+        children: Vec<ModuleNode>,
+    ) -> Self {
+        ModuleNode {
+            children,
+            ..ModuleNode::leaf(path, class)
+        }
+    }
+}
+
+/// A whole model's module tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleTree {
+    /// Top-level modules (`model`, `lm_head`).
+    pub roots: Vec<ModuleNode>,
+}
+
+impl ModuleTree {
+    /// Builds a HuggingFace-shaped MoE model tree.
+    ///
+    /// `class_prefix` is the modeling-module prefix (e.g.
+    /// `modeling_deepseek_v3.DeepseekV3`); the first `n_dense_layers`
+    /// layers carry a dense `MLP`, the rest a `MoE` with a router
+    /// (`gate`), an `experts` list and, when `has_shared`, a
+    /// `shared_experts` MLP.
+    pub fn hf_moe_model(
+        class_prefix: &str,
+        n_layers: usize,
+        n_dense_layers: usize,
+        has_shared: bool,
+    ) -> Self {
+        let cls = |suffix: &str| format!("{class_prefix}{suffix}");
+        let mut layer_nodes = Vec::with_capacity(n_layers);
+        for i in 0..n_layers {
+            let base = format!("model.layers.{i}");
+            let attn = ModuleNode::with_children(
+                format!("{base}.self_attn"),
+                cls("Attention"),
+                ["q_proj", "kv_a_proj", "kv_b_proj", "o_proj"]
+                    .iter()
+                    .map(|p| ModuleNode::leaf(format!("{base}.self_attn.{p}"), "torch.nn.Linear"))
+                    .collect(),
+            );
+            let mlp = if i < n_dense_layers {
+                ModuleNode::with_children(
+                    format!("{base}.mlp"),
+                    cls("MLP"),
+                    ["gate_proj", "up_proj", "down_proj"]
+                        .iter()
+                        .map(|p| ModuleNode::leaf(format!("{base}.mlp.{p}"), "torch.nn.Linear"))
+                        .collect(),
+                )
+            } else {
+                let mut children = vec![
+                    ModuleNode::leaf(format!("{base}.mlp.gate"), cls("TopkRouter")),
+                    ModuleNode::leaf(format!("{base}.mlp.experts"), cls("ExpertList")),
+                ];
+                if has_shared {
+                    children.push(ModuleNode::with_children(
+                        format!("{base}.mlp.shared_experts"),
+                        cls("MLP"),
+                        ["gate_proj", "up_proj", "down_proj"]
+                            .iter()
+                            .map(|p| {
+                                ModuleNode::leaf(
+                                    format!("{base}.mlp.shared_experts.{p}"),
+                                    "torch.nn.Linear",
+                                )
+                            })
+                            .collect(),
+                    ));
+                }
+                ModuleNode::with_children(format!("{base}.mlp"), cls("MoE"), children)
+            };
+            layer_nodes.push(ModuleNode::with_children(
+                base.clone(),
+                cls("DecoderLayer"),
+                vec![
+                    ModuleNode::leaf(format!("{base}.input_layernorm"), cls("RMSNorm")),
+                    attn,
+                    ModuleNode::leaf(format!("{base}.post_attention_layernorm"), cls("RMSNorm")),
+                    mlp,
+                ],
+            ));
+        }
+        let model = ModuleNode::with_children(
+            "model",
+            cls("Model"),
+            std::iter::once(ModuleNode::leaf("model.embed_tokens", "torch.nn.Embedding"))
+                .chain(layer_nodes)
+                .chain(std::iter::once(ModuleNode::leaf("model.norm", cls("RMSNorm"))))
+                .collect(),
+        );
+        let lm_head = ModuleNode::leaf("lm_head", "torch.nn.Linear");
+        ModuleTree {
+            roots: vec![model, lm_head],
+        }
+    }
+
+    /// Visits every node depth-first (pre-order), mutably.
+    pub fn walk_mut(&mut self, f: &mut impl FnMut(&mut ModuleNode)) {
+        fn rec(node: &mut ModuleNode, f: &mut impl FnMut(&mut ModuleNode)) {
+            f(node);
+            for c in &mut node.children {
+                rec(c, f);
+            }
+        }
+        for r in &mut self.roots {
+            rec(r, f);
+        }
+    }
+
+    /// Visits every node depth-first (pre-order).
+    pub fn walk(&self, f: &mut impl FnMut(&ModuleNode)) {
+        fn rec(node: &ModuleNode, f: &mut impl FnMut(&ModuleNode)) {
+            f(node);
+            for c in &node.children {
+                rec(c, f);
+            }
+        }
+        for r in &self.roots {
+            rec(r, f);
+        }
+    }
+
+    /// Finds a node by path.
+    pub fn find(&self, path: &str) -> Option<&ModuleNode> {
+        fn rec<'a>(node: &'a ModuleNode, path: &str) -> Option<&'a ModuleNode> {
+            if node.path == path {
+                return Some(node);
+            }
+            node.children.iter().find_map(|c| rec(c, path))
+        }
+        self.roots.iter().find_map(|r| rec(r, path))
+    }
+
+    /// Total node count.
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |_| n += 1);
+        n
+    }
+
+    /// Whether the tree has no modules.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds3_tree() -> ModuleTree {
+        ModuleTree::hf_moe_model("modeling_deepseek_v3.DeepseekV3", 4, 1, true)
+    }
+
+    #[test]
+    fn tree_has_expected_paths_and_classes() {
+        let t = ds3_tree();
+        assert_eq!(
+            t.find("model.layers.0.mlp").unwrap().class,
+            "modeling_deepseek_v3.DeepseekV3MLP"
+        );
+        assert_eq!(
+            t.find("model.layers.2.mlp").unwrap().class,
+            "modeling_deepseek_v3.DeepseekV3MoE"
+        );
+        assert_eq!(
+            t.find("model.layers.2.mlp.experts").unwrap().class,
+            "modeling_deepseek_v3.DeepseekV3ExpertList"
+        );
+        assert_eq!(t.find("lm_head").unwrap().class, "torch.nn.Linear");
+        assert!(t.find("model.layers.2.mlp.shared_experts").is_some());
+        assert!(t.find("model.layers.9.mlp").is_none());
+    }
+
+    #[test]
+    fn qwen_style_tree_without_shared() {
+        let t = ModuleTree::hf_moe_model("modeling_qwen2_moe.Qwen2Moe", 2, 0, false);
+        assert!(t.find("model.layers.0.mlp.shared_experts").is_none());
+        assert_eq!(
+            t.find("model.layers.0.mlp").unwrap().class,
+            "modeling_qwen2_moe.Qwen2MoeMoE"
+        );
+    }
+
+    #[test]
+    fn walk_covers_all_nodes() {
+        let t = ds3_tree();
+        let mut linears = 0;
+        t.walk(&mut |n| {
+            if n.class == "torch.nn.Linear" {
+                linears += 1;
+            }
+        });
+        // 4 layers x 4 attn projections + 1 dense MLP x 3 + 3 shared
+        // MLP x 3 + lm_head.
+        assert_eq!(linears, 16 + 3 + 9 + 1);
+        assert!(t.len() > 30);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn walk_mut_can_rewrite() {
+        let mut t = ds3_tree();
+        t.walk_mut(&mut |n| {
+            if n.class.ends_with("MoE") {
+                n.class = "operators.experts.FusedMoE".into();
+                n.device = "cpu".into();
+            }
+        });
+        assert_eq!(
+            t.find("model.layers.2.mlp").unwrap().class,
+            "operators.experts.FusedMoE"
+        );
+        assert_eq!(t.find("model.layers.2.mlp").unwrap().device, "cpu");
+    }
+}

@@ -1,0 +1,572 @@
+//! A hand-rolled parser for the YAML subset used by injection
+//! configurations.
+//!
+//! Supported: block lists (`- item`), nested block maps, inline
+//! scalars (`key: value`), single/double-quoted strings, integers,
+//! floats, booleans, `#` comments and blank lines. This covers every
+//! construct in the paper's Listing 1 and the configurations shipped
+//! with KTransformers; anything else is a parse error rather than a
+//! silent misread.
+
+use crate::error::InjectError;
+
+/// A parsed YAML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Explicit null (`null` / `~`) or empty value.
+    Null,
+    /// Boolean scalar.
+    Bool(bool),
+    /// Integer scalar.
+    Int(i64),
+    /// Float scalar.
+    Float(f64),
+    /// String scalar.
+    Str(String),
+    /// Block list.
+    List(Vec<Value>),
+    /// Block map (insertion-ordered).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Map lookup by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String view of a scalar.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer view of a scalar.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// List view.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders a scalar as a display string (for kwargs).
+    pub fn scalar_string(&self) -> Option<String> {
+        match self {
+            Value::Str(s) => Some(s.clone()),
+            Value::Int(i) => Some(i.to_string()),
+            Value::Float(f) => Some(f.to_string()),
+            Value::Bool(b) => Some(b.to_string()),
+            Value::Null => Some("null".into()),
+            _ => None,
+        }
+    }
+}
+
+/// Emits a value back to YAML text (block style, 2-space indent).
+/// `parse(&emit(v)) == v` for every parseable value — the round-trip
+/// property the test suite enforces.
+pub fn emit(value: &Value) -> String {
+    let mut out = String::new();
+    emit_block(value, 0, &mut out);
+    out
+}
+
+fn emit_scalar(v: &Value) -> String {
+    match v {
+        Value::Null => "null".into(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => {
+            let s = f.to_string();
+            // Keep floats recognizable as floats.
+            if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("NaN") {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Value::Str(s) => {
+            // Quote anything that could re-parse as another type or
+            // break the line grammar.
+            let needs_quoting = s.is_empty()
+                || s.parse::<i64>().is_ok()
+                || s.parse::<f64>().is_ok()
+                || ["null", "~", "true", "false", "True", "False"].contains(&s.as_str())
+                || s.contains(':')
+                || s.contains('#')
+                || s.contains('"')
+                || s.contains('\n')
+                || s.starts_with(' ')
+                || s.ends_with(' ')
+                || s.starts_with('\'')
+                || s.starts_with('-');
+            if needs_quoting {
+                let escaped = s
+                    .replace('\\', "\\\\")
+                    .replace('"', "\\\"")
+                    .replace('\n', "\\n")
+                    .replace('\t', "\\t");
+                format!("\"{escaped}\"")
+            } else {
+                s.clone()
+            }
+        }
+        Value::List(_) | Value::Map(_) => unreachable!("emit_scalar on container"),
+    }
+}
+
+fn emit_block(value: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match value {
+        Value::Map(entries) => {
+            for (k, v) in entries {
+                match v {
+                    Value::Map(m) if !m.is_empty() => {
+                        out.push_str(&format!("{pad}{k}:\n"));
+                        emit_block(v, indent + 1, out);
+                    }
+                    Value::List(l) if !l.is_empty() => {
+                        out.push_str(&format!("{pad}{k}:\n"));
+                        emit_block(v, indent + 1, out);
+                    }
+                    Value::Map(_) | Value::List(_) => {
+                        // Empty containers parse back as Null; emit null.
+                        out.push_str(&format!("{pad}{k}: null\n"));
+                    }
+                    scalar => out.push_str(&format!("{pad}{k}: {}\n", emit_scalar(scalar))),
+                }
+            }
+        }
+        Value::List(items) => {
+            for item in items {
+                match item {
+                    Value::Map(m) if !m.is_empty() => {
+                        // `- key: value` with continuation lines.
+                        let mut sub = String::new();
+                        emit_block(item, 0, &mut sub);
+                        let mut lines = sub.lines();
+                        if let Some(first) = lines.next() {
+                            out.push_str(&format!("{pad}- {first}\n"));
+                            let _ = m;
+                            for line in lines {
+                                out.push_str(&format!("{pad}  {line}\n"));
+                            }
+                        }
+                    }
+                    Value::List(l) if !l.is_empty() => {
+                        // Nested list: a bare dash introduces an
+                        // indented block.
+                        out.push_str(&format!("{pad}-\n"));
+                        emit_block(item, indent + 1, out);
+                    }
+                    Value::List(_) | Value::Map(_) => {
+                        out.push_str(&format!("{pad}- null\n"));
+                    }
+                    scalar => out.push_str(&format!("{pad}- {}\n", emit_scalar(scalar))),
+                }
+            }
+        }
+        scalar => out.push_str(&format!("{pad}{}\n", emit_scalar(scalar))),
+    }
+}
+
+/// One significant line: indent width, content, source line number.
+#[derive(Debug, Clone)]
+struct Line {
+    indent: usize,
+    text: String,
+    number: usize,
+}
+
+/// Parses a YAML document.
+///
+/// # Examples
+///
+/// ```
+/// let doc = "replace:\n  class: operators.experts.FusedMoE\n  kwargs:\n    n_deferred_experts: 6";
+/// let v = kt_inject::yaml::parse(doc).unwrap();
+/// let kwargs = v.get("replace").unwrap().get("kwargs").unwrap();
+/// assert_eq!(kwargs.get("n_deferred_experts").unwrap().as_int(), Some(6));
+/// ```
+///
+/// # Errors
+///
+/// Returns [`InjectError::Yaml`] with a line number on malformed input.
+pub fn parse(input: &str) -> Result<Value, InjectError> {
+    let mut lines = Vec::new();
+    for (i, raw) in input.lines().enumerate() {
+        let number = i + 1;
+        if raw.contains('\t') {
+            return Err(InjectError::yaml(number, "tabs are not allowed"));
+        }
+        let without_comment = strip_comment(raw);
+        let trimmed = without_comment.trim_end();
+        if trimmed.trim().is_empty() {
+            continue;
+        }
+        let indent = trimmed.len() - trimmed.trim_start().len();
+        lines.push(Line {
+            indent,
+            text: trimmed.trim_start().to_string(),
+            number,
+        });
+    }
+    if lines.is_empty() {
+        return Ok(Value::Null);
+    }
+    let mut idx = 0;
+    let root_indent = lines[0].indent;
+    let v = parse_block(&mut lines, &mut idx, root_indent)?;
+    if idx != lines.len() {
+        return Err(InjectError::yaml(
+            lines[idx].number,
+            "content at unexpected indentation",
+        ));
+    }
+    Ok(v)
+}
+
+/// Removes a `#` comment that is not inside quotes.
+fn strip_comment(line: &str) -> String {
+    let mut out = String::new();
+    let mut quote: Option<char> = None;
+    for c in line.chars() {
+        match quote {
+            Some(q) => {
+                out.push(c);
+                if c == q {
+                    quote = None;
+                }
+            }
+            None => {
+                if c == '#' {
+                    break;
+                }
+                if c == '"' || c == '\'' {
+                    quote = Some(c);
+                }
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+fn parse_block(lines: &mut Vec<Line>, idx: &mut usize, indent: usize) -> Result<Value, InjectError> {
+    let first = &lines[*idx];
+    if first.text.starts_with("- ") || first.text == "-" {
+        parse_list(lines, idx, indent)
+    } else if find_key_colon(&first.text).is_none() {
+        // A bare scalar document/node (e.g. a root `null`).
+        let line = lines[*idx].clone();
+        *idx += 1;
+        parse_scalar(&line.text, line.number)
+    } else {
+        parse_map(lines, idx, indent)
+    }
+}
+
+fn parse_list(lines: &mut Vec<Line>, idx: &mut usize, indent: usize) -> Result<Value, InjectError> {
+    let mut items = Vec::new();
+    while *idx < lines.len() {
+        let line = lines[*idx].clone();
+        if line.indent < indent {
+            break;
+        }
+        if line.indent > indent {
+            return Err(InjectError::yaml(line.number, "unexpected indentation"));
+        }
+        if !(line.text.starts_with("- ") || line.text == "-") {
+            break;
+        }
+        let rest = line.text.strip_prefix('-').unwrap_or("").trim_start().to_string();
+        if rest.is_empty() {
+            // `-` alone: nested block on following lines.
+            *idx += 1;
+            if *idx >= lines.len() || lines[*idx].indent <= indent {
+                items.push(Value::Null);
+            } else {
+                let child_indent = lines[*idx].indent;
+                items.push(parse_block(lines, idx, child_indent)?);
+            }
+        } else {
+            // Rewrite `- content` as `content` at indent + 2 and
+            // re-parse: the standard list-item desugaring.
+            lines[*idx] = Line {
+                indent: indent + 2,
+                text: rest,
+                number: line.number,
+            };
+            items.push(parse_block(lines, idx, indent + 2)?);
+        }
+    }
+    Ok(Value::List(items))
+}
+
+fn parse_map(lines: &mut Vec<Line>, idx: &mut usize, indent: usize) -> Result<Value, InjectError> {
+    let mut entries: Vec<(String, Value)> = Vec::new();
+    while *idx < lines.len() {
+        let line = lines[*idx].clone();
+        if line.indent < indent {
+            break;
+        }
+        if line.indent > indent {
+            return Err(InjectError::yaml(line.number, "unexpected indentation"));
+        }
+        if line.text.starts_with("- ") || line.text == "-" {
+            break;
+        }
+        let Some(colon) = find_key_colon(&line.text) else {
+            return Err(InjectError::yaml(line.number, "expected 'key: value'"));
+        };
+        let key = line.text[..colon].trim().to_string();
+        if key.is_empty() {
+            return Err(InjectError::yaml(line.number, "empty map key"));
+        }
+        if entries.iter().any(|(k, _)| *k == key) {
+            return Err(InjectError::yaml(line.number, format!("duplicate key '{key}'")));
+        }
+        let rest = line.text[colon + 1..].trim();
+        *idx += 1;
+        let value = if rest.is_empty() {
+            // Nested block or empty value.
+            if *idx < lines.len() && lines[*idx].indent > indent {
+                let child_indent = lines[*idx].indent;
+                parse_block(lines, idx, child_indent)?
+            } else {
+                Value::Null
+            }
+        } else {
+            parse_scalar(rest, line.number)?
+        };
+        entries.push((key, value));
+    }
+    Ok(Value::Map(entries))
+}
+
+/// Finds the `:` separating key from value (ignoring quoted colons).
+fn find_key_colon(text: &str) -> Option<usize> {
+    let mut quote: Option<char> = None;
+    for (i, c) in text.char_indices() {
+        match quote {
+            Some(q) => {
+                if c == q {
+                    quote = None;
+                }
+            }
+            None => {
+                if c == '"' || c == '\'' {
+                    quote = Some(c);
+                } else if c == ':' {
+                    // A key colon must be followed by space or EOL.
+                    let next = text[i + 1..].chars().next();
+                    if next.is_none() || next == Some(' ') {
+                        return Some(i);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn parse_scalar(text: &str, line: usize) -> Result<Value, InjectError> {
+    if text.starts_with('"') && text.ends_with('"') && text.len() >= 2 {
+        return unescape_double_quoted(&text[1..text.len() - 1], line).map(Value::Str);
+    }
+    if text.starts_with('\'') && text.ends_with('\'') && text.len() >= 2 {
+        // Single-quoted YAML scalars are literal except '' -> '.
+        return Ok(Value::Str(text[1..text.len() - 1].replace("''", "'")));
+    }
+    if text.starts_with('"') || text.starts_with('\'') {
+        return Err(InjectError::yaml(line, "unterminated quoted string"));
+    }
+    match text {
+        "null" | "~" => return Ok(Value::Null),
+        "true" | "True" => return Ok(Value::Bool(true)),
+        "false" | "False" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Ok(i) = text.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = text.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Ok(Value::Str(text.to_string()))
+}
+
+/// Processes the escape sequences of a double-quoted YAML scalar.
+fn unescape_double_quoted(body: &str, line: usize) -> Result<String, InjectError> {
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('0') => out.push('\0'),
+            Some(other) => {
+                return Err(InjectError::yaml(
+                    line,
+                    format!("unsupported escape '\\{other}' in double-quoted string"),
+                ))
+            }
+            None => return Err(InjectError::yaml(line, "dangling escape in string")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_parse_with_types() {
+        let v = parse("a: 3\nb: 2.5\nc: true\nd: hello\ne: \"quoted: text\"\nf: null").unwrap();
+        assert_eq!(v.get("a").unwrap().as_int(), Some(3));
+        assert_eq!(v.get("b"), Some(&Value::Float(2.5)));
+        assert_eq!(v.get("c"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("d").unwrap().as_str(), Some("hello"));
+        assert_eq!(v.get("e").unwrap().as_str(), Some("quoted: text"));
+        assert_eq!(v.get("f"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn nested_maps_parse() {
+        let doc = "outer:\n  inner:\n    key: value\n  other: 1";
+        let v = parse(doc).unwrap();
+        let inner = v.get("outer").unwrap().get("inner").unwrap();
+        assert_eq!(inner.get("key").unwrap().as_str(), Some("value"));
+        assert_eq!(v.get("outer").unwrap().get("other").unwrap().as_int(), Some(1));
+    }
+
+    #[test]
+    fn lists_of_maps_parse() {
+        let doc = "- name: a\n  x: 1\n- name: b\n  x: 2";
+        let v = parse(doc).unwrap();
+        let items = v.as_list().unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[1].get("name").unwrap().as_str(), Some("b"));
+        assert_eq!(items[1].get("x").unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let doc = "# header\n\na: 1  # trailing\nb: \"#notacomment\"\n";
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("a").unwrap().as_int(), Some(1));
+        assert_eq!(v.get("b").unwrap().as_str(), Some("#notacomment"));
+    }
+
+    #[test]
+    fn listing1_shape_parses() {
+        let doc = r#"
+- match:
+    class: modeling_deepseek_v3.DeepseekV3MoE
+  replace:
+    class: operators.experts.FusedMoE
+    device: "cpu"
+    kwargs:
+      backend: "hybrid_AMX_AVX512"
+      data_type: "Int4"
+      n_deferred_experts: 6
+
+- match:
+    name: "^model\\.layers\\..*\\.self_attn$"
+  replace:
+    class: operators.attention.FlashInferMLA
+    device: "cuda:0"
+"#;
+        let v = parse(doc).unwrap();
+        let rules = v.as_list().unwrap();
+        assert_eq!(rules.len(), 2);
+        let r0 = &rules[0];
+        assert_eq!(
+            r0.get("match").unwrap().get("class").unwrap().as_str(),
+            Some("modeling_deepseek_v3.DeepseekV3MoE")
+        );
+        let kwargs = r0.get("replace").unwrap().get("kwargs").unwrap();
+        assert_eq!(kwargs.get("n_deferred_experts").unwrap().as_int(), Some(6));
+        assert_eq!(
+            rules[1].get("match").unwrap().get("name").unwrap().as_str(),
+            Some("^model\\.layers\\..*\\.self_attn$")
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("a: 1\n\tb: 2").unwrap_err();
+        assert!(e.to_string().contains("line 2"));
+        let e = parse("a: 1\n   weird").unwrap_err();
+        assert!(e.to_string().contains("line 2"));
+        let e = parse("a: 1\na: 2").unwrap_err();
+        assert!(e.to_string().contains("duplicate"));
+        let e = parse("a: \"unterminated").unwrap_err();
+        assert!(e.to_string().contains("unterminated"));
+    }
+
+    #[test]
+    fn empty_document_is_null() {
+        assert_eq!(parse("").unwrap(), Value::Null);
+        assert_eq!(parse("\n# only comments\n").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn emit_round_trips_hand_built_values() {
+        let v = Value::List(vec![Value::Map(vec![
+            ("match".into(), Value::Map(vec![
+                ("class".into(), Value::Str("a.B".into())),
+                ("name".into(), Value::Str("^x(?!y$).*".into())),
+            ])),
+            ("replace".into(), Value::Map(vec![
+                ("class".into(), Value::Str("ops.C".into())),
+                ("device".into(), Value::Str("cuda:0".into())),
+                ("count".into(), Value::Int(6)),
+                ("rate".into(), Value::Float(2.5)),
+                ("on".into(), Value::Bool(true)),
+                ("note".into(), Value::Null),
+            ])),
+        ])]);
+        let text = emit(&v);
+        let back = parse(&text).unwrap();
+        assert_eq!(v, back, "emitted:\n{text}");
+    }
+
+    #[test]
+    fn emit_quotes_tricky_strings() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::Str("42".into())),
+            ("b".into(), Value::Str("true".into())),
+            ("c".into(), Value::Str("has: colon".into())),
+            ("d".into(), Value::Str("-starts-dash".into())),
+        ]);
+        let back = parse(&emit(&v)).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn colon_in_value_is_preserved() {
+        let v = parse("device: \"cuda:0\"").unwrap();
+        assert_eq!(v.get("device").unwrap().as_str(), Some("cuda:0"));
+    }
+}

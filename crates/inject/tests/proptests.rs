@@ -1,0 +1,79 @@
+//! Property-based tests for the injection framework: YAML round trips
+//! and pattern-engine invariants.
+
+use kt_inject::yaml::{emit, parse, Value};
+use kt_inject::Pattern;
+use proptest::prelude::*;
+
+/// A strategy over YAML values the block grammar can represent.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let scalar = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1_000_000i64..1_000_000).prop_map(Value::Int),
+        // Finite floats that survive to_string round trips.
+        (-1.0e6f64..1.0e6).prop_map(|f| Value::Float((f * 100.0).round() / 100.0)),
+        "[a-zA-Z0-9_ .:/#-]{0,20}".prop_map(Value::Str),
+    ];
+    scalar.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            // Non-empty containers only: empty ones are not
+            // representable in block YAML (they emit as null).
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Value::List),
+            proptest::collection::vec(("[a-z][a-z0-9_]{0,8}", inner), 1..4).prop_map(|kvs| {
+                // Deduplicate keys (maps reject duplicates).
+                let mut seen = std::collections::BTreeSet::new();
+                Value::Map(
+                    kvs.into_iter()
+                        .filter(|(k, _)| seen.insert(k.clone()))
+                        .collect(),
+                )
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every emittable value parses back to itself.
+    #[test]
+    fn yaml_round_trips(v in value_strategy()) {
+        let text = emit(&v);
+        let back = parse(&text);
+        prop_assert!(back.is_ok(), "parse failed on:\n{text}");
+        prop_assert_eq!(back.unwrap(), v, "text was:\n{}", text);
+    }
+
+    /// The pattern engine never panics on arbitrary pattern/text pairs,
+    /// and compiled patterns are deterministic.
+    #[test]
+    fn patterns_never_panic(
+        pattern in "[a-z.*$^()!\\\\]{0,12}",
+        text in "[a-z.]{0,16}",
+    ) {
+        if let Ok(p) = Pattern::compile(&pattern) {
+            let a = p.is_match(&text);
+            let b = p.is_match(&text);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// A literal pattern matches exactly the strings that contain it.
+    #[test]
+    fn literal_patterns_are_substring_search(
+        needle in "[a-z]{1,6}",
+        hay in "[a-z]{0,20}",
+    ) {
+        let p = Pattern::compile(&needle).unwrap();
+        prop_assert_eq!(p.is_match(&hay), hay.contains(&needle));
+    }
+
+    /// Anchored exact patterns match only the exact string.
+    #[test]
+    fn anchored_exact_match(s in "[a-z]{1,8}", other in "[a-z]{1,8}") {
+        let p = Pattern::compile(&format!("^{s}$")).unwrap();
+        prop_assert!(p.is_match(&s));
+        prop_assert_eq!(p.is_match(&other), other == s);
+    }
+}

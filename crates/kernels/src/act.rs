@@ -1,0 +1,93 @@
+//! Activation functions used by MoE feed-forward blocks.
+
+/// SiLU (sigmoid-weighted linear unit), the gate activation of the
+/// DeepSeek/Qwen expert MLPs: `silu(x) = x * sigmoid(x)`.
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// Applies `dst[i] = silu(gate[i]) * up[i]` — the fused SwiGLU combine
+/// between the Gate and Up projections of an expert.
+pub fn swiglu_combine(gate: &[f32], up: &[f32], dst: &mut [f32]) {
+    debug_assert_eq!(gate.len(), up.len());
+    debug_assert_eq!(gate.len(), dst.len());
+    for ((d, &g), &u) in dst.iter_mut().zip(gate).zip(up) {
+        *d = silu(g) * u;
+    }
+}
+
+/// Numerically stable in-place softmax.
+pub fn softmax_inplace(v: &mut [f32]) {
+    if v.is_empty() {
+        return;
+    }
+    let max = v.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    let mut sum = 0.0f32;
+    for x in v.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in v.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+/// Sigmoid, used by DeepSeek-V3's gating scores.
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silu_known_values() {
+        assert_eq!(silu(0.0), 0.0);
+        assert!((silu(1.0) - 0.731_058_6).abs() < 1e-5);
+        assert!(silu(-10.0).abs() < 1e-3);
+        // SiLU is asymptotically identity for large x.
+        assert!((silu(20.0) - 20.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn swiglu_combines_elementwise() {
+        let gate = [0.0, 1.0];
+        let up = [3.0, 2.0];
+        let mut dst = [0.0f32; 2];
+        swiglu_combine(&gate, &up, &mut dst);
+        assert_eq!(dst[0], 0.0);
+        assert!((dst[1] - 2.0 * silu(1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_shift_invariant() {
+        let mut a = [1.0f32, 2.0, 3.0];
+        let mut b = [101.0f32, 102.0, 103.0];
+        softmax_inplace(&mut a);
+        softmax_inplace(&mut b);
+        assert!((a.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_extremes() {
+        let mut v = [f32::NEG_INFINITY, 0.0];
+        softmax_inplace(&mut v);
+        assert_eq!(v[0], 0.0);
+        assert!((v[1] - 1.0).abs() < 1e-6);
+        let mut empty: [f32; 0] = [];
+        softmax_inplace(&mut empty);
+    }
+
+    #[test]
+    fn sigmoid_is_bounded_and_centered() {
+        assert_eq!(sigmoid(0.0), 0.5);
+        assert!(sigmoid(100.0) <= 1.0);
+        assert!(sigmoid(-100.0) >= 0.0);
+    }
+}

@@ -1,0 +1,544 @@
+//! Tiled ("AMX-class") GEMM and lightweight ("AVX-512-class") GEMV.
+//!
+//! Both kernels consume the packed tile-major weight layout from
+//! `kt-tensor` and implement the execution process of Figure 6:
+//!
+//! 1. The weight matrix is vertically partitioned into **panel tasks**
+//!    ([`kt_tensor::NR`] output neurons each) that are dynamically
+//!    scheduled across threads.
+//! 2. Each task walks the reduction dimension in **L2-sized blocks**
+//!    ([`KC`] K-steps), staging (dequantizing) the packed weights for
+//!    the block exactly once.
+//! 3. Within a block, a register-blocked **microkernel** processes
+//!    [`MR`] activation rows at a time against the 16-wide panel,
+//!    accumulating into local tiles before spilling to the output.
+//!
+//! The vector kernel reuses the identical packed bytes but decodes them
+//! inline per K-step with no staging or M-padding — the paper's
+//! "lightweight AVX-512 kernel fully compatible with the AMX memory
+//! layout", which wins whenever tokens-per-expert is small (Figure 7).
+
+use kt_tensor::{Matrix, PackedWeights, WeightDtype, NR};
+
+use crate::error::KernelError;
+use crate::schedule::ThreadPool;
+
+/// Activation rows processed per microkernel invocation.
+pub const MR: usize = 4;
+
+/// K-steps per cache block (staging granularity); `KC * NR * 4` bytes of
+/// staged weights (16 KiB) plus `MR * KC` activations fit comfortably in
+/// a per-core L2.
+pub const KC: usize = 256;
+
+/// Shared mutable output pointer for disjoint-column panel writes.
+///
+/// Panels write non-overlapping column ranges of the output matrix, so
+/// concurrent use is race-free by construction.
+#[derive(Clone, Copy)]
+pub(crate) struct OutPtr(pub(crate) *mut f32);
+// SAFETY: Each panel task touches a disjoint set of output columns (its
+// own `p * NR ..` lanes), so no two threads write the same element.
+unsafe impl Send for OutPtr {}
+unsafe impl Sync for OutPtr {}
+
+/// Stages (decodes to f32) K-steps `k0..k1` of panel `p` into `buf`,
+/// K-major: `buf[(kk - k0) * NR + j]`.
+fn stage_panel(w: &PackedWeights, p: usize, k0: usize, k1: usize, buf: &mut [f32]) {
+    debug_assert!(buf.len() >= (k1 - k0) * NR);
+    match w.dtype() {
+        WeightDtype::F32 => {
+            let panel = w.panel_f32(p);
+            buf[..(k1 - k0) * NR].copy_from_slice(&panel[k0 * NR..k1 * NR]);
+        }
+        WeightDtype::Bf16 => {
+            let panel = w.panel_bf16(p);
+            for (dst, src) in buf[..(k1 - k0) * NR]
+                .iter_mut()
+                .zip(&panel[k0 * NR..k1 * NR])
+            {
+                *dst = src.to_f32();
+            }
+        }
+        WeightDtype::Int8 { group } => {
+            let bytes = w.panel_bytes(p);
+            let scales = w.panel_scales(p);
+            for kk in k0..k1 {
+                let srow = &scales[(kk / group) * NR..(kk / group) * NR + NR];
+                let brow = &bytes[kk * NR..kk * NR + NR];
+                let drow = &mut buf[(kk - k0) * NR..(kk - k0) * NR + NR];
+                for j in 0..NR {
+                    drow[j] = (brow[j] as i8) as f32 * srow[j];
+                }
+            }
+        }
+        WeightDtype::Int4 { group } => {
+            let bytes = w.panel_bytes(p);
+            let scales = w.panel_scales(p);
+            for kk in k0..k1 {
+                let srow = &scales[(kk / group) * NR..(kk / group) * NR + NR];
+                let brow = &bytes[(kk / 2) * NR..(kk / 2) * NR + NR];
+                let drow = &mut buf[(kk - k0) * NR..(kk - k0) * NR + NR];
+                if kk % 2 == 0 {
+                    for j in 0..NR {
+                        let code = ((brow[j] & 0x0F) as i8) << 4 >> 4;
+                        drow[j] = code as f32 * srow[j];
+                    }
+                } else {
+                    for j in 0..NR {
+                        let code = (brow[j] as i8) >> 4;
+                        drow[j] = code as f32 * srow[j];
+                    }
+                }
+            }
+        }
+    }
+}
+
+use crate::simd::microkernel;
+
+/// Executes panel `p` with the given kernel class, writing output
+/// columns `p*NR .. p*NR+valid` of an `a.rows() x out_cols` output.
+///
+/// This is the task granule of the fused MoE operator: one (expert
+/// matrix, panel) pair, dispatched dynamically across worker threads.
+#[allow(clippy::needless_range_loop)]
+pub(crate) fn run_panel(
+    a: &Matrix,
+    w: &PackedWeights,
+    out: OutPtr,
+    out_cols: usize,
+    p: usize,
+    class: crate::dispatch::KernelClass,
+) {
+    match class {
+        crate::dispatch::KernelClass::Tiled => panel_task(a, w, out, out_cols, p),
+        crate::dispatch::KernelClass::Vector => {
+            let valid = NR.min(w.n() - p * NR);
+            for i in 0..a.rows() {
+                let acc = gemv_panel(a.row(i), w, p);
+                // SAFETY: Panel tasks own disjoint output columns; row
+                // `i < a.rows()` is in bounds of the output matrix.
+                unsafe {
+                    let dst = out.0.add(i * out_cols + p * NR);
+                    for j in 0..valid {
+                        *dst.add(j) = acc[j];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Executes one panel task of the tiled GEMM: all M rows, all K blocks,
+/// writing output columns `p*NR .. p*NR+valid`.
+#[allow(clippy::needless_range_loop)] // raw-pointer writes, see SAFETY
+fn panel_task(a: &Matrix, w: &PackedWeights, out: OutPtr, out_cols: usize, p: usize) {
+    let m = a.rows();
+    let k = a.cols();
+    let valid = NR.min(w.n() - p * NR);
+    let mut staged = [0.0f32; KC * NR];
+
+    // Accumulators spill into the output; zero our columns first.
+    for i in 0..m {
+        // SAFETY: `out` points to an `m x out_cols` matrix that outlives
+        // this call; this task exclusively owns columns
+        // `p*NR .. p*NR+valid` (see `OutPtr`).
+        unsafe {
+            let row = out.0.add(i * out_cols + p * NR);
+            std::ptr::write_bytes(row, 0, valid);
+        }
+    }
+
+    let mut k0 = 0;
+    while k0 < k {
+        let k1 = (k0 + KC).min(k);
+        let kb = k1 - k0;
+        stage_panel(w, p, k0, k1, &mut staged);
+
+        let mut i = 0;
+        while i < m {
+            let mb = MR.min(m - i);
+            let mut acc = [[0.0f32; NR]; MR];
+            match mb {
+                4 => microkernel::<4>(
+                    [
+                        &a.row(i)[k0..k1],
+                        &a.row(i + 1)[k0..k1],
+                        &a.row(i + 2)[k0..k1],
+                        &a.row(i + 3)[k0..k1],
+                    ],
+                    &staged,
+                    kb,
+                    (&mut acc[..4]).try_into().unwrap(),
+                ),
+                3 => microkernel::<3>(
+                    [
+                        &a.row(i)[k0..k1],
+                        &a.row(i + 1)[k0..k1],
+                        &a.row(i + 2)[k0..k1],
+                    ],
+                    &staged,
+                    kb,
+                    (&mut acc[..3]).try_into().unwrap(),
+                ),
+                2 => microkernel::<2>(
+                    [&a.row(i)[k0..k1], &a.row(i + 1)[k0..k1]],
+                    &staged,
+                    kb,
+                    (&mut acc[..2]).try_into().unwrap(),
+                ),
+                _ => microkernel::<1>(
+                    [&a.row(i)[k0..k1]],
+                    &staged,
+                    kb,
+                    (&mut acc[..1]).try_into().unwrap(),
+                ),
+            }
+            for (r, tile) in acc.iter().enumerate().take(mb) {
+                // SAFETY: As above — exclusive column ownership; row
+                // index `i + r < m` by the loop bounds.
+                unsafe {
+                    let row = out.0.add((i + r) * out_cols + p * NR);
+                    for j in 0..valid {
+                        *row.add(j) += tile[j];
+                    }
+                }
+            }
+            i += mb;
+        }
+        k0 = k1;
+    }
+}
+
+/// Tiled GEMM: `out = a * w^T` (`a`: `m x k`, `w`: packed `n x k`,
+/// `out`: `m x n`), parallelized over panel tasks.
+///
+/// # Errors
+///
+/// Returns [`KernelError::Shape`] when `a.cols() != w.k()` or `out` has
+/// the wrong shape.
+pub fn gemm_tiled(
+    a: &Matrix,
+    w: &PackedWeights,
+    out: &mut Matrix,
+    pool: Option<&ThreadPool>,
+) -> Result<(), KernelError> {
+    check_shapes(a, w, out)?;
+    let out_cols = out.cols();
+    let outp = OutPtr(out.as_mut_slice().as_mut_ptr());
+    let n_panels = w.n_panels();
+    match pool {
+        Some(pool) => pool.run_dynamic(n_panels, |p| panel_task(a, w, outp, out_cols, p)),
+        None => {
+            for p in 0..n_panels {
+                panel_task(a, w, outp, out_cols, p);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Vector kernel: `y = w * x` for a single activation row, decoding the
+/// packed weights inline with no staging or M-padding.
+///
+/// # Errors
+///
+/// Returns [`KernelError::Shape`] when `x.len() != w.k()` or
+/// `y.len() != w.n()`.
+#[allow(clippy::needless_range_loop)] // raw-pointer writes, see SAFETY
+pub fn gemv_vector(
+    x: &[f32],
+    w: &PackedWeights,
+    y: &mut [f32],
+    pool: Option<&ThreadPool>,
+) -> Result<(), KernelError> {
+    if x.len() != w.k() {
+        return Err(KernelError::shape(format!(
+            "gemv: x.len()={} but w.k()={}",
+            x.len(),
+            w.k()
+        )));
+    }
+    if y.len() != w.n() {
+        return Err(KernelError::shape(format!(
+            "gemv: y.len()={} but w.n()={}",
+            y.len(),
+            w.n()
+        )));
+    }
+    let yp = OutPtr(y.as_mut_ptr());
+    let n = w.n();
+    let task = |p: usize| {
+        // Force-capture the whole OutPtr (which is Sync) rather than its
+        // raw `*mut f32` field — edition-2021 closures capture disjoint
+        // fields otherwise, and a bare `*mut` is not Sync.
+        #[allow(clippy::redundant_locals)]
+        let yp = yp;
+        let acc = gemv_panel(x, w, p);
+        let valid = NR.min(n - p * NR);
+        // SAFETY: Panel tasks own disjoint `y` ranges (`p*NR..`).
+        unsafe {
+            let dst = yp.0.add(p * NR);
+            for j in 0..valid {
+                *dst.add(j) = acc[j];
+            }
+        }
+    };
+    match pool {
+        Some(pool) => pool.run_dynamic(w.n_panels(), task),
+        None => {
+            for p in 0..w.n_panels() {
+                task(p);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Computes the 16 partial outputs of panel `p` for activation `x`,
+/// decoding weights inline per dtype.
+fn gemv_panel(x: &[f32], w: &PackedWeights, p: usize) -> [f32; NR] {
+    let mut acc = [0.0f32; NR];
+    match w.dtype() {
+        WeightDtype::F32 => {
+            // The f32 panel is already in staged (K-major) form, so the
+            // SIMD microkernel applies directly with M = 1.
+            let panel = w.panel_f32(p);
+            let mut tile = [[0.0f32; NR]; 1];
+            microkernel::<1>([x], panel, x.len(), &mut tile);
+            acc = tile[0];
+        }
+        WeightDtype::Bf16 => {
+            let panel = w.panel_bf16(p);
+            for (kk, &xv) in x.iter().enumerate() {
+                let wrow = &panel[kk * NR..kk * NR + NR];
+                for j in 0..NR {
+                    acc[j] += xv * wrow[j].to_f32();
+                }
+            }
+        }
+        WeightDtype::Int8 { group } => {
+            let bytes = w.panel_bytes(p);
+            let scales = w.panel_scales(p);
+            for (kk, &xv) in x.iter().enumerate() {
+                let srow = &scales[(kk / group) * NR..(kk / group) * NR + NR];
+                let brow = &bytes[kk * NR..kk * NR + NR];
+                for j in 0..NR {
+                    acc[j] += xv * (brow[j] as i8) as f32 * srow[j];
+                }
+            }
+        }
+        WeightDtype::Int4 { group } => {
+            let bytes = w.panel_bytes(p);
+            let scales = w.panel_scales(p);
+            for (kk, &xv) in x.iter().enumerate() {
+                let srow = &scales[(kk / group) * NR..(kk / group) * NR + NR];
+                let brow = &bytes[(kk / 2) * NR..(kk / 2) * NR + NR];
+                if kk % 2 == 0 {
+                    for j in 0..NR {
+                        let code = ((brow[j] & 0x0F) as i8) << 4 >> 4;
+                        acc[j] += xv * code as f32 * srow[j];
+                    }
+                } else {
+                    for j in 0..NR {
+                        let code = (brow[j] as i8) >> 4;
+                        acc[j] += xv * code as f32 * srow[j];
+                    }
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// Hybrid dispatch: uses the vector kernel when `a.rows()` is at or
+/// below the arithmetic-intensity crossover, the tiled kernel otherwise
+/// (§3.2, Figure 7).
+///
+/// # Examples
+///
+/// ```
+/// use kt_kernels::gemm::gemm_auto;
+/// use kt_tensor::{Matrix, PackedWeights, WeightDtype};
+///
+/// let a = Matrix::from_rows(1, 2, &[1.0, 2.0]).unwrap();
+/// let w = Matrix::from_rows(3, 2, &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]).unwrap();
+/// let packed = PackedWeights::pack(&w, WeightDtype::F32).unwrap();
+/// let mut out = Matrix::zeros(1, 3).unwrap();
+/// gemm_auto(&a, &packed, &mut out, None).unwrap();
+/// assert_eq!(out.row(0), &[1.0, 2.0, 3.0]);
+/// ```
+///
+/// # Errors
+///
+/// Propagates shape errors from the selected kernel.
+pub fn gemm_auto(
+    a: &Matrix,
+    w: &PackedWeights,
+    out: &mut Matrix,
+    pool: Option<&ThreadPool>,
+) -> Result<(), KernelError> {
+    check_shapes(a, w, out)?;
+    if a.rows() <= crate::dispatch::ARI_CROSSOVER {
+        for i in 0..a.rows() {
+            // Borrow-splitting: rows of `out` are disjoint.
+            let out_cols = out.cols();
+            let row =
+                &mut out.as_mut_slice()[i * out_cols..(i + 1) * out_cols];
+            gemv_vector(a.row(i), w, row, pool)?;
+        }
+        Ok(())
+    } else {
+        gemm_tiled(a, w, out, pool)
+    }
+}
+
+fn check_shapes(a: &Matrix, w: &PackedWeights, out: &Matrix) -> Result<(), KernelError> {
+    if a.cols() != w.k() {
+        return Err(KernelError::shape(format!(
+            "a is {}x{} but w.k()={}",
+            a.rows(),
+            a.cols(),
+            w.k()
+        )));
+    }
+    if out.rows() != a.rows() || out.cols() != w.n() {
+        return Err(KernelError::shape(format!(
+            "out is {}x{} but expected {}x{}",
+            out.rows(),
+            out.cols(),
+            a.rows(),
+            w.n()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kt_tensor::rng::seeded;
+
+    fn dtypes() -> Vec<(WeightDtype, f32)> {
+        vec![
+            (WeightDtype::F32, 1e-4),
+            (WeightDtype::Bf16, 2e-2),
+            (WeightDtype::Int8 { group: 32 }, 2e-2),
+            (WeightDtype::Int4 { group: 32 }, 2e-1),
+        ]
+    }
+
+    /// Golden check: optimized kernel vs dequantized reference matmul.
+    fn check_gemm(m: usize, n: usize, k: usize, seed: u64) {
+        let mut rng = seeded(seed);
+        let a = Matrix::random_uniform(m, k, 1.0, &mut rng).unwrap();
+        let wmat = Matrix::random_uniform(n, k, 1.0, &mut rng).unwrap();
+        for (dt, _tol) in dtypes() {
+            let w = PackedWeights::pack(&wmat, dt).unwrap();
+            // Reference on the *dequantized* weights so only kernel
+            // arithmetic (not quantization) is under test.
+            let wref = w.unpack();
+            let expect = a.matmul_wt(&wref).unwrap();
+            let mut out = Matrix::zeros(m, n).unwrap();
+            gemm_tiled(&a, &w, &mut out, None).unwrap();
+            let err = expect.relative_error(&out);
+            assert!(err < 1e-4, "tiled {dt:?} m={m} n={n} k={k} err={err}");
+
+            let mut out2 = Matrix::zeros(m, n).unwrap();
+            gemm_auto(&a, &w, &mut out2, None).unwrap();
+            let err2 = expect.relative_error(&out2);
+            assert!(err2 < 1e-4, "auto {dt:?} err={err2}");
+        }
+    }
+
+    #[test]
+    fn gemm_matches_reference_small() {
+        check_gemm(1, 16, 32, 1);
+        check_gemm(3, 17, 64, 2);
+        check_gemm(4, 16, 32, 3);
+    }
+
+    #[test]
+    fn gemm_matches_reference_odd_shapes() {
+        check_gemm(5, 33, 96, 4);
+        check_gemm(7, 48, 160, 5);
+        check_gemm(13, 31, 320, 6); // K spans multiple KC? (no, KC=256: 320 does)
+    }
+
+    #[test]
+    fn gemm_handles_multiple_k_blocks() {
+        check_gemm(6, 32, 2 * KC + 64, 7);
+    }
+
+    #[test]
+    fn gemv_matches_tiled_for_single_row() {
+        let mut rng = seeded(8);
+        let k = 128;
+        let n = 48;
+        let a = Matrix::random_uniform(1, k, 1.0, &mut rng).unwrap();
+        let wmat = Matrix::random_uniform(n, k, 1.0, &mut rng).unwrap();
+        for (dt, _) in dtypes() {
+            let w = PackedWeights::pack(&wmat, dt).unwrap();
+            let mut tiled = Matrix::zeros(1, n).unwrap();
+            gemm_tiled(&a, &w, &mut tiled, None).unwrap();
+            let mut y = vec![0.0f32; n];
+            gemv_vector(a.row(0), &w, &mut y, None).unwrap();
+            for (x, t) in y.iter().zip(tiled.row(0)) {
+                assert!((x - t).abs() <= 1e-3 * t.abs().max(1.0), "{dt:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut rng = seeded(9);
+        let a = Matrix::random_uniform(9, 384, 1.0, &mut rng).unwrap();
+        let wmat = Matrix::random_uniform(100, 384, 1.0, &mut rng).unwrap();
+        let w = PackedWeights::pack(&wmat, WeightDtype::Int8 { group: 64 }).unwrap();
+        let pool = ThreadPool::new(4).unwrap();
+        let mut serial = Matrix::zeros(9, 100).unwrap();
+        let mut parallel = Matrix::zeros(9, 100).unwrap();
+        gemm_tiled(&a, &w, &mut serial, None).unwrap();
+        gemm_tiled(&a, &w, &mut parallel, Some(&pool)).unwrap();
+        assert_eq!(serial.as_slice(), parallel.as_slice());
+
+        let mut ys = vec![0.0f32; 100];
+        let mut yp = vec![0.0f32; 100];
+        gemv_vector(a.row(0), &w, &mut ys, None).unwrap();
+        gemv_vector(a.row(0), &w, &mut yp, Some(&pool)).unwrap();
+        assert_eq!(ys, yp);
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let a = Matrix::zeros(2, 8).unwrap();
+        let wmat = Matrix::zeros(16, 16).unwrap();
+        let w = PackedWeights::pack(&wmat, WeightDtype::F32).unwrap();
+        let mut out = Matrix::zeros(2, 16).unwrap();
+        assert!(gemm_tiled(&a, &w, &mut out, None).is_err());
+        let a2 = Matrix::zeros(2, 16).unwrap();
+        let mut bad_out = Matrix::zeros(3, 16).unwrap();
+        assert!(gemm_tiled(&a2, &w, &mut bad_out, None).is_err());
+        let mut y = vec![0.0; 8];
+        assert!(gemv_vector(&[0.0; 16], &w, &mut y, None).is_err());
+        assert!(gemv_vector(&[0.0; 8], &w, &mut [0.0; 16], None).is_err());
+    }
+
+    #[test]
+    fn quantized_gemm_is_close_to_full_precision() {
+        // End-to-end quantization error should stay small in relative
+        // Frobenius norm: Int8 ~ group absmax / 127.
+        let mut rng = seeded(10);
+        let a = Matrix::random_uniform(8, 256, 1.0, &mut rng).unwrap();
+        let wmat = Matrix::random_uniform(64, 256, 0.1, &mut rng).unwrap();
+        let wf = PackedWeights::pack(&wmat, WeightDtype::F32).unwrap();
+        let wq = PackedWeights::pack(&wmat, WeightDtype::Int8 { group: 64 }).unwrap();
+        let mut of = Matrix::zeros(8, 64).unwrap();
+        let mut oq = Matrix::zeros(8, 64).unwrap();
+        gemm_tiled(&a, &wf, &mut of, None).unwrap();
+        gemm_tiled(&a, &wq, &mut oq, None).unwrap();
+        let err = of.relative_error(&oq);
+        assert!(err < 0.02, "int8 end-to-end err={err}");
+    }
+}

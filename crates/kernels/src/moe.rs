@@ -1,0 +1,832 @@
+//! The fused MoE operator (§3.2, "Fused MoE Operator").
+//!
+//! A MoE layer evaluates, for every routed token, a SwiGLU expert MLP:
+//! `down( silu(gate(x)) * up(x) )`, then scatter-adds the result back to
+//! the token weighted by its routing score.
+//!
+//! Naively this is `3 * activated_experts` small GEMMs with a thread
+//! barrier after each. The paper fuses them into exactly **two task
+//! batches** with one barrier between:
+//!
+//! * **Batch 1** — Gate and Up projections of *all* activated experts,
+//!   merged into one task list (they share inputs and have no mutual
+//!   dependency).
+//! * **Batch 2** — Down projections of all experts.
+//!
+//! Task granularity is one (expert matrix, output panel) pair, matching
+//! Figure 6 step ① ("expert weight matrices are vertically partitioned
+//! into tasks dynamically scheduled across threads"). Tasks of the same
+//! expert are adjacent in the queue, so dynamic scheduling naturally
+//! co-schedules them — the paper's cache-reuse heuristic.
+
+use kt_tensor::{Matrix, PackedWeights, WeightDtype};
+use rand::rngs::StdRng;
+
+use crate::act::swiglu_combine;
+use crate::dispatch::Backend;
+use crate::error::KernelError;
+use crate::gemm::{run_panel, OutPtr};
+use crate::schedule::{SchedulePolicy, ThreadPool};
+
+/// The three projection matrices of one expert, packed for the hybrid
+/// kernels at load time.
+#[derive(Debug, Clone)]
+pub struct ExpertWeights {
+    /// Gate projection, `inter x hidden`.
+    pub gate: PackedWeights,
+    /// Up projection, `inter x hidden`.
+    pub up: PackedWeights,
+    /// Down projection, `hidden x inter`.
+    pub down: PackedWeights,
+}
+
+impl ExpertWeights {
+    /// Packs dense gate/up/down matrices into expert weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Shape`] on inconsistent dimensions and
+    /// propagates packing errors.
+    pub fn from_matrices(
+        gate: &Matrix,
+        up: &Matrix,
+        down: &Matrix,
+        dtype: WeightDtype,
+    ) -> Result<Self, KernelError> {
+        let hidden = gate.cols();
+        let inter = gate.rows();
+        if up.rows() != inter || up.cols() != hidden {
+            return Err(KernelError::shape(format!(
+                "up is {}x{}, expected {inter}x{hidden}",
+                up.rows(),
+                up.cols()
+            )));
+        }
+        if down.rows() != hidden || down.cols() != inter {
+            return Err(KernelError::shape(format!(
+                "down is {}x{}, expected {hidden}x{inter}",
+                down.rows(),
+                down.cols()
+            )));
+        }
+        let pack = |m: &Matrix| {
+            PackedWeights::pack(m, dtype).map_err(|e| KernelError::config(e.to_string()))
+        };
+        Ok(ExpertWeights {
+            gate: pack(gate)?,
+            up: pack(up)?,
+            down: pack(down)?,
+        })
+    }
+
+    /// Generates a random expert with Kaiming-scaled weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates packing errors (e.g. invalid quantization groups).
+    pub fn random(
+        hidden: usize,
+        inter: usize,
+        dtype: WeightDtype,
+        rng: &mut StdRng,
+    ) -> Result<Self, KernelError> {
+        let mk = |r: usize, c: usize, rng: &mut StdRng| {
+            Matrix::random_kaiming(r, c, rng).map_err(|e| KernelError::shape(e.to_string()))
+        };
+        let gate = mk(inter, hidden, rng)?;
+        let up = mk(inter, hidden, rng)?;
+        let down = mk(hidden, inter, rng)?;
+        Self::from_matrices(&gate, &up, &down, dtype)
+    }
+
+    /// Hidden (model) dimension.
+    pub fn hidden(&self) -> usize {
+        self.gate.k()
+    }
+
+    /// Intermediate (expert MLP) dimension.
+    pub fn inter(&self) -> usize {
+        self.gate.n()
+    }
+
+    /// Total stored bytes of all three projections.
+    pub fn stored_bytes(&self) -> usize {
+        self.gate.stored_bytes() + self.up.stored_bytes() + self.down.stored_bytes()
+    }
+
+    /// Serializes the expert (three packed projections).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_to(&self, w: &mut impl std::io::Write) -> Result<(), KernelError> {
+        for m in [&self.gate, &self.up, &self.down] {
+            m.write_to(w).map_err(|e| KernelError::config(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes an expert written by [`ExpertWeights::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Config`] on corrupt input or inconsistent
+    /// projection shapes.
+    pub fn read_from(r: &mut impl std::io::Read) -> Result<Self, KernelError> {
+        fn read(r: &mut impl std::io::Read) -> Result<PackedWeights, KernelError> {
+            PackedWeights::read_from(r).map_err(|e| KernelError::config(e.to_string()))
+        }
+        let gate = read(r)?;
+        let up = read(r)?;
+        let down = read(r)?;
+        let (inter, hidden) = (gate.n(), gate.k());
+        if up.n() != inter || up.k() != hidden || down.n() != hidden || down.k() != inter {
+            return Err(KernelError::shape(
+                "expert projections have inconsistent shapes",
+            ));
+        }
+        Ok(ExpertWeights { gate, up, down })
+    }
+}
+
+/// Routing decisions for a batch of tokens: `assignments[t]` lists the
+/// `(expert_index, routing_weight)` pairs of token `t`.
+#[derive(Debug, Clone, Default)]
+pub struct MoeRouting {
+    /// Per-token `(expert, weight)` activations.
+    pub assignments: Vec<Vec<(usize, f32)>>,
+}
+
+impl MoeRouting {
+    /// Builds a routing table; `assignments[t]` may have any length
+    /// (top-k, deferred subsets, empty).
+    pub fn new(assignments: Vec<Vec<(usize, f32)>>) -> Self {
+        MoeRouting { assignments }
+    }
+
+    /// Number of tokens routed.
+    pub fn n_tokens(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Total `(token, expert)` activation pairs.
+    pub fn n_activations(&self) -> usize {
+        self.assignments.iter().map(Vec::len).sum()
+    }
+
+    /// Splits into (immediate, deferred) routings by per-token score
+    /// rank: the `n_immediate` highest-weight experts of each token stay
+    /// immediate, the rest are deferred (§4.1: "only the top-2 experts
+    /// with the highest routing score ... are immediate experts").
+    pub fn split_deferred(&self, n_immediate: usize) -> (MoeRouting, MoeRouting) {
+        let mut imm = Vec::with_capacity(self.assignments.len());
+        let mut def = Vec::with_capacity(self.assignments.len());
+        for a in &self.assignments {
+            let mut sorted: Vec<(usize, f32)> = a.clone();
+            sorted.sort_by(|x, y| y.1.total_cmp(&x.1));
+            let split = n_immediate.min(sorted.len());
+            imm.push(sorted[..split].to_vec());
+            def.push(sorted[split..].to_vec());
+        }
+        (MoeRouting::new(imm), MoeRouting::new(def))
+    }
+}
+
+/// Per-expert gathered workspace used inside one forward call.
+struct Bucket {
+    expert: usize,
+    token_ids: Vec<usize>,
+    weights: Vec<f32>,
+    /// Gathered inputs, `t_e x hidden`.
+    x: Matrix,
+    /// Fused gate|up outputs, `t_e x (2 * inter)`: columns `0..inter`
+    /// are Gate, `inter..2*inter` are Up — one output buffer so the two
+    /// projections form a single task batch.
+    gu: Matrix,
+    /// SwiGLU-combined activations, `t_e x inter`.
+    h: Matrix,
+    /// Down-projected outputs, `t_e x hidden`.
+    d: Matrix,
+}
+
+/// The fused MoE operator over a pool of experts.
+#[derive(Debug)]
+pub struct FusedMoE {
+    experts: Vec<ExpertWeights>,
+    hidden: usize,
+    inter: usize,
+    backend: Backend,
+}
+
+impl FusedMoE {
+    /// Wraps a set of experts (all with identical shapes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Config`] when `experts` is empty or shapes
+    /// disagree.
+    pub fn new(experts: Vec<ExpertWeights>, backend: Backend) -> Result<Self, KernelError> {
+        let Some(first) = experts.first() else {
+            return Err(KernelError::config("FusedMoE requires at least one expert"));
+        };
+        let hidden = first.hidden();
+        let inter = first.inter();
+        for (i, e) in experts.iter().enumerate() {
+            if e.hidden() != hidden || e.inter() != inter {
+                return Err(KernelError::config(format!(
+                    "expert {i} has shape {}x{}, expected {hidden}x{inter}",
+                    e.hidden(),
+                    e.inter()
+                )));
+            }
+        }
+        Ok(FusedMoE {
+            experts,
+            hidden,
+            inter,
+            backend,
+        })
+    }
+
+    /// Builds a random MoE pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors.
+    pub fn random(
+        n_experts: usize,
+        hidden: usize,
+        inter: usize,
+        dtype: WeightDtype,
+        backend: Backend,
+        rng: &mut StdRng,
+    ) -> Result<Self, KernelError> {
+        let experts = (0..n_experts)
+            .map(|_| ExpertWeights::random(hidden, inter, dtype, rng))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::new(experts, backend)
+    }
+
+    /// Number of experts in the pool.
+    pub fn n_experts(&self) -> usize {
+        self.experts.len()
+    }
+
+    /// Hidden dimension.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Intermediate dimension.
+    pub fn inter(&self) -> usize {
+        self.inter
+    }
+
+    /// Direct access to an expert's packed weights.
+    pub fn expert(&self, i: usize) -> &ExpertWeights {
+        &self.experts[i]
+    }
+
+    /// Computes the MoE output for `x` (`tokens x hidden`) under
+    /// `routing` and returns it as a fresh matrix (no residual).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Shape`] on dimension or routing-index
+    /// mismatches.
+    pub fn forward(
+        &self,
+        x: &Matrix,
+        routing: &MoeRouting,
+        pool: Option<&ThreadPool>,
+        policy: SchedulePolicy,
+    ) -> Result<Matrix, KernelError> {
+        let mut out = Matrix::zeros(x.rows(), self.hidden)
+            .map_err(|e| KernelError::shape(e.to_string()))?;
+        self.forward_accumulate(x, routing, &mut out, pool, policy)?;
+        Ok(out)
+    }
+
+    /// Computes the MoE output and **adds** it into `out` (residual-style
+    /// accumulation; used directly by Expert Deferral, which adds
+    /// deferred contributions into a later layer's stream).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Shape`] on dimension or routing-index
+    /// mismatches.
+    pub fn forward_accumulate(
+        &self,
+        x: &Matrix,
+        routing: &MoeRouting,
+        out: &mut Matrix,
+        pool: Option<&ThreadPool>,
+        policy: SchedulePolicy,
+    ) -> Result<(), KernelError> {
+        if x.cols() != self.hidden {
+            return Err(KernelError::shape(format!(
+                "x has {} cols, expected hidden={}",
+                x.cols(),
+                self.hidden
+            )));
+        }
+        if routing.n_tokens() != x.rows() {
+            return Err(KernelError::shape(format!(
+                "routing covers {} tokens but x has {}",
+                routing.n_tokens(),
+                x.rows()
+            )));
+        }
+        if out.rows() != x.rows() || out.cols() != self.hidden {
+            return Err(KernelError::shape(format!(
+                "out is {}x{}, expected {}x{}",
+                out.rows(),
+                out.cols(),
+                x.rows(),
+                self.hidden
+            )));
+        }
+        for (t, a) in routing.assignments.iter().enumerate() {
+            for &(e, _) in a {
+                if e >= self.experts.len() {
+                    return Err(KernelError::shape(format!(
+                        "token {t} routed to expert {e}, pool has {}",
+                        self.experts.len()
+                    )));
+                }
+            }
+        }
+
+        // Gather tokens per expert.
+        let mut buckets = self.build_buckets(x, routing)?;
+        if buckets.is_empty() {
+            return Ok(());
+        }
+
+        // Task batch 1: fused Gate+Up for all experts. Task id encodes
+        // (bucket, projection, panel): gate panels first, then up panels
+        // per bucket, keeping same-expert tasks adjacent in the queue.
+        let inter_panels = self.experts[0].gate.n_panels();
+        let tasks_per_bucket = 2 * inter_panels;
+        let n_tasks1 = buckets.len() * tasks_per_bucket;
+        {
+            let descs: Vec<Phase1Task> = buckets
+                .iter_mut()
+                .map(|b| Phase1Task {
+                    expert: b.expert,
+                    x: &b.x,
+                    gu: OutPtr(b.gu.as_mut_slice().as_mut_ptr()),
+                    t_e: b.token_ids.len(),
+                })
+                .collect();
+            let run = |task: usize| {
+                let b = &descs[task / tasks_per_bucket];
+                let slot = task % tasks_per_bucket;
+                let (proj, panel) = if slot < inter_panels {
+                    (&self.experts[b.expert].gate, slot)
+                } else {
+                    (&self.experts[b.expert].up, slot - inter_panels)
+                };
+                let class = self.backend.kernel_for(b.t_e);
+                // Gate writes columns [panel*NR ..], Up writes columns
+                // [inter + panel*NR ..] of the fused `gu` buffer.
+                let col_off = if slot < inter_panels { 0 } else { self.inter };
+                let shifted = OutPtr(
+                    // SAFETY: `gu` is `t_e x 2*inter`; offsetting by
+                    // `col_off <= inter` keeps all panel writes
+                    // (`col_off + panel*NR + NR <= 2*inter`) in bounds.
+                    unsafe { b.gu.0.add(col_off) },
+                );
+                run_panel(b.x, proj, shifted, 2 * self.inter, panel, class);
+            };
+            match pool {
+                Some(p) => p.run(n_tasks1, policy, run),
+                None => (0..n_tasks1).for_each(run),
+            }
+        }
+
+        // Barrier: combine SwiGLU elementwise per bucket.
+        {
+            let combine = |bi: usize| {
+                // SAFETY note: serial/parallel over buckets; each task
+                // touches only its own bucket via raw splitting below.
+                let b_ptr = SyncBucketPtr(buckets.as_ptr() as *mut Bucket);
+                // SAFETY: Each task index `bi` touches a distinct bucket.
+                let b = unsafe { &mut *b_ptr.0.add(bi) };
+                let inter = self.inter;
+                for t in 0..b.token_ids.len() {
+                    let gu = b.gu.row(t);
+                    let (g, u) = gu.split_at(inter);
+                    // Work around aliasing: copy combine into h.
+                    let h = b.h.row_mut(t);
+                    swiglu_combine(g, u, h);
+                }
+            };
+            match pool {
+                Some(p) => p.run(buckets.len(), policy, combine),
+                None => (0..buckets.len()).for_each(combine),
+            }
+        }
+
+        // Task batch 2: Down projections of all experts.
+        let hidden_panels = self.experts[0].down.n_panels();
+        let n_tasks2 = buckets.len() * hidden_panels;
+        {
+            let descs: Vec<Phase2Task> = buckets
+                .iter_mut()
+                .map(|b| Phase2Task {
+                    expert: b.expert,
+                    h: &b.h,
+                    d: OutPtr(b.d.as_mut_slice().as_mut_ptr()),
+                    t_e: b.token_ids.len(),
+                })
+                .collect();
+            let run = |task: usize| {
+                let b = &descs[task / hidden_panels];
+                let panel = task % hidden_panels;
+                let class = self.backend.kernel_for(b.t_e);
+                run_panel(b.h, &self.experts[b.expert].down, b.d, self.hidden, panel, class);
+            };
+            match pool {
+                Some(p) => p.run(n_tasks2, policy, run),
+                None => (0..n_tasks2).for_each(run),
+            }
+        }
+
+        // Weighted scatter-add back to token order (serial: O(T*hidden),
+        // negligible next to the GEMMs, and avoids write contention).
+        for b in &buckets {
+            for (row, (&t, &wgt)) in b.token_ids.iter().zip(&b.weights).enumerate() {
+                let src = b.d.row(row);
+                let dst = out.row_mut(t);
+                for (o, s) in dst.iter_mut().zip(src) {
+                    *o += wgt * s;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn build_buckets(&self, x: &Matrix, routing: &MoeRouting) -> Result<Vec<Bucket>, KernelError> {
+        let mut per_expert: Vec<(Vec<usize>, Vec<f32>)> =
+            vec![(Vec::new(), Vec::new()); self.experts.len()];
+        for (t, a) in routing.assignments.iter().enumerate() {
+            for &(e, w) in a {
+                per_expert[e].0.push(t);
+                per_expert[e].1.push(w);
+            }
+        }
+        let mut buckets = Vec::new();
+        for (e, (ids, ws)) in per_expert.into_iter().enumerate() {
+            if ids.is_empty() {
+                continue;
+            }
+            let te = ids.len();
+            let mut xe = Matrix::zeros(te, self.hidden)
+                .map_err(|err| KernelError::shape(err.to_string()))?;
+            for (row, &t) in ids.iter().enumerate() {
+                xe.row_mut(row).copy_from_slice(x.row(t));
+            }
+            let mk = |r: usize, c: usize| {
+                Matrix::zeros(r, c).map_err(|err| KernelError::shape(err.to_string()))
+            };
+            buckets.push(Bucket {
+                expert: e,
+                token_ids: ids,
+                weights: ws,
+                x: xe,
+                gu: mk(te, 2 * self.inter)?,
+                h: mk(te, self.inter)?,
+                d: mk(te, self.hidden)?,
+            });
+        }
+        Ok(buckets)
+    }
+
+    /// Serializes the pool (backend tag + every expert).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_to(&self, w: &mut impl std::io::Write) -> Result<(), KernelError> {
+        let io = |e: kt_tensor::TensorError| KernelError::config(e.to_string());
+        let tag = match self.backend {
+            Backend::HybridAmxAvx512 => 0u64,
+            Backend::TiledOnly => 1,
+            Backend::VectorOnly => 2,
+        };
+        kt_tensor::serial::write_u64(w, tag).map_err(io)?;
+        kt_tensor::serial::write_u64(w, self.experts.len() as u64).map_err(io)?;
+        for e in &self.experts {
+            e.write_to(w)?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a pool written by [`FusedMoE::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Config`] on corrupt input.
+    pub fn read_from(r: &mut impl std::io::Read) -> Result<Self, KernelError> {
+        let io = |e: kt_tensor::TensorError| KernelError::config(e.to_string());
+        let backend = match kt_tensor::serial::read_u64(r).map_err(io)? {
+            0 => Backend::HybridAmxAvx512,
+            1 => Backend::TiledOnly,
+            2 => Backend::VectorOnly,
+            other => {
+                return Err(KernelError::config(format!("unknown backend tag {other}")))
+            }
+        };
+        let n = kt_tensor::serial::read_len(r, 1 << 20).map_err(io)?;
+        let experts = (0..n)
+            .map(|_| ExpertWeights::read_from(r))
+            .collect::<Result<Vec<_>, _>>()?;
+        FusedMoE::new(experts, backend)
+    }
+
+    /// FLOPs required to execute `routing` (2 ops per multiply-add,
+    /// three projections per activation) — used by throughput reports.
+    pub fn flops(&self, routing: &MoeRouting) -> u64 {
+        let per_activation = 2u64 * 3 * self.hidden as u64 * self.inter as u64;
+        per_activation * routing.n_activations() as u64
+    }
+
+    /// Weight bytes that must be streamed from memory for `routing`,
+    /// counting each activated expert once (decode-phase bandwidth
+    /// accounting).
+    pub fn weight_bytes(&self, routing: &MoeRouting) -> u64 {
+        let mut active = vec![false; self.experts.len()];
+        for a in &routing.assignments {
+            for &(e, _) in a {
+                active[e] = true;
+            }
+        }
+        active
+            .iter()
+            .zip(&self.experts)
+            .filter(|(on, _)| **on)
+            .map(|(_, e)| e.stored_bytes() as u64)
+            .sum()
+    }
+}
+
+/// Immutable per-bucket descriptor for phase-1 tasks.
+struct Phase1Task<'a> {
+    expert: usize,
+    x: &'a Matrix,
+    gu: OutPtr,
+    t_e: usize,
+}
+// SAFETY: `OutPtr` targets are written at disjoint panels per task (see
+// `run_panel`); shared reads of `x` are safe.
+unsafe impl Sync for Phase1Task<'_> {}
+
+/// Immutable per-bucket descriptor for phase-2 tasks.
+struct Phase2Task<'a> {
+    expert: usize,
+    h: &'a Matrix,
+    d: OutPtr,
+    t_e: usize,
+}
+// SAFETY: As for `Phase1Task`.
+unsafe impl Sync for Phase2Task<'_> {}
+
+/// Raw bucket pointer for the per-bucket SwiGLU combine tasks.
+struct SyncBucketPtr(*mut Bucket);
+// SAFETY: Each combine task dereferences a distinct bucket index.
+unsafe impl Send for SyncBucketPtr {}
+unsafe impl Sync for SyncBucketPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::act::silu;
+    use kt_tensor::rng::seeded;
+
+    /// Dense reference MoE: no fusion, no bucketing, no packing tricks.
+    fn reference_moe(
+        x: &Matrix,
+        experts: &[(Matrix, Matrix, Matrix)],
+        routing: &MoeRouting,
+    ) -> Matrix {
+        let hidden = x.cols();
+        let mut out = Matrix::zeros(x.rows(), hidden).unwrap();
+        for (t, a) in routing.assignments.iter().enumerate() {
+            for &(e, wgt) in a {
+                let (gate, up, down) = &experts[e];
+                let xt = Matrix::from_rows(1, hidden, x.row(t)).unwrap();
+                let g = xt.matmul_wt(gate).unwrap();
+                let u = xt.matmul_wt(up).unwrap();
+                let mut h = Matrix::zeros(1, gate.rows()).unwrap();
+                for j in 0..gate.rows() {
+                    h.set(0, j, silu(g.get(0, j)) * u.get(0, j));
+                }
+                let d = h.matmul_wt(down).unwrap();
+                for j in 0..hidden {
+                    let v = out.get(t, j);
+                    out.set(t, j, v + wgt * d.get(0, j));
+                }
+            }
+        }
+        out
+    }
+
+    fn setup(
+        n_experts: usize,
+        hidden: usize,
+        inter: usize,
+        seed: u64,
+    ) -> (Vec<(Matrix, Matrix, Matrix)>, FusedMoE) {
+        let mut rng = seeded(seed);
+        let mut dense = Vec::new();
+        let mut packed = Vec::new();
+        for _ in 0..n_experts {
+            let gate = Matrix::random_kaiming(inter, hidden, &mut rng).unwrap();
+            let up = Matrix::random_kaiming(inter, hidden, &mut rng).unwrap();
+            let down = Matrix::random_kaiming(hidden, inter, &mut rng).unwrap();
+            packed.push(
+                ExpertWeights::from_matrices(&gate, &up, &down, WeightDtype::F32).unwrap(),
+            );
+            dense.push((gate, up, down));
+        }
+        let moe = FusedMoE::new(packed, Backend::HybridAmxAvx512).unwrap();
+        (dense, moe)
+    }
+
+    fn topk_routing(n_tokens: usize, n_experts: usize, k: usize, seed: u64) -> MoeRouting {
+        use rand::Rng;
+        let mut rng = seeded(seed);
+        let assignments = (0..n_tokens)
+            .map(|_| {
+                let mut picks: Vec<usize> = (0..n_experts).collect();
+                for i in (1..picks.len()).rev() {
+                    let j = rng.gen_range(0..=i);
+                    picks.swap(i, j);
+                }
+                picks[..k]
+                    .iter()
+                    .map(|&e| (e, rng.gen_range(0.05f32..1.0)))
+                    .collect()
+            })
+            .collect();
+        MoeRouting::new(assignments)
+    }
+
+    #[test]
+    fn fused_matches_reference_decode_shape() {
+        let (dense, moe) = setup(8, 32, 48, 1);
+        let mut rng = seeded(2);
+        let x = Matrix::random_uniform(1, 32, 1.0, &mut rng).unwrap();
+        let routing = topk_routing(1, 8, 3, 3);
+        let expect = reference_moe(&x, &dense, &routing);
+        let got = moe.forward(&x, &routing, None, SchedulePolicy::Dynamic).unwrap();
+        let err = expect.relative_error(&got);
+        assert!(err < 1e-4, "err={err}");
+    }
+
+    #[test]
+    fn fused_matches_reference_prefill_shape() {
+        let (dense, moe) = setup(6, 32, 40, 4);
+        let mut rng = seeded(5);
+        let x = Matrix::random_uniform(17, 32, 1.0, &mut rng).unwrap();
+        let routing = topk_routing(17, 6, 2, 6);
+        let expect = reference_moe(&x, &dense, &routing);
+        let got = moe.forward(&x, &routing, None, SchedulePolicy::Dynamic).unwrap();
+        let err = expect.relative_error(&got);
+        assert!(err < 1e-4, "err={err}");
+    }
+
+    #[test]
+    fn parallel_matches_serial_execution() {
+        let (_, moe) = setup(8, 32, 48, 7);
+        let mut rng = seeded(8);
+        let x = Matrix::random_uniform(9, 32, 1.0, &mut rng).unwrap();
+        let routing = topk_routing(9, 8, 4, 9);
+        let pool = ThreadPool::new(4).unwrap();
+        let serial = moe.forward(&x, &routing, None, SchedulePolicy::Dynamic).unwrap();
+        for policy in [SchedulePolicy::Static, SchedulePolicy::Dynamic] {
+            let par = moe.forward(&x, &routing, Some(&pool), policy).unwrap();
+            assert_eq!(serial.as_slice(), par.as_slice(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn quantized_experts_are_close() {
+        let mut rng = seeded(10);
+        let hidden = 32;
+        let inter = 64;
+        let mut dense = Vec::new();
+        let mut packed = Vec::new();
+        for _ in 0..4 {
+            let gate = Matrix::random_kaiming(inter, hidden, &mut rng).unwrap();
+            let up = Matrix::random_kaiming(inter, hidden, &mut rng).unwrap();
+            let down = Matrix::random_kaiming(hidden, inter, &mut rng).unwrap();
+            packed.push(
+                ExpertWeights::from_matrices(&gate, &up, &down, WeightDtype::Int8 { group: 32 })
+                    .unwrap(),
+            );
+            dense.push((gate, up, down));
+        }
+        let moe = FusedMoE::new(packed, Backend::HybridAmxAvx512).unwrap();
+        let x = Matrix::random_uniform(5, hidden, 1.0, &mut rng).unwrap();
+        let routing = topk_routing(5, 4, 2, 11);
+        let expect = reference_moe(&x, &dense, &routing);
+        let got = moe.forward(&x, &routing, None, SchedulePolicy::Dynamic).unwrap();
+        let err = expect.relative_error(&got);
+        assert!(err < 0.05, "int8 err={err}");
+    }
+
+    #[test]
+    fn split_deferred_partitions_by_score() {
+        let routing = MoeRouting::new(vec![vec![(0, 0.1), (1, 0.9), (2, 0.5)]]);
+        let (imm, def) = routing.split_deferred(2);
+        assert_eq!(imm.assignments[0], vec![(1, 0.9), (2, 0.5)]);
+        assert_eq!(def.assignments[0], vec![(0, 0.1)]);
+        // Immediate + deferred must equal the full computation.
+        assert_eq!(imm.n_activations() + def.n_activations(), 3);
+    }
+
+    #[test]
+    fn deferred_split_forward_sums_to_full_forward() {
+        let (_, moe) = setup(8, 32, 48, 12);
+        let mut rng = seeded(13);
+        let x = Matrix::random_uniform(3, 32, 1.0, &mut rng).unwrap();
+        let routing = topk_routing(3, 8, 4, 14);
+        let full = moe.forward(&x, &routing, None, SchedulePolicy::Dynamic).unwrap();
+        let (imm, def) = routing.split_deferred(2);
+        let mut sum = moe.forward(&x, &imm, None, SchedulePolicy::Dynamic).unwrap();
+        moe.forward_accumulate(&x, &def, &mut sum, None, SchedulePolicy::Dynamic)
+            .unwrap();
+        let err = full.relative_error(&sum);
+        assert!(err < 1e-5, "err={err}");
+    }
+
+    #[test]
+    fn empty_routing_yields_zero_output() {
+        let (_, moe) = setup(4, 16, 24, 15);
+        let mut rng = seeded(16);
+        let x = Matrix::random_uniform(2, 16, 1.0, &mut rng).unwrap();
+        let routing = MoeRouting::new(vec![vec![], vec![]]);
+        let out = moe.forward(&x, &routing, None, SchedulePolicy::Dynamic).unwrap();
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn routing_validation_errors() {
+        let (_, moe) = setup(4, 16, 24, 17);
+        let mut rng = seeded(18);
+        let x = Matrix::random_uniform(2, 16, 1.0, &mut rng).unwrap();
+        // Wrong token count.
+        let r = MoeRouting::new(vec![vec![]]);
+        assert!(moe.forward(&x, &r, None, SchedulePolicy::Dynamic).is_err());
+        // Expert out of range.
+        let r = MoeRouting::new(vec![vec![(9, 1.0)], vec![]]);
+        assert!(moe.forward(&x, &r, None, SchedulePolicy::Dynamic).is_err());
+        // Wrong hidden dim.
+        let bad = Matrix::zeros(2, 8).unwrap();
+        let r = MoeRouting::new(vec![vec![], vec![]]);
+        assert!(moe.forward(&bad, &r, None, SchedulePolicy::Dynamic).is_err());
+    }
+
+    #[test]
+    fn accounting_counts_flops_and_bytes() {
+        let (_, moe) = setup(4, 16, 24, 19);
+        let routing = MoeRouting::new(vec![vec![(0, 1.0), (1, 0.5)], vec![(0, 0.3)]]);
+        // 3 activations x 3 projections x 2 * 16 * 24 flops.
+        assert_eq!(moe.flops(&routing), 3 * 3 * 2 * 16 * 24);
+        // Two distinct experts activated.
+        let one = moe.expert(0).stored_bytes() as u64;
+        assert_eq!(moe.weight_bytes(&routing), 2 * one);
+    }
+
+    #[test]
+    fn pool_serialization_round_trips() {
+        let (_, moe) = setup(4, 32, 48, 30);
+        let mut buf = Vec::new();
+        moe.write_to(&mut buf).unwrap();
+        let loaded = FusedMoE::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.n_experts(), 4);
+        let mut rng = seeded(31);
+        let x = Matrix::random_uniform(3, 32, 1.0, &mut rng).unwrap();
+        let routing = topk_routing(3, 4, 2, 32);
+        let a = moe.forward(&x, &routing, None, SchedulePolicy::Dynamic).unwrap();
+        let b = loaded
+            .forward(&x, &routing, None, SchedulePolicy::Dynamic)
+            .unwrap();
+        assert_eq!(a.as_slice(), b.as_slice(), "bit-exact after reload");
+        // Corrupt backend tag fails cleanly.
+        let mut bad = buf.clone();
+        bad[0] = 7;
+        assert!(FusedMoE::read_from(&mut bad.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_or_mismatched_pools() {
+        assert!(FusedMoE::new(vec![], Backend::HybridAmxAvx512).is_err());
+        let mut rng = seeded(20);
+        let a = ExpertWeights::random(16, 24, WeightDtype::F32, &mut rng).unwrap();
+        let b = ExpertWeights::random(16, 32, WeightDtype::F32, &mut rng).unwrap();
+        assert!(FusedMoE::new(vec![a, b], Backend::HybridAmxAvx512).is_err());
+    }
+}

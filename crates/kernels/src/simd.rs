@@ -1,0 +1,274 @@
+//! SIMD microkernels with runtime feature detection.
+//!
+//! The packed layout's [`kt_tensor::NR`] = 16 panel width was chosen to
+//! match one AMX tile row — and it is also exactly one AVX-512 `zmm`
+//! register of `f32`, or two AVX2 `ymm` registers. These microkernels
+//! exploit that: per K-step they broadcast one activation, load the
+//! staged 16-wide weight row and issue fused multiply-adds into
+//! register-resident accumulator tiles, which is precisely the inner
+//! loop of the paper's §3.2 kernels.
+//!
+//! Dispatch is by runtime detection (cached), with the portable scalar
+//! kernel as both the fallback and the golden reference; results differ
+//! from scalar only by FMA rounding.
+
+use kt_tensor::NR;
+use std::sync::OnceLock;
+
+/// Available instruction level, best first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// Portable scalar fallback.
+    Scalar,
+    /// AVX2 + FMA (two 8-lane registers per panel row).
+    Avx2Fma,
+    /// AVX-512F (one 16-lane register per panel row).
+    Avx512,
+}
+
+/// Detects the best available level (cached after first call).
+pub fn simd_level() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return SimdLevel::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return SimdLevel::Avx2Fma;
+            }
+        }
+        SimdLevel::Scalar
+    })
+}
+
+/// Portable scalar microkernel (the golden reference): accumulates `M`
+/// activation rows against one staged K-major panel block.
+#[allow(clippy::needless_range_loop)] // fixed-trip loops vectorize best
+#[inline]
+pub fn microkernel_scalar<const M: usize>(
+    a: [&[f32]; M],
+    staged: &[f32],
+    kb: usize,
+    acc: &mut [[f32; NR]; M],
+) {
+    for kk in 0..kb {
+        let wrow = &staged[kk * NR..kk * NR + NR];
+        for i in 0..M {
+            let ai = a[i][kk];
+            let t = &mut acc[i];
+            for j in 0..NR {
+                t[j] += ai * wrow[j];
+            }
+        }
+    }
+}
+
+/// AVX-512 microkernel: one `zmm` register per accumulator row.
+///
+/// # Safety
+///
+/// Callers must ensure AVX-512F is available (checked via
+/// [`simd_level`]). Slice bounds are enforced by the debug assertions
+/// and the loop structure: `staged` holds at least `kb * NR` values and
+/// every `a[i]` at least `kb`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+pub unsafe fn microkernel_avx512<const M: usize>(
+    a: [&[f32]; M],
+    staged: &[f32],
+    kb: usize,
+    acc: &mut [[f32; NR]; M],
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(staged.len() >= kb * NR);
+    for row in a.iter().take(M) {
+        debug_assert!(row.len() >= kb);
+    }
+    // SAFETY: All pointer arithmetic stays within the slices per the
+    // debug assertions above; NR == 16 matches one __m512 of f32.
+    unsafe {
+        let mut vacc = [_mm512_setzero_ps(); M];
+        for (i, t) in acc.iter().enumerate().take(M) {
+            vacc[i] = _mm512_loadu_ps(t.as_ptr());
+        }
+        let sp = staged.as_ptr();
+        for kk in 0..kb {
+            let w = _mm512_loadu_ps(sp.add(kk * NR));
+            for i in 0..M {
+                let ai = _mm512_set1_ps(*a[i].as_ptr().add(kk));
+                vacc[i] = _mm512_fmadd_ps(ai, w, vacc[i]);
+            }
+        }
+        for (i, t) in acc.iter_mut().enumerate().take(M) {
+            _mm512_storeu_ps(t.as_mut_ptr(), vacc[i]);
+        }
+    }
+}
+
+/// AVX2+FMA microkernel: two `ymm` registers per accumulator row.
+///
+/// # Safety
+///
+/// Callers must ensure AVX2 and FMA are available (checked via
+/// [`simd_level`]); bounds as for [`microkernel_avx512`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn microkernel_avx2<const M: usize>(
+    a: [&[f32]; M],
+    staged: &[f32],
+    kb: usize,
+    acc: &mut [[f32; NR]; M],
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(staged.len() >= kb * NR);
+    // SAFETY: As for `microkernel_avx512`; NR == 16 == 2 x __m256.
+    unsafe {
+        let mut lo = [_mm256_setzero_ps(); M];
+        let mut hi = [_mm256_setzero_ps(); M];
+        for i in 0..M {
+            lo[i] = _mm256_loadu_ps(acc[i].as_ptr());
+            hi[i] = _mm256_loadu_ps(acc[i].as_ptr().add(8));
+        }
+        let sp = staged.as_ptr();
+        for kk in 0..kb {
+            let wlo = _mm256_loadu_ps(sp.add(kk * NR));
+            let whi = _mm256_loadu_ps(sp.add(kk * NR + 8));
+            for i in 0..M {
+                let ai = _mm256_set1_ps(*a[i].as_ptr().add(kk));
+                lo[i] = _mm256_fmadd_ps(ai, wlo, lo[i]);
+                hi[i] = _mm256_fmadd_ps(ai, whi, hi[i]);
+            }
+        }
+        for i in 0..M {
+            _mm256_storeu_ps(acc[i].as_mut_ptr(), lo[i]);
+            _mm256_storeu_ps(acc[i].as_mut_ptr().add(8), hi[i]);
+        }
+    }
+}
+
+/// Dispatching microkernel: picks the best detected implementation.
+#[inline]
+pub fn microkernel<const M: usize>(
+    a: [&[f32]; M],
+    staged: &[f32],
+    kb: usize,
+    acc: &mut [[f32; NR]; M],
+) {
+    match simd_level() {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx512 =>
+        // SAFETY: `simd_level` verified AVX-512F support at runtime.
+        unsafe { microkernel_avx512::<M>(a, staged, kb, acc) },
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2Fma =>
+        // SAFETY: `simd_level` verified AVX2+FMA support at runtime.
+        unsafe { microkernel_avx2::<M>(a, staged, kb, acc) },
+        _ => microkernel_scalar::<M>(a, staged, kb, acc),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kt_tensor::rng::seeded;
+
+    fn random_inputs(kb: usize, m: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<f32>) {
+        let mut rng = seeded(seed);
+        let mut staged = vec![0.0f32; kb * NR];
+        kt_tensor::rng::fill_uniform(&mut rng, &mut staged, 1.0);
+        let a = (0..m)
+            .map(|_| {
+                let mut row = vec![0.0f32; kb];
+                kt_tensor::rng::fill_uniform(&mut rng, &mut row, 1.0);
+                row
+            })
+            .collect();
+        (a, staged)
+    }
+
+    fn check_level<const M: usize>(level: SimdLevel, kb: usize, seed: u64) {
+        if simd_level() < level {
+            return; // feature not available on this host
+        }
+        let (a_rows, staged) = random_inputs(kb, M, seed);
+        let a: [&[f32]; M] = std::array::from_fn(|i| a_rows[i].as_slice());
+        let mut expect = [[0.1f32; NR]; M];
+        let mut got = [[0.1f32; NR]; M];
+        microkernel_scalar::<M>(a, &staged, kb, &mut expect);
+        match level {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: guarded by the simd_level() check above.
+            SimdLevel::Avx512 => unsafe {
+                microkernel_avx512::<M>(a, &staged, kb, &mut got)
+            },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: guarded by the simd_level() check above.
+            SimdLevel::Avx2Fma => unsafe {
+                microkernel_avx2::<M>(a, &staged, kb, &mut got)
+            },
+            _ => microkernel_scalar::<M>(a, &staged, kb, &mut got),
+        }
+        for i in 0..M {
+            for j in 0..NR {
+                let e = expect[i][j];
+                let g = got[i][j];
+                // FMA changes rounding; tolerance scales with kb.
+                assert!(
+                    (e - g).abs() <= 1e-5 * (kb as f32) * e.abs().max(1.0),
+                    "{level:?} M={M} kb={kb} [{i}][{j}]: {e} vs {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn detection_is_stable() {
+        assert_eq!(simd_level(), simd_level());
+    }
+
+    #[test]
+    fn avx512_matches_scalar() {
+        for kb in [1usize, 3, 17, 256] {
+            check_level::<1>(SimdLevel::Avx512, kb, 1);
+            check_level::<2>(SimdLevel::Avx512, kb, 2);
+            check_level::<4>(SimdLevel::Avx512, kb, 3);
+        }
+    }
+
+    #[test]
+    fn avx2_matches_scalar() {
+        for kb in [1usize, 5, 64] {
+            check_level::<1>(SimdLevel::Avx2Fma, kb, 4);
+            check_level::<3>(SimdLevel::Avx2Fma, kb, 5);
+            check_level::<4>(SimdLevel::Avx2Fma, kb, 6);
+        }
+    }
+
+    #[test]
+    fn dispatcher_accumulates_into_existing_tiles() {
+        let (a_rows, staged) = random_inputs(8, 2, 7);
+        let a: [&[f32]; 2] = [a_rows[0].as_slice(), a_rows[1].as_slice()];
+        let mut acc = [[1.0f32; NR]; 2];
+        microkernel::<2>(a, &staged, 8, &mut acc);
+        let mut fresh = [[0.0f32; NR]; 2];
+        microkernel::<2>(a, &staged, 8, &mut fresh);
+        for i in 0..2 {
+            for j in 0..NR {
+                assert!((acc[i][j] - fresh[i][j] - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_kb_is_identity() {
+        let (a_rows, staged) = random_inputs(4, 1, 8);
+        let a: [&[f32]; 1] = [a_rows[0].as_slice()];
+        let mut acc = [[2.5f32; NR]; 1];
+        microkernel::<1>(a, &staged, 0, &mut acc);
+        assert!(acc[0].iter().all(|&v| v == 2.5));
+    }
+}

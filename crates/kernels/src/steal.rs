@@ -1,0 +1,184 @@
+//! Work-stealing task execution.
+//!
+//! The shared-counter queue in [`crate::schedule`] is the paper's
+//! "lightweight task queue"; this module provides the classic
+//! alternative — per-worker deques with stealing (crossbeam's
+//! `deque`) — so the two designs can be compared. Work stealing adds
+//! per-task overhead (CAS on a deque instead of one fetch-add) but
+//! preserves **locality**: a worker drains its own deque LIFO-adjacent
+//! tasks first, which keeps tasks that share an expert's weights on the
+//! same core — the cache-reuse co-scheduling §3.2 asks for.
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use crate::error::KernelError;
+
+/// Executes `n_tasks` index-addressed tasks across `n_threads` scoped
+/// workers using work-stealing deques. `f(i)` is called exactly once
+/// for every `i`; `home(i)` names the worker whose deque initially
+/// holds task `i` (use it to co-locate tasks sharing weights).
+///
+/// Unlike the persistent [`crate::schedule::ThreadPool`], workers are
+/// scoped to the call — this entry point targets batch (prefill-style)
+/// work where spawn cost amortizes.
+///
+/// # Errors
+///
+/// Returns [`KernelError::Config`] when `n_threads` is zero.
+///
+/// # Panics
+///
+/// Re-raises (as a panic) if any task panicked.
+pub fn run_stealing<F, H>(
+    n_threads: usize,
+    n_tasks: usize,
+    home: H,
+    f: F,
+) -> Result<(), KernelError>
+where
+    F: Fn(usize) + Sync,
+    H: Fn(usize) -> usize,
+{
+    if n_threads == 0 {
+        return Err(KernelError::config("work stealing requires >= 1 thread"));
+    }
+    if n_tasks == 0 {
+        return Ok(());
+    }
+    // Build per-worker deques and seed them by home affinity.
+    let workers: Vec<Worker<usize>> = (0..n_threads).map(|_| Worker::new_fifo()).collect();
+    let injector: Injector<usize> = Injector::new();
+    for i in 0..n_tasks {
+        let h = home(i) % n_threads;
+        workers[h].push(i);
+    }
+    let stealers: Vec<Stealer<usize>> = workers.iter().map(Worker::stealer).collect();
+    let remaining = AtomicUsize::new(n_tasks);
+    let panicked = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        for (wid, worker) in workers.into_iter().enumerate() {
+            let stealers = &stealers;
+            let injector = &injector;
+            let remaining = &remaining;
+            let panicked = &panicked;
+            let f = &f;
+            scope.spawn(move || {
+                let run_one = |task: usize| {
+                    if catch_unwind(AssertUnwindSafe(|| f(task))).is_err() {
+                        panicked.store(true, Ordering::Release);
+                    }
+                    remaining.fetch_sub(1, Ordering::AcqRel);
+                };
+                loop {
+                    // 1. Own deque first (locality).
+                    if let Some(task) = worker.pop() {
+                        run_one(task);
+                        continue;
+                    }
+                    if remaining.load(Ordering::Acquire) == 0 {
+                        return;
+                    }
+                    // 2. Global injector, then 3. steal round-robin.
+                    let mut found = false;
+                    if let crossbeam::deque::Steal::Success(task) =
+                        injector.steal_batch_and_pop(&worker)
+                    {
+                        run_one(task);
+                        found = true;
+                    } else {
+                        for off in 1..stealers.len().max(2) {
+                            let victim = (wid + off) % stealers.len();
+                            if victim == wid {
+                                continue;
+                            }
+                            if let crossbeam::deque::Steal::Success(task) =
+                                stealers[victim].steal_batch_and_pop(&worker)
+                            {
+                                run_one(task);
+                                found = true;
+                                break;
+                            }
+                        }
+                    }
+                    if !found {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    });
+    if panicked.load(Ordering::Acquire) {
+        panic!("a stolen task panicked");
+    }
+    debug_assert_eq!(remaining.load(Ordering::Acquire), 0);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn zero_threads_is_rejected_and_zero_tasks_is_noop() {
+        assert!(run_stealing(0, 4, |i| i, |_| {}).is_err());
+        run_stealing(2, 0, |i| i, |_| panic!("must not run")).unwrap();
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        for threads in [1usize, 2, 4] {
+            let n = 203;
+            let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            run_stealing(threads, n, |i| i % threads, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+            assert!(
+                counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_home_assignment_still_completes() {
+        // All tasks seeded on worker 0: the others must steal.
+        let n = 64;
+        let done = AtomicU64::new(0);
+        run_stealing(4, n, |_| 0, |_| {
+            done.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(done.load(Ordering::Relaxed), n as u64);
+    }
+
+    #[test]
+    fn results_are_deterministic_values() {
+        let n = 100;
+        let out: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        run_stealing(3, n, |i| i / 16, |i| {
+            out[i].store((i * 3) as u64, Ordering::Relaxed);
+        })
+        .unwrap();
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.load(Ordering::Relaxed), (i * 3) as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "a stolen task panicked")]
+    fn task_panics_propagate_after_completion() {
+        let done = AtomicU64::new(0);
+        run_stealing(2, 16, |i| i % 2, |i| {
+            if i == 7 {
+                panic!("boom");
+            }
+            done.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for model construction and execution.
+
+use std::fmt;
+
+/// Errors produced by model-layer code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// Invalid model configuration.
+    Config {
+        /// Human-readable description.
+        what: String,
+    },
+    /// Shape or sequencing error during execution.
+    Exec {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl ModelError {
+    /// Convenience constructor for [`ModelError::Config`].
+    pub fn config(what: impl Into<String>) -> Self {
+        ModelError::Config { what: what.into() }
+    }
+
+    /// Convenience constructor for [`ModelError::Exec`].
+    pub fn exec(what: impl Into<String>) -> Self {
+        ModelError::Exec { what: what.into() }
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Config { what } => write!(f, "invalid model config: {what}"),
+            ModelError::Exec { what } => write!(f, "model execution error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<kt_kernels::KernelError> for ModelError {
+    fn from(e: kt_kernels::KernelError) -> Self {
+        ModelError::exec(e.to_string())
+    }
+}
+
+impl From<kt_tensor::TensorError> for ModelError {
+    fn from(e: kt_tensor::TensorError) -> Self {
+        ModelError::exec(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let ke = kt_kernels::KernelError::shape("bad");
+        let me: ModelError = ke.into();
+        assert!(me.to_string().contains("bad"));
+        let te = kt_tensor::TensorError::shape("worse");
+        let me: ModelError = te.into();
+        assert!(me.to_string().contains("worse"));
+    }
+}

@@ -1,0 +1,423 @@
+//! Per-layer KV caches.
+//!
+//! Grouped-query attention caches roped keys and values per position;
+//! MLA caches the compressed per-token latent instead (the memory win
+//! that makes DeepSeek's attention GPU-resident even at long contexts).
+
+use crate::error::ModelError;
+
+/// Abstract per-layer KV storage: what attention needs from a cache.
+///
+/// Implemented by the flat [`LayerCache`] and by the two-tier
+/// [`OffloadedLayerCache`] (§5 lists KV-cache offloading among the
+/// techniques the injection framework enables).
+pub trait KvStore {
+    /// Number of cached positions.
+    fn len(&self) -> usize;
+    /// Whether no positions are cached.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Appends one position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Exec`] when full or on width mismatch.
+    fn push(&mut self, k_row: &[f32], v_row: &[f32]) -> Result<(), ModelError>;
+    /// Key (or latent) row at `pos`.
+    fn k_row(&self, pos: usize) -> &[f32];
+    /// Value row at `pos`.
+    fn v_row(&self, pos: usize) -> &[f32];
+}
+
+/// The cache of one attention layer.
+///
+/// Rows are positions; `k_width`/`v_width` depend on the attention kind
+/// (GQA: `kv_heads * head_dim` each; MLA: latent rank and 0).
+#[derive(Debug, Clone)]
+pub struct LayerCache {
+    k: Vec<f32>,
+    v: Vec<f32>,
+    k_width: usize,
+    v_width: usize,
+    len: usize,
+    capacity: usize,
+}
+
+impl LayerCache {
+    /// Creates an empty cache with row widths and position capacity.
+    pub fn new(k_width: usize, v_width: usize, capacity: usize) -> Self {
+        LayerCache {
+            k: Vec::with_capacity(k_width * capacity.min(64)),
+            v: Vec::with_capacity(v_width * capacity.min(64)),
+            k_width,
+            v_width,
+            len: 0,
+            capacity,
+        }
+    }
+
+    /// Number of cached positions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no positions are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum positions this cache will accept.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Key (or latent) row width.
+    pub fn k_width(&self) -> usize {
+        self.k_width
+    }
+
+    /// Value row width.
+    pub fn v_width(&self) -> usize {
+        self.v_width
+    }
+
+    /// Appends one position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Exec`] when full or on width mismatch.
+    pub fn push(&mut self, k_row: &[f32], v_row: &[f32]) -> Result<(), ModelError> {
+        if self.len >= self.capacity {
+            return Err(ModelError::exec(format!(
+                "KV cache full at {} positions",
+                self.capacity
+            )));
+        }
+        if k_row.len() != self.k_width || v_row.len() != self.v_width {
+            return Err(ModelError::exec(format!(
+                "cache row widths {}/{} do not match {}/{}",
+                k_row.len(),
+                v_row.len(),
+                self.k_width,
+                self.v_width
+            )));
+        }
+        self.k.extend_from_slice(k_row);
+        self.v.extend_from_slice(v_row);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Key/latent row at position `pos`.
+    pub fn k_row(&self, pos: usize) -> &[f32] {
+        &self.k[pos * self.k_width..(pos + 1) * self.k_width]
+    }
+
+    /// Value row at position `pos`.
+    pub fn v_row(&self, pos: usize) -> &[f32] {
+        &self.v[pos * self.v_width..(pos + 1) * self.v_width]
+    }
+
+    /// Clears all cached positions (new conversation).
+    pub fn reset(&mut self) {
+        self.k.clear();
+        self.v.clear();
+        self.len = 0;
+    }
+
+    /// Bytes currently held (the quantity MLA compresses).
+    pub fn bytes(&self) -> usize {
+        (self.k.len() + self.v.len()) * std::mem::size_of::<f32>()
+    }
+}
+
+impl KvStore for LayerCache {
+    fn len(&self) -> usize {
+        LayerCache::len(self)
+    }
+
+    fn push(&mut self, k_row: &[f32], v_row: &[f32]) -> Result<(), ModelError> {
+        LayerCache::push(self, k_row, v_row)
+    }
+
+    fn k_row(&self, pos: usize) -> &[f32] {
+        LayerCache::k_row(self, pos)
+    }
+
+    fn v_row(&self, pos: usize) -> &[f32] {
+        LayerCache::v_row(self, pos)
+    }
+}
+
+/// A two-tier KV cache: the most recent `window` positions stay in the
+/// fast (GPU) tier, older positions are evicted to the large (CPU/DRAM)
+/// tier. Reads from the slow tier are counted so deployments can size
+/// the window against their PCIe budget.
+///
+/// Eviction is strictly FIFO (attention reads every position each step
+/// anyway, so recency is the only useful policy without sparsity).
+#[derive(Debug, Clone)]
+pub struct OffloadedLayerCache {
+    /// Fast-tier rows, indexed by `pos - offloaded`.
+    gpu: LayerCache,
+    /// Slow-tier rows, indexed by `pos`.
+    cpu: LayerCache,
+    /// Fast-tier capacity in positions.
+    window: usize,
+    /// Positions evicted to the slow tier so far.
+    offloaded: usize,
+    /// Bytes moved fast -> slow (eviction traffic).
+    evicted_bytes: usize,
+}
+
+impl OffloadedLayerCache {
+    /// Creates a two-tier cache: `window` fast positions, `capacity`
+    /// total.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Config`] when `window` is zero or exceeds
+    /// `capacity`.
+    pub fn new(
+        k_width: usize,
+        v_width: usize,
+        window: usize,
+        capacity: usize,
+    ) -> Result<Self, ModelError> {
+        if window == 0 || window > capacity {
+            return Err(ModelError::config(format!(
+                "window {window} must be in 1..={capacity}"
+            )));
+        }
+        Ok(OffloadedLayerCache {
+            gpu: LayerCache::new(k_width, v_width, capacity),
+            cpu: LayerCache::new(k_width, v_width, capacity),
+            window,
+            offloaded: 0,
+            evicted_bytes: 0,
+        })
+    }
+
+    /// Positions currently in the fast tier.
+    pub fn fast_len(&self) -> usize {
+        self.gpu.len()
+    }
+
+    /// Positions evicted to the slow tier.
+    pub fn slow_len(&self) -> usize {
+        self.cpu.len()
+    }
+
+    /// Bytes moved to the slow tier so far.
+    pub fn evicted_bytes(&self) -> usize {
+        self.evicted_bytes
+    }
+
+    /// Bytes resident in the fast tier (the VRAM the window costs).
+    pub fn fast_bytes(&self) -> usize {
+        self.gpu.bytes()
+    }
+
+    fn maybe_evict(&mut self) -> Result<(), ModelError> {
+        // Evict the oldest fast row once the window is exceeded. The
+        // fast tier is a LayerCache without removal, so rebuild it —
+        // O(window) per eviction, acceptable for a reference
+        // implementation whose costs are modeled, not measured.
+        if self.gpu.len() <= self.window {
+            return Ok(());
+        }
+        let k0 = self.gpu.k_row(0).to_vec();
+        let v0 = self.gpu.v_row(0).to_vec();
+        self.cpu.push(&k0, &v0)?;
+        self.evicted_bytes += (k0.len() + v0.len()) * std::mem::size_of::<f32>();
+        let mut rebuilt = LayerCache::new(
+            self.gpu.k_width(),
+            self.gpu.v_width(),
+            self.gpu.capacity(),
+        );
+        for pos in 1..self.gpu.len() {
+            rebuilt.push(self.gpu.k_row(pos), self.gpu.v_row(pos))?;
+        }
+        self.gpu = rebuilt;
+        self.offloaded += 1;
+        Ok(())
+    }
+}
+
+impl KvStore for OffloadedLayerCache {
+    fn len(&self) -> usize {
+        self.offloaded + self.gpu.len()
+    }
+
+    fn push(&mut self, k_row: &[f32], v_row: &[f32]) -> Result<(), ModelError> {
+        self.gpu.push(k_row, v_row)?;
+        self.maybe_evict()
+    }
+
+    fn k_row(&self, pos: usize) -> &[f32] {
+        if pos < self.offloaded {
+            self.cpu.k_row(pos)
+        } else {
+            self.gpu.k_row(pos - self.offloaded)
+        }
+    }
+
+    fn v_row(&self, pos: usize) -> &[f32] {
+        if pos < self.offloaded {
+            self.cpu.v_row(pos)
+        } else {
+            self.gpu.v_row(pos - self.offloaded)
+        }
+    }
+}
+
+/// All layers' caches for one sequence.
+#[derive(Debug, Clone)]
+pub struct KvCache {
+    layers: Vec<LayerCache>,
+}
+
+impl KvCache {
+    /// Builds caches from per-layer `(k_width, v_width)` specs.
+    pub fn new(specs: &[(usize, usize)], capacity: usize) -> Self {
+        KvCache {
+            layers: specs
+                .iter()
+                .map(|&(kw, vw)| LayerCache::new(kw, vw, capacity))
+                .collect(),
+        }
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Sequence length (positions cached in layer 0).
+    pub fn seq_len(&self) -> usize {
+        self.layers.first().map_or(0, LayerCache::len)
+    }
+
+    /// Mutable access to one layer's cache.
+    pub fn layer_mut(&mut self, i: usize) -> &mut LayerCache {
+        &mut self.layers[i]
+    }
+
+    /// Shared access to one layer's cache.
+    pub fn layer(&self, i: usize) -> &LayerCache {
+        &self.layers[i]
+    }
+
+    /// Clears all layers.
+    pub fn reset(&mut self) {
+        for l in &mut self.layers {
+            l.reset();
+        }
+    }
+
+    /// Total cached bytes across layers.
+    pub fn bytes(&self) -> usize {
+        self.layers.iter().map(LayerCache::bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_round_trip() {
+        let mut c = LayerCache::new(4, 2, 8);
+        c.push(&[1.0, 2.0, 3.0, 4.0], &[5.0, 6.0]).unwrap();
+        c.push(&[7.0, 8.0, 9.0, 10.0], &[11.0, 12.0]).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.k_row(0), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(c.v_row(1), &[11.0, 12.0]);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut c = LayerCache::new(2, 2, 1);
+        c.push(&[0.0; 2], &[0.0; 2]).unwrap();
+        assert!(c.push(&[0.0; 2], &[0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn width_mismatch_is_rejected() {
+        let mut c = LayerCache::new(4, 2, 8);
+        assert!(c.push(&[0.0; 3], &[0.0; 2]).is_err());
+        assert!(c.push(&[0.0; 4], &[0.0; 1]).is_err());
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn zero_width_values_for_mla() {
+        let mut c = LayerCache::new(8, 0, 4);
+        c.push(&[0.5; 8], &[]).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.v_row(0), &[] as &[f32]);
+        assert_eq!(c.bytes(), 32);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = LayerCache::new(2, 2, 4);
+        c.push(&[1.0; 2], &[2.0; 2]).unwrap();
+        c.reset();
+        assert!(c.is_empty());
+        c.push(&[3.0; 2], &[4.0; 2]).unwrap();
+        assert_eq!(c.k_row(0), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn offloaded_cache_preserves_logical_view() {
+        let mut plain = LayerCache::new(3, 2, 32);
+        let mut tiered = OffloadedLayerCache::new(3, 2, 4, 32).unwrap();
+        for pos in 0..10 {
+            let k = [pos as f32; 3];
+            let v = [pos as f32 * 10.0; 2];
+            KvStore::push(&mut plain, &k, &v).unwrap();
+            tiered.push(&k, &v).unwrap();
+        }
+        assert_eq!(KvStore::len(&tiered), 10);
+        assert_eq!(tiered.fast_len(), 4);
+        assert_eq!(tiered.slow_len(), 6);
+        for pos in 0..10 {
+            assert_eq!(KvStore::k_row(&plain, pos), KvStore::k_row(&tiered, pos));
+            assert_eq!(KvStore::v_row(&plain, pos), KvStore::v_row(&tiered, pos));
+        }
+    }
+
+    #[test]
+    fn offloaded_cache_counts_eviction_traffic() {
+        let mut tiered = OffloadedLayerCache::new(4, 4, 2, 16).unwrap();
+        for _ in 0..5 {
+            tiered.push(&[0.0; 4], &[0.0; 4]).unwrap();
+        }
+        // 3 evictions x 8 f32 = 96 bytes.
+        assert_eq!(tiered.evicted_bytes(), 3 * 8 * 4);
+        // Fast tier holds exactly the window.
+        assert_eq!(tiered.fast_bytes(), 2 * 8 * 4);
+    }
+
+    #[test]
+    fn offloaded_cache_validates_window() {
+        assert!(OffloadedLayerCache::new(4, 4, 0, 8).is_err());
+        assert!(OffloadedLayerCache::new(4, 4, 9, 8).is_err());
+        assert!(OffloadedLayerCache::new(4, 4, 8, 8).is_ok());
+    }
+
+    #[test]
+    fn multi_layer_cache_tracks_seq_len() {
+        let mut kv = KvCache::new(&[(4, 4), (8, 0)], 16);
+        assert_eq!(kv.n_layers(), 2);
+        assert_eq!(kv.seq_len(), 0);
+        kv.layer_mut(0).push(&[0.0; 4], &[0.0; 4]).unwrap();
+        kv.layer_mut(1).push(&[0.0; 8], &[]).unwrap();
+        assert_eq!(kv.seq_len(), 1);
+        assert!(kv.bytes() > 0);
+        kv.reset();
+        assert_eq!(kv.seq_len(), 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! RMSNorm, the normalization used by DeepSeek and Qwen models.
+
+use kt_tensor::Matrix;
+use rand::rngs::StdRng;
+
+/// Root-mean-square layer normalization with a learned gain.
+#[derive(Debug, Clone)]
+pub struct RmsNorm {
+    weight: Vec<f32>,
+    eps: f32,
+}
+
+impl RmsNorm {
+    /// Creates an RMSNorm with unit gains.
+    pub fn ones(dim: usize) -> Self {
+        RmsNorm {
+            weight: vec![1.0; dim],
+            eps: 1e-6,
+        }
+    }
+
+    /// Creates an RMSNorm with gains perturbed around 1 (so tests
+    /// exercise the gain path).
+    pub fn random(dim: usize, rng: &mut StdRng) -> Self {
+        let mut w = vec![0.0f32; dim];
+        kt_tensor::rng::fill_uniform(rng, &mut w, 0.1);
+        for v in &mut w {
+            *v += 1.0;
+        }
+        RmsNorm {
+            weight: w,
+            eps: 1e-6,
+        }
+    }
+
+    /// Normalized dimension.
+    pub fn dim(&self) -> usize {
+        self.weight.len()
+    }
+
+    /// Normalizes a single vector into `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths disagree with the norm dimension.
+    pub fn forward_row(&self, x: &[f32], dst: &mut [f32]) {
+        assert_eq!(x.len(), self.weight.len());
+        assert_eq!(dst.len(), self.weight.len());
+        let ms: f32 = x.iter().map(|v| v * v).sum::<f32>() / x.len() as f32;
+        let inv = 1.0 / (ms + self.eps).sqrt();
+        for ((d, &v), &w) in dst.iter_mut().zip(x).zip(&self.weight) {
+            *d = v * inv * w;
+        }
+    }
+
+    /// Serializes the norm (gains + epsilon).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_to(&self, w: &mut impl std::io::Write) -> Result<(), crate::error::ModelError> {
+        kt_tensor::serial::write_f32s(w, &self.weight)?;
+        kt_tensor::serial::write_f32s(w, &[self.eps])?;
+        Ok(())
+    }
+
+    /// Deserializes a norm written by [`RmsNorm::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for corrupt payloads.
+    pub fn read_from(r: &mut impl std::io::Read) -> Result<Self, crate::error::ModelError> {
+        let weight = kt_tensor::serial::read_f32s(r, kt_tensor::serial::MAX_ELEMS)?;
+        let eps_v = kt_tensor::serial::read_f32s(r, 1)?;
+        if weight.is_empty() || eps_v.len() != 1 {
+            return Err(crate::error::ModelError::exec("corrupt RmsNorm payload"));
+        }
+        Ok(RmsNorm {
+            weight,
+            eps: eps_v[0],
+        })
+    }
+
+    /// Normalizes every row of `x`, returning a fresh matrix.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), x.cols()).expect("nonzero dims");
+        for r in 0..x.rows() {
+            self.forward_row(x.row(r), out.row_mut(r));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kt_tensor::rng::seeded;
+
+    #[test]
+    fn unit_gain_normalizes_rms_to_one() {
+        let norm = RmsNorm::ones(4);
+        let x = [2.0f32, -2.0, 2.0, -2.0];
+        let mut y = [0.0f32; 4];
+        norm.forward_row(&x, &mut y);
+        let ms: f32 = y.iter().map(|v| v * v).sum::<f32>() / 4.0;
+        assert!((ms - 1.0).abs() < 1e-4);
+        assert_eq!(y[0].signum(), 1.0);
+        assert_eq!(y[1].signum(), -1.0);
+    }
+
+    #[test]
+    fn scale_invariance() {
+        let norm = RmsNorm::ones(8);
+        let mut rng = seeded(1);
+        let mut x = vec![0.0f32; 8];
+        kt_tensor::rng::fill_uniform(&mut rng, &mut x, 1.0);
+        let mut y1 = vec![0.0f32; 8];
+        let mut y2 = vec![0.0f32; 8];
+        norm.forward_row(&x, &mut y1);
+        let scaled: Vec<f32> = x.iter().map(|v| v * 100.0).collect();
+        norm.forward_row(&scaled, &mut y2);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gains_are_applied() {
+        let norm = RmsNorm {
+            weight: vec![2.0, 0.5],
+            eps: 1e-6,
+        };
+        let x = [1.0f32, 1.0];
+        let mut y = [0.0f32; 2];
+        norm.forward_row(&x, &mut y);
+        assert!((y[0] / y[1] - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn matrix_forward_matches_rows() {
+        let mut rng = seeded(2);
+        let norm = RmsNorm::random(6, &mut rng);
+        let x = Matrix::random_uniform(3, 6, 1.0, &mut rng).unwrap();
+        let y = norm.forward(&x);
+        for r in 0..3 {
+            let mut row = vec![0.0f32; 6];
+            norm.forward_row(x.row(r), &mut row);
+            assert_eq!(y.row(r), row.as_slice());
+        }
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let mut rng = seeded(3);
+        let norm = RmsNorm::random(6, &mut rng);
+        let mut buf = Vec::new();
+        norm.write_to(&mut buf).unwrap();
+        let loaded = RmsNorm::read_from(&mut buf.as_slice()).unwrap();
+        let x = [0.3f32, -1.0, 0.5, 2.0, -0.2, 0.9];
+        let mut a = [0.0f32; 6];
+        let mut b = [0.0f32; 6];
+        norm.forward_row(&x, &mut a);
+        loaded.forward_row(&x, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_vector_is_safe() {
+        let norm = RmsNorm::ones(4);
+        let x = [0.0f32; 4];
+        let mut y = [1.0f32; 4];
+        norm.forward_row(&x, &mut y);
+        assert!(y.iter().all(|v| v.is_finite() && *v == 0.0));
+    }
+}

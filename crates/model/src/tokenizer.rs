@@ -1,0 +1,54 @@
+//! Byte-level tokenizer.
+//!
+//! The scaled-down models use a 256-entry vocabulary, which makes the
+//! identity byte mapping a *lossless* tokenizer: any UTF-8 text round
+//! trips exactly. This keeps examples and tests working on real strings
+//! without shipping a trained vocabulary.
+
+/// Encodes text as its UTF-8 bytes (token ids 0..=255).
+pub fn encode(text: &str) -> Vec<u32> {
+    text.bytes().map(u32::from).collect()
+}
+
+/// Decodes token ids back to text; ids above 255 and invalid UTF-8
+/// sequences are replaced with `U+FFFD` (lossy, like console output).
+pub fn decode(tokens: &[u32]) -> String {
+    let bytes: Vec<u8> = tokens
+        .iter()
+        .map(|&t| u8::try_from(t).unwrap_or(b'?'))
+        .collect();
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Vocabulary size of the byte tokenizer.
+pub const VOCAB: usize = 256;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_round_trips() {
+        let text = "KTransformers: hybrid inference!";
+        assert_eq!(decode(&encode(text)), text);
+    }
+
+    #[test]
+    fn utf8_round_trips() {
+        let text = "Mixture-of-Experts — 专家混合 🚀";
+        assert_eq!(decode(&encode(text)), text);
+    }
+
+    #[test]
+    fn all_ids_are_in_vocab() {
+        let ids = encode("any text at all");
+        assert!(ids.iter().all(|&t| (t as usize) < VOCAB));
+    }
+
+    #[test]
+    fn out_of_range_ids_decode_lossily() {
+        let s = decode(&[72, 105, 9999]);
+        assert!(s.starts_with("Hi"));
+        assert_eq!(s.len(), 3);
+    }
+}

@@ -1,0 +1,201 @@
+//! Cache-line-aligned buffers.
+//!
+//! The paper's AMX memory layout requires every tile to start on a 64-byte
+//! boundary ("Tiles are memory-aligned to 64-byte cache lines, optimizing
+//! cache efficiency and prefetching performance", §3.2). Rust's `Vec` only
+//! guarantees the alignment of its element type, so we provide a small
+//! aligned buffer built on the raw allocator.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+
+/// Alignment (in bytes) used for all packed tensor storage.
+///
+/// 64 bytes is both the x86 cache-line size and the row width of an AMX
+/// tile register, which is why the paper aligns its packed weights to it.
+pub const CACHE_LINE: usize = 64;
+
+/// A fixed-size, 64-byte-aligned, zero-initialized buffer of `T`.
+///
+/// `T` must be a plain-old-data type for which the all-zeroes bit pattern
+/// is a valid value (`f32`, `u8`, `i8`, `u16`, `u32`, ...). The buffer
+/// cannot grow; packing code computes its exact size up front, mirroring
+/// the one-shot preprocessing step performed at model-load time.
+pub struct AlignedBuf<T: Copy> {
+    ptr: NonNull<T>,
+    len: usize,
+    _marker: PhantomData<T>,
+}
+
+// SAFETY: `AlignedBuf` owns its allocation exclusively; `T: Copy` types
+// carry no interior mutability or thread affinity.
+unsafe impl<T: Copy + Send> Send for AlignedBuf<T> {}
+// SAFETY: Shared references only permit reads of plain-old-data.
+unsafe impl<T: Copy + Sync> Sync for AlignedBuf<T> {}
+
+impl<T: Copy> AlignedBuf<T> {
+    /// Allocates a zeroed buffer holding `len` elements of `T`.
+    ///
+    /// A `len` of zero is permitted and allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics on allocation failure (delegated to [`handle_alloc_error`])
+    /// or if the total size overflows `isize`.
+    pub fn zeroed(len: usize) -> Self {
+        if len == 0 {
+            return AlignedBuf {
+                ptr: NonNull::dangling(),
+                len: 0,
+                _marker: PhantomData,
+            };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: `layout` has nonzero size (len > 0) and valid alignment.
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<T>()) else {
+            handle_alloc_error(layout);
+        };
+        AlignedBuf {
+            ptr,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Builds an aligned buffer by copying `src`.
+    pub fn from_slice(src: &[T]) -> Self {
+        let mut buf = Self::zeroed(src.len());
+        buf.as_mut_slice().copy_from_slice(src);
+        buf
+    }
+
+    /// Number of elements in the buffer.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read-only view of the contents.
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: `ptr` is valid for `len` contiguous initialized `T`
+        // (zeroed at allocation, `T: Copy` has no invalid bit patterns by
+        // the type's contract documented on `AlignedBuf`).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Mutable view of the contents.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: As in `as_slice`; `&mut self` guarantees uniqueness.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+
+    fn layout(len: usize) -> Layout {
+        let bytes = len
+            .checked_mul(std::mem::size_of::<T>())
+            .expect("AlignedBuf size overflow");
+        let align = CACHE_LINE.max(std::mem::align_of::<T>());
+        Layout::from_size_align(bytes, align).expect("AlignedBuf layout overflow")
+    }
+}
+
+impl<T: Copy> Drop for AlignedBuf<T> {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            let layout = Self::layout(self.len);
+            // SAFETY: `ptr` was allocated with exactly this layout in
+            // `zeroed` and has not been freed.
+            unsafe { dealloc(self.ptr.as_ptr().cast::<u8>(), layout) };
+        }
+    }
+}
+
+impl<T: Copy> Clone for AlignedBuf<T> {
+    fn clone(&self) -> Self {
+        Self::from_slice(self.as_slice())
+    }
+}
+
+impl<T: Copy> Deref for AlignedBuf<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy> DerefMut for AlignedBuf<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for AlignedBuf<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlignedBuf")
+            .field("len", &self.len)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_zero_and_aligned() {
+        let buf = AlignedBuf::<f32>::zeroed(1000);
+        assert_eq!(buf.len(), 1000);
+        assert!(buf.iter().all(|&x| x == 0.0));
+        assert_eq!(buf.as_slice().as_ptr() as usize % CACHE_LINE, 0);
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        let data: Vec<u8> = (0..=255).collect();
+        let buf = AlignedBuf::from_slice(&data);
+        assert_eq!(buf.as_slice(), data.as_slice());
+        assert_eq!(buf.as_slice().as_ptr() as usize % CACHE_LINE, 0);
+    }
+
+    #[test]
+    fn empty_buffer_is_ok() {
+        let buf = AlignedBuf::<f32>::zeroed(0);
+        assert!(buf.is_empty());
+        assert_eq!(buf.as_slice(), &[] as &[f32]);
+        let cloned = buf.clone();
+        assert!(cloned.is_empty());
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = AlignedBuf::<u32>::zeroed(16);
+        a[0] = 7;
+        let b = a.clone();
+        a[0] = 9;
+        assert_eq!(b[0], 7);
+    }
+
+    #[test]
+    fn mutation_via_deref_mut() {
+        let mut buf = AlignedBuf::<i8>::zeroed(8);
+        for (i, x) in buf.iter_mut().enumerate() {
+            *x = i as i8;
+        }
+        assert_eq!(buf.as_slice(), &[0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn alignment_holds_for_many_sizes() {
+        for len in [1usize, 3, 15, 16, 17, 63, 64, 65, 1023] {
+            let buf = AlignedBuf::<u8>::zeroed(len);
+            assert_eq!(buf.as_slice().as_ptr() as usize % CACHE_LINE, 0, "len={len}");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! A minimal BF16 (bfloat16) storage type.
+//!
+//! The paper's full-precision deployments store weights in BF16, the
+//! native input type of AMX `TDPBF16PS` tile multiplies. We model BF16 as
+//! a storage-only format: values are widened to `f32` for arithmetic, as
+//! AMX itself accumulates into `f32` tiles.
+
+/// A bfloat16 value: the upper 16 bits of an IEEE-754 `f32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(transparent)]
+pub struct Bf16(pub u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3F80);
+
+    /// Converts from `f32` with round-to-nearest-even, the rounding mode
+    /// used by hardware BF16 conversion instructions.
+    pub fn from_f32(v: f32) -> Self {
+        let bits = v.to_bits();
+        if v.is_nan() {
+            // Preserve NaN; set the quiet bit so truncation cannot yield Inf.
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        // Round to nearest even on the truncated 16 bits.
+        let round_bit = 0x0000_8000u32;
+        let lsb = (bits >> 16) & 1;
+        let rounded = bits.wrapping_add(round_bit - 1 + lsb);
+        Bf16((rounded >> 16) as u16)
+    }
+
+    /// Widens to `f32` (exact; BF16 is a prefix of the f32 encoding).
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+}
+
+impl From<f32> for Bf16 {
+    fn from(v: f32) -> Self {
+        Bf16::from_f32(v)
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(v: Bf16) -> f32 {
+        v.to_f32()
+    }
+}
+
+/// Converts a slice of `f32` into BF16 values.
+pub fn quantize_slice(src: &[f32]) -> Vec<Bf16> {
+    src.iter().map(|&v| Bf16::from_f32(v)).collect()
+}
+
+/// Widens a slice of BF16 values into `f32`.
+pub fn dequantize_slice(src: &[Bf16]) -> Vec<f32> {
+    src.iter().map(|v| v.to_f32()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_round_trip() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, -0.5, 2.0, 256.0, -1024.0] {
+            assert_eq!(Bf16::from_f32(v).to_f32(), v, "v={v}");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // BF16 has 8 significand bits: relative error <= 2^-8 under RNE.
+        let mut v = 1.0e-3f32;
+        while v < 1.0e6 {
+            let q = Bf16::from_f32(v).to_f32();
+            let rel = ((q - v) / v).abs();
+            assert!(rel <= 1.0 / 256.0, "v={v} q={q} rel={rel}");
+            v *= 1.7;
+        }
+    }
+
+    #[test]
+    fn rounding_is_to_nearest_even() {
+        // 1.0 + 2^-9 is exactly halfway between bf16(1.0) and the next
+        // representable value; RNE must choose the even mantissa (1.0).
+        let halfway = f32::from_bits(0x3F80_8000);
+        assert_eq!(Bf16::from_f32(halfway).to_f32(), 1.0);
+        // Slightly above the halfway point must round up.
+        let above = f32::from_bits(0x3F80_8001);
+        assert!(Bf16::from_f32(above).to_f32() > 1.0);
+    }
+
+    #[test]
+    fn nan_and_inf_are_preserved() {
+        assert!(Bf16::from_f32(f32::NAN).to_f32().is_nan());
+        assert_eq!(Bf16::from_f32(f32::INFINITY).to_f32(), f32::INFINITY);
+        assert_eq!(Bf16::from_f32(f32::NEG_INFINITY).to_f32(), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn slice_helpers_round_trip_exact_values() {
+        let src = vec![0.0f32, 1.5, -3.0, 64.0];
+        let q = quantize_slice(&src);
+        assert_eq!(dequantize_slice(&q), src);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type shared by the tensor layer.
+
+use std::fmt;
+
+/// Errors produced by tensor construction, packing and quantization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// A shape argument was invalid (zero-sized or mismatched).
+    Shape {
+        /// Human-readable description of the violated expectation.
+        what: String,
+    },
+    /// The provided data length does not match the requested shape.
+    Length {
+        /// Expected number of elements.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// A quantization parameter (e.g. group size) was invalid.
+    Quant {
+        /// Human-readable description of the violated expectation.
+        what: String,
+    },
+    /// A serialization / deserialization failure.
+    Io {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl TensorError {
+    /// Convenience constructor for [`TensorError::Shape`].
+    pub fn shape(what: impl Into<String>) -> Self {
+        TensorError::Shape { what: what.into() }
+    }
+
+    /// Convenience constructor for [`TensorError::Quant`].
+    pub fn quant(what: impl Into<String>) -> Self {
+        TensorError::Quant { what: what.into() }
+    }
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::Shape { what } => write!(f, "invalid shape: {what}"),
+            TensorError::Length { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            TensorError::Quant { what } => write!(f, "invalid quantization: {what}"),
+            TensorError::Io { what } => write!(f, "io/serialization error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = TensorError::shape("rows must be nonzero");
+        assert!(e.to_string().contains("rows must be nonzero"));
+        let e = TensorError::Length {
+            expected: 4,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("expected 4"));
+        let e = TensorError::quant("group size must divide k");
+        assert!(e.to_string().contains("group size"));
+    }
+}

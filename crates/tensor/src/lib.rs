@@ -1,0 +1,39 @@
+//! Tensor substrate for the KTransformers reproduction.
+//!
+//! This crate provides the data-layout layer that the paper's CPU kernels
+//! (§3.2) are built on:
+//!
+//! * [`alloc::AlignedBuf`] — 64-byte (cache-line) aligned storage, the
+//!   alignment requirement of AMX tile loads and of the paper's packed
+//!   weight format.
+//! * [`bf16::Bf16`] — the BF16 storage type used by the full-precision
+//!   model deployments.
+//! * [`matrix::Matrix`] — a simple row-major `f32` matrix used for
+//!   activations and reference computations.
+//! * [`quant`] — symmetric group-wise Int8/Int4 quantization with scale
+//!   factors stored separately from the packed payload, exactly as the
+//!   paper's "block-wise quantization, 64-byte alignment" layout requires.
+//! * [`tile`] — the AMX-tiling-aware packed weight layout: weights are
+//!   re-packed once at load time into tile-major, cache-line-aligned
+//!   panels so that inference kernels never transpose or reshape.
+//!
+//! The layout types here are shared by both compute paths in
+//! `kt-kernels`: the tiled high-arithmetic-intensity ("AMX-class") GEMM
+//! and the lightweight ("AVX-512-class") vector kernel read the same
+//! packed bytes.
+
+pub mod alloc;
+pub mod bf16;
+pub mod error;
+pub mod matrix;
+pub mod quant;
+pub mod rng;
+pub mod serial;
+pub mod tile;
+
+pub use alloc::AlignedBuf;
+pub use bf16::Bf16;
+pub use error::TensorError;
+pub use matrix::Matrix;
+pub use quant::{QuantDtype, QuantizedMatrix};
+pub use tile::{PackedWeights, WeightDtype, NR};

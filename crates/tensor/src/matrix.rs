@@ -1,0 +1,284 @@
+//! Row-major `f32` matrices for activations and reference math.
+//!
+//! Activations in the paper's pipeline stay in floating point (they live in
+//! the shared L3 cache during the fused MoE computation, §3.2 step ①); only
+//! weights are re-packed/quantized. `Matrix` is therefore a plain row-major
+//! buffer with just enough linear-algebra helpers for reference kernels and
+//! model code.
+
+use crate::alloc::AlignedBuf;
+use crate::error::TensorError;
+use crate::rng;
+use rand::rngs::StdRng;
+
+/// A dense row-major `f32` matrix with cache-line-aligned storage.
+#[derive(Clone)]
+pub struct Matrix {
+    data: AlignedBuf<f32>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Shape`] when either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Result<Self, TensorError> {
+        if rows == 0 || cols == 0 {
+            return Err(TensorError::shape(format!(
+                "matrix dimensions must be nonzero, got {rows}x{cols}"
+            )));
+        }
+        Ok(Matrix {
+            data: AlignedBuf::zeroed(rows * cols),
+            rows,
+            cols,
+        })
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Length`] when `data.len() != rows * cols`,
+    /// or [`TensorError::Shape`] for zero dimensions.
+    pub fn from_rows(rows: usize, cols: usize, data: &[f32]) -> Result<Self, TensorError> {
+        let mut m = Self::zeros(rows, cols)?;
+        if data.len() != rows * cols {
+            return Err(TensorError::Length {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        m.data.as_mut_slice().copy_from_slice(data);
+        Ok(m)
+    }
+
+    /// Creates a matrix with uniform random entries in `[-scale, scale)`.
+    pub fn random_uniform(
+        rows: usize,
+        cols: usize,
+        scale: f32,
+        rng: &mut StdRng,
+    ) -> Result<Self, TensorError> {
+        let mut m = Self::zeros(rows, cols)?;
+        rng::fill_uniform(rng, m.data.as_mut_slice(), scale);
+        Ok(m)
+    }
+
+    /// Creates a matrix with Kaiming-initialized entries for `cols` fan-in.
+    pub fn random_kaiming(rows: usize, cols: usize, rng: &mut StdRng) -> Result<Self, TensorError> {
+        let mut m = Self::zeros(rows, cols)?;
+        let std = rng::kaiming_std(cols);
+        rng::fill_normal(rng, m.data.as_mut_slice(), std);
+        Ok(m)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` (programming error, as with slice indexing).
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {r} out of bounds ({})", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {r} out of bounds ({})", self.rows);
+        let c = self.cols;
+        &mut self.data[r * c..(r + 1) * c]
+    }
+
+    /// The full row-major backing slice.
+    pub fn as_slice(&self) -> &[f32] {
+        self.data.as_slice()
+    }
+
+    /// The full mutable row-major backing slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        self.data.as_mut_slice()
+    }
+
+    /// Element accessor.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.row(r)[c]
+    }
+
+    /// Element setter.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.row_mut(r)[c] = v;
+    }
+
+    /// Serializes the matrix (shape + row-major f32 payload).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_to(&self, w: &mut impl std::io::Write) -> Result<(), TensorError> {
+        crate::serial::write_u64(w, self.rows as u64)?;
+        crate::serial::write_u64(w, self.cols as u64)?;
+        crate::serial::write_f32s(w, self.as_slice())
+    }
+
+    /// Deserializes a matrix written by [`Matrix::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns shape/length errors for corrupt payloads.
+    pub fn read_from(r: &mut impl std::io::Read) -> Result<Self, TensorError> {
+        let rows = crate::serial::read_len(r, crate::serial::MAX_ELEMS)?;
+        let cols = crate::serial::read_len(r, crate::serial::MAX_ELEMS)?;
+        let data = crate::serial::read_f32s(r, crate::serial::MAX_ELEMS)?;
+        Matrix::from_rows(rows, cols, &data)
+    }
+
+    /// Reference GEMM: `C = A * B^T` where `self` is `A` (`m x k`) and
+    /// `w` is row-major `n x k`. Returns `m x n`.
+    ///
+    /// This is the golden model every optimized kernel is validated
+    /// against; it is deliberately the naive triple loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Shape`] when inner dimensions disagree.
+    pub fn matmul_wt(&self, w: &Matrix) -> Result<Matrix, TensorError> {
+        if self.cols != w.cols {
+            return Err(TensorError::shape(format!(
+                "matmul_wt inner dims: a is {}x{}, w is {}x{}",
+                self.rows, self.cols, w.rows, w.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, w.rows)?;
+        for i in 0..self.rows {
+            let a = self.row(i);
+            for j in 0..w.rows {
+                let b = w.row(j);
+                let mut acc = 0.0f32;
+                for k in 0..self.cols {
+                    acc += a[k] * b[k];
+                }
+                out.set(i, j, acc);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Frobenius norm of the difference to another matrix, relative to the
+    /// norm of `self`; used to express kernel/quantization error bounds.
+    pub fn relative_error(&self, other: &Matrix) -> f32 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for (a, b) in self.as_slice().iter().zip(other.as_slice()) {
+            num += ((a - b) as f64).powi(2);
+            den += (*a as f64).powi(2);
+        }
+        if den == 0.0 {
+            return if num == 0.0 { 0.0 } else { f32::INFINITY };
+        }
+        ((num / den).sqrt()) as f32
+    }
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Matrix")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn zeros_rejects_empty_dims() {
+        assert!(Matrix::zeros(0, 4).is_err());
+        assert!(Matrix::zeros(4, 0).is_err());
+    }
+
+    #[test]
+    fn from_rows_validates_length() {
+        assert!(Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0]).is_err());
+        let m = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn row_accessors_are_consistent() {
+        let mut m = Matrix::zeros(3, 4).unwrap();
+        m.row_mut(2).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.row(2), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.get(2, 3), 4.0);
+    }
+
+    #[test]
+    fn matmul_wt_matches_hand_computation() {
+        // a = [[1,2],[3,4]], w = [[5,6],[7,8]] (rows are output neurons)
+        // c[i][j] = dot(a[i], w[j])
+        let a = Matrix::from_rows(2, 2, &[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let w = Matrix::from_rows(2, 2, &[5.0, 6.0, 7.0, 8.0]).unwrap();
+        let c = a.matmul_wt(&w).unwrap();
+        assert_eq!(c.as_slice(), &[17.0, 23.0, 39.0, 53.0]);
+    }
+
+    #[test]
+    fn matmul_wt_rejects_mismatched_inner_dim() {
+        let a = Matrix::zeros(2, 3).unwrap();
+        let w = Matrix::zeros(2, 4).unwrap();
+        assert!(a.matmul_wt(&w).is_err());
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let mut rng = seeded(9);
+        let m = Matrix::random_uniform(7, 11, 2.0, &mut rng).unwrap();
+        let mut buf = Vec::new();
+        m.write_to(&mut buf).unwrap();
+        let back = Matrix::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(m.as_slice(), back.as_slice());
+        assert_eq!(back.rows(), 7);
+        // Corrupt length fails cleanly.
+        buf.truncate(12);
+        assert!(Matrix::read_from(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn relative_error_zero_for_identical() {
+        let mut rng = seeded(3);
+        let m = Matrix::random_uniform(5, 7, 1.0, &mut rng).unwrap();
+        assert_eq!(m.relative_error(&m.clone()), 0.0);
+    }
+
+    #[test]
+    fn relative_error_detects_perturbation() {
+        let mut rng = seeded(3);
+        let m = Matrix::random_uniform(5, 7, 1.0, &mut rng).unwrap();
+        let mut p = m.clone();
+        let v = p.get(0, 0);
+        p.set(0, 0, v + 0.5);
+        assert!(m.relative_error(&p) > 0.0);
+    }
+}

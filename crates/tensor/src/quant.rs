@@ -1,0 +1,319 @@
+//! Symmetric group-wise Int8/Int4 weight quantization.
+//!
+//! Following §3.2: "We employ symmetric group-wise linear quantization for
+//! Int8 and Int4 formats, storing shared scale factors separately to
+//! maintain alignment. Int4 tiles are packed into Int8-sized blocks and
+//! unpacked using SIMD intrinsics."
+//!
+//! Each weight row is split into contiguous groups of `group_size`
+//! elements along the reduction (K) dimension. Every group stores one
+//! `f32` scale; payload bytes carry only the integer codes so the packed
+//! data keeps its 64-byte alignment (scales live in a separate aligned
+//! buffer).
+
+use crate::alloc::AlignedBuf;
+use crate::error::TensorError;
+use crate::matrix::Matrix;
+
+/// Integer weight format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuantDtype {
+    /// 8-bit symmetric codes in `[-127, 127]`.
+    Int8,
+    /// 4-bit symmetric codes in `[-7, 7]`, two codes packed per byte
+    /// (low nibble = even index, high nibble = odd index).
+    Int4,
+}
+
+impl QuantDtype {
+    /// Maximum positive code value.
+    pub fn qmax(self) -> i32 {
+        match self {
+            QuantDtype::Int8 => 127,
+            QuantDtype::Int4 => 7,
+        }
+    }
+
+    /// Payload bytes needed for `n` codes.
+    pub fn payload_len(self, n: usize) -> usize {
+        match self {
+            QuantDtype::Int8 => n,
+            QuantDtype::Int4 => n.div_ceil(2),
+        }
+    }
+
+    /// Effective bits per weight (payload only).
+    pub fn bits(self) -> usize {
+        match self {
+            QuantDtype::Int8 => 8,
+            QuantDtype::Int4 => 4,
+        }
+    }
+}
+
+/// A row-major quantized matrix (`rows x cols` logical f32 values).
+///
+/// Storage is split exactly as the paper's layout requires: an aligned
+/// byte payload holding the integer codes and an aligned `f32` buffer
+/// holding one scale per `(row, group)`.
+#[derive(Debug, Clone)]
+pub struct QuantizedMatrix {
+    dtype: QuantDtype,
+    rows: usize,
+    cols: usize,
+    group_size: usize,
+    /// Integer codes; for Int4 two codes per byte, row-padded so each row
+    /// starts on a byte boundary.
+    data: AlignedBuf<u8>,
+    /// `rows * (cols / group_size)` scales.
+    scales: AlignedBuf<f32>,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes `src` with the given dtype and group size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Quant`] unless `group_size` is nonzero,
+    /// even (for Int4 nibble pairing) and divides `src.cols()`.
+    pub fn quantize(
+        src: &Matrix,
+        dtype: QuantDtype,
+        group_size: usize,
+    ) -> Result<Self, TensorError> {
+        let cols = src.cols();
+        if group_size == 0 || !cols.is_multiple_of(group_size) {
+            return Err(TensorError::quant(format!(
+                "group size {group_size} must divide cols {cols}"
+            )));
+        }
+        if dtype == QuantDtype::Int4 && !group_size.is_multiple_of(2) {
+            return Err(TensorError::quant(format!(
+                "Int4 group size {group_size} must be even"
+            )));
+        }
+        let rows = src.rows();
+        let groups_per_row = cols / group_size;
+        let row_bytes = dtype.payload_len(cols);
+        let mut data = AlignedBuf::<u8>::zeroed(rows * row_bytes);
+        let mut scales = AlignedBuf::<f32>::zeroed(rows * groups_per_row);
+
+        for r in 0..rows {
+            let row = src.row(r);
+            for g in 0..groups_per_row {
+                let chunk = &row[g * group_size..(g + 1) * group_size];
+                let absmax = chunk.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                let scale = if absmax == 0.0 {
+                    0.0
+                } else {
+                    absmax / dtype.qmax() as f32
+                };
+                scales[r * groups_per_row + g] = scale;
+                let inv = if scale == 0.0 { 0.0 } else { 1.0 / scale };
+                for (j, &v) in chunk.iter().enumerate() {
+                    let code = (v * inv).round().clamp(-(dtype.qmax() as f32),
+                        dtype.qmax() as f32) as i32;
+                    let idx = g * group_size + j;
+                    match dtype {
+                        QuantDtype::Int8 => {
+                            data[r * row_bytes + idx] = code as i8 as u8;
+                        }
+                        QuantDtype::Int4 => {
+                            let byte = &mut data[r * row_bytes + idx / 2];
+                            let nib = (code as i8 as u8) & 0x0F;
+                            if idx.is_multiple_of(2) {
+                                *byte = (*byte & 0xF0) | nib;
+                            } else {
+                                *byte = (*byte & 0x0F) | (nib << 4);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(QuantizedMatrix {
+            dtype,
+            rows,
+            cols,
+            group_size,
+            data,
+            scales,
+        })
+    }
+
+    /// The quantization dtype.
+    pub fn dtype(&self) -> QuantDtype {
+        self.dtype
+    }
+
+    /// Logical row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Quantization group size along K.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Raw payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        self.data.as_slice()
+    }
+
+    /// Scale factors, `rows * (cols / group_size)` row-major.
+    pub fn scales(&self) -> &[f32] {
+        self.scales.as_slice()
+    }
+
+    /// Total bytes of payload + scales (for memory-footprint accounting).
+    pub fn stored_bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Decodes the integer code at `(r, c)` (before scaling).
+    pub fn code(&self, r: usize, c: usize) -> i32 {
+        let row_bytes = self.dtype.payload_len(self.cols);
+        match self.dtype {
+            QuantDtype::Int8 => self.data[r * row_bytes + c] as i8 as i32,
+            QuantDtype::Int4 => {
+                let byte = self.data[r * row_bytes + c / 2];
+                let nib = if c.is_multiple_of(2) { byte & 0x0F } else { byte >> 4 };
+                // Sign-extend the 4-bit code.
+                ((nib as i8) << 4 >> 4) as i32
+            }
+        }
+    }
+
+    /// Dequantizes element `(r, c)`.
+    pub fn dequantize_at(&self, r: usize, c: usize) -> f32 {
+        let groups_per_row = self.cols / self.group_size;
+        let scale = self.scales[r * groups_per_row + c / self.group_size];
+        self.code(r, c) as f32 * scale
+    }
+
+    /// Dequantizes row `r` into `dst` (`dst.len() == cols`).
+    pub fn dequantize_row(&self, r: usize, dst: &mut [f32]) {
+        assert_eq!(dst.len(), self.cols);
+        let groups_per_row = self.cols / self.group_size;
+        for g in 0..groups_per_row {
+            let scale = self.scales[r * groups_per_row + g];
+            for j in 0..self.group_size {
+                let c = g * self.group_size + j;
+                dst[c] = self.code(r, c) as f32 * scale;
+            }
+        }
+    }
+
+    /// Fully dequantizes into a dense matrix.
+    pub fn dequantize(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols).expect("nonzero dims");
+        for r in 0..self.rows {
+            self.dequantize_row(r, m.row_mut(r));
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    fn sample(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = seeded(seed);
+        Matrix::random_uniform(rows, cols, 1.0, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_group_sizes() {
+        let m = sample(2, 64, 1);
+        assert!(QuantizedMatrix::quantize(&m, QuantDtype::Int8, 0).is_err());
+        assert!(QuantizedMatrix::quantize(&m, QuantDtype::Int8, 48).is_err());
+        // Odd group size invalid for Int4.
+        let m2 = sample(2, 63, 1);
+        assert!(QuantizedMatrix::quantize(&m2, QuantDtype::Int4, 63).is_err());
+    }
+
+    #[test]
+    fn int8_error_is_within_half_step() {
+        let m = sample(4, 128, 2);
+        let q = QuantizedMatrix::quantize(&m, QuantDtype::Int8, 32).unwrap();
+        let d = q.dequantize();
+        for r in 0..m.rows() {
+            for g in 0..(m.cols() / 32) {
+                let absmax = (0..32)
+                    .map(|j| m.get(r, g * 32 + j).abs())
+                    .fold(0.0f32, f32::max);
+                let step = absmax / 127.0;
+                for j in 0..32 {
+                    let c = g * 32 + j;
+                    let err = (m.get(r, c) - d.get(r, c)).abs();
+                    assert!(err <= step * 0.5 + 1e-6, "err={err} step={step}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int4_error_is_within_half_step() {
+        let m = sample(3, 64, 3);
+        let q = QuantizedMatrix::quantize(&m, QuantDtype::Int4, 16).unwrap();
+        let d = q.dequantize();
+        for r in 0..m.rows() {
+            for g in 0..(m.cols() / 16) {
+                let absmax = (0..16)
+                    .map(|j| m.get(r, g * 16 + j).abs())
+                    .fold(0.0f32, f32::max);
+                let step = absmax / 7.0;
+                for j in 0..16 {
+                    let c = g * 16 + j;
+                    let err = (m.get(r, c) - d.get(r, c)).abs();
+                    assert!(err <= step * 0.5 + 1e-6, "err={err} step={step}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int4_packs_two_codes_per_byte() {
+        let m = sample(2, 64, 4);
+        let q8 = QuantizedMatrix::quantize(&m, QuantDtype::Int8, 16).unwrap();
+        let q4 = QuantizedMatrix::quantize(&m, QuantDtype::Int4, 16).unwrap();
+        assert_eq!(q4.payload().len() * 2, q8.payload().len());
+        assert!(q4.stored_bytes() < q8.stored_bytes());
+    }
+
+    #[test]
+    fn zero_group_gets_zero_scale_and_codes() {
+        let m = Matrix::from_rows(1, 4, &[0.0, 0.0, 0.0, 0.0]).unwrap();
+        let q = QuantizedMatrix::quantize(&m, QuantDtype::Int8, 4).unwrap();
+        assert_eq!(q.scales(), &[0.0]);
+        assert_eq!(q.dequantize().as_slice(), &[0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn negative_codes_survive_nibble_round_trip() {
+        let m = Matrix::from_rows(1, 4, &[-1.0, 1.0, -0.5, 0.25]).unwrap();
+        let q = QuantizedMatrix::quantize(&m, QuantDtype::Int4, 4).unwrap();
+        assert_eq!(q.code(0, 0), -7);
+        assert_eq!(q.code(0, 1), 7);
+        assert!(q.dequantize_at(0, 0) < 0.0);
+    }
+
+    #[test]
+    fn dequantize_row_matches_elementwise() {
+        let m = sample(5, 96, 5);
+        let q = QuantizedMatrix::quantize(&m, QuantDtype::Int4, 32).unwrap();
+        let mut row = vec![0.0f32; 96];
+        q.dequantize_row(3, &mut row);
+        for (c, &v) in row.iter().enumerate() {
+            assert_eq!(v, q.dequantize_at(3, c));
+        }
+    }
+}

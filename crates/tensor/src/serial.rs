@@ -1,0 +1,177 @@
+//! Little-endian binary serialization primitives.
+//!
+//! Checkpointing support for the whole stack (packed weights, models,
+//! engines) without external serialization crates. All integers are
+//! little-endian `u64`; float arrays are raw `f32` bytes.
+
+use std::io::{Read, Write};
+
+use crate::error::TensorError;
+
+/// Converts an I/O failure into a [`TensorError::Io`].
+pub fn io_err(e: std::io::Error) -> TensorError {
+    TensorError::Io {
+        what: e.to_string(),
+    }
+}
+
+/// Writes one `u64`.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_u64(w: &mut impl Write, v: u64) -> Result<(), TensorError> {
+    w.write_all(&v.to_le_bytes()).map_err(io_err)
+}
+
+/// Reads one `u64`.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn read_u64(r: &mut impl Read) -> Result<u64, TensorError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b).map_err(io_err)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Reads a `u64` and checks it fits a sane allocation bound.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Length`] when the value exceeds `max`.
+pub fn read_len(r: &mut impl Read, max: usize) -> Result<usize, TensorError> {
+    let v = read_u64(r)?;
+    if v as usize > max {
+        return Err(TensorError::Length {
+            expected: max,
+            actual: v as usize,
+        });
+    }
+    Ok(v as usize)
+}
+
+/// Writes a length-prefixed byte slice.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_bytes(w: &mut impl Write, data: &[u8]) -> Result<(), TensorError> {
+    write_u64(w, data.len() as u64)?;
+    w.write_all(data).map_err(io_err)
+}
+
+/// Reads a length-prefixed byte vector (length capped at `max`).
+///
+/// # Errors
+///
+/// Propagates I/O failures and length violations.
+pub fn read_bytes(r: &mut impl Read, max: usize) -> Result<Vec<u8>, TensorError> {
+    let n = read_len(r, max)?;
+    let mut v = vec![0u8; n];
+    r.read_exact(&mut v).map_err(io_err)?;
+    Ok(v)
+}
+
+/// Writes a length-prefixed `f32` slice.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_f32s(w: &mut impl Write, data: &[f32]) -> Result<(), TensorError> {
+    write_u64(w, data.len() as u64)?;
+    for &v in data {
+        w.write_all(&v.to_le_bytes()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Reads a length-prefixed `f32` vector (length capped at `max`).
+///
+/// # Errors
+///
+/// Propagates I/O failures and length violations.
+pub fn read_f32s(r: &mut impl Read, max: usize) -> Result<Vec<f32>, TensorError> {
+    let n = read_len(r, max)?;
+    let mut bytes = vec![0u8; n * 4];
+    r.read_exact(&mut bytes).map_err(io_err)?;
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+        .collect())
+}
+
+/// Writes a magic tag.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_magic(w: &mut impl Write, magic: &[u8]) -> Result<(), TensorError> {
+    w.write_all(magic).map_err(io_err)
+}
+
+/// Reads and verifies a magic tag.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Io`] on mismatch.
+pub fn expect_magic(r: &mut impl Read, magic: &[u8]) -> Result<(), TensorError> {
+    let mut got = vec![0u8; magic.len()];
+    r.read_exact(&mut got).map_err(io_err)?;
+    if got != magic {
+        return Err(TensorError::Io {
+            what: format!("bad magic: expected {magic:?}"),
+        });
+    }
+    Ok(())
+}
+
+/// Maximum element count accepted for any single serialized array
+/// (1 Gi elements) — a corruption guard, far above any test model.
+pub const MAX_ELEMS: usize = 1 << 30;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trips() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 0xDEAD_BEEF_1234).unwrap();
+        assert_eq!(read_u64(&mut buf.as_slice()).unwrap(), 0xDEAD_BEEF_1234);
+    }
+
+    #[test]
+    fn f32s_round_trip() {
+        let data = vec![1.5f32, -2.25, 0.0, f32::MIN_POSITIVE];
+        let mut buf = Vec::new();
+        write_f32s(&mut buf, &data).unwrap();
+        assert_eq!(read_f32s(&mut buf.as_slice(), MAX_ELEMS).unwrap(), data);
+    }
+
+    #[test]
+    fn bytes_round_trip_and_lengths_are_capped() {
+        let data = vec![7u8; 100];
+        let mut buf = Vec::new();
+        write_bytes(&mut buf, &data).unwrap();
+        assert_eq!(read_bytes(&mut buf.as_slice(), 1000).unwrap(), data);
+        assert!(read_bytes(&mut buf.as_slice(), 10).is_err());
+    }
+
+    #[test]
+    fn magic_is_verified() {
+        let mut buf = Vec::new();
+        write_magic(&mut buf, b"KTPW").unwrap();
+        assert!(expect_magic(&mut buf.as_slice(), b"KTPW").is_ok());
+        assert!(expect_magic(&mut buf.as_slice(), b"XXXX").is_err());
+        assert!(expect_magic(&mut b"KTXX".as_slice(), b"KTPW").is_err());
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut buf = Vec::new();
+        write_f32s(&mut buf, &[1.0, 2.0, 3.0]).unwrap();
+        buf.truncate(buf.len() - 2);
+        assert!(read_f32s(&mut buf.as_slice(), MAX_ELEMS).is_err());
+    }
+}

@@ -1,0 +1,651 @@
+//! AMX-tiling-aware packed weight layout (§3.2, Figure 6).
+//!
+//! Weight matrices are re-packed **once at model-load time** into a
+//! tile-major layout so that inference kernels never transpose, reshape
+//! or gather:
+//!
+//! * The `n` output neurons are split into *panels* of [`NR`] = 16
+//!   neurons — the width of one AMX tile register row group.
+//! * Within a panel, data is K-major: for each reduction index `kk`, the
+//!   16 weights (one per panel neuron) are contiguous. For `f32` this
+//!   makes every K-step exactly one 64-byte cache line, mirroring the
+//!   paper's "16-row by 64-byte submatrix" tile shape.
+//! * Every panel starts on a 64-byte boundary (padded stride), so tile
+//!   loads are always aligned.
+//! * Quantized formats store their group scales in a separate aligned
+//!   buffer (`[panel][k_group][NR]`), keeping the payload uniform —
+//!   "storing shared scale factors separately to maintain alignment".
+//! * Int4 packs the codes of two adjacent K-steps into one byte
+//!   (low nibble = even `kk`, high nibble = odd `kk`), i.e. "Int4 tiles
+//!   are packed into Int8-sized blocks".
+//!
+//! Both the tiled ("AMX-class") GEMM and the lightweight ("AVX-512
+//! class") vector kernel in `kt-kernels` consume this same layout; the
+//! paper calls this out as a key property ("fully compatible with the
+//! AMX memory layout").
+
+use crate::alloc::{AlignedBuf, CACHE_LINE};
+use crate::bf16::Bf16;
+use crate::error::TensorError;
+use crate::matrix::Matrix;
+use crate::quant::QuantDtype;
+
+/// Panel width: number of output neurons packed side by side.
+pub const NR: usize = 16;
+
+/// Storage format of packed weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WeightDtype {
+    /// 32-bit floats (reference / highest precision).
+    F32,
+    /// bfloat16, the paper's full-precision deployment format.
+    Bf16,
+    /// Symmetric group-wise Int8 with the given group size along K.
+    Int8 {
+        /// Quantization group length along the reduction dimension.
+        group: usize,
+    },
+    /// Symmetric group-wise Int4 (two codes per byte) with the given
+    /// group size along K.
+    Int4 {
+        /// Quantization group length along the reduction dimension.
+        group: usize,
+    },
+}
+
+impl WeightDtype {
+    /// Bytes of payload per K-step per panel (i.e. per [`NR`] weights).
+    pub fn bytes_per_kstep(self) -> usize {
+        match self {
+            WeightDtype::F32 => NR * 4,
+            WeightDtype::Bf16 => NR * 2,
+            WeightDtype::Int8 { .. } => NR,
+            WeightDtype::Int4 { .. } => NR / 2,
+        }
+    }
+
+    /// Quantization group size, if any.
+    pub fn group(self) -> Option<usize> {
+        match self {
+            WeightDtype::Int8 { group } | WeightDtype::Int4 { group } => Some(group),
+            _ => None,
+        }
+    }
+
+    /// Average bits per logical weight including scale overhead for the
+    /// given K (used for bandwidth accounting).
+    pub fn bits_per_weight(self, _k: usize) -> f64 {
+        match self {
+            WeightDtype::F32 => 32.0,
+            WeightDtype::Bf16 => 16.0,
+            WeightDtype::Int8 { group } => 8.0 + 32.0 / group as f64,
+            WeightDtype::Int4 { group } => 4.0 + 32.0 / group as f64,
+        }
+    }
+}
+
+/// A weight matrix (`n x k`, row = output neuron) packed into the
+/// AMX-tiling-aware layout.
+#[derive(Debug, Clone)]
+pub struct PackedWeights {
+    dtype: WeightDtype,
+    n: usize,
+    k: usize,
+    n_panels: usize,
+    /// Distance in bytes between consecutive panels (64-byte multiple).
+    panel_stride: usize,
+    data: AlignedBuf<u8>,
+    /// `[panel][k_group][NR]` scales; empty for float formats.
+    scales: AlignedBuf<f32>,
+    groups_per_col: usize,
+}
+
+impl PackedWeights {
+    /// Packs a dense row-major weight matrix (`n x k`) into the tiled
+    /// layout, quantizing if `dtype` is an integer format.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use kt_tensor::{Matrix, PackedWeights, WeightDtype};
+    ///
+    /// let w = Matrix::from_rows(2, 4, &[1.0, -2.0, 3.0, -4.0,
+    ///                                   0.5, 0.25, -0.5, -0.25])?;
+    /// let packed = PackedWeights::pack(&w, WeightDtype::Int8 { group: 4 })?;
+    /// assert_eq!(packed.n(), 2);
+    /// assert_eq!(packed.k(), 4);
+    /// // Quantization is symmetric group-wise: the layout round-trips
+    /// // to within half a quantization step.
+    /// assert!(w.relative_error(&packed.unpack()) < 0.01);
+    /// # Ok::<(), kt_tensor::TensorError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Quant`] if a quantized dtype's group size
+    /// is zero, odd (Int4 pairs K-steps) or does not divide `k`.
+    pub fn pack(src: &Matrix, dtype: WeightDtype) -> Result<Self, TensorError> {
+        let n = src.rows();
+        let k = src.cols();
+        if let Some(group) = dtype.group() {
+            if group == 0 || !k.is_multiple_of(group) {
+                return Err(TensorError::quant(format!(
+                    "group size {group} must divide k={k}"
+                )));
+            }
+            if matches!(dtype, WeightDtype::Int4 { .. }) && group % 2 != 0 {
+                return Err(TensorError::quant(format!(
+                    "Int4 group size {group} must be even"
+                )));
+            }
+        }
+        let n_panels = n.div_ceil(NR);
+        let k_padded = if matches!(dtype, WeightDtype::Int4 { .. }) {
+            k.div_ceil(2) * 2
+        } else {
+            k
+        };
+        let raw_panel_bytes = k_padded.div_ceil(if matches!(dtype, WeightDtype::Int4 { .. }) {
+            2
+        } else {
+            1
+        }) * match dtype {
+            WeightDtype::Int4 { .. } => NR / 2 * 2, // two K-steps share NR/2*2 bytes
+            _ => dtype.bytes_per_kstep(),
+        };
+        // For non-Int4 the expression above equals k * bytes_per_kstep.
+        let raw_panel_bytes = match dtype {
+            WeightDtype::Int4 { .. } => k_padded / 2 * NR,
+            _ => raw_panel_bytes,
+        };
+        let panel_stride = raw_panel_bytes.div_ceil(CACHE_LINE) * CACHE_LINE;
+        let groups_per_col = dtype.group().map_or(0, |g| k / g);
+        let mut data = AlignedBuf::<u8>::zeroed(n_panels * panel_stride);
+        let mut scales = AlignedBuf::<f32>::zeroed(n_panels * groups_per_col * NR);
+
+        // Stage 1 (quantized formats): compute per-(neuron, group) scales.
+        if let Some(group) = dtype.group() {
+            for p in 0..n_panels {
+                for j in 0..NR {
+                    let row = p * NR + j;
+                    if row >= n {
+                        continue;
+                    }
+                    let r = src.row(row);
+                    for g in 0..groups_per_col {
+                        let chunk = &r[g * group..(g + 1) * group];
+                        let absmax = chunk.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                        let qmax = match dtype {
+                            WeightDtype::Int8 { .. } => QuantDtype::Int8.qmax(),
+                            WeightDtype::Int4 { .. } => QuantDtype::Int4.qmax(),
+                            _ => unreachable!(),
+                        };
+                        let scale = if absmax == 0.0 {
+                            0.0
+                        } else {
+                            absmax / qmax as f32
+                        };
+                        scales[(p * groups_per_col + g) * NR + j] = scale;
+                    }
+                }
+            }
+        }
+
+        // Stage 2: transpose rows into K-major panel payloads.
+        for p in 0..n_panels {
+            let base = p * panel_stride;
+            for j in 0..NR {
+                let row = p * NR + j;
+                if row >= n {
+                    continue; // padding neurons stay zero
+                }
+                let r = src.row(row);
+                for (kk, &v) in r.iter().enumerate() {
+                    match dtype {
+                        WeightDtype::F32 => {
+                            let off = base + (kk * NR + j) * 4;
+                            data[off..off + 4].copy_from_slice(&v.to_le_bytes());
+                        }
+                        WeightDtype::Bf16 => {
+                            let off = base + (kk * NR + j) * 2;
+                            data[off..off + 2]
+                                .copy_from_slice(&Bf16::from_f32(v).0.to_le_bytes());
+                        }
+                        WeightDtype::Int8 { group } => {
+                            let g = kk / group;
+                            let scale = scales[(p * groups_per_col + g) * NR + j];
+                            let inv = if scale == 0.0 { 0.0 } else { 1.0 / scale };
+                            let code = (v * inv).round().clamp(-127.0, 127.0) as i8;
+                            data[base + kk * NR + j] = code as u8;
+                        }
+                        WeightDtype::Int4 { group } => {
+                            let g = kk / group;
+                            let scale = scales[(p * groups_per_col + g) * NR + j];
+                            let inv = if scale == 0.0 { 0.0 } else { 1.0 / scale };
+                            let code = ((v * inv).round().clamp(-7.0, 7.0) as i8 as u8) & 0x0F;
+                            let byte = &mut data[base + (kk / 2) * NR + j];
+                            if kk % 2 == 0 {
+                                *byte = (*byte & 0xF0) | code;
+                            } else {
+                                *byte = (*byte & 0x0F) | (code << 4);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(PackedWeights {
+            dtype,
+            n,
+            k,
+            n_panels,
+            panel_stride,
+            data,
+            scales,
+            groups_per_col,
+        })
+    }
+
+    /// Storage format.
+    pub fn dtype(&self) -> WeightDtype {
+        self.dtype
+    }
+
+    /// Logical output dimension (rows of the original matrix).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Logical reduction dimension.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of [`NR`]-wide panels (`ceil(n / NR)`).
+    pub fn n_panels(&self) -> usize {
+        self.n_panels
+    }
+
+    /// Output dimension padded to a panel multiple.
+    pub fn n_padded(&self) -> usize {
+        self.n_panels * NR
+    }
+
+    /// Raw payload bytes of panel `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= n_panels()`.
+    pub fn panel_bytes(&self, p: usize) -> &[u8] {
+        assert!(p < self.n_panels, "panel {p} out of bounds");
+        let base = p * self.panel_stride;
+        &self.data[base..base + self.panel_stride]
+    }
+
+    /// Panel `p` viewed as `f32` K-major data (`k * NR` values).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the dtype is [`WeightDtype::F32`].
+    pub fn panel_f32(&self, p: usize) -> &[f32] {
+        assert_eq!(self.dtype, WeightDtype::F32, "panel_f32 on non-f32 weights");
+        let bytes = &self.panel_bytes(p)[..self.k * NR * 4];
+        debug_assert_eq!(bytes.as_ptr() as usize % 4, 0);
+        // SAFETY: The buffer is 64-byte aligned and panel strides are
+        // 64-byte multiples, so `bytes` is 4-aligned; length is an exact
+        // multiple of 4; all byte patterns were written from valid f32s.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<f32>(), self.k * NR) }
+    }
+
+    /// Panel `p` viewed as BF16 K-major data (`k * NR` values).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the dtype is [`WeightDtype::Bf16`].
+    pub fn panel_bf16(&self, p: usize) -> &[Bf16] {
+        assert_eq!(self.dtype, WeightDtype::Bf16, "panel_bf16 on non-bf16 weights");
+        let bytes = &self.panel_bytes(p)[..self.k * NR * 2];
+        debug_assert_eq!(bytes.as_ptr() as usize % 2, 0);
+        // SAFETY: 64-byte-aligned base plus 64-byte panel stride keeps
+        // 2-byte alignment; `Bf16` is `repr(transparent)` over `u16` and
+        // any bit pattern is a valid `Bf16`.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<Bf16>(), self.k * NR) }
+    }
+
+    /// Scales of panel `p`: layout `[k_group][NR]`.
+    ///
+    /// Empty for float dtypes.
+    pub fn panel_scales(&self, p: usize) -> &[f32] {
+        if self.groups_per_col == 0 {
+            return &[];
+        }
+        let per = self.groups_per_col * NR;
+        &self.scales[p * per..(p + 1) * per]
+    }
+
+    /// Total stored bytes (payload + scales), the quantity that decode
+    /// throughput is bandwidth-bound on.
+    pub fn stored_bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * 4
+    }
+
+    /// Serializes the packed weights (dtype, shape, payload, scales) —
+    /// the checkpoint format of the reproduction. The PACKED form is
+    /// stored, so loading skips the pack/quantize preprocessing
+    /// entirely (the point of doing it once at model-load time).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_to(&self, w: &mut impl std::io::Write) -> Result<(), TensorError> {
+        use crate::serial::{write_bytes, write_f32s, write_magic, write_u64};
+        write_magic(w, b"KTPW")?;
+        let (tag, group) = match self.dtype {
+            WeightDtype::F32 => (0u64, 0usize),
+            WeightDtype::Bf16 => (1, 0),
+            WeightDtype::Int8 { group } => (2, group),
+            WeightDtype::Int4 { group } => (3, group),
+        };
+        write_u64(w, tag)?;
+        write_u64(w, group as u64)?;
+        write_u64(w, self.n as u64)?;
+        write_u64(w, self.k as u64)?;
+        write_bytes(w, self.data.as_slice())?;
+        write_f32s(w, self.scales.as_slice())
+    }
+
+    /// Deserializes packed weights written by [`PackedWeights::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Io`]/[`TensorError::Length`] on corrupt
+    /// input (wrong magic, unknown dtype, mismatched payload sizes).
+    pub fn read_from(r: &mut impl std::io::Read) -> Result<Self, TensorError> {
+        use crate::serial::{expect_magic, read_bytes, read_f32s, read_len, read_u64, MAX_ELEMS};
+        expect_magic(r, b"KTPW")?;
+        let tag = read_u64(r)?;
+        let group = read_len(r, MAX_ELEMS)?;
+        let dtype = match tag {
+            0 => WeightDtype::F32,
+            1 => WeightDtype::Bf16,
+            2 => WeightDtype::Int8 { group },
+            3 => WeightDtype::Int4 { group },
+            other => {
+                return Err(TensorError::Io {
+                    what: format!("unknown weight dtype tag {other}"),
+                })
+            }
+        };
+        let n = read_len(r, MAX_ELEMS)?;
+        let k = read_len(r, MAX_ELEMS)?;
+        if n == 0 || k == 0 {
+            return Err(TensorError::shape("packed weights need nonzero dims"));
+        }
+        if let Some(g) = dtype.group() {
+            if g == 0 || k % g != 0 || (matches!(dtype, WeightDtype::Int4 { .. }) && g % 2 != 0)
+            {
+                return Err(TensorError::quant(format!(
+                    "invalid group {g} for k={k}"
+                )));
+            }
+        }
+        // Recompute the derived layout exactly as `pack` does.
+        let n_panels = n.div_ceil(NR);
+        let k_padded = if matches!(dtype, WeightDtype::Int4 { .. }) {
+            k.div_ceil(2) * 2
+        } else {
+            k
+        };
+        let raw_panel_bytes = match dtype {
+            WeightDtype::Int4 { .. } => k_padded / 2 * NR,
+            _ => k * dtype.bytes_per_kstep(),
+        };
+        let panel_stride = raw_panel_bytes.div_ceil(CACHE_LINE) * CACHE_LINE;
+        let groups_per_col = dtype.group().map_or(0, |g| k / g);
+        let payload = read_bytes(r, MAX_ELEMS)?;
+        if payload.len() != n_panels * panel_stride {
+            return Err(TensorError::Length {
+                expected: n_panels * panel_stride,
+                actual: payload.len(),
+            });
+        }
+        let scales = read_f32s(r, MAX_ELEMS)?;
+        if scales.len() != n_panels * groups_per_col * NR {
+            return Err(TensorError::Length {
+                expected: n_panels * groups_per_col * NR,
+                actual: scales.len(),
+            });
+        }
+        Ok(PackedWeights {
+            dtype,
+            n,
+            k,
+            n_panels,
+            panel_stride,
+            data: AlignedBuf::from_slice(&payload),
+            scales: AlignedBuf::from_slice(&scales),
+            groups_per_col,
+        })
+    }
+
+    /// Reconstructs the logical `n x k` matrix (dequantizing as needed);
+    /// the golden reference for layout round-trip tests.
+    pub fn unpack(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.n, self.k).expect("nonzero dims");
+        for p in 0..self.n_panels {
+            let base = p * self.panel_stride;
+            for j in 0..NR {
+                let row = p * NR + j;
+                if row >= self.n {
+                    continue;
+                }
+                for kk in 0..self.k {
+                    let v = match self.dtype {
+                        WeightDtype::F32 => {
+                            let off = base + (kk * NR + j) * 4;
+                            f32::from_le_bytes(self.data[off..off + 4].try_into().unwrap())
+                        }
+                        WeightDtype::Bf16 => {
+                            let off = base + (kk * NR + j) * 2;
+                            Bf16(u16::from_le_bytes(
+                                self.data[off..off + 2].try_into().unwrap(),
+                            ))
+                            .to_f32()
+                        }
+                        WeightDtype::Int8 { group } => {
+                            let g = kk / group;
+                            let scale = self.scales[(p * self.groups_per_col + g) * NR + j];
+                            let code = self.data[base + kk * NR + j] as i8;
+                            code as f32 * scale
+                        }
+                        WeightDtype::Int4 { group } => {
+                            let g = kk / group;
+                            let scale = self.scales[(p * self.groups_per_col + g) * NR + j];
+                            let byte = self.data[base + (kk / 2) * NR + j];
+                            let nib = if kk % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+                            let code = (nib as i8) << 4 >> 4;
+                            code as f32 * scale
+                        }
+                    };
+                    m.set(row, kk, v);
+                }
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    fn sample(n: usize, k: usize, seed: u64) -> Matrix {
+        let mut rng = seeded(seed);
+        Matrix::random_uniform(n, k, 1.0, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn f32_pack_round_trips_exactly() {
+        let w = sample(37, 48, 1); // n not a panel multiple
+        let p = PackedWeights::pack(&w, WeightDtype::F32).unwrap();
+        assert_eq!(p.n_panels(), 3);
+        assert_eq!(p.n_padded(), 48);
+        let u = p.unpack();
+        assert_eq!(u.as_slice(), w.as_slice());
+    }
+
+    #[test]
+    fn bf16_pack_is_close() {
+        let w = sample(16, 32, 2);
+        let p = PackedWeights::pack(&w, WeightDtype::Bf16).unwrap();
+        let u = p.unpack();
+        assert!(w.relative_error(&u) < 1.0 / 256.0);
+    }
+
+    #[test]
+    fn int8_pack_is_close() {
+        let w = sample(32, 64, 3);
+        let p = PackedWeights::pack(&w, WeightDtype::Int8 { group: 32 }).unwrap();
+        let u = p.unpack();
+        assert!(w.relative_error(&u) < 0.01);
+    }
+
+    #[test]
+    fn int4_pack_is_close_and_half_size() {
+        let w = sample(32, 64, 4);
+        let p8 = PackedWeights::pack(&w, WeightDtype::Int8 { group: 32 }).unwrap();
+        let p4 = PackedWeights::pack(&w, WeightDtype::Int4 { group: 32 }).unwrap();
+        let u = p4.unpack();
+        assert!(w.relative_error(&u) < 0.12);
+        assert!(p4.stored_bytes() < p8.stored_bytes());
+    }
+
+    #[test]
+    fn panels_are_cache_line_aligned() {
+        let w = sample(64, 40, 5);
+        for dt in [
+            WeightDtype::F32,
+            WeightDtype::Bf16,
+            WeightDtype::Int8 { group: 8 },
+            WeightDtype::Int4 { group: 8 },
+        ] {
+            let p = PackedWeights::pack(&w, dt).unwrap();
+            for i in 0..p.n_panels() {
+                assert_eq!(
+                    p.panel_bytes(i).as_ptr() as usize % CACHE_LINE,
+                    0,
+                    "dtype {dt:?} panel {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_panel_layout_is_k_major() {
+        // W[row][kk]; packed panel f32 view should be panel[kk*NR + j] ==
+        // W[panel*NR + j][kk].
+        let w = sample(16, 8, 6);
+        let p = PackedWeights::pack(&w, WeightDtype::F32).unwrap();
+        let panel = p.panel_f32(0);
+        for kk in 0..8 {
+            for j in 0..NR {
+                assert_eq!(panel[kk * NR + j], w.get(j, kk));
+            }
+        }
+    }
+
+    #[test]
+    fn padding_neurons_are_zero() {
+        let w = sample(17, 8, 7);
+        let p = PackedWeights::pack(&w, WeightDtype::F32).unwrap();
+        let panel = p.panel_f32(1); // holds neuron 16 plus 15 pad lanes
+        for kk in 0..8 {
+            for j in 1..NR {
+                assert_eq!(panel[kk * NR + j], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn quant_group_validation() {
+        let w = sample(16, 48, 8);
+        assert!(PackedWeights::pack(&w, WeightDtype::Int8 { group: 0 }).is_err());
+        assert!(PackedWeights::pack(&w, WeightDtype::Int8 { group: 32 }).is_err());
+        assert!(PackedWeights::pack(&w, WeightDtype::Int4 { group: 3 }).is_err());
+        assert!(PackedWeights::pack(&w, WeightDtype::Int4 { group: 16 }).is_ok());
+    }
+
+    #[test]
+    fn bits_per_weight_accounting() {
+        assert_eq!(WeightDtype::F32.bits_per_weight(64), 32.0);
+        assert_eq!(WeightDtype::Bf16.bits_per_weight(64), 16.0);
+        assert!((WeightDtype::Int8 { group: 64 }.bits_per_weight(64) - 8.5).abs() < 1e-9);
+        assert!((WeightDtype::Int4 { group: 64 }.bits_per_weight(64) - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serialization_round_trips_all_dtypes() {
+        let w = sample(37, 48, 21);
+        for dt in [
+            WeightDtype::F32,
+            WeightDtype::Bf16,
+            WeightDtype::Int8 { group: 16 },
+            WeightDtype::Int4 { group: 16 },
+        ] {
+            let p = PackedWeights::pack(&w, dt).unwrap();
+            let mut buf = Vec::new();
+            p.write_to(&mut buf).unwrap();
+            let q = PackedWeights::read_from(&mut buf.as_slice()).unwrap();
+            assert_eq!(q.dtype(), dt);
+            assert_eq!(q.n(), 37);
+            assert_eq!(q.k(), 48);
+            // Bit-exact payload round trip.
+            let a = p.unpack();
+            let b = q.unpack();
+            assert_eq!(a.as_slice(), b.as_slice(), "{dt:?}");
+            // Loaded panels stay cache-line aligned.
+            assert_eq!(q.panel_bytes(0).as_ptr() as usize % CACHE_LINE, 0);
+        }
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_rejected() {
+        let w = sample(16, 32, 22);
+        let p = PackedWeights::pack(&w, WeightDtype::Int8 { group: 16 }).unwrap();
+        let mut buf = Vec::new();
+        p.write_to(&mut buf).unwrap();
+        // Wrong magic.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(PackedWeights::read_from(&mut bad.as_slice()).is_err());
+        // Unknown dtype tag.
+        let mut bad = buf.clone();
+        bad[4] = 9;
+        assert!(PackedWeights::read_from(&mut bad.as_slice()).is_err());
+        // Truncated payload.
+        let mut bad = buf.clone();
+        bad.truncate(bad.len() - 8);
+        assert!(PackedWeights::read_from(&mut bad.as_slice()).is_err());
+    }
+
+    #[test]
+    fn scales_layout_matches_unpack() {
+        let w = sample(16, 32, 9);
+        let p = PackedWeights::pack(&w, WeightDtype::Int8 { group: 16 }).unwrap();
+        let scales = p.panel_scales(0);
+        assert_eq!(scales.len(), 2 * NR);
+        // Scale of neuron j, group g must equal absmax/127 of that chunk.
+        for j in 0..NR {
+            for g in 0..2 {
+                let absmax = (0..16)
+                    .map(|t| w.get(j, g * 16 + t).abs())
+                    .fold(0.0f32, f32::max);
+                let expect = absmax / 127.0;
+                let got = scales[g * NR + j];
+                assert!((got - expect).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the tensor layer invariants.
+
+use kt_tensor::{Bf16, Matrix, PackedWeights, QuantDtype, QuantizedMatrix, WeightDtype};
+use proptest::prelude::*;
+
+fn matrix_strategy(max_n: usize, k: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec(-8.0f32..8.0, n * k)
+            .prop_map(move |data| Matrix::from_rows(n, k, &data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// BF16 conversion never increases magnitude by more than one ULP
+    /// step and is monotone in sign.
+    #[test]
+    fn bf16_preserves_sign_and_bounds(v in -1.0e6f32..1.0e6) {
+        let q = Bf16::from_f32(v).to_f32();
+        prop_assert_eq!(q.signum() == v.signum() || v == 0.0 || q == 0.0, true);
+        if v != 0.0 {
+            prop_assert!(((q - v) / v).abs() <= 1.0 / 256.0 + 1e-7);
+        }
+    }
+
+    /// F32 packing is lossless for any shape.
+    #[test]
+    fn f32_pack_unpack_identity(m in matrix_strategy(40, 24)) {
+        let p = PackedWeights::pack(&m, WeightDtype::F32).unwrap();
+        let u = p.unpack();
+        prop_assert_eq!(u.as_slice(), m.as_slice());
+    }
+
+    /// The packed quantized layout dequantizes to exactly the same values
+    /// as the flat row-major quantizer: both implement the same
+    /// symmetric group-wise scheme.
+    #[test]
+    fn packed_quant_matches_flat_quant(m in matrix_strategy(32, 32)) {
+        let flat = QuantizedMatrix::quantize(&m, QuantDtype::Int8, 16).unwrap();
+        let packed = PackedWeights::pack(&m, WeightDtype::Int8 { group: 16 }).unwrap();
+        let a = flat.dequantize();
+        let b = packed.unpack();
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-6, "flat={x} packed={y}");
+        }
+    }
+
+    /// Int4 packed layout dequantization error per element never exceeds
+    /// half a quantization step of its group.
+    #[test]
+    fn int4_error_bound_holds(m in matrix_strategy(20, 16)) {
+        let p = PackedWeights::pack(&m, WeightDtype::Int4 { group: 8 }).unwrap();
+        let u = p.unpack();
+        for r in 0..m.rows() {
+            for g in 0..2 {
+                let absmax = (0..8).map(|t| m.get(r, g * 8 + t).abs())
+                    .fold(0.0f32, f32::max);
+                let step = absmax / 7.0;
+                for t in 0..8 {
+                    let c = g * 8 + t;
+                    let err = (m.get(r, c) - u.get(r, c)).abs();
+                    prop_assert!(err <= step * 0.5 + 1e-5);
+                }
+            }
+        }
+    }
+
+    /// Quantization is idempotent: re-quantizing dequantized values
+    /// reproduces the same codes.
+    #[test]
+    fn quantization_is_idempotent(m in matrix_strategy(8, 32)) {
+        let q1 = QuantizedMatrix::quantize(&m, QuantDtype::Int8, 16).unwrap();
+        let d1 = q1.dequantize();
+        let q2 = QuantizedMatrix::quantize(&d1, QuantDtype::Int8, 16).unwrap();
+        let d2 = q2.dequantize();
+        for (x, y) in d1.as_slice().iter().zip(d2.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-4 * x.abs().max(1.0));
+        }
+    }
+
+    /// Reference matmul is linear in its left operand.
+    #[test]
+    fn matmul_is_linear(
+        a in matrix_strategy(6, 12),
+        scale in -4.0f32..4.0,
+    ) {
+        let mut rng = kt_tensor::rng::seeded(11);
+        let w = Matrix::random_uniform(10, 12, 1.0, &mut rng).unwrap();
+        let c1 = a.matmul_wt(&w).unwrap();
+        let mut a2 = a.clone();
+        for v in a2.as_mut_slice() { *v *= scale; }
+        let c2 = a2.matmul_wt(&w).unwrap();
+        for (x, y) in c1.as_slice().iter().zip(c2.as_slice()) {
+            prop_assert!((x * scale - y).abs() <= 1e-3 * x.abs().max(1.0) * scale.abs().max(1.0));
+        }
+    }
+}

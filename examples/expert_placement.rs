@@ -1,0 +1,73 @@
+//! Expert-popularity profiling and hot-expert GPU placement — the
+//! Fiddler-style path the paper describes for models *without* shared
+//! experts (§1): profile routing on real traffic, pin the hottest
+//! experts to the GPU, and verify outputs are unchanged (placement is
+//! pure scheduling).
+//!
+//! Run with: `cargo run --release --example expert_placement`
+
+use ktransformers::core::{EngineConfig, HybridEngine, SchedMode};
+use ktransformers::model::ModelPreset;
+
+fn main() {
+    // Qwen2-style architecture: its popularity-based placement story is
+    // the interesting one (DeepSeek's shared experts are always-hot by
+    // construction).
+    let cfg = ModelPreset::Qwen2Moe.tiny_config();
+    let engine = HybridEngine::random(
+        &cfg,
+        EngineConfig {
+            n_cpu_workers: 2,
+            mode: SchedMode::AsyncGraph,
+            n_gpu_experts: 4,
+            seed: 77,
+            ..Default::default()
+        },
+    )
+    .expect("engine");
+
+    // 1. Profile: run representative traffic.
+    let prompts: [&[u32]; 3] = [&[1, 2, 3, 4, 5], &[90, 12, 44], &[200, 201, 202, 203]];
+    for p in prompts {
+        let _ = engine.generate_greedy(p, 6).expect("profiling traffic");
+        engine.reset();
+    }
+    let profile = engine.expert_profile();
+    let layer = cfg.n_dense_layers;
+    println!(
+        "layer {layer}: {} activations recorded, concentration {:.3} (1/E = {:.3})",
+        profile.total(layer),
+        profile.concentration(layer),
+        1.0 / cfg.n_routed_experts as f64
+    );
+    println!("hottest experts of layer {layer}: {:?}", profile.hottest(layer, 4));
+
+    // 2. Place: pin the 4 hottest experts per layer onto the GPU.
+    let before = engine.generate_greedy(&[7, 8, 9], 8).expect("baseline");
+    engine.reset();
+    let pinned = engine.refresh_placement();
+    println!("pinned {pinned} experts to the GPU across {} MoE layers", cfg.n_moe_layers());
+
+    // 3. Verify: same tokens, different schedule.
+    let after = engine.generate_greedy(&[7, 8, 9], 8).expect("pinned run");
+    assert_eq!(before, after, "placement must not change outputs");
+    println!("outputs identical with and without placement: {after:?}");
+
+    // 4. Measure real utilization over a decode burst.
+    engine.reset();
+    let _ = engine.forward(&[7, 8, 9]).expect("prefill");
+    let report = engine
+        .measure_utilization(|| {
+            for _ in 0..16 {
+                engine.forward(&[11])?;
+            }
+            Ok(())
+        })
+        .expect("measurement");
+    println!(
+        "decode window: CPU workers {:.0}% busy, device {:.0}% busy, {:.1}% of device time on launches",
+        report.cpu_util * 100.0,
+        report.gpu_util * 100.0,
+        report.gpu_overhead_frac * 100.0
+    );
+}

@@ -1,0 +1,83 @@
+//! Capacity planning with the hardware simulator: how would DeepSeek-V3
+//! decode/prefill behave on *your* machine under each serving system?
+//!
+//! Demonstrates the `kt-hwsim` API on a custom platform (a 4-socket
+//! server with a smaller GPU) — the workflow a user would follow before
+//! buying hardware for local MoE deployment.
+//!
+//! Run with: `cargo run --release --example simulate_platform`
+
+use ktransformers::hwsim::policy::{simulate, Phase, SystemPolicy};
+use ktransformers::hwsim::workload::Precision;
+use ktransformers::hwsim::{Calibration, CpuSpec, GpuSpec, Platform};
+use ktransformers::model::ModelPreset;
+
+fn main() {
+    // A hypothetical deployment target: 4 sockets with slower DDR5 and
+    // a 24 GB consumer GPU.
+    let platform = Platform {
+        cpu: CpuSpec {
+            sockets: 4,
+            cores_per_socket: 24,
+            amx_peak_tflops: 49.2, // 24 cores at the same per-core rate
+            avx512_tflops: 1.2,
+            local_bw_gbs: 180.0,
+            remote_bw_gbs: 90.0,
+        },
+        gpu: GpuSpec {
+            tflops: 165.0,
+            hbm_gbs: 1008.0,
+            vram_gb: 24.0,
+        },
+        pcie_gbs: 32.0,
+    };
+    let cfg = ModelPreset::DeepSeekV3.full_config();
+    let cal = Calibration::default();
+
+    println!("platform: {} sockets x {} GB/s local DRAM, {} TFLOPS GPU",
+        platform.cpu.sockets, platform.cpu.local_bw_gbs, platform.gpu.tflops);
+    println!("model: {} (Int4 experts)", cfg.name);
+    println!();
+    println!("{:<26} {:>14} {:>14}", "system", "prefill tok/s", "decode tok/s");
+    for policy in [
+        SystemPolicy::fiddler(),
+        SystemPolicy::llamacpp(),
+        SystemPolicy::ktransformers(),
+        SystemPolicy::ktransformers_deferred(6),
+    ] {
+        let prefill = simulate(
+            &policy,
+            &platform,
+            &cfg,
+            Precision::Int4,
+            Precision::Int4,
+            Phase::Prefill { prompt: 4096 },
+            &cal,
+        )
+        .expect("prefill sim");
+        let decode = simulate(
+            &policy,
+            &platform,
+            &cfg,
+            Precision::Int4,
+            Precision::Int4,
+            Phase::Decode {
+                prompt: 32,
+                steps: 16,
+            },
+            &cal,
+        )
+        .expect("decode sim");
+        println!(
+            "{:<26} {:>14.1} {:>14.2}   (cpu {:.0}% / gpu {:.0}%)",
+            policy.name,
+            prefill.tokens_per_s,
+            decode.tokens_per_s,
+            decode.cpu_util * 100.0,
+            decode.gpu_util * 100.0
+        );
+    }
+    println!();
+    println!("The simulator reproduces the paper's orderings; swap in your own");
+    println!("CpuSpec/GpuSpec to size a deployment before buying hardware.");
+}

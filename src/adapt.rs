@@ -1,0 +1,191 @@
+//! Configuration-driven engine construction: the §5 workflow end to
+//! end. A YAML rule file is applied to the model's module tree, and the
+//! injected `FusedMoE` kwargs (backend, quantization, deferral) become
+//! the engine configuration — "a single YAML file drives the process".
+
+use kt_core::{EngineConfig, HybridEngine};
+use kt_inject::{inject, InjectError, ModuleTree, OperatorRegistry};
+use kt_kernels::dispatch::Backend;
+use kt_model::ModelConfig;
+use kt_tensor::WeightDtype;
+
+/// Everything derived from applying a rule file to a model.
+#[derive(Debug)]
+pub struct AdaptedModel {
+    /// The rewritten module tree.
+    pub tree: ModuleTree,
+    /// Engine configuration extracted from the injected kwargs.
+    pub engine_config: EngineConfig,
+    /// CPU kernel backend selected by the configuration.
+    pub backend: Backend,
+    /// Modules replaced by the rule file.
+    pub replacements: usize,
+}
+
+/// Derives the class-name prefix for the module tree from the model
+/// name ("DeepSeek-V3-0324" -> `modeling_deepseek_v3.DeepseekV3`).
+fn class_prefix(cfg: &ModelConfig) -> String {
+    let lower = cfg.name.to_lowercase();
+    if lower.contains("deepseek-v3") {
+        "modeling_deepseek_v3.DeepseekV3".into()
+    } else if lower.contains("deepseek-v2") {
+        "modeling_deepseek_v2.DeepseekV2".into()
+    } else if lower.contains("qwen2") {
+        "modeling_qwen2_moe.Qwen2Moe".into()
+    } else {
+        "modeling_generic.Generic".into()
+    }
+}
+
+/// Applies a YAML rule file to `cfg`'s module tree and extracts an
+/// engine configuration from the injected MoE operator's kwargs
+/// (`backend`, `data_type`, `n_deferred_experts`, `n_gpu_experts`).
+///
+/// Unknown kwargs are ignored (forward compatibility); missing ones
+/// keep [`EngineConfig::default`] values.
+///
+/// # Errors
+///
+/// Returns [`InjectError`] on parse/pattern/registry failures or when
+/// no rule matched a MoE module.
+pub fn adapt(cfg: &ModelConfig, yaml_rules: &str) -> Result<AdaptedModel, InjectError> {
+    let mut tree = ModuleTree::hf_moe_model(
+        &class_prefix(cfg),
+        cfg.n_layers,
+        cfg.n_dense_layers,
+        cfg.n_shared_experts > 0,
+    );
+    let registry = OperatorRegistry::builtin();
+    let report = inject(&mut tree, yaml_rules, &registry)?;
+
+    // Find the injected MoE module (any MoE layer; they share kwargs).
+    let moe_layer = cfg.n_dense_layers;
+    let moe = tree
+        .find(&format!("model.layers.{moe_layer}.mlp"))
+        .filter(|n| n.class == "operators.experts.FusedMoE")
+        .ok_or_else(|| {
+            kt_inject::InjectError::rule(
+                "no rule injected operators.experts.FusedMoE into a MoE layer",
+            )
+        })?;
+
+    let kwarg = |key: &str| {
+        moe.kwargs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    };
+    let backend = kwarg("backend")
+        .and_then(Backend::parse)
+        .unwrap_or_default();
+    let expert_dtype = match kwarg("data_type") {
+        Some("Int4") => WeightDtype::Int4 { group: 16 },
+        Some("Int8") => WeightDtype::Int8 { group: 16 },
+        Some("BF16") => WeightDtype::Bf16,
+        _ => WeightDtype::F32,
+    };
+    let n_deferred = kwarg("n_deferred_experts")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let n_gpu_experts = kwarg("n_gpu_experts")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+
+    Ok(AdaptedModel {
+        engine_config: EngineConfig {
+            n_deferred,
+            n_gpu_experts,
+            expert_dtype,
+            ..Default::default()
+        },
+        backend,
+        replacements: report.total(),
+        tree,
+    })
+}
+
+/// One-call convenience: adapt per the YAML and build a runnable engine
+/// with seeded random weights.
+///
+/// # Errors
+///
+/// Returns a human-readable error for injection or engine-construction
+/// failures.
+pub fn engine_from_yaml(
+    cfg: &ModelConfig,
+    yaml_rules: &str,
+    seed: u64,
+) -> Result<HybridEngine, String> {
+    let adapted = adapt(cfg, yaml_rules).map_err(|e| e.to_string())?;
+    let mut econfig = adapted.engine_config;
+    econfig.seed = seed;
+    HybridEngine::random(cfg, econfig).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kt_model::ModelPreset;
+
+    const RULES: &str = r#"
+- match:
+    class: modeling_deepseek_v3.DeepseekV3MoE
+  replace:
+    class: operators.experts.FusedMoE
+    device: "cpu"
+    kwargs:
+      backend: "hybrid_AMX_AVX512"
+      data_type: "Int8"
+      n_deferred_experts: 2
+      n_gpu_experts: 3
+"#;
+
+    #[test]
+    fn adapt_extracts_engine_config() {
+        let cfg = ModelPreset::DeepSeekV3.tiny_config();
+        let adapted = adapt(&cfg, RULES).unwrap();
+        assert_eq!(adapted.engine_config.n_deferred, 2);
+        assert_eq!(adapted.engine_config.n_gpu_experts, 3);
+        assert!(matches!(
+            adapted.engine_config.expert_dtype,
+            WeightDtype::Int8 { .. }
+        ));
+        assert_eq!(adapted.backend, Backend::HybridAmxAvx512);
+        assert_eq!(adapted.replacements, cfg.n_moe_layers());
+    }
+
+    #[test]
+    fn adapt_requires_a_moe_rule() {
+        let cfg = ModelPreset::DeepSeekV3.tiny_config();
+        let no_moe = r#"
+- match:
+    name: "lm_head"
+  replace:
+    class: operators.linear.MarlinLinear
+"#;
+        assert!(adapt(&cfg, no_moe).is_err());
+    }
+
+    #[test]
+    fn wrong_model_class_does_not_match() {
+        // A DS-3 rule file applied to Qwen2 matches nothing — the §5
+        // one-line-change property, inverted.
+        let cfg = ModelPreset::Qwen2Moe.tiny_config();
+        assert!(adapt(&cfg, RULES).is_err());
+        let qwen_rules = RULES.replace(
+            "modeling_deepseek_v3.DeepseekV3MoE",
+            "modeling_qwen2_moe.Qwen2MoeMoE",
+        );
+        let adapted = adapt(&cfg, &qwen_rules).unwrap();
+        assert_eq!(adapted.replacements, cfg.n_moe_layers());
+    }
+
+    #[test]
+    fn engine_from_yaml_generates() {
+        let cfg = ModelPreset::DeepSeekV3.tiny_config();
+        let engine = engine_from_yaml(&cfg, RULES, 7).unwrap();
+        let out = engine.generate_greedy(&[1, 2, 3], 4).unwrap();
+        assert_eq!(out.len(), 4);
+        assert_eq!(engine.engine_config().n_deferred, 2);
+    }
+}

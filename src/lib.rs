@@ -1,0 +1,12 @@
+//! Facade crate re-exporting the KTransformers reproduction workspace,
+//! plus [`adapt`]: configuration-driven engine construction (§5's
+//! YAML-drives-everything workflow as a one-call API).
+pub mod adapt;
+
+pub use kt_core as core;
+pub use kt_eval as eval;
+pub use kt_hwsim as hwsim;
+pub use kt_inject as inject;
+pub use kt_kernels as kernels;
+pub use kt_model as model;
+pub use kt_tensor as tensor;

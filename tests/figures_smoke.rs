@@ -1,0 +1,114 @@
+//! Structural smoke tests over every figure/table regenerator: each
+//! experiment function must produce complete, well-formed, correctly
+//! ordered data (values are asserted in the crates' own tests; here we
+//! guard the cross-crate wiring the bench binaries depend on).
+
+use ktransformers::hwsim::experiments::{
+    ablation_graph, ablation_numa, fig10_deferral_study, fig11_prefill, fig12_decode,
+    fig14_breakdown, fig3_kernel_throughput, fig4_launch_analysis, fig7_kernel_latency,
+    Deployment,
+};
+use ktransformers::hwsim::Calibration;
+use ktransformers::model::ModelPreset;
+
+fn cal() -> Calibration {
+    Calibration::default()
+}
+
+#[test]
+fn table1_params_match_paper_within_tolerance() {
+    let expect = [
+        (ModelPreset::DeepSeekV3, 671.0, 17.0, 654.0),
+        (ModelPreset::DeepSeekV2, 236.0, 13.0, 223.0),
+        (ModelPreset::Qwen2Moe, 57.0, 8.0, 49.0),
+    ];
+    for (preset, total, gpu, cpu) in expect {
+        let c = preset.full_config();
+        let b = |v: u64| v as f64 / 1e9;
+        assert!((b(c.total_params()) - total).abs() / total < 0.08, "{preset:?} total");
+        assert!((b(c.gpu_params()) - gpu).abs() / gpu < 0.35, "{preset:?} gpu");
+        assert!((b(c.cpu_params()) - cpu).abs() / cpu < 0.05, "{preset:?} cpu");
+    }
+}
+
+#[test]
+fn fig3_and_fig7_are_complete() {
+    let f3 = fig3_kernel_throughput(&cal());
+    assert_eq!(f3.len(), 3);
+    for s in &f3 {
+        assert_eq!(s.points.len(), 11);
+        assert!(s.points.iter().all(|p| p.y.is_finite() && p.y > 0.0));
+    }
+    let f7 = fig7_kernel_latency(&cal());
+    assert_eq!(f7.len(), 3);
+    for (_, series) in &f7 {
+        assert_eq!(series.len(), 2);
+    }
+}
+
+#[test]
+fn fig4_and_fig10_are_complete() {
+    let f4 = fig4_launch_analysis(&cal()).unwrap();
+    assert_eq!(f4.len(), 3);
+    let f10 = fig10_deferral_study(&cal()).unwrap();
+    assert_eq!(
+        f10.iter().map(|r| r.n_deferred).collect::<Vec<_>>(),
+        vec![0, 2, 3, 4]
+    );
+}
+
+#[test]
+fn fig11_and_fig12_cover_all_deployments() {
+    let prompts = [32usize, 512, 8192];
+    let f11 = fig11_prefill(&cal(), &prompts).unwrap();
+    assert_eq!(f11.len(), Deployment::all().len());
+    for (_, series) in &f11 {
+        assert_eq!(series.len(), 3, "three systems");
+        for s in series {
+            assert_eq!(s.points.len(), prompts.len());
+        }
+    }
+    let f12 = fig12_decode(&cal()).unwrap();
+    assert_eq!(f12.len(), 6);
+    for (_, series) in &f12 {
+        assert_eq!(series.len(), 4, "three systems + deferral variant");
+    }
+}
+
+#[test]
+fn prefill_throughput_grows_with_prompt_length() {
+    // Figure 11's universal shape: throughput rises with prompt length
+    // for every system (amortized weight traffic).
+    let prompts = [32usize, 512, 8192];
+    let f11 = fig11_prefill(&cal(), &prompts).unwrap();
+    for (dep, series) in &f11 {
+        for s in series {
+            assert!(
+                s.points[2].y > s.points[0].y,
+                "{} / {}: prefill must speed up with longer prompts",
+                dep.label(),
+                s.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fig14_has_six_stages_for_three_models() {
+    let f14 = fig14_breakdown(&cal()).unwrap();
+    assert_eq!(f14.len(), 3);
+    for (_, stages) in &f14 {
+        assert_eq!(stages.len(), 6);
+        // Baseline is normalized to 1.0.
+        assert!((stages[0].1 - 1.0).abs() < 1e-9);
+        assert!((stages[0].2 - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn ablations_report_gains() {
+    let numa = ablation_numa(&cal()).unwrap();
+    assert!(numa[1].1 > numa[0].1);
+    let graph = ablation_graph(&cal()).unwrap();
+    assert!(graph[1].1 > graph[0].1);
+}

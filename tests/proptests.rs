@@ -1,0 +1,114 @@
+//! Cross-crate property-based tests on the system's core invariants.
+
+use ktransformers::kernels::dispatch::Backend;
+use ktransformers::kernels::gemm::gemm_auto;
+use ktransformers::kernels::moe::{ExpertWeights, FusedMoE, MoeRouting};
+use ktransformers::kernels::schedule::SchedulePolicy;
+use ktransformers::tensor::rng::seeded;
+use ktransformers::tensor::{Matrix, PackedWeights, WeightDtype};
+use proptest::prelude::*;
+
+fn routing_strategy(
+    n_tokens: usize,
+    n_experts: usize,
+) -> impl Strategy<Value = MoeRouting> {
+    proptest::collection::vec(
+        proptest::collection::vec((0..n_experts, 0.05f32..1.0), 0..=4),
+        n_tokens..=n_tokens,
+    )
+    .prop_map(|mut a| {
+        // De-duplicate experts per token (routers never pick twice).
+        for row in &mut a {
+            row.sort_by_key(|&(e, _)| e);
+            row.dedup_by_key(|&mut (e, _)| e);
+        }
+        MoeRouting::new(a)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The hybrid-dispatch kernel agrees with the reference matmul for
+    /// random shapes and dtypes.
+    #[test]
+    fn gemm_auto_matches_reference(
+        m in 1usize..10,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let k = 64usize;
+        let mut rng = seeded(seed);
+        let a = Matrix::random_uniform(m, k, 1.0, &mut rng).unwrap();
+        let wmat = Matrix::random_uniform(n, k, 1.0, &mut rng).unwrap();
+        for dt in [WeightDtype::F32, WeightDtype::Int8 { group: 32 }] {
+            let w = PackedWeights::pack(&wmat, dt).unwrap();
+            let expect = a.matmul_wt(&w.unpack()).unwrap();
+            let mut out = Matrix::zeros(m, n).unwrap();
+            gemm_auto(&a, &w, &mut out, None).unwrap();
+            let err = expect.relative_error(&out);
+            prop_assert!(err < 1e-4, "dtype {dt:?} err {err}");
+        }
+    }
+
+    /// MoE linearity: splitting any routing into two parts and summing
+    /// the partial outputs reproduces the full output — the invariant
+    /// Expert Deferral is built on.
+    #[test]
+    fn moe_split_linearity(
+        routing in routing_strategy(5, 6),
+        n_imm in 0usize..5,
+        seed in 0u64..500,
+    ) {
+        let mut rng = seeded(seed);
+        let moe = FusedMoE::random(6, 24, 32, WeightDtype::F32,
+            Backend::HybridAmxAvx512, &mut rng).unwrap();
+        let x = Matrix::random_uniform(5, 24, 1.0, &mut rng).unwrap();
+        let full = moe.forward(&x, &routing, None, SchedulePolicy::Dynamic).unwrap();
+        let (imm, def) = routing.split_deferred(n_imm);
+        prop_assert_eq!(imm.n_activations() + def.n_activations(), routing.n_activations());
+        let mut sum = moe.forward(&x, &imm, None, SchedulePolicy::Dynamic).unwrap();
+        moe.forward_accumulate(&x, &def, &mut sum, None, SchedulePolicy::Dynamic).unwrap();
+        let err = full.relative_error(&sum);
+        prop_assert!(err < 1e-4, "err {err}");
+    }
+
+    /// Routing weights scale outputs linearly.
+    #[test]
+    fn moe_weight_scaling(scale in 0.1f32..4.0, seed in 0u64..200) {
+        let mut rng = seeded(seed);
+        let moe = FusedMoE::random(4, 16, 24, WeightDtype::F32,
+            Backend::HybridAmxAvx512, &mut rng).unwrap();
+        let x = Matrix::random_uniform(2, 16, 1.0, &mut rng).unwrap();
+        let base = MoeRouting::new(vec![vec![(1, 1.0)], vec![(3, 1.0)]]);
+        let scaled = MoeRouting::new(vec![vec![(1, scale)], vec![(3, scale)]]);
+        let y1 = moe.forward(&x, &base, None, SchedulePolicy::Dynamic).unwrap();
+        let y2 = moe.forward(&x, &scaled, None, SchedulePolicy::Dynamic).unwrap();
+        for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
+            prop_assert!((a * scale - b).abs() < 1e-3 * a.abs().max(1.0) * scale.max(1.0));
+        }
+    }
+
+    /// Quantizing expert weights perturbs the MoE output by a bounded
+    /// amount (Int8 stays within a few percent).
+    #[test]
+    fn quantized_moe_error_is_bounded(seed in 0u64..200) {
+        let mut rng = seeded(seed);
+        let hidden = 32;
+        let inter = 32;
+        let gate = Matrix::random_kaiming(inter, hidden, &mut rng).unwrap();
+        let up = Matrix::random_kaiming(inter, hidden, &mut rng).unwrap();
+        let down = Matrix::random_kaiming(hidden, inter, &mut rng).unwrap();
+        let f32e = ExpertWeights::from_matrices(&gate, &up, &down, WeightDtype::F32).unwrap();
+        let i8e = ExpertWeights::from_matrices(&gate, &up, &down,
+            WeightDtype::Int8 { group: 16 }).unwrap();
+        let full = FusedMoE::new(vec![f32e], Backend::HybridAmxAvx512).unwrap();
+        let quant = FusedMoE::new(vec![i8e], Backend::HybridAmxAvx512).unwrap();
+        let x = Matrix::random_uniform(3, hidden, 1.0, &mut rng).unwrap();
+        let routing = MoeRouting::new(vec![vec![(0, 1.0)]; 3]);
+        let a = full.forward(&x, &routing, None, SchedulePolicy::Dynamic).unwrap();
+        let b = quant.forward(&x, &routing, None, SchedulePolicy::Dynamic).unwrap();
+        let err = a.relative_error(&b);
+        prop_assert!(err < 0.06, "int8 err {err}");
+    }
+}
