@@ -1,0 +1,88 @@
+//! Decode throughput vs serving concurrency, measured through the real
+//! kt-serve continuous-batching scheduler (not the hwsim model).
+//!
+//! Each step of the batched decode loop pays a fixed launch cost (the
+//! virtual GPU charges a graph-launch latency per replay, as a real
+//! CUDA graph launch would) plus per-token compute. Continuous
+//! batching amortizes the fixed part: at concurrency `c` one step
+//! emits `c` tokens for roughly one step's overhead, so aggregate
+//! tokens/s should scale well past the batch-1 baseline.
+
+use kt_bench::{section, table};
+use kt_core::{EngineConfig, HybridEngine, SchedMode, VgpuConfig};
+use kt_model::ModelPreset;
+use kt_serve::{Request, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tokens decoded per request.
+const N_NEW: usize = 16;
+/// Total requests per concurrency level (kept constant so every row
+/// does the same amount of work).
+const N_REQUESTS: usize = 16;
+
+fn throughput_at(concurrency: usize) -> f64 {
+    let cfg = ModelPreset::DeepSeekV3.tiny_config();
+    let engine = Arc::new(
+        HybridEngine::random(
+            &cfg,
+            EngineConfig {
+                n_cpu_workers: 2,
+                mode: SchedMode::AsyncGraph,
+                n_deferred: 2,
+                vgpu: VgpuConfig {
+                    launch_latency: Duration::from_micros(20),
+                    graph_launch_latency: Duration::from_micros(250),
+                    ..Default::default()
+                },
+                seed: 13,
+                ..Default::default()
+            },
+        )
+        .expect("engine"),
+    );
+    let server = Server::start(engine, ServerConfig { max_batch: concurrency });
+    let prompts: Vec<Vec<u32>> = (0..N_REQUESTS)
+        .map(|i| vec![(i as u32) % 251 + 1, 3, 5])
+        .collect();
+
+    let start = Instant::now();
+    let handles: Vec<_> = prompts
+        .iter()
+        .map(|p| server.submit(Request::greedy(p, N_NEW)))
+        .collect();
+    let mut tokens = 0usize;
+    for h in &handles {
+        let r = h.wait();
+        assert!(r.is_completed(), "{:?}", r.outcome);
+        tokens += r.tokens.len();
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let stats = server.stats();
+    assert_eq!(stats.completed as usize, N_REQUESTS);
+    server.shutdown();
+    tokens as f64 / elapsed
+}
+
+fn main() {
+    section("Decode throughput vs serving concurrency (kt-serve, tiny DS-3)");
+    let mut rows = Vec::new();
+    let mut base = 0.0;
+    for c in [1usize, 2, 4, 8] {
+        let tps = throughput_at(c);
+        if c == 1 {
+            base = tps;
+        }
+        rows.push(vec![
+            c.to_string(),
+            format!("{tps:.1}"),
+            format!("{:.2}x", tps / base),
+        ]);
+    }
+    table(&["Concurrency", "tok/s", "vs c=1"], &rows);
+    println!();
+    println!("Continuous batching amortizes the per-step graph-launch cost across");
+    println!("every active sequence; per-request latency rises only by the extra");
+    println!("expert compute each step carries (cf. the batch-size sweep in");
+    println!("ablation_batch, which models the same effect analytically).");
+}

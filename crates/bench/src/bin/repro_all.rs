@@ -11,7 +11,7 @@ fn main() {
         "table1", "fig3", "fig4", "fig7", "fig10", "fig11", "fig12", "fig14",
         "ablation_numa", "ablation_graph", "ablation_sched", "ablation_multigpu",
         "ablation_batch", "ablation_kvoffload", "ablation_placement", "ablation_offload",
-        "ablation_latency",
+        "ablation_latency", "ablation_concurrency",
         "table2", "fig13",
     ];
     let exe = std::env::current_exe().expect("current exe");

@@ -92,6 +92,12 @@ pub struct EngineConfig {
     pub n_gpu_experts: usize,
     /// Storage dtype of routed/shared expert weights.
     pub expert_dtype: WeightDtype,
+    /// CPU kernel backend for expert GEMMs. The default hybrid
+    /// dispatch picks tiled vs vector kernels by bucket size, which
+    /// makes outputs depend (within kernel tolerance) on how many
+    /// tokens share an expert in one step; forcing a single class
+    /// makes batched and sequential decoding bit-identical.
+    pub backend: Backend,
     /// Weight initialization seed.
     pub seed: u64,
 }
@@ -105,6 +111,7 @@ impl Default for EngineConfig {
             n_deferred: 0,
             n_gpu_experts: 0,
             expert_dtype: WeightDtype::F32,
+            backend: Backend::HybridAmxAvx512,
             seed: 0,
         }
     }
@@ -134,8 +141,14 @@ struct EngineLayer {
 
 /// Mutable per-step state shared by control, device and worker threads.
 struct StepState {
-    /// Tokens for the current forward (set by the control thread).
+    /// Tokens for the current forward (set by the control thread):
+    /// each sequence's new tokens, concatenated in batch order.
     tokens: Vec<u32>,
+    /// Row span `(start, len)` of each sequence in the batch.
+    seq_rows: Vec<(usize, usize)>,
+    /// Whether each row belongs to a single-token (decode) sequence —
+    /// Expert Deferral applies per row, only to decode rows.
+    decode_row: Vec<bool>,
     /// Residual stream, `tokens x hidden`.
     x: Matrix,
     /// Saved FFN inputs per layer (deferred experts read layer k's
@@ -148,8 +161,10 @@ struct StepState {
     /// Routing of GPU-pinned hot experts per layer (consumed by the
     /// shared-experts op of the same layer).
     gpu_routing: Vec<Option<MoeRouting>>,
-    /// KV caches.
-    cache: KvCache,
+    /// Per-sequence KV caches, indexed like `seq_rows`. Outside a
+    /// batched forward this holds exactly the engine-owned default
+    /// cache at index 0 (the single-session legacy path).
+    caches: Vec<KvCache>,
     /// Final logits of the step.
     logits: Option<Matrix>,
     /// First error raised by any op (checked after each step).
@@ -166,6 +181,25 @@ struct EngineShared {
     profile: Mutex<ExpertProfile>,
     /// Per-layer GPU-pinned expert masks (empty vec = none pinned).
     gpu_masks: Mutex<Vec<Vec<bool>>>,
+    /// Optional fault injector consulted on the expert-submission
+    /// path; returning `true` for a layer path fails that forward.
+    fault: Mutex<Option<FaultHook>>,
+}
+
+/// A fault-injection hook: given a module path such as
+/// `model.layers.3.mlp.experts`, decides whether to inject a failure.
+pub type FaultHook = Arc<dyn Fn(&str) -> bool + Send + Sync>;
+
+/// One sequence's slot in a batched forward
+/// ([`HybridEngine::forward_batch`]): its KV cache plus the new tokens
+/// to process this step (one token = decode row, several = prefill).
+pub struct BatchSeq {
+    /// The sequence's KV cache (from [`HybridEngine::fresh_cache`] or
+    /// a cache pool). Moved into the engine during the step and handed
+    /// back before `forward_batch` returns.
+    pub cache: KvCache,
+    /// New tokens to append this step.
+    pub tokens: Vec<u32>,
 }
 
 /// The hybrid engine.
@@ -238,7 +272,7 @@ impl HybridEngine {
             let ffn = if layer < cfg.n_dense_layers {
                 let dense =
                     ExpertWeights::random(cfg.hidden, cfg.dense_inter, WeightDtype::F32, &mut rng)?;
-                EngineFfn::Dense(FusedMoE::new(vec![dense], Backend::HybridAmxAvx512)?)
+                EngineFfn::Dense(FusedMoE::new(vec![dense], econfig.backend)?)
             } else {
                 let gate_cfg = GateConfig {
                     n_experts: cfg.n_routed_experts,
@@ -261,7 +295,7 @@ impl HybridEngine {
                             )
                         })
                         .collect::<Result<Vec<_>, _>>()?;
-                    Some(FusedMoE::new(experts, Backend::HybridAmxAvx512)?)
+                    Some(FusedMoE::new(experts, econfig.backend)?)
                 } else {
                     None
                 };
@@ -273,7 +307,7 @@ impl HybridEngine {
                 EngineFfn::Moe {
                     router,
                     shared,
-                    routed: FusedMoE::new(experts, Backend::HybridAmxAvx512)?,
+                    routed: FusedMoE::new(experts, econfig.backend)?,
                 }
             };
             let my_moe_pos = moe_layers.iter().position(|&l| l == layer);
@@ -299,12 +333,14 @@ impl HybridEngine {
         let shared = Arc::new(EngineShared {
             state: Mutex::new(StepState {
                 tokens: Vec::new(),
+                seq_rows: Vec::new(),
+                decode_row: Vec::new(),
                 x: Matrix::zeros(1, cfg.hidden)?,
                 ffn_in: vec![None; cfg.n_layers],
                 imm_out: vec![None; cfg.n_layers],
                 def_out: vec![None; cfg.n_layers],
                 gpu_routing: vec![None; cfg.n_layers],
-                cache: KvCache::new(&cache_specs, cfg.max_seq),
+                caches: vec![KvCache::new(&cache_specs, cfg.max_seq)],
                 logits: None,
                 error: None,
             }),
@@ -312,6 +348,7 @@ impl HybridEngine {
             def_pending: (0..cfg.n_layers).map(|_| AtomicUsize::new(0)).collect(),
             profile: Mutex::new(ExpertProfile::new(cfg.n_layers, cfg.n_routed_experts)),
             gpu_masks: Mutex::new(vec![Vec::new(); cfg.n_layers]),
+            fault: Mutex::new(None),
         });
 
         Ok(HybridEngine {
@@ -441,12 +478,14 @@ impl HybridEngine {
         let shared = Arc::new(EngineShared {
             state: Mutex::new(StepState {
                 tokens: Vec::new(),
+                seq_rows: Vec::new(),
+                decode_row: Vec::new(),
                 x: Matrix::zeros(1, cfg.hidden)?,
                 ffn_in: vec![None; cfg.n_layers],
                 imm_out: vec![None; cfg.n_layers],
                 def_out: vec![None; cfg.n_layers],
                 gpu_routing: vec![None; cfg.n_layers],
-                cache: KvCache::new(&cache_specs, cfg.max_seq),
+                caches: vec![KvCache::new(&cache_specs, cfg.max_seq)],
                 logits: None,
                 error: None,
             }),
@@ -454,6 +493,7 @@ impl HybridEngine {
             def_pending: (0..cfg.n_layers).map(|_| AtomicUsize::new(0)).collect(),
             profile: Mutex::new(ExpertProfile::new(cfg.n_layers, cfg.n_routed_experts)),
             gpu_masks: Mutex::new(vec![Vec::new(); cfg.n_layers]),
+            fault: Mutex::new(None),
         });
         Ok(HybridEngine {
             inference_lock: Mutex::new(()),
@@ -485,13 +525,15 @@ impl HybridEngine {
     /// check it back out.
     pub fn swap_cache(&self, cache: &mut KvCache) {
         let mut st = self.shared.state.lock();
-        std::mem::swap(&mut st.cache, cache);
+        std::mem::swap(&mut st.caches[0], cache);
     }
 
     /// Resets the KV cache and launch stats (new conversation).
     pub fn reset(&self) {
         let mut st = self.shared.state.lock();
-        st.cache.reset();
+        for cache in &mut st.caches {
+            cache.reset();
+        }
         st.logits = None;
         st.error = None;
         self.vgpu.reset_stats();
@@ -499,7 +541,25 @@ impl HybridEngine {
 
     /// Current cached sequence length.
     pub fn seq_len(&self) -> usize {
-        self.shared.state.lock().cache.seq_len()
+        self.shared.state.lock().caches[0].seq_len()
+    }
+
+    /// Installs a fault injector consulted on the expert-submission
+    /// path. The hook receives a module path (e.g.
+    /// `model.layers.3.mlp.experts`) once per MoE layer per forward;
+    /// returning `true` fails that forward with an injected error
+    /// before any expert task is queued. Test harnesses pair this with
+    /// `kt-inject` fault patterns to exercise error propagation.
+    pub fn set_fault_injector(
+        &self,
+        hook: impl Fn(&str) -> bool + Send + Sync + 'static,
+    ) {
+        *self.shared.fault.lock() = Some(Arc::new(hook));
+    }
+
+    /// Removes any installed fault injector.
+    pub fn clear_fault_injector(&self) {
+        *self.shared.fault.lock() = None;
     }
 
     /// Measures real CPU-backend and device utilization over a closure
@@ -563,8 +623,10 @@ impl HybridEngine {
     /// the shared state, so the identical list can be launched op-by-op
     /// (sync mode) or captured once and replayed (graph mode).
     ///
-    /// `deferral` enables the immediate/deferred split (decode only).
-    fn build_ops(&self, deferral: bool) -> Vec<OpEntry> {
+    /// Ops are batch-shape-agnostic: they read `seq_rows`/`decode_row`
+    /// from the step state, so one captured graph serves every
+    /// all-decode batch and Expert Deferral gates itself per row.
+    fn build_ops(&self) -> Vec<OpEntry> {
         let mut ops: Vec<OpEntry> = Vec::new();
         let shared = Arc::clone(&self.shared);
         let embed = Arc::clone(&self.embed);
@@ -595,7 +657,7 @@ impl HybridEngine {
         ));
 
         for (li, layer) in self.layers.iter().enumerate() {
-            let n_def = if deferral && !layer.last_moe {
+            let n_def = if !layer.last_moe {
                 self.econfig.n_deferred.min(self.cfg.top_k.saturating_sub(1))
             } else {
                 0
@@ -609,43 +671,64 @@ impl HybridEngine {
                 ops.push((
                     false,
                     Arc::new(move || {
-                        let mut st = shared.state.lock();
-                        if st.error.is_some() {
+                        let mut guard = shared.state.lock();
+                        if guard.error.is_some() {
                             return;
                         }
-                        let normed = layer.attn_norm.forward(&st.x);
-                        let cache = st.cache.layer_mut(li);
-                        match layer.attn.forward(&normed, cache, &rope, None) {
-                            Ok(attn_out) => {
-                                for (o, a) in
-                                    st.x.as_mut_slice().iter_mut().zip(attn_out.as_slice())
-                                {
-                                    *o += a;
+                        let normed = layer.attn_norm.forward(&guard.x);
+                        let cols = normed.cols();
+                        let seq_rows = guard.seq_rows.clone();
+                        // Field-level split borrow: each sequence's rows
+                        // attend against its own KV cache.
+                        let st = &mut *guard;
+                        for (s, &(start, len)) in seq_rows.iter().enumerate() {
+                            let sub = match Matrix::from_rows(
+                                len,
+                                cols,
+                                &normed.as_slice()[start * cols..(start + len) * cols],
+                            ) {
+                                Ok(m) => m,
+                                Err(e) => {
+                                    st.error = Some(e.to_string());
+                                    return;
                                 }
-                                let ffn_in = layer.ffn_norm.forward(&st.x);
-                                if let EngineFfn::Dense(mlp) = &layer.ffn {
-                                    let t_new = ffn_in.rows();
-                                    let all = MoeRouting::new(vec![vec![(0, 1.0)]; t_new]);
-                                    let mut x = std::mem::replace(
-                                        &mut st.x,
-                                        Matrix::zeros(1, 1).expect("1x1"),
-                                    );
-                                    let r = mlp.forward_accumulate(
-                                        &ffn_in,
-                                        &all,
-                                        &mut x,
-                                        None,
-                                        SchedulePolicy::Dynamic,
-                                    );
-                                    st.x = x;
-                                    if let Err(e) = r {
-                                        st.error = Some(e.to_string());
+                            };
+                            let cache = st.caches[s].layer_mut(li);
+                            match layer.attn.forward(&sub, cache, &rope, None) {
+                                Ok(attn_out) => {
+                                    let dst = &mut st.x.as_mut_slice()
+                                        [start * cols..(start + len) * cols];
+                                    for (o, a) in dst.iter_mut().zip(attn_out.as_slice()) {
+                                        *o += a;
                                     }
-                                } else {
-                                    st.ffn_in[li] = Some(ffn_in);
+                                }
+                                Err(e) => {
+                                    st.error = Some(e.to_string());
+                                    return;
                                 }
                             }
-                            Err(e) => st.error = Some(e.to_string()),
+                        }
+                        let ffn_in = layer.ffn_norm.forward(&st.x);
+                        if let EngineFfn::Dense(mlp) = &layer.ffn {
+                            let t_new = ffn_in.rows();
+                            let all = MoeRouting::new(vec![vec![(0, 1.0)]; t_new]);
+                            let mut x = std::mem::replace(
+                                &mut st.x,
+                                Matrix::zeros(1, 1).expect("1x1"),
+                            );
+                            let r = mlp.forward_accumulate(
+                                &ffn_in,
+                                &all,
+                                &mut x,
+                                None,
+                                SchedulePolicy::Dynamic,
+                            );
+                            st.x = x;
+                            if let Err(e) = r {
+                                st.error = Some(e.to_string());
+                            }
+                        } else {
+                            st.ffn_in[li] = Some(ffn_in);
                         }
                     }),
                     usize::MAX,
@@ -665,7 +748,7 @@ impl HybridEngine {
                 ops.push((
                     true,
                     Arc::new(move || {
-                        let (ffn_in, routing) = {
+                        let (ffn_in, routing, decode_row) = {
                             let st = shared.state.lock();
                             if st.error.is_some() {
                                 return;
@@ -678,8 +761,20 @@ impl HybridEngine {
                                 return;
                             };
                             let routing = router.route(&ffn_in);
-                            (ffn_in, routing)
+                            (ffn_in, routing, st.decode_row.clone())
                         };
+                        // Fault-injection hook (test harness): a
+                        // registered injector can fail this layer's
+                        // expert submission before any task is queued.
+                        let hook = shared.fault.lock().clone();
+                        if let Some(h) = hook {
+                            let path = format!("model.layers.{li}.mlp.experts");
+                            if h(&path) {
+                                shared.state.lock().error =
+                                    Some(format!("injected fault at {path}"));
+                                return;
+                            }
+                        }
                         // Record activation statistics for popularity
                         // profiling (§1's Fiddler-style placement path).
                         shared.profile.lock().record(li, &routing);
@@ -707,9 +802,35 @@ impl HybridEngine {
                             }
                         };
 
-                        let (imm, def) = if n_def > 0 && ffn_in.rows() == 1 {
-                            let top_k = routing.assignments[0].len();
-                            routing.split_deferred(top_k.saturating_sub(n_def))
+                        // Expert Deferral gates per ROW: only decode
+                        // rows defer (§4.1 — decode-only), so a
+                        // mixed prefill/decode batch keeps every
+                        // sequence's deferral semantics independent.
+                        // Decode rows split exactly like
+                        // `split_deferred` (weight-sorted, top experts
+                        // immediate); prefill rows pass through
+                        // untouched in routing order.
+                        let any_defer =
+                            n_def > 0 && decode_row.iter().any(|&d| d);
+                        let (imm, def) = if any_defer {
+                            let mut imm_rows =
+                                Vec::with_capacity(routing.assignments.len());
+                            let mut def_rows =
+                                Vec::with_capacity(routing.assignments.len());
+                            for (r, a) in routing.assignments.iter().enumerate() {
+                                if decode_row.get(r).copied().unwrap_or(false) {
+                                    let mut sorted = a.clone();
+                                    sorted.sort_by(|x, y| y.1.total_cmp(&x.1));
+                                    let split =
+                                        a.len().saturating_sub(n_def).min(sorted.len());
+                                    def_rows.push(sorted.split_off(split));
+                                    imm_rows.push(sorted);
+                                } else {
+                                    imm_rows.push(a.clone());
+                                    def_rows.push(Vec::new());
+                                }
+                            }
+                            (MoeRouting::new(imm_rows), MoeRouting::new(def_rows))
                         } else {
                             (routing, MoeRouting::new(Vec::new()))
                         };
@@ -903,15 +1024,34 @@ impl HybridEngine {
                         return;
                     }
                     let normed = final_norm.forward(&st.x);
-                    match Matrix::zeros(normed.rows(), vocab) {
-                        Ok(mut logits) => {
-                            if let Err(e) = gemm_auto(&normed, &lm_head, &mut logits, None) {
-                                st.error = Some(e.to_string());
-                            } else {
-                                st.logits = Some(logits);
-                            }
+                    let cols = normed.cols();
+                    // The head GEMM runs per sequence: `gemm_auto`
+                    // dispatches by row count, so a whole-batch call
+                    // would pick a different kernel than sequential
+                    // decoding and drift within kernel tolerance.
+                    let per_seq = (|| -> Result<Matrix, String> {
+                        let mut logits = Matrix::zeros(normed.rows(), vocab)
+                            .map_err(|e| e.to_string())?;
+                        for &(start, len) in &st.seq_rows {
+                            let sub = Matrix::from_rows(
+                                len,
+                                cols,
+                                &normed.as_slice()[start * cols..(start + len) * cols],
+                            )
+                            .map_err(|e| e.to_string())?;
+                            let mut out = Matrix::zeros(len, vocab)
+                                .map_err(|e| e.to_string())?;
+                            gemm_auto(&sub, &lm_head, &mut out, None)
+                                .map_err(|e| e.to_string())?;
+                            logits.as_mut_slice()
+                                [start * vocab..(start + len) * vocab]
+                                .copy_from_slice(out.as_slice());
                         }
-                        Err(e) => st.error = Some(e.to_string()),
+                        Ok(logits)
+                    })();
+                    match per_seq {
+                        Ok(logits) => st.logits = Some(logits),
+                        Err(e) => st.error = Some(e),
                     }
                 }),
                 usize::MAX,
@@ -931,6 +1071,95 @@ impl HybridEngine {
     /// Returns [`EngineError::Exec`] on invalid tokens or any failure
     /// raised by device/worker ops.
     pub fn forward(&self, tokens: &[u32]) -> Result<Matrix, EngineError> {
+        self.validate_tokens(tokens)?;
+        // One forward at a time: the step state is per-request.
+        let _serialized = self.inference_lock.lock();
+        let decode = tokens.len() == 1;
+        {
+            let mut st = self.shared.state.lock();
+            st.tokens = tokens.to_vec();
+            st.seq_rows = vec![(0, tokens.len())];
+            st.decode_row = vec![decode; tokens.len()];
+        }
+        self.run_step(decode)
+    }
+
+    /// Runs one continuously-batched forward: every sequence's new
+    /// tokens are appended to its own KV cache and processed in a
+    /// single step — attention per sequence, expert FFNs across the
+    /// whole batch. Single-token sequences are decode rows (Expert
+    /// Deferral applies per row); multi-token sequences prefill. The
+    /// returned logits are split per sequence, one matrix each with
+    /// one row per new token.
+    ///
+    /// Caches are moved into the engine for the step and handed back
+    /// before returning — including on error, but a failed step may
+    /// leave caches partially advanced; callers must `reset` a cache
+    /// before reusing it after an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Exec`] on an empty batch, invalid
+    /// tokens, or any failure raised by device/worker ops.
+    pub fn forward_batch(&self, seqs: &mut [BatchSeq]) -> Result<Vec<Matrix>, EngineError> {
+        if seqs.is_empty() {
+            return Err(EngineError::exec("forward_batch requires at least one sequence"));
+        }
+        for s in seqs.iter() {
+            self.validate_tokens(&s.tokens)?;
+        }
+        let _serialized = self.inference_lock.lock();
+        let mut seq_rows = Vec::with_capacity(seqs.len());
+        let mut decode_row = Vec::new();
+        let mut tokens = Vec::new();
+        for s in seqs.iter() {
+            seq_rows.push((tokens.len(), s.tokens.len()));
+            decode_row
+                .extend(std::iter::repeat_n(s.tokens.len() == 1, s.tokens.len()));
+            tokens.extend_from_slice(&s.tokens);
+        }
+        let all_decode = decode_row.iter().all(|&d| d);
+
+        // Move the batch's caches into the step state, stashing the
+        // engine-owned single-session cache meanwhile.
+        let stashed = {
+            let mut st = self.shared.state.lock();
+            st.tokens = tokens;
+            st.seq_rows = seq_rows.clone();
+            st.decode_row = decode_row;
+            let incoming: Vec<KvCache> = seqs
+                .iter_mut()
+                .map(|s| std::mem::replace(&mut s.cache, KvCache::new(&[], 0)))
+                .collect();
+            std::mem::replace(&mut st.caches, incoming)
+        };
+        let result = self.run_step(all_decode);
+        // Hand caches back BEFORE propagating any error: a failed step
+        // must not eat the batch's caches.
+        {
+            let mut st = self.shared.state.lock();
+            let outgoing = std::mem::replace(&mut st.caches, stashed);
+            for (slot, cache) in seqs.iter_mut().zip(outgoing) {
+                slot.cache = cache;
+            }
+        }
+        let logits = result?;
+        let cols = logits.cols();
+        let mut out = Vec::with_capacity(seqs.len());
+        for &(start, len) in &seq_rows {
+            out.push(
+                Matrix::from_rows(
+                    len,
+                    cols,
+                    &logits.as_slice()[start * cols..(start + len) * cols],
+                )
+                .map_err(|e| EngineError::exec(e.to_string()))?,
+            );
+        }
+        Ok(out)
+    }
+
+    fn validate_tokens(&self, tokens: &[u32]) -> Result<(), EngineError> {
         if tokens.is_empty() {
             return Err(EngineError::exec("forward requires at least one token"));
         }
@@ -942,21 +1171,20 @@ impl HybridEngine {
                 )));
             }
         }
-        // One forward at a time: the step state is per-request.
-        let _serialized = self.inference_lock.lock();
-        let decode = tokens.len() == 1;
-        let deferral = decode && self.econfig.n_deferred > 0;
-        {
-            let mut st = self.shared.state.lock();
-            st.tokens = tokens.to_vec();
-        }
+        Ok(())
+    }
 
-        let use_graph = decode && self.econfig.mode == SchedMode::AsyncGraph;
+    /// Executes one step over the tokens/spans already staged in the
+    /// step state. Callers must hold the inference lock.
+    fn run_step(&self, all_decode: bool) -> Result<Matrix, EngineError> {
+        let use_graph = all_decode && self.econfig.mode == SchedMode::AsyncGraph;
         if use_graph {
-            // Capture once, replay every decode step.
+            // Capture once, replay every decode step. Ops read the
+            // batch shape from the step state, so the same graph
+            // serves any all-decode batch.
             let mut graph_slot = self.decode_graph.lock();
             if graph_slot.is_none() {
-                let ops = self.build_ops(deferral);
+                let ops = self.build_ops();
                 self.vgpu.begin_capture()?;
                 for (is_host, f, _) in &ops {
                     let f = Arc::clone(f);
@@ -975,7 +1203,7 @@ impl HybridEngine {
         } else {
             // Per-op launches with per-layer synchronization (prefill,
             // or the sync-mode decode baseline).
-            let ops = self.build_ops(deferral);
+            let ops = self.build_ops();
             for (is_host, f, layer_boundary) in &ops {
                 let f = Arc::clone(f);
                 if *is_host {
@@ -1342,6 +1570,116 @@ mod tests {
         for s in 0..2 {
             assert_eq!(outputs[s], reference[s], "session {s}");
         }
+    }
+
+    #[test]
+    fn batched_decode_matches_sequential_bitwise() {
+        // Continuous batching is pure scheduling: N sequences decoded
+        // in one batch must emit exactly the tokens each would emit
+        // alone. `TiledOnly` pins the kernel class so bucket sizes
+        // (which vary with batch occupancy) cannot change the math.
+        let cfg = ModelPreset::DeepSeekV3.tiny_config();
+        let e = HybridEngine::random(
+            &cfg,
+            EngineConfig {
+                n_cpu_workers: 2,
+                mode: SchedMode::AsyncGraph,
+                n_deferred: 2,
+                backend: Backend::TiledOnly,
+                seed: 101,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let prompts: [&[u32]; 3] = [&[1, 2, 3], &[9, 8], &[4, 5, 6, 7]];
+
+        let mut reference = Vec::new();
+        for p in prompts {
+            e.reset();
+            reference.push(e.generate_greedy(p, 5).unwrap());
+        }
+
+        e.reset();
+        let mut seqs: Vec<BatchSeq> = prompts
+            .iter()
+            .map(|p| BatchSeq {
+                cache: e.fresh_cache(),
+                tokens: p.to_vec(),
+            })
+            .collect();
+        // Batched prefill (mixed lengths), then batched decode steps.
+        let logits = e.forward_batch(&mut seqs).unwrap();
+        let mut next: Vec<u32> = logits
+            .iter()
+            .map(|l| kt_model::model::argmax(l.row(l.rows() - 1)))
+            .collect();
+        let mut outputs: Vec<Vec<u32>> = vec![Vec::new(); prompts.len()];
+        for step in 0..5 {
+            for (s, seq) in seqs.iter_mut().enumerate() {
+                outputs[s].push(next[s]);
+                seq.tokens = vec![next[s]];
+            }
+            if step + 1 == 5 {
+                break;
+            }
+            let logits = e.forward_batch(&mut seqs).unwrap();
+            for (s, l) in logits.iter().enumerate() {
+                next[s] = kt_model::model::argmax(l.row(0));
+            }
+        }
+        for s in 0..prompts.len() {
+            assert_eq!(outputs[s], reference[s], "sequence {s}");
+        }
+    }
+
+    #[test]
+    fn forward_batch_rejects_bad_input() {
+        let e = engine(SchedMode::Sync, 0, 5);
+        assert!(e.forward_batch(&mut []).is_err());
+        let mut seqs = vec![BatchSeq {
+            cache: e.fresh_cache(),
+            tokens: vec![],
+        }];
+        assert!(e.forward_batch(&mut seqs).is_err());
+        seqs[0].tokens = vec![70_000];
+        assert!(e.forward_batch(&mut seqs).is_err());
+    }
+
+    #[test]
+    fn fault_injector_fails_forward_then_recovers() {
+        let e = engine(SchedMode::Sync, 0, 3);
+        e.set_fault_injector(|path| path.contains("layers.3"));
+        let err = e.forward(&[1, 2]).unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        e.clear_fault_injector();
+        e.reset();
+        assert!(e.forward(&[1, 2]).is_ok(), "engine recovers after fault");
+    }
+
+    #[test]
+    fn fault_during_batch_returns_caches() {
+        // A failed batched step must hand every cache back (possibly
+        // partially advanced) rather than leaking them into the engine.
+        let e = engine(SchedMode::Sync, 0, 7);
+        e.set_fault_injector(|path| path.contains("layers.2"));
+        let mut seqs = vec![
+            BatchSeq {
+                cache: e.fresh_cache(),
+                tokens: vec![1, 2],
+            },
+            BatchSeq {
+                cache: e.fresh_cache(),
+                tokens: vec![3],
+            },
+        ];
+        assert!(e.forward_batch(&mut seqs).is_err());
+        e.clear_fault_injector();
+        for seq in &mut seqs {
+            assert_eq!(seq.cache.n_layers(), e.config().n_layers);
+            seq.cache.reset();
+        }
+        // The returned caches are usable again after a reset.
+        assert!(e.forward_batch(&mut seqs).is_ok());
     }
 
     #[test]

@@ -30,8 +30,8 @@ pub mod profiling;
 pub mod vgpu;
 
 pub use cpu_backend::CpuBackend;
-pub use engine::{EngineConfig, HybridEngine, SchedMode, UtilizationReport};
+pub use engine::{BatchSeq, EngineConfig, FaultHook, HybridEngine, SchedMode, UtilizationReport};
 pub use error::EngineError;
 pub use placement::{DeviceKind, PlacementPlan};
-pub use profiling::ExpertProfile;
+pub use profiling::{ExpertProfile, RequestMetrics, ServeStats};
 pub use vgpu::{GraphHandle, LaunchStats, StreamId, VgpuConfig, VirtualGpu};

@@ -1,4 +1,5 @@
-//! Expert-popularity profiling and hot-expert placement.
+//! Expert-popularity profiling, hot-expert placement, and serving
+//! metrics.
 //!
 //! §1: "for models without shared experts, popular experts can still be
 //! identified via offline profiling, as done in Fiddler". The engine
@@ -7,8 +8,101 @@
 //! execute alongside the shared experts instead of travelling to the
 //! CPU backend. Placement is a pure scheduling decision — outputs are
 //! bit-identical regardless of where an expert runs.
+//!
+//! The serving layer records per-request latency ([`RequestMetrics`]:
+//! queue wait, TTFT, inter-token gaps) and aggregate scheduler
+//! behavior ([`ServeStats`]: request outcomes, queue depth, batch
+//! occupancy) with the same plain-data style as [`ExpertProfile`].
 
 use kt_kernels::moe::MoeRouting;
+
+/// Per-request latency metrics recorded by the serving layer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RequestMetrics {
+    /// Time spent queued before the scheduler admitted the request
+    /// (nanoseconds).
+    pub queue_wait_ns: u64,
+    /// Time from admission to the first emitted token (time to first
+    /// token, nanoseconds). `None` when the request ended before
+    /// producing a token.
+    pub ttft_ns: Option<u64>,
+    /// Inter-token latencies of every token after the first
+    /// (nanoseconds).
+    pub token_latencies_ns: Vec<u64>,
+}
+
+impl RequestMetrics {
+    /// Tokens the request emitted.
+    pub fn n_tokens(&self) -> usize {
+        match self.ttft_ns {
+            Some(_) => 1 + self.token_latencies_ns.len(),
+            None => 0,
+        }
+    }
+
+    /// Mean inter-token latency in nanoseconds (`None` with fewer than
+    /// two tokens).
+    pub fn mean_token_latency_ns(&self) -> Option<f64> {
+        if self.token_latencies_ns.is_empty() {
+            return None;
+        }
+        let sum: u64 = self.token_latencies_ns.iter().sum();
+        Some(sum as f64 / self.token_latencies_ns.len() as f64)
+    }
+
+    /// Worst single inter-token latency in nanoseconds.
+    pub fn max_token_latency_ns(&self) -> Option<u64> {
+        self.token_latencies_ns.iter().copied().max()
+    }
+}
+
+/// Aggregate scheduler statistics over a serving session.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeStats {
+    /// Requests that ran to completion.
+    pub completed: u64,
+    /// Requests cancelled by their client.
+    pub cancelled: u64,
+    /// Requests that failed with an engine error.
+    pub failed: u64,
+    /// Total tokens emitted across all requests.
+    pub tokens_generated: u64,
+    /// Continuous-batching steps executed.
+    pub steps: u64,
+    /// Sum over steps of the number of active sequences (mean batch
+    /// occupancy = this / `steps`).
+    pub occupancy_sum: u64,
+    /// Sum over steps of the admission-queue depth observed at the
+    /// start of the step (mean queue depth = this / `steps`).
+    pub queue_depth_sum: u64,
+    /// Deepest admission queue observed.
+    pub peak_queue_depth: u64,
+}
+
+impl ServeStats {
+    /// Mean number of active sequences per step.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.steps as f64
+        }
+    }
+
+    /// Mean admission-queue depth per step.
+    pub fn mean_queue_depth(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.queue_depth_sum as f64 / self.steps as f64
+        }
+    }
+
+    /// Requests resolved one way or another.
+    pub fn resolved(&self) -> u64 {
+        self.completed + self.cancelled + self.failed
+    }
+}
 
 /// Per-layer expert activation counts.
 #[derive(Debug, Clone)]
@@ -168,6 +262,36 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(0, 0), 2);
         assert_eq!(a.count(0, 1), 1);
+    }
+
+    #[test]
+    fn request_metrics_token_accounting() {
+        let none = RequestMetrics::default();
+        assert_eq!(none.n_tokens(), 0);
+        assert_eq!(none.mean_token_latency_ns(), None);
+
+        let m = RequestMetrics {
+            queue_wait_ns: 10,
+            ttft_ns: Some(100),
+            token_latencies_ns: vec![20, 40, 60],
+        };
+        assert_eq!(m.n_tokens(), 4);
+        assert_eq!(m.mean_token_latency_ns(), Some(40.0));
+        assert_eq!(m.max_token_latency_ns(), Some(60));
+    }
+
+    #[test]
+    fn serve_stats_means() {
+        let mut s = ServeStats::default();
+        assert_eq!(s.mean_occupancy(), 0.0);
+        s.steps = 4;
+        s.occupancy_sum = 10;
+        s.queue_depth_sum = 2;
+        s.completed = 2;
+        s.failed = 1;
+        assert!((s.mean_occupancy() - 2.5).abs() < 1e-12);
+        assert!((s.mean_queue_depth() - 0.5).abs() < 1e-12);
+        assert_eq!(s.resolved(), 3);
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   softmax/sigmoid scoring and routed scaling, as used by
 //!   DeepSeek-V2/V3 and Qwen2.
 //! * [`kvcache`] — per-layer KV caches.
+//! * [`pool`] — a bounded lease/release pool of per-sequence caches
+//!   (the admission-control valve of the serving layer).
 //! * [`model`] — the end-to-end causal LM with three execution modes:
 //!   standard, **Expert Deferral** (§4: deferred experts' outputs are
 //!   injected one MoE layer later) and **Expert Skipping** (the Figure
@@ -28,6 +30,7 @@ pub mod gating;
 pub mod kvcache;
 pub mod model;
 pub mod norm;
+pub mod pool;
 pub mod rope;
 pub mod sampler;
 pub mod tokenizer;
@@ -37,3 +40,4 @@ pub use error::ModelError;
 pub use gating::{GateConfig, Router, ScoreFunc};
 pub use kvcache::{KvCache, KvStore, LayerCache, OffloadedLayerCache};
 pub use model::{ExecMode, MoeModel};
+pub use pool::{CacheLease, KvCachePool};

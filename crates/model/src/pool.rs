@@ -1,0 +1,244 @@
+//! A pool of per-sequence KV caches for multi-request serving.
+//!
+//! A continuous-batching server admits a request only when a cache is
+//! available, so the pool doubles as the admission-control valve: it
+//! bounds resident KV memory at `max_leases` caches and recycles
+//! released allocations instead of reallocating per request.
+//!
+//! Leases are move-only tokens: [`KvCachePool::lease`] hands out a
+//! [`CacheLease`] owning its cache, and only [`KvCachePool::release`]
+//! takes it back. The pool tracks outstanding lease ids, so a cache can
+//! never be handed to two requests at once and forgotten leases are
+//! observable via [`KvCachePool::in_use`].
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+use crate::error::ModelError;
+use crate::kvcache::KvCache;
+
+/// A leased per-sequence KV cache. Obtained from
+/// [`KvCachePool::lease`]; give it back with [`KvCachePool::release`].
+#[derive(Debug)]
+pub struct CacheLease {
+    /// The leased cache. Exclusively owned until released.
+    pub cache: KvCache,
+    id: u64,
+}
+
+impl CacheLease {
+    /// Unique id of this lease (never reused within a pool).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+struct PoolState {
+    /// Reset caches ready for reuse.
+    free: Vec<KvCache>,
+    /// Ids of leases currently out.
+    leased: HashSet<u64>,
+    next_id: u64,
+    peak: usize,
+}
+
+/// A bounded pool of identically-shaped [`KvCache`]s.
+pub struct KvCachePool {
+    specs: Vec<(usize, usize)>,
+    capacity: usize,
+    max_leases: usize,
+    state: Mutex<PoolState>,
+}
+
+impl KvCachePool {
+    /// Builds a pool of caches with per-layer `(k_width, v_width)`
+    /// `specs` and `capacity` token slots each, allowing at most
+    /// `max_leases` concurrent leases.
+    pub fn new(specs: &[(usize, usize)], capacity: usize, max_leases: usize) -> Self {
+        KvCachePool {
+            specs: specs.to_vec(),
+            capacity,
+            max_leases,
+            state: Mutex::new(PoolState {
+                free: Vec::new(),
+                leased: HashSet::new(),
+                next_id: 0,
+                peak: 0,
+            }),
+        }
+    }
+
+    /// Builds a pool whose caches are shaped like `prototype` (e.g. an
+    /// engine's `fresh_cache()`).
+    pub fn for_prototype(prototype: &KvCache, max_leases: usize) -> Self {
+        let specs: Vec<(usize, usize)> = (0..prototype.n_layers())
+            .map(|i| {
+                let l = prototype.layer(i);
+                (l.k_width(), l.v_width())
+            })
+            .collect();
+        let capacity = if prototype.n_layers() > 0 {
+            prototype.layer(0).capacity()
+        } else {
+            0
+        };
+        KvCachePool::new(&specs, capacity, max_leases)
+    }
+
+    /// Leases a cache, or `None` when `max_leases` are already out
+    /// (the admission-control signal: the caller should queue).
+    pub fn lease(&self) -> Option<CacheLease> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.leased.len() >= self.max_leases {
+            return None;
+        }
+        let cache = st
+            .free
+            .pop()
+            .unwrap_or_else(|| KvCache::new(&self.specs, self.capacity));
+        let id = st.next_id;
+        st.next_id += 1;
+        st.leased.insert(id);
+        st.peak = st.peak.max(st.leased.len());
+        Some(CacheLease { cache, id })
+    }
+
+    /// Returns a lease to the pool. The cache is reset before reuse,
+    /// so partially-advanced state from a failed step cannot leak into
+    /// the next request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Exec`] when the lease does not belong to
+    /// this pool (wrong pool, or forged after a release).
+    pub fn release(&self, lease: CacheLease) -> Result<(), ModelError> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !st.leased.remove(&lease.id) {
+            return Err(ModelError::exec(format!(
+                "lease {} is not outstanding in this pool",
+                lease.id
+            )));
+        }
+        let mut cache = lease.cache;
+        cache.reset();
+        // Only recycle caches that still match the pool's shape; a
+        // cache swapped out for a foreign one is simply dropped.
+        if cache.n_layers() == self.specs.len() {
+            st.free.push(cache);
+        }
+        Ok(())
+    }
+
+    /// Number of leases currently out.
+    pub fn in_use(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .leased
+            .len()
+    }
+
+    /// Leases still available before the pool saturates.
+    pub fn available(&self) -> usize {
+        self.max_leases - self.in_use()
+    }
+
+    /// Reset caches currently parked in the free list.
+    pub fn pooled(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .free
+            .len()
+    }
+
+    /// High-water mark of concurrent leases.
+    pub fn peak_in_use(&self) -> usize {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).peak
+    }
+
+    /// Maximum concurrent leases.
+    pub fn max_leases(&self) -> usize {
+        self.max_leases
+    }
+
+    /// Token capacity of each cache.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl std::fmt::Debug for KvCachePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvCachePool")
+            .field("n_layers", &self.specs.len())
+            .field("capacity", &self.capacity)
+            .field("max_leases", &self.max_leases)
+            .field("in_use", &self.in_use())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(max: usize) -> KvCachePool {
+        KvCachePool::new(&[(4, 4), (4, 4)], 8, max)
+    }
+
+    #[test]
+    fn lease_up_to_max_then_starve() {
+        let p = pool(2);
+        let a = p.lease().unwrap();
+        let b = p.lease().unwrap();
+        assert!(p.lease().is_none(), "pool saturated");
+        assert_eq!(p.in_use(), 2);
+        assert_eq!(p.available(), 0);
+        p.release(a).unwrap();
+        assert_eq!(p.available(), 1);
+        let c = p.lease().unwrap();
+        assert_ne!(b.id(), c.id(), "lease ids are never reused");
+    }
+
+    #[test]
+    fn released_caches_are_recycled_reset() {
+        let p = pool(1);
+        let mut lease = p.lease().unwrap();
+        lease
+            .cache
+            .layer_mut(0)
+            .push(&[1.0; 4], &[2.0; 4])
+            .unwrap();
+        p.release(lease).unwrap();
+        assert_eq!(p.pooled(), 1);
+        let again = p.lease().unwrap();
+        assert_eq!(p.pooled(), 0, "recycled, not reallocated");
+        assert_eq!(again.cache.seq_len(), 0, "recycled cache is reset");
+        p.release(again).unwrap();
+    }
+
+    #[test]
+    fn foreign_lease_is_rejected() {
+        let p1 = pool(1);
+        let p2 = pool(1);
+        let lease = p1.lease().unwrap();
+        assert!(p2.release(lease).is_err());
+        // p1 still considers the lease out: it was consumed by the
+        // failed release, which counts as a leak p1 can observe.
+        assert_eq!(p1.in_use(), 1);
+    }
+
+    #[test]
+    fn prototype_shapes_match() {
+        let proto = KvCache::new(&[(6, 2), (4, 4)], 16);
+        let p = KvCachePool::for_prototype(&proto, 3);
+        let lease = p.lease().unwrap();
+        assert_eq!(lease.cache.n_layers(), 2);
+        assert_eq!(lease.cache.layer(0).k_width(), 6);
+        assert_eq!(lease.cache.layer(1).v_width(), 4);
+        assert_eq!(p.capacity(), 16);
+        p.release(lease).unwrap();
+        assert_eq!(p.peak_in_use(), 1);
+    }
+}

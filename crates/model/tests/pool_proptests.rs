@@ -1,0 +1,99 @@
+//! Property tests for the KV-cache pool: random lease/release
+//! schedules must never alias a cache, never leak a lease, and always
+//! make released slots reusable.
+
+use kt_model::pool::{CacheLease, KvCachePool};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #[test]
+    fn lease_release_schedules_preserve_invariants(
+        max_leases in 1usize..5,
+        ops in proptest::collection::vec((any::<bool>(), 0usize..8), 1..40),
+    ) {
+        let pool = KvCachePool::new(&[(4, 4), (2, 2)], 8, max_leases);
+        let mut held: Vec<CacheLease> = Vec::new();
+        let mut seen_ids: HashSet<u64> = HashSet::new();
+
+        for (is_lease, pick) in ops {
+            if is_lease {
+                match pool.lease() {
+                    Some(lease) => {
+                        prop_assert!(
+                            held.len() < max_leases,
+                            "lease granted beyond max_leases"
+                        );
+                        // No aliasing: every lease id is fresh.
+                        prop_assert!(
+                            seen_ids.insert(lease.id()),
+                            "lease id {} handed out twice", lease.id()
+                        );
+                        // Recycled caches arrive reset.
+                        prop_assert_eq!(lease.cache.seq_len(), 0);
+                        held.push(lease);
+                    }
+                    None => prop_assert_eq!(
+                        held.len(), max_leases,
+                        "pool starved below its limit"
+                    ),
+                }
+            } else if !held.is_empty() {
+                let mut lease = held.swap_remove(pick % held.len());
+                // Dirty the cache; the pool must reset it on release.
+                lease.cache.layer_mut(0).push(&[1.0; 4], &[2.0; 4]).unwrap();
+                pool.release(lease).unwrap();
+            }
+            // Accounting stays consistent after every op.
+            prop_assert_eq!(pool.in_use(), held.len());
+            prop_assert_eq!(pool.available(), max_leases - held.len());
+        }
+
+        // Releasing everything leaves no leaks: the pool drains to
+        // zero outstanding and a full complement of leases is
+        // available again.
+        for lease in held.drain(..) {
+            pool.release(lease).unwrap();
+        }
+        prop_assert_eq!(pool.in_use(), 0);
+        prop_assert_eq!(pool.available(), max_leases);
+        let refill: Vec<CacheLease> =
+            (0..max_leases).map(|_| pool.lease().unwrap()).collect();
+        prop_assert!(pool.lease().is_none());
+        for lease in refill {
+            prop_assert_eq!(lease.cache.seq_len(), 0, "recycled cache not reset");
+            pool.release(lease).unwrap();
+        }
+    }
+
+    #[test]
+    fn concurrent_lease_release_is_race_free(
+        seed_ops in proptest::collection::vec(1usize..6, 2..5),
+    ) {
+        // Several threads hammer one pool; aggregate invariants must
+        // hold no matter the interleaving.
+        let pool = std::sync::Arc::new(KvCachePool::new(&[(4, 4)], 4, 3));
+        let ids = std::sync::Arc::new(std::sync::Mutex::new(HashSet::<u64>::new()));
+        std::thread::scope(|scope| {
+            for &rounds in &seed_ops {
+                let pool = std::sync::Arc::clone(&pool);
+                let ids = std::sync::Arc::clone(&ids);
+                scope.spawn(move || {
+                    for _ in 0..rounds * 8 {
+                        if let Some(lease) = pool.lease() {
+                            assert!(
+                                ids.lock().unwrap().insert(lease.id()),
+                                "aliased lease id under concurrency"
+                            );
+                            assert_eq!(lease.cache.seq_len(), 0);
+                            pool.release(lease).unwrap();
+                        }
+                        std::hint::spin_loop();
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(pool.in_use(), 0, "leases leaked under concurrency");
+        prop_assert!(pool.pooled() <= 3, "free list exceeded max_leases");
+    }
+}

@@ -1,0 +1,180 @@
+//! Continuous-batching serving layer for the KTransformers engine.
+//!
+//! The paper's engine serves one request at a time (batch-1 local
+//! serving, §6.1). This crate layers a multi-request front end on top:
+//!
+//! * [`Server`] owns a scheduler thread that runs the continuous
+//!   batching loop: between engine steps it admits newly arrived
+//!   requests and retires finished or cancelled sequences, so the
+//!   batch composition changes step by step without ever draining.
+//! * Admission is controlled by a [`kt_model::pool::KvCachePool`]:
+//!   a request is admitted only when a per-sequence KV cache can be
+//!   leased, bounding resident KV memory.
+//! * Each step drives every active sequence through
+//!   [`kt_core::HybridEngine::forward_batch`] — a freshly admitted
+//!   sequence prefills its whole prompt in the same batched forward
+//!   that decodes one token for every established sequence. Expert
+//!   Deferral stays correct per sequence: the engine defers only
+//!   decode rows.
+//! * Scheduling is pure orchestration: a request's tokens are
+//!   bit-identical to running [`kt_core::HybridEngine::generate`]
+//!   alone (pin a single kernel class — e.g. `Backend::TiledOnly` —
+//!   to keep expert GEMMs batch-size-invariant; the default hybrid
+//!   dispatch is only tolerance-level equal).
+//! * Per-request latency lands in [`kt_core::RequestMetrics`] (queue
+//!   wait, TTFT, inter-token gaps) and aggregate behavior in
+//!   [`kt_core::ServeStats`] (outcome counts, queue depth, batch
+//!   occupancy).
+//!
+//! ```
+//! use kt_core::{EngineConfig, HybridEngine};
+//! use kt_model::ModelPreset;
+//! use kt_serve::{Request, Server, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let cfg = ModelPreset::DeepSeekV3.tiny_config();
+//! let engine = Arc::new(
+//!     HybridEngine::random(&cfg, EngineConfig::default()).unwrap(),
+//! );
+//! let server = Server::start(engine, ServerConfig { max_batch: 4 });
+//! let handle = server.submit(Request::greedy(&[1, 2, 3], 8));
+//! let result = handle.wait();
+//! assert!(result.is_completed());
+//! assert_eq!(result.tokens.len(), 8);
+//! server.shutdown();
+//! ```
+
+mod request;
+mod server;
+
+pub use request::{Request, RequestHandle, RequestOutcome, RequestResult};
+pub use server::{Server, ServerConfig};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kt_core::{EngineConfig, HybridEngine, SchedMode};
+    use kt_model::ModelPreset;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn engine(seed: u64) -> Arc<HybridEngine> {
+        let cfg = ModelPreset::DeepSeekV3.tiny_config();
+        Arc::new(
+            HybridEngine::random(
+                &cfg,
+                EngineConfig {
+                    n_cpu_workers: 2,
+                    mode: SchedMode::AsyncGraph,
+                    n_deferred: 2,
+                    // One kernel class keeps tokens bit-identical no
+                    // matter how the batch composition fluctuates.
+                    backend: kt_kernels::dispatch::Backend::TiledOnly,
+                    seed,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn single_request_completes() {
+        let server = Server::start(engine(1), ServerConfig { max_batch: 2 });
+        let result = server.submit(Request::greedy(&[1, 2, 3], 6)).wait();
+        assert!(result.is_completed(), "{:?}", result.outcome);
+        assert_eq!(result.tokens.len(), 6);
+        assert!(result.metrics.ttft_ns.is_some());
+        assert_eq!(result.metrics.n_tokens(), 6);
+        let stats = server.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.tokens_generated, 6);
+        server.shutdown();
+    }
+
+    #[test]
+    fn invalid_requests_fail_fast() {
+        let server = Server::start(engine(2), ServerConfig::default());
+        let empty = server.submit(Request::greedy(&[], 4)).wait();
+        assert!(matches!(empty.outcome, RequestOutcome::Failed { .. }));
+        let oov = server.submit(Request::greedy(&[70_000], 4)).wait();
+        assert!(matches!(oov.outcome, RequestOutcome::Failed { .. }));
+        let long = server.submit(Request::greedy(&[1], usize::MAX / 2)).wait();
+        assert!(matches!(long.outcome, RequestOutcome::Failed { .. }));
+        // Failed validation never touches the engine or the pool.
+        assert_eq!(server.stats().steps, 0);
+        assert_eq!(server.active(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stop_token_ends_generation_early() {
+        let server = Server::start(engine(3), ServerConfig::default());
+        // Learn what greedy emits first, then replay with it as stop.
+        let probe = server.submit(Request::greedy(&[4, 5], 3)).wait();
+        let stop = probe.tokens[0];
+        let mut req = Request::greedy(&[4, 5], 64);
+        req.stop_token = Some(stop);
+        let result = server.submit(req).wait();
+        assert!(result.is_completed());
+        assert_eq!(result.tokens, vec![stop], "stops after the stop token");
+        server.shutdown();
+    }
+
+    #[test]
+    fn cancellation_resolves_queued_and_active() {
+        let server = Server::start(engine(4), ServerConfig { max_batch: 1 });
+        // Keep the batch busy so a second request must queue.
+        let busy = server.submit(Request::greedy(&[1, 2, 3], 64));
+        let queued = server.submit(Request::greedy(&[6, 7], 64));
+        queued.cancel();
+        let q = queued.wait_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(q.outcome, RequestOutcome::Cancelled);
+        assert_eq!(q.tokens.len(), 0, "cancelled before admission");
+        busy.cancel();
+        let b = busy.wait_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(b.outcome, RequestOutcome::Cancelled);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_resolves_everything() {
+        let server = Server::start(engine(5), ServerConfig { max_batch: 1 });
+        let a = server.submit(Request::greedy(&[1, 2], 50));
+        let handles: Vec<_> = (0..4)
+            .map(|i| server.submit(Request::greedy(&[i + 1], 50)))
+            .collect();
+        server.shutdown();
+        // Every handle resolves (completed before shutdown, or
+        // cancelled by it) — nothing hangs.
+        let _ = a.wait_timeout(Duration::from_secs(5)).expect("resolved");
+        for h in handles {
+            let _ = h.wait_timeout(Duration::from_secs(5)).expect("resolved");
+        }
+    }
+
+    #[test]
+    fn concurrent_requests_all_complete_and_are_deterministic() {
+        let server = Server::start(engine(6), ServerConfig { max_batch: 4 });
+        let prompts: Vec<Vec<u32>> = (0..6).map(|i| vec![i + 1, 2 * i + 3]).collect();
+        let handles: Vec<_> = prompts
+            .iter()
+            .map(|p| server.submit(Request::greedy(p, 5)))
+            .collect();
+        let first: Vec<Vec<u32>> = handles.iter().map(|h| h.wait().tokens).collect();
+        // Same prompts again — batching composition may differ, tokens
+        // must not.
+        let again: Vec<Vec<u32>> = prompts
+            .iter()
+            .map(|p| server.submit(Request::greedy(p, 5)))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.wait().tokens)
+            .collect();
+        assert_eq!(first, again);
+        let stats = server.stats();
+        assert_eq!(stats.completed, 12);
+        assert!(stats.mean_occupancy() >= 1.0);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,159 @@
+//! Request descriptions, handles and results.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use kt_core::RequestMetrics;
+use kt_model::sampler::Sampler;
+use parking_lot::{Condvar, Mutex};
+
+/// One generation request submitted to the server.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Prompt tokens (prefilled on admission).
+    pub prompt: Vec<u32>,
+    /// Maximum tokens to generate.
+    pub max_new: usize,
+    /// Sampling strategy. [`Sampler::Greedy`] makes the request
+    /// deterministic regardless of `seed`.
+    pub sampler: Sampler,
+    /// Seed of the request's private sampling RNG.
+    pub seed: u64,
+    /// Generation stops after emitting this token, if set.
+    pub stop_token: Option<u32>,
+}
+
+impl Request {
+    /// A greedy request with no stop token.
+    pub fn greedy(prompt: &[u32], max_new: usize) -> Self {
+        Request {
+            prompt: prompt.to_vec(),
+            max_new,
+            sampler: Sampler::Greedy,
+            seed: 0,
+            stop_token: None,
+        }
+    }
+}
+
+/// How a request ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Ran to `max_new` tokens or the stop token.
+    Completed,
+    /// Cancelled by its client; `tokens` holds what was generated.
+    Cancelled,
+    /// An engine error aborted the request.
+    Failed {
+        /// The engine error message.
+        error: String,
+    },
+}
+
+/// Final state of a resolved request.
+#[derive(Debug, Clone)]
+pub struct RequestResult {
+    /// How the request ended.
+    pub outcome: RequestOutcome,
+    /// Tokens generated before resolution (complete output for
+    /// [`RequestOutcome::Completed`], partial otherwise).
+    pub tokens: Vec<u32>,
+    /// Latency metrics (queue wait, TTFT, inter-token gaps).
+    pub metrics: RequestMetrics,
+}
+
+impl RequestResult {
+    /// Whether the request completed normally.
+    pub fn is_completed(&self) -> bool {
+        self.outcome == RequestOutcome::Completed
+    }
+}
+
+/// Shared slot the scheduler resolves and clients wait on.
+pub(crate) struct RequestSlot {
+    result: Mutex<Option<RequestResult>>,
+    resolved: Condvar,
+    cancelled: AtomicBool,
+}
+
+impl RequestSlot {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(RequestSlot {
+            result: Mutex::new(None),
+            resolved: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+        })
+    }
+
+    pub(crate) fn cancel_requested(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Publishes the result exactly once (later calls are ignored) and
+    /// wakes every waiter.
+    pub(crate) fn resolve(&self, result: RequestResult) {
+        let mut slot = self.result.lock();
+        if slot.is_none() {
+            *slot = Some(result);
+        }
+        drop(slot);
+        self.resolved.notify_all();
+    }
+}
+
+/// Client-side handle to a submitted request.
+///
+/// Cloneable: any clone can wait or cancel; all observe the same
+/// result.
+#[derive(Clone)]
+pub struct RequestHandle {
+    pub(crate) slot: Arc<RequestSlot>,
+}
+
+impl RequestHandle {
+    /// Requests cancellation. The scheduler retires the sequence at
+    /// the next step boundary and resolves it as
+    /// [`RequestOutcome::Cancelled`] (or lets an already-finished
+    /// result stand).
+    pub fn cancel(&self) {
+        self.slot.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Result if already resolved, without blocking.
+    pub fn try_result(&self) -> Option<RequestResult> {
+        self.slot.result.lock().clone()
+    }
+
+    /// Blocks until the request resolves.
+    pub fn wait(&self) -> RequestResult {
+        let mut slot = self.slot.result.lock();
+        while slot.is_none() {
+            self.slot.resolved.wait(&mut slot);
+        }
+        slot.clone().expect("checked above")
+    }
+
+    /// Blocks until the request resolves or `timeout` elapses.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<RequestResult> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slot = self.slot.result.lock();
+        while slot.is_none() {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.slot.resolved.wait_for(&mut slot, deadline - now);
+        }
+        slot.clone()
+    }
+}
+
+impl std::fmt::Debug for RequestHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RequestHandle")
+            .field("resolved", &self.slot.result.lock().is_some())
+            .field("cancel_requested", &self.slot.cancel_requested())
+            .finish()
+    }
+}

@@ -1,0 +1,413 @@
+//! The continuous-batching scheduler.
+//!
+//! One scheduler thread owns the engine for the server's lifetime and
+//! runs the serving loop: between engine steps it joins newly arrived
+//! requests into the batch (admission-controlled by the KV-cache pool)
+//! and retires finished or cancelled sequences; each step then runs
+//! every active sequence through [`HybridEngine::forward_batch`] —
+//! freshly admitted sequences prefill their prompts while established
+//! ones decode, in the same batched forward.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use kt_core::{BatchSeq, HybridEngine, RequestMetrics, ServeStats};
+use kt_model::kvcache::KvCache;
+use kt_model::pool::{CacheLease, KvCachePool};
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::request::{Request, RequestHandle, RequestOutcome, RequestResult, RequestSlot};
+
+/// Serving configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum sequences active in one batched step (also sizes the
+    /// KV-cache pool).
+    pub max_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { max_batch: 8 }
+    }
+}
+
+/// A request waiting for admission.
+struct Queued {
+    req: Request,
+    slot: Arc<RequestSlot>,
+    enqueued_at: Instant,
+}
+
+/// A sequence currently in the batch.
+struct ActiveSeq {
+    slot: Arc<RequestSlot>,
+    lease: CacheLease,
+    req: Request,
+    rng: StdRng,
+    /// Tokens to feed the engine next step (prompt on the first step,
+    /// then the single sampled token).
+    next_input: Vec<u32>,
+    tokens: Vec<u32>,
+    metrics: RequestMetrics,
+    admitted_at: Instant,
+    last_token_at: Option<Instant>,
+}
+
+impl ActiveSeq {
+    fn resolve(self, outcome: RequestOutcome, pool: &KvCachePool) {
+        // Release first so the admission valve reopens before any
+        // waiter reacts to the result.
+        let _ = pool.release(self.lease);
+        self.slot.resolve(RequestResult {
+            outcome,
+            tokens: self.tokens,
+            metrics: self.metrics,
+        });
+    }
+}
+
+struct ServerInner {
+    engine: Arc<HybridEngine>,
+    pool: KvCachePool,
+    queue: Mutex<VecDeque<Queued>>,
+    /// Signals the scheduler: new arrival or shutdown.
+    wakeup: Condvar,
+    shutdown: AtomicBool,
+    stats: Mutex<ServeStats>,
+    cfg: ServerConfig,
+}
+
+/// A running continuous-batching server over one [`HybridEngine`].
+///
+/// Dropping the server shuts the scheduler down; queued and in-flight
+/// requests resolve as cancelled.
+pub struct Server {
+    inner: Arc<ServerInner>,
+    scheduler: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the scheduler thread over `engine`.
+    pub fn start(engine: Arc<HybridEngine>, cfg: ServerConfig) -> Server {
+        let pool = KvCachePool::for_prototype(&engine.fresh_cache(), cfg.max_batch.max(1));
+        let inner = Arc::new(ServerInner {
+            engine,
+            pool,
+            queue: Mutex::new(VecDeque::new()),
+            wakeup: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats: Mutex::new(ServeStats::default()),
+            cfg,
+        });
+        let loop_inner = Arc::clone(&inner);
+        let scheduler = std::thread::Builder::new()
+            .name("kt-serve-scheduler".into())
+            .spawn(move || scheduler_loop(&loop_inner))
+            .expect("spawn scheduler thread");
+        Server {
+            inner,
+            scheduler: Some(scheduler),
+        }
+    }
+
+    /// Submits a request and returns a handle to wait on or cancel.
+    /// Invalid requests (empty prompt, out-of-vocab token, prompt +
+    /// `max_new` beyond the cache capacity) resolve immediately as
+    /// failed instead of poisoning a batch.
+    pub fn submit(&self, req: Request) -> RequestHandle {
+        let slot = RequestSlot::new();
+        let handle = RequestHandle {
+            slot: Arc::clone(&slot),
+        };
+        if let Err(error) = self.validate(&req) {
+            self.inner.stats.lock().failed += 1;
+            slot.resolve(RequestResult {
+                outcome: RequestOutcome::Failed { error },
+                tokens: Vec::new(),
+                metrics: RequestMetrics::default(),
+            });
+            return handle;
+        }
+        let mut queue = self.inner.queue.lock();
+        queue.push_back(Queued {
+            req,
+            slot,
+            enqueued_at: Instant::now(),
+        });
+        drop(queue);
+        self.inner.wakeup.notify_all();
+        handle
+    }
+
+    /// Snapshot of the aggregate serving statistics.
+    pub fn stats(&self) -> ServeStats {
+        self.inner.stats.lock().clone()
+    }
+
+    /// Sequences currently admitted (leased caches).
+    pub fn active(&self) -> usize {
+        self.inner.pool.in_use()
+    }
+
+    /// Requests waiting for admission.
+    pub fn queued(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// Stops the scheduler and resolves every unfinished request as
+    /// cancelled. Called automatically on drop.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.wakeup.notify_all();
+        if let Some(t) = self.scheduler.take() {
+            let _ = t.join();
+        }
+    }
+
+    fn validate(&self, req: &Request) -> Result<(), String> {
+        if req.prompt.is_empty() {
+            return Err("request prompt is empty".into());
+        }
+        let vocab = self.inner.engine.config().vocab;
+        if let Some(&t) = req.prompt.iter().find(|&&t| t as usize >= vocab) {
+            return Err(format!("prompt token {t} outside vocab {vocab}"));
+        }
+        let capacity = self.inner.pool.capacity();
+        if req.prompt.len() + req.max_new > capacity {
+            return Err(format!(
+                "prompt ({}) + max_new ({}) exceeds cache capacity {capacity}",
+                req.prompt.len(),
+                req.max_new
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("max_batch", &self.inner.cfg.max_batch)
+            .field("active", &self.active())
+            .field("queued", &self.queued())
+            .finish()
+    }
+}
+
+fn scheduler_loop(inner: &ServerInner) {
+    let mut active: Vec<ActiveSeq> = Vec::new();
+    loop {
+        // Join arrivals (and park while idle).
+        admit(inner, &mut active);
+        if inner.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        // Retire cancellations requested since the last step, before
+        // spending a step on them.
+        retire_cancelled(inner, &mut active);
+        if active.is_empty() {
+            continue;
+        }
+
+        {
+            let mut stats = inner.stats.lock();
+            stats.steps += 1;
+            stats.occupancy_sum += active.len() as u64;
+            let depth = inner.queue.lock().len() as u64;
+            stats.queue_depth_sum += depth;
+            stats.peak_queue_depth = stats.peak_queue_depth.max(depth);
+        }
+
+        step(inner, &mut active);
+    }
+    drain(inner, active);
+}
+
+/// Admits queued requests while the batch has room; blocks when there
+/// is nothing to do at all.
+fn admit(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
+    loop {
+        let mut queue = inner.queue.lock();
+        while let Some(front) = queue.front() {
+            if front.slot.cancel_requested() {
+                // Cancelled while queued: resolve without admitting.
+                let q = queue.pop_front().expect("front exists");
+                inner.stats.lock().cancelled += 1;
+                q.slot.resolve(RequestResult {
+                    outcome: RequestOutcome::Cancelled,
+                    tokens: Vec::new(),
+                    metrics: RequestMetrics {
+                        queue_wait_ns: q.enqueued_at.elapsed().as_nanos() as u64,
+                        ..Default::default()
+                    },
+                });
+                continue;
+            }
+            if active.len() >= inner.cfg.max_batch {
+                break;
+            }
+            let Some(lease) = inner.pool.lease() else {
+                break;
+            };
+            let q = queue.pop_front().expect("front exists");
+            let queue_wait_ns = q.enqueued_at.elapsed().as_nanos() as u64;
+            active.push(ActiveSeq {
+                slot: q.slot,
+                lease,
+                rng: StdRng::seed_from_u64(q.req.seed),
+                next_input: q.req.prompt.clone(),
+                req: q.req,
+                tokens: Vec::new(),
+                metrics: RequestMetrics {
+                    queue_wait_ns,
+                    ..Default::default()
+                },
+                admitted_at: Instant::now(),
+                last_token_at: None,
+            });
+        }
+        // Park only when fully idle; otherwise go run a step.
+        if !active.is_empty() || inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        if !queue.is_empty() {
+            // Idle but queue non-empty can only mean foreign leases
+            // hold the pool; yield and retry rather than spin.
+            drop(queue);
+            std::thread::yield_now();
+            continue;
+        }
+        inner.wakeup.wait(&mut queue);
+    }
+}
+
+fn retire_cancelled(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
+    let mut i = 0;
+    while i < active.len() {
+        if active[i].slot.cancel_requested() {
+            // Order-preserving removal keeps the surviving batch
+            // composition deterministic.
+            let seq = active.remove(i);
+            inner.stats.lock().cancelled += 1;
+            seq.resolve(RequestOutcome::Cancelled, &inner.pool);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Runs one batched engine step and post-processes every sequence.
+fn step(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
+    let mut batch: Vec<BatchSeq> = active
+        .iter_mut()
+        .map(|seq| BatchSeq {
+            cache: std::mem::replace(&mut seq.lease.cache, KvCache::new(&[], 0)),
+            tokens: std::mem::take(&mut seq.next_input),
+        })
+        .collect();
+    let result = inner.engine.forward_batch(&mut batch);
+    // Caches come back even on error; return them to their leases.
+    for (seq, slot) in active.iter_mut().zip(batch.iter_mut()) {
+        seq.lease.cache = std::mem::replace(&mut slot.cache, KvCache::new(&[], 0));
+    }
+
+    match result {
+        Ok(logits) => {
+            // Pass 1: sample for every sequence in batch order. The
+            // pairing between `active[i]` and `logits[i]` must not
+            // shift mid-iteration, so no removal happens here; a
+            // finished sequence is marked by leaving `next_input`
+            // empty (it was taken when the batch was built and is
+            // only refilled for survivors).
+            for (seq, l) in active.iter_mut().zip(&logits) {
+                let next = seq.req.sampler.sample(l.row(l.rows() - 1), &mut seq.rng);
+                let now = Instant::now();
+                match seq.last_token_at {
+                    None => {
+                        seq.metrics.ttft_ns =
+                            Some(now.duration_since(seq.admitted_at).as_nanos() as u64);
+                    }
+                    Some(prev) => {
+                        seq.metrics
+                            .token_latencies_ns
+                            .push(now.duration_since(prev).as_nanos() as u64);
+                    }
+                }
+                seq.last_token_at = Some(now);
+                seq.tokens.push(next);
+                inner.stats.lock().tokens_generated += 1;
+
+                let hit_stop = seq.req.stop_token == Some(next);
+                let hit_len = seq.tokens.len() >= seq.req.max_new;
+                if !(hit_stop || hit_len) {
+                    seq.next_input = vec![next];
+                }
+            }
+            // Pass 2: retire finished sequences, preserving the order
+            // of survivors so the batch composition stays a
+            // deterministic function of admission order.
+            let mut i = 0;
+            while i < active.len() {
+                if active[i].next_input.is_empty() {
+                    let seq = active.remove(i);
+                    inner.stats.lock().completed += 1;
+                    seq.resolve(RequestOutcome::Completed, &inner.pool);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        Err(e) => {
+            // A step error poisons the whole batch: every in-flight
+            // request fails (but still resolves), caches go back to
+            // the pool (release resets them).
+            let error = e.to_string();
+            let mut stats = inner.stats.lock();
+            stats.failed += active.len() as u64;
+            drop(stats);
+            for seq in active.drain(..) {
+                seq.resolve(
+                    RequestOutcome::Failed {
+                        error: error.clone(),
+                    },
+                    &inner.pool,
+                );
+            }
+        }
+    }
+}
+
+/// Resolves everything left at shutdown as cancelled.
+fn drain(inner: &ServerInner, active: Vec<ActiveSeq>) {
+    for seq in active {
+        inner.stats.lock().cancelled += 1;
+        seq.resolve(RequestOutcome::Cancelled, &inner.pool);
+    }
+    let leftovers: Vec<Queued> = inner.queue.lock().drain(..).collect();
+    for q in leftovers {
+        inner.stats.lock().cancelled += 1;
+        q.slot.resolve(RequestResult {
+            outcome: RequestOutcome::Cancelled,
+            tokens: Vec::new(),
+            metrics: RequestMetrics {
+                queue_wait_ns: q.enqueued_at.elapsed().as_nanos() as u64,
+                ..Default::default()
+            },
+        });
+    }
+}

@@ -96,6 +96,7 @@ pub fn adapt(cfg: &ModelConfig, yaml_rules: &str) -> Result<AdaptedModel, Inject
             n_deferred,
             n_gpu_experts,
             expert_dtype,
+            backend,
             ..Default::default()
         },
         backend,

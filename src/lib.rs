@@ -9,4 +9,5 @@ pub use kt_hwsim as hwsim;
 pub use kt_inject as inject;
 pub use kt_kernels as kernels;
 pub use kt_model as model;
+pub use kt_serve as serve;
 pub use kt_tensor as tensor;

@@ -1,0 +1,47 @@
+//! Smoke test for the serving layer through the facade crate: a
+//! server comes up over a tiny engine, serves a handful of concurrent
+//! requests end to end, and shuts down cleanly. Run directly in CI as
+//! `cargo test --test serve_smoke`.
+
+use ktransformers::core::{EngineConfig, HybridEngine, SchedMode};
+use ktransformers::model::ModelPreset;
+use ktransformers::serve::{Request, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn serve_smoke() {
+    let cfg = ModelPreset::DeepSeekV3.tiny_config();
+    let engine = Arc::new(
+        HybridEngine::random(
+            &cfg,
+            EngineConfig {
+                n_cpu_workers: 2,
+                mode: SchedMode::AsyncGraph,
+                n_deferred: 2,
+                seed: 11,
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    );
+    let server = Server::start(engine, ServerConfig { max_batch: 4 });
+
+    let handles: Vec<_> = (0..4)
+        .map(|i| server.submit(Request::greedy(&[i + 1, 2 * i + 1, 7], 6)))
+        .collect();
+    for (i, h) in handles.iter().enumerate() {
+        let result = h
+            .wait_timeout(Duration::from_secs(60))
+            .unwrap_or_else(|| panic!("request {i} did not resolve"));
+        assert!(result.is_completed(), "request {i}: {:?}", result.outcome);
+        assert_eq!(result.tokens.len(), 6);
+        assert!(result.metrics.ttft_ns.is_some());
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.tokens_generated, 24);
+    assert!(stats.mean_occupancy() >= 1.0);
+    server.shutdown();
+}

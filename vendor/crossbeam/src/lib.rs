@@ -1,0 +1,411 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the API subset the workspace uses — `channel::unbounded`,
+//! `queue::SegQueue`, `deque::{Worker, Stealer, Injector}`, and
+//! `sync::WaitGroup` — implemented over `std::sync` primitives. The
+//! real crate's lock-free guarantees become lock-based here; semantics
+//! (FIFO order, steal success/empty, waitgroup rendezvous) are
+//! preserved, which is what the engine's correctness relies on. The
+//! throughput-oriented properties are modeled costs in this
+//! reproduction, not measured ones.
+
+pub mod channel {
+    //! Multi-producer channels (wraps `std::sync::mpsc`).
+
+    use std::sync::mpsc;
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    /// Error returned when all receivers disconnected.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    // No `T: Debug` bound, matching upstream: callers `.expect()` on
+    // sends of non-Debug payloads.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned when all senders disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Creates an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message.
+        ///
+        /// # Errors
+        ///
+        /// Returns the message if the receiver disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives.
+        ///
+        /// # Errors
+        ///
+        /// Errs when every sender disconnected and the queue drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive; `None` when currently empty or
+        /// disconnected.
+        pub fn try_recv(&self) -> Option<T> {
+            self.inner.try_recv().ok()
+        }
+    }
+}
+
+pub mod queue {
+    //! Concurrent queues.
+
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// An unbounded MPMC FIFO queue (`SegQueue` API).
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub const fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Appends an element.
+        pub fn push(&self, value: T) {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(value);
+        }
+
+        /// Removes the front element, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+        }
+
+        /// Current length (racy snapshot, like the real crate).
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner()).len()
+        }
+
+        /// Whether the queue is empty (racy snapshot).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            SegQueue::new()
+        }
+    }
+}
+
+pub mod deque {
+    //! Work-stealing deques.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    #[derive(Debug)]
+    pub enum Steal<T> {
+        /// A task was stolen.
+        Success(T),
+        /// The victim was empty.
+        Empty,
+        /// The operation lost a race and may be retried.
+        Retry,
+    }
+
+    /// The owner's end of a deque.
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// A thief's handle onto some worker's deque.
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty FIFO deque.
+        pub fn new_fifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, value: T) {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(value);
+        }
+
+        /// Pops the next task in FIFO order.
+        pub fn pop(&self) -> Option<T> {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_front()
+        }
+
+        /// Creates a stealer handle for this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals a batch from the victim into `dest` and pops one task.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut victim = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let n = victim.len();
+            if n == 0 {
+                return Steal::Empty;
+            }
+            // Take up to half the victim's tasks (min 1), keep the
+            // first for the caller, move the rest to `dest`.
+            let take = (n / 2).max(1);
+            let first = victim.pop_front().expect("n > 0");
+            if take > 1 {
+                let mut dest_q = dest.inner.lock().unwrap_or_else(|e| e.into_inner());
+                for _ in 1..take {
+                    if let Some(v) = victim.pop_front() {
+                        dest_q.push_back(v);
+                    }
+                }
+            }
+            Steal::Success(first)
+        }
+    }
+
+    /// A global FIFO injector queue.
+    pub struct Injector<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Appends a task.
+        pub fn push(&self, value: T) {
+            self.inner
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(value);
+        }
+
+        /// Steals a batch into `dest` and pops one task.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let stealer = Stealer {
+                inner: Arc::clone(&self.inner),
+            };
+            stealer.steal_batch_and_pop(dest)
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+}
+
+pub mod sync {
+    //! Synchronization utilities.
+
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct WgState {
+        count: Mutex<usize>,
+        cv: Condvar,
+    }
+
+    /// A rendezvous barrier: `wait()` blocks until every clone drops.
+    pub struct WaitGroup {
+        state: Arc<WgState>,
+    }
+
+    impl WaitGroup {
+        /// Creates a group with one registered member (this handle).
+        pub fn new() -> Self {
+            WaitGroup {
+                state: Arc::new(WgState {
+                    count: Mutex::new(1),
+                    cv: Condvar::new(),
+                }),
+            }
+        }
+
+        /// Drops this handle and blocks until all other clones drop.
+        pub fn wait(self) {
+            let state = Arc::clone(&self.state);
+            drop(self); // deregister ourselves
+            let mut count = state.count.lock().unwrap_or_else(|e| e.into_inner());
+            while *count > 0 {
+                count = state
+                    .cv
+                    .wait(count)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    impl Clone for WaitGroup {
+        fn clone(&self) -> Self {
+            *self
+                .state
+                .count
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()) += 1;
+            WaitGroup {
+                state: Arc::clone(&self.state),
+            }
+        }
+    }
+
+    impl Drop for WaitGroup {
+        fn drop(&mut self) {
+            let mut count = self
+                .state
+                .count
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            *count -= 1;
+            if *count == 0 {
+                self.state.cv.notify_all();
+            }
+        }
+    }
+
+    impl Default for WaitGroup {
+        fn default() -> Self {
+            WaitGroup::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segqueue_is_fifo() {
+        let q = queue::SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn channel_round_trips() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        drop((tx, tx2));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn deque_steals_move_work() {
+        let a = deque::Worker::new_fifo();
+        let b = deque::Worker::new_fifo();
+        for i in 0..8 {
+            a.push(i);
+        }
+        let s = a.stealer();
+        match s.steal_batch_and_pop(&b) {
+            deque::Steal::Success(v) => assert_eq!(v, 0),
+            other => panic!("expected success, got {other:?}"),
+        }
+        // Half the victim (4 tasks) moved: one returned, three to b.
+        let mut got = Vec::new();
+        while let Some(v) = b.pop() {
+            got.push(v);
+        }
+        assert_eq!(got, vec![1, 2, 3]);
+        assert!(matches!(
+            deque::Worker::<u32>::new_fifo().stealer().steal_batch_and_pop(&a),
+            deque::Steal::Empty
+        ));
+    }
+
+    #[test]
+    fn waitgroup_blocks_until_all_drop() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let wg = sync::WaitGroup::new();
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..4 {
+            let wg = wg.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                done.fetch_add(1, Ordering::SeqCst);
+                drop(wg);
+            });
+        }
+        wg.wait();
+        assert_eq!(done.load(Ordering::SeqCst), 4);
+    }
+}
