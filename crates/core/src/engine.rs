@@ -26,15 +26,15 @@
 
 use kt_kernels::dispatch::Backend;
 use kt_kernels::gemm::gemm_auto;
-use kt_kernels::moe::{ExpertWeights, FusedMoE, MoeRouting};
-use kt_kernels::schedule::SchedulePolicy;
+use kt_kernels::moe::{ExpertWeights, FusedMoE, MoeRouting, MoeWorkspace};
+use kt_kernels::schedule::{SchedulePolicy, ThreadPool};
 use kt_model::config::ModelConfig;
 use kt_model::gating::{GateConfig, Router};
 use kt_model::kvcache::KvCache;
 use kt_model::norm::RmsNorm;
 use kt_model::rope::Rope;
 use kt_model::attention::Attention;
-use kt_tensor::{Matrix, PackedWeights, WeightDtype};
+use kt_tensor::{ArenaStats, Matrix, PackedWeights, ScratchArena, WeightDtype};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -149,14 +149,17 @@ struct StepState {
     /// Whether each row belongs to a single-token (decode) sequence —
     /// Expert Deferral applies per row, only to decode rows.
     decode_row: Vec<bool>,
-    /// Residual stream, `tokens x hidden`.
+    /// Residual stream, `tokens x hidden` (checked out of the device
+    /// workspace arena each step, restored at the next embed).
     x: Matrix,
     /// Saved FFN inputs per layer (deferred experts read layer k's
-    /// input while layer k+1 runs).
-    ffn_in: Vec<Option<Matrix>>,
-    /// Immediate routed-expert outputs per layer.
+    /// input while layer k+1 runs). `Arc` so the submit op hands them
+    /// to CPU tasks without a deep copy; the backing buffer returns to
+    /// the device arena once the last holder drops its clone.
+    ffn_in: Vec<Option<Arc<Matrix>>>,
+    /// Immediate routed-expert outputs per layer (from `ws_imm`).
     imm_out: Vec<Option<Matrix>>,
-    /// Deferred routed-expert outputs per layer.
+    /// Deferred routed-expert outputs per layer (from `ws_def`).
     def_out: Vec<Option<Matrix>>,
     /// Routing of GPU-pinned hot experts per layer (consumed by the
     /// shared-experts op of the same layer).
@@ -165,10 +168,46 @@ struct StepState {
     /// batched forward this holds exactly the engine-owned default
     /// cache at index 0 (the single-session legacy path).
     caches: Vec<KvCache>,
-    /// Final logits of the step.
-    logits: Option<Matrix>,
+    /// Final logits of the step, one matrix per sequence (arena-backed;
+    /// callers hand them back via [`HybridEngine::recycle_logits`]).
+    logits: Option<Vec<Matrix>>,
     /// First error raised by any op (checked after each step).
     error: Option<String>,
+}
+
+/// Device-thread step workspace: an arena for engine temporaries
+/// (residual stream, normed activations, per-sequence logits) plus a
+/// MoE workspace for device-executed expert GEMMs (dense MLP, shared
+/// experts, GPU-pinned hot experts).
+struct GpuWorkspace {
+    arena: ScratchArena,
+    moe: MoeWorkspace,
+    /// `ffn_in` Arcs still held by an in-flight deferred task when the
+    /// merge op tried to reclaim them; drained at the next embed, by
+    /// which point every task of the previous step has finished.
+    pending: Vec<Arc<Matrix>>,
+}
+
+impl GpuWorkspace {
+    fn new() -> Self {
+        GpuWorkspace {
+            arena: ScratchArena::new(),
+            moe: MoeWorkspace::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Restores `ffn_in` buffers whose last task-held clone has since
+    /// been dropped.
+    fn reclaim_pending(&mut self) {
+        let pending = std::mem::take(&mut self.pending);
+        for arc in pending {
+            match Arc::try_unwrap(arc) {
+                Ok(m) => self.arena.restore(m),
+                Err(arc) => self.pending.push(arc),
+            }
+        }
+    }
 }
 
 struct EngineShared {
@@ -184,6 +223,48 @@ struct EngineShared {
     /// Optional fault injector consulted on the expert-submission
     /// path; returning `true` for a layer path fails that forward.
     fault: Mutex<Option<FaultHook>>,
+    /// Device-thread workspace (embed/attn/shared/head ops).
+    ///
+    /// Lock discipline: device ops may take `state` then a workspace
+    /// lock; CPU expert tasks must DROP their workspace lock before
+    /// taking `state` (they publish results under `state` only). This
+    /// orders every state+workspace acquisition identically, so the
+    /// pairing can never deadlock.
+    ws_gpu: Mutex<GpuWorkspace>,
+    /// Workspace of the immediate-expert CPU task (one in flight at a
+    /// time: layer k+1's submit runs only after layer k's merge).
+    ws_imm: Mutex<MoeWorkspace>,
+    /// Workspace of the deferred-expert CPU task (may overlap the next
+    /// layer's immediate task, hence its own workspace).
+    ws_def: Mutex<MoeWorkspace>,
+}
+
+impl EngineShared {
+    fn new(cfg: &ModelConfig, cache_specs: &[(usize, usize)]) -> Result<Arc<Self>, EngineError> {
+        Ok(Arc::new(EngineShared {
+            state: Mutex::new(StepState {
+                tokens: Vec::new(),
+                seq_rows: Vec::new(),
+                decode_row: Vec::new(),
+                x: Matrix::zeros(1, cfg.hidden)?,
+                ffn_in: vec![None; cfg.n_layers],
+                imm_out: vec![None; cfg.n_layers],
+                def_out: vec![None; cfg.n_layers],
+                gpu_routing: vec![None; cfg.n_layers],
+                caches: vec![KvCache::new(cache_specs, cfg.max_seq)],
+                logits: None,
+                error: None,
+            }),
+            imm_pending: (0..cfg.n_layers).map(|_| AtomicUsize::new(0)).collect(),
+            def_pending: (0..cfg.n_layers).map(|_| AtomicUsize::new(0)).collect(),
+            profile: Mutex::new(ExpertProfile::new(cfg.n_layers, cfg.n_routed_experts)),
+            gpu_masks: Mutex::new(vec![Vec::new(); cfg.n_layers]),
+            fault: Mutex::new(None),
+            ws_gpu: Mutex::new(GpuWorkspace::new()),
+            ws_imm: Mutex::new(MoeWorkspace::new()),
+            ws_def: Mutex::new(MoeWorkspace::new()),
+        }))
+    }
 }
 
 /// A fault-injection hook: given a module path such as
@@ -212,6 +293,11 @@ pub struct HybridEngine {
     inference_lock: Mutex<()>,
     vgpu: VirtualGpu,
     cpu: Arc<CpuBackend>,
+    /// Pool for the panel-parallel LM-head GEMM. Sized like the CPU
+    /// backend but clamped to the host's physical parallelism (see
+    /// [`head_pool_lanes`]); the head runs after the final merge, when
+    /// every expert worker is idle, so the two pools never compete.
+    head_pool: Arc<ThreadPool>,
     layers: Vec<Arc<EngineLayer>>,
     embed: Arc<Matrix>,
     lm_head: Arc<PackedWeights>,
@@ -222,6 +308,20 @@ pub struct HybridEngine {
 }
 
 const SPIN_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Lane count for the LM-head pool: the CPU-backend worker count,
+/// clamped to the host's physical parallelism. `n_cpu_workers` models
+/// the paper's CPU backend and may legitimately exceed the host cores
+/// (tests, CI); the head GEMM gains nothing from oversubscription and
+/// would pay cross-thread dispatch latency every decode step. A
+/// single-lane pool runs entirely on the calling thread. Outputs are
+/// bitwise identical at any lane count.
+fn head_pool_lanes(n_cpu_workers: usize) -> usize {
+    let host = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    n_cpu_workers.clamp(1, host)
+}
 
 /// Spins until `counter` reaches zero (the graph-resident wait).
 ///
@@ -330,32 +430,14 @@ impl HybridEngine {
 
         let cache_specs: Vec<(usize, usize)> =
             layers.iter().map(|l| l.attn.cache_spec()).collect();
-        let shared = Arc::new(EngineShared {
-            state: Mutex::new(StepState {
-                tokens: Vec::new(),
-                seq_rows: Vec::new(),
-                decode_row: Vec::new(),
-                x: Matrix::zeros(1, cfg.hidden)?,
-                ffn_in: vec![None; cfg.n_layers],
-                imm_out: vec![None; cfg.n_layers],
-                def_out: vec![None; cfg.n_layers],
-                gpu_routing: vec![None; cfg.n_layers],
-                caches: vec![KvCache::new(&cache_specs, cfg.max_seq)],
-                logits: None,
-                error: None,
-            }),
-            imm_pending: (0..cfg.n_layers).map(|_| AtomicUsize::new(0)).collect(),
-            def_pending: (0..cfg.n_layers).map(|_| AtomicUsize::new(0)).collect(),
-            profile: Mutex::new(ExpertProfile::new(cfg.n_layers, cfg.n_routed_experts)),
-            gpu_masks: Mutex::new(vec![Vec::new(); cfg.n_layers]),
-            fault: Mutex::new(None),
-        });
+        let shared = EngineShared::new(cfg, &cache_specs)?;
 
         Ok(HybridEngine {
             cfg: cfg.clone(),
             inference_lock: Mutex::new(()),
             vgpu: VirtualGpu::new(econfig.vgpu)?,
             cpu: Arc::new(CpuBackend::new(econfig.n_cpu_workers)?),
+            head_pool: Arc::new(ThreadPool::new(head_pool_lanes(econfig.n_cpu_workers))?),
             layers,
             embed: Arc::new(embed),
             lm_head,
@@ -475,30 +557,12 @@ impl HybridEngine {
         let rope = Arc::new(Rope::new(cfg.head_dim, cfg.max_seq, cfg.rope_theta));
         let cache_specs: Vec<(usize, usize)> =
             layers.iter().map(|l| l.attn.cache_spec()).collect();
-        let shared = Arc::new(EngineShared {
-            state: Mutex::new(StepState {
-                tokens: Vec::new(),
-                seq_rows: Vec::new(),
-                decode_row: Vec::new(),
-                x: Matrix::zeros(1, cfg.hidden)?,
-                ffn_in: vec![None; cfg.n_layers],
-                imm_out: vec![None; cfg.n_layers],
-                def_out: vec![None; cfg.n_layers],
-                gpu_routing: vec![None; cfg.n_layers],
-                caches: vec![KvCache::new(&cache_specs, cfg.max_seq)],
-                logits: None,
-                error: None,
-            }),
-            imm_pending: (0..cfg.n_layers).map(|_| AtomicUsize::new(0)).collect(),
-            def_pending: (0..cfg.n_layers).map(|_| AtomicUsize::new(0)).collect(),
-            profile: Mutex::new(ExpertProfile::new(cfg.n_layers, cfg.n_routed_experts)),
-            gpu_masks: Mutex::new(vec![Vec::new(); cfg.n_layers]),
-            fault: Mutex::new(None),
-        });
+        let shared = EngineShared::new(&cfg, &cache_specs)?;
         Ok(HybridEngine {
             inference_lock: Mutex::new(()),
             vgpu: VirtualGpu::new(econfig.vgpu)?,
             cpu: Arc::new(CpuBackend::new(econfig.n_cpu_workers)?),
+            head_pool: Arc::new(ThreadPool::new(head_pool_lanes(econfig.n_cpu_workers))?),
             layers,
             embed: Arc::new(embed),
             lm_head,
@@ -530,12 +594,20 @@ impl HybridEngine {
 
     /// Resets the KV cache and launch stats (new conversation).
     pub fn reset(&self) {
-        let mut st = self.shared.state.lock();
-        for cache in &mut st.caches {
-            cache.reset();
+        let logits = {
+            let mut st = self.shared.state.lock();
+            for cache in &mut st.caches {
+                cache.reset();
+            }
+            st.error = None;
+            st.logits.take()
+        };
+        if let Some(v) = logits {
+            let mut ws = self.shared.ws_gpu.lock();
+            for m in v {
+                ws.arena.restore(m);
+            }
         }
-        st.logits = None;
-        st.error = None;
         self.vgpu.reset_stats();
     }
 
@@ -632,7 +704,11 @@ impl HybridEngine {
         let embed = Arc::clone(&self.embed);
         let hidden = self.cfg.hidden;
 
-        // Op: embedding lookup.
+        // Op: embedding lookup. Also the step's workspace turnover
+        // point: last step's residual stream (and any unclaimed logits)
+        // go back to the arena, and `ffn_in` buffers whose deferred
+        // task outlived its merge are reclaimed — every task of the
+        // previous step has drained by now.
         ops.push((
             false,
             Arc::new(move || {
@@ -641,14 +717,22 @@ impl HybridEngine {
                     return;
                 }
                 let t_new = st.tokens.len();
-                match Matrix::zeros(t_new, hidden) {
-                    Ok(mut x) => {
-                        let tokens = st.tokens.clone();
-                        for (i, &t) in tokens.iter().enumerate() {
-                            x.row_mut(i).copy_from_slice(embed.row(t as usize));
+                let mut ws = shared.ws_gpu.lock();
+                ws.reclaim_pending();
+                if let Some(v) = st.logits.take() {
+                    for m in v {
+                        ws.arena.restore(m);
+                    }
+                }
+                match ws.arena.checkout(t_new, hidden) {
+                    Ok(x) => {
+                        let old = std::mem::replace(&mut st.x, x);
+                        ws.arena.restore(old);
+                        drop(ws);
+                        let st = &mut *st;
+                        for (i, &t) in st.tokens.iter().enumerate() {
+                            st.x.row_mut(i).copy_from_slice(embed.row(t as usize));
                         }
-                        st.x = x;
-                        st.logits = None;
                     }
                     Err(e) => st.error = Some(e.to_string()),
                 }
@@ -675,26 +759,35 @@ impl HybridEngine {
                         if guard.error.is_some() {
                             return;
                         }
-                        let normed = layer.attn_norm.forward(&guard.x);
-                        let cols = normed.cols();
-                        let seq_rows = guard.seq_rows.clone();
-                        // Field-level split borrow: each sequence's rows
-                        // attend against its own KV cache.
-                        let st = &mut *guard;
-                        for (s, &(start, len)) in seq_rows.iter().enumerate() {
-                            let sub = match Matrix::from_rows(
-                                len,
-                                cols,
-                                &normed.as_slice()[start * cols..(start + len) * cols],
-                            ) {
+                        let mut ws = shared.ws_gpu.lock();
+                        let mut normed =
+                            match ws.arena.checkout(guard.x.rows(), guard.x.cols()) {
                                 Ok(m) => m,
                                 Err(e) => {
-                                    st.error = Some(e.to_string());
+                                    guard.error = Some(e.to_string());
                                     return;
                                 }
                             };
+                        layer.attn_norm.forward_into(&guard.x, &mut normed);
+                        let cols = normed.cols();
+                        // Field-level split borrow: each sequence's rows
+                        // attend against its own KV cache.
+                        let st = &mut *guard;
+                        for (s, &(start, len)) in st.seq_rows.iter().enumerate() {
+                            let mut sub = match ws.arena.checkout(len, cols) {
+                                Ok(m) => m,
+                                Err(e) => {
+                                    st.error = Some(e.to_string());
+                                    break;
+                                }
+                            };
+                            sub.as_mut_slice().copy_from_slice(
+                                &normed.as_slice()[start * cols..(start + len) * cols],
+                            );
                             let cache = st.caches[s].layer_mut(li);
-                            match layer.attn.forward(&sub, cache, &rope, None) {
+                            let r = layer.attn.forward(&sub, cache, &rope, None);
+                            ws.arena.restore(sub);
+                            match r {
                                 Ok(attn_out) => {
                                     let dst = &mut st.x.as_mut_slice()
                                         [start * cols..(start + len) * cols];
@@ -704,31 +797,35 @@ impl HybridEngine {
                                 }
                                 Err(e) => {
                                     st.error = Some(e.to_string());
-                                    return;
+                                    break;
                                 }
                             }
                         }
-                        let ffn_in = layer.ffn_norm.forward(&st.x);
+                        if st.error.is_some() {
+                            ws.arena.restore(normed);
+                            return;
+                        }
+                        // Reuse the normed buffer for the FFN input: the
+                        // attention residual is already folded into x.
+                        let mut ffn_in = normed;
+                        layer.ffn_norm.forward_into(&st.x, &mut ffn_in);
                         if let EngineFfn::Dense(mlp) = &layer.ffn {
                             let t_new = ffn_in.rows();
                             let all = MoeRouting::new(vec![vec![(0, 1.0)]; t_new]);
-                            let mut x = std::mem::replace(
-                                &mut st.x,
-                                Matrix::zeros(1, 1).expect("1x1"),
-                            );
-                            let r = mlp.forward_accumulate(
+                            let r = mlp.forward_accumulate_with(
                                 &ffn_in,
                                 &all,
-                                &mut x,
+                                &mut st.x,
                                 None,
                                 SchedulePolicy::Dynamic,
+                                &mut ws.moe,
                             );
-                            st.x = x;
+                            ws.arena.restore(ffn_in);
                             if let Err(e) = r {
                                 st.error = Some(e.to_string());
                             }
                         } else {
-                            st.ffn_in[li] = Some(ffn_in);
+                            st.ffn_in[li] = Some(Arc::new(ffn_in));
                         }
                     }),
                     usize::MAX,
@@ -753,8 +850,10 @@ impl HybridEngine {
                             if st.error.is_some() {
                                 return;
                             }
+                            // Arc clone: the expert tasks share the
+                            // saved FFN input, no deep copy.
                             let ffn_in = match &st.ffn_in[li] {
-                                Some(m) => m.clone(),
+                                Some(m) => Arc::clone(m),
                                 None => return,
                             };
                             let EngineFfn::Moe { router, .. } = &layer.ffn else {
@@ -849,7 +948,7 @@ impl HybridEngine {
                         {
                             let shared = Arc::clone(&shared);
                             let layer = Arc::clone(&layer);
-                            let ffn_in = ffn_in.clone();
+                            let ffn_in = Arc::clone(&ffn_in);
                             cpu.submit(Box::new(move || {
                                 let result = std::panic::catch_unwind(
                                     std::panic::AssertUnwindSafe(|| {
@@ -858,9 +957,24 @@ impl HybridEngine {
                                                 "not a MoE layer",
                                             ));
                                         };
-                                        routed.forward(&ffn_in, &imm, None, SchedulePolicy::Dynamic)
+                                        // Workspace lock is DROPPED
+                                        // before the state lock below
+                                        // (see `EngineShared::ws_gpu`
+                                        // lock discipline).
+                                        let mut ws = shared.ws_imm.lock();
+                                        routed.forward_with(
+                                            &ffn_in,
+                                            &imm,
+                                            None,
+                                            SchedulePolicy::Dynamic,
+                                            &mut ws,
+                                        )
                                     }),
                                 );
+                                // Release the shared FFN input before
+                                // signalling completion, so the merge
+                                // op can usually reclaim it right away.
+                                drop(ffn_in);
                                 let mut st = shared.state.lock();
                                 match result {
                                     Ok(Ok(m)) => st.imm_out[li] = Some(m),
@@ -887,9 +1001,17 @@ impl HybridEngine {
                                                 "not a MoE layer",
                                             ));
                                         };
-                                        routed.forward(&ffn_in, &def, None, SchedulePolicy::Dynamic)
+                                        let mut ws = shared.ws_def.lock();
+                                        routed.forward_with(
+                                            &ffn_in,
+                                            &def,
+                                            None,
+                                            SchedulePolicy::Dynamic,
+                                            &mut ws,
+                                        )
                                     }),
                                 );
+                                drop(ffn_in);
                                 let mut st = shared.state.lock();
                                 match result {
                                     Ok(Ok(m)) => st.def_out[li] = Some(m),
@@ -914,8 +1036,8 @@ impl HybridEngine {
                 ops.push((
                     false,
                     Arc::new(move || {
-                        let mut st = shared.state.lock();
-                        if st.error.is_some() {
+                        let mut guard = shared.state.lock();
+                        if guard.error.is_some() {
                             return;
                         }
                         let EngineFfn::Moe {
@@ -926,23 +1048,27 @@ impl HybridEngine {
                         else {
                             return;
                         };
-                        let Some(ffn_in) = st.ffn_in[li].clone() else {
+                        // Arc clone — shares the buffer with the CPU
+                        // expert tasks, no copy.
+                        let Some(ffn_in) = guard.ffn_in[li].clone() else {
                             return;
                         };
                         let t_new = ffn_in.rows();
-                        let gpu_routing = st.gpu_routing[li].take();
-                        let mut x = std::mem::replace(&mut st.x, Matrix::zeros(1, 1).expect("1x1"));
+                        let gpu_routing = guard.gpu_routing[li].take();
+                        let mut ws = shared.ws_gpu.lock();
+                        let st = &mut *guard;
                         let mut result = Ok(());
                         if let Some(sh) = sh {
                             let all: Vec<(usize, f32)> =
                                 (0..sh.n_experts()).map(|e| (e, 1.0)).collect();
                             let all = MoeRouting::new(vec![all; t_new]);
-                            result = sh.forward_accumulate(
+                            result = sh.forward_accumulate_with(
                                 &ffn_in,
                                 &all,
-                                &mut x,
+                                &mut st.x,
                                 None,
                                 SchedulePolicy::Dynamic,
+                                &mut ws.moe,
                             );
                         }
                         // GPU-pinned hot routed experts execute here,
@@ -950,16 +1076,16 @@ impl HybridEngine {
                         // experts do.
                         if result.is_ok() {
                             if let Some(gr) = gpu_routing {
-                                result = routed.forward_accumulate(
+                                result = routed.forward_accumulate_with(
                                     &ffn_in,
                                     &gr,
-                                    &mut x,
+                                    &mut st.x,
                                     None,
                                     SchedulePolicy::Dynamic,
+                                    &mut ws.moe,
                                 );
                             }
                         }
-                        st.x = x;
                         if let Err(e) = result {
                             st.error = Some(e.to_string());
                         }
@@ -990,19 +1116,39 @@ impl HybridEngine {
                             spin_until_zero(&shared.def_pending[p], "deferred experts");
                         }
                         let mut st = shared.state.lock();
-                        if let Some(imm) = st.imm_out[li].take() {
-                            for (o, v) in st.x.as_mut_slice().iter_mut().zip(imm.as_slice()) {
+                        let imm = st.imm_out[li].take();
+                        if let Some(m) = &imm {
+                            for (o, v) in st.x.as_mut_slice().iter_mut().zip(m.as_slice()) {
                                 *o += v;
                             }
                         }
-                        if let Some(p) = prev_moe {
-                            if let Some(dm) = st.def_out[p].take() {
-                                for (o, v) in st.x.as_mut_slice().iter_mut().zip(dm.as_slice()) {
-                                    *o += v;
-                                }
+                        let def_m = prev_moe.and_then(|p| st.def_out[p].take());
+                        if let Some(m) = &def_m {
+                            for (o, v) in st.x.as_mut_slice().iter_mut().zip(m.as_slice()) {
+                                *o += v;
                             }
                         }
-                        st.ffn_in[li] = None;
+                        let ffn_arc = st.ffn_in[li].take();
+                        // Return scratch buffers OUTSIDE the state lock:
+                        // a CPU task of the next layer may hold its
+                        // workspace lock while waiting for `state`.
+                        drop(st);
+                        if let Some(m) = imm {
+                            shared.ws_imm.lock().restore(m);
+                        }
+                        if let Some(m) = def_m {
+                            shared.ws_def.lock().restore(m);
+                        }
+                        if let Some(arc) = ffn_arc {
+                            let mut ws = shared.ws_gpu.lock();
+                            match Arc::try_unwrap(arc) {
+                                Ok(m) => ws.arena.restore(m),
+                                // This layer's own deferred task may
+                                // still hold a clone; reclaimed at the
+                                // next embed.
+                                Err(arc) => ws.pending.push(arc),
+                            }
+                        }
                     }),
                     li,
                 ));
@@ -1015,43 +1161,81 @@ impl HybridEngine {
             let shared = Arc::clone(&self.shared);
             let final_norm = Arc::clone(&self.final_norm);
             let lm_head = Arc::clone(&self.lm_head);
+            let head_pool = Arc::clone(&self.head_pool);
             let vocab = self.cfg.vocab;
             ops.push((
                 false,
                 Arc::new(move || {
-                    let mut st = shared.state.lock();
-                    if st.error.is_some() {
+                    let mut guard = shared.state.lock();
+                    if guard.error.is_some() {
                         return;
                     }
-                    let normed = final_norm.forward(&st.x);
-                    let cols = normed.cols();
-                    // The head GEMM runs per sequence: `gemm_auto`
-                    // dispatches by row count, so a whole-batch call
-                    // would pick a different kernel than sequential
-                    // decoding and drift within kernel tolerance.
-                    let per_seq = (|| -> Result<Matrix, String> {
-                        let mut logits = Matrix::zeros(normed.rows(), vocab)
+                    // The CPU expert backend is idle here (final merge
+                    // already ran), so the head pool has the machine to
+                    // itself. Panel-parallel execution is bitwise
+                    // identical to serial — each worker owns disjoint
+                    // output columns.
+                    let mut ws = shared.ws_gpu.lock();
+                    let st = &mut *guard;
+                    let per_seq = (|| -> Result<Vec<Matrix>, String> {
+                        let mut normed = ws
+                            .arena
+                            .checkout(st.x.rows(), st.x.cols())
                             .map_err(|e| e.to_string())?;
+                        final_norm.forward_into(&st.x, &mut normed);
+                        let cols = normed.cols();
+                        // The head GEMM runs per sequence: `gemm_auto`
+                        // dispatches by row count, so a whole-batch call
+                        // would pick a different kernel than sequential
+                        // decoding and drift within kernel tolerance.
+                        let mut out_seqs = Vec::with_capacity(st.seq_rows.len());
+                        let mut result = Ok(());
                         for &(start, len) in &st.seq_rows {
-                            let sub = Matrix::from_rows(
-                                len,
-                                cols,
-                                &normed.as_slice()[start * cols..(start + len) * cols],
-                            )
-                            .map_err(|e| e.to_string())?;
-                            let mut out = Matrix::zeros(len, vocab)
-                                .map_err(|e| e.to_string())?;
-                            gemm_auto(&sub, &lm_head, &mut out, None)
-                                .map_err(|e| e.to_string())?;
-                            logits.as_mut_slice()
-                                [start * vocab..(start + len) * vocab]
-                                .copy_from_slice(out.as_slice());
+                            let r = (|| -> Result<Matrix, String> {
+                                let mut sub = ws
+                                    .arena
+                                    .checkout(len, cols)
+                                    .map_err(|e| e.to_string())?;
+                                sub.as_mut_slice().copy_from_slice(
+                                    &normed.as_slice()
+                                        [start * cols..(start + len) * cols],
+                                );
+                                let mut out = ws
+                                    .arena
+                                    .checkout(len, vocab)
+                                    .map_err(|e| e.to_string())?;
+                                let r = gemm_auto(
+                                    &sub,
+                                    &lm_head,
+                                    &mut out,
+                                    Some(&head_pool),
+                                );
+                                ws.arena.restore(sub);
+                                r.map_err(|e| e.to_string())?;
+                                Ok(out)
+                            })();
+                            match r {
+                                Ok(out) => out_seqs.push(out),
+                                Err(e) => {
+                                    result = Err(e);
+                                    break;
+                                }
+                            }
                         }
-                        Ok(logits)
+                        ws.arena.restore(normed);
+                        if let Err(e) = result {
+                            for m in out_seqs {
+                                ws.arena.restore(m);
+                            }
+                            return Err(e);
+                        }
+                        Ok(out_seqs)
                     })();
                     match per_seq {
                         Ok(logits) => st.logits = Some(logits),
-                        Err(e) => st.error = Some(e),
+                        Err(e) => {
+                            st.error = Some(e);
+                        }
                     }
                 }),
                 usize::MAX,
@@ -1081,7 +1265,10 @@ impl HybridEngine {
             st.seq_rows = vec![(0, tokens.len())];
             st.decode_row = vec![decode; tokens.len()];
         }
-        self.run_step(decode)
+        let mut per_seq = self.run_step(decode)?;
+        per_seq
+            .pop()
+            .ok_or_else(|| EngineError::exec("forward produced no logits"))
     }
 
     /// Runs one continuously-batched forward: every sequence's new
@@ -1125,7 +1312,7 @@ impl HybridEngine {
         let stashed = {
             let mut st = self.shared.state.lock();
             st.tokens = tokens;
-            st.seq_rows = seq_rows.clone();
+            st.seq_rows = seq_rows;
             st.decode_row = decode_row;
             let incoming: Vec<KvCache> = seqs
                 .iter_mut()
@@ -1143,20 +1330,9 @@ impl HybridEngine {
                 slot.cache = cache;
             }
         }
-        let logits = result?;
-        let cols = logits.cols();
-        let mut out = Vec::with_capacity(seqs.len());
-        for &(start, len) in &seq_rows {
-            out.push(
-                Matrix::from_rows(
-                    len,
-                    cols,
-                    &logits.as_slice()[start * cols..(start + len) * cols],
-                )
-                .map_err(|e| EngineError::exec(e.to_string()))?,
-            );
-        }
-        Ok(out)
+        // The head op already produced one logits matrix per sequence —
+        // no split copy needed.
+        result
     }
 
     fn validate_tokens(&self, tokens: &[u32]) -> Result<(), EngineError> {
@@ -1175,8 +1351,11 @@ impl HybridEngine {
     }
 
     /// Executes one step over the tokens/spans already staged in the
-    /// step state. Callers must hold the inference lock.
-    fn run_step(&self, all_decode: bool) -> Result<Matrix, EngineError> {
+    /// step state. Callers must hold the inference lock. Returns one
+    /// logits matrix per sequence (in `seq_rows` order); callers should
+    /// hand them back via [`HybridEngine::recycle_logits`] once sampled
+    /// so the arena can reuse them.
+    fn run_step(&self, all_decode: bool) -> Result<Vec<Matrix>, EngineError> {
         let use_graph = all_decode && self.econfig.mode == SchedMode::AsyncGraph;
         if use_graph {
             // Capture once, replay every decode step. Ops read the
@@ -1229,16 +1408,68 @@ impl HybridEngine {
 
         let mut st = self.shared.state.lock();
         if let Some(e) = st.error.take() {
-            // Clear any partial per-layer state left by the failed pass.
-            st.ffn_in.iter_mut().for_each(|s| *s = None);
-            st.imm_out.iter_mut().for_each(|s| *s = None);
-            st.def_out.iter_mut().for_each(|s| *s = None);
+            // Clear any partial per-layer state left by the failed
+            // pass, returning its buffers to their workspaces (outside
+            // the state lock — see the ws_gpu lock discipline).
+            let ffn: Vec<_> = st.ffn_in.iter_mut().filter_map(Option::take).collect();
+            let imm: Vec<_> = st.imm_out.iter_mut().filter_map(Option::take).collect();
+            let def: Vec<_> = st.def_out.iter_mut().filter_map(Option::take).collect();
+            let logits = st.logits.take();
             st.gpu_routing.iter_mut().for_each(|s| *s = None);
+            drop(st);
+            {
+                let mut ws = self.shared.ws_imm.lock();
+                for m in imm {
+                    ws.restore(m);
+                }
+            }
+            {
+                let mut ws = self.shared.ws_def.lock();
+                for m in def {
+                    ws.restore(m);
+                }
+            }
+            let mut ws = self.shared.ws_gpu.lock();
+            for arc in ffn {
+                match Arc::try_unwrap(arc) {
+                    Ok(m) => ws.arena.restore(m),
+                    Err(arc) => ws.pending.push(arc),
+                }
+            }
+            for m in logits.into_iter().flatten() {
+                ws.arena.restore(m);
+            }
             return Err(EngineError::exec(e));
         }
         st.logits
             .take()
             .ok_or_else(|| EngineError::exec("forward produced no logits"))
+    }
+
+    /// Returns a sampled-from logits matrix to the engine's scratch
+    /// arena for reuse by a later step. Purely an optimization — any
+    /// matrix (or none at all) is accepted.
+    pub fn recycle_logits(&self, m: Matrix) {
+        self.shared.ws_gpu.lock().arena.restore(m);
+    }
+
+    /// Merged allocation counters across every step workspace (device
+    /// arena plus the immediate/deferred CPU expert workspaces).
+    /// `allocations` staying flat across steady-state decode steps is
+    /// the zero-allocation hot-path invariant.
+    pub fn workspace_stats(&self) -> ArenaStats {
+        let gpu = {
+            let ws = self.shared.ws_gpu.lock();
+            let mut s = ws.arena.stats();
+            s.merge(&ws.moe.arena_stats());
+            s
+        };
+        let imm = self.shared.ws_imm.lock().arena_stats();
+        let def = self.shared.ws_def.lock().arena_stats();
+        let mut all = gpu;
+        all.merge(&imm);
+        all.merge(&def);
+        all
     }
 
     /// Prefills a prompt then greedily decodes `n_new` tokens.
@@ -1270,6 +1501,7 @@ impl HybridEngine {
         let logits = self.forward(prompt)?;
         let mut out = Vec::with_capacity(max_new);
         let mut next = sampler.sample(logits.row(logits.rows() - 1), rng);
+        self.recycle_logits(logits);
         for step in 0..max_new {
             out.push(next);
             if !on_token(next) || step + 1 == max_new {
@@ -1277,6 +1509,7 @@ impl HybridEngine {
             }
             let logits = self.forward(&[next])?;
             next = sampler.sample(logits.row(0), rng);
+            self.recycle_logits(logits);
         }
         Ok(out)
     }

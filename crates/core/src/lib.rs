@@ -33,5 +33,6 @@ pub use cpu_backend::CpuBackend;
 pub use engine::{BatchSeq, EngineConfig, FaultHook, HybridEngine, SchedMode, UtilizationReport};
 pub use error::EngineError;
 pub use placement::{DeviceKind, PlacementPlan};
+pub use kt_tensor::ArenaStats;
 pub use profiling::{ExpertProfile, RequestMetrics, ServeStats};
 pub use vgpu::{GraphHandle, LaunchStats, StreamId, VgpuConfig, VirtualGpu};

@@ -77,6 +77,18 @@ pub struct ServeStats {
     pub queue_depth_sum: u64,
     /// Deepest admission queue observed.
     pub peak_queue_depth: u64,
+    /// Scratch-arena bytes requested by step-workspace checkouts
+    /// (engine hot path; see `HybridEngine::workspace_stats`).
+    pub arena_bytes_requested: u64,
+    /// Bytes served by reusing an existing arena buffer.
+    pub arena_bytes_served: u64,
+    /// Bytes served by fresh heap allocations. Flat across steady-state
+    /// decode steps ⇒ the zero-allocation hot path is holding.
+    pub arena_bytes_allocated: u64,
+    /// Fresh heap allocations performed by the arenas.
+    pub arena_allocations: u64,
+    /// High-water mark of bytes held across all step arenas.
+    pub arena_high_water_bytes: u64,
 }
 
 impl ServeStats {
@@ -101,6 +113,17 @@ impl ServeStats {
     /// Requests resolved one way or another.
     pub fn resolved(&self) -> u64 {
         self.completed + self.cancelled + self.failed
+    }
+
+    /// Overwrites the arena counters from an engine snapshot (the
+    /// engine's counters are cumulative, so the snapshot replaces
+    /// rather than accumulates).
+    pub fn set_arena(&mut self, s: &kt_tensor::ArenaStats) {
+        self.arena_bytes_requested = s.bytes_requested;
+        self.arena_bytes_served = s.bytes_served;
+        self.arena_bytes_allocated = s.bytes_allocated;
+        self.arena_allocations = s.allocations;
+        self.arena_high_water_bytes = s.high_water_bytes;
     }
 }
 

@@ -40,7 +40,7 @@ pub mod steal;
 pub use dispatch::{select_kernel, KernelClass, ARI_CROSSOVER};
 pub use error::KernelError;
 pub use gemm::{gemm_auto, gemm_tiled, gemv_vector};
-pub use moe::{ExpertWeights, FusedMoE, MoeRouting};
+pub use moe::{ExpertWeights, FusedMoE, MoeRouting, MoeWorkspace};
 pub use numa::{ExpertParallelMoe, NumaTopology, TensorParallelMoe};
 pub use schedule::{SchedulePolicy, ThreadPool};
 pub use simd::{simd_level, SimdLevel};

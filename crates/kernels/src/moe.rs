@@ -19,7 +19,7 @@
 //! expert are adjacent in the queue, so dynamic scheduling naturally
 //! co-schedules them — the paper's cache-reuse heuristic.
 
-use kt_tensor::{Matrix, PackedWeights, WeightDtype};
+use kt_tensor::{ArenaStats, Matrix, PackedWeights, ScratchArena, WeightDtype};
 use rand::rngs::StdRng;
 
 use crate::act::swiglu_combine;
@@ -195,6 +195,8 @@ impl MoeRouting {
 /// Per-expert gathered workspace used inside one forward call.
 struct Bucket {
     expert: usize,
+    /// Routed token ids, ascending (built in token order) — the parallel
+    /// scatter-add relies on this to binary-search its row range.
     token_ids: Vec<usize>,
     weights: Vec<f32>,
     /// Gathered inputs, `t_e x hidden`.
@@ -207,6 +209,75 @@ struct Bucket {
     h: Matrix,
     /// Down-projected outputs, `t_e x hidden`.
     d: Matrix,
+}
+
+/// Reusable scratch state for [`FusedMoE`] forwards.
+///
+/// Every scratch object a forward call needs — per-expert gather tables,
+/// bucket matrices (`x`/`gu`/`h`/`d`), and the phase task descriptors —
+/// is checked out of this workspace and returned at the end of the call,
+/// so consecutive layers and steps that route similar token counts
+/// perform **zero heap allocations** once the working set has warmed up.
+/// A workspace may be shared across different `FusedMoE` instances
+/// (e.g. routed + shared expert pools of all layers).
+///
+/// Reset-on-error: checked-out buffers are always zeroed on checkout and
+/// bucket state is retired (or self-healed at the next call) even when a
+/// forward fails partway, so no stale or poisoned data can leak into a
+/// later step — see the equivalence proptests.
+#[derive(Default)]
+pub struct MoeWorkspace {
+    arena: ScratchArena,
+    /// Per-expert `(token_ids, weights)` gather table; grows to the
+    /// largest expert pool seen, entries keep their capacity.
+    gather: Vec<(Vec<usize>, Vec<f32>)>,
+    /// Buckets of the in-flight forward (empty between calls).
+    buckets: Vec<Bucket>,
+    /// Reused phase task descriptors (cleared between phases).
+    descs: Vec<PanelDesc>,
+}
+
+impl std::fmt::Debug for MoeWorkspace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MoeWorkspace")
+            .field("arena", &self.arena.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MoeWorkspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out a zeroed matrix from the workspace arena (for callers
+    /// that manage output buffers alongside the MoE scratch state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Shape`] for zero dimensions.
+    pub fn checkout(&mut self, rows: usize, cols: usize) -> Result<Matrix, KernelError> {
+        self.arena
+            .checkout(rows, cols)
+            .map_err(|e| KernelError::shape(e.to_string()))
+    }
+
+    /// Returns a matrix to the workspace arena for reuse.
+    pub fn restore(&mut self, m: Matrix) {
+        self.arena.restore(m);
+    }
+
+    /// Allocation/reuse counters of the backing arena.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
+
+    /// Fills all pooled buffers with NaN (test hook; see
+    /// [`ScratchArena::poison_for_test`]).
+    pub fn poison_for_test(&mut self) {
+        self.arena.poison_for_test();
+    }
 }
 
 /// The fused MoE operator over a pool of experts.
@@ -301,9 +372,29 @@ impl FusedMoE {
         pool: Option<&ThreadPool>,
         policy: SchedulePolicy,
     ) -> Result<Matrix, KernelError> {
-        let mut out = Matrix::zeros(x.rows(), self.hidden)
-            .map_err(|e| KernelError::shape(e.to_string()))?;
-        self.forward_accumulate(x, routing, &mut out, pool, policy)?;
+        let mut ws = MoeWorkspace::new();
+        self.forward_with(x, routing, pool, policy, &mut ws)
+    }
+
+    /// [`FusedMoE::forward`] with a caller-owned workspace: the output
+    /// matrix and all scratch buffers come from `ws`, so repeated calls
+    /// allocate nothing once warmed up. Restore the returned matrix via
+    /// [`MoeWorkspace::restore`] when done with it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Shape`] on dimension or routing-index
+    /// mismatches.
+    pub fn forward_with(
+        &self,
+        x: &Matrix,
+        routing: &MoeRouting,
+        pool: Option<&ThreadPool>,
+        policy: SchedulePolicy,
+        ws: &mut MoeWorkspace,
+    ) -> Result<Matrix, KernelError> {
+        let mut out = ws.checkout(x.rows(), self.hidden)?;
+        self.forward_accumulate_with(x, routing, &mut out, pool, policy, ws)?;
         Ok(out)
     }
 
@@ -322,6 +413,28 @@ impl FusedMoE {
         out: &mut Matrix,
         pool: Option<&ThreadPool>,
         policy: SchedulePolicy,
+    ) -> Result<(), KernelError> {
+        let mut ws = MoeWorkspace::new();
+        self.forward_accumulate_with(x, routing, out, pool, policy, &mut ws)
+    }
+
+    /// [`FusedMoE::forward_accumulate`] with a caller-owned workspace.
+    /// Results are bit-identical to the fresh-allocation path: checkouts
+    /// are zeroed exactly like `Matrix::zeros`, and the execution order
+    /// of every floating-point accumulation is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Shape`] on dimension or routing-index
+    /// mismatches.
+    pub fn forward_accumulate_with(
+        &self,
+        x: &Matrix,
+        routing: &MoeRouting,
+        out: &mut Matrix,
+        pool: Option<&ThreadPool>,
+        policy: SchedulePolicy,
+        ws: &mut MoeWorkspace,
     ) -> Result<(), KernelError> {
         if x.cols() != self.hidden {
             return Err(KernelError::shape(format!(
@@ -357,8 +470,22 @@ impl FusedMoE {
             }
         }
 
-        // Gather tokens per expert.
-        let mut buckets = self.build_buckets(x, routing)?;
+        // Self-heal: if a previous forward panicked mid-flight (e.g. a
+        // fault-injected kernel), its buckets are still parked in the
+        // workspace. Retire them back to the arena before reusing it.
+        Self::retire_buckets(&mut ws.gather, &mut ws.buckets, &mut ws.arena);
+
+        // Gather tokens per expert into workspace-owned buckets.
+        if let Err(e) = self.build_buckets(x, routing, ws) {
+            Self::retire_buckets(&mut ws.gather, &mut ws.buckets, &mut ws.arena);
+            return Err(e);
+        }
+        let MoeWorkspace {
+            arena,
+            gather,
+            buckets,
+            descs,
+        } = ws;
         if buckets.is_empty() {
             return Ok(());
         }
@@ -370,17 +497,21 @@ impl FusedMoE {
         let tasks_per_bucket = 2 * inter_panels;
         let n_tasks1 = buckets.len() * tasks_per_bucket;
         {
-            let descs: Vec<Phase1Task> = buckets
-                .iter_mut()
-                .map(|b| Phase1Task {
+            descs.clear();
+            for b in buckets.iter_mut() {
+                descs.push(PanelDesc {
                     expert: b.expert,
-                    x: &b.x,
-                    gu: OutPtr(b.gu.as_mut_slice().as_mut_ptr()),
+                    input: &b.x,
+                    out: OutPtr(b.gu.as_mut_slice().as_mut_ptr()),
                     t_e: b.token_ids.len(),
-                })
-                .collect();
+                });
+            }
+            let descs = &*descs;
             let run = |task: usize| {
                 let b = &descs[task / tasks_per_bucket];
+                // SAFETY: descriptors are filled immediately above from
+                // live buckets and consumed before the buckets move.
+                let input = unsafe { &*b.input };
                 let slot = task % tasks_per_bucket;
                 let (proj, panel) = if slot < inter_panels {
                     (&self.experts[b.expert].gate, slot)
@@ -395,9 +526,9 @@ impl FusedMoE {
                     // SAFETY: `gu` is `t_e x 2*inter`; offsetting by
                     // `col_off <= inter` keeps all panel writes
                     // (`col_off + panel*NR + NR <= 2*inter`) in bounds.
-                    unsafe { b.gu.0.add(col_off) },
+                    unsafe { b.out.0.add(col_off) },
                 );
-                run_panel(b.x, proj, shifted, 2 * self.inter, panel, class);
+                run_panel(input, proj, shifted, 2 * self.inter, panel, class);
             };
             match pool {
                 Some(p) => p.run(n_tasks1, policy, run),
@@ -432,75 +563,171 @@ impl FusedMoE {
         let hidden_panels = self.experts[0].down.n_panels();
         let n_tasks2 = buckets.len() * hidden_panels;
         {
-            let descs: Vec<Phase2Task> = buckets
-                .iter_mut()
-                .map(|b| Phase2Task {
+            descs.clear();
+            for b in buckets.iter_mut() {
+                descs.push(PanelDesc {
                     expert: b.expert,
-                    h: &b.h,
-                    d: OutPtr(b.d.as_mut_slice().as_mut_ptr()),
+                    input: &b.h,
+                    out: OutPtr(b.d.as_mut_slice().as_mut_ptr()),
                     t_e: b.token_ids.len(),
-                })
-                .collect();
+                });
+            }
+            let descs = &*descs;
             let run = |task: usize| {
                 let b = &descs[task / hidden_panels];
+                // SAFETY: as for phase 1.
+                let input = unsafe { &*b.input };
                 let panel = task % hidden_panels;
                 let class = self.backend.kernel_for(b.t_e);
-                run_panel(b.h, &self.experts[b.expert].down, b.d, self.hidden, panel, class);
+                run_panel(input, &self.experts[b.expert].down, b.out, self.hidden, panel, class);
             };
             match pool {
                 Some(p) => p.run(n_tasks2, policy, run),
                 None => (0..n_tasks2).for_each(run),
             }
         }
+        descs.clear();
 
-        // Weighted scatter-add back to token order (serial: O(T*hidden),
-        // negligible next to the GEMMs, and avoids write contention).
-        for b in &buckets {
-            for (row, (&t, &wgt)) in b.token_ids.iter().zip(&b.weights).enumerate() {
-                let src = b.d.row(row);
-                let dst = out.row_mut(t);
-                for (o, s) in dst.iter_mut().zip(src) {
-                    *o += wgt * s;
+        // Weighted scatter-add back to token order. With a pool, tasks
+        // own disjoint ranges of output token rows; within each range
+        // buckets are visited in the same order as the serial loop, so
+        // every token's floating-point accumulation order — and thus the
+        // result — is bit-identical to serial execution.
+        match pool {
+            Some(p) => {
+                let n_rows = out.rows();
+                let out_cols = out.cols();
+                // ~8 token rows per task: enough work per task at real
+                // hidden sizes, and decode batches (a handful of rows)
+                // degenerate gracefully to one task.
+                let n_tasks = n_rows.div_ceil(SCATTER_ROWS_PER_TASK);
+                let out_ptr = ScatterPtr(out.as_mut_slice().as_mut_ptr());
+                // Capture the Sync wrapper by reference, not its raw
+                // field (2021 disjoint capture would grab the bare ptr).
+                let out_ptr = &out_ptr;
+                let buckets = &*buckets;
+                let scatter = |task: usize| {
+                    let lo = task * SCATTER_ROWS_PER_TASK;
+                    let hi = (lo + SCATTER_ROWS_PER_TASK).min(n_rows);
+                    for b in buckets {
+                        let s = b.token_ids.partition_point(|&t| t < lo);
+                        let e = b.token_ids.partition_point(|&t| t < hi);
+                        for i in s..e {
+                            let t = b.token_ids[i];
+                            let wgt = b.weights[i];
+                            let src = b.d.row(i);
+                            // SAFETY: rows `lo..hi` are owned exclusively
+                            // by this task; `t` lies in `[lo, hi)`.
+                            let dst = unsafe {
+                                std::slice::from_raw_parts_mut(
+                                    out_ptr.0.add(t * out_cols),
+                                    out_cols,
+                                )
+                            };
+                            for (o, s) in dst.iter_mut().zip(src) {
+                                *o += wgt * s;
+                            }
+                        }
+                    }
+                };
+                p.run(n_tasks, policy, scatter);
+            }
+            None => {
+                for b in buckets.iter() {
+                    for (row, (&t, &wgt)) in b.token_ids.iter().zip(&b.weights).enumerate() {
+                        let src = b.d.row(row);
+                        let dst = out.row_mut(t);
+                        for (o, s) in dst.iter_mut().zip(src) {
+                            *o += wgt * s;
+                        }
+                    }
                 }
             }
+        }
+
+        // Return every scratch buffer to the workspace for the next call.
+        Self::retire_buckets(gather, buckets, arena);
+        Ok(())
+    }
+
+    /// Gathers tokens per expert into `ws.buckets`, drawing all scratch
+    /// matrices from the workspace arena and reusing the gather tables'
+    /// capacity.
+    fn build_buckets(
+        &self,
+        x: &Matrix,
+        routing: &MoeRouting,
+        ws: &mut MoeWorkspace,
+    ) -> Result<(), KernelError> {
+        if ws.gather.len() < self.experts.len() {
+            ws.gather.resize_with(self.experts.len(), Default::default);
+        }
+        for (ids, wgts) in ws.gather.iter_mut() {
+            ids.clear();
+            wgts.clear();
+        }
+        for (t, a) in routing.assignments.iter().enumerate() {
+            for &(e, w) in a {
+                ws.gather[e].0.push(t);
+                ws.gather[e].1.push(w);
+            }
+        }
+        let shape = |err: kt_tensor::TensorError| KernelError::shape(err.to_string());
+        for e in 0..self.experts.len() {
+            if ws.gather[e].0.is_empty() {
+                continue;
+            }
+            let te = ws.gather[e].0.len();
+            let mut xe = ws.arena.checkout(te, self.hidden).map_err(shape)?;
+            for (row, &t) in ws.gather[e].0.iter().enumerate() {
+                xe.row_mut(row).copy_from_slice(x.row(t));
+            }
+            let gu = ws.arena.checkout(te, 2 * self.inter).map_err(shape)?;
+            let h = ws.arena.checkout(te, self.inter).map_err(shape)?;
+            let d = ws.arena.checkout(te, self.hidden).map_err(shape)?;
+            ws.buckets.push(Bucket {
+                expert: e,
+                token_ids: std::mem::take(&mut ws.gather[e].0),
+                weights: std::mem::take(&mut ws.gather[e].1),
+                x: xe,
+                gu,
+                h,
+                d,
+            });
         }
         Ok(())
     }
 
-    fn build_buckets(&self, x: &Matrix, routing: &MoeRouting) -> Result<Vec<Bucket>, KernelError> {
-        let mut per_expert: Vec<(Vec<usize>, Vec<f32>)> =
-            vec![(Vec::new(), Vec::new()); self.experts.len()];
-        for (t, a) in routing.assignments.iter().enumerate() {
-            for &(e, w) in a {
-                per_expert[e].0.push(t);
-                per_expert[e].1.push(w);
+    /// Returns all bucket scratch back to the workspace: matrices to the
+    /// arena, id/weight vectors (capacity intact) to the gather table.
+    fn retire_buckets(
+        gather: &mut [(Vec<usize>, Vec<f32>)],
+        buckets: &mut Vec<Bucket>,
+        arena: &mut ScratchArena,
+    ) {
+        for b in buckets.drain(..) {
+            let Bucket {
+                expert,
+                mut token_ids,
+                mut weights,
+                x,
+                gu,
+                h,
+                d,
+            } = b;
+            token_ids.clear();
+            weights.clear();
+            // A stale bucket from a larger pool than the current gather
+            // table simply drops its vectors.
+            if let Some(slot) = gather.get_mut(expert) {
+                slot.0 = token_ids;
+                slot.1 = weights;
             }
+            arena.restore(x);
+            arena.restore(gu);
+            arena.restore(h);
+            arena.restore(d);
         }
-        let mut buckets = Vec::new();
-        for (e, (ids, ws)) in per_expert.into_iter().enumerate() {
-            if ids.is_empty() {
-                continue;
-            }
-            let te = ids.len();
-            let mut xe = Matrix::zeros(te, self.hidden)
-                .map_err(|err| KernelError::shape(err.to_string()))?;
-            for (row, &t) in ids.iter().enumerate() {
-                xe.row_mut(row).copy_from_slice(x.row(t));
-            }
-            let mk = |r: usize, c: usize| {
-                Matrix::zeros(r, c).map_err(|err| KernelError::shape(err.to_string()))
-            };
-            buckets.push(Bucket {
-                expert: e,
-                token_ids: ids,
-                weights: ws,
-                x: xe,
-                gu: mk(te, 2 * self.inter)?,
-                h: mk(te, self.inter)?,
-                d: mk(te, self.hidden)?,
-            });
-        }
-        Ok(buckets)
     }
 
     /// Serializes the pool (backend tag + every expert).
@@ -571,26 +798,32 @@ impl FusedMoE {
     }
 }
 
-/// Immutable per-bucket descriptor for phase-1 tasks.
-struct Phase1Task<'a> {
-    expert: usize,
-    x: &'a Matrix,
-    gu: OutPtr,
-    t_e: usize,
-}
-// SAFETY: `OutPtr` targets are written at disjoint panels per task (see
-// `run_panel`); shared reads of `x` are safe.
-unsafe impl Sync for Phase1Task<'_> {}
+/// Output token rows owned by one parallel scatter-add task.
+const SCATTER_ROWS_PER_TASK: usize = 8;
 
-/// Immutable per-bucket descriptor for phase-2 tasks.
-struct Phase2Task<'a> {
+/// Per-bucket task descriptor for the two GEMM phases. Stored in the
+/// workspace (lifetime-free raw pointers) so the descriptor list is
+/// reused across calls without allocating.
+struct PanelDesc {
     expert: usize,
-    h: &'a Matrix,
-    d: OutPtr,
+    /// Phase input (`x` for Gate+Up, `h` for Down).
+    input: *const Matrix,
+    /// Phase output base pointer (`gu` or `d`).
+    out: OutPtr,
     t_e: usize,
 }
-// SAFETY: As for `Phase1Task`.
-unsafe impl Sync for Phase2Task<'_> {}
+// SAFETY: descriptors are filled from live buckets at the start of each
+// phase and consumed within it; `OutPtr` targets are written at disjoint
+// panels per task (see `run_panel`), shared reads of `input` are safe.
+unsafe impl Send for PanelDesc {}
+unsafe impl Sync for PanelDesc {}
+
+/// Raw output pointer for the parallel scatter-add tasks.
+struct ScatterPtr(*mut f32);
+// SAFETY: Each scatter task writes a disjoint range of output token
+// rows (chunked by `SCATTER_ROWS_PER_TASK`).
+unsafe impl Send for ScatterPtr {}
+unsafe impl Sync for ScatterPtr {}
 
 /// Raw bucket pointer for the per-bucket SwiGLU combine tasks.
 struct SyncBucketPtr(*mut Bucket);

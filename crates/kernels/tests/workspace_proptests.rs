@@ -1,0 +1,162 @@
+//! Property tests for the step-workspace layer: MoE forwards that reuse
+//! a [`MoeWorkspace`] must be **bit-identical** to fresh-allocation
+//! forwards — across random shapes, batch mixes, consecutive steps, and
+//! after a failed step or a poisoned (NaN-filled) arena. Checkouts are
+//! zeroed exactly like `Matrix::zeros` and the floating-point
+//! accumulation order is unchanged, so equality here is `==` on raw
+//! f32 slices, not a tolerance.
+
+use kt_kernels::dispatch::Backend;
+use kt_kernels::{FusedMoE, MoeRouting, MoeWorkspace, SchedulePolicy, ThreadPool};
+use kt_tensor::rng::seeded;
+use kt_tensor::{Matrix, WeightDtype};
+use proptest::prelude::*;
+use rand::Rng;
+
+const HIDDEN: usize = 32;
+const INTER: usize = 40;
+const N_EXPERTS: usize = 6;
+
+fn pool_of_experts(seed: u64) -> FusedMoE {
+    let mut rng = seeded(seed);
+    FusedMoE::random(
+        N_EXPERTS,
+        HIDDEN,
+        INTER,
+        WeightDtype::F32,
+        Backend::HybridAmxAvx512,
+        &mut rng,
+    )
+    .unwrap()
+}
+
+fn topk_routing(n_tokens: usize, k: usize, seed: u64) -> MoeRouting {
+    let mut rng = seeded(seed);
+    let assignments = (0..n_tokens)
+        .map(|_| {
+            let mut picks: Vec<usize> = (0..N_EXPERTS).collect();
+            for i in (1..picks.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                picks.swap(i, j);
+            }
+            picks[..k]
+                .iter()
+                .map(|&e| (e, rng.gen_range(0.05f32..1.0)))
+                .collect()
+        })
+        .collect();
+    MoeRouting::new(assignments)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A sequence of forwards sharing one workspace produces exactly the
+    /// bytes of independent fresh-allocation forwards, step after step,
+    /// as shapes and batch mixes vary (decode-like single rows through
+    /// prefill-like batches).
+    #[test]
+    fn workspace_reuse_is_bit_identical_across_steps(
+        seed in 0u64..1_000,
+        steps in proptest::collection::vec((1usize..=9, 1usize..=N_EXPERTS), 1..5),
+    ) {
+        let moe = pool_of_experts(seed);
+        let mut ws = MoeWorkspace::new();
+        let mut rng = seeded(seed.wrapping_add(1));
+        for (i, &(n_tokens, k)) in steps.iter().enumerate() {
+            let x = Matrix::random_uniform(n_tokens, HIDDEN, 1.0, &mut rng).unwrap();
+            let routing = topk_routing(n_tokens, k, seed.wrapping_add(i as u64));
+            let fresh = moe
+                .forward(&x, &routing, None, SchedulePolicy::Dynamic)
+                .unwrap();
+            let reused = moe
+                .forward_with(&x, &routing, None, SchedulePolicy::Dynamic, &mut ws)
+                .unwrap();
+            prop_assert_eq!(fresh.as_slice(), reused.as_slice(), "step {}", i);
+            ws.restore(reused);
+        }
+    }
+
+    /// Steady-state invariant: once the workspace has seen a shape, a
+    /// second forward of the same shape performs zero fresh heap
+    /// allocations.
+    #[test]
+    fn warmed_workspace_allocates_nothing(
+        seed in 0u64..1_000,
+        n_tokens in 1usize..=8,
+        k in 1usize..=N_EXPERTS,
+    ) {
+        let moe = pool_of_experts(seed);
+        let mut ws = MoeWorkspace::new();
+        let mut rng = seeded(seed.wrapping_add(2));
+        let x = Matrix::random_uniform(n_tokens, HIDDEN, 1.0, &mut rng).unwrap();
+        let routing = topk_routing(n_tokens, k, seed);
+        let warm = moe
+            .forward_with(&x, &routing, None, SchedulePolicy::Dynamic, &mut ws)
+            .unwrap();
+        ws.restore(warm);
+        let before = ws.arena_stats().allocations;
+        let out = moe
+            .forward_with(&x, &routing, None, SchedulePolicy::Dynamic, &mut ws)
+            .unwrap();
+        ws.restore(out);
+        prop_assert_eq!(ws.arena_stats().allocations, before);
+    }
+
+    /// Fault containment: a forward that fails mid-step (a token routed
+    /// to a nonexistent expert) followed by a NaN-poisoned arena must
+    /// leak nothing — the next forward through the same workspace is
+    /// still bit-identical to a fresh one, serial and pooled alike.
+    #[test]
+    fn faulted_then_poisoned_workspace_leaks_nothing(
+        seed in 0u64..1_000,
+        n_tokens in 1usize..=9,
+        k in 1usize..=N_EXPERTS,
+    ) {
+        let moe = pool_of_experts(seed);
+        let mut ws = MoeWorkspace::new();
+        let mut rng = seeded(seed.wrapping_add(3));
+
+        // Step 1: a good forward warms the workspace.
+        let x0 = Matrix::random_uniform(4, HIDDEN, 1.0, &mut rng).unwrap();
+        let r0 = topk_routing(4, 2, seed);
+        let warm = moe
+            .forward_with(&x0, &r0, None, SchedulePolicy::Dynamic, &mut ws)
+            .unwrap();
+        ws.restore(warm);
+
+        // Step 2: injected expert fault — routing names an expert the
+        // pool does not have, so the step fails.
+        let bad = MoeRouting::new(vec![vec![(N_EXPERTS + 7, 1.0)]]);
+        let x_bad = Matrix::random_uniform(1, HIDDEN, 1.0, &mut rng).unwrap();
+        prop_assert!(moe
+            .forward_with(&x_bad, &bad, None, SchedulePolicy::Dynamic, &mut ws)
+            .is_err());
+
+        // Poison every pooled buffer with NaN: if any forward ever read
+        // stale workspace memory, the NaNs would propagate.
+        ws.poison_for_test();
+
+        // Step 3: equivalence must still hold bitwise.
+        let x1 = Matrix::random_uniform(n_tokens, HIDDEN, 1.0, &mut rng).unwrap();
+        let r1 = topk_routing(n_tokens, k, seed.wrapping_add(4));
+        let fresh = moe
+            .forward(&x1, &r1, None, SchedulePolicy::Dynamic)
+            .unwrap();
+        prop_assert!(fresh.as_slice().iter().all(|v| v.is_finite()));
+        let reused = moe
+            .forward_with(&x1, &r1, None, SchedulePolicy::Dynamic, &mut ws)
+            .unwrap();
+        prop_assert_eq!(fresh.as_slice(), reused.as_slice());
+        ws.restore(reused);
+
+        // And the pooled path reads the same workspace without drift.
+        let pool = ThreadPool::new(3).unwrap();
+        ws.poison_for_test();
+        let pooled = moe
+            .forward_with(&x1, &r1, Some(&pool), SchedulePolicy::Dynamic, &mut ws)
+            .unwrap();
+        prop_assert_eq!(fresh.as_slice(), pooled.as_slice());
+        ws.restore(pooled);
+    }
+}

@@ -47,6 +47,44 @@ enum KvProj {
     },
 }
 
+/// Where the score loop reads K/V rows from.
+///
+/// Decode used to re-materialize full-head K/V matrices for the whole
+/// visible context every step — O(seq) gemm work and three fresh
+/// allocations per layer per token. Now GQA reads rows straight from
+/// the store, and MLA decodes each position once into the store's
+/// decoded-row memo; only stores without a memo (the offloaded
+/// two-tier cache) still re-materialize.
+enum KvRows<'a> {
+    /// Rows straight from the store (GQA: cached rows are final).
+    Store(&'a dyn KvStore),
+    /// Decoded `key ‖ value` rows from the store's memo (MLA steady
+    /// state); the `usize` is the key width `n_heads * head_dim`.
+    Memo(&'a dyn KvStore, usize),
+    /// Freshly materialized matrices (MLA over a memo-less store).
+    Owned(Matrix, Matrix),
+}
+
+impl KvRows<'_> {
+    #[inline]
+    fn key(&self, pos: usize) -> &[f32] {
+        match self {
+            KvRows::Store(c) => c.k_row(pos),
+            KvRows::Memo(c, qdim) => &c.memo_row(pos)[..*qdim],
+            KvRows::Owned(keys, _) => keys.row(pos),
+        }
+    }
+
+    #[inline]
+    fn val(&self, pos: usize) -> &[f32] {
+        match self {
+            KvRows::Store(c) => c.v_row(pos),
+            KvRows::Memo(c, qdim) => &c.memo_row(pos)[*qdim..],
+            KvRows::Owned(_, values) => values.row(pos),
+        }
+    }
+}
+
 /// One attention block.
 #[derive(Debug, Clone)]
 pub struct Attention {
@@ -287,58 +325,81 @@ impl Attention {
             }
         }
 
-        // Materialize K/V for the whole visible context.
+        // K/V rows for the whole visible context. GQA rows are cached
+        // in final form; MLA reconstructs full-head K/V from cached
+        // latents (the non-absorbed path) and ropes keys at their
+        // original positions — but each position is decoded **once**,
+        // into the store's decoded-row memo, instead of the whole
+        // context being re-materialized every step. Per-position
+        // results are bitwise identical either way: every gemm output
+        // row has an independent accumulator and `k = rank` fits a
+        // single k-block, so a row decoded alone carries exactly the
+        // bits it would carry inside any batch.
         let total = cache.len();
-        let (keys, values, kv_heads_eff) = match &self.kv {
-            KvProj::Gqa { kv_heads, .. } => {
-                let kvdim = kv_heads * self.head_dim;
-                let mut keys = Matrix::zeros(total, kvdim)?;
-                let mut values = Matrix::zeros(total, kvdim)?;
-                for pos in 0..total {
-                    keys.row_mut(pos).copy_from_slice(cache.k_row(pos));
-                    values.row_mut(pos).copy_from_slice(cache.v_row(pos));
-                }
-                (keys, values, *kv_heads)
-            }
+        let (rows, kv_heads_eff) = match &self.kv {
+            KvProj::Gqa { kv_heads, .. } => (KvRows::Store(&*cache), *kv_heads),
             KvProj::Mla { wkb, wvb, rank, .. } => {
-                // Reconstruct full-head K/V from cached latents (the
-                // non-absorbed MLA path) and rope keys at their
-                // original positions.
-                let mut lat = Matrix::zeros(total, *rank)?;
-                for pos in 0..total {
-                    lat.row_mut(pos).copy_from_slice(cache.k_row(pos));
+                if cache.memo_ensure(2 * qdim) {
+                    let from = cache.memo_len();
+                    if from < total {
+                        let missing = total - from;
+                        let mut lat = Matrix::zeros(missing, *rank)?;
+                        for i in 0..missing {
+                            lat.row_mut(i).copy_from_slice(cache.k_row(from + i));
+                        }
+                        let mut dk = Matrix::zeros(missing, qdim)?;
+                        let mut dv = Matrix::zeros(missing, qdim)?;
+                        gemm_auto(&lat, wkb, &mut dk, pool)?;
+                        gemm_auto(&lat, wvb, &mut dv, pool)?;
+                        let mut row = vec![0.0f32; 2 * qdim];
+                        for i in 0..missing {
+                            rope.apply_multihead(dk.row_mut(i), from + i);
+                            row[..qdim].copy_from_slice(dk.row(i));
+                            row[qdim..].copy_from_slice(dv.row(i));
+                            cache.memo_push(&row)?;
+                        }
+                    }
+                    (KvRows::Memo(&*cache, qdim), self.n_heads)
+                } else {
+                    let mut lat = Matrix::zeros(total, *rank)?;
+                    for pos in 0..total {
+                        lat.row_mut(pos).copy_from_slice(cache.k_row(pos));
+                    }
+                    let mut keys = Matrix::zeros(total, qdim)?;
+                    let mut values = Matrix::zeros(total, qdim)?;
+                    gemm_auto(&lat, wkb, &mut keys, pool)?;
+                    gemm_auto(&lat, wvb, &mut values, pool)?;
+                    for pos in 0..total {
+                        rope.apply_multihead(keys.row_mut(pos), pos);
+                    }
+                    (KvRows::Owned(keys, values), self.n_heads)
                 }
-                let mut keys = Matrix::zeros(total, qdim)?;
-                let mut values = Matrix::zeros(total, qdim)?;
-                gemm_auto(&lat, wkb, &mut keys, pool)?;
-                gemm_auto(&lat, wvb, &mut values, pool)?;
-                for pos in 0..total {
-                    rope.apply_multihead(keys.row_mut(pos), pos);
-                }
-                (keys, values, self.n_heads)
             }
         };
 
-        // Scaled dot-product attention with causal masking.
+        // Scaled dot-product attention with causal masking. The score
+        // buffer is sized once for the longest visible prefix and
+        // sliced per token.
         let scale = 1.0 / (self.head_dim as f32).sqrt();
         let group = self.n_heads / kv_heads_eff;
         let mut ctx = Matrix::zeros(t_new, qdim)?;
+        let mut scores_buf = vec![0.0f32; total];
         for t in 0..t_new {
             let visible = start + t + 1;
             let qrow = q.row(t);
-            let mut scores = vec![0.0f32; visible];
+            let scores = &mut scores_buf[..visible];
             for h in 0..self.n_heads {
                 let kvh = h / group;
                 let qh = &qrow[h * self.head_dim..(h + 1) * self.head_dim];
-                for (pos, s) in scores.iter_mut().enumerate().take(visible) {
-                    let krow = keys.row(pos);
+                for (pos, s) in scores.iter_mut().enumerate() {
+                    let krow = rows.key(pos);
                     let kh = &krow[kvh * self.head_dim..(kvh + 1) * self.head_dim];
                     *s = qh.iter().zip(kh).map(|(a, b)| a * b).sum::<f32>() * scale;
                 }
-                softmax_inplace(&mut scores[..visible]);
+                softmax_inplace(scores);
                 let out = &mut ctx.row_mut(t)[h * self.head_dim..(h + 1) * self.head_dim];
-                for (pos, &w) in scores.iter().enumerate().take(visible) {
-                    let vrow = values.row(pos);
+                for (pos, &w) in scores.iter().enumerate() {
+                    let vrow = rows.val(pos);
                     let vh = &vrow[kvh * self.head_dim..(kvh + 1) * self.head_dim];
                     for (o, &vv) in out.iter_mut().zip(vh) {
                         *o += w * vv;
@@ -563,6 +624,55 @@ mod tests {
             assert_eq!(ya.as_slice(), yb.as_slice(), "step {t}");
         }
         assert!(tiered.evicted_bytes() > 0, "evictions must have happened");
+    }
+
+    #[test]
+    fn mla_memo_matches_full_rematerialization() {
+        // The offloaded cache keeps no decoded-row memo, so it takes
+        // the full re-materialization path; the flat cache decodes
+        // each position once into its memo. The two must agree
+        // **bitwise** — per-row decode carries exactly the bits of the
+        // batched decode (independent row accumulators, single
+        // k-block).
+        use crate::kvcache::OffloadedLayerCache;
+        let attn = mla_attn(41);
+        let (kw, vw) = attn.cache_spec();
+        let mut flat = LayerCache::new(kw, vw, 128);
+        let mut tiered = OffloadedLayerCache::new(kw, vw, 64, 128).unwrap();
+        let mut rng = seeded(42);
+        let rope = rope();
+        let prompt = Matrix::random_uniform(6, 32, 1.0, &mut rng).unwrap();
+        let a = attn.forward(&prompt, &mut flat, &rope, None).unwrap();
+        let b = attn.forward(&prompt, &mut tiered, &rope, None).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+        for t in 0..5 {
+            let one = Matrix::random_uniform(1, 32, 1.0, &mut rng).unwrap();
+            let ya = attn.forward(&one, &mut flat, &rope, None).unwrap();
+            let yb = attn.forward(&one, &mut tiered, &rope, None).unwrap();
+            assert_eq!(ya.as_slice(), yb.as_slice(), "step {t}");
+        }
+        assert!(flat.memo_bytes() > 0, "flat cache must have used its memo");
+    }
+
+    #[test]
+    fn mla_memo_rebuild_after_drop_is_bit_identical() {
+        // A cache whose memo was dropped (placement changes discard
+        // scratch) is healed in one batched decode that must produce
+        // exactly the bits the incremental per-step decode produced.
+        let attn = mla_attn(43);
+        let mut rng = seeded(44);
+        let rope = rope();
+        let x = Matrix::random_uniform(5, 32, 1.0, &mut rng).unwrap();
+        let mut c1 = cache_for(&attn);
+        attn.forward(&x, &mut c1, &rope, None).unwrap();
+        let mut c2 = c1.clone();
+        // Reconfiguring the width clears the decoded rows; the next
+        // forward rebuilds all positions in one batch.
+        c2.memo_ensure(1);
+        let step = Matrix::random_uniform(1, 32, 1.0, &mut rng).unwrap();
+        let y1 = attn.forward(&step, &mut c1, &rope, None).unwrap();
+        let y2 = attn.forward(&step, &mut c2, &rope, None).unwrap();
+        assert_eq!(y1.as_slice(), y2.as_slice());
     }
 
     #[test]

@@ -28,6 +28,43 @@ pub trait KvStore {
     fn k_row(&self, pos: usize) -> &[f32];
     /// Value row at `pos`.
     fn v_row(&self, pos: usize) -> &[f32];
+
+    /// Configures the decoded-row memo to `width` floats per position,
+    /// returning `false` when this store keeps no memo (callers must
+    /// then re-materialize decoded rows from scratch every step).
+    ///
+    /// The memo is an optional acceleration tier for attention variants
+    /// whose cached rows are not directly usable (MLA caches compressed
+    /// latents): rows that are expensive to recompute each step but
+    /// always reconstructible from the authoritative cached rows.
+    /// Implementors must drop memo rows beyond `len()` here so a stale
+    /// memo can never outlive the state it was decoded from.
+    fn memo_ensure(&mut self, width: usize) -> bool {
+        let _ = width;
+        false
+    }
+
+    /// Positions currently present in the decoded-row memo.
+    fn memo_len(&self) -> usize {
+        0
+    }
+
+    /// Appends one decoded row to the memo.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Exec`] on width mismatch, when the memo
+    /// would run ahead of the cache, or when the store keeps no memo.
+    fn memo_push(&mut self, row: &[f32]) -> Result<(), ModelError> {
+        let _ = row;
+        Err(ModelError::exec("this KV store keeps no decoded-row memo"))
+    }
+
+    /// Decoded row at `pos` (must be `< memo_len()`).
+    fn memo_row(&self, pos: usize) -> &[f32] {
+        let _ = pos;
+        &[]
+    }
 }
 
 /// The cache of one attention layer.
@@ -42,6 +79,14 @@ pub struct LayerCache {
     v_width: usize,
     len: usize,
     capacity: usize,
+    /// Decoded-row memo (see [`KvStore::memo_ensure`]): rows decoded
+    /// from the authoritative `k`/`v` state, kept so decode steps do
+    /// not re-materialize the whole context. Scratch, not cache — it
+    /// is excluded from [`LayerCache::bytes`] because it is dropped
+    /// rather than transferred on any placement change and can always
+    /// be rebuilt from the cached rows.
+    memo: Vec<f32>,
+    memo_width: usize,
 }
 
 impl LayerCache {
@@ -54,6 +99,8 @@ impl LayerCache {
             v_width,
             len: 0,
             capacity,
+            memo: Vec::new(),
+            memo_width: 0,
         }
     }
 
@@ -123,12 +170,75 @@ impl LayerCache {
     pub fn reset(&mut self) {
         self.k.clear();
         self.v.clear();
+        self.memo.clear();
         self.len = 0;
     }
 
     /// Bytes currently held (the quantity MLA compresses).
+    ///
+    /// Counts only the authoritative cached rows — the state that must
+    /// persist or transfer on placement changes. The decoded-row memo
+    /// is reconstructible scratch, reported by
+    /// [`LayerCache::memo_bytes`].
     pub fn bytes(&self) -> usize {
         (self.k.len() + self.v.len()) * std::mem::size_of::<f32>()
+    }
+
+    /// Bytes held by the decoded-row memo.
+    pub fn memo_bytes(&self) -> usize {
+        self.memo.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Configures the decoded-row memo width, dropping any rows that
+    /// outlived the cached state they were decoded from.
+    pub fn memo_ensure(&mut self, width: usize) -> bool {
+        if width == 0 {
+            return false;
+        }
+        if self.memo_width != width {
+            self.memo.clear();
+            self.memo_width = width;
+        }
+        if self.memo.len() > self.len * width {
+            self.memo.truncate(self.len * width);
+        }
+        true
+    }
+
+    /// Positions currently present in the decoded-row memo.
+    pub fn memo_len(&self) -> usize {
+        self.memo
+            .len()
+            .checked_div(self.memo_width)
+            .unwrap_or_default()
+    }
+
+    /// Appends one decoded row to the memo.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Exec`] on width mismatch or when the memo
+    /// would run ahead of the cached positions it mirrors.
+    pub fn memo_push(&mut self, row: &[f32]) -> Result<(), ModelError> {
+        if self.memo_width == 0 || row.len() != self.memo_width {
+            return Err(ModelError::exec(format!(
+                "memo row width {} does not match {}",
+                row.len(),
+                self.memo_width
+            )));
+        }
+        if self.memo_len() >= self.len {
+            return Err(ModelError::exec(
+                "decoded-row memo cannot run ahead of the cache",
+            ));
+        }
+        self.memo.extend_from_slice(row);
+        Ok(())
+    }
+
+    /// Decoded row at position `pos`.
+    pub fn memo_row(&self, pos: usize) -> &[f32] {
+        &self.memo[pos * self.memo_width..(pos + 1) * self.memo_width]
     }
 }
 
@@ -148,6 +258,22 @@ impl KvStore for LayerCache {
     fn v_row(&self, pos: usize) -> &[f32] {
         LayerCache::v_row(self, pos)
     }
+
+    fn memo_ensure(&mut self, width: usize) -> bool {
+        LayerCache::memo_ensure(self, width)
+    }
+
+    fn memo_len(&self) -> usize {
+        LayerCache::memo_len(self)
+    }
+
+    fn memo_push(&mut self, row: &[f32]) -> Result<(), ModelError> {
+        LayerCache::memo_push(self, row)
+    }
+
+    fn memo_row(&self, pos: usize) -> &[f32] {
+        LayerCache::memo_row(self, pos)
+    }
 }
 
 /// A two-tier KV cache: the most recent `window` positions stay in the
@@ -157,6 +283,10 @@ impl KvStore for LayerCache {
 ///
 /// Eviction is strictly FIFO (attention reads every position each step
 /// anyway, so recency is the only useful policy without sparsity).
+///
+/// Keeps no decoded-row memo (the [`KvStore`] default): rows migrate
+/// between tiers, so attention re-materializes decoded rows from the
+/// logical view instead.
 #[derive(Debug, Clone)]
 pub struct OffloadedLayerCache {
     /// Fast-tier rows, indexed by `pos - offloaded`.
@@ -316,9 +446,15 @@ impl KvCache {
         }
     }
 
-    /// Total cached bytes across layers.
+    /// Total cached bytes across layers (authoritative rows only).
     pub fn bytes(&self) -> usize {
         self.layers.iter().map(LayerCache::bytes).sum()
+    }
+
+    /// Total decoded-row memo bytes across layers (reconstructible
+    /// scratch, kept separate from [`KvCache::bytes`]).
+    pub fn memo_bytes(&self) -> usize {
+        self.layers.iter().map(LayerCache::memo_bytes).sum()
     }
 }
 
@@ -406,6 +542,45 @@ mod tests {
         assert!(OffloadedLayerCache::new(4, 4, 0, 8).is_err());
         assert!(OffloadedLayerCache::new(4, 4, 9, 8).is_err());
         assert!(OffloadedLayerCache::new(4, 4, 8, 8).is_ok());
+    }
+
+    #[test]
+    fn memo_tracks_cache_and_heals_on_shrink() {
+        let mut c = LayerCache::new(4, 0, 8);
+        assert!(c.memo_ensure(6));
+        // Memo cannot run ahead of the cached positions.
+        assert!(c.memo_push(&[0.0; 6]).is_err());
+        c.push(&[1.0; 4], &[]).unwrap();
+        c.push(&[2.0; 4], &[]).unwrap();
+        c.memo_push(&[0.5; 6]).unwrap();
+        c.memo_push(&[1.5; 6]).unwrap();
+        assert_eq!(c.memo_len(), 2);
+        assert_eq!(c.memo_row(1), &[1.5; 6]);
+        assert_eq!(c.memo_bytes(), 2 * 6 * 4);
+        // The memo never counts toward the authoritative cache bytes.
+        assert_eq!(c.bytes(), 2 * 4 * 4);
+        // Width mismatch is rejected...
+        assert!(c.memo_push(&[0.0; 5]).is_err());
+        // ...and reconfiguring the width drops the stale rows.
+        assert!(c.memo_ensure(10));
+        assert_eq!(c.memo_len(), 0);
+        // After a reset the memo is gone too: it may never describe
+        // positions the cache no longer holds.
+        c.memo_ensure(6);
+        c.memo_push(&[0.25; 6]).unwrap();
+        c.reset();
+        assert_eq!(c.memo_len(), 0);
+        c.push(&[3.0; 4], &[]).unwrap();
+        assert!(c.memo_ensure(6));
+        assert_eq!(c.memo_len(), 0);
+    }
+
+    #[test]
+    fn offloaded_cache_keeps_no_memo() {
+        let mut tiered = OffloadedLayerCache::new(4, 4, 2, 16).unwrap();
+        assert!(!tiered.memo_ensure(8));
+        assert_eq!(KvStore::memo_len(&tiered), 0);
+        assert!(tiered.memo_push(&[0.0; 8]).is_err());
     }
 
     #[test]

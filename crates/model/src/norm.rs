@@ -84,10 +84,22 @@ impl RmsNorm {
     /// Normalizes every row of `x`, returning a fresh matrix.
     pub fn forward(&self, x: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(x.rows(), x.cols()).expect("nonzero dims");
+        self.forward_into(x, &mut out);
+        out
+    }
+
+    /// Normalizes every row of `x` into `out` (caller-owned buffer, e.g.
+    /// a scratch-arena checkout on the decode hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` and `x` shapes disagree or the column count is
+    /// not the norm dimension.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        assert_eq!((out.rows(), out.cols()), (x.rows(), x.cols()));
         for r in 0..x.rows() {
             self.forward_row(x.row(r), out.row_mut(r));
         }
-        out
     }
 }
 

@@ -144,9 +144,12 @@ impl Server {
         handle
     }
 
-    /// Snapshot of the aggregate serving statistics.
+    /// Snapshot of the aggregate serving statistics, with the engine's
+    /// cumulative step-arena counters folded in.
     pub fn stats(&self) -> ServeStats {
-        self.inner.stats.lock().clone()
+        let mut s = self.inner.stats.lock().clone();
+        s.set_arena(&self.inner.engine.workspace_stats());
+        s
     }
 
     /// Sequences currently admitted (leased caches).
@@ -334,8 +337,11 @@ fn step(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
             // finished sequence is marked by leaving `next_input`
             // empty (it was taken when the batch was built and is
             // only refilled for survivors).
-            for (seq, l) in active.iter_mut().zip(&logits) {
+            for (seq, l) in active.iter_mut().zip(logits) {
                 let next = seq.req.sampler.sample(l.row(l.rows() - 1), &mut seq.rng);
+                // Sampled — hand the logits buffer back to the engine's
+                // step arena for the next batch.
+                inner.engine.recycle_logits(l);
                 let now = Instant::now();
                 match seq.last_token_at {
                     None => {

@@ -30,6 +30,7 @@ pub mod quant;
 pub mod rng;
 pub mod serial;
 pub mod tile;
+pub mod workspace;
 
 pub use alloc::AlignedBuf;
 pub use bf16::Bf16;
@@ -37,3 +38,4 @@ pub use error::TensorError;
 pub use matrix::Matrix;
 pub use quant::{QuantDtype, QuantizedMatrix};
 pub use tile::{PackedWeights, WeightDtype, NR};
+pub use workspace::{ArenaStats, ScratchArena};

@@ -12,11 +12,29 @@ use crate::rng;
 use rand::rngs::StdRng;
 
 /// A dense row-major `f32` matrix with cache-line-aligned storage.
-#[derive(Clone)]
+///
+/// The backing buffer may hold **more** elements than `rows * cols`:
+/// matrices recycled through a [`crate::workspace::ScratchArena`] keep
+/// their largest-ever allocation and are reshaped in place. All
+/// accessors ([`Matrix::as_slice`], rows, element getters) expose only
+/// the live `rows * cols` prefix, so excess capacity is invisible to
+/// callers.
 pub struct Matrix {
     data: AlignedBuf<f32>,
     rows: usize,
     cols: usize,
+}
+
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        // Clone only the live prefix: recycled matrices may carry spare
+        // capacity that a copy has no reason to inherit.
+        Matrix {
+            data: AlignedBuf::from_slice(self.as_slice()),
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
 }
 
 impl Matrix {
@@ -107,14 +125,49 @@ impl Matrix {
         &mut self.data[r * c..(r + 1) * c]
     }
 
-    /// The full row-major backing slice.
+    /// The live row-major slice (`rows * cols` elements).
     pub fn as_slice(&self) -> &[f32] {
-        self.data.as_slice()
+        &self.data[..self.rows * self.cols]
     }
 
-    /// The full mutable row-major backing slice.
+    /// The live mutable row-major slice (`rows * cols` elements).
     pub fn as_mut_slice(&mut self) -> &mut [f32] {
-        self.data.as_mut_slice()
+        let n = self.rows * self.cols;
+        &mut self.data[..n]
+    }
+
+    /// Total element capacity of the backing buffer. May exceed
+    /// `rows() * cols()` for matrices recycled through a scratch arena.
+    pub fn capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Reshapes in place to `rows x cols` and zeroes the live prefix.
+    ///
+    /// Grow-only: the backing buffer is reallocated only when its
+    /// capacity is insufficient; otherwise it is reused, so steady-state
+    /// callers hit no allocator traffic. Returns `true` when a fresh
+    /// allocation was required.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Shape`] when either dimension is zero.
+    pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) -> Result<bool, TensorError> {
+        if rows == 0 || cols == 0 {
+            return Err(TensorError::shape(format!(
+                "matrix dimensions must be nonzero, got {rows}x{cols}"
+            )));
+        }
+        let need = rows * cols;
+        let grew = need > self.data.len();
+        if grew {
+            self.data = AlignedBuf::zeroed(need);
+        } else {
+            self.data.as_mut_slice()[..need].fill(0.0);
+        }
+        self.rows = rows;
+        self.cols = cols;
+        Ok(grew)
     }
 
     /// Element accessor.
@@ -270,6 +323,31 @@ mod tests {
         let mut rng = seeded(3);
         let m = Matrix::random_uniform(5, 7, 1.0, &mut rng).unwrap();
         assert_eq!(m.relative_error(&m.clone()), 0.0);
+    }
+
+    #[test]
+    fn reshape_zeroed_reuses_capacity() {
+        let mut m = Matrix::from_rows(2, 4, &[1.0; 8]).unwrap();
+        // Shrinking reuses the buffer and zeroes only the live prefix.
+        assert!(!m.reshape_zeroed(1, 3).unwrap());
+        assert_eq!(m.capacity(), 8);
+        assert_eq!(m.as_slice(), &[0.0; 3]);
+        assert_eq!((m.rows(), m.cols()), (1, 3));
+        // Growing past capacity reallocates.
+        assert!(m.reshape_zeroed(3, 4).unwrap());
+        assert_eq!(m.capacity(), 12);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        assert!(m.reshape_zeroed(0, 4).is_err());
+    }
+
+    #[test]
+    fn clone_drops_excess_capacity() {
+        let mut m = Matrix::from_rows(2, 4, &[7.0; 8]).unwrap();
+        m.reshape_zeroed(1, 2).unwrap();
+        m.set(0, 1, 5.0);
+        let c = m.clone();
+        assert_eq!(c.capacity(), 2);
+        assert_eq!(c.as_slice(), &[0.0, 5.0]);
     }
 
     #[test]
