@@ -41,7 +41,14 @@ fn throughput_at(concurrency: usize) -> f64 {
         )
         .expect("engine"),
     );
-    let server = Server::start(engine, ServerConfig { max_batch: concurrency });
+    let server = Server::start(
+        engine,
+        ServerConfig {
+            max_batch: concurrency,
+            ..Default::default()
+        },
+    )
+    .expect("valid config");
     let prompts: Vec<Vec<u32>> = (0..N_REQUESTS)
         .map(|i| vec![(i as u32) % 251 + 1, 3, 5])
         .collect();

@@ -14,6 +14,8 @@ fn main() {
         "ablation_latency", "ablation_concurrency",
         "table2", "fig13",
     ];
+    // ablation_hotpath and ablation_prefill are excluded: they are
+    // timed/artifact-writing runs with their own CI smoke modes.
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
     for bin in bins {

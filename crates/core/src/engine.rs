@@ -25,7 +25,7 @@
 //!   only to single-token (decode) forwards, as in the paper.
 
 use kt_kernels::dispatch::Backend;
-use kt_kernels::gemm::gemm_auto;
+use kt_kernels::gemm::gemm_rowwise;
 use kt_kernels::moe::{ExpertWeights, FusedMoE, MoeRouting, MoeWorkspace};
 use kt_kernels::schedule::{SchedulePolicy, ThreadPool};
 use kt_model::config::ModelConfig;
@@ -147,8 +147,14 @@ struct StepState {
     /// Row span `(start, len)` of each sequence in the batch.
     seq_rows: Vec<(usize, usize)>,
     /// Whether each row belongs to a single-token (decode) sequence —
-    /// Expert Deferral applies per row, only to decode rows.
+    /// Expert Deferral applies per row, only to decode rows. A
+    /// single-token **prefill chunk** is not a decode row: deferral
+    /// must never fire mid-prompt, or the chunked prefill would drift
+    /// from the monolithic one.
     decode_row: Vec<bool>,
+    /// Per sequence (indexed like `seq_rows`): whether the head op
+    /// computes logits. Non-final prefill chunks skip the LM head.
+    need_logits: Vec<bool>,
     /// Residual stream, `tokens x hidden` (checked out of the device
     /// workspace arena each step, restored at the next embed).
     x: Matrix,
@@ -246,6 +252,7 @@ impl EngineShared {
                 tokens: Vec::new(),
                 seq_rows: Vec::new(),
                 decode_row: Vec::new(),
+                need_logits: Vec::new(),
                 x: Matrix::zeros(1, cfg.hidden)?,
                 ffn_in: vec![None; cfg.n_layers],
                 imm_out: vec![None; cfg.n_layers],
@@ -273,7 +280,10 @@ pub type FaultHook = Arc<dyn Fn(&str) -> bool + Send + Sync>;
 
 /// One sequence's slot in a batched forward
 /// ([`HybridEngine::forward_batch`]): its KV cache plus the new tokens
-/// to process this step (one token = decode row, several = prefill).
+/// to process this step. `prefill` marks the tokens as prompt
+/// positions — chunked prefill feeds a prompt across several steps, and
+/// a chunk stays a prefill row even when it holds exactly one token
+/// (Expert Deferral is decode-row-only across chunk boundaries).
 pub struct BatchSeq {
     /// The sequence's KV cache (from [`HybridEngine::fresh_cache`] or
     /// a cache pool). Moved into the engine during the step and handed
@@ -281,6 +291,50 @@ pub struct BatchSeq {
     pub cache: KvCache,
     /// New tokens to append this step.
     pub tokens: Vec<u32>,
+    /// Whether `tokens` are prompt positions. A single-token step is a
+    /// decode row only when this is `false`; multi-token steps are
+    /// prefill regardless.
+    pub prefill: bool,
+    /// Whether the step should produce logits for this sequence.
+    /// Non-final prefill chunks set this to `false` — nothing samples
+    /// mid-prompt, so the per-position LM-head GEMM is skipped and
+    /// [`HybridEngine::forward_batch`] returns `None` in this
+    /// sequence's slot.
+    pub need_logits: bool,
+}
+
+impl BatchSeq {
+    /// A decode row: one sampled token, deferral-eligible, logits
+    /// returned.
+    pub fn decode(cache: KvCache, token: u32) -> Self {
+        BatchSeq {
+            cache,
+            tokens: vec![token],
+            prefill: false,
+            need_logits: true,
+        }
+    }
+
+    /// A whole prompt — or the final chunk of one: prefill rows, with
+    /// logits returned for every new position.
+    pub fn prefill(cache: KvCache, tokens: Vec<u32>) -> Self {
+        BatchSeq {
+            cache,
+            tokens,
+            prefill: true,
+            need_logits: true,
+        }
+    }
+
+    /// A non-final prompt chunk: prefill rows, no logits produced.
+    pub fn prefill_chunk(cache: KvCache, tokens: Vec<u32>) -> Self {
+        BatchSeq {
+            cache,
+            tokens,
+            prefill: true,
+            need_logits: false,
+        }
+    }
 }
 
 /// The hybrid engine.
@@ -1184,13 +1238,20 @@ impl HybridEngine {
                             .map_err(|e| e.to_string())?;
                         final_norm.forward_into(&st.x, &mut normed);
                         let cols = normed.cols();
-                        // The head GEMM runs per sequence: `gemm_auto`
-                        // dispatches by row count, so a whole-batch call
-                        // would pick a different kernel than sequential
-                        // decoding and drift within kernel tolerance.
+                        // The head GEMM runs per sequence through the
+                        // row-stable kernel: every position's logits
+                        // row is a function of its residual row only,
+                        // so sequential decode, batched decode, and any
+                        // chunking of a prefill all produce the same
+                        // bits. Sequences that don't sample this step
+                        // (non-final prefill chunks) skip the head GEMM
+                        // entirely.
                         let mut out_seqs = Vec::with_capacity(st.seq_rows.len());
                         let mut result = Ok(());
-                        for &(start, len) in &st.seq_rows {
+                        for (s, &(start, len)) in st.seq_rows.iter().enumerate() {
+                            if !st.need_logits.get(s).copied().unwrap_or(true) {
+                                continue;
+                            }
                             let r = (|| -> Result<Matrix, String> {
                                 let mut sub = ws
                                     .arena
@@ -1204,7 +1265,7 @@ impl HybridEngine {
                                     .arena
                                     .checkout(len, vocab)
                                     .map_err(|e| e.to_string())?;
-                                let r = gemm_auto(
+                                let r = gemm_rowwise(
                                     &sub,
                                     &lm_head,
                                     &mut out,
@@ -1264,6 +1325,7 @@ impl HybridEngine {
             st.tokens = tokens.to_vec();
             st.seq_rows = vec![(0, tokens.len())];
             st.decode_row = vec![decode; tokens.len()];
+            st.need_logits = vec![true];
         }
         let mut per_seq = self.run_step(decode)?;
         per_seq
@@ -1274,10 +1336,16 @@ impl HybridEngine {
     /// Runs one continuously-batched forward: every sequence's new
     /// tokens are appended to its own KV cache and processed in a
     /// single step — attention per sequence, expert FFNs across the
-    /// whole batch. Single-token sequences are decode rows (Expert
-    /// Deferral applies per row); multi-token sequences prefill. The
-    /// returned logits are split per sequence, one matrix each with
-    /// one row per new token.
+    /// whole batch. Single-token non-prefill sequences are decode rows
+    /// (Expert Deferral applies per row); prefill sequences append
+    /// prompt positions — a whole prompt, or one chunk of it per step
+    /// (see [`BatchSeq::prefill_chunk`]). Chunking is invariant: any
+    /// split of a prompt into chunks produces bitwise-identical KV
+    /// state and logits to a monolithic prefill.
+    ///
+    /// The returned logits are split per sequence, one matrix each with
+    /// one row per new token — `None` for sequences that declined
+    /// logits (non-final prefill chunks).
     ///
     /// Caches are moved into the engine for the step and handed back
     /// before returning — including on error, but a failed step may
@@ -1288,7 +1356,10 @@ impl HybridEngine {
     ///
     /// Returns [`EngineError::Exec`] on an empty batch, invalid
     /// tokens, or any failure raised by device/worker ops.
-    pub fn forward_batch(&self, seqs: &mut [BatchSeq]) -> Result<Vec<Matrix>, EngineError> {
+    pub fn forward_batch(
+        &self,
+        seqs: &mut [BatchSeq],
+    ) -> Result<Vec<Option<Matrix>>, EngineError> {
         if seqs.is_empty() {
             return Err(EngineError::exec("forward_batch requires at least one sequence"));
         }
@@ -1299,10 +1370,11 @@ impl HybridEngine {
         let mut seq_rows = Vec::with_capacity(seqs.len());
         let mut decode_row = Vec::new();
         let mut tokens = Vec::new();
+        let need: Vec<bool> = seqs.iter().map(|s| s.need_logits).collect();
         for s in seqs.iter() {
             seq_rows.push((tokens.len(), s.tokens.len()));
-            decode_row
-                .extend(std::iter::repeat_n(s.tokens.len() == 1, s.tokens.len()));
+            let is_decode = !s.prefill && s.tokens.len() == 1;
+            decode_row.extend(std::iter::repeat_n(is_decode, s.tokens.len()));
             tokens.extend_from_slice(&s.tokens);
         }
         let all_decode = decode_row.iter().all(|&d| d);
@@ -1314,6 +1386,7 @@ impl HybridEngine {
             st.tokens = tokens;
             st.seq_rows = seq_rows;
             st.decode_row = decode_row;
+            st.need_logits = need.clone();
             let incoming: Vec<KvCache> = seqs
                 .iter_mut()
                 .map(|s| std::mem::replace(&mut s.cache, KvCache::new(&[], 0)))
@@ -1330,9 +1403,12 @@ impl HybridEngine {
                 slot.cache = cache;
             }
         }
-        // The head op already produced one logits matrix per sequence —
-        // no split copy needed.
-        result
+        // The head op produced one logits matrix per logits-requesting
+        // sequence, in batch order; re-align with the skipped slots.
+        result.map(|dense| {
+            let mut it = dense.into_iter();
+            need.iter().map(|&n| if n { it.next() } else { None }).collect()
+        })
     }
 
     fn validate_tokens(&self, tokens: &[u32]) -> Result<(), EngineError> {
@@ -1835,29 +1911,30 @@ mod tests {
         e.reset();
         let mut seqs: Vec<BatchSeq> = prompts
             .iter()
-            .map(|p| BatchSeq {
-                cache: e.fresh_cache(),
-                tokens: p.to_vec(),
-            })
+            .map(|p| BatchSeq::prefill(e.fresh_cache(), p.to_vec()))
             .collect();
         // Batched prefill (mixed lengths), then batched decode steps.
         let logits = e.forward_batch(&mut seqs).unwrap();
         let mut next: Vec<u32> = logits
             .iter()
-            .map(|l| kt_model::model::argmax(l.row(l.rows() - 1)))
+            .map(|l| {
+                let l = l.as_ref().expect("prefill returns logits");
+                kt_model::model::argmax(l.row(l.rows() - 1))
+            })
             .collect();
         let mut outputs: Vec<Vec<u32>> = vec![Vec::new(); prompts.len()];
         for step in 0..5 {
             for (s, seq) in seqs.iter_mut().enumerate() {
                 outputs[s].push(next[s]);
                 seq.tokens = vec![next[s]];
+                seq.prefill = false;
             }
             if step + 1 == 5 {
                 break;
             }
             let logits = e.forward_batch(&mut seqs).unwrap();
             for (s, l) in logits.iter().enumerate() {
-                next[s] = kt_model::model::argmax(l.row(0));
+                next[s] = kt_model::model::argmax(l.as_ref().unwrap().row(0));
             }
         }
         for s in 0..prompts.len() {
@@ -1866,13 +1943,92 @@ mod tests {
     }
 
     #[test]
+    fn chunked_prefill_is_bitwise_identical_to_monolithic() {
+        // Deferral ON: the 1-token chunks exercise the decode-row /
+        // prefill-chunk distinction — a chunk of one token must NOT
+        // defer experts, or its logits would drift from the monolithic
+        // prefill's. One kernel class pins the expert GEMMs (attention
+        // and the head are row-stable by construction); see the serve
+        // equivalence tests for the same convention.
+        let cfg = ModelPreset::DeepSeekV3.tiny_config();
+        let e = HybridEngine::random(
+            &cfg,
+            EngineConfig {
+                n_cpu_workers: 2,
+                mode: SchedMode::Sync,
+                n_deferred: 2,
+                backend: Backend::TiledOnly,
+                seed: 61,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let prompt: Vec<u32> = (0..13).map(|i| (i * 7 + 1) % 250).collect();
+
+        // Monolithic reference on the engine-owned cache: per-position
+        // logits plus one greedy decode step.
+        e.reset();
+        let mono = e.forward(&prompt).unwrap();
+        let next = kt_model::model::argmax(mono.row(mono.rows() - 1));
+        let mono_next = {
+            let l = e.forward(&[next]).unwrap();
+            kt_model::model::argmax(l.row(0))
+        };
+
+        // Chunk splits that include 1-token mid and final chunks.
+        for splits in [vec![4, 4, 4, 1], vec![1, 11, 1], vec![13], vec![6, 7]] {
+            assert_eq!(splits.iter().sum::<usize>(), prompt.len());
+            let mut batch = vec![BatchSeq::prefill(e.fresh_cache(), Vec::new())];
+            let mut row = 0;
+            let mut off = 0;
+            for &n in &splits {
+                batch[0].tokens = prompt[off..off + n].to_vec();
+                off += n;
+                let logits = e.forward_batch(&mut batch).unwrap();
+                // Concatenated per-chunk logits == monolithic logits,
+                // bit for bit, at every prompt position.
+                let l = logits[0].as_ref().expect("logits requested");
+                for r in 0..l.rows() {
+                    assert_eq!(
+                        l.row(r),
+                        mono.row(row),
+                        "splits {splits:?}, position {row}"
+                    );
+                    row += 1;
+                }
+            }
+            assert_eq!(row, prompt.len());
+            // The chunk-built cache decodes exactly like the
+            // monolithic one: greedy continuations agree.
+            batch[0].tokens = vec![next];
+            batch[0].prefill = false;
+            let l = e.forward_batch(&mut batch).unwrap();
+            let chunk_next =
+                kt_model::model::argmax(l[0].as_ref().unwrap().row(0));
+            assert_eq!(chunk_next, mono_next, "splits {splits:?} decode");
+        }
+    }
+
+    #[test]
+    fn mid_prefill_chunks_skip_logits() {
+        let e = engine(SchedMode::Sync, 0, 67);
+        let mut batch = vec![
+            BatchSeq::prefill_chunk(e.fresh_cache(), vec![1, 2, 3]),
+            BatchSeq::decode(e.fresh_cache(), 4),
+        ];
+        let logits = e.forward_batch(&mut batch).unwrap();
+        assert!(logits[0].is_none(), "mid-chunk produces no logits");
+        let l = logits[1].as_ref().expect("decode row produces logits");
+        assert_eq!(l.rows(), 1);
+        // The chunk still advanced its KV cache.
+        assert_eq!(batch[0].cache.seq_len(), 3);
+    }
+
+    #[test]
     fn forward_batch_rejects_bad_input() {
         let e = engine(SchedMode::Sync, 0, 5);
         assert!(e.forward_batch(&mut []).is_err());
-        let mut seqs = vec![BatchSeq {
-            cache: e.fresh_cache(),
-            tokens: vec![],
-        }];
+        let mut seqs = vec![BatchSeq::prefill(e.fresh_cache(), vec![])];
         assert!(e.forward_batch(&mut seqs).is_err());
         seqs[0].tokens = vec![70_000];
         assert!(e.forward_batch(&mut seqs).is_err());
@@ -1896,14 +2052,8 @@ mod tests {
         let e = engine(SchedMode::Sync, 0, 7);
         e.set_fault_injector(|path| path.contains("layers.2"));
         let mut seqs = vec![
-            BatchSeq {
-                cache: e.fresh_cache(),
-                tokens: vec![1, 2],
-            },
-            BatchSeq {
-                cache: e.fresh_cache(),
-                tokens: vec![3],
-            },
+            BatchSeq::prefill(e.fresh_cache(), vec![1, 2]),
+            BatchSeq::decode(e.fresh_cache(), 3),
         ];
         assert!(e.forward_batch(&mut seqs).is_err());
         e.clear_fault_injector();

@@ -34,5 +34,5 @@ pub use engine::{BatchSeq, EngineConfig, FaultHook, HybridEngine, SchedMode, Uti
 pub use error::EngineError;
 pub use placement::{DeviceKind, PlacementPlan};
 pub use kt_tensor::ArenaStats;
-pub use profiling::{ExpertProfile, RequestMetrics, ServeStats};
+pub use profiling::{percentile_ns, ExpertProfile, RequestMetrics, ServeStats};
 pub use vgpu::{GraphHandle, LaunchStats, StreamId, VgpuConfig, VirtualGpu};

@@ -77,6 +77,11 @@ pub struct ServeStats {
     pub queue_depth_sum: u64,
     /// Deepest admission queue observed.
     pub peak_queue_depth: u64,
+    /// Prefill chunks executed (a monolithic prefill counts as one
+    /// chunk; a prompt split across steps counts once per step).
+    pub prefill_chunks: u64,
+    /// Prompt tokens fed through prefill chunks.
+    pub prefill_tokens: u64,
     /// Scratch-arena bytes requested by step-workspace checkouts
     /// (engine hot path; see `HybridEngine::workspace_stats`).
     pub arena_bytes_requested: u64,
@@ -125,6 +130,20 @@ impl ServeStats {
         self.arena_allocations = s.allocations;
         self.arena_high_water_bytes = s.high_water_bytes;
     }
+}
+
+/// Percentile of a latency sample set by the nearest-rank method
+/// (p in [0, 100]; p=50 is the median, p=100 the maximum). Returns
+/// `None` on an empty sample. Sorts a copy, so callers can pass raw
+/// per-request samples straight from [`RequestMetrics`].
+pub fn percentile_ns(samples: &[u64], p: f64) -> Option<u64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
 }
 
 /// Per-layer expert activation counts.
@@ -315,6 +334,20 @@ mod tests {
         assert!((s.mean_occupancy() - 2.5).abs() < 1e-12);
         assert!((s.mean_queue_depth() - 0.5).abs() < 1e-12);
         assert_eq!(s.resolved(), 3);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile_ns(&[], 50.0), None);
+        assert_eq!(percentile_ns(&[7], 50.0), Some(7));
+        let s = [50, 10, 40, 20, 30];
+        assert_eq!(percentile_ns(&s, 0.0), Some(10));
+        assert_eq!(percentile_ns(&s, 50.0), Some(30));
+        assert_eq!(percentile_ns(&s, 90.0), Some(50));
+        assert_eq!(percentile_ns(&s, 100.0), Some(50));
+        // p99 over 200 samples picks the 198th order statistic.
+        let big: Vec<u64> = (1..=200).collect();
+        assert_eq!(percentile_ns(&big, 99.0), Some(198));
     }
 
     #[test]

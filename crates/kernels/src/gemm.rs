@@ -394,6 +394,39 @@ pub fn gemm_auto(
     }
 }
 
+/// Row-stable GEMM: every output row is computed by the vector kernel
+/// regardless of how many rows the batch holds, so row `i` of `out` is
+/// a function of row `i` of `a` **only** — bit-for-bit independent of
+/// the batch composition, for every dtype and every `k`.
+///
+/// `gemm_auto` cannot promise this in general: its gemv/tiled dispatch
+/// flips at the arithmetic-intensity crossover, and the two kernel
+/// classes only agree bitwise for f32 weights whose `k` fits a single
+/// tiled k-block. Position-dependent computations that must be
+/// invariant under re-chunking (attention projections, the LM head —
+/// the chunked-prefill contract) use this entry point; throughput-bound
+/// batch work (expert FFNs) keeps the hybrid dispatch.
+///
+/// # Errors
+///
+/// Returns [`KernelError::Shape`] on the same mismatches as
+/// [`gemm_auto`].
+pub fn gemm_rowwise(
+    a: &Matrix,
+    w: &PackedWeights,
+    out: &mut Matrix,
+    pool: Option<&ThreadPool>,
+) -> Result<(), KernelError> {
+    check_shapes(a, w, out)?;
+    let out_cols = out.cols();
+    for i in 0..a.rows() {
+        // Borrow-splitting: rows of `out` are disjoint.
+        let row = &mut out.as_mut_slice()[i * out_cols..(i + 1) * out_cols];
+        gemv_vector(a.row(i), w, row, pool)?;
+    }
+    Ok(())
+}
+
 fn check_shapes(a: &Matrix, w: &PackedWeights, out: &Matrix) -> Result<(), KernelError> {
     if a.cols() != w.k() {
         return Err(KernelError::shape(format!(
@@ -508,6 +541,49 @@ mod tests {
         gemv_vector(a.row(0), &w, &mut ys, None).unwrap();
         gemv_vector(a.row(0), &w, &mut yp, Some(&pool)).unwrap();
         assert_eq!(ys, yp);
+    }
+
+    #[test]
+    fn rowwise_is_batch_invariant_bitwise() {
+        // The whole point of `gemm_rowwise`: row i of a 13-row batch
+        // carries exactly the bits of the same row computed alone, for
+        // every dtype — including the multi-k-block and quantized cases
+        // where gemv and tiled kernels legitimately disagree.
+        let mut rng = seeded(11);
+        let m = 13;
+        let n = 48;
+        let k = 2 * KC + 64;
+        let a = Matrix::random_uniform(m, k, 1.0, &mut rng).unwrap();
+        let wmat = Matrix::random_uniform(n, k, 1.0, &mut rng).unwrap();
+        for (dt, _) in dtypes() {
+            let w = PackedWeights::pack(&wmat, dt).unwrap();
+            let mut batch = Matrix::zeros(m, n).unwrap();
+            gemm_rowwise(&a, &w, &mut batch, None).unwrap();
+            // Against each row alone, and against direct gemv.
+            for i in 0..m {
+                let one = Matrix::from_rows(1, k, a.row(i)).unwrap();
+                let mut alone = Matrix::zeros(1, n).unwrap();
+                gemm_rowwise(&one, &w, &mut alone, None).unwrap();
+                assert_eq!(batch.row(i), alone.row(0), "{dt:?} row {i}");
+                let mut y = vec![0.0f32; n];
+                gemv_vector(a.row(i), &w, &mut y, None).unwrap();
+                assert_eq!(batch.row(i), &y[..], "{dt:?} row {i} vs gemv");
+            }
+        }
+    }
+
+    #[test]
+    fn rowwise_matches_reference() {
+        let mut rng = seeded(12);
+        let a = Matrix::random_uniform(6, 96, 1.0, &mut rng).unwrap();
+        let wmat = Matrix::random_uniform(33, 96, 1.0, &mut rng).unwrap();
+        let w = PackedWeights::pack(&wmat, WeightDtype::F32).unwrap();
+        let expect = a.matmul_wt(&w.unpack()).unwrap();
+        let mut out = Matrix::zeros(6, 33).unwrap();
+        gemm_rowwise(&a, &w, &mut out, None).unwrap();
+        let err = expect.relative_error(&out);
+        assert!(err < 1e-4, "err={err}");
+        assert!(gemm_rowwise(&a, &w, &mut Matrix::zeros(7, 33).unwrap(), None).is_err());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //!   cache by `2 * n_heads * head_dim / rank`.
 
 use kt_kernels::act::softmax_inplace;
-use kt_kernels::gemm::gemm_auto;
+use kt_kernels::gemm::gemm_rowwise;
 use kt_kernels::schedule::ThreadPool;
 use kt_tensor::{Matrix, PackedWeights, WeightDtype};
 use rand::rngs::StdRng;
@@ -298,7 +298,7 @@ impl Attention {
 
         // Project queries for all new tokens and rope them.
         let mut q = Matrix::zeros(t_new, qdim)?;
-        gemm_auto(x, &self.wq, &mut q, pool)?;
+        gemm_rowwise(x, &self.wq, &mut q, pool)?;
         for t in 0..t_new {
             rope.apply_multihead(q.row_mut(t), start + t);
         }
@@ -309,8 +309,8 @@ impl Attention {
                 let kvdim = kv_heads * self.head_dim;
                 let mut k = Matrix::zeros(t_new, kvdim)?;
                 let mut v = Matrix::zeros(t_new, kvdim)?;
-                gemm_auto(x, wk, &mut k, pool)?;
-                gemm_auto(x, wv, &mut v, pool)?;
+                gemm_rowwise(x, wk, &mut k, pool)?;
+                gemm_rowwise(x, wv, &mut v, pool)?;
                 for t in 0..t_new {
                     rope.apply_multihead(k.row_mut(t), start + t);
                     cache.push(k.row(t), v.row(t))?;
@@ -318,7 +318,7 @@ impl Attention {
             }
             KvProj::Mla { wa, rank, .. } => {
                 let mut c = Matrix::zeros(t_new, *rank)?;
-                gemm_auto(x, wa, &mut c, pool)?;
+                gemm_rowwise(x, wa, &mut c, pool)?;
                 for t in 0..t_new {
                     cache.push(c.row(t), &[])?;
                 }
@@ -331,10 +331,12 @@ impl Attention {
         // original positions — but each position is decoded **once**,
         // into the store's decoded-row memo, instead of the whole
         // context being re-materialized every step. Per-position
-        // results are bitwise identical either way: every gemm output
-        // row has an independent accumulator and `k = rank` fits a
-        // single k-block, so a row decoded alone carries exactly the
-        // bits it would carry inside any batch.
+        // results are bitwise identical either way: every projection
+        // here goes through `gemm_rowwise`, so a row decoded alone
+        // carries exactly the bits it would carry inside any batch —
+        // the invariant that makes chunked prefill (any split of the
+        // prompt into per-step chunks) bit-identical to a monolithic
+        // prefill.
         let total = cache.len();
         let (rows, kv_heads_eff) = match &self.kv {
             KvProj::Gqa { kv_heads, .. } => (KvRows::Store(&*cache), *kv_heads),
@@ -349,8 +351,8 @@ impl Attention {
                         }
                         let mut dk = Matrix::zeros(missing, qdim)?;
                         let mut dv = Matrix::zeros(missing, qdim)?;
-                        gemm_auto(&lat, wkb, &mut dk, pool)?;
-                        gemm_auto(&lat, wvb, &mut dv, pool)?;
+                        gemm_rowwise(&lat, wkb, &mut dk, pool)?;
+                        gemm_rowwise(&lat, wvb, &mut dv, pool)?;
                         let mut row = vec![0.0f32; 2 * qdim];
                         for i in 0..missing {
                             rope.apply_multihead(dk.row_mut(i), from + i);
@@ -367,8 +369,8 @@ impl Attention {
                     }
                     let mut keys = Matrix::zeros(total, qdim)?;
                     let mut values = Matrix::zeros(total, qdim)?;
-                    gemm_auto(&lat, wkb, &mut keys, pool)?;
-                    gemm_auto(&lat, wvb, &mut values, pool)?;
+                    gemm_rowwise(&lat, wkb, &mut keys, pool)?;
+                    gemm_rowwise(&lat, wvb, &mut values, pool)?;
                     for pos in 0..total {
                         rope.apply_multihead(keys.row_mut(pos), pos);
                     }
@@ -410,7 +412,7 @@ impl Attention {
 
         // Output projection.
         let mut out = Matrix::zeros(t_new, self.hidden)?;
-        gemm_auto(&ctx, &self.wo, &mut out, pool)?;
+        gemm_rowwise(&ctx, &self.wo, &mut out, pool)?;
         Ok(out)
     }
 

@@ -21,7 +21,7 @@
 //! and modeled in `kt-hwsim`.
 
 use kt_kernels::dispatch::Backend;
-use kt_kernels::gemm::gemm_auto;
+use kt_kernels::gemm::gemm_rowwise;
 use kt_kernels::moe::{ExpertWeights, FusedMoE, MoeRouting};
 use kt_kernels::schedule::{SchedulePolicy, ThreadPool};
 use kt_tensor::{Matrix, PackedWeights, WeightDtype};
@@ -357,7 +357,7 @@ impl MoeModel {
         // Final norm + LM head.
         let normed = self.final_norm.forward(&x);
         let mut logits = Matrix::zeros(t_new, self.cfg.vocab)?;
-        gemm_auto(&normed, &self.lm_head, &mut logits, pool)?;
+        gemm_rowwise(&normed, &self.lm_head, &mut logits, pool)?;
         Ok(logits)
     }
 

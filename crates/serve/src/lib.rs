@@ -11,16 +11,24 @@
 //!   a request is admitted only when a per-sequence KV cache can be
 //!   leased, bounding resident KV memory.
 //! * Each step drives every active sequence through
-//!   [`kt_core::HybridEngine::forward_batch`] — a freshly admitted
-//!   sequence prefills its whole prompt in the same batched forward
-//!   that decodes one token for every established sequence. Expert
-//!   Deferral stays correct per sequence: the engine defers only
-//!   decode rows.
+//!   [`kt_core::HybridEngine::forward_batch`], composed under a token
+//!   budget: every established sequence decodes one token, and pending
+//!   prompts prefill in chunks of at most
+//!   [`ServerConfig::prefill_chunk`] tokens, as many as fit in
+//!   [`ServerConfig::step_token_budget`]. A long prompt no longer
+//!   stalls everyone else's inter-token latency — it streams through
+//!   several steps while decode rows keep flowing (decode rows are
+//!   always admitted first). Expert Deferral stays correct per
+//!   sequence: the engine defers only decode rows, never a prefill
+//!   chunk, even a 1-token final chunk.
 //! * Scheduling is pure orchestration: a request's tokens are
 //!   bit-identical to running [`kt_core::HybridEngine::generate`]
-//!   alone (pin a single kernel class — e.g. `Backend::TiledOnly` —
-//!   to keep expert GEMMs batch-size-invariant; the default hybrid
-//!   dispatch is only tolerance-level equal).
+//!   alone, for *any* chunking — position-dependent projections use a
+//!   row-stable GEMM, so a chunked prefill writes exactly the bits a
+//!   monolithic prefill would (pin a single kernel class — e.g.
+//!   `Backend::TiledOnly` — to keep expert GEMMs
+//!   batch-size-invariant; the default hybrid dispatch is only
+//!   tolerance-level equal).
 //! * Per-request latency lands in [`kt_core::RequestMetrics`] (queue
 //!   wait, TTFT, inter-token gaps) and aggregate behavior in
 //!   [`kt_core::ServeStats`] (outcome counts, queue depth, batch
@@ -36,7 +44,14 @@
 //! let engine = Arc::new(
 //!     HybridEngine::random(&cfg, EngineConfig::default()).unwrap(),
 //! );
-//! let server = Server::start(engine, ServerConfig { max_batch: 4 });
+//! let server = Server::start(
+//!     engine,
+//!     ServerConfig {
+//!         max_batch: 4,
+//!         ..Default::default()
+//!     },
+//! )
+//! .unwrap();
 //! let handle = server.submit(Request::greedy(&[1, 2, 3], 8));
 //! let result = handle.wait();
 //! assert!(result.is_completed());
@@ -57,6 +72,13 @@ mod tests {
     use kt_model::ModelPreset;
     use std::sync::Arc;
     use std::time::Duration;
+
+    fn cfg(max_batch: usize) -> ServerConfig {
+        ServerConfig {
+            max_batch,
+            ..Default::default()
+        }
+    }
 
     fn engine(seed: u64) -> Arc<HybridEngine> {
         let cfg = ModelPreset::DeepSeekV3.tiny_config();
@@ -80,7 +102,7 @@ mod tests {
 
     #[test]
     fn single_request_completes() {
-        let server = Server::start(engine(1), ServerConfig { max_batch: 2 });
+        let server = Server::start(engine(1), cfg(2)).unwrap();
         let result = server.submit(Request::greedy(&[1, 2, 3], 6)).wait();
         assert!(result.is_completed(), "{:?}", result.outcome);
         assert_eq!(result.tokens.len(), 6);
@@ -94,7 +116,7 @@ mod tests {
 
     #[test]
     fn invalid_requests_fail_fast() {
-        let server = Server::start(engine(2), ServerConfig::default());
+        let server = Server::start(engine(2), ServerConfig::default()).unwrap();
         let empty = server.submit(Request::greedy(&[], 4)).wait();
         assert!(matches!(empty.outcome, RequestOutcome::Failed { .. }));
         let oov = server.submit(Request::greedy(&[70_000], 4)).wait();
@@ -109,7 +131,7 @@ mod tests {
 
     #[test]
     fn stop_token_ends_generation_early() {
-        let server = Server::start(engine(3), ServerConfig::default());
+        let server = Server::start(engine(3), ServerConfig::default()).unwrap();
         // Learn what greedy emits first, then replay with it as stop.
         let probe = server.submit(Request::greedy(&[4, 5], 3)).wait();
         let stop = probe.tokens[0];
@@ -123,7 +145,7 @@ mod tests {
 
     #[test]
     fn cancellation_resolves_queued_and_active() {
-        let server = Server::start(engine(4), ServerConfig { max_batch: 1 });
+        let server = Server::start(engine(4), cfg(1)).unwrap();
         // Keep the batch busy so a second request must queue.
         let busy = server.submit(Request::greedy(&[1, 2, 3], 64));
         let queued = server.submit(Request::greedy(&[6, 7], 64));
@@ -139,7 +161,7 @@ mod tests {
 
     #[test]
     fn shutdown_resolves_everything() {
-        let server = Server::start(engine(5), ServerConfig { max_batch: 1 });
+        let server = Server::start(engine(5), cfg(1)).unwrap();
         let a = server.submit(Request::greedy(&[1, 2], 50));
         let handles: Vec<_> = (0..4)
             .map(|i| server.submit(Request::greedy(&[i + 1], 50)))
@@ -154,8 +176,137 @@ mod tests {
     }
 
     #[test]
+    fn invalid_config_is_rejected_at_start() {
+        for (bad, field) in [
+            (
+                ServerConfig {
+                    max_batch: 0,
+                    ..Default::default()
+                },
+                "max_batch",
+            ),
+            (
+                ServerConfig {
+                    prefill_chunk: 0,
+                    ..Default::default()
+                },
+                "prefill_chunk",
+            ),
+            (
+                ServerConfig {
+                    prefill_chunk: 64,
+                    step_token_budget: 63,
+                    ..Default::default()
+                },
+                "step_token_budget",
+            ),
+        ] {
+            let err = Server::start(engine(7), bad).expect_err("config must be rejected");
+            assert!(
+                err.to_string().contains(field),
+                "error should name the offending field: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_prefill_serves_identical_tokens_to_monolithic() {
+        let prompt: Vec<u32> = (0..23).map(|i| (i * 11 + 2) % 250).collect();
+        // Monolithic: the whole prompt fits one chunk.
+        let mono_server = Server::start(
+            engine(8),
+            ServerConfig {
+                max_batch: 2,
+                prefill_chunk: 512,
+                step_token_budget: 512,
+            },
+        )
+        .unwrap();
+        let mono = mono_server.submit(Request::greedy(&prompt, 8)).wait();
+        assert!(mono.is_completed());
+        assert_eq!(mono_server.stats().prefill_chunks, 1);
+        mono_server.shutdown();
+
+        // Chunked: 23 tokens in chunks of 5 → 5 chunks over 5 steps.
+        let server = Server::start(
+            engine(8),
+            ServerConfig {
+                max_batch: 2,
+                prefill_chunk: 5,
+                step_token_budget: 8,
+            },
+        )
+        .unwrap();
+        let chunked = server.submit(Request::greedy(&prompt, 8)).wait();
+        assert!(chunked.is_completed());
+        assert_eq!(chunked.tokens, mono.tokens, "chunking must not change output");
+        let stats = server.stats();
+        assert_eq!(stats.prefill_chunks, 5);
+        assert_eq!(stats.prefill_tokens, prompt.len() as u64);
+        server.shutdown();
+    }
+
+    #[test]
+    fn cancel_between_prefill_chunks_releases_the_lease() {
+        // Slow launches + 1-token chunks stretch a 400-token prompt's
+        // prefill across hundreds of steps, leaving a wide window to
+        // cancel mid-prefill.
+        let cfg_model = ModelPreset::DeepSeekV3.tiny_config();
+        let engine = Arc::new(
+            HybridEngine::random(
+                &cfg_model,
+                EngineConfig {
+                    n_cpu_workers: 2,
+                    mode: SchedMode::AsyncGraph,
+                    vgpu: kt_core::VgpuConfig {
+                        launch_latency: Duration::from_micros(200),
+                        ..Default::default()
+                    },
+                    seed: 9,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        let server = Server::start(
+            engine,
+            ServerConfig {
+                max_batch: 1,
+                prefill_chunk: 1,
+                step_token_budget: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(server.active(), 0, "lease baseline");
+        let prompt: Vec<u32> = (0..400).map(|i| (i % 250) as u32).collect();
+        let handle = server.submit(Request::greedy(&prompt, 16));
+        // Wait until prefill has demonstrably started but not finished.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            let done = server.stats().prefill_tokens;
+            if done > 0 {
+                assert!((done as usize) < prompt.len(), "prefill outran the test");
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "prefill never started");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        handle.cancel();
+        let result = handle.wait_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(result.outcome, RequestOutcome::Cancelled);
+        assert!(
+            result.tokens.is_empty(),
+            "cancelled mid-prefill, before the first sample"
+        );
+        // The KV lease went back to the pool at the step boundary.
+        assert_eq!(server.active(), 0, "lease count back to baseline");
+        assert_eq!(server.stats().cancelled, 1);
+        server.shutdown();
+    }
+
+    #[test]
     fn concurrent_requests_all_complete_and_are_deterministic() {
-        let server = Server::start(engine(6), ServerConfig { max_batch: 4 });
+        let server = Server::start(engine(6), cfg(4)).unwrap();
         let prompts: Vec<Vec<u32>> = (0..6).map(|i| vec![i + 1, 2 * i + 3]).collect();
         let handles: Vec<_> = prompts
             .iter()

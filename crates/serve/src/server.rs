@@ -1,21 +1,32 @@
-//! The continuous-batching scheduler.
+//! The continuous-batching scheduler with chunked prefill.
 //!
 //! One scheduler thread owns the engine for the server's lifetime and
 //! runs the serving loop: between engine steps it joins newly arrived
 //! requests into the batch (admission-controlled by the KV-cache pool)
-//! and retires finished or cancelled sequences; each step then runs
-//! every active sequence through [`HybridEngine::forward_batch`] —
-//! freshly admitted sequences prefill their prompts while established
-//! ones decode, in the same batched forward.
+//! and retires finished or cancelled sequences.
+//!
+//! Each step is composed under a **token budget** instead of running
+//! every admitted prompt whole: all active decode rows join first (one
+//! token each), then pending prompts contribute at most one chunk of at
+//! most [`ServerConfig::prefill_chunk`] tokens apiece, in admission
+//! order, while the step's total stays within
+//! [`ServerConfig::step_token_budget`]. A long prompt therefore
+//! prefills across several steps while established sequences keep
+//! decoding in the same batched forwards — decode inter-token latency
+//! is bounded by the budget, not by the longest queued prompt. Chunked
+//! prefill is bitwise identical to monolithic prefill (the engine's
+//! position-dependent math is row-stable), so scheduling stays pure
+//! orchestration.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use kt_core::{BatchSeq, HybridEngine, RequestMetrics, ServeStats};
+use kt_core::{BatchSeq, EngineError, HybridEngine, RequestMetrics, ServeStats};
 use kt_model::kvcache::KvCache;
 use kt_model::pool::{CacheLease, KvCachePool};
+use kt_tensor::Matrix;
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,13 +37,26 @@ use crate::request::{Request, RequestHandle, RequestOutcome, RequestResult, Requ
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Maximum sequences active in one batched step (also sizes the
-    /// KV-cache pool).
+    /// KV-cache pool). Must be nonzero.
     pub max_batch: usize,
+    /// Maximum prompt tokens one sequence prefills per step. Must be
+    /// nonzero; a value at or above the longest admissible prompt
+    /// reproduces monolithic (single-step) prefill.
+    pub prefill_chunk: usize,
+    /// Per-step token budget the scheduler composes each batched
+    /// forward under: decode rows are admitted first (one token each),
+    /// then pending prefill chunks fill the remainder. Must be at
+    /// least `prefill_chunk`.
+    pub step_token_budget: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { max_batch: 8 }
+        ServerConfig {
+            max_batch: 8,
+            prefill_chunk: 64,
+            step_token_budget: 128,
+        }
     }
 }
 
@@ -43,15 +67,29 @@ struct Queued {
     enqueued_at: Instant,
 }
 
+/// What one active sequence does in the step being composed.
+#[derive(Clone, Copy)]
+enum Work {
+    /// Decode one token (the sequence's next sampled token).
+    Decode(u32),
+    /// Prefill the next `len` prompt tokens; `last` marks the chunk
+    /// that completes the prompt (it samples the first token).
+    Chunk { len: usize, last: bool },
+}
+
 /// A sequence currently in the batch.
 struct ActiveSeq {
     slot: Arc<RequestSlot>,
     lease: CacheLease,
     req: Request,
     rng: StdRng,
-    /// Tokens to feed the engine next step (prompt on the first step,
-    /// then the single sampled token).
-    next_input: Vec<u32>,
+    /// Prompt tokens already fed to the engine. The prompt is consumed
+    /// in chunks; the sequence becomes a decode row once this reaches
+    /// `req.prompt.len()`.
+    prefilled: usize,
+    /// Next token to decode once the prompt is fully prefilled.
+    /// `None` before the first sample and after the last one.
+    next_token: Option<u32>,
     tokens: Vec<u32>,
     metrics: RequestMetrics,
     admitted_at: Instant,
@@ -59,6 +97,14 @@ struct ActiveSeq {
 }
 
 impl ActiveSeq {
+    /// Whether generation ended (stop token or length) and the slot is
+    /// ready to resolve.
+    fn is_done(&self) -> bool {
+        self.prefilled == self.req.prompt.len()
+            && self.next_token.is_none()
+            && !self.tokens.is_empty()
+    }
+
     fn resolve(self, outcome: RequestOutcome, pool: &KvCachePool) {
         // Release first so the admission valve reopens before any
         // waiter reacts to the result.
@@ -93,8 +139,26 @@ pub struct Server {
 
 impl Server {
     /// Starts the scheduler thread over `engine`.
-    pub fn start(engine: Arc<HybridEngine>, cfg: ServerConfig) -> Server {
-        let pool = KvCachePool::for_prototype(&engine.fresh_cache(), cfg.max_batch.max(1));
+    ///
+    /// # Errors
+    ///
+    /// Rejects an invalid configuration (`max_batch == 0`,
+    /// `prefill_chunk == 0`, or `step_token_budget < prefill_chunk`)
+    /// instead of papering over it.
+    pub fn start(engine: Arc<HybridEngine>, cfg: ServerConfig) -> Result<Server, EngineError> {
+        if cfg.max_batch == 0 {
+            return Err(EngineError::config("ServerConfig.max_batch must be nonzero"));
+        }
+        if cfg.prefill_chunk == 0 {
+            return Err(EngineError::config("ServerConfig.prefill_chunk must be nonzero"));
+        }
+        if cfg.step_token_budget < cfg.prefill_chunk {
+            return Err(EngineError::config(format!(
+                "ServerConfig.step_token_budget ({}) must be at least prefill_chunk ({})",
+                cfg.step_token_budget, cfg.prefill_chunk
+            )));
+        }
+        let pool = KvCachePool::for_prototype(&engine.fresh_cache(), cfg.max_batch);
         let inner = Arc::new(ServerInner {
             engine,
             pool,
@@ -109,10 +173,10 @@ impl Server {
             .name("kt-serve-scheduler".into())
             .spawn(move || scheduler_loop(&loop_inner))
             .expect("spawn scheduler thread");
-        Server {
+        Ok(Server {
             inner,
             scheduler: Some(scheduler),
-        }
+        })
     }
 
     /// Submits a request and returns a handle to wait on or cancel.
@@ -206,6 +270,8 @@ impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
             .field("max_batch", &self.inner.cfg.max_batch)
+            .field("prefill_chunk", &self.inner.cfg.prefill_chunk)
+            .field("step_token_budget", &self.inner.cfg.step_token_budget)
             .field("active", &self.active())
             .field("queued", &self.queued())
             .finish()
@@ -221,7 +287,9 @@ fn scheduler_loop(inner: &ServerInner) {
             break;
         }
         // Retire cancellations requested since the last step, before
-        // spending a step on them.
+        // spending a step on them. A sequence cancelled between prefill
+        // chunks retires here too: its lease goes back to the pool at
+        // the step boundary, mid-prompt.
         retire_cancelled(inner, &mut active);
         if active.is_empty() {
             continue;
@@ -273,8 +341,9 @@ fn admit(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
                 slot: q.slot,
                 lease,
                 rng: StdRng::seed_from_u64(q.req.seed),
-                next_input: q.req.prompt.clone(),
                 req: q.req,
+                prefilled: 0,
+                next_token: None,
                 tokens: Vec::new(),
                 metrics: RequestMetrics {
                     queue_wait_ns,
@@ -314,54 +383,122 @@ fn retire_cancelled(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
     }
 }
 
-/// Runs one batched engine step and post-processes every sequence.
+/// Composes the step under the token budget: every decode row first
+/// (one token each, always admitted), then pending prefill chunks of at
+/// most `prefill_chunk` tokens in admission order until the budget is
+/// spent. Returns one `Work` slot per active sequence; `None` idles
+/// the sequence this step.
+fn compose(inner: &ServerInner, active: &[ActiveSeq]) -> Vec<Option<Work>> {
+    let mut plan: Vec<Option<Work>> = Vec::with_capacity(active.len());
+    let mut n_decode = 0usize;
+    for seq in active {
+        if seq.prefilled == seq.req.prompt.len() {
+            let t = seq
+                .next_token
+                .expect("active sequence past prefill holds its next token");
+            plan.push(Some(Work::Decode(t)));
+            n_decode += 1;
+        } else {
+            plan.push(None);
+        }
+    }
+    let mut budget = inner.cfg.step_token_budget.saturating_sub(n_decode);
+    let mut granted = false;
+    for (seq, slot) in active.iter().zip(plan.iter_mut()) {
+        if slot.is_some() {
+            continue;
+        }
+        let remaining = seq.req.prompt.len() - seq.prefilled;
+        let take = inner.cfg.prefill_chunk.min(remaining).min(budget);
+        if take == 0 {
+            continue;
+        }
+        budget -= take;
+        granted = true;
+        *slot = Some(Work::Chunk {
+            len: take,
+            last: take == remaining,
+        });
+    }
+    // Anti-starvation: when decode rows alone exhaust the budget, the
+    // oldest pending prompt still advances one chunk — TTFT stays
+    // bounded (the budget is a target, not a liveness hazard).
+    if !granted {
+        for (seq, slot) in active.iter().zip(plan.iter_mut()) {
+            if slot.is_none() {
+                let remaining = seq.req.prompt.len() - seq.prefilled;
+                let take = inner.cfg.prefill_chunk.min(remaining);
+                *slot = Some(Work::Chunk {
+                    len: take,
+                    last: take == remaining,
+                });
+                break;
+            }
+        }
+    }
+    plan
+}
+
+/// Runs one batched engine step over the composed plan and
+/// post-processes every scheduled sequence.
 fn step(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
-    let mut batch: Vec<BatchSeq> = active
-        .iter_mut()
-        .map(|seq| BatchSeq {
-            cache: std::mem::replace(&mut seq.lease.cache, KvCache::new(&[], 0)),
-            tokens: std::mem::take(&mut seq.next_input),
-        })
-        .collect();
+    let plan = compose(inner, active);
+
+    // Build the batch from the scheduled sequences; `scheduled[b]` maps
+    // batch slot `b` back to its index in `active`.
+    let mut scheduled: Vec<usize> = Vec::with_capacity(active.len());
+    let mut batch: Vec<BatchSeq> = Vec::with_capacity(active.len());
+    for (i, (seq, work)) in active.iter_mut().zip(&plan).enumerate() {
+        let Some(work) = work else { continue };
+        let cache = std::mem::replace(&mut seq.lease.cache, KvCache::new(&[], 0));
+        batch.push(match *work {
+            Work::Decode(t) => BatchSeq::decode(cache, t),
+            Work::Chunk { len, last } => {
+                let chunk = seq.req.prompt[seq.prefilled..seq.prefilled + len].to_vec();
+                if last {
+                    BatchSeq::prefill(cache, chunk)
+                } else {
+                    BatchSeq::prefill_chunk(cache, chunk)
+                }
+            }
+        });
+        scheduled.push(i);
+    }
+    debug_assert!(!batch.is_empty(), "compose schedules at least one sequence");
+
     let result = inner.engine.forward_batch(&mut batch);
     // Caches come back even on error; return them to their leases.
-    for (seq, slot) in active.iter_mut().zip(batch.iter_mut()) {
-        seq.lease.cache = std::mem::replace(&mut slot.cache, KvCache::new(&[], 0));
+    for (&i, slot) in scheduled.iter().zip(batch.iter_mut()) {
+        active[i].lease.cache = std::mem::replace(&mut slot.cache, KvCache::new(&[], 0));
     }
 
     match result {
         Ok(logits) => {
-            // Pass 1: sample for every sequence in batch order. The
-            // pairing between `active[i]` and `logits[i]` must not
-            // shift mid-iteration, so no removal happens here; a
-            // finished sequence is marked by leaving `next_input`
-            // empty (it was taken when the batch was built and is
-            // only refilled for survivors).
-            for (seq, l) in active.iter_mut().zip(logits) {
-                let next = seq.req.sampler.sample(l.row(l.rows() - 1), &mut seq.rng);
-                // Sampled — hand the logits buffer back to the engine's
-                // step arena for the next batch.
-                inner.engine.recycle_logits(l);
-                let now = Instant::now();
-                match seq.last_token_at {
-                    None => {
-                        seq.metrics.ttft_ns =
-                            Some(now.duration_since(seq.admitted_at).as_nanos() as u64);
+            // Pass 1: advance every scheduled sequence in batch order.
+            // The pairing between `scheduled`/`logits` must not shift
+            // mid-iteration, so no removal happens here; finished
+            // sequences are retired in pass 2.
+            for (&i, l) in scheduled.iter().zip(logits) {
+                let seq = &mut active[i];
+                match plan[i].expect("scheduled implies planned") {
+                    Work::Chunk { len, last } => {
+                        seq.prefilled += len;
+                        {
+                            let mut stats = inner.stats.lock();
+                            stats.prefill_chunks += 1;
+                            stats.prefill_tokens += len as u64;
+                        }
+                        if last {
+                            let l = l.expect("final chunk requested logits");
+                            sample_next(inner, seq, l);
+                        } else {
+                            debug_assert!(l.is_none(), "mid-chunk produces no logits");
+                        }
                     }
-                    Some(prev) => {
-                        seq.metrics
-                            .token_latencies_ns
-                            .push(now.duration_since(prev).as_nanos() as u64);
+                    Work::Decode(_) => {
+                        let l = l.expect("decode row requested logits");
+                        sample_next(inner, seq, l);
                     }
-                }
-                seq.last_token_at = Some(now);
-                seq.tokens.push(next);
-                inner.stats.lock().tokens_generated += 1;
-
-                let hit_stop = seq.req.stop_token == Some(next);
-                let hit_len = seq.tokens.len() >= seq.req.max_new;
-                if !(hit_stop || hit_len) {
-                    seq.next_input = vec![next];
                 }
             }
             // Pass 2: retire finished sequences, preserving the order
@@ -369,7 +506,7 @@ fn step(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
             // deterministic function of admission order.
             let mut i = 0;
             while i < active.len() {
-                if active[i].next_input.is_empty() {
+                if active[i].is_done() {
                     let seq = active.remove(i);
                     inner.stats.lock().completed += 1;
                     seq.resolve(RequestOutcome::Completed, &inner.pool);
@@ -396,6 +533,33 @@ fn step(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
             }
         }
     }
+}
+
+/// Samples the sequence's next token from the step's logits (last row:
+/// the newest position) and applies stop-token/length policy.
+fn sample_next(inner: &ServerInner, seq: &mut ActiveSeq, l: Matrix) {
+    let next = seq.req.sampler.sample(l.row(l.rows() - 1), &mut seq.rng);
+    // Sampled — hand the logits buffer back to the engine's step arena
+    // for the next batch.
+    inner.engine.recycle_logits(l);
+    let now = Instant::now();
+    match seq.last_token_at {
+        None => {
+            seq.metrics.ttft_ns = Some(now.duration_since(seq.admitted_at).as_nanos() as u64);
+        }
+        Some(prev) => {
+            seq.metrics
+                .token_latencies_ns
+                .push(now.duration_since(prev).as_nanos() as u64);
+        }
+    }
+    seq.last_token_at = Some(now);
+    seq.tokens.push(next);
+    inner.stats.lock().tokens_generated += 1;
+
+    let hit_stop = seq.req.stop_token == Some(next);
+    let hit_len = seq.tokens.len() >= seq.req.max_new;
+    seq.next_token = if hit_stop || hit_len { None } else { Some(next) };
 }
 
 /// Resolves everything left at shutdown as cancelled.

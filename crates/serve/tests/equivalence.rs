@@ -59,32 +59,57 @@ fn concurrent_batching_matches_sequential_greedy_exactly() {
 
     // Concurrent: all six submitted up front, batch width 4, so the
     // scheduler mixes prefill and decode and churns membership as
-    // requests finish and queued ones are admitted.
-    let server = Server::start(Arc::new(engine(7)), ServerConfig { max_batch: 4 });
-    let handles: Vec<_> = prompts
-        .iter()
-        .map(|p| server.submit(Request::greedy(p, n_new)))
-        .collect();
-    let results: Vec<_> = handles.iter().map(|h| h.wait()).collect();
+    // requests finish and queued ones are admitted. Run once with
+    // monolithic prefill and once with a tiny chunk size: the token
+    // streams must match the sequential reference exactly either way.
+    for (label, cfg) in [
+        (
+            "monolithic",
+            ServerConfig {
+                max_batch: 4,
+                prefill_chunk: 64,
+                step_token_budget: 64,
+            },
+        ),
+        (
+            "chunked",
+            ServerConfig {
+                max_batch: 4,
+                prefill_chunk: 2,
+                step_token_budget: 6,
+            },
+        ),
+    ] {
+        let server = Server::start(Arc::new(engine(7)), cfg).unwrap();
+        let handles: Vec<_> = prompts
+            .iter()
+            .map(|p| server.submit(Request::greedy(p, n_new)))
+            .collect();
+        let results: Vec<_> = handles.iter().map(|h| h.wait()).collect();
 
-    for (i, (result, expect)) in results.iter().zip(&reference).enumerate() {
-        assert!(result.is_completed(), "request {i}: {:?}", result.outcome);
-        assert_eq!(
-            &result.tokens, expect,
-            "request {i} diverged from its sequential reference"
+        for (i, (result, expect)) in results.iter().zip(&reference).enumerate() {
+            assert!(
+                result.is_completed(),
+                "{label} request {i}: {:?}",
+                result.outcome
+            );
+            assert_eq!(
+                &result.tokens, expect,
+                "{label} request {i} diverged from its sequential reference"
+            );
+        }
+
+        let stats = server.stats();
+        assert_eq!(stats.completed, prompts.len() as u64);
+        assert_eq!(stats.tokens_generated, (prompts.len() * n_new) as u64);
+        // The six requests really ran concurrently, not back to back.
+        assert!(
+            stats.mean_occupancy() >= 2.0,
+            "{label}: expected real batching, got mean occupancy {}",
+            stats.mean_occupancy()
         );
+        server.shutdown();
     }
-
-    let stats = server.stats();
-    assert_eq!(stats.completed, prompts.len() as u64);
-    assert_eq!(stats.tokens_generated, (prompts.len() * n_new) as u64);
-    // The six requests really ran concurrently, not back to back.
-    assert!(
-        stats.mean_occupancy() >= 2.0,
-        "expected real batching, got mean occupancy {}",
-        stats.mean_occupancy()
-    );
-    server.shutdown();
 }
 
 #[test]
@@ -94,7 +119,15 @@ fn repeated_runs_are_reproducible() {
     // identical streams, whatever the admission interleaving.
     let prompts: Vec<Vec<u32>> = (0..5).map(|i| vec![i * 11 + 1, i + 2]).collect();
     let run = || -> Vec<Vec<u32>> {
-        let server = Server::start(Arc::new(engine(23)), ServerConfig { max_batch: 3 });
+        let server = Server::start(
+            Arc::new(engine(23)),
+            ServerConfig {
+                max_batch: 3,
+                prefill_chunk: 2,
+                step_token_budget: 5,
+            },
+        )
+        .unwrap();
         let handles: Vec<_> = prompts
             .iter()
             .map(|p| server.submit(Request::greedy(p, 6)))

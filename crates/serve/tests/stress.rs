@@ -45,10 +45,20 @@ fn stress_with_cancellations_and_expert_faults() {
         pattern.is_match(path) && counter.fetch_add(1, Ordering::Relaxed) % 23 == 22
     });
 
-    let server = Arc::new(Server::start(
-        Arc::clone(&engine),
-        ServerConfig { max_batch: 8 },
-    ));
+    // A small prefill chunk forces even short prompts through the
+    // chunked path, so cancellations and faults land between chunks
+    // too.
+    let server = Arc::new(
+        Server::start(
+            Arc::clone(&engine),
+            ServerConfig {
+                max_batch: 8,
+                prefill_chunk: 2,
+                step_token_budget: 12,
+            },
+        )
+        .unwrap(),
+    );
 
     std::thread::scope(|scope| {
         for client in 0..CLIENTS {

@@ -1,6 +1,8 @@
 //! Cross-crate property-based tests on the system's core invariants.
 
+use ktransformers::core::{BatchSeq, EngineConfig, HybridEngine, SchedMode};
 use ktransformers::kernels::dispatch::Backend;
+use ktransformers::model::ModelPreset;
 use ktransformers::kernels::gemm::gemm_auto;
 use ktransformers::kernels::moe::{ExpertWeights, FusedMoE, MoeRouting};
 use ktransformers::kernels::schedule::SchedulePolicy;
@@ -26,8 +28,143 @@ fn routing_strategy(
     })
 }
 
+/// Greedy pick: highest logit, earliest index on ties.
+fn argmax(row: &[f32]) -> u32 {
+    let mut best = 0usize;
+    for (i, &v) in row.iter().enumerate() {
+        if v > row[best] {
+            best = i;
+        }
+    }
+    best as u32
+}
+
+/// Turns proptest-drawn raw cut sizes into an exact cover of `total`.
+fn chunks_covering(total: usize, raw: &[usize]) -> Vec<usize> {
+    let mut chunks = Vec::new();
+    let mut left = total;
+    for &c in raw {
+        if left == 0 {
+            break;
+        }
+        let take = c.clamp(1, left);
+        chunks.push(take);
+        left -= take;
+    }
+    if left > 0 {
+        chunks.push(left);
+    }
+    chunks
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The full engine's chunk-invariance contract, end to end: a
+    /// prompt prefilled through `forward_batch` in random chunks —
+    /// with a concurrent decode row sharing every step, as the serving
+    /// scheduler composes them — produces bitwise the logits and KV
+    /// state of a solo monolithic prefill, and the bystander decode
+    /// row's greedy continuation is exactly what it decodes alone.
+    /// (TiledOnly pins one kernel class so expert GEMMs are invariant
+    /// to how many tokens share a step — the serve-equivalence
+    /// convention; position-dependent math is row-stable under any
+    /// backend.)
+    #[test]
+    fn engine_chunked_prefill_with_concurrent_decode_is_bitwise(
+        seed in 0u64..500,
+        prompt_len in 1usize..13,
+        raw_chunks in proptest::collection::vec(1usize..5, 0..10),
+    ) {
+        let cfg = ModelPreset::DeepSeekV3.tiny_config();
+        let e = HybridEngine::random(
+            &cfg,
+            EngineConfig {
+                n_cpu_workers: 2,
+                mode: SchedMode::Sync,
+                n_deferred: 2,
+                backend: Backend::TiledOnly,
+                seed: 31,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let prompt: Vec<u32> =
+            (0..prompt_len).map(|i| ((seed + i as u64 * 37) % 251) as u32).collect();
+        let chunks = chunks_covering(prompt_len, &raw_chunks);
+
+        // Monolithic reference: the whole prompt in one solo step.
+        let mut mono = vec![BatchSeq::prefill(e.fresh_cache(), prompt.clone())];
+        let mut ref_logits = e.forward_batch(&mut mono).unwrap();
+        let ref_logits = ref_logits[0].take().unwrap();
+
+        // A bystander sequence mid-generation: prefill its prompt,
+        // then precompute the greedy tokens it decodes when running
+        // alone, one step per upcoming chunk.
+        let dec_prompt = [3u32, 1, 4];
+        let mut dec = vec![BatchSeq::prefill(e.fresh_cache(), dec_prompt.to_vec())];
+        let mut first = e.forward_batch(&mut dec).unwrap();
+        let first = first[0].take().unwrap();
+        let first = argmax(first.row(first.rows() - 1));
+        let dec_cache = dec.pop().unwrap().cache;
+        let mut solo = vec![BatchSeq::decode(dec_cache.clone(), first)];
+        let mut expect_dec = Vec::with_capacity(chunks.len());
+        for _ in &chunks {
+            let mut l = e.forward_batch(&mut solo).unwrap();
+            let l = l[0].take().unwrap();
+            let t = argmax(l.row(0));
+            expect_dec.push(t);
+            solo[0].tokens = vec![t];
+        }
+
+        // Mixed steps: one prefill chunk + the decode row per step.
+        let mut batch = vec![
+            BatchSeq::prefill(e.fresh_cache(), Vec::new()),
+            BatchSeq::decode(dec_cache, first),
+        ];
+        let mut start = 0;
+        for (ci, &len) in chunks.iter().enumerate() {
+            batch[0].tokens = prompt[start..start + len].to_vec();
+            let mut logits = e.forward_batch(&mut batch).unwrap();
+            let l0 = logits[0].take().unwrap();
+            for t in 0..len {
+                prop_assert_eq!(
+                    l0.row(t),
+                    ref_logits.row(start + t),
+                    "chunked logits diverged at position {} (chunks {:?})",
+                    start + t,
+                    &chunks
+                );
+            }
+            let l1 = logits[1].take().unwrap();
+            let t = argmax(l1.row(l1.rows() - 1));
+            prop_assert_eq!(
+                t, expect_dec[ci],
+                "concurrent decode row perturbed by prefill chunks"
+            );
+            batch[1].tokens = vec![t];
+            start += len;
+        }
+
+        // KV state bitwise identical to the monolithic cache.
+        let mono_cache = &mono[0].cache;
+        let chunked_cache = &batch[0].cache;
+        prop_assert_eq!(chunked_cache.seq_len(), prompt.len());
+        for layer in 0..mono_cache.n_layers() {
+            for pos in 0..prompt.len() {
+                prop_assert_eq!(
+                    mono_cache.layer(layer).k_row(pos),
+                    chunked_cache.layer(layer).k_row(pos),
+                    "layer {} k row {} diverged", layer, pos
+                );
+                prop_assert_eq!(
+                    mono_cache.layer(layer).v_row(pos),
+                    chunked_cache.layer(layer).v_row(pos),
+                    "layer {} v row {} diverged", layer, pos
+                );
+            }
+        }
+    }
 
     /// The hybrid-dispatch kernel agrees with the reference matmul for
     /// random shapes and dtypes.

@@ -25,7 +25,14 @@ fn serve_smoke() {
         )
         .unwrap(),
     );
-    let server = Server::start(engine, ServerConfig { max_batch: 4 });
+    let server = Server::start(
+        engine,
+        ServerConfig {
+            max_batch: 4,
+            ..Default::default()
+        },
+    )
+    .expect("valid config");
 
     let handles: Vec<_> = (0..4)
         .map(|i| server.submit(Request::greedy(&[i + 1, 2 * i + 1, 7], 6)))
