@@ -4,12 +4,12 @@
 //!    latency for a representative full-scale request, per system —
 //!    the quantities a local-deployment user actually feels.
 //! 2. Measured: p50/p99 TTFT and inter-token-gap percentiles from the
-//!    real kt-serve scheduler's [`kt_core::RequestMetrics`] under a
+//!    server's aggregated [`kt_trace::LogHistogram`]s under a
 //!    concurrent workload, printed as a table and as one
 //!    machine-readable JSON line (`latency_percentiles_json ...`).
 
 use kt_bench::{section, table};
-use kt_core::{percentile_ns, EngineConfig, HybridEngine, SchedMode};
+use kt_core::{EngineConfig, HybridEngine, SchedMode};
 use kt_hwsim::policy::{simulate, Phase, SystemPolicy};
 use kt_hwsim::workload::Precision;
 use kt_hwsim::{Calibration, Platform};
@@ -115,24 +115,23 @@ fn measured_serving_percentiles() {
             server.submit(Request::greedy(&prompt, MAX_NEW))
         })
         .collect();
-    let mut queue_ns: Vec<u64> = Vec::new();
-    let mut ttft_ns: Vec<u64> = Vec::new();
-    let mut gaps_ns: Vec<u64> = Vec::new();
     for h in &handles {
         let r = h.wait();
         assert!(r.is_completed(), "{:?}", r.outcome);
-        queue_ns.push(r.metrics.queue_wait_ns);
-        ttft_ns.push(r.metrics.ttft_ns.expect("completed request has TTFT"));
-        gaps_ns.extend(&r.metrics.token_latencies_ns);
     }
+    // The server aggregates queue-wait / TTFT / inter-token gaps into
+    // log-bucketed histograms as requests resolve — read those instead
+    // of re-collecting raw samples per request.
+    let (queue, ttft, itl) = server.latency_histograms();
     server.shutdown();
+    assert_eq!(ttft.count() as usize, N_REQUESTS);
 
-    let pcts = |samples: &[u64]| {
-        [50.0, 99.0].map(|p| ms(percentile_ns(samples, p).unwrap_or(0)))
+    let pcts = |h: &kt_trace::LogHistogram| {
+        [50.0, 99.0].map(|p| ms(h.percentile(p).unwrap_or(0)))
     };
-    let [q50, q99] = pcts(&queue_ns);
-    let [t50, t99] = pcts(&ttft_ns);
-    let [g50, g99] = pcts(&gaps_ns);
+    let [q50, q99] = pcts(&queue);
+    let [t50, t99] = pcts(&ttft);
+    let [g50, g99] = pcts(&itl);
     table(
         &["Metric", "p50 (ms)", "p99 (ms)", "samples"],
         &[
@@ -140,19 +139,19 @@ fn measured_serving_percentiles() {
                 "queue wait".into(),
                 format!("{q50:.2}"),
                 format!("{q99:.2}"),
-                queue_ns.len().to_string(),
+                queue.count().to_string(),
             ],
             vec![
                 "TTFT".into(),
                 format!("{t50:.2}"),
                 format!("{t99:.2}"),
-                ttft_ns.len().to_string(),
+                ttft.count().to_string(),
             ],
             vec![
                 "inter-token gap".into(),
                 format!("{g50:.2}"),
                 format!("{g99:.2}"),
-                gaps_ns.len().to_string(),
+                itl.count().to_string(),
             ],
         ],
     );
@@ -163,7 +162,7 @@ fn measured_serving_percentiles() {
          \"itl_ms\":{{\"p50\":{g50:.3},\"p99\":{g99:.3}}},\
          \"n_requests\":{},\"n_gap_samples\":{}}}",
         N_REQUESTS,
-        gaps_ns.len()
+        itl.count()
     );
 }
 

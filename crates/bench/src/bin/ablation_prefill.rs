@@ -14,7 +14,8 @@
 //!   without; exits nonzero otherwise.
 
 use kt_bench::{section, table};
-use kt_core::{percentile_ns, EngineConfig, HybridEngine, SchedMode};
+use kt_core::{EngineConfig, HybridEngine, SchedMode};
+use kt_trace::LogHistogram;
 use kt_model::{config::ModelConfig, ModelPreset};
 use kt_serve::{Request, Server, ServerConfig};
 use std::sync::Arc;
@@ -99,11 +100,11 @@ fn mixed_workload(chunked: bool) -> MixedRun {
     let long_prompt: Vec<u32> = (0..LONG_PROMPT).map(|i| (i % 251) as u32).collect();
     let long = server.submit(Request::greedy(&long_prompt, 4));
 
-    let mut gaps_ns: Vec<u64> = Vec::new();
+    let mut gaps = LogHistogram::new();
     for h in &decode_handles {
         let r = h.wait();
         assert!(r.is_completed(), "{:?}", r.outcome);
-        gaps_ns.extend(&r.metrics.token_latencies_ns);
+        gaps.record_all(r.metrics.token_latencies_ns.iter().copied());
     }
     let lr = long.wait();
     assert!(lr.is_completed(), "{:?}", lr.outcome);
@@ -111,8 +112,8 @@ fn mixed_workload(chunked: bool) -> MixedRun {
     server.shutdown();
 
     MixedRun {
-        p99_itl_ms: percentile_ns(&gaps_ns, 99.0).unwrap() as f64 / 1e6,
-        max_itl_ms: percentile_ns(&gaps_ns, 100.0).unwrap() as f64 / 1e6,
+        p99_itl_ms: gaps.percentile(99.0).unwrap() as f64 / 1e6,
+        max_itl_ms: gaps.max().unwrap() as f64 / 1e6,
         ttft_long_ms: lr.metrics.ttft_ns.unwrap() as f64 / 1e6,
         steps: stats.steps,
     }

@@ -1,0 +1,186 @@
+//! Tracing-overhead ablation: decode throughput with the trace sink
+//! (a) never touched, (b) enabled then disabled (the shipping default:
+//! the per-span cost is one relaxed load), and (c) fully enabled.
+//!
+//! Each timed arm runs in a fresh child process (this binary re-execs
+//! itself with `KT_TRACE_BENCH_ARM` set) so (a) the baseline arm is
+//! genuinely never-enabled every repetition, and (b) the three arms
+//! interleave rep by rep — sequential arms would let host-noise drift
+//! masquerade as overhead.
+//!
+//! Modes:
+//! * default — timed run: prints peak tokens/s for all three arms
+//!   over several repetitions plus the relative overheads, and writes
+//!   `BENCH_trace.json`.
+//! * `--smoke` — CI gate: short run asserting the disabled-after-enable
+//!   arm stays within 3% of the never-enabled baseline (the "tracing
+//!   off is free" claim); exits nonzero otherwise.
+
+use kt_core::{EngineConfig, HybridEngine, SchedMode};
+use kt_model::{config::ModelConfig, ModelPreset};
+use std::process::Command;
+use std::time::Instant;
+
+fn trace_config() -> ModelConfig {
+    let mut cfg = ModelPreset::DeepSeekV3.tiny_config();
+    cfg.name = "trace".into();
+    cfg.vocab = 8192;
+    cfg
+}
+
+/// One decode run: prefill 3 tokens, 2 warmup steps, `n_decode` timed
+/// steps. Returns tokens/s over the timed window. Mirrors the
+/// ablation_hotpath methodology so numbers are comparable.
+fn decode_run(n_decode: usize) -> f64 {
+    let cfg = trace_config();
+    let engine = HybridEngine::random(
+        &cfg,
+        EngineConfig {
+            n_cpu_workers: 1,
+            mode: SchedMode::AsyncGraph,
+            n_deferred: 2,
+            seed: 17,
+            ..Default::default()
+        },
+    )
+    .expect("engine");
+    let logits = engine.forward(&[1, 2, 3]).expect("prefill");
+    let mut next = kt_model::model::argmax(logits.row(logits.rows() - 1));
+    engine.recycle_logits(logits);
+    for _ in 0..2 {
+        let l = engine.forward(&[next]).expect("warmup decode");
+        next = kt_model::model::argmax(l.row(0));
+        engine.recycle_logits(l);
+    }
+    let start = Instant::now();
+    for _ in 0..n_decode {
+        let l = engine.forward(&[next]).expect("decode");
+        next = kt_model::model::argmax(l.row(0));
+        engine.recycle_logits(l);
+    }
+    n_decode as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Peak throughput over the repetitions. Host noise (CPU steal on
+/// shared runners) only ever *slows* a run, so the max is the stable
+/// estimator of an arm's intrinsic speed — medians of short windows
+/// still swing several percent here.
+fn peak(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::MIN, f64::max)
+}
+
+/// Child mode: run exactly one arm and report its throughput (and, for
+/// the `on` arm, how many spans survived in the rings) on stdout.
+fn run_child_arm(arm: &str, n_decode: usize) {
+    match arm {
+        // Never-enabled: span sites see tracing structurally untouched
+        // — exactly the shipping default.
+        "baseline" => {}
+        // Disabled after having been enabled: a warmup run records
+        // spans, then `disable()` leaves every span site paying one
+        // relaxed bool load. This is the arm the 3% gate holds to the
+        // baseline — enabling tracing once must not leave a residual
+        // tax.
+        "off" => {
+            kt_trace::enable();
+            decode_run(8);
+            kt_trace::disable();
+        }
+        // Tracing fully on: spans recorded into per-thread rings.
+        "on" => kt_trace::enable(),
+        other => panic!("unknown arm {other}"),
+    }
+    let tok_s = decode_run(n_decode);
+    println!("child_tokens_per_s {tok_s:.3}");
+    if arm == "on" {
+        println!("child_spans_recorded {}", kt_trace::sink().snapshot().spans.len());
+    }
+}
+
+/// Spawns one child repetition of `arm`, returns (tokens/s, spans).
+fn spawn_arm(arm: &str, n_decode: usize) -> (f64, usize) {
+    let exe = std::env::current_exe().expect("current exe");
+    let out = Command::new(exe)
+        .env("KT_TRACE_BENCH_ARM", arm)
+        .env("KT_TRACE_BENCH_DECODES", n_decode.to_string())
+        .output()
+        .expect("spawn child arm");
+    assert!(out.status.success(), "child arm {arm} failed: {out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("child stdout utf8");
+    let mut tok_s = None;
+    let mut spans = 0usize;
+    for line in stdout.lines() {
+        if let Some(v) = line.strip_prefix("child_tokens_per_s ") {
+            tok_s = Some(v.parse().expect("tokens/s"));
+        } else if let Some(v) = line.strip_prefix("child_spans_recorded ") {
+            spans = v.parse().expect("span count");
+        }
+    }
+    (tok_s.expect("child printed throughput"), spans)
+}
+
+fn main() {
+    if let Ok(arm) = std::env::var("KT_TRACE_BENCH_ARM") {
+        let n_decode: usize = std::env::var("KT_TRACE_BENCH_DECODES")
+            .expect("decode count env")
+            .parse()
+            .expect("decode count");
+        run_child_arm(&arm, n_decode);
+        return;
+    }
+
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n_decode, reps) = if smoke { (96usize, 7usize) } else { (256usize, 7usize) };
+
+    let mut baseline = Vec::with_capacity(reps);
+    let mut off = Vec::with_capacity(reps);
+    let mut on = Vec::with_capacity(reps);
+    let mut spans_recorded = 0usize;
+    for _ in 0..reps {
+        baseline.push(spawn_arm("baseline", n_decode).0);
+        off.push(spawn_arm("off", n_decode).0);
+        let (tok_s, spans) = spawn_arm("on", n_decode);
+        on.push(tok_s);
+        spans_recorded = spans;
+    }
+
+    let base = peak(&baseline);
+    let off_m = peak(&off);
+    let on_m = peak(&on);
+    let off_overhead = (base - off_m) / base * 100.0;
+    let on_overhead = (base - on_m) / base * 100.0;
+
+    println!("baseline_tokens_per_s {base:.1}");
+    println!("tracing_off_tokens_per_s {off_m:.1}");
+    println!("tracing_on_tokens_per_s {on_m:.1}");
+    println!("tracing_off_overhead_pct {off_overhead:.2}");
+    println!("tracing_on_overhead_pct {on_overhead:.2}");
+    println!("spans_recorded_while_on {spans_recorded}");
+    let json = format!(
+        "{{\"baseline_tok_s\":{base:.1},\"off_tok_s\":{off_m:.1},\
+         \"on_tok_s\":{on_m:.1},\"off_overhead_pct\":{off_overhead:.2},\
+         \"on_overhead_pct\":{on_overhead:.2},\"n_decode\":{n_decode},\
+         \"reps\":{reps}}}"
+    );
+    println!("trace_overhead_json {json}");
+    if !smoke {
+        std::fs::write("BENCH_trace.json", format!("{json}\n")).expect("write BENCH_trace.json");
+    }
+
+    assert!(spans_recorded > 0, "tracing-on arm recorded no spans");
+    if smoke {
+        // 3% gate on peak-vs-peak: interleaved fresh-process arms plus
+        // the max estimator keep shared-runner noise out of the margin.
+        if off_overhead > 3.0 {
+            eprintln!(
+                "SMOKE FAIL: tracing-off decode is {off_overhead:.2}% slower than \
+                 the never-enabled baseline (gate: 3%)"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "SMOKE OK: tracing-off within {off_overhead:.2}% of baseline \
+             (gate 3%); tracing-on overhead {on_overhead:.2}%"
+        );
+    }
+}

@@ -11,11 +11,13 @@ fn main() {
         "table1", "fig3", "fig4", "fig7", "fig10", "fig11", "fig12", "fig14",
         "ablation_numa", "ablation_graph", "ablation_sched", "ablation_multigpu",
         "ablation_batch", "ablation_kvoffload", "ablation_placement", "ablation_offload",
-        "ablation_latency", "ablation_concurrency",
+        "ablation_latency", "ablation_concurrency", "ablation_trace",
         "table2", "fig13",
     ];
     // ablation_hotpath and ablation_prefill are excluded: they are
     // timed/artifact-writing runs with their own CI smoke modes.
+    // ablation_trace also has a smoke mode but is cheap enough to run
+    // in full here (it writes BENCH_trace.json).
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
     for bin in bins {

@@ -35,6 +35,7 @@ use kt_model::norm::RmsNorm;
 use kt_model::rope::Rope;
 use kt_model::attention::Attention;
 use kt_tensor::{ArenaStats, Matrix, PackedWeights, ScratchArena, WeightDtype};
+use kt_trace::SpanKind;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -377,6 +378,19 @@ fn head_pool_lanes(n_cpu_workers: usize) -> usize {
     n_cpu_workers.clamp(1, host)
 }
 
+/// Installs the process-wide trace hooks once per process: the
+/// `KT_TRACE` env knob and the bridge that turns arena fresh
+/// allocations into `arena.alloc` instant events.
+fn install_trace_hooks() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        kt_trace::enable_from_env();
+        kt_tensor::set_arena_alloc_hook(|bytes| {
+            kt_trace::instant(SpanKind::ArenaAlloc, bytes.min(u32::MAX as u64) as u32, 0);
+        });
+    });
+}
+
 /// Spins until `counter` reaches zero (the graph-resident wait).
 ///
 /// Pure spinning matches the CUDA-kernel semantics, but on hosts with
@@ -406,6 +420,7 @@ impl HybridEngine {
     /// Returns [`EngineError::Config`] on invalid configs and propagates
     /// construction failures.
     pub fn random(cfg: &ModelConfig, econfig: EngineConfig) -> Result<Self, EngineError> {
+        install_trace_hooks();
         cfg.validate().map_err(EngineError::config)?;
         let mut rng = StdRng::seed_from_u64(econfig.seed);
         let mut embed = Matrix::zeros(cfg.vocab, cfg.hidden)?;
@@ -566,6 +581,7 @@ impl HybridEngine {
     ///
     /// Returns [`EngineError::Exec`] on corrupt checkpoints.
     pub fn load(r: &mut impl std::io::Read, econfig: EngineConfig) -> Result<Self, EngineError> {
+        install_trace_hooks();
         kt_tensor::serial::expect_magic(r, b"KTENG").map_err(kt_model::ModelError::from)?;
         let cfg = ModelConfig::read_from(r).map_err(kt_model::ModelError::from)?;
         let embed = Matrix::read_from(r).map_err(kt_model::ModelError::from)?;
@@ -766,6 +782,7 @@ impl HybridEngine {
         ops.push((
             false,
             Arc::new(move || {
+                let _span = kt_trace::span(SpanKind::Embed);
                 let mut st = shared.state.lock();
                 if st.error.is_some() {
                     return;
@@ -809,6 +826,7 @@ impl HybridEngine {
                 ops.push((
                     false,
                     Arc::new(move || {
+                        let _span = kt_trace::span_ab(SpanKind::Attention, li as u32, 0);
                         let mut guard = shared.state.lock();
                         if guard.error.is_some() {
                             return;
@@ -899,6 +917,7 @@ impl HybridEngine {
                 ops.push((
                     true,
                     Arc::new(move || {
+                        let _span = kt_trace::span_ab(SpanKind::ExpertDispatch, li as u32, 0);
                         let (ffn_in, routing, decode_row) = {
                             let st = shared.state.lock();
                             if st.error.is_some() {
@@ -913,7 +932,11 @@ impl HybridEngine {
                             let EngineFfn::Moe { router, .. } = &layer.ffn else {
                                 return;
                             };
-                            let routing = router.route(&ffn_in);
+                            let routing = {
+                                let _span =
+                                    kt_trace::span_ab(SpanKind::Gating, li as u32, 0);
+                                router.route(&ffn_in)
+                            };
                             (ffn_in, routing, st.decode_row.clone())
                         };
                         // Fault-injection hook (test harness): a
@@ -1004,27 +1027,37 @@ impl HybridEngine {
                             let layer = Arc::clone(&layer);
                             let ffn_in = Arc::clone(&ffn_in);
                             cpu.submit(Box::new(move || {
-                                let result = std::panic::catch_unwind(
-                                    std::panic::AssertUnwindSafe(|| {
-                                        let EngineFfn::Moe { routed, .. } = &layer.ffn else {
-                                            return Err(kt_kernels::KernelError::config(
-                                                "not a MoE layer",
-                                            ));
-                                        };
-                                        // Workspace lock is DROPPED
-                                        // before the state lock below
-                                        // (see `EngineShared::ws_gpu`
-                                        // lock discipline).
-                                        let mut ws = shared.ws_imm.lock();
-                                        routed.forward_with(
-                                            &ffn_in,
-                                            &imm,
-                                            None,
-                                            SchedulePolicy::Dynamic,
-                                            &mut ws,
-                                        )
-                                    }),
-                                );
+                                let result = {
+                                    let _span = kt_trace::span_ab(
+                                        SpanKind::CpuExpertImmediate,
+                                        li as u32,
+                                        0,
+                                    );
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                        || {
+                                            let EngineFfn::Moe { routed, .. } = &layer.ffn
+                                            else {
+                                                return Err(
+                                                    kt_kernels::KernelError::config(
+                                                        "not a MoE layer",
+                                                    ),
+                                                );
+                                            };
+                                            // Workspace lock is DROPPED
+                                            // before the state lock below
+                                            // (see `EngineShared::ws_gpu`
+                                            // lock discipline).
+                                            let mut ws = shared.ws_imm.lock();
+                                            routed.forward_with(
+                                                &ffn_in,
+                                                &imm,
+                                                None,
+                                                SchedulePolicy::Dynamic,
+                                                &mut ws,
+                                            )
+                                        },
+                                    ))
+                                };
                                 // Release the shared FFN input before
                                 // signalling completion, so the merge
                                 // op can usually reclaim it right away.
@@ -1048,23 +1081,33 @@ impl HybridEngine {
                             let shared = Arc::clone(&shared);
                             let layer = Arc::clone(&layer);
                             cpu.submit(Box::new(move || {
-                                let result = std::panic::catch_unwind(
-                                    std::panic::AssertUnwindSafe(|| {
-                                        let EngineFfn::Moe { routed, .. } = &layer.ffn else {
-                                            return Err(kt_kernels::KernelError::config(
-                                                "not a MoE layer",
-                                            ));
-                                        };
-                                        let mut ws = shared.ws_def.lock();
-                                        routed.forward_with(
-                                            &ffn_in,
-                                            &def,
-                                            None,
-                                            SchedulePolicy::Dynamic,
-                                            &mut ws,
-                                        )
-                                    }),
-                                );
+                                let result = {
+                                    let _span = kt_trace::span_ab(
+                                        SpanKind::CpuExpertDeferred,
+                                        li as u32,
+                                        0,
+                                    );
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                        || {
+                                            let EngineFfn::Moe { routed, .. } = &layer.ffn
+                                            else {
+                                                return Err(
+                                                    kt_kernels::KernelError::config(
+                                                        "not a MoE layer",
+                                                    ),
+                                                );
+                                            };
+                                            let mut ws = shared.ws_def.lock();
+                                            routed.forward_with(
+                                                &ffn_in,
+                                                &def,
+                                                None,
+                                                SchedulePolicy::Dynamic,
+                                                &mut ws,
+                                            )
+                                        },
+                                    ))
+                                };
                                 drop(ffn_in);
                                 let mut st = shared.state.lock();
                                 match result {
@@ -1090,6 +1133,7 @@ impl HybridEngine {
                 ops.push((
                     false,
                     Arc::new(move || {
+                        let _span = kt_trace::span_ab(SpanKind::SharedExperts, li as u32, 0);
                         let mut guard = shared.state.lock();
                         if guard.error.is_some() {
                             return;
@@ -1165,19 +1209,28 @@ impl HybridEngine {
                         }
                         // Spin WITHOUT holding the state lock (workers
                         // need it to publish their results).
-                        spin_until_zero(&shared.imm_pending[li], "immediate experts");
-                        if let Some(p) = prev_moe {
-                            spin_until_zero(&shared.def_pending[p], "deferred experts");
+                        {
+                            let _span = kt_trace::span_ab(SpanKind::MergeSpin, li as u32, 0);
+                            spin_until_zero(&shared.imm_pending[li], "immediate experts");
+                            if let Some(p) = prev_moe {
+                                spin_until_zero(&shared.def_pending[p], "deferred experts");
+                            }
                         }
                         let mut st = shared.state.lock();
                         let imm = st.imm_out[li].take();
                         if let Some(m) = &imm {
+                            let _span = kt_trace::span_ab(SpanKind::ScatterAdd, li as u32, 0);
                             for (o, v) in st.x.as_mut_slice().iter_mut().zip(m.as_slice()) {
                                 *o += v;
                             }
                         }
                         let def_m = prev_moe.and_then(|p| st.def_out[p].take());
                         if let Some(m) = &def_m {
+                            let _span = kt_trace::span_ab(
+                                SpanKind::DeferralFlush,
+                                prev_moe.unwrap_or(0) as u32,
+                                0,
+                            );
                             for (o, v) in st.x.as_mut_slice().iter_mut().zip(m.as_slice()) {
                                 *o += v;
                             }
@@ -1220,6 +1273,7 @@ impl HybridEngine {
             ops.push((
                 false,
                 Arc::new(move || {
+                    let mut head_span = kt_trace::span(SpanKind::LmHead);
                     let mut guard = shared.state.lock();
                     if guard.error.is_some() {
                         return;
@@ -1293,7 +1347,11 @@ impl HybridEngine {
                         Ok(out_seqs)
                     })();
                     match per_seq {
-                        Ok(logits) => st.logits = Some(logits),
+                        Ok(logits) => {
+                            let rows: usize = logits.iter().map(Matrix::rows).sum();
+                            head_span.set_labels(rows as u32, 0);
+                            st.logits = Some(logits);
+                        }
                         Err(e) => {
                             st.error = Some(e);
                         }
@@ -1432,6 +1490,11 @@ impl HybridEngine {
     /// hand them back via [`HybridEngine::recycle_logits`] once sampled
     /// so the arena can reuse them.
     fn run_step(&self, all_decode: bool) -> Result<Vec<Matrix>, EngineError> {
+        let mut step_span = kt_trace::span(SpanKind::EngineStep);
+        if kt_trace::enabled() {
+            let st = self.shared.state.lock();
+            step_span.set_labels(st.tokens.len() as u32, st.seq_rows.len() as u32);
+        }
         let use_graph = all_decode && self.econfig.mode == SchedMode::AsyncGraph;
         if use_graph {
             // Capture once, replay every decode step. Ops read the

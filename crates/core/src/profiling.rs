@@ -94,6 +94,19 @@ pub struct ServeStats {
     pub arena_allocations: u64,
     /// High-water mark of bytes held across all step arenas.
     pub arena_high_water_bytes: u64,
+    /// Kernels launched individually on the virtual GPU (snapshot of
+    /// `LaunchStats::kernel_launches`; see `ServeStats::set_launch`).
+    pub gpu_kernel_launches: u64,
+    /// Host-function callbacks executed in-stream.
+    pub gpu_host_funcs: u64,
+    /// Graph replays (each is one launch regardless of graph size).
+    pub gpu_graph_replays: u64,
+    /// Ops executed via graph replay (launch-free).
+    pub gpu_graph_ops: u64,
+    /// Simulated launch-latency nanoseconds charged on the device.
+    pub gpu_launch_overhead_ns: u64,
+    /// Nanoseconds the device spent executing ops.
+    pub gpu_busy_ns: u64,
 }
 
 impl ServeStats {
@@ -130,12 +143,29 @@ impl ServeStats {
         self.arena_allocations = s.allocations;
         self.arena_high_water_bytes = s.high_water_bytes;
     }
+
+    /// Overwrites the GPU launch counters from an engine snapshot
+    /// (cumulative on the engine side, so replace, same as
+    /// [`ServeStats::set_arena`]).
+    pub fn set_launch(&mut self, s: &crate::vgpu::LaunchStats) {
+        self.gpu_kernel_launches = s.kernel_launches;
+        self.gpu_host_funcs = s.host_funcs;
+        self.gpu_graph_replays = s.graph_replays;
+        self.gpu_graph_ops = s.graph_ops;
+        self.gpu_launch_overhead_ns = s.launch_overhead_ns;
+        self.gpu_busy_ns = s.busy_ns;
+    }
 }
 
 /// Percentile of a latency sample set by the nearest-rank method
 /// (p in [0, 100]; p=50 is the median, p=100 the maximum). Returns
 /// `None` on an empty sample. Sorts a copy, so callers can pass raw
 /// per-request samples straight from [`RequestMetrics`].
+///
+/// This is the *exact* path: use it when the full sample vector is
+/// already in hand. Streaming aggregation goes through
+/// `kt_trace::LogHistogram`, whose percentile answers within one log₂
+/// bucket of this function's (asserted by a cross-check test below).
 pub fn percentile_ns(samples: &[u64], p: f64) -> Option<u64> {
     if samples.is_empty() {
         return None;
@@ -348,6 +378,57 @@ mod tests {
         // p99 over 200 samples picks the 198th order statistic.
         let big: Vec<u64> = (1..=200).collect();
         assert_eq!(percentile_ns(&big, 99.0), Some(198));
+    }
+
+    #[test]
+    fn histogram_percentile_within_one_bucket_of_exact() {
+        use kt_trace::LogHistogram;
+        // Deterministic pseudo-random latencies spanning ~6 decades.
+        let mut samples: Vec<u64> = Vec::with_capacity(500);
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        for i in 0..500u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            samples.push(x % (10u64.pow((i % 6) as u32 + 3)));
+        }
+        let mut h = LogHistogram::new();
+        h.record_all(samples.iter().copied());
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            let exact = percentile_ns(&samples, p).unwrap();
+            let approx = h.percentile(p).unwrap();
+            assert_eq!(
+                LogHistogram::bucket_index(approx),
+                LogHistogram::bucket_index(exact),
+                "p={p}: histogram {approx} vs exact {exact}"
+            );
+        }
+        assert_eq!(
+            h.percentile(100.0),
+            percentile_ns(&samples, 100.0),
+            "the maximum is exact"
+        );
+    }
+
+    #[test]
+    fn set_launch_overwrites_gpu_counters() {
+        let mut s = ServeStats::default();
+        let launch = crate::vgpu::LaunchStats {
+            kernel_launches: 3,
+            host_funcs: 4,
+            graph_replays: 5,
+            graph_ops: 60,
+            launch_overhead_ns: 700,
+            busy_ns: 800,
+        };
+        s.set_launch(&launch);
+        s.set_launch(&launch); // replace, not accumulate
+        assert_eq!(s.gpu_kernel_launches, 3);
+        assert_eq!(s.gpu_host_funcs, 4);
+        assert_eq!(s.gpu_graph_replays, 5);
+        assert_eq!(s.gpu_graph_ops, 60);
+        assert_eq!(s.gpu_launch_overhead_ns, 700);
+        assert_eq!(s.gpu_busy_ns, 800);
     }
 
     #[test]

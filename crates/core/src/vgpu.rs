@@ -167,6 +167,12 @@ impl VirtualGpu {
             busy_ns: AtomicU64::new(0),
             capturing: AtomicBool::new(false),
         });
+        // Give each stream its own named trace track so CPU/GPU
+        // overlap renders on separate rows even though all stream ops
+        // execute on the one device thread.
+        for s in 0..cfg.n_streams {
+            kt_trace::sink().name_track(kt_trace::stream_track(s), &format!("vGPU stream {s}"));
+        }
         let worker_shared = Arc::clone(&shared);
         let device_thread = std::thread::Builder::new()
             .name("kt-vgpu".into())
@@ -257,6 +263,16 @@ impl VirtualGpu {
     /// Replays a captured graph on `stream` with a **single** launch
     /// cost, regardless of how many ops it contains.
     pub fn launch_graph(&self, stream: StreamId, graph: &GraphHandle) {
+        if kt_trace::enabled() {
+            kt_trace::record_on(
+                kt_trace::stream_track(stream),
+                kt_trace::SpanKind::VgpuGraphReplay,
+                kt_trace::now_ns(),
+                0,
+                stream as u32,
+                graph.ops.len() as u32,
+            );
+        }
         self.shared.graph_replays.fetch_add(1, Ordering::Relaxed);
         self.shared
             .graph_ops
@@ -350,13 +366,28 @@ fn device_loop(shared: Arc<Shared>) {
                 shared.cv.wait(&mut st);
             }
         };
+        let tracing = kt_trace::enabled();
+        let track = kt_trace::stream_track(item.stream);
         if !item.launch_cost.is_zero() {
             // Simulated launch latency occupies the device timeline.
             shared
                 .launch_overhead_ns
                 .fetch_add(item.launch_cost.as_nanos() as u64, Ordering::Relaxed);
+            let t0 = if tracing { kt_trace::now_ns() } else { 0 };
             spin_for(item.launch_cost);
+            if tracing {
+                let t1 = kt_trace::now_ns();
+                kt_trace::record_on(
+                    track,
+                    kt_trace::SpanKind::VgpuLaunch,
+                    t0,
+                    t1.saturating_sub(t0),
+                    item.stream as u32,
+                    0,
+                );
+            }
         }
+        let t0 = if tracing { kt_trace::now_ns() } else { 0 };
         let op_start = std::time::Instant::now();
         match &item.op {
             Op::Kernel(f) | Op::HostFunc(f) => f(),
@@ -364,6 +395,14 @@ fn device_loop(shared: Arc<Shared>) {
         shared
             .busy_ns
             .fetch_add(op_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        if tracing {
+            let kind = match &item.op {
+                Op::Kernel(_) => kt_trace::SpanKind::VgpuKernel,
+                Op::HostFunc(_) => kt_trace::SpanKind::VgpuHostFunc,
+            };
+            let t1 = kt_trace::now_ns();
+            kt_trace::record_on(track, kind, t0, t1.saturating_sub(t0), item.stream as u32, 0);
+        }
         let mut st = shared.state.lock();
         st.completed[item.stream] += 1;
         shared.done_cv.notify_all();

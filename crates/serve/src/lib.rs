@@ -305,6 +305,69 @@ mod tests {
     }
 
     #[test]
+    fn stats_text_exposes_counters_gauges_and_histograms() {
+        let server = Server::start(engine(10), cfg(2)).unwrap();
+        let result = server.submit(Request::greedy(&[1, 2, 3], 4)).wait();
+        assert!(result.is_completed());
+        let text = server.stats_text();
+        for metric in [
+            "# TYPE kt_requests_completed_total counter",
+            "kt_requests_completed_total 1",
+            "kt_tokens_generated_total 4",
+            "# TYPE kt_queue_depth gauge",
+            "# TYPE kt_request_queue_wait_ns histogram",
+            "kt_request_queue_wait_ns_count 1",
+            "kt_request_ttft_ns_count 1",
+            // 4 tokens → 3 inter-token gaps.
+            "kt_request_inter_token_ns_count 3",
+            "_bucket{le=\"+Inf\"} 1",
+        ] {
+            assert!(text.contains(metric), "missing {metric:?} in:\n{text}");
+        }
+        // Satellite of PR 4: the vGPU launch counters ride along in
+        // ServeStats like the arena counters do.
+        let stats = server.stats();
+        assert!(
+            stats.gpu_graph_replays > 0 || stats.gpu_kernel_launches > 0,
+            "launch counters folded in: {stats:?}"
+        );
+        assert!(text.contains("kt_gpu_host_funcs_total"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn queue_wait_recorded_for_requests_cancelled_while_queued() {
+        let server = Server::start(engine(11), cfg(1)).unwrap();
+        // Keep the single batch slot busy so the next request queues.
+        let busy = server.submit(Request::greedy(&[1, 2, 3], 64));
+        let queued = server.submit(Request::greedy(&[6, 7], 64));
+        std::thread::sleep(Duration::from_millis(2));
+        queued.cancel();
+        let q = queued.wait_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(q.outcome, RequestOutcome::Cancelled);
+        assert!(q.metrics.queue_wait_ns > 0, "queued time was measured");
+        busy.cancel();
+        let _ = busy.wait_timeout(Duration::from_secs(30)).unwrap();
+        // Both resolutions (cancelled-queued and cancelled-active)
+        // contributed queue-wait samples — no survivorship bias.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let (queue_wait, _, _) = server.latency_histograms();
+            if queue_wait.count() == 2 {
+                assert!(queue_wait.max().unwrap() > 0);
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "histograms never saw both requests: {}",
+                queue_wait.count()
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        server.shutdown();
+    }
+
+    #[test]
     fn concurrent_requests_all_complete_and_are_deterministic() {
         let server = Server::start(engine(6), cfg(4)).unwrap();
         let prompts: Vec<Vec<u32>> = (0..6).map(|i| vec![i + 1, 2 * i + 3]).collect();

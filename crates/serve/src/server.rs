@@ -27,6 +27,7 @@ use kt_core::{BatchSeq, EngineError, HybridEngine, RequestMetrics, ServeStats};
 use kt_model::kvcache::KvCache;
 use kt_model::pool::{CacheLease, KvCachePool};
 use kt_tensor::Matrix;
+use kt_trace::{LogHistogram, SpanKind};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -105,16 +106,31 @@ impl ActiveSeq {
             && !self.tokens.is_empty()
     }
 
-    fn resolve(self, outcome: RequestOutcome, pool: &KvCachePool) {
+    fn resolve(self, outcome: RequestOutcome, inner: &ServerInner) {
+        inner.record_request_hists(&self.metrics);
         // Release first so the admission valve reopens before any
         // waiter reacts to the result.
-        let _ = pool.release(self.lease);
+        let _ = inner.pool.release(self.lease);
         self.slot.resolve(RequestResult {
             outcome,
             tokens: self.tokens,
             metrics: self.metrics,
         });
     }
+}
+
+/// Server-side latency histograms, fed at request resolution.
+#[derive(Default)]
+struct LatencyHists {
+    /// Queue wait of every resolved request — including requests
+    /// cancelled or failed while still queued, which never produce a
+    /// token but did wait. Leaving them out would survivorship-bias
+    /// the queue-wait percentiles toward requests that got served.
+    queue_wait: LogHistogram,
+    /// Time to first token of every request that produced one.
+    ttft: LogHistogram,
+    /// Inter-token latencies across all requests.
+    itl: LogHistogram,
 }
 
 struct ServerInner {
@@ -125,7 +141,22 @@ struct ServerInner {
     wakeup: Condvar,
     shutdown: AtomicBool,
     stats: Mutex<ServeStats>,
+    hists: Mutex<LatencyHists>,
     cfg: ServerConfig,
+}
+
+impl ServerInner {
+    /// Folds a resolved request's latency samples into the server
+    /// histograms. Every resolution path that saw the queue calls
+    /// this, whatever the outcome.
+    fn record_request_hists(&self, m: &RequestMetrics) {
+        let mut h = self.hists.lock();
+        h.queue_wait.record(m.queue_wait_ns);
+        if let Some(t) = m.ttft_ns {
+            h.ttft.record(t);
+        }
+        h.itl.record_all(m.token_latencies_ns.iter().copied());
+    }
 }
 
 /// A running continuous-batching server over one [`HybridEngine`].
@@ -159,6 +190,7 @@ impl Server {
             )));
         }
         let pool = KvCachePool::for_prototype(&engine.fresh_cache(), cfg.max_batch);
+        kt_trace::enable_from_env();
         let inner = Arc::new(ServerInner {
             engine,
             pool,
@@ -166,6 +198,7 @@ impl Server {
             wakeup: Condvar::new(),
             shutdown: AtomicBool::new(false),
             stats: Mutex::new(ServeStats::default()),
+            hists: Mutex::new(LatencyHists::default()),
             cfg,
         });
         let loop_inner = Arc::clone(&inner);
@@ -209,11 +242,82 @@ impl Server {
     }
 
     /// Snapshot of the aggregate serving statistics, with the engine's
-    /// cumulative step-arena counters folded in.
+    /// cumulative step-arena counters and virtual-GPU launch counters
+    /// folded in.
     pub fn stats(&self) -> ServeStats {
         let mut s = self.inner.stats.lock().clone();
         s.set_arena(&self.inner.engine.workspace_stats());
+        s.set_launch(&self.inner.engine.launch_stats());
         s
+    }
+
+    /// Prometheus-style text exposition of the serving metrics:
+    /// request/token/step counters, queue and batch gauges, the
+    /// engine's arena and virtual-GPU launch counters, and the
+    /// queue-wait / TTFT / inter-token latency histograms (log₂
+    /// buckets, cumulative `_bucket{le=...}` form). Suitable for
+    /// serving at a `/metrics` endpoint verbatim.
+    pub fn stats_text(&self) -> String {
+        let s = self.stats();
+        let mut out = String::with_capacity(4096);
+        let c = |out: &mut String, name: &str, help: &str, v: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            ));
+        };
+        let g = |out: &mut String, name: &str, help: &str, v: f64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
+            ));
+        };
+        c(&mut out, "kt_requests_completed_total", "Requests that ran to completion.", s.completed);
+        c(&mut out, "kt_requests_cancelled_total", "Requests cancelled by their client.", s.cancelled);
+        c(&mut out, "kt_requests_failed_total", "Requests that failed with an engine error.", s.failed);
+        c(&mut out, "kt_tokens_generated_total", "Tokens emitted across all requests.", s.tokens_generated);
+        c(&mut out, "kt_steps_total", "Continuous-batching steps executed.", s.steps);
+        c(&mut out, "kt_prefill_chunks_total", "Prefill chunks executed.", s.prefill_chunks);
+        c(&mut out, "kt_prefill_tokens_total", "Prompt tokens fed through prefill chunks.", s.prefill_tokens);
+        c(&mut out, "kt_gpu_kernel_launches_total", "Kernels launched individually on the virtual GPU.", s.gpu_kernel_launches);
+        c(&mut out, "kt_gpu_host_funcs_total", "Host-function callbacks executed in-stream.", s.gpu_host_funcs);
+        c(&mut out, "kt_gpu_graph_replays_total", "Graph replays (one launch each).", s.gpu_graph_replays);
+        c(&mut out, "kt_gpu_graph_ops_total", "Ops executed via graph replay.", s.gpu_graph_ops);
+        c(&mut out, "kt_gpu_launch_overhead_ns_total", "Simulated launch latency charged on the device.", s.gpu_launch_overhead_ns);
+        c(&mut out, "kt_gpu_busy_ns_total", "Nanoseconds the device spent executing ops.", s.gpu_busy_ns);
+        c(&mut out, "kt_arena_allocations_total", "Fresh heap allocations performed by the step arenas.", s.arena_allocations);
+        c(&mut out, "kt_arena_bytes_allocated_total", "Bytes served by fresh heap allocations.", s.arena_bytes_allocated);
+        c(&mut out, "kt_arena_bytes_served_total", "Bytes served by reusing an existing arena buffer.", s.arena_bytes_served);
+        g(&mut out, "kt_queue_depth", "Requests currently waiting for admission.", self.queued() as f64);
+        g(&mut out, "kt_active_sequences", "Sequences currently admitted (leased caches).", self.active() as f64);
+        g(&mut out, "kt_peak_queue_depth", "Deepest admission queue observed.", s.peak_queue_depth as f64);
+        g(&mut out, "kt_mean_batch_occupancy", "Mean active sequences per step.", s.mean_occupancy());
+        g(&mut out, "kt_arena_high_water_bytes", "High-water mark of bytes held across step arenas.", s.arena_high_water_bytes as f64);
+        let hists = self.inner.hists.lock();
+        render_histogram(
+            &mut out,
+            "kt_request_queue_wait_ns",
+            "Queue wait of every resolved request (including those cancelled or failed while queued).",
+            &hists.queue_wait,
+        );
+        render_histogram(
+            &mut out,
+            "kt_request_ttft_ns",
+            "Time from admission to first emitted token.",
+            &hists.ttft,
+        );
+        render_histogram(
+            &mut out,
+            "kt_request_inter_token_ns",
+            "Inter-token latencies across all requests.",
+            &hists.itl,
+        );
+        out
+    }
+
+    /// The three server latency histograms (queue wait, TTFT,
+    /// inter-token), cloned, for programmatic percentile queries.
+    pub fn latency_histograms(&self) -> (LogHistogram, LogHistogram, LogHistogram) {
+        let h = self.inner.hists.lock();
+        (h.queue_wait.clone(), h.ttft.clone(), h.itl.clone())
     }
 
     /// Sequences currently admitted (leased caches).
@@ -278,6 +382,32 @@ impl std::fmt::Debug for Server {
     }
 }
 
+/// Renders one histogram in Prometheus text format: cumulative
+/// `_bucket{le="..."}` lines (one per log₂ bucket up to the highest
+/// occupied one, then `+Inf`), `_sum`, and `_count`.
+fn render_histogram(out: &mut String, name: &str, help: &str, h: &LogHistogram) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} histogram\n"
+    ));
+    let top_occupied = (0..kt_trace::hist::N_BUCKETS)
+        .rev()
+        .find(|&i| h.bucket_count(i) > 0);
+    let mut cum = 0u64;
+    if let Some(top) = top_occupied {
+        // Bucket 64's upper bound is u64::MAX; it folds into +Inf.
+        for i in 0..=top.min(63) {
+            cum += h.bucket_count(i);
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                LogHistogram::bucket_upper_bound(i)
+            ));
+        }
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+    out.push_str(&format!("{name}_sum {}\n", h.sum()));
+    out.push_str(&format!("{name}_count {}\n", h.count()));
+}
+
 fn scheduler_loop(inner: &ServerInner) {
     let mut active: Vec<ActiveSeq> = Vec::new();
     loop {
@@ -317,15 +447,18 @@ fn admit(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
         while let Some(front) = queue.front() {
             if front.slot.cancel_requested() {
                 // Cancelled while queued: resolve without admitting.
+                // The queue wait still counts toward the histograms.
                 let q = queue.pop_front().expect("front exists");
                 inner.stats.lock().cancelled += 1;
+                let metrics = RequestMetrics {
+                    queue_wait_ns: q.enqueued_at.elapsed().as_nanos() as u64,
+                    ..Default::default()
+                };
+                inner.record_request_hists(&metrics);
                 q.slot.resolve(RequestResult {
                     outcome: RequestOutcome::Cancelled,
                     tokens: Vec::new(),
-                    metrics: RequestMetrics {
-                        queue_wait_ns: q.enqueued_at.elapsed().as_nanos() as u64,
-                        ..Default::default()
-                    },
+                    metrics,
                 });
                 continue;
             }
@@ -337,6 +470,11 @@ fn admit(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
             };
             let q = queue.pop_front().expect("front exists");
             let queue_wait_ns = q.enqueued_at.elapsed().as_nanos() as u64;
+            kt_trace::instant(
+                SpanKind::ServeAdmit,
+                (queue_wait_ns / 1_000).min(u32::MAX as u64) as u32,
+                0,
+            );
             active.push(ActiveSeq {
                 slot: q.slot,
                 lease,
@@ -376,7 +514,7 @@ fn retire_cancelled(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
             // composition deterministic.
             let seq = active.remove(i);
             inner.stats.lock().cancelled += 1;
-            seq.resolve(RequestOutcome::Cancelled, &inner.pool);
+            seq.resolve(RequestOutcome::Cancelled, inner);
         } else {
             i += 1;
         }
@@ -443,6 +581,20 @@ fn compose(inner: &ServerInner, active: &[ActiveSeq]) -> Vec<Option<Work>> {
 /// post-processes every scheduled sequence.
 fn step(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
     let plan = compose(inner, active);
+    let step_tokens: usize = plan
+        .iter()
+        .flatten()
+        .map(|w| match w {
+            Work::Decode(_) => 1,
+            Work::Chunk { len, .. } => *len,
+        })
+        .sum();
+    let scheduled_seqs = plan.iter().flatten().count();
+    let _span = kt_trace::span_ab(
+        SpanKind::ServeStep,
+        scheduled_seqs as u32,
+        step_tokens as u32,
+    );
 
     // Build the batch from the scheduled sequences; `scheduled[b]` maps
     // batch slot `b` back to its index in `active`.
@@ -483,6 +635,7 @@ fn step(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
                 match plan[i].expect("scheduled implies planned") {
                     Work::Chunk { len, last } => {
                         seq.prefilled += len;
+                        kt_trace::instant(SpanKind::ServePrefillChunk, len as u32, last as u32);
                         {
                             let mut stats = inner.stats.lock();
                             stats.prefill_chunks += 1;
@@ -509,7 +662,7 @@ fn step(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
                 if active[i].is_done() {
                     let seq = active.remove(i);
                     inner.stats.lock().completed += 1;
-                    seq.resolve(RequestOutcome::Completed, &inner.pool);
+                    seq.resolve(RequestOutcome::Completed, inner);
                 } else {
                     i += 1;
                 }
@@ -528,7 +681,7 @@ fn step(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
                     RequestOutcome::Failed {
                         error: error.clone(),
                     },
-                    &inner.pool,
+                    inner,
                 );
             }
         }
@@ -566,18 +719,20 @@ fn sample_next(inner: &ServerInner, seq: &mut ActiveSeq, l: Matrix) {
 fn drain(inner: &ServerInner, active: Vec<ActiveSeq>) {
     for seq in active {
         inner.stats.lock().cancelled += 1;
-        seq.resolve(RequestOutcome::Cancelled, &inner.pool);
+        seq.resolve(RequestOutcome::Cancelled, inner);
     }
     let leftovers: Vec<Queued> = inner.queue.lock().drain(..).collect();
     for q in leftovers {
         inner.stats.lock().cancelled += 1;
+        let metrics = RequestMetrics {
+            queue_wait_ns: q.enqueued_at.elapsed().as_nanos() as u64,
+            ..Default::default()
+        };
+        inner.record_request_hists(&metrics);
         q.slot.resolve(RequestResult {
             outcome: RequestOutcome::Cancelled,
             tokens: Vec::new(),
-            metrics: RequestMetrics {
-                queue_wait_ns: q.enqueued_at.elapsed().as_nanos() as u64,
-                ..Default::default()
-            },
+            metrics,
         });
     }
 }

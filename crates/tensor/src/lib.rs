@@ -38,4 +38,4 @@ pub use error::TensorError;
 pub use matrix::Matrix;
 pub use quant::{QuantDtype, QuantizedMatrix};
 pub use tile::{PackedWeights, WeightDtype, NR};
-pub use workspace::{ArenaStats, ScratchArena};
+pub use workspace::{set_arena_alloc_hook, ArenaStats, ScratchArena};

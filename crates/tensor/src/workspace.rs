@@ -19,6 +19,20 @@
 
 use crate::error::TensorError;
 use crate::matrix::Matrix;
+use std::sync::OnceLock;
+
+/// Process-wide hook invoked whenever any arena performs a fresh
+/// backing allocation (argument: bytes obtained from the allocator).
+/// Lets an observability layer surface arena allocations as events
+/// without kt-tensor depending on it.
+static ALLOC_HOOK: OnceLock<fn(u64)> = OnceLock::new();
+
+/// Installs the fresh-allocation hook. First caller wins; later calls
+/// are ignored. The hook runs inline on the allocating thread and must
+/// be cheap and non-reentrant into the arena.
+pub fn set_arena_alloc_hook(hook: fn(u64)) {
+    let _ = ALLOC_HOOK.set(hook);
+}
 
 /// Allocation/reuse counters for a [`ScratchArena`].
 ///
@@ -112,6 +126,9 @@ impl ScratchArena {
                 let m = Matrix::zeros(rows, cols)?;
                 self.stats.allocations += 1;
                 self.stats.bytes_allocated += need_bytes;
+                if let Some(hook) = ALLOC_HOOK.get() {
+                    hook(need_bytes);
+                }
                 m
             }
         };

@@ -1,0 +1,229 @@
+//! Log₂-bucketed latency histogram with nearest-rank percentiles.
+//!
+//! [`LogHistogram`] replaces raw `Vec<u64>` sample plumbing: recording
+//! is O(1) with a fixed 65-bucket footprint, histograms from different
+//! sources merge exactly (merge is associative and commutative — the
+//! buckets just add), and percentile queries answer within one log₂
+//! bucket of the exact nearest-rank statistic over the original
+//! samples. Bucket `k` (k ≥ 1) covers values in `[2^(k-1), 2^k - 1]`;
+//! bucket 0 holds exact zeros, so sub-microsecond and multi-second
+//! latencies coexist without configuration.
+
+/// Number of buckets: one for zero plus one per bit of `u64`.
+pub const N_BUCKETS: usize = 65;
+
+/// A mergeable log₂-bucketed histogram of `u64` samples (typically
+/// nanoseconds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: [u64; N_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            counts: [0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index of `v`: 0 for zero, otherwise `64 - leading_zeros`
+    /// (so bucket `k` covers `[2^(k-1), 2^k - 1]`).
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Largest value bucket `i` can hold.
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            1..=63 => (1u64 << i) - 1,
+            _ => u64::MAX,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records every sample of an iterator.
+    pub fn record_all(&mut self, vs: impl IntoIterator<Item = u64>) {
+        for v in vs {
+            self.record(v);
+        }
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (exact), `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample (exact), `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of all samples, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Count in bucket `i` (for exposition formats).
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Folds another histogram in. Exact: merging then querying equals
+    /// querying a histogram fed both sample streams.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Nearest-rank percentile (p in `[0, 100]`; 50 = median, 100 =
+    /// max). Returns `None` when empty. The answer lands in the same
+    /// log₂ bucket as the exact nearest-rank order statistic: the
+    /// bucket's upper bound, clamped to the observed maximum.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Self::bucket_upper_bound(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(LogHistogram::bucket_index(0), 0);
+        assert_eq!(LogHistogram::bucket_index(1), 1);
+        assert_eq!(LogHistogram::bucket_index(2), 2);
+        assert_eq!(LogHistogram::bucket_index(3), 2);
+        assert_eq!(LogHistogram::bucket_index(4), 3);
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), 64);
+        for k in 1..=63 {
+            let ub = LogHistogram::bucket_upper_bound(k);
+            assert_eq!(LogHistogram::bucket_index(ub), k);
+            assert_eq!(LogHistogram::bucket_index(ub + 1), k + 1);
+        }
+        assert_eq!(LogHistogram::bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.min(), None);
+        h.record_all([10, 20, 30, 0]);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 60);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(30));
+        assert_eq!(h.mean(), Some(15.0));
+    }
+
+    #[test]
+    fn percentile_tracks_exact_bucket() {
+        let mut h = LogHistogram::new();
+        let samples: Vec<u64> = (1..=200).map(|i| i * 7).collect();
+        h.record_all(samples.iter().copied());
+        for p in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            let exact = sorted[rank.clamp(1, sorted.len()) - 1];
+            let approx = h.percentile(p).unwrap();
+            assert_eq!(
+                LogHistogram::bucket_index(approx),
+                LogHistogram::bucket_index(exact),
+                "p={p}: approx {approx} vs exact {exact}"
+            );
+        }
+        assert_eq!(h.percentile(100.0), Some(1400), "p100 is the exact max");
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut both = LogHistogram::new();
+        for v in [0u64, 3, 9, 1000, 77] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [5u64, 5, 123456789] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = LogHistogram::new();
+        h.record_all([4, 8, 15]);
+        let before = h.clone();
+        h.merge(&LogHistogram::new());
+        assert_eq!(h, before);
+        let mut e = LogHistogram::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+}

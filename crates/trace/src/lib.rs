@@ -1,0 +1,38 @@
+//! Observability for the KTransformers reproduction.
+//!
+//! The paper's headline claims are latency *decompositions* — Figure
+//! 4's launch-overhead breakdown, §3.3's CPU/GPU overlap, Figure 10's
+//! prefill/decode split. This crate provides the instrumentation layer
+//! that makes those decompositions observable in our own runs:
+//!
+//! * [`sink`] — lock-free per-thread span recording behind a global
+//!   enabled flag. A disabled instrumentation point costs one relaxed
+//!   atomic load; an enabled one records into the calling thread's ring
+//!   buffer without locks or allocation. Spans carry a phase
+//!   ([`SpanKind`]), a track (worker thread or vGPU stream), and two
+//!   kind-specific labels (layer, sequence count, bytes, …).
+//! * [`chrome`] — a Chrome-trace-format (Perfetto JSON) exporter: a
+//!   serving run with tracing enabled produces a timeline loadable in
+//!   <https://ui.perfetto.dev>, with one row per worker thread and one
+//!   per vGPU stream, so CPU expert execution visibly overlapping the
+//!   GPU stream is an *artifact*, not an assertion.
+//! * [`hist`] — [`LogHistogram`], a log₂-bucketed mergeable latency
+//!   histogram with nearest-rank percentile queries; the serving layer
+//!   and the bench binaries aggregate queue-wait/TTFT/inter-token
+//!   samples through it instead of hoarding raw `Vec<u64>`s.
+//!
+//! Enable tracing programmatically ([`enable`]) or by setting
+//! `KT_TRACE=1` in the environment ([`enable_from_env`] is called on
+//! engine and server construction).
+
+pub mod chrome;
+pub mod hist;
+pub mod sink;
+
+pub use chrome::chrome_trace;
+pub use hist::LogHistogram;
+pub use sink::{
+    disable, enable, enable_from_env, enabled, instant, now_ns, record_on, sink, span, span_ab,
+    stream_track, Ring, Span, SpanGuard, SpanKind, TraceSink, TraceSnapshot, DEFAULT_RING_SPANS,
+    STREAM_TRACK_BASE,
+};

@@ -1,0 +1,184 @@
+//! Property tests for the trace sink's concurrent recording and the
+//! histogram's merge algebra.
+//!
+//! The sink's rings are single-producer/any-consumer: N writer threads
+//! each own a ring and record concurrently while snapshots may run at
+//! any time. The properties checked here are the ones the exporter
+//! relies on: every span a quiesced snapshot returns is complete and
+//! untorn, per-thread spans come back in recording order, timestamps
+//! are monotonic per track, and ring overwrite keeps exactly the
+//! newest `capacity` spans.
+
+use kt_trace::{LogHistogram, SpanKind, TraceSink};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Encodes a self-checking span payload for writer `t`, item `i`:
+/// every field is a deterministic function of `(t, i)`, so a torn
+/// read (fields from different writes) violates the relations below.
+fn payload(t: usize, i: u64) -> (u64, u64, u32, u32) {
+    let start = (t as u64) << 32 | i;
+    (start, start.wrapping_mul(3) & 0xFFFF, i as u32, t as u32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Concurrent writers + quiesced snapshot: completeness, per-track
+    /// order, monotonic timestamps, correct overwrite window.
+    #[test]
+    fn concurrent_recording_is_complete_ordered_and_untorn(
+        n_threads in 1usize..4,
+        n_spans in 1u64..150,
+        capacity in 8usize..64,
+    ) {
+        let sink = Arc::new(TraceSink::new());
+        sink.enable();
+        let mut handles = Vec::new();
+        for t in 0..n_threads {
+            let sink = Arc::clone(&sink);
+            handles.push(std::thread::spawn(move || {
+                let ring = sink.register_ring_with_capacity(&format!("w{t}"), capacity);
+                for i in 0..n_spans {
+                    let (start, dur, a, b) = payload(t, i);
+                    ring.record(SpanKind::Attention, None, start, dur, a, b);
+                }
+                ring.track()
+            }));
+        }
+        let tracks: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Distinct track per thread.
+        let mut sorted = tracks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), n_threads);
+
+        let snap = sink.snapshot();
+        let kept = n_spans.min(capacity as u64);
+        prop_assert_eq!(snap.spans.len() as u64, kept * n_threads as u64);
+        for (t, &track) in tracks.iter().enumerate() {
+            let mine: Vec<_> = snap.spans.iter().filter(|s| s.track == track).collect();
+            prop_assert_eq!(mine.len() as u64, kept);
+            for (k, s) in mine.iter().enumerate() {
+                // The newest `kept` spans survive, in recording order.
+                let i = n_spans - kept + k as u64;
+                let (start, dur, a, b) = payload(t, i);
+                prop_assert_eq!(s.start_ns, start);
+                prop_assert_eq!(s.dur_ns, dur);
+                prop_assert_eq!(s.a, a);
+                prop_assert_eq!(s.b, b);
+            }
+            // Monotonic per track.
+            for w in mine.windows(2) {
+                prop_assert!(w[0].start_ns < w[1].start_ns);
+            }
+        }
+    }
+
+    /// Snapshots racing live writers never observe a torn span: every
+    /// span returned satisfies the payload relations of *some* single
+    /// write, and per-track timestamps stay monotonic.
+    #[test]
+    fn live_snapshots_never_tear(
+        n_threads in 1usize..3,
+        n_spans in 50u64..400,
+    ) {
+        let sink = Arc::new(TraceSink::new());
+        sink.enable();
+        let mut writers = Vec::new();
+        for t in 0..n_threads {
+            let sink = Arc::clone(&sink);
+            writers.push(std::thread::spawn(move || {
+                let ring = sink.register_ring_with_capacity(&format!("w{t}"), 16);
+                for i in 0..n_spans {
+                    let (start, dur, a, b) = payload(t, i);
+                    ring.record(SpanKind::MergeSpin, None, start, dur, a, b);
+                }
+            }));
+        }
+        for _ in 0..50 {
+            let snap = sink.snapshot();
+            for s in &snap.spans {
+                let t = (s.start_ns >> 32) as usize;
+                let i = s.start_ns & 0xFFFF_FFFF;
+                let (start, dur, a, b) = payload(t, i);
+                prop_assert_eq!(s.start_ns, start);
+                prop_assert_eq!(s.dur_ns, dur, "torn dur for ({}, {})", t, i);
+                prop_assert_eq!(s.a, a, "torn a");
+                prop_assert_eq!(s.b, b, "torn b");
+                prop_assert!(t < n_threads);
+                prop_assert!(i < n_spans);
+            }
+            let mut by_track: std::collections::HashMap<u32, Vec<u64>> =
+                std::collections::HashMap::new();
+            for s in &snap.spans {
+                by_track.entry(s.track).or_default().push(s.start_ns);
+            }
+            for starts in by_track.values() {
+                for w in starts.windows(2) {
+                    prop_assert!(w[0] < w[1], "per-track order under race");
+                }
+            }
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+    }
+
+    /// Histogram merge is associative and agrees with recording the
+    /// concatenated sample stream directly.
+    #[test]
+    fn histogram_merge_is_associative(
+        xs in proptest::collection::vec(0u64..u64::MAX, 0..40),
+        ys in proptest::collection::vec(0u64..u64::MAX, 0..40),
+        zs in proptest::collection::vec(0u64..u64::MAX, 0..40),
+    ) {
+        let h = |v: &[u64]| {
+            let mut h = LogHistogram::new();
+            h.record_all(v.iter().copied());
+            h
+        };
+        let (a, b, c) = (h(&xs), h(&ys), h(&zs));
+
+        // (a ⊎ b) ⊎ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊎ (b ⊎ c)
+        let mut right_inner = b.clone();
+        right_inner.merge(&c);
+        let mut right = a.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right);
+
+        // Both equal the histogram of the concatenated stream.
+        let mut all = xs.clone();
+        all.extend_from_slice(&ys);
+        all.extend_from_slice(&zs);
+        let combined = h(&all);
+        prop_assert_eq!(&left, &combined);
+
+        // And percentile queries agree wherever defined.
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            prop_assert_eq!(left.percentile(p), combined.percentile(p));
+        }
+    }
+
+    /// Merge is commutative too (the buckets just add).
+    #[test]
+    fn histogram_merge_is_commutative(
+        xs in proptest::collection::vec(0u64..1_000_000, 0..30),
+        ys in proptest::collection::vec(0u64..1_000_000, 0..30),
+    ) {
+        let h = |v: &[u64]| {
+            let mut h = LogHistogram::new();
+            h.record_all(v.iter().copied());
+            h
+        };
+        let mut ab = h(&xs);
+        ab.merge(&h(&ys));
+        let mut ba = h(&ys);
+        ba.merge(&h(&xs));
+        prop_assert_eq!(ab, ba);
+    }
+}
