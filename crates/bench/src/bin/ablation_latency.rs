@@ -105,6 +105,10 @@ fn measured_serving_percentiles() {
             max_batch: 4,
             prefill_chunk: 8,
             step_token_budget: 16,
+            // Cold-path latency bench: repeated prompts must not get
+            // warm-seeded from the prefix cache mid-measurement.
+            prefix_cache_bytes: 0,
+            ..Default::default()
         },
     )
     .expect("valid config");

@@ -72,6 +72,10 @@ fn mixed_workload(chunked: bool) -> MixedRun {
             max_batch: 8,
             prefill_chunk: 64,
             step_token_budget: 96,
+            // Both arms measure cold prefill; prefix reuse would let
+            // repeated prompts skip the work under measurement.
+            prefix_cache_bytes: 0,
+            ..Default::default()
         }
     } else {
         // Chunk at or above the longest prompt = monolithic prefill:
@@ -80,6 +84,8 @@ fn mixed_workload(chunked: bool) -> MixedRun {
             max_batch: 8,
             prefill_chunk: 1024,
             step_token_budget: 1024,
+            prefix_cache_bytes: 0,
+            ..Default::default()
         }
     };
     let server = Server::start(engine(), cfg).expect("valid config");

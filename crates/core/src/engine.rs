@@ -653,6 +653,60 @@ impl HybridEngine {
         KvCache::new(&specs, self.cfg.max_seq)
     }
 
+    /// Checks that `cache` matches this engine's layout and holds a
+    /// self-consistent sequence: layer count, per-layer row widths and
+    /// capacity, uniform length across layers, and a decoded-row memo
+    /// that never runs ahead of the cached positions. The serving
+    /// layer calls this after seeding a lease from a prefix snapshot,
+    /// before trusting the seeded state in a batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Exec`] naming the first violated
+    /// invariant.
+    pub fn validate_cache(&self, cache: &KvCache) -> Result<(), EngineError> {
+        if cache.n_layers() != self.layers.len() {
+            return Err(EngineError::exec(format!(
+                "cache has {} layers, engine has {}",
+                cache.n_layers(),
+                self.layers.len()
+            )));
+        }
+        let len = cache.seq_len();
+        for (i, l) in self.layers.iter().enumerate() {
+            let (kw, vw) = l.attn.cache_spec();
+            let lc = cache.layer(i);
+            if lc.k_width() != kw || lc.v_width() != vw {
+                return Err(EngineError::exec(format!(
+                    "layer {i} cache widths {}/{} do not match {kw}/{vw}",
+                    lc.k_width(),
+                    lc.v_width()
+                )));
+            }
+            if lc.capacity() != self.cfg.max_seq {
+                return Err(EngineError::exec(format!(
+                    "layer {i} cache capacity {} does not match max_seq {}",
+                    lc.capacity(),
+                    self.cfg.max_seq
+                )));
+            }
+            if lc.len() != len {
+                return Err(EngineError::exec(format!(
+                    "layer {i} holds {} positions, layer 0 holds {len}",
+                    lc.len()
+                )));
+            }
+            if lc.memo_len() > lc.len() {
+                return Err(EngineError::exec(format!(
+                    "layer {i} memo runs ahead of the cache ({} > {})",
+                    lc.memo_len(),
+                    lc.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Swaps the engine's active KV cache with `cache`, returning the
     /// previously active one. This is the session-switch primitive of a
     /// multi-conversation server: check a session's cache in, decode,
@@ -1698,6 +1752,45 @@ mod tests {
         let e = engine(SchedMode::Sync, 0, 1);
         assert!(e.forward(&[]).is_err());
         assert!(e.forward(&[70_000]).is_err());
+    }
+
+    #[test]
+    fn validate_cache_checks_layout_and_consistency() {
+        let e = engine(SchedMode::Sync, 0, 1);
+        let mut ok = e.fresh_cache();
+        e.validate_cache(&ok).unwrap();
+
+        // A cache the engine has actually advanced still validates.
+        e.swap_cache(&mut ok);
+        let _ = e.forward(&[1, 2, 3]).unwrap();
+        e.swap_cache(&mut ok);
+        e.validate_cache(&ok).unwrap();
+
+        // Wrong layer count.
+        let wrong_layers = KvCache::new(&[(4, 4)], e.config().max_seq);
+        assert!(e.validate_cache(&wrong_layers).is_err());
+
+        // Wrong widths (same layer count).
+        let n = ok.n_layers();
+        let wrong_widths = KvCache::new(&vec![(1, 1); n], e.config().max_seq);
+        assert!(e.validate_cache(&wrong_widths).is_err());
+
+        // Wrong capacity.
+        let specs: Vec<(usize, usize)> = (0..n)
+            .map(|i| (ok.layer(i).k_width(), ok.layer(i).v_width()))
+            .collect();
+        let wrong_cap = KvCache::new(&specs, e.config().max_seq + 1);
+        assert!(e.validate_cache(&wrong_cap).is_err());
+
+        // Ragged lengths across layers.
+        let mut ragged = e.fresh_cache();
+        let kw = ragged.layer(0).k_width();
+        let vw = ragged.layer(0).v_width();
+        ragged
+            .layer_mut(0)
+            .push(&vec![0.0; kw], &vec![0.0; vw])
+            .unwrap();
+        assert!(e.validate_cache(&ragged).is_err());
     }
 
     #[test]

@@ -107,6 +107,34 @@ pub struct ServeStats {
     pub gpu_launch_overhead_ns: u64,
     /// Nanoseconds the device spent executing ops.
     pub gpu_busy_ns: u64,
+    /// KV-cache leases currently out (snapshot of pool occupancy; see
+    /// [`ServeStats::set_pool`]).
+    pub kv_leases_in_use: u64,
+    /// Reset KV caches parked in the pool's free list.
+    pub kv_leases_free: u64,
+    /// High-water mark of concurrent KV-cache leases.
+    pub kv_leases_peak: u64,
+    /// Heap bytes retained by parked pool caches.
+    pub kv_pooled_bytes: u64,
+    /// Prefix-cache lookups at admission (snapshot of the prefix
+    /// cache's counters; see [`ServeStats::set_prefix`]).
+    pub prefix_lookups: u64,
+    /// Lookups that matched at least `min_prefix_len` tokens.
+    pub prefix_hits: u64,
+    /// Lookups that matched nothing reusable.
+    pub prefix_misses: u64,
+    /// Prompt tokens served from cached prefixes instead of prefill.
+    pub prefix_hit_tokens: u64,
+    /// Prefix segments frozen into the index.
+    pub prefix_insertions: u64,
+    /// Prefix segments evicted by the byte budget.
+    pub prefix_evictions: u64,
+    /// Bytes freed by prefix eviction.
+    pub prefix_evicted_bytes: u64,
+    /// Bytes currently resident in frozen prefix segments.
+    pub prefix_resident_bytes: u64,
+    /// Prefix segments currently resident.
+    pub prefix_entries: u64,
 }
 
 impl ServeStats {
@@ -154,6 +182,29 @@ impl ServeStats {
         self.gpu_graph_ops = s.graph_ops;
         self.gpu_launch_overhead_ns = s.launch_overhead_ns;
         self.gpu_busy_ns = s.busy_ns;
+    }
+
+    /// Overwrites the KV-pool occupancy gauges from a pool snapshot
+    /// (replace, not accumulate, same as [`ServeStats::set_arena`]).
+    pub fn set_pool(&mut self, o: &kt_model::pool::PoolOccupancy) {
+        self.kv_leases_in_use = o.in_use as u64;
+        self.kv_leases_free = o.free as u64;
+        self.kv_leases_peak = o.peak as u64;
+        self.kv_pooled_bytes = o.pooled_bytes as u64;
+    }
+
+    /// Overwrites the prefix-cache counters from a cache snapshot
+    /// (replace, not accumulate, same as [`ServeStats::set_arena`]).
+    pub fn set_prefix(&mut self, s: &kt_model::prefix::PrefixStats) {
+        self.prefix_lookups = s.lookups;
+        self.prefix_hits = s.hits;
+        self.prefix_misses = s.misses;
+        self.prefix_hit_tokens = s.hit_tokens;
+        self.prefix_insertions = s.insertions;
+        self.prefix_evictions = s.evictions;
+        self.prefix_evicted_bytes = s.evicted_bytes;
+        self.prefix_resident_bytes = s.resident_bytes;
+        self.prefix_entries = s.entries;
     }
 }
 
@@ -429,6 +480,47 @@ mod tests {
         assert_eq!(s.gpu_graph_ops, 60);
         assert_eq!(s.gpu_launch_overhead_ns, 700);
         assert_eq!(s.gpu_busy_ns, 800);
+    }
+
+    #[test]
+    fn set_pool_and_set_prefix_overwrite_snapshots() {
+        let mut s = ServeStats::default();
+        let occ = kt_model::pool::PoolOccupancy {
+            in_use: 2,
+            free: 3,
+            peak: 4,
+            constructed: 5,
+            pooled_bytes: 4096,
+        };
+        s.set_pool(&occ);
+        s.set_pool(&occ); // replace, not accumulate
+        assert_eq!(s.kv_leases_in_use, 2);
+        assert_eq!(s.kv_leases_free, 3);
+        assert_eq!(s.kv_leases_peak, 4);
+        assert_eq!(s.kv_pooled_bytes, 4096);
+
+        let px = kt_model::prefix::PrefixStats {
+            lookups: 10,
+            hits: 7,
+            misses: 3,
+            hit_tokens: 700,
+            insertions: 5,
+            evictions: 2,
+            evicted_bytes: 160,
+            resident_bytes: 240,
+            entries: 3,
+        };
+        s.set_prefix(&px);
+        s.set_prefix(&px);
+        assert_eq!(s.prefix_lookups, 10);
+        assert_eq!(s.prefix_hits, 7);
+        assert_eq!(s.prefix_misses, 3);
+        assert_eq!(s.prefix_hit_tokens, 700);
+        assert_eq!(s.prefix_insertions, 5);
+        assert_eq!(s.prefix_evictions, 2);
+        assert_eq!(s.prefix_evicted_bytes, 160);
+        assert_eq!(s.prefix_resident_bytes, 240);
+        assert_eq!(s.prefix_entries, 3);
     }
 
     #[test]

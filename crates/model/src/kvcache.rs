@@ -213,6 +213,21 @@ impl LayerCache {
             .unwrap_or_default()
     }
 
+    /// Decoded-row memo width in floats (0 = memo unconfigured).
+    pub fn memo_width(&self) -> usize {
+        self.memo_width
+    }
+
+    /// Heap bytes retained by this cache's buffers, counting unused
+    /// `Vec` capacity and the memo. Unlike [`LayerCache::bytes`] this
+    /// survives a [`LayerCache::reset`] (which clears lengths but keeps
+    /// allocations), so pools can report what parked caches actually
+    /// cost in memory.
+    pub fn allocated_bytes(&self) -> usize {
+        (self.k.capacity() + self.v.capacity() + self.memo.capacity())
+            * std::mem::size_of::<f32>()
+    }
+
     /// Appends one decoded row to the memo.
     ///
     /// # Errors
@@ -455,6 +470,12 @@ impl KvCache {
     /// scratch, kept separate from [`KvCache::bytes`]).
     pub fn memo_bytes(&self) -> usize {
         self.layers.iter().map(LayerCache::memo_bytes).sum()
+    }
+
+    /// Heap bytes retained across layers, including unused capacity
+    /// and memos (see [`LayerCache::allocated_bytes`]).
+    pub fn allocated_bytes(&self) -> usize {
+        self.layers.iter().map(LayerCache::allocated_bytes).sum()
     }
 }
 

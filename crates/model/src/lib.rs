@@ -17,6 +17,8 @@
 //! * [`kvcache`] — per-layer KV caches.
 //! * [`pool`] — a bounded lease/release pool of per-sequence caches
 //!   (the admission-control valve of the serving layer).
+//! * [`prefix`] — a token-keyed radix index of frozen KV snapshots for
+//!   shared-prefix reuse (copy-on-write leases, LRU-by-bytes budget).
 //! * [`model`] — the end-to-end causal LM with three execution modes:
 //!   standard, **Expert Deferral** (§4: deferred experts' outputs are
 //!   injected one MoE layer later) and **Expert Skipping** (the Figure
@@ -31,6 +33,7 @@ pub mod kvcache;
 pub mod model;
 pub mod norm;
 pub mod pool;
+pub mod prefix;
 pub mod rope;
 pub mod sampler;
 pub mod tokenizer;
@@ -40,4 +43,5 @@ pub use error::ModelError;
 pub use gating::{GateConfig, Router, ScoreFunc};
 pub use kvcache::{KvCache, KvStore, LayerCache, OffloadedLayerCache};
 pub use model::{ExecMode, MoeModel};
-pub use pool::{CacheLease, KvCachePool};
+pub use pool::{CacheLease, KvCachePool, PoolOccupancy};
+pub use prefix::{PrefixCache, PrefixCacheConfig, PrefixMatch, PrefixStats};

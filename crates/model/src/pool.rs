@@ -12,10 +12,17 @@
 //! observable via [`KvCachePool::in_use`].
 
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::error::ModelError;
 use crate::kvcache::KvCache;
+use crate::prefix::{PrefixCache, PrefixCacheConfig, PrefixStats};
+
+/// Source of process-unique pool tags, so a lease can never be released
+/// into a pool it did not come from — even when two pools happen to
+/// hand out the same lease id.
+static NEXT_POOL_TAG: AtomicU64 = AtomicU64::new(1);
 
 /// A leased per-sequence KV cache. Obtained from
 /// [`KvCachePool::lease`]; give it back with [`KvCachePool::release`].
@@ -24,6 +31,8 @@ pub struct CacheLease {
     /// The leased cache. Exclusively owned until released.
     pub cache: KvCache,
     id: u64,
+    /// Tag of the pool that issued this lease.
+    pool_tag: u64,
 }
 
 impl CacheLease {
@@ -40,14 +49,38 @@ struct PoolState {
     leased: HashSet<u64>,
     next_id: u64,
     peak: usize,
+    /// Caches ever constructed by this pool (leased + free, minus any
+    /// dropped for shape mismatch on release).
+    constructed: usize,
 }
 
-/// A bounded pool of identically-shaped [`KvCache`]s.
+/// A point-in-time view of pool occupancy, read under one lock so the
+/// `in_use + free == constructed` invariant holds in every snapshot
+/// even while other threads lease and release concurrently.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolOccupancy {
+    /// Leases currently out.
+    pub in_use: usize,
+    /// Reset caches parked in the free list.
+    pub free: usize,
+    /// High-water mark of concurrent leases.
+    pub peak: usize,
+    /// Caches ever constructed (and still owned) by this pool.
+    pub constructed: usize,
+    /// Heap bytes retained by parked caches (buffers survive reset).
+    pub pooled_bytes: usize,
+}
+
+/// A bounded pool of identically-shaped [`KvCache`]s, optionally backed
+/// by a [`PrefixCache`] so leases start pre-seeded with shared-prefix
+/// KV state instead of blank.
 pub struct KvCachePool {
     specs: Vec<(usize, usize)>,
     capacity: usize,
     max_leases: usize,
+    tag: u64,
     state: Mutex<PoolState>,
+    prefix: Option<PrefixCache>,
 }
 
 impl KvCachePool {
@@ -59,13 +92,35 @@ impl KvCachePool {
             specs: specs.to_vec(),
             capacity,
             max_leases,
+            tag: NEXT_POOL_TAG.fetch_add(1, Ordering::Relaxed),
             state: Mutex::new(PoolState {
                 free: Vec::new(),
                 leased: HashSet::new(),
                 next_id: 0,
                 peak: 0,
+                constructed: 0,
             }),
+            prefix: None,
         }
+    }
+
+    /// Attaches a shared-prefix cache: [`KvCachePool::lease_for_prompt`]
+    /// will seed leases from it and
+    /// [`KvCachePool::release_with_prefix`] will freeze completed
+    /// prefixes into it.
+    pub fn with_prefix_cache(mut self, cfg: PrefixCacheConfig) -> Self {
+        self.prefix = Some(PrefixCache::new(cfg));
+        self
+    }
+
+    /// The attached prefix cache, if any.
+    pub fn prefix_cache(&self) -> Option<&PrefixCache> {
+        self.prefix.as_ref()
+    }
+
+    /// Prefix-cache counters, when a prefix cache is attached.
+    pub fn prefix_stats(&self) -> Option<PrefixStats> {
+        self.prefix.as_ref().map(PrefixCache::stats)
     }
 
     /// Builds a pool whose caches are shaped like `prototype` (e.g. an
@@ -92,15 +147,49 @@ impl KvCachePool {
         if st.leased.len() >= self.max_leases {
             return None;
         }
-        let cache = st
-            .free
-            .pop()
-            .unwrap_or_else(|| KvCache::new(&self.specs, self.capacity));
+        let cache = st.free.pop().unwrap_or_else(|| {
+            st.constructed += 1;
+            KvCache::new(&self.specs, self.capacity)
+        });
         let id = st.next_id;
         st.next_id += 1;
         st.leased.insert(id);
         st.peak = st.peak.max(st.leased.len());
-        Some(CacheLease { cache, id })
+        Some(CacheLease {
+            cache,
+            id,
+            pool_tag: self.tag,
+        })
+    }
+
+    /// Leases a cache pre-seeded with the longest cached prefix of
+    /// `prompt`, returning the lease and the number of seeded tokens
+    /// (0 on a miss or when no prefix cache is attached — the lease is
+    /// then blank, exactly as from [`KvCachePool::lease`]).
+    ///
+    /// The match is capped at `prompt.len() - 1`: the final prompt
+    /// position is always left to prefill so the step that feeds it
+    /// produces the logits the first sampled token needs.
+    pub fn lease_for_prompt(&self, prompt: &[u32]) -> Option<(CacheLease, usize)> {
+        let mut lease = self.lease()?;
+        let Some(px) = &self.prefix else {
+            return Some((lease, 0));
+        };
+        if prompt.len() < 2 {
+            return Some((lease, 0));
+        }
+        let Some(m) = px.lookup(&prompt[..prompt.len() - 1]) else {
+            return Some((lease, 0));
+        };
+        match m.seed_into(&mut lease.cache) {
+            Ok(()) => Some((lease, m.len())),
+            Err(_) => {
+                // A layout mismatch means the snapshot cannot serve
+                // this pool's caches; fall back to a cold lease.
+                lease.cache.reset();
+                Some((lease, 0))
+            }
+        }
     }
 
     /// Returns a lease to the pool. The cache is reset before reuse,
@@ -110,9 +199,16 @@ impl KvCachePool {
     /// # Errors
     ///
     /// Returns [`ModelError::Exec`] when the lease does not belong to
-    /// this pool (wrong pool, or forged after a release).
+    /// this pool (wrong pool — detected by pool tag even when lease ids
+    /// collide across pools — or forged after a release).
     pub fn release(&self, lease: CacheLease) -> Result<(), ModelError> {
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if lease.pool_tag != self.tag {
+            return Err(ModelError::exec(format!(
+                "lease {} belongs to another pool",
+                lease.id
+            )));
+        }
         if !st.leased.remove(&lease.id) {
             return Err(ModelError::exec(format!(
                 "lease {} is not outstanding in this pool",
@@ -125,8 +221,37 @@ impl KvCachePool {
         // cache swapped out for a foreign one is simply dropped.
         if cache.n_layers() == self.specs.len() {
             st.free.push(cache);
+        } else {
+            st.constructed = st.constructed.saturating_sub(1);
         }
         Ok(())
+    }
+
+    /// Freezes the lease's first `fed_tokens.len()` positions into the
+    /// attached prefix cache (insert or promote), then releases the
+    /// lease. `fed_tokens` must be exactly the tokens whose KV state
+    /// the cache holds — prompt plus generated-and-fed tokens; the
+    /// insert is skipped when the lengths disagree (a partially
+    /// advanced cache after a failed step) or when no prefix cache is
+    /// attached.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KvCachePool::release`]. A foreign lease inserts
+    /// nothing.
+    pub fn release_with_prefix(
+        &self,
+        lease: CacheLease,
+        fed_tokens: &[u32],
+    ) -> Result<(), ModelError> {
+        if lease.pool_tag == self.tag {
+            if let Some(px) = &self.prefix {
+                if fed_tokens.len() == lease.cache.seq_len() {
+                    px.insert(fed_tokens, &lease.cache);
+                }
+            }
+        }
+        self.release(lease)
     }
 
     /// Number of leases currently out.
@@ -155,6 +280,28 @@ impl KvCachePool {
     /// High-water mark of concurrent leases.
     pub fn peak_in_use(&self) -> usize {
         self.state.lock().unwrap_or_else(|e| e.into_inner()).peak
+    }
+
+    /// Caches ever constructed (and still owned) by this pool.
+    pub fn constructed(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .constructed
+    }
+
+    /// Atomic occupancy snapshot: every field read under one lock, so
+    /// `in_use + free == constructed` holds in the returned view even
+    /// under concurrent lease/release traffic.
+    pub fn occupancy(&self) -> PoolOccupancy {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        PoolOccupancy {
+            in_use: st.leased.len(),
+            free: st.free.len(),
+            peak: st.peak,
+            constructed: st.constructed,
+            pooled_bytes: st.free.iter().map(KvCache::allocated_bytes).sum(),
+        }
     }
 
     /// Maximum concurrent leases.
@@ -227,6 +374,62 @@ mod tests {
         // p1 still considers the lease out: it was consumed by the
         // failed release, which counts as a leak p1 can observe.
         assert_eq!(p1.in_use(), 1);
+    }
+
+    #[test]
+    fn foreign_lease_with_colliding_id_is_rejected() {
+        // Both pools hand out id 0 first: only the pool tag can tell
+        // the leases apart. Before tags, p1 would have accepted p2's
+        // lease, corrupted its accounting, and parked a foreign cache
+        // in its free list.
+        let p1 = pool(2);
+        let p2 = pool(2);
+        let own = p1.lease().unwrap();
+        let foreign = p2.lease().unwrap();
+        assert_eq!(own.id(), foreign.id(), "ids collide across pools");
+        assert!(p1.release(foreign).is_err());
+        let occ = p1.occupancy();
+        assert_eq!((occ.in_use, occ.free, occ.constructed), (1, 0, 1));
+        p1.release(own).unwrap();
+        let occ = p1.occupancy();
+        assert_eq!((occ.in_use, occ.free, occ.constructed), (0, 1, 1));
+        assert!(occ.pooled_bytes > 0, "parked cache keeps its buffers");
+    }
+
+    #[test]
+    fn prefixed_lease_seeds_and_release_inserts() {
+        use crate::prefix::PrefixCacheConfig;
+        let p = KvCachePool::new(&[(4, 4)], 16, 2).with_prefix_cache(PrefixCacheConfig {
+            capacity_bytes: 1 << 20,
+            min_prefix_len: 2,
+        });
+        let prompt = [3u32, 1, 4, 1, 5];
+
+        // Cold: nothing cached yet.
+        let (mut lease, seeded) = p.lease_for_prompt(&prompt).unwrap();
+        assert_eq!(seeded, 0);
+        for (pos, &t) in prompt.iter().enumerate() {
+            lease
+                .cache
+                .layer_mut(0)
+                .push(&[pos as f32, t as f32, 0.0, 0.0], &[t as f32; 4])
+                .unwrap();
+        }
+        p.release_with_prefix(lease, &prompt).unwrap();
+        assert_eq!(p.prefix_stats().unwrap().entries, 1);
+
+        // Warm: the same prompt seeds all but the final position.
+        let (lease, seeded) = p.lease_for_prompt(&prompt).unwrap();
+        assert_eq!(seeded, prompt.len() - 1);
+        assert_eq!(lease.cache.seq_len(), prompt.len() - 1);
+        assert_eq!(lease.cache.layer(0).k_row(2), &[2.0, 4.0, 0.0, 0.0]);
+        p.release(lease).unwrap();
+
+        // Pools without a prefix cache degrade to blank leases.
+        let bare = KvCachePool::new(&[(4, 4)], 16, 1);
+        let (lease, seeded) = bare.lease_for_prompt(&prompt).unwrap();
+        assert_eq!(seeded, 0);
+        bare.release_with_prefix(lease, &prompt).unwrap();
     }
 
     #[test]

@@ -1,0 +1,741 @@
+//! Shared-prefix KV reuse: a token-keyed radix index over frozen,
+//! ref-counted KV snapshots.
+//!
+//! Serving workloads repeat prompt prefixes constantly — system
+//! prompts, few-shot templates, multi-turn history — yet a blank lease
+//! recomputes identical KV state for every request. This module caches
+//! that state once: completed prefixes are frozen into immutable
+//! [`Segment`]s (per-layer K/V rows plus, when present, the MLA
+//! decoded-row memo) keyed by their token sequence in a radix tree, and
+//! admission seeds a fresh lease from the longest cached prefix so the
+//! scheduler only prefills the uncached suffix.
+//!
+//! Copy-on-write contract: snapshot rows are immutable and shared
+//! (`Arc<Segment>`); a lease *copies* the matched rows into its own
+//! private cache and appends privately from there. Eviction can
+//! therefore drop any segment at any time — in-flight seedings hold
+//! their own `Arc` and finish safely.
+//!
+//! Bitwise equality: cached K/V rows are position-dependent only on the
+//! tokens at or before them (causal attention; RoPE is applied at push
+//! time from the absolute position), and every projection that produced
+//! them went through the row-stable `gemm_rowwise`. A row copied out of
+//! a snapshot therefore carries exactly the bits a cold prefill would
+//! produce at that position, and a seeded-then-suffix-prefilled
+//! sequence is indistinguishable — bit for bit — from a cold full
+//! prefill chunked at the seed boundary.
+//!
+//! Eviction is LRU-by-bytes: every lookup/insert touches the nodes on
+//! its path, and when resident bytes exceed the budget the
+//! least-recently-touched *leaf* is dropped (leaves first keeps every
+//! interior prefix valid: a parent's rows never reference its
+//! children).
+
+use std::sync::{Arc, Mutex};
+
+use crate::error::ModelError;
+use crate::kvcache::{KvCache, KvStore};
+
+/// Configuration for a [`PrefixCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixCacheConfig {
+    /// Resident-byte budget for frozen snapshots. 0 caches nothing.
+    pub capacity_bytes: usize,
+    /// Shortest prefix worth reusing: lookups matching fewer tokens
+    /// miss, and shorter completed sequences are not inserted.
+    pub min_prefix_len: usize,
+}
+
+impl Default for PrefixCacheConfig {
+    fn default() -> Self {
+        PrefixCacheConfig {
+            capacity_bytes: 32 << 20,
+            min_prefix_len: 4,
+        }
+    }
+}
+
+/// One layer's frozen rows for a radix-edge token span.
+#[derive(Debug)]
+struct LayerSeg {
+    k: Vec<f32>,
+    v: Vec<f32>,
+    /// Decoded-row memo for the span — captured only when the donor
+    /// memo covered every position of the span, empty otherwise, so a
+    /// present memo is always contiguous from the span start.
+    memo: Vec<f32>,
+    k_width: usize,
+    v_width: usize,
+    memo_width: usize,
+}
+
+impl LayerSeg {
+    fn k_row(&self, r: usize) -> &[f32] {
+        &self.k[r * self.k_width..(r + 1) * self.k_width]
+    }
+
+    fn v_row(&self, r: usize) -> &[f32] {
+        &self.v[r * self.v_width..(r + 1) * self.v_width]
+    }
+
+    fn memo_row(&self, r: usize) -> &[f32] {
+        &self.memo[r * self.memo_width..(r + 1) * self.memo_width]
+    }
+
+    fn memo_rows(&self) -> usize {
+        self.memo
+            .len()
+            .checked_div(self.memo_width)
+            .unwrap_or_default()
+    }
+
+    fn bytes(&self) -> usize {
+        (self.k.len() + self.v.len() + self.memo.len()) * std::mem::size_of::<f32>()
+    }
+}
+
+/// A frozen, immutable KV snapshot for one radix-edge token span:
+/// per-layer K/V rows (and the MLA decoded-row memo where the donor
+/// had one) for `rows` consecutive positions.
+///
+/// Segments are shared by reference between the index and in-flight
+/// seedings; they are never mutated after construction.
+#[derive(Debug)]
+pub struct Segment {
+    layers: Vec<LayerSeg>,
+    rows: usize,
+    bytes: usize,
+}
+
+impl Segment {
+    /// Freezes positions `start..end` of every layer of `cache`.
+    fn from_cache(cache: &KvCache, start: usize, end: usize) -> Segment {
+        let rows = end - start;
+        let layers: Vec<LayerSeg> = (0..cache.n_layers())
+            .map(|i| {
+                let lc = cache.layer(i);
+                let (kw, vw) = (lc.k_width(), lc.v_width());
+                let mut k = Vec::with_capacity(rows * kw);
+                let mut v = Vec::with_capacity(rows * vw);
+                for pos in start..end {
+                    k.extend_from_slice(lc.k_row(pos));
+                    v.extend_from_slice(lc.v_row(pos));
+                }
+                let mw = lc.memo_width();
+                let memo = if mw > 0 && lc.memo_len() >= end {
+                    let mut m = Vec::with_capacity(rows * mw);
+                    for pos in start..end {
+                        m.extend_from_slice(lc.memo_row(pos));
+                    }
+                    m
+                } else {
+                    Vec::new()
+                };
+                LayerSeg {
+                    k,
+                    v,
+                    memo_width: if memo.is_empty() { 0 } else { mw },
+                    memo,
+                    k_width: kw,
+                    v_width: vw,
+                }
+            })
+            .collect();
+        let bytes = layers.iter().map(LayerSeg::bytes).sum();
+        Segment { layers, rows, bytes }
+    }
+
+    /// Splits into the first `m` rows and the rest (for edge splits).
+    fn split(&self, m: usize) -> (Segment, Segment) {
+        let part = |range: std::ops::Range<usize>| -> Segment {
+            let layers: Vec<LayerSeg> = self
+                .layers
+                .iter()
+                .map(|ls| {
+                    let memo_rows = ls.memo_rows();
+                    // Both halves inherit the memo (it covered the whole
+                    // span, so it covers each half contiguously).
+                    let memo = if memo_rows >= self.rows && ls.memo_width > 0 {
+                        ls.memo[range.start * ls.memo_width..range.end * ls.memo_width].to_vec()
+                    } else {
+                        Vec::new()
+                    };
+                    LayerSeg {
+                        k: ls.k[range.start * ls.k_width..range.end * ls.k_width].to_vec(),
+                        v: ls.v[range.start * ls.v_width..range.end * ls.v_width].to_vec(),
+                        memo_width: if memo.is_empty() { 0 } else { ls.memo_width },
+                        memo,
+                        k_width: ls.k_width,
+                        v_width: ls.v_width,
+                    }
+                })
+                .collect();
+            let bytes = layers.iter().map(LayerSeg::bytes).sum();
+            Segment {
+                layers,
+                rows: range.len(),
+                bytes,
+            }
+        };
+        (part(0..m), part(m..self.rows))
+    }
+
+    /// Positions this segment holds.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Resident bytes (K/V rows plus memo across layers).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// The longest cached prefix found by [`PrefixCache::lookup`]: a chain
+/// of shared segments covering `len` tokens, ready to seed a lease.
+#[derive(Debug)]
+pub struct PrefixMatch {
+    len: usize,
+    /// `(segment, rows used)` — the last part may be partial when the
+    /// query diverged mid-edge.
+    parts: Vec<(Arc<Segment>, usize)>,
+}
+
+impl PrefixMatch {
+    /// Tokens this match covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the match covers no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Copies the matched rows of one layer into `store` (which must be
+    /// empty), including the decoded-row memo while it is contiguous
+    /// from position 0 — a memo gap simply stops memo seeding; the
+    /// attention memo rebuilds the rest incrementally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Exec`] when the store is not empty or its
+    /// row widths do not match the snapshot.
+    pub fn seed_layer(&self, layer: usize, store: &mut dyn KvStore) -> Result<(), ModelError> {
+        if !store.is_empty() {
+            return Err(ModelError::exec(
+                "prefix seeding requires an empty KV store",
+            ));
+        }
+        for (seg, rows) in &self.parts {
+            let ls = &seg.layers[layer];
+            for r in 0..*rows {
+                store.push(ls.k_row(r), ls.v_row(r))?;
+            }
+        }
+        // Memo: must stay contiguous from position 0, so stop at the
+        // first part without one (or with a different width).
+        let Some(width) = self
+            .parts
+            .first()
+            .map(|(seg, _)| seg.layers[layer].memo_width)
+        else {
+            return Ok(());
+        };
+        if width == 0 || !store.memo_ensure(width) {
+            return Ok(());
+        }
+        for (seg, rows) in &self.parts {
+            let ls = &seg.layers[layer];
+            if ls.memo_width != width || ls.memo_rows() < *rows {
+                break;
+            }
+            for r in 0..*rows {
+                store.memo_push(ls.memo_row(r))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Seeds every layer of an empty `cache` from the snapshot chain
+    /// (the copy half of copy-on-write: the lease owns the copied rows
+    /// and appends privately; the snapshot stays frozen and shared).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Exec`] when the cache is not empty or its
+    /// layout does not match the snapshot.
+    pub fn seed_into(&self, cache: &mut KvCache) -> Result<(), ModelError> {
+        let n_layers = self.parts.first().map_or(0, |(s, _)| s.layers.len());
+        if cache.n_layers() != n_layers {
+            return Err(ModelError::exec(format!(
+                "prefix snapshot has {} layers, cache has {}",
+                n_layers,
+                cache.n_layers()
+            )));
+        }
+        let _span = kt_trace::span_ab(
+            kt_trace::SpanKind::PrefixSeed,
+            self.len.min(u32::MAX as usize) as u32,
+            n_layers.min(u32::MAX as usize) as u32,
+        );
+        for i in 0..n_layers {
+            self.seed_layer(i, cache.layer_mut(i))?;
+        }
+        Ok(())
+    }
+}
+
+/// One radix-tree node: the edge token span from its parent, the frozen
+/// segment holding that span's rows, and its children.
+#[derive(Debug)]
+struct Node {
+    /// Edge label (non-empty).
+    tokens: Vec<u32>,
+    seg: Arc<Segment>,
+    children: Vec<Node>,
+    /// LRU tick of the last lookup/insert that walked through here.
+    last_touch: u64,
+}
+
+/// Counters and occupancy of a [`PrefixCache`] (monotonic except the
+/// `resident_bytes`/`entries` gauges).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefixStats {
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Lookups that matched at least `min_prefix_len` tokens.
+    pub hits: u64,
+    /// Lookups that matched nothing reusable.
+    pub misses: u64,
+    /// Total tokens served from cached prefixes.
+    pub hit_tokens: u64,
+    /// Segments frozen into the index.
+    pub insertions: u64,
+    /// Segments evicted by the byte budget.
+    pub evictions: u64,
+    /// Bytes freed by eviction.
+    pub evicted_bytes: u64,
+    /// Bytes currently resident in frozen segments.
+    pub resident_bytes: u64,
+    /// Segments currently resident.
+    pub entries: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    children: Vec<Node>,
+    tick: u64,
+    stats: PrefixStats,
+}
+
+/// A token-keyed radix index mapping prompt prefixes to frozen KV
+/// snapshots, with LRU-by-bytes eviction under a configurable budget.
+///
+/// Thread-safe: lookups and inserts serialize on an interior lock;
+/// matched segments are returned by `Arc` so the (comparatively
+/// expensive) row copying happens outside it.
+#[derive(Debug)]
+pub struct PrefixCache {
+    cfg: PrefixCacheConfig,
+    inner: Mutex<Inner>,
+}
+
+impl PrefixCache {
+    /// Creates an empty index under `cfg`'s budget.
+    pub fn new(cfg: PrefixCacheConfig) -> PrefixCache {
+        PrefixCache {
+            cfg,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The configured budget and match threshold.
+    pub fn config(&self) -> PrefixCacheConfig {
+        self.cfg
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Finds the longest cached prefix of `tokens`, touching every node
+    /// on the path for LRU. Matches shorter than `min_prefix_len` count
+    /// as misses.
+    pub fn lookup(&self, tokens: &[u32]) -> Option<PrefixMatch> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let mut parts: Vec<(Arc<Segment>, usize)> = Vec::new();
+        let mut matched = 0usize;
+        let mut cur = &mut inner.children;
+        while matched < tokens.len() {
+            let Some(ci) = cur.iter().position(|c| c.tokens[0] == tokens[matched]) else {
+                break;
+            };
+            let (common, edge_len) = {
+                let child = &mut cur[ci];
+                let common = child
+                    .tokens
+                    .iter()
+                    .zip(&tokens[matched..])
+                    .take_while(|(a, b)| a == b)
+                    .count();
+                child.last_touch = tick;
+                parts.push((Arc::clone(&child.seg), common));
+                (common, child.tokens.len())
+            };
+            matched += common;
+            if common < edge_len {
+                break;
+            }
+            cur = &mut cur[ci].children;
+        }
+        inner.stats.lookups += 1;
+        kt_trace::counter_add(kt_trace::CounterKind::PrefixLookups, 1);
+        kt_trace::instant(
+            kt_trace::SpanKind::PrefixLookup,
+            tokens.len().min(u32::MAX as usize) as u32,
+            matched.min(u32::MAX as usize) as u32,
+        );
+        if matched >= self.cfg.min_prefix_len.max(1) {
+            inner.stats.hits += 1;
+            inner.stats.hit_tokens += matched as u64;
+            kt_trace::counter_add(kt_trace::CounterKind::PrefixHits, 1);
+            kt_trace::counter_add(kt_trace::CounterKind::PrefixHitTokens, matched as u64);
+            Some(PrefixMatch {
+                len: matched,
+                parts,
+            })
+        } else {
+            inner.stats.misses += 1;
+            kt_trace::counter_add(kt_trace::CounterKind::PrefixMisses, 1);
+            None
+        }
+    }
+
+    /// Freezes the first `tokens.len()` positions of `cache` into the
+    /// index (inserting new segments, splitting edges on divergence, or
+    /// just promoting an already-cached prefix). No-op when `tokens` is
+    /// shorter than `min_prefix_len` or longer than the cached
+    /// sequence. Evicts least-recently-used leaves if the insert pushed
+    /// residency over budget.
+    pub fn insert(&self, tokens: &[u32], cache: &KvCache) {
+        if tokens.is_empty()
+            || tokens.len() < self.cfg.min_prefix_len
+            || tokens.len() > cache.seq_len()
+            || self.cfg.capacity_bytes == 0
+        {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let mut pos = 0usize;
+        let mut delta_bytes = 0usize;
+        let mut delta_entries = 0u64;
+        let mut insertions = 0u64;
+        let mut cur = &mut inner.children;
+        while pos < tokens.len() {
+            let Some(ci) = cur.iter().position(|c| c.tokens[0] == tokens[pos]) else {
+                // Nothing shares this next token: freeze the whole
+                // remaining span as a fresh leaf.
+                let seg = Segment::from_cache(cache, pos, tokens.len());
+                delta_bytes += seg.bytes();
+                delta_entries += 1;
+                insertions += 1;
+                cur.push(Node {
+                    tokens: tokens[pos..].to_vec(),
+                    seg: Arc::new(seg),
+                    children: Vec::new(),
+                    last_touch: tick,
+                });
+                break;
+            };
+            let (common, edge_len) = {
+                let child = &mut cur[ci];
+                let common = child
+                    .tokens
+                    .iter()
+                    .zip(&tokens[pos..])
+                    .take_while(|(a, b)| a == b)
+                    .count();
+                child.last_touch = tick;
+                (common, child.tokens.len())
+            };
+            if common == edge_len {
+                pos += common;
+                cur = &mut cur[ci].children;
+                continue;
+            }
+            if pos + common == tokens.len() {
+                // Query exhausted mid-edge: the existing (longer) edge
+                // already covers this prefix. The touch above is the
+                // promotion.
+                break;
+            }
+            // Divergence mid-edge: split the edge at the shared head,
+            // hang the old tail and the new branch under it. The old
+            // segment may still be referenced by in-flight seedings —
+            // the halves are fresh allocations; the shared Arc just
+            // loses this index's reference.
+            let old = cur.remove(ci);
+            let (head_seg, tail_seg) = old.seg.split(common);
+            let new_seg = Segment::from_cache(cache, pos + common, tokens.len());
+            delta_bytes += head_seg.bytes() + tail_seg.bytes() + new_seg.bytes();
+            delta_bytes -= old.seg.bytes();
+            delta_entries += 2; // one edge became two, plus the new leaf
+            insertions += 1;
+            let tail = Node {
+                tokens: old.tokens[common..].to_vec(),
+                seg: Arc::new(tail_seg),
+                children: old.children,
+                last_touch: old.last_touch,
+            };
+            let branch = Node {
+                tokens: tokens[pos + common..].to_vec(),
+                seg: Arc::new(new_seg),
+                children: Vec::new(),
+                last_touch: tick,
+            };
+            cur.push(Node {
+                tokens: old.tokens[..common].to_vec(),
+                seg: Arc::new(head_seg),
+                children: vec![tail, branch],
+                last_touch: tick,
+            });
+            break;
+        }
+        inner.stats.insertions += insertions;
+        inner.stats.resident_bytes += delta_bytes as u64;
+        inner.stats.entries += delta_entries;
+        self.evict_to_budget(&mut inner);
+    }
+
+    /// Drops least-recently-touched leaves until residency fits the
+    /// budget. Leaves only: every interior prefix stays valid, and
+    /// in-flight seedings hold their own `Arc` so dropping is safe.
+    fn evict_to_budget(&self, inner: &mut Inner) {
+        let mut freed = 0usize;
+        let mut evicted = 0u64;
+        while inner.stats.resident_bytes > self.cfg.capacity_bytes as u64 {
+            let Some(touch) = min_leaf_touch(&inner.children) else {
+                break;
+            };
+            let Some(bytes) = remove_leaf(&mut inner.children, touch) else {
+                break;
+            };
+            freed += bytes;
+            evicted += 1;
+            inner.stats.resident_bytes -= bytes as u64;
+            inner.stats.entries -= 1;
+        }
+        if evicted > 0 {
+            inner.stats.evictions += evicted;
+            inner.stats.evicted_bytes += freed as u64;
+            kt_trace::counter_add(kt_trace::CounterKind::PrefixEvictedBytes, freed as u64);
+            kt_trace::instant(
+                kt_trace::SpanKind::PrefixEvict,
+                freed.min(u32::MAX as usize) as u32,
+                evicted.min(u64::from(u32::MAX)) as u32,
+            );
+        }
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> PrefixStats {
+        self.lock().stats
+    }
+}
+
+/// Smallest `last_touch` over every leaf in the forest.
+fn min_leaf_touch(nodes: &[Node]) -> Option<u64> {
+    nodes
+        .iter()
+        .filter_map(|n| {
+            if n.children.is_empty() {
+                Some(n.last_touch)
+            } else {
+                min_leaf_touch(&n.children)
+            }
+        })
+        .min()
+}
+
+/// Removes the first leaf stamped `touch`, returning its bytes.
+fn remove_leaf(nodes: &mut Vec<Node>, touch: u64) -> Option<usize> {
+    for i in 0..nodes.len() {
+        if nodes[i].children.is_empty() {
+            if nodes[i].last_touch == touch {
+                return Some(nodes.remove(i).seg.bytes());
+            }
+        } else if let Some(b) = remove_leaf(&mut nodes[i].children, touch) {
+            return Some(b);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kvcache::KvCache;
+
+    /// A single-layer cache whose rows encode their position, plus a
+    /// memo when `memo_width > 0`.
+    fn donor(tokens: &[u32], memo_width: usize) -> KvCache {
+        let mut c = KvCache::new(&[(3, 2)], 64);
+        for (pos, &t) in tokens.iter().enumerate() {
+            let k = [pos as f32, t as f32, 0.25];
+            let v = [pos as f32 * 10.0, t as f32 * 10.0];
+            c.layer_mut(0).push(&k, &v).unwrap();
+            if memo_width > 0 {
+                c.layer_mut(0).memo_ensure(memo_width);
+                c.layer_mut(0)
+                    .memo_push(&vec![pos as f32 + 0.5; memo_width])
+                    .unwrap();
+            }
+        }
+        c
+    }
+
+    fn cfg(bytes: usize, min: usize) -> PrefixCacheConfig {
+        PrefixCacheConfig {
+            capacity_bytes: bytes,
+            min_prefix_len: min,
+        }
+    }
+
+    #[test]
+    fn insert_lookup_seed_round_trip_with_memo() {
+        let px = PrefixCache::new(cfg(1 << 20, 1));
+        let tokens = [5u32, 6, 7, 8];
+        let cache = donor(&tokens, 4);
+        px.insert(&tokens, &cache);
+
+        let m = px.lookup(&[5, 6, 7, 8, 9]).expect("prefix hit");
+        assert_eq!(m.len(), 4);
+        let mut seeded = KvCache::new(&[(3, 2)], 64);
+        m.seed_into(&mut seeded).unwrap();
+        assert_eq!(seeded.seq_len(), 4);
+        for pos in 0..4 {
+            assert_eq!(seeded.layer(0).k_row(pos), cache.layer(0).k_row(pos));
+            assert_eq!(seeded.layer(0).v_row(pos), cache.layer(0).v_row(pos));
+            assert_eq!(
+                seeded.layer(0).memo_row(pos),
+                cache.layer(0).memo_row(pos),
+                "memo rides along"
+            );
+        }
+        assert_eq!(seeded.layer(0).memo_len(), 4);
+
+        let s = px.stats();
+        assert_eq!((s.lookups, s.hits, s.misses), (1, 1, 0));
+        assert_eq!(s.hit_tokens, 4);
+        assert_eq!(s.entries, 1);
+        assert!(s.resident_bytes > 0);
+    }
+
+    #[test]
+    fn divergence_splits_the_edge_and_both_branches_hit() {
+        let px = PrefixCache::new(cfg(1 << 20, 1));
+        let a = [1u32, 2, 3, 4];
+        let b = [1u32, 2, 9, 9];
+        px.insert(&a, &donor(&a, 0));
+        px.insert(&b, &donor(&b, 0));
+        assert_eq!(px.stats().entries, 3, "head + two branches");
+
+        for want in [&a[..], &b[..]] {
+            let m = px.lookup(want).expect("hit");
+            assert_eq!(m.len(), 4);
+            let mut seeded = KvCache::new(&[(3, 2)], 64);
+            m.seed_into(&mut seeded).unwrap();
+            let reference = donor(want, 0);
+            for pos in 0..4 {
+                assert_eq!(seeded.layer(0).k_row(pos), reference.layer(0).k_row(pos));
+                assert_eq!(seeded.layer(0).v_row(pos), reference.layer(0).v_row(pos));
+            }
+        }
+        // Partial-edge match: only the shared head of a diverging query.
+        let m = px.lookup(&[1, 2, 3, 7]).expect("partial hit");
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn min_prefix_len_gates_both_sides() {
+        let px = PrefixCache::new(cfg(1 << 20, 3));
+        px.insert(&[1, 2], &donor(&[1, 2], 0));
+        assert_eq!(px.stats().entries, 0, "too short to insert");
+        px.insert(&[1, 2, 3, 4], &donor(&[1, 2, 3, 4], 0));
+        assert!(px.lookup(&[1, 2]).is_none(), "match below threshold");
+        assert_eq!(px.lookup(&[1, 2, 3]).unwrap().len(), 3);
+        let s = px.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn eviction_respects_budget_and_lru_order() {
+        // Each 4-token single-layer segment costs 4 * (3+2) * 4 = 80
+        // bytes; budget fits two.
+        let px = PrefixCache::new(cfg(170, 1));
+        let a = [1u32, 11, 12, 13];
+        let b = [2u32, 21, 22, 23];
+        let c = [3u32, 31, 32, 33];
+        px.insert(&a, &donor(&a, 0));
+        px.insert(&b, &donor(&b, 0));
+        assert_eq!(px.stats().entries, 2);
+        // Touch `a` so `b` is the LRU leaf, then overflow.
+        assert!(px.lookup(&a).is_some());
+        px.insert(&c, &donor(&c, 0));
+        let s = px.stats();
+        assert!(s.resident_bytes <= 170, "budget respected: {s:?}");
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.evicted_bytes, 80);
+        assert!(px.lookup(&a).is_some(), "recently used survives");
+        assert!(px.lookup(&c).is_some(), "newest survives");
+        assert!(px.lookup(&b).is_none(), "LRU leaf evicted");
+    }
+
+    #[test]
+    fn zero_budget_caches_nothing() {
+        let px = PrefixCache::new(cfg(0, 1));
+        px.insert(&[1, 2, 3], &donor(&[1, 2, 3], 0));
+        assert_eq!(px.stats().entries, 0);
+        assert!(px.lookup(&[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn insert_longer_than_cache_is_ignored() {
+        let px = PrefixCache::new(cfg(1 << 20, 1));
+        let cache = donor(&[1, 2], 0);
+        px.insert(&[1, 2, 3], &cache);
+        assert_eq!(px.stats().entries, 0);
+    }
+
+    #[test]
+    fn seeding_requires_an_empty_matching_cache() {
+        let px = PrefixCache::new(cfg(1 << 20, 1));
+        let tokens = [5u32, 6, 7];
+        px.insert(&tokens, &donor(&tokens, 0));
+        let m = px.lookup(&tokens).unwrap();
+        let mut busy = donor(&[9], 0);
+        assert!(m.seed_into(&mut busy).is_err(), "non-empty cache");
+        let mut wrong = KvCache::new(&[(3, 2), (3, 2)], 64);
+        assert!(m.seed_into(&mut wrong).is_err(), "layer-count mismatch");
+    }
+
+    #[test]
+    fn promotion_of_cached_prefix_adds_nothing() {
+        let px = PrefixCache::new(cfg(1 << 20, 1));
+        let tokens = [4u32, 5, 6, 7];
+        let cache = donor(&tokens, 0);
+        px.insert(&tokens, &cache);
+        let before = px.stats();
+        px.insert(&tokens, &cache);
+        px.insert(&tokens[..2], &cache); // shorter: covered mid-edge
+        let after = px.stats();
+        assert_eq!(after.entries, before.entries);
+        assert_eq!(after.resident_bytes, before.resident_bytes);
+        assert_eq!(after.insertions, before.insertions);
+    }
+}

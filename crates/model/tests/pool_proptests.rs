@@ -1,8 +1,13 @@
 //! Property tests for the KV-cache pool: random lease/release
 //! schedules must never alias a cache, never leak a lease, and always
-//! make released slots reusable.
+//! make released slots reusable — and misuse (releasing a lease into
+//! the wrong pool, even one whose ids collide) must error without
+//! corrupting the free list. With a prefix cache attached, concurrent
+//! lease/insert/evict churn must preserve the construction invariant
+//! `in_use + free == constructed` at every observable instant.
 
 use kt_model::pool::{CacheLease, KvCachePool};
+use kt_model::prefix::PrefixCacheConfig;
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -95,5 +100,105 @@ proptest! {
         });
         prop_assert_eq!(pool.in_use(), 0, "leases leaked under concurrency");
         prop_assert!(pool.pooled() <= 3, "free list exceeded max_leases");
+    }
+
+    #[test]
+    fn foreign_colliding_releases_error_without_corrupting_the_free_list(
+        ops in proptest::collection::vec(any::<bool>(), 1..15),
+    ) {
+        for misroute in ops {
+            // Two pools with identical shapes: their first lease ids
+            // collide (both count from zero), so only the pool tag can
+            // tell a foreign lease apart.
+            let a = KvCachePool::new(&[(4, 4)], 8, 2);
+            let b = KvCachePool::new(&[(4, 4)], 8, 2);
+            let la = a.lease().unwrap();
+            let lb = b.lease().unwrap();
+            prop_assert_eq!(la.id(), lb.id(), "ids collide by construction");
+            if misroute {
+                // Misrouted releases error; the foreign cache never
+                // lands in the wrong pool's free list. The consumed
+                // lease stays observable as a leak in its origin pool.
+                prop_assert!(a.release(lb).is_err(), "foreign lease accepted");
+                prop_assert!(b.release(la).is_err(), "foreign lease accepted");
+                for p in [&a, &b] {
+                    let o = p.occupancy();
+                    prop_assert_eq!((o.in_use, o.free, o.constructed), (1, 0, 1));
+                }
+            } else {
+                a.release(la).unwrap();
+                b.release(lb).unwrap();
+                for p in [&a, &b] {
+                    let o = p.occupancy();
+                    prop_assert_eq!((o.in_use, o.free, o.constructed), (0, 1, 1));
+                }
+            }
+            // Whatever happened, pool `a` still serves fresh leases
+            // from an uncorrupted free list, up to its limit.
+            let drain: Vec<CacheLease> = std::iter::from_fn(|| a.lease()).collect();
+            prop_assert_eq!(drain.len(), if misroute { 1 } else { 2 });
+            for l in drain {
+                prop_assert_eq!(l.cache.seq_len(), 0, "recycled cache not reset");
+                a.release(l).unwrap();
+            }
+            let o = a.occupancy();
+            prop_assert_eq!(o.in_use + o.free, o.constructed, "free list corrupted");
+        }
+    }
+
+    #[test]
+    fn concurrent_prefix_churn_preserves_construction_invariant(
+        thread_rounds in proptest::collection::vec(2usize..8, 2..4),
+        budget in 200usize..1200,
+    ) {
+        // A tight prefix budget forces insert/evict churn while
+        // several threads lease, seed, extend and release. The pool's
+        // construction invariant must hold at every sampled instant
+        // (occupancy() reads all fields under one lock, so samples are
+        // consistent snapshots).
+        let pool = std::sync::Arc::new(
+            KvCachePool::new(&[(3, 2)], 16, 3).with_prefix_cache(PrefixCacheConfig {
+                capacity_bytes: budget,
+                min_prefix_len: 2,
+            }),
+        );
+        std::thread::scope(|scope| {
+            for (t, &rounds) in thread_rounds.iter().enumerate() {
+                let pool = std::sync::Arc::clone(&pool);
+                scope.spawn(move || {
+                    for r in 0..rounds * 4 {
+                        // Overlapping prompts across threads: hits,
+                        // splits and evictions all occur.
+                        let n = 3 + (t + r) % 6;
+                        let prompt: Vec<u32> = (0..n).map(|i| (i % 3) as u32 + (r % 2) as u32).collect();
+                        let Some((mut lease, seeded)) = pool.lease_for_prompt(&prompt) else {
+                            continue;
+                        };
+                        assert!(seeded < prompt.len(), "seed must leave a suffix");
+                        // Rows are a pure function of (position, token),
+                        // so seeded rows match what we would push.
+                        for (pos, &tok) in prompt.iter().enumerate().skip(seeded) {
+                            let k = [pos as f32, tok as f32, 1.5];
+                            let v = [tok as f32, pos as f32];
+                            lease.cache.layer_mut(0).push(&k, &v).unwrap();
+                        }
+                        let o = pool.occupancy();
+                        assert_eq!(
+                            o.in_use + o.free,
+                            o.constructed,
+                            "construction invariant broken mid-flight"
+                        );
+                        assert!(o.in_use <= 3, "leases beyond max");
+                        pool.release_with_prefix(lease, &prompt).unwrap();
+                    }
+                });
+            }
+        });
+        let o = pool.occupancy();
+        prop_assert_eq!(o.in_use, 0, "leases leaked under churn");
+        prop_assert_eq!(o.in_use + o.free, o.constructed);
+        let s = pool.prefix_stats().expect("prefix cache attached");
+        prop_assert!(s.resident_bytes <= budget as u64, "budget exceeded: {:?}", s);
+        prop_assert_eq!(s.lookups, s.hits + s.misses);
     }
 }

@@ -1,0 +1,183 @@
+//! Property tests for shared-prefix KV reuse: seeding a fresh cache
+//! from a frozen prefix snapshot and prefilling only the suffix must
+//! produce **bitwise** the same outputs and cache state (including the
+//! MLA decoded-row memo) as a cold full prefill.
+//!
+//! This is the model-layer contract the serving layer's prefix cache
+//! stands on, and it composes with the chunk-invariance contract next
+//! door (`chunked_prefill_proptests`): a seeded-then-suffix-prefilled
+//! sequence is exactly a cold prefill chunked at the seed boundary,
+//! where the first chunk's rows came out of the snapshot instead of
+//! being recomputed. Checked for GQA and MLA, for every weight dtype,
+//! and for both the flat in-memory cache and the two-tier offloaded
+//! cache (which keeps no memo — seeding degrades gracefully).
+//!
+//! A second property pins the eviction policy: whatever insert/lookup
+//! sequence runs, resident bytes never exceed the configured budget.
+
+use kt_model::attention::Attention;
+use kt_model::config::AttentionKind;
+use kt_model::kvcache::{KvCache, KvStore, OffloadedLayerCache};
+use kt_model::prefix::{PrefixCache, PrefixCacheConfig};
+use kt_model::rope::Rope;
+use kt_tensor::rng::seeded;
+use kt_tensor::{Matrix, WeightDtype};
+use proptest::prelude::*;
+
+const HIDDEN: usize = 24;
+const N_HEADS: usize = 4;
+const HEAD_DIM: usize = 8;
+const MAX_SEQ: usize = 64;
+
+fn dtype_strategy() -> impl Strategy<Value = WeightDtype> {
+    prop_oneof![
+        Just(WeightDtype::F32),
+        Just(WeightDtype::Bf16),
+        Just(WeightDtype::Int8 { group: 8 }),
+        Just(WeightDtype::Int4 { group: 8 }),
+    ]
+}
+
+fn kind_strategy() -> impl Strategy<Value = AttentionKind> {
+    prop_oneof![
+        Just(AttentionKind::Gqa { kv_heads: 2 }),
+        // Rank a multiple of the quant group so Int8/Int4 packing of
+        // the rank-k decompression weights is valid.
+        Just(AttentionKind::Mla { kv_lora_rank: 8 }),
+    ]
+}
+
+/// Asserts two KV stores hold bitwise-identical K/V rows.
+fn assert_same_cache(a: &impl KvStore, b: &impl KvStore) {
+    assert_eq!(a.len(), b.len(), "cache lengths diverged");
+    for pos in 0..a.len() {
+        assert_eq!(a.k_row(pos), b.k_row(pos), "k row {pos} diverged");
+        assert_eq!(a.v_row(pos), b.v_row(pos), "v row {pos} diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prefix_seeded_suffix_is_bitwise_identical_to_cold_prefill(
+        seed in 0u64..1000,
+        t_total in 2usize..20,
+        split_raw in 1usize..64,
+        dtype in dtype_strategy(),
+        kind in kind_strategy(),
+    ) {
+        let m = 1 + split_raw % (t_total - 1); // cached prefix length, 1..t_total
+        let mut rng = seeded(seed);
+        let attn =
+            Attention::random(HIDDEN, N_HEADS, HEAD_DIM, kind, dtype, &mut rng).unwrap();
+        let rope = Rope::new(HEAD_DIM, MAX_SEQ, 10_000.0);
+        let x = Matrix::random_uniform(t_total, HIDDEN, 1.0, &mut rng).unwrap();
+        let spec = attn.cache_spec();
+        let tokens: Vec<u32> = (0..t_total).map(|i| ((i as u64 * 13 + seed) % 50) as u32).collect();
+
+        // Cold reference: the whole prompt through a fresh flat cache.
+        // For MLA this also builds the decoded-row memo to full length.
+        let mut donor = KvCache::new(&[spec], MAX_SEQ);
+        let cold = attn.forward(&x, donor.layer_mut(0), &rope, None).unwrap();
+
+        // Freeze the first m positions and look the prompt back up.
+        let px = PrefixCache::new(PrefixCacheConfig { capacity_bytes: 1 << 20, min_prefix_len: 1 });
+        px.insert(&tokens[..m], &donor);
+        let mat = px.lookup(&tokens).expect("inserted prefix must hit");
+        prop_assert_eq!(mat.len(), m);
+
+        let suffix = Matrix::from_rows(
+            t_total - m,
+            HIDDEN,
+            &x.as_slice()[m * HIDDEN..],
+        )
+        .unwrap();
+
+        // Flat in-memory cache: seed, prefill the suffix, compare
+        // outputs, K/V rows and memo bitwise against the cold run.
+        let mut fresh = KvCache::new(&[spec], MAX_SEQ);
+        mat.seed_into(&mut fresh).unwrap();
+        prop_assert_eq!(fresh.seq_len(), m);
+        let warm = attn.forward(&suffix, fresh.layer_mut(0), &rope, None).unwrap();
+        for t in 0..t_total - m {
+            prop_assert_eq!(
+                warm.row(t),
+                cold.row(m + t),
+                "suffix output row {} diverged (split {}/{})", t, m, t_total
+            );
+        }
+        assert_same_cache(donor.layer(0), fresh.layer(0));
+        let dl = donor.layer(0);
+        let fl = fresh.layer(0);
+        prop_assert_eq!(dl.memo_width(), fl.memo_width(), "memo layout diverged");
+        if dl.memo_width() > 0 {
+            // The seeded memo (m snapshot rows + incrementally decoded
+            // suffix rows) matches the cold memo bit for bit.
+            prop_assert_eq!(fl.memo_len(), dl.memo_len());
+            for pos in 0..dl.memo_len() {
+                prop_assert_eq!(dl.memo_row(pos), fl.memo_row(pos), "memo row {} diverged", pos);
+            }
+        }
+
+        // Offloaded two-tier cache: it keeps no memo (memo_ensure
+        // refuses), so seeding copies K/V rows only and attention
+        // re-materializes — still bitwise identical, with the same
+        // eviction pattern as a cold offloaded prefill.
+        let window = 1 + t_total / 3;
+        let mut off_mono = OffloadedLayerCache::new(spec.0, spec.1, window, MAX_SEQ).unwrap();
+        let off_cold = attn.forward(&x, &mut off_mono, &rope, None).unwrap();
+        let mut off = OffloadedLayerCache::new(spec.0, spec.1, window, MAX_SEQ).unwrap();
+        mat.seed_layer(0, &mut off).unwrap();
+        prop_assert_eq!(off.len(), m);
+        let off_warm = attn.forward(&suffix, &mut off, &rope, None).unwrap();
+        for t in 0..t_total - m {
+            prop_assert_eq!(
+                off_warm.row(t),
+                off_cold.row(m + t),
+                "offloaded suffix row {} diverged (split {}/{})", t, m, t_total
+            );
+        }
+        assert_same_cache(&off_mono, &off);
+        // And the offloaded path agrees with the flat path exactly.
+        prop_assert_eq!(off_cold.as_slice(), cold.as_slice());
+    }
+
+    #[test]
+    fn eviction_never_exceeds_the_byte_budget(
+        capacity in 100usize..2000,
+        ops in proptest::collection::vec(
+            (proptest::collection::vec(0u32..4, 1..9), any::<bool>()),
+            1..40,
+        ),
+    ) {
+        // A tiny alphabet forces shared prefixes, edge splits and
+        // promotions; the tight budget forces eviction churn.
+        let px = PrefixCache::new(PrefixCacheConfig {
+            capacity_bytes: capacity,
+            min_prefix_len: 1,
+        });
+        for (tokens, is_insert) in &ops {
+            if *is_insert {
+                let mut donor = KvCache::new(&[(3, 2)], MAX_SEQ);
+                for (pos, &t) in tokens.iter().enumerate() {
+                    let k = [pos as f32, t as f32, 0.5];
+                    let v = [t as f32, pos as f32];
+                    donor.layer_mut(0).push(&k, &v).unwrap();
+                }
+                px.insert(tokens, &donor);
+            } else {
+                let _ = px.lookup(tokens);
+            }
+            let s = px.stats();
+            prop_assert!(
+                s.resident_bytes <= capacity as u64,
+                "budget exceeded: {} resident under a {} budget",
+                s.resident_bytes,
+                capacity
+            );
+            prop_assert_eq!(s.lookups, s.hits + s.misses);
+            prop_assert_eq!(s.entries == 0, s.resident_bytes == 0);
+        }
+    }
+}

@@ -144,6 +144,74 @@ mod tests {
     }
 
     #[test]
+    fn stop_token_as_final_prompt_token_resolves_immediately() {
+        let server = Server::start(engine(14), ServerConfig::default()).unwrap();
+        let mut req = Request::greedy(&[4, 5, 9], 64);
+        req.stop_token = Some(9);
+        let result = server.submit(req).wait();
+        assert!(result.is_completed(), "{:?}", result.outcome);
+        assert!(result.tokens.is_empty(), "nothing to generate past the stop");
+        let stats = server.stats();
+        assert_eq!(stats.completed, 1);
+        // Resolved at submission: the engine never ran a step for it.
+        assert_eq!(stats.steps, 0);
+        assert_eq!(server.active(), 0);
+        // A stop token *inside* the prompt does not trigger the fast
+        // path — generation proceeds normally.
+        let mut mid = Request::greedy(&[9, 4, 5], 4);
+        mid.stop_token = Some(9);
+        let r = server.submit(mid).wait();
+        assert!(r.is_completed());
+        assert!(!r.tokens.is_empty(), "mid-prompt stop token still generates");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shared_prefix_reuse_is_bitwise_identical_and_observable() {
+        let prompt: Vec<u32> = (0..32u32).map(|i| (i * 7 + 1) % 250).collect();
+        let n_new = 6;
+
+        // Reference: prefix cache disabled — every request cold-prefills.
+        let cold_server = Server::start(
+            engine(15),
+            ServerConfig {
+                prefix_cache_bytes: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let cold = cold_server.submit(Request::greedy(&prompt, n_new)).wait();
+        assert!(cold.is_completed());
+        assert_eq!(cold_server.stats().prefix_lookups, 0, "prefix cache disabled");
+        cold_server.shutdown();
+
+        // Same weights, prefix cache on: first request misses and
+        // freezes its prefix on release; the second seeds 31 rows from
+        // the cache and prefills only the final prompt token.
+        let server = Server::start(engine(15), ServerConfig::default()).unwrap();
+        let first = server.submit(Request::greedy(&prompt, n_new)).wait();
+        assert!(first.is_completed());
+        let second = server.submit(Request::greedy(&prompt, n_new)).wait();
+        assert!(second.is_completed());
+        assert_eq!(first.tokens, cold.tokens, "cold path unchanged by the cache");
+        assert_eq!(second.tokens, cold.tokens, "warm path is bitwise-identical");
+
+        let stats = server.stats();
+        assert_eq!(stats.prefix_lookups, 2);
+        assert_eq!(stats.prefix_misses, 1);
+        assert_eq!(stats.prefix_hits, 1);
+        assert_eq!(stats.prefix_hit_tokens, (prompt.len() - 1) as u64);
+        // Prefill fed the whole prompt cold, then only the uncached
+        // final token warm.
+        assert_eq!(stats.prefill_tokens, (prompt.len() + 1) as u64);
+        assert!(stats.prefix_insertions >= 1);
+        assert!(stats.prefix_resident_bytes > 0);
+        assert!(stats.prefix_entries >= 1);
+        assert!(stats.kv_leases_peak >= 1);
+        server.shutdown();
+    }
+
+    #[test]
     fn cancellation_resolves_queued_and_active() {
         let server = Server::start(engine(4), cfg(1)).unwrap();
         // Keep the batch busy so a second request must queue.
@@ -219,6 +287,7 @@ mod tests {
                 max_batch: 2,
                 prefill_chunk: 512,
                 step_token_budget: 512,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -234,6 +303,7 @@ mod tests {
                 max_batch: 2,
                 prefill_chunk: 5,
                 step_token_budget: 8,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -274,6 +344,7 @@ mod tests {
                 max_batch: 1,
                 prefill_chunk: 1,
                 step_token_budget: 1,
+                ..Default::default()
             },
         )
         .unwrap();

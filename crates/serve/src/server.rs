@@ -17,6 +17,16 @@
 //! prefill is bitwise identical to monolithic prefill (the engine's
 //! position-dependent math is row-stable), so scheduling stays pure
 //! orchestration.
+//!
+//! Admission additionally consults the pool's shared-prefix cache
+//! (when [`ServerConfig::prefix_cache_bytes`] is nonzero): the longest
+//! cached prefix of the prompt is copied into the fresh lease and the
+//! scheduler prefills only the uncached suffix. Because cached rows
+//! are frozen snapshots of rows the engine itself produced — and KV
+//! rows are a prefix-deterministic function of the token prefix — the
+//! seeded path yields bitwise-identical logits to a cold prefill. On
+//! release, completed (and cancelled) sequences offer their fed-token
+//! prefix back to the cache for future requests.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -26,6 +36,7 @@ use std::time::Instant;
 use kt_core::{BatchSeq, EngineError, HybridEngine, RequestMetrics, ServeStats};
 use kt_model::kvcache::KvCache;
 use kt_model::pool::{CacheLease, KvCachePool};
+use kt_model::prefix::PrefixCacheConfig;
 use kt_tensor::Matrix;
 use kt_trace::{LogHistogram, SpanKind};
 use parking_lot::{Condvar, Mutex};
@@ -49,6 +60,14 @@ pub struct ServerConfig {
     /// then pending prefill chunks fill the remainder. Must be at
     /// least `prefill_chunk`.
     pub step_token_budget: usize,
+    /// Byte budget of the shared-prefix KV cache (frozen snapshots of
+    /// released sequences, keyed by prompt tokens). `0` disables
+    /// prefix reuse entirely; admission then always cold-prefills.
+    pub prefix_cache_bytes: usize,
+    /// Shortest prompt prefix worth seeding from the cache. Shorter
+    /// matches are treated as misses (the copy would cost more than
+    /// the prefill it saves). Must be nonzero.
+    pub min_prefix_len: usize,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +76,8 @@ impl Default for ServerConfig {
             max_batch: 8,
             prefill_chunk: 64,
             step_token_budget: 128,
+            prefix_cache_bytes: 32 << 20,
+            min_prefix_len: 4,
         }
     }
 }
@@ -109,8 +130,22 @@ impl ActiveSeq {
     fn resolve(self, outcome: RequestOutcome, inner: &ServerInner) {
         inner.record_request_hists(&self.metrics);
         // Release first so the admission valve reopens before any
-        // waiter reacts to the result.
-        let _ = inner.pool.release(self.lease);
+        // waiter reacts to the result. Completed and cancelled caches
+        // hold valid prefix rows (prompt tokens, then fed generations),
+        // so their release path also offers the prefix to the cache; a
+        // failed step may have left the cache mid-write, so it goes
+        // back without an insert (release resets it either way).
+        if matches!(outcome, RequestOutcome::Failed { .. }) {
+            let _ = inner.pool.release(self.lease);
+        } else {
+            let len = self.lease.cache.seq_len();
+            let from_prompt = len.min(self.prefilled);
+            let from_gen = (len - from_prompt).min(self.tokens.len());
+            let mut fed: Vec<u32> = Vec::with_capacity(from_prompt + from_gen);
+            fed.extend_from_slice(&self.req.prompt[..from_prompt]);
+            fed.extend_from_slice(&self.tokens[..from_gen]);
+            let _ = inner.pool.release_with_prefix(self.lease, &fed);
+        }
         self.slot.resolve(RequestResult {
             outcome,
             tokens: self.tokens,
@@ -189,7 +224,16 @@ impl Server {
                 cfg.step_token_budget, cfg.prefill_chunk
             )));
         }
-        let pool = KvCachePool::for_prototype(&engine.fresh_cache(), cfg.max_batch);
+        if cfg.min_prefix_len == 0 {
+            return Err(EngineError::config("ServerConfig.min_prefix_len must be nonzero"));
+        }
+        let mut pool = KvCachePool::for_prototype(&engine.fresh_cache(), cfg.max_batch);
+        if cfg.prefix_cache_bytes > 0 {
+            pool = pool.with_prefix_cache(PrefixCacheConfig {
+                capacity_bytes: cfg.prefix_cache_bytes,
+                min_prefix_len: cfg.min_prefix_len,
+            });
+        }
         kt_trace::enable_from_env();
         let inner = Arc::new(ServerInner {
             engine,
@@ -230,6 +274,19 @@ impl Server {
             });
             return handle;
         }
+        // A prompt that already ends in the stop token has nothing to
+        // generate: the first sampled token could only ever trail the
+        // stop. Resolve it completed with zero tokens instead of
+        // spending prefill on it.
+        if req.stop_token.is_some() && req.prompt.last().copied() == req.stop_token {
+            self.inner.stats.lock().completed += 1;
+            slot.resolve(RequestResult {
+                outcome: RequestOutcome::Completed,
+                tokens: Vec::new(),
+                metrics: RequestMetrics::default(),
+            });
+            return handle;
+        }
         let mut queue = self.inner.queue.lock();
         queue.push_back(Queued {
             req,
@@ -248,6 +305,10 @@ impl Server {
         let mut s = self.inner.stats.lock().clone();
         s.set_arena(&self.inner.engine.workspace_stats());
         s.set_launch(&self.inner.engine.launch_stats());
+        s.set_pool(&self.inner.pool.occupancy());
+        if let Some(px) = self.inner.pool.prefix_stats() {
+            s.set_prefix(&px);
+        }
         s
     }
 
@@ -286,6 +347,19 @@ impl Server {
         c(&mut out, "kt_arena_allocations_total", "Fresh heap allocations performed by the step arenas.", s.arena_allocations);
         c(&mut out, "kt_arena_bytes_allocated_total", "Bytes served by fresh heap allocations.", s.arena_bytes_allocated);
         c(&mut out, "kt_arena_bytes_served_total", "Bytes served by reusing an existing arena buffer.", s.arena_bytes_served);
+        c(&mut out, "kt_prefix_lookups_total", "Prefix-cache lookups at admission.", s.prefix_lookups);
+        c(&mut out, "kt_prefix_hits_total", "Lookups that matched a reusable prefix.", s.prefix_hits);
+        c(&mut out, "kt_prefix_misses_total", "Lookups that matched nothing reusable.", s.prefix_misses);
+        c(&mut out, "kt_prefix_hit_tokens_total", "Prompt tokens seeded from cached prefixes instead of prefilled.", s.prefix_hit_tokens);
+        c(&mut out, "kt_prefix_insertions_total", "Prefix segments frozen into the cache.", s.prefix_insertions);
+        c(&mut out, "kt_prefix_evictions_total", "Prefix segments evicted by the byte budget.", s.prefix_evictions);
+        c(&mut out, "kt_prefix_evicted_bytes_total", "Bytes freed by prefix eviction.", s.prefix_evicted_bytes);
+        g(&mut out, "kt_prefix_resident_bytes", "Bytes resident in frozen prefix segments.", s.prefix_resident_bytes as f64);
+        g(&mut out, "kt_prefix_entries", "Prefix segments currently resident.", s.prefix_entries as f64);
+        g(&mut out, "kt_kv_leases_in_use", "KV caches currently leased to sequences.", s.kv_leases_in_use as f64);
+        g(&mut out, "kt_kv_leases_free", "Reset KV caches parked in the pool.", s.kv_leases_free as f64);
+        g(&mut out, "kt_kv_leases_peak", "High-water mark of concurrent leases.", s.kv_leases_peak as f64);
+        g(&mut out, "kt_kv_pooled_bytes", "Heap bytes retained by parked pool caches.", s.kv_pooled_bytes as f64);
         g(&mut out, "kt_queue_depth", "Requests currently waiting for admission.", self.queued() as f64);
         g(&mut out, "kt_active_sequences", "Sequences currently admitted (leased caches).", self.active() as f64);
         g(&mut out, "kt_peak_queue_depth", "Deepest admission queue observed.", s.peak_queue_depth as f64);
@@ -465,22 +539,31 @@ fn admit(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
             if active.len() >= inner.cfg.max_batch {
                 break;
             }
-            let Some(lease) = inner.pool.lease() else {
+            let Some((mut lease, mut seeded)) = inner.pool.lease_for_prompt(&front.req.prompt)
+            else {
                 break;
             };
+            // Belt and braces: a seeded cache must look exactly like a
+            // partially prefilled one to the engine. If it does not,
+            // fall back to a cold prefill rather than feed the batch a
+            // corrupt cache.
+            if seeded > 0 && inner.engine.validate_cache(&lease.cache).is_err() {
+                lease.cache.reset();
+                seeded = 0;
+            }
             let q = queue.pop_front().expect("front exists");
             let queue_wait_ns = q.enqueued_at.elapsed().as_nanos() as u64;
             kt_trace::instant(
                 SpanKind::ServeAdmit,
                 (queue_wait_ns / 1_000).min(u32::MAX as u64) as u32,
-                0,
+                seeded as u32,
             );
             active.push(ActiveSeq {
                 slot: q.slot,
                 lease,
                 rng: StdRng::seed_from_u64(q.req.seed),
                 req: q.req,
-                prefilled: 0,
+                prefilled: seeded,
                 next_token: None,
                 tokens: Vec::new(),
                 metrics: RequestMetrics {

@@ -69,6 +69,7 @@ fn concurrent_batching_matches_sequential_greedy_exactly() {
                 max_batch: 4,
                 prefill_chunk: 64,
                 step_token_budget: 64,
+                ..Default::default()
             },
         ),
         (
@@ -77,6 +78,7 @@ fn concurrent_batching_matches_sequential_greedy_exactly() {
                 max_batch: 4,
                 prefill_chunk: 2,
                 step_token_budget: 6,
+                ..Default::default()
             },
         ),
     ] {
@@ -125,6 +127,7 @@ fn repeated_runs_are_reproducible() {
                 max_batch: 3,
                 prefill_chunk: 2,
                 step_token_budget: 5,
+                ..Default::default()
             },
         )
         .unwrap();

@@ -55,6 +55,7 @@ fn stress_with_cancellations_and_expert_faults() {
                 max_batch: 8,
                 prefill_chunk: 2,
                 step_token_budget: 12,
+                ..Default::default()
             },
         )
         .unwrap(),

@@ -32,7 +32,7 @@ pub mod sink;
 pub use chrome::chrome_trace;
 pub use hist::LogHistogram;
 pub use sink::{
-    disable, enable, enable_from_env, enabled, instant, now_ns, record_on, sink, span, span_ab,
-    stream_track, Ring, Span, SpanGuard, SpanKind, TraceSink, TraceSnapshot, DEFAULT_RING_SPANS,
-    STREAM_TRACK_BASE,
+    counter_add, disable, enable, enable_from_env, enabled, instant, now_ns, record_on, sink,
+    span, span_ab, stream_track, CounterKind, Ring, Span, SpanGuard, SpanKind, TraceSink,
+    TraceSnapshot, DEFAULT_RING_SPANS, N_COUNTERS, STREAM_TRACK_BASE,
 };

@@ -87,6 +87,15 @@ pub enum SpanKind {
     ServePrefillChunk,
     /// Fresh arena allocation (instant; `a` = bytes, saturated).
     ArenaAlloc,
+    /// Prefix-cache lookup at admission (instant; `a` = prompt tokens,
+    /// `b` = matched tokens).
+    PrefixLookup,
+    /// Seeding a lease from a prefix snapshot (`a` = seeded tokens,
+    /// `b` = layers).
+    PrefixSeed,
+    /// Prefix-cache eviction (instant; `a` = bytes freed, saturated;
+    /// `b` = segments evicted).
+    PrefixEvict,
 }
 
 impl SpanKind {
@@ -113,12 +122,15 @@ impl SpanKind {
             SpanKind::ServeAdmit => "serve.admit",
             SpanKind::ServePrefillChunk => "serve.prefill_chunk",
             SpanKind::ArenaAlloc => "arena.alloc",
+            SpanKind::PrefixLookup => "prefix.lookup",
+            SpanKind::PrefixSeed => "prefix.seed",
+            SpanKind::PrefixEvict => "prefix.evict",
         }
     }
 
     fn from_u32(v: u32) -> Option<SpanKind> {
         use SpanKind::*;
-        const ALL: [SpanKind; 20] = [
+        const ALL: [SpanKind; 23] = [
             EngineStep,
             Embed,
             Attention,
@@ -139,8 +151,59 @@ impl SpanKind {
             ServeAdmit,
             ServePrefillChunk,
             ArenaAlloc,
+            PrefixLookup,
+            PrefixSeed,
+            PrefixEvict,
         ];
         ALL.get(v as usize).copied()
+    }
+}
+
+/// Process-wide monotonic counters exported alongside spans.
+///
+/// Counters complement spans: a span records *when* something happened
+/// on a track; a counter accumulates *how much* across the whole run
+/// (prefix-cache hit/miss totals, evicted bytes). Recording is one
+/// relaxed `fetch_add` behind the same [`enabled`] gate as spans, and
+/// totals ride into [`TraceSnapshot::counters`] so the Chrome-trace
+/// metadata block carries them into Perfetto sessions.
+#[repr(usize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterKind {
+    /// Prefix-cache lookups at admission.
+    PrefixLookups = 0,
+    /// Lookups that matched at least `min_prefix_len` tokens.
+    PrefixHits,
+    /// Lookups that matched nothing reusable.
+    PrefixMisses,
+    /// Total prompt tokens served from cached prefixes.
+    PrefixHitTokens,
+    /// Bytes freed by prefix-cache eviction.
+    PrefixEvictedBytes,
+}
+
+/// Number of [`CounterKind`] variants (the counter table's size).
+pub const N_COUNTERS: usize = 5;
+
+impl CounterKind {
+    /// Every counter, in `repr` order.
+    pub const ALL: [CounterKind; N_COUNTERS] = [
+        CounterKind::PrefixLookups,
+        CounterKind::PrefixHits,
+        CounterKind::PrefixMisses,
+        CounterKind::PrefixHitTokens,
+        CounterKind::PrefixEvictedBytes,
+    ];
+
+    /// Stable display name (also the Chrome-trace metadata key).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CounterKind::PrefixLookups => "prefix.lookups",
+            CounterKind::PrefixHits => "prefix.hits",
+            CounterKind::PrefixMisses => "prefix.misses",
+            CounterKind::PrefixHitTokens => "prefix.hit_tokens",
+            CounterKind::PrefixEvictedBytes => "prefix.evicted_bytes",
+        }
     }
 }
 
@@ -294,6 +357,8 @@ pub struct TraceSnapshot {
     pub spans: Vec<Span>,
     /// `(track id, display name)` pairs, registration order.
     pub tracks: Vec<(u32, String)>,
+    /// Counter totals at snapshot time, [`CounterKind::ALL`] order.
+    pub counters: Vec<(CounterKind, u64)>,
 }
 
 /// The span registry: an enabled flag, the shared timebase, and every
@@ -309,6 +374,8 @@ pub struct TraceSink {
     rings: Mutex<Vec<Arc<Ring>>>,
     /// Names for tracks without a ring of their own (vGPU streams).
     extra_tracks: Mutex<Vec<(u32, String)>>,
+    /// Monotonic counter table, indexed by [`CounterKind`].
+    counters: [AtomicU64; N_COUNTERS],
 }
 
 impl Default for TraceSink {
@@ -326,6 +393,7 @@ impl TraceSink {
             next_thread_track: AtomicU32::new(1),
             rings: Mutex::new(Vec::new()),
             extra_tracks: Mutex::new(Vec::new()),
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -374,8 +442,20 @@ impl TraceSink {
         }
     }
 
+    /// Adds `delta` to a monotonic counter (one relaxed `fetch_add`).
+    #[inline]
+    pub fn add_counter(&self, kind: CounterKind, delta: u64) {
+        self.counters[kind as usize].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current total of one counter.
+    pub fn counter(&self, kind: CounterKind) -> u64 {
+        self.counters[kind as usize].load(Ordering::Relaxed)
+    }
+
     /// Snapshots every ring (skipping slots mid-overwrite) plus the
-    /// track-name table. Safe to call while threads keep recording.
+    /// track-name table and counter totals. Safe to call while threads
+    /// keep recording.
     pub fn snapshot(&self) -> TraceSnapshot {
         let rings: Vec<Arc<Ring>> = self.rings.lock().expect("ring registry").clone();
         let mut spans = Vec::new();
@@ -385,7 +465,11 @@ impl TraceSink {
             tracks.push((ring.track(), ring.name().to_string()));
         }
         tracks.extend(self.extra_tracks.lock().expect("track names").iter().cloned());
-        TraceSnapshot { spans, tracks }
+        let counters = CounterKind::ALL
+            .iter()
+            .map(|&k| (k, self.counter(k)))
+            .collect();
+        TraceSnapshot { spans, tracks, counters }
     }
 
     /// Exports the current snapshot as Chrome-trace JSON (see
@@ -538,6 +622,17 @@ pub fn record_on(track: u32, kind: SpanKind, start_ns: u64, dur_ns: u64, a: u32,
     with_thread_ring(|r| r.record(kind, Some(track), start_ns, dur_ns, a, b));
 }
 
+/// Adds `delta` to a global monotonic counter. Gated on [`enabled`]
+/// like span recording: a disabled run accumulates nothing, so exported
+/// totals describe exactly the traced window.
+#[inline]
+pub fn counter_add(kind: CounterKind, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    sink().add_counter(kind, delta);
+}
+
 /// Nanoseconds since the global sink's epoch.
 #[inline]
 pub fn now_ns() -> u64 {
@@ -595,6 +690,34 @@ mod tests {
             .tracks
             .contains(&(stream_track(1), "vGPU stream 1".to_string())));
         assert!(stream_track(0) > 1_000_000, "reserved range is disjoint");
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot_in_declaration_order() {
+        let sink = TraceSink::new();
+        sink.add_counter(CounterKind::PrefixLookups, 3);
+        sink.add_counter(CounterKind::PrefixHits, 2);
+        sink.add_counter(CounterKind::PrefixHitTokens, 170);
+        assert_eq!(sink.counter(CounterKind::PrefixLookups), 3);
+        assert_eq!(sink.counter(CounterKind::PrefixMisses), 0);
+        let snap = sink.snapshot();
+        assert_eq!(snap.counters.len(), N_COUNTERS);
+        let names: Vec<&str> = snap.counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            names,
+            CounterKind::ALL.map(CounterKind::as_str).to_vec(),
+            "snapshot preserves declaration order"
+        );
+        let get = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(k, _)| k.as_str() == name)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(get("prefix.lookups"), Some(3));
+        assert_eq!(get("prefix.hits"), Some(2));
+        assert_eq!(get("prefix.hit_tokens"), Some(170));
+        assert_eq!(get("prefix.evicted_bytes"), Some(0));
     }
 
     #[test]
