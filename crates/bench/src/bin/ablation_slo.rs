@@ -1,0 +1,473 @@
+//! SLO-class scheduling ablation: goodput-under-SLO of an open-loop
+//! mixed-class workload with priority admission + load shedding
+//! (`ServerConfig::slo`) versus the plain FIFO scheduler.
+//!
+//! Workload: seeded open-loop arrivals (`kt_bench::workload`) of a
+//! 40/30/30 interactive/standard/batch mix, offered at 0.5x, 1x, and
+//! 2x of the measured saturation rate. Goodput counts a request only
+//! if it completed AND met its class targets *as the client sees
+//! them*: submission-to-first-token (queue wait + TTFT) within the
+//! class TTFT target and every inter-token gap within the ITL target.
+//! Raw throughput treats a token that arrives after its deadline as
+//! progress; goodput does not.
+//!
+//! Arms:
+//! * **fifo** — `slo: None`: strict arrival order, no shedding.
+//! * **slo** — priority admission, slack-based shedding, and
+//!   priority-aware step composition under a policy whose targets are
+//!   derived from the calibrated service time (so the ablation is
+//!   host-speed-independent).
+//!
+//! Correctness rider: every completed request's tokens are compared
+//! against an unloaded sequential reference run — scheduling policy
+//! must never change the bits (`Backend::TiledOnly` pins one kernel
+//! class so outputs are batch-composition-invariant).
+//!
+//! Modes:
+//! * default — all rates + a bursty arrival run, decode-throughput
+//!   guard, writes `BENCH_slo.json` (run from the repo root).
+//! * `--smoke` — CI gate: the 2x-overload pair only; asserts the SLO
+//!   arm's interactive goodput beats FIFO's, exits nonzero otherwise.
+
+use kt_bench::workload::{assign_classes, offsets_ns, ArrivalPattern};
+use kt_bench::{section, table};
+use kt_core::{EngineConfig, HybridEngine, RequestMetrics, SchedMode};
+use kt_model::ModelPreset;
+use kt_serve::{
+    Request, RequestHandle, RequestOutcome, Server, ServerConfig, SloClass, SloPolicy, SloTarget,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const MAX_BATCH: usize = 6;
+/// Interactive / standard / batch traffic mix.
+const WEIGHTS: [f64; 3] = [0.4, 0.3, 0.3];
+const CLASS_SEED: u64 = 9;
+const ARRIVAL_SEED: u64 = 77;
+const RESOLVE_TIMEOUT: Duration = Duration::from_secs(120);
+
+fn engine() -> Arc<HybridEngine> {
+    Arc::new(
+        HybridEngine::random(
+            &ModelPreset::DeepSeekV3.tiny_config(),
+            EngineConfig {
+                n_cpu_workers: 2,
+                mode: SchedMode::AsyncGraph,
+                n_deferred: 2,
+                // One kernel class keeps tokens bit-identical no matter
+                // how the batch composition fluctuates.
+                backend: kt_kernels::dispatch::Backend::TiledOnly,
+                seed: 31,
+                ..Default::default()
+            },
+        )
+        .expect("engine"),
+    )
+}
+
+fn server(slo: Option<SloPolicy>) -> Server {
+    Server::start(
+        engine(),
+        ServerConfig {
+            max_batch: MAX_BATCH,
+            prefill_chunk: 32,
+            step_token_budget: 64,
+            // Prefix reuse off: this ablation isolates scheduling.
+            prefix_cache_bytes: 0,
+            slo,
+            ..Default::default()
+        },
+    )
+    .expect("valid config")
+}
+
+/// The i-th request, fully determined by its global index: prompt
+/// contents are index-keyed so an unloaded sequential run yields the
+/// bitwise reference output for every request of every arm.
+fn make_request(i: usize, class: SloClass) -> Request {
+    let (prompt_len, max_new) = match class {
+        SloClass::Interactive => (12, 6),
+        SloClass::Standard => (24, 8),
+        SloClass::Batch => (48, 12),
+    };
+    let prompt: Vec<u32> = (0..prompt_len)
+        .map(|j| ((i * 13 + j * 7 + 5) % 251) as u32)
+        .collect();
+    Request::greedy(&prompt, max_new).with_class(class)
+}
+
+fn classes_for(n: usize) -> Vec<SloClass> {
+    assign_classes(CLASS_SEED, n, &WEIGHTS)
+        .into_iter()
+        .map(|c| SloClass::ALL[c])
+        .collect()
+}
+
+/// Client-perceived SLO attainment: first token within the TTFT target
+/// measured from *submission* (queue wait included), every gap within
+/// the ITL target.
+fn met_slo(m: &RequestMetrics, target: SloTarget) -> bool {
+    let Some(ttft) = m.ttft_ns else { return false };
+    m.queue_wait_ns.saturating_add(ttft) <= target.ttft_ns
+        && m.token_latencies_ns.iter().all(|&g| g <= target.itl_ns)
+}
+
+struct Calib {
+    /// Wall time of one full-batch service wave, nanoseconds.
+    service_ns: u64,
+    /// Measured saturation throughput, requests per second.
+    rate_sat: f64,
+}
+
+/// Measures saturation throughput with a closed burst of 3 batches'
+/// worth of requests on an unloaded FIFO server.
+fn calibrate(classes: &[SloClass]) -> Calib {
+    let server = server(None);
+    // Warm the engine (first step pays one-time graph capture).
+    let _ = server.submit(make_request(0, classes[0])).wait();
+    let k = 3 * MAX_BATCH;
+    let start = Instant::now();
+    let handles: Vec<RequestHandle> = (0..k)
+        .map(|i| server.submit(make_request(i, classes[i])))
+        .collect();
+    for h in handles {
+        let r = h.wait_timeout(RESOLVE_TIMEOUT).expect("calibration resolves");
+        assert!(r.is_completed(), "{:?}", r.outcome);
+    }
+    let wall = start.elapsed();
+    server.shutdown();
+    Calib {
+        service_ns: (wall.as_nanos() as u64).saturating_mul(MAX_BATCH as u64) / k as u64,
+        rate_sat: k as f64 / wall.as_secs_f64(),
+    }
+}
+
+/// SLO targets in units of the calibrated service wave, so the
+/// ablation's pass/fail is host-speed-independent.
+fn policy_for(calib: &Calib) -> SloPolicy {
+    let s = calib.service_ns.max(1);
+    SloPolicy {
+        targets: [
+            SloTarget { ttft_ns: 6 * s, itl_ns: 4 * s },
+            SloTarget { ttft_ns: 12 * s, itl_ns: 4 * s },
+            SloTarget { ttft_ns: 20 * s, itl_ns: 4 * s },
+        ],
+        shed: true,
+    }
+}
+
+/// Unloaded sequential reference: the bitwise-correct tokens of every
+/// request index, produced with zero scheduling pressure.
+fn reference_tokens(n: usize, classes: &[SloClass]) -> Vec<Vec<u32>> {
+    let server = server(None);
+    let out = (0..n)
+        .map(|i| {
+            let r = server.submit(make_request(i, classes[i])).wait();
+            assert!(r.is_completed(), "reference request {i}: {:?}", r.outcome);
+            r.tokens
+        })
+        .collect();
+    server.shutdown();
+    out
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ClassTally {
+    submitted: u64,
+    completed: u64,
+    shed: u64,
+    met: u64,
+}
+
+impl ClassTally {
+    fn goodput(&self) -> f64 {
+        if self.submitted == 0 {
+            return 0.0;
+        }
+        self.met as f64 / self.submitted as f64
+    }
+}
+
+/// One open-loop run: submit `n` requests on the arrival schedule,
+/// wait for every one, tally outcomes per class, and check every
+/// completion bitwise against the reference.
+fn run_arm(
+    slo: Option<SloPolicy>,
+    pattern: &ArrivalPattern,
+    n: usize,
+    classes: &[SloClass],
+    targets: &[SloTarget; 3],
+    reference: &[Vec<u32>],
+) -> [ClassTally; 3] {
+    let server = server(slo);
+    let offs = offsets_ns(pattern, ARRIVAL_SEED, n);
+    let start = Instant::now();
+    let handles: Vec<RequestHandle> = offs
+        .iter()
+        .enumerate()
+        .map(|(i, &off)| {
+            let due = Duration::from_nanos(off);
+            let elapsed = start.elapsed();
+            if due > elapsed {
+                std::thread::sleep(due - elapsed);
+            }
+            server.submit(make_request(i, classes[i]))
+        })
+        .collect();
+    let mut tally = [ClassTally::default(); 3];
+    for (i, h) in handles.into_iter().enumerate() {
+        let r = h
+            .wait_timeout(RESOLVE_TIMEOUT)
+            .unwrap_or_else(|| panic!("request {i} did not resolve"));
+        let t = &mut tally[classes[i].index()];
+        t.submitted += 1;
+        match r.outcome {
+            RequestOutcome::Completed => {
+                t.completed += 1;
+                assert_eq!(
+                    r.tokens, reference[i],
+                    "request {i}: scheduling changed the bits"
+                );
+                if met_slo(&r.metrics, targets[classes[i].index()]) {
+                    t.met += 1;
+                }
+            }
+            RequestOutcome::Shed => t.shed += 1,
+            other => panic!("request {i}: unexpected outcome {other:?}"),
+        }
+    }
+    server.shutdown();
+    tally
+}
+
+fn tally_rows(label: &str, tally: &[ClassTally; 3]) -> Vec<Vec<String>> {
+    SloClass::ALL
+        .iter()
+        .map(|c| {
+            let t = tally[c.index()];
+            vec![
+                label.into(),
+                c.as_str().into(),
+                t.submitted.to_string(),
+                t.completed.to_string(),
+                t.shed.to_string(),
+                t.met.to_string(),
+                format!("{:.2}", t.goodput()),
+            ]
+        })
+        .collect()
+}
+
+fn tally_json(tally: &[ClassTally; 3]) -> String {
+    let cells: Vec<String> = SloClass::ALL
+        .iter()
+        .map(|c| {
+            let t = tally[c.index()];
+            format!(
+                r#""{}": {{"submitted": {}, "completed": {}, "shed": {}, "slo_met": {}, "goodput": {:.3}}}"#,
+                c.as_str(),
+                t.submitted,
+                t.completed,
+                t.shed,
+                t.met,
+                t.goodput()
+            )
+        })
+        .collect();
+    format!("{{{}}}", cells.join(", "))
+}
+
+/// Single-stream decode throughput, `ablation_hotpath` methodology —
+/// the guard that the SLO machinery costs the pure-decode hot path
+/// nothing (with `slo: None` the scheduler is the pre-SLO FIFO path).
+fn decode_tokens_per_s() -> f64 {
+    let mut cfg = ModelPreset::DeepSeekV3.tiny_config();
+    cfg.vocab = 8192;
+    let engine = HybridEngine::random(
+        &cfg,
+        EngineConfig {
+            n_cpu_workers: 1,
+            mode: SchedMode::AsyncGraph,
+            n_deferred: 2,
+            seed: 17,
+            ..Default::default()
+        },
+    )
+    .expect("engine");
+    let logits = engine.forward(&[1, 2, 3]).expect("prefill");
+    let mut next = kt_model::model::argmax(logits.row(logits.rows() - 1));
+    engine.recycle_logits(logits);
+    for _ in 0..2 {
+        let l = engine.forward(&[next]).expect("warmup");
+        next = kt_model::model::argmax(l.row(0));
+        engine.recycle_logits(l);
+    }
+    let n_decode = 448usize;
+    let start = Instant::now();
+    for _ in 0..n_decode {
+        let l = engine.forward(&[next]).expect("decode");
+        next = kt_model::model::argmax(l.row(0));
+        engine.recycle_logits(l);
+    }
+    n_decode as f64 / start.elapsed().as_secs_f64()
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn fmt_samples(xs: &[f64]) -> String {
+    let cells: Vec<String> = xs.iter().map(|v| format!("{v:.1}")).collect();
+    format!("[{}]", cells.join(", "))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // The 2x run must build a backlog several times the interactive
+    // TTFT target (6 service waves) for overload to be visible: the
+    // terminal queue wait is ~n/(2 x rate_sat) seconds, so n well above
+    // 12 x max_batch keeps the late arrivals far past their deadline
+    // under FIFO.
+    let n = if smoke { 240 } else { 320 };
+
+    let classes = classes_for(n);
+    let calib = calibrate(&classes);
+    let policy = policy_for(&calib);
+    let targets = policy.targets;
+    section(&format!(
+        "SLO scheduling ablation: {n} requests, 40/30/30 mix, \
+         calibrated saturation {:.0} req/s, service wave {:.1} ms",
+        calib.rate_sat,
+        calib.service_ns as f64 / 1e6
+    ));
+    println!(
+        "targets (x service wave): interactive ttft 6x / standard 12x / batch 20x, itl 4x"
+    );
+
+    let reference = reference_tokens(n, &classes);
+
+    let rates: &[f64] = if smoke { &[2.0] } else { &[0.5, 1.0, 2.0] };
+    let mut rows = Vec::new();
+    let mut json_runs: Vec<String> = Vec::new();
+    let mut gate: Option<(f64, f64)> = None; // (fifo, slo) interactive goodput at 2x
+    for &mult in rates {
+        let pattern = ArrivalPattern::Poisson {
+            rate_per_s: mult * calib.rate_sat,
+        };
+        let fifo = run_arm(None, &pattern, n, &classes, &targets, &reference);
+        let slo = run_arm(Some(policy.clone()), &pattern, n, &classes, &targets, &reference);
+        rows.extend(tally_rows(&format!("fifo @{mult}x"), &fifo));
+        rows.extend(tally_rows(&format!("slo  @{mult}x"), &slo));
+        json_runs.push(format!(
+            r#"    {{"arrivals": "poisson", "rate_multiplier": {mult}, "fifo": {}, "slo": {}}}"#,
+            tally_json(&fifo),
+            tally_json(&slo)
+        ));
+        if mult == 2.0 {
+            gate = Some((
+                fifo[SloClass::Interactive.index()].goodput(),
+                slo[SloClass::Interactive.index()].goodput(),
+            ));
+        }
+    }
+    if !smoke {
+        // Bursty arrivals at the saturation rate: correlated queue
+        // spikes the Poisson stream rarely produces.
+        let pattern = ArrivalPattern::Bursty {
+            rate_per_s: calib.rate_sat,
+            burst: 8,
+            spread_ns: 2_000_000,
+        };
+        let fifo = run_arm(None, &pattern, n, &classes, &targets, &reference);
+        let slo = run_arm(Some(policy.clone()), &pattern, n, &classes, &targets, &reference);
+        rows.extend(tally_rows("fifo bursty@1x", &fifo));
+        rows.extend(tally_rows("slo  bursty@1x", &slo));
+        json_runs.push(format!(
+            r#"    {{"arrivals": "bursty(burst=8)", "rate_multiplier": 1.0, "fifo": {}, "slo": {}}}"#,
+            tally_json(&fifo),
+            tally_json(&slo)
+        ));
+    }
+
+    table(
+        &["Arm", "Class", "Submitted", "Completed", "Shed", "SLO met", "Goodput"],
+        &rows,
+    );
+
+    let (fifo_int, slo_int) = gate.expect("2x run present");
+    println!();
+    println!(
+        "interactive_goodput_2x fifo={fifo_int:.2} slo={slo_int:.2} ({}x)",
+        if fifo_int > 0.0 {
+            format!("{:.2}", slo_int / fifo_int)
+        } else {
+            "inf".into()
+        }
+    );
+    println!("Every completed request matched the unloaded reference bitwise.");
+
+    if smoke {
+        let pass = slo_int > fifo_int && (fifo_int == 0.0 || slo_int >= 1.5 * fifo_int);
+        if pass {
+            println!("SMOKE OK: interactive goodput at 2x overload {slo_int:.2} beats FIFO {fifo_int:.2}");
+        } else {
+            eprintln!(
+                "SMOKE FAIL: interactive goodput at 2x overload {slo_int:.2} does not beat \
+                 FIFO {fifo_int:.2} by 1.5x — SLO scheduling is not paying for itself"
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    section("Single-stream decode throughput (hotpath methodology)");
+    let mut decode_samples: Vec<f64> = (0..5).map(|_| decode_tokens_per_s()).collect();
+    let decode_median = median(&mut decode_samples);
+    println!("decode_tokens_per_s_median {decode_median:.1}");
+
+    let json = format!(
+        r#"{{
+  "bench": "ablation_slo",
+  "workload": {{
+    "model": "DeepSeekV3 tiny preset",
+    "engine": "n_cpu_workers=2, mode=AsyncGraph, n_deferred=2, backend=TiledOnly, seed=31",
+    "mix": "40% interactive (12 prompt / 6 new), 30% standard (24 / 8), 30% batch (48 / 12)",
+    "arrivals": "open-loop seeded Poisson at 0.5x/1x/2x calibrated saturation + bursty(burst=8) at 1x",
+    "server": "max_batch={MAX_BATCH}, prefill_chunk=32, step_token_budget=64, prefix cache off"
+  }},
+  "method": "goodput = completed AND client-perceived TTFT (queue wait + TTFT) within class target AND every inter-token gap within ITL target; targets scale with the calibrated service wave (interactive 6x, standard 12x, batch 20x; itl 4x); every completion checked bitwise against an unloaded sequential reference",
+  "calibration": {{
+    "saturation_req_per_s": {rate_sat:.1},
+    "service_wave_ms": {service_ms:.1}
+  }},
+  "runs": [
+{runs}
+  ],
+  "interactive_goodput_2x": {{
+    "fifo": {fifo_int:.3},
+    "slo": {slo_int:.3},
+    "ratio": {ratio}
+  }},
+  "decode_guard": {{
+    "method": "single-stream decode, ablation_hotpath methodology (vocab=8192, 448 timed steps), 5 reps",
+    "decode_tokens_per_s_samples": {decode_samples},
+    "decode_tokens_per_s_median": {decode_median:.1},
+    "pr5_baseline_median": 1837.6
+  }}
+}}
+"#,
+        rate_sat = calib.rate_sat,
+        service_ms = calib.service_ns as f64 / 1e6,
+        runs = json_runs.join(",\n"),
+        ratio = if fifo_int > 0.0 {
+            format!("{:.2}", slo_int / fifo_int)
+        } else {
+            "null".into()
+        },
+        decode_samples = fmt_samples(&decode_samples),
+    );
+    std::fs::write("BENCH_slo.json", &json).expect("write BENCH_slo.json");
+    println!();
+    println!("wrote BENCH_slo.json");
+}

@@ -12,14 +12,14 @@ fn main() {
         "ablation_numa", "ablation_graph", "ablation_sched", "ablation_multigpu",
         "ablation_batch", "ablation_kvoffload", "ablation_placement", "ablation_offload",
         "ablation_latency", "ablation_concurrency", "ablation_trace",
-        "ablation_prefix", "table2", "fig13",
+        "ablation_prefix", "ablation_slo", "table2", "fig13",
     ];
     // ablation_hotpath and ablation_prefill are excluded: they are
     // timed/artifact-writing runs with their own CI smoke modes.
     // ablation_trace also has a smoke mode but is cheap enough to run
-    // in full here (it writes BENCH_trace.json). ablation_prefix runs
-    // in smoke mode under --quick and in full (artifact-writing) mode
-    // otherwise.
+    // in full here (it writes BENCH_trace.json). ablation_prefix and
+    // ablation_slo run in smoke mode under --quick and in full
+    // (artifact-writing) mode otherwise.
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
     for bin in bins {
@@ -27,7 +27,7 @@ fn main() {
         if quick && (bin == "table2" || bin == "fig13") {
             cmd.arg("--quick");
         }
-        if quick && bin == "ablation_prefix" {
+        if quick && (bin == "ablation_prefix" || bin == "ablation_slo") {
             cmd.arg("--smoke");
         }
         let status = cmd.status().unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));

@@ -1,0 +1,240 @@
+//! Seeded open-loop arrival generators for serving benchmarks and
+//! stress tests.
+//!
+//! Open-loop load (arrivals follow a clock, not the server's
+//! responses) is what exposes queueing behavior: a closed loop slows
+//! its own offered load down exactly when the server saturates, hiding
+//! the overload the SLO machinery exists to handle. Everything here is
+//! a pure function of `(pattern, seed, n)` so benchmark runs and test
+//! failures reproduce bit-for-bit.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of an open-loop arrival process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalPattern {
+    /// Memoryless arrivals at `rate_per_s`: i.i.d. exponential gaps,
+    /// the standard model of independent request traffic.
+    Poisson {
+        /// Mean arrivals per second.
+        rate_per_s: f64,
+    },
+    /// Bursty arrivals with the same long-run `rate_per_s`: burst
+    /// *heads* arrive as a Poisson process at `rate_per_s / burst`,
+    /// and each head brings `burst` requests jittered uniformly within
+    /// `spread_ns`. Stresses admission with correlated queue spikes a
+    /// plain Poisson stream rarely produces.
+    Bursty {
+        /// Mean arrivals per second (across bursts).
+        rate_per_s: f64,
+        /// Requests per burst (≥ 1; 1 degenerates to Poisson).
+        burst: usize,
+        /// Window each burst's arrivals spread over, in nanoseconds.
+        spread_ns: u64,
+    },
+    /// Replays recorded offsets (e.g. from a production trace),
+    /// cycling if `n` exceeds the recording. Offsets are nanoseconds
+    /// from the run start; cycling shifts each lap past the previous
+    /// one so the result stays monotone.
+    Replay {
+        /// Recorded arrival offsets in nanoseconds, from run start.
+        offsets_ns: Vec<u64>,
+    },
+}
+
+/// Generates `n` arrival offsets in nanoseconds from the run start,
+/// sorted non-decreasing. Deterministic in `(pattern, seed, n)`.
+pub fn offsets_ns(pattern: &ArrivalPattern, seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6b74_776f_726b_6c64); // "ktworkld"
+    let mut out: Vec<u64> = Vec::with_capacity(n);
+    match pattern {
+        ArrivalPattern::Poisson { rate_per_s } => {
+            let mut t = 0u64;
+            for _ in 0..n {
+                t = t.saturating_add(exp_gap_ns(&mut rng, *rate_per_s));
+                out.push(t);
+            }
+        }
+        ArrivalPattern::Bursty {
+            rate_per_s,
+            burst,
+            spread_ns,
+        } => {
+            let burst = (*burst).max(1);
+            let head_rate = rate_per_s / burst as f64;
+            let mut head = 0u64;
+            while out.len() < n {
+                head = head.saturating_add(exp_gap_ns(&mut rng, head_rate));
+                for _ in 0..burst.min(n - out.len()) {
+                    let jitter = if *spread_ns > 0 {
+                        rng.gen_range(0..*spread_ns)
+                    } else {
+                        0
+                    };
+                    out.push(head.saturating_add(jitter));
+                }
+            }
+        }
+        ArrivalPattern::Replay { offsets_ns } => {
+            if offsets_ns.is_empty() {
+                return vec![0; n];
+            }
+            let span = offsets_ns.last().copied().unwrap_or(0).saturating_add(1);
+            for i in 0..n {
+                let lap = (i / offsets_ns.len()) as u64;
+                out.push(offsets_ns[i % offsets_ns.len()].saturating_add(lap.saturating_mul(span)));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Exponential inter-arrival gap for a Poisson process at
+/// `rate_per_s`, in nanoseconds (inverse-CDF sampling).
+fn exp_gap_ns(rng: &mut StdRng, rate_per_s: f64) -> u64 {
+    assert!(rate_per_s > 0.0, "arrival rate must be positive");
+    let u: f64 = rng.gen_range(0.0..1.0);
+    // -ln(1-u)/λ seconds; 1-u is in (0, 1] so the log is finite.
+    let gap_s = -(1.0 - u).ln() / rate_per_s;
+    (gap_s * 1e9) as u64
+}
+
+/// Assigns each of `n` requests a class index, sampled independently
+/// with probability proportional to `weights`. Deterministic in
+/// `(seed, n, weights)`.
+pub fn assign_classes(seed: u64, n: usize, weights: &[f64]) -> Vec<usize> {
+    assert!(!weights.is_empty(), "at least one class weight");
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum to a positive value");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6b74_636c_6173_7365); // "ktclasse"
+    (0..n)
+        .map(|_| {
+            let mut x: f64 = rng.gen_range(0.0..total);
+            for (i, w) in weights.iter().enumerate() {
+                if x < *w {
+                    return i;
+                }
+                x -= w;
+            }
+            weights.len() - 1
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        for pattern in [
+            ArrivalPattern::Poisson { rate_per_s: 500.0 },
+            ArrivalPattern::Bursty {
+                rate_per_s: 500.0,
+                burst: 8,
+                spread_ns: 1_000_000,
+            },
+            ArrivalPattern::Replay {
+                offsets_ns: vec![5, 10, 40],
+            },
+        ] {
+            let a = offsets_ns(&pattern, 7, 100);
+            let b = offsets_ns(&pattern, 7, 100);
+            assert_eq!(a, b, "same seed, same schedule: {pattern:?}");
+            let c = offsets_ns(&pattern, 8, 100);
+            if !matches!(pattern, ArrivalPattern::Replay { .. }) {
+                assert_ne!(a, c, "different seed, different schedule: {pattern:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_are_monotone() {
+        for pattern in [
+            ArrivalPattern::Poisson { rate_per_s: 2_000.0 },
+            ArrivalPattern::Bursty {
+                rate_per_s: 2_000.0,
+                burst: 5,
+                spread_ns: 3_000_000,
+            },
+            ArrivalPattern::Replay {
+                offsets_ns: vec![3, 9, 9, 20],
+            },
+        ] {
+            let offs = offsets_ns(&pattern, 42, 500);
+            assert_eq!(offs.len(), 500);
+            assert!(
+                offs.windows(2).all(|w| w[0] <= w[1]),
+                "non-decreasing: {pattern:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_hits_the_requested_rate() {
+        let rate = 1_000.0; // 1 arrival per ms
+        let offs = offsets_ns(&ArrivalPattern::Poisson { rate_per_s: rate }, 3, 4_000);
+        let span_s = *offs.last().unwrap() as f64 / 1e9;
+        let measured = offs.len() as f64 / span_s;
+        assert!(
+            (measured - rate).abs() / rate < 0.1,
+            "measured {measured:.1}/s vs requested {rate}/s"
+        );
+    }
+
+    #[test]
+    fn bursty_matches_long_run_rate_and_clusters() {
+        let rate = 1_000.0;
+        let pattern = ArrivalPattern::Bursty {
+            rate_per_s: rate,
+            burst: 10,
+            spread_ns: 100_000, // 0.1 ms spread vs 10 ms between bursts
+        };
+        let offs = offsets_ns(&pattern, 11, 4_000);
+        let span_s = *offs.last().unwrap() as f64 / 1e9;
+        let measured = offs.len() as f64 / span_s;
+        assert!(
+            (measured - rate).abs() / rate < 0.15,
+            "measured {measured:.1}/s vs requested {rate}/s"
+        );
+        // Clustering: most gaps are tiny (inside a burst), a few are
+        // large (between bursts) — the gap distribution is bimodal in
+        // a way plain Poisson is not.
+        let gaps: Vec<u64> = offs.windows(2).map(|w| w[1] - w[0]).collect();
+        let tiny = gaps.iter().filter(|&&g| g < 200_000).count();
+        assert!(
+            tiny as f64 > 0.8 * gaps.len() as f64,
+            "{tiny}/{} gaps inside bursts",
+            gaps.len()
+        );
+    }
+
+    #[test]
+    fn replay_cycles_past_the_recording() {
+        let pattern = ArrivalPattern::Replay {
+            offsets_ns: vec![10, 30],
+        };
+        let offs = offsets_ns(&pattern, 0, 5);
+        assert_eq!(offs, vec![10, 30, 41, 61, 72]);
+        let empty = offsets_ns(&ArrivalPattern::Replay { offsets_ns: vec![] }, 0, 3);
+        assert_eq!(empty, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn class_assignment_is_seeded_and_weighted() {
+        let a = assign_classes(5, 1_000, &[0.4, 0.3, 0.3]);
+        let b = assign_classes(5, 1_000, &[0.4, 0.3, 0.3]);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&c| c < 3));
+        let n0 = a.iter().filter(|&&c| c == 0).count();
+        assert!(
+            (n0 as f64 - 400.0).abs() < 80.0,
+            "class 0 near its 40% weight: {n0}"
+        );
+        // Zero-weight classes are never drawn.
+        let none = assign_classes(6, 500, &[0.0, 1.0]);
+        assert!(none.iter().all(|&c| c == 1));
+    }
+}

@@ -65,6 +65,17 @@ pub struct ServeStats {
     pub cancelled: u64,
     /// Requests that failed with an engine error.
     pub failed: u64,
+    /// Requests shed by the admission controller (negative predicted
+    /// SLO slack; see `kt_serve::SloPolicy`).
+    pub shed: u64,
+    /// Resolved requests that missed their class's TTFT target (only
+    /// counted when the server runs an SLO policy).
+    pub slo_ttft_violations: u64,
+    /// Resolved requests with at least one inter-token gap over their
+    /// class's ITL target.
+    pub slo_itl_violations: u64,
+    /// Completed requests that met both their TTFT and ITL targets.
+    pub slo_met: u64,
     /// Total tokens emitted across all requests.
     pub tokens_generated: u64,
     /// Continuous-batching steps executed.
@@ -156,9 +167,10 @@ impl ServeStats {
         }
     }
 
-    /// Requests resolved one way or another.
+    /// Requests resolved one way or another (completion, cancellation,
+    /// failure, or shed — every submitted request ends in exactly one).
     pub fn resolved(&self) -> u64 {
-        self.completed + self.cancelled + self.failed
+        self.completed + self.cancelled + self.failed + self.shed
     }
 
     /// Overwrites the arena counters from an engine snapshot (the
@@ -412,9 +424,10 @@ mod tests {
         s.queue_depth_sum = 2;
         s.completed = 2;
         s.failed = 1;
+        s.shed = 2;
         assert!((s.mean_occupancy() - 2.5).abs() < 1e-12);
         assert!((s.mean_queue_depth() - 0.5).abs() < 1e-12);
-        assert_eq!(s.resolved(), 3);
+        assert_eq!(s.resolved(), 5, "shed requests count as resolved");
     }
 
     #[test]

@@ -33,6 +33,16 @@
 //!   wait, TTFT, inter-token gaps) and aggregate behavior in
 //!   [`kt_core::ServeStats`] (outcome counts, queue depth, batch
 //!   occupancy).
+//! * Every request carries an [`SloClass`]
+//!   (interactive/standard/batch). Starting the server with
+//!   [`ServerConfig::slo`] set to an [`SloPolicy`] turns on SLO-aware
+//!   serving: admission picks the most urgent class first (FIFO within
+//!   a class), an admission controller predicts queued requests' TTFT
+//!   slack from the server's own latency histograms and sheds
+//!   negative-slack lower-class work ([`RequestOutcome::Shed`]), and
+//!   step composition throttles prefill when decode rows are at risk
+//!   of ITL violations. Without a policy the server is exactly the
+//!   pure-FIFO scheduler described above.
 //!
 //! ```
 //! use kt_core::{EngineConfig, HybridEngine};
@@ -60,10 +70,13 @@
 //! ```
 
 mod request;
+pub mod sched;
 mod server;
+pub mod slo;
 
 pub use request::{Request, RequestHandle, RequestOutcome, RequestResult};
 pub use server::{Server, ServerConfig};
+pub use slo::{ClassCounters, SloClass, SloPolicy, SloTarget};
 
 #[cfg(test)]
 mod tests {
@@ -460,6 +473,169 @@ mod tests {
         let stats = server.stats();
         assert_eq!(stats.completed, 12);
         assert!(stats.mean_occupancy() >= 1.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn slo_config_rejects_unmeetable_targets() {
+        let mut zero = SloPolicy::default();
+        zero.targets[SloClass::Standard.index()] = SloTarget { ttft_ns: 0, itl_ns: 0 };
+        let err = Server::start(
+            engine(20),
+            ServerConfig {
+                slo: Some(zero),
+                ..Default::default()
+            },
+        )
+        .expect_err("zero target must be rejected");
+        assert!(err.to_string().contains("SloPolicy"), "{err}");
+
+        // A TTFT target below the ITL target is below one step's worth
+        // of budget: the first token cannot arrive faster than a step.
+        let mut inverted = SloPolicy::default();
+        inverted.targets[SloClass::Batch.index()] = SloTarget::from_millis(1, 2);
+        let err = Server::start(
+            engine(20),
+            ServerConfig {
+                slo: Some(inverted),
+                ..Default::default()
+            },
+        )
+        .expect_err("ttft below one step's budget must be rejected");
+        assert!(err.to_string().contains("below one step"), "{err}");
+    }
+
+    #[test]
+    fn slo_policy_defaults_preserve_fifo_outputs() {
+        // The same workload with and without a (loose) SLO policy
+        // produces bitwise-identical tokens: scheduling stays pure
+        // orchestration.
+        let prompts: Vec<Vec<u32>> = (0..5).map(|i| vec![i + 1, 2 * i + 3, 7]).collect();
+        let fifo = Server::start(engine(22), cfg(4)).unwrap();
+        let base: Vec<Vec<u32>> = prompts
+            .iter()
+            .map(|p| fifo.submit(Request::greedy(p, 5)))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.wait().tokens)
+            .collect();
+        fifo.shutdown();
+
+        let slo = Server::start(
+            engine(22),
+            ServerConfig {
+                slo: Some(SloPolicy::default()),
+                ..cfg(4)
+            },
+        )
+        .unwrap();
+        let classed: Vec<Vec<u32>> = prompts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let class = SloClass::ALL[i % 3];
+                slo.submit(Request::greedy(p, 5).with_class(class))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.wait().tokens)
+            .collect();
+        assert_eq!(base, classed, "SLO scheduling must not change any bits");
+        let cs = slo.class_stats();
+        assert_eq!(cs[SloClass::Interactive.index()].submitted, 2);
+        assert_eq!(cs[SloClass::Standard.index()].submitted, 2);
+        assert_eq!(cs[SloClass::Batch.index()].submitted, 1);
+        assert_eq!(
+            cs.iter().map(|c| c.completed).sum::<u64>(),
+            5,
+            "per-class completions add up: {cs:?}"
+        );
+        slo.shutdown();
+    }
+
+    #[test]
+    fn negative_slack_sheds_batch_but_never_interactive() {
+        // Slow launches + 1-token chunks keep the single batch slot
+        // busy for a long, controllable window.
+        let cfg_model = ModelPreset::DeepSeekV3.tiny_config();
+        let slow_engine = Arc::new(
+            HybridEngine::random(
+                &cfg_model,
+                EngineConfig {
+                    n_cpu_workers: 2,
+                    mode: SchedMode::AsyncGraph,
+                    vgpu: kt_core::VgpuConfig {
+                        launch_latency: Duration::from_micros(200),
+                        ..Default::default()
+                    },
+                    backend: kt_kernels::dispatch::Backend::TiledOnly,
+                    seed: 21,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        // Batch class gets an impossible 2 ms TTFT target; the other
+        // classes are effectively unbounded.
+        let policy = SloPolicy {
+            targets: [
+                SloTarget::from_millis(60_000, 60_000),
+                SloTarget::from_millis(60_000, 60_000),
+                SloTarget::from_millis(2, 2),
+            ],
+            shed: true,
+        };
+        let server = Server::start(
+            slow_engine,
+            ServerConfig {
+                max_batch: 1,
+                prefill_chunk: 1,
+                step_token_budget: 1,
+                prefix_cache_bytes: 0,
+                slo: Some(policy),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Populate the latency histograms: the admission controller
+        // never sheds without evidence.
+        let warm = server.submit(Request::greedy(&[1, 2], 2)).wait();
+        assert!(warm.is_completed());
+        // Occupy the only slot with a long prefill, then queue a
+        // doomed batch request and a protected interactive one.
+        let prompt: Vec<u32> = (0..400).map(|i| (i % 250) as u32).collect();
+        let busy = server.submit(Request::greedy(&prompt, 8));
+        let doomed = server.submit(Request::greedy(&[3, 4], 4).with_class(SloClass::Batch));
+        let vip = server.submit(Request::greedy(&[5, 6], 4).with_class(SloClass::Interactive));
+        let d = doomed.wait_timeout(Duration::from_secs(30)).expect("shed resolves");
+        assert_eq!(d.outcome, RequestOutcome::Shed);
+        assert!(d.tokens.is_empty(), "shed before admission, no tokens");
+        assert!(d.metrics.queue_wait_ns > 0, "queue wait still measured");
+        // The interactive request outlived the shed pass that killed
+        // the batch request.
+        if let Some(v) = vip.try_result() {
+            assert_ne!(v.outcome, RequestOutcome::Shed, "interactive is never shed");
+        }
+        let text = server.stats_text();
+        assert!(text.contains("kt_slo_shed_total 1"), "missing shed counter:\n{text}");
+        assert!(
+            text.contains("kt_slo_class_shed_total{class=\"batch\"} 1"),
+            "missing per-class shed counter:\n{text}"
+        );
+        busy.cancel();
+        vip.cancel();
+        let v = vip.wait_timeout(Duration::from_secs(30)).expect("resolves");
+        assert_ne!(v.outcome, RequestOutcome::Shed, "interactive is never shed");
+        let stats = server.stats();
+        assert_eq!(stats.shed, 1);
+        let cs = server.class_stats();
+        assert_eq!(cs[SloClass::Batch.index()].shed, 1);
+        assert_eq!(cs[SloClass::Interactive.index()].shed, 0);
+        assert_eq!(
+            cs.iter().map(|c| c.resolved()).sum::<u64>(),
+            stats.resolved(),
+            "class ledger matches the aggregate ledger"
+        );
         server.shutdown();
     }
 }

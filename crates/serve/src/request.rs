@@ -8,6 +8,8 @@ use kt_core::RequestMetrics;
 use kt_model::sampler::Sampler;
 use parking_lot::{Condvar, Mutex};
 
+use crate::slo::SloClass;
+
 /// One generation request submitted to the server.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -22,10 +24,14 @@ pub struct Request {
     pub seed: u64,
     /// Generation stops after emitting this token, if set.
     pub stop_token: Option<u32>,
+    /// Service class: admission priority and latency targets when the
+    /// server runs an [`crate::SloPolicy`]; ignored (pure FIFO)
+    /// otherwise.
+    pub class: SloClass,
 }
 
 impl Request {
-    /// A greedy request with no stop token.
+    /// A greedy [`SloClass::Standard`] request with no stop token.
     pub fn greedy(prompt: &[u32], max_new: usize) -> Self {
         Request {
             prompt: prompt.to_vec(),
@@ -33,7 +39,14 @@ impl Request {
             sampler: Sampler::Greedy,
             seed: 0,
             stop_token: None,
+            class: SloClass::Standard,
         }
+    }
+
+    /// The same request in a different service class.
+    pub fn with_class(mut self, class: SloClass) -> Self {
+        self.class = class;
+        self
     }
 }
 
@@ -44,6 +57,11 @@ pub enum RequestOutcome {
     Completed,
     /// Cancelled by its client; `tokens` holds what was generated.
     Cancelled,
+    /// Shed by the admission controller: the predicted slack against
+    /// the class's TTFT target was negative, so serving it would have
+    /// produced output that already missed its deadline. Only queued
+    /// (never admitted) requests of non-interactive classes are shed.
+    Shed,
     /// An engine error aborted the request.
     Failed {
         /// The engine error message.

@@ -1,4 +1,5 @@
-//! The continuous-batching scheduler with chunked prefill.
+//! The continuous-batching scheduler with chunked prefill and
+//! SLO-aware admission.
 //!
 //! One scheduler thread owns the engine for the server's lifetime and
 //! runs the serving loop: between engine steps it joins newly arrived
@@ -18,6 +19,29 @@
 //! position-dependent math is row-stable), so scheduling stays pure
 //! orchestration.
 //!
+//! With [`ServerConfig::slo`] set, the scheduler additionally becomes
+//! **SLO-aware**:
+//!
+//! * Admission picks the earliest request of the most urgent
+//!   [`SloClass`] present instead of the queue front (FIFO is
+//!   preserved within a class).
+//! * An admission controller predicts each queued request's TTFT from
+//!   the server's own latency histograms (one service wave per
+//!   batch-width cohort ahead of it) and, when the policy allows
+//!   shedding, resolves lower-class requests whose predicted slack
+//!   against their TTFT target is negative as
+//!   [`RequestOutcome::Shed`] — graceful load shedding instead of
+//!   serving tokens that already missed their deadline. Interactive
+//!   requests are never shed.
+//! * Step composition allocates the prefill budget by class priority,
+//!   and throttles prefill to a single chunk whenever a decode row is
+//!   at risk of an ITL violation, reallocating the step budget toward
+//!   keeping at-risk rows fast (the anti-starvation chunk grant is
+//!   preserved).
+//!
+//! Scheduling stays pure orchestration either way: which requests run
+//! when changes, the bits each surviving request produces do not.
+//!
 //! Admission additionally consults the pool's shared-prefix cache
 //! (when [`ServerConfig::prefix_cache_bytes`] is nonzero): the longest
 //! cached prefix of the prompt is copied into the fresh lease and the
@@ -29,7 +53,7 @@
 //! prefix back to the cache for future requests.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -38,12 +62,14 @@ use kt_model::kvcache::KvCache;
 use kt_model::pool::{CacheLease, KvCachePool};
 use kt_model::prefix::PrefixCacheConfig;
 use kt_tensor::Matrix;
-use kt_trace::{LogHistogram, SpanKind};
+use kt_trace::{CounterKind, LogHistogram, SpanKind};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::request::{Request, RequestHandle, RequestOutcome, RequestResult, RequestSlot};
+use crate::sched::{self, ComposeCfg, PlanWork, SeqView};
+use crate::slo::{self, ClassCounters, SlackInputs, SloClass, SloPolicy};
 
 /// Serving configuration.
 #[derive(Debug, Clone)]
@@ -68,6 +94,13 @@ pub struct ServerConfig {
     /// matches are treated as misses (the copy would cost more than
     /// the prefill it saves). Must be nonzero.
     pub min_prefix_len: usize,
+    /// Per-class SLO targets. `None` (the default) keeps the
+    /// scheduler pure FIFO with no shedding — exactly the pre-SLO
+    /// behavior. `Some` turns on priority admission, slack-based
+    /// shedding (if the policy allows), and priority-aware step
+    /// composition. Each class's targets must be nonzero with
+    /// `ttft >= itl` (the first token needs at least one full step).
+    pub slo: Option<SloPolicy>,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +111,7 @@ impl Default for ServerConfig {
             step_token_budget: 128,
             prefix_cache_bytes: 32 << 20,
             min_prefix_len: 4,
+            slo: None,
         }
     }
 }
@@ -87,6 +121,9 @@ struct Queued {
     req: Request,
     slot: Arc<RequestSlot>,
     enqueued_at: Instant,
+    /// Process-wide submission counter: FIFO order within a class is
+    /// exactly arrival order, whatever the queue's physical layout.
+    seq_no: u64,
 }
 
 /// What one active sequence does in the step being composed.
@@ -129,6 +166,7 @@ impl ActiveSeq {
 
     fn resolve(self, outcome: RequestOutcome, inner: &ServerInner) {
         inner.record_request_hists(&self.metrics);
+        inner.account_outcome(self.req.class, &outcome, &self.metrics);
         // Release first so the admission valve reopens before any
         // waiter reacts to the result. Completed and cancelled caches
         // hold valid prefix rows (prompt tokens, then fed generations),
@@ -158,9 +196,10 @@ impl ActiveSeq {
 #[derive(Default)]
 struct LatencyHists {
     /// Queue wait of every resolved request — including requests
-    /// cancelled or failed while still queued, which never produce a
-    /// token but did wait. Leaving them out would survivorship-bias
-    /// the queue-wait percentiles toward requests that got served.
+    /// cancelled, shed, or failed while still queued, which never
+    /// produce a token but did wait. Leaving them out would
+    /// survivorship-bias the queue-wait percentiles toward requests
+    /// that got served.
     queue_wait: LogHistogram,
     /// Time to first token of every request that produced one.
     ttft: LogHistogram,
@@ -177,6 +216,10 @@ struct ServerInner {
     shutdown: AtomicBool,
     stats: Mutex<ServeStats>,
     hists: Mutex<LatencyHists>,
+    /// Per-class outcome and SLO counters.
+    class_stats: Mutex<[ClassCounters; 3]>,
+    /// Monotonic submission counter feeding `Queued::seq_no`.
+    submit_seq: AtomicU64,
     cfg: ServerConfig,
 }
 
@@ -191,6 +234,92 @@ impl ServerInner {
             h.ttft.record(t);
         }
         h.itl.record_all(m.token_latencies_ns.iter().copied());
+    }
+
+    /// Single bookkeeping point for every request resolution: outcome
+    /// counters (aggregate and per class) and, under an SLO policy,
+    /// target-violation accounting. Exactly one outcome per request —
+    /// every resolution path funnels through here once.
+    fn account_outcome(&self, class: SloClass, outcome: &RequestOutcome, m: &RequestMetrics) {
+        // Violations are judged for any request that produced the
+        // relevant samples, whatever its outcome; `slo_met` only for
+        // completions (a cancelled request that was fast is not
+        // goodput).
+        let (ttft_viol, itl_viol, met) = match &self.cfg.slo {
+            Some(policy) => {
+                let target = policy.target(class);
+                let ttft_viol = m.ttft_ns.is_some_and(|t| t > target.ttft_ns);
+                let itl_viol = m.token_latencies_ns.iter().any(|&g| g > target.itl_ns);
+                let met = matches!(outcome, RequestOutcome::Completed)
+                    && !ttft_viol
+                    && !itl_viol
+                    && m.ttft_ns.is_some();
+                (ttft_viol, itl_viol, met)
+            }
+            None => (false, false, false),
+        };
+        {
+            let mut stats = self.stats.lock();
+            match outcome {
+                RequestOutcome::Completed => stats.completed += 1,
+                RequestOutcome::Cancelled => stats.cancelled += 1,
+                RequestOutcome::Shed => stats.shed += 1,
+                RequestOutcome::Failed { .. } => stats.failed += 1,
+            }
+            stats.slo_ttft_violations += ttft_viol as u64;
+            stats.slo_itl_violations += itl_viol as u64;
+            stats.slo_met += met as u64;
+        }
+        {
+            let mut cs = self.class_stats.lock();
+            let c = &mut cs[class.index()];
+            match outcome {
+                RequestOutcome::Completed => c.completed += 1,
+                RequestOutcome::Cancelled => c.cancelled += 1,
+                RequestOutcome::Shed => c.shed += 1,
+                RequestOutcome::Failed { .. } => c.failed += 1,
+            }
+            c.ttft_violations += ttft_viol as u64;
+            c.itl_violations += itl_viol as u64;
+            c.slo_met += met as u64;
+        }
+        if ttft_viol {
+            kt_trace::counter_add(CounterKind::SloTtftViolations, 1);
+            kt_trace::instant(SpanKind::ServeSloViolation, class.index() as u32, 0);
+        }
+        if itl_viol {
+            kt_trace::counter_add(CounterKind::SloItlViolations, 1);
+            kt_trace::instant(SpanKind::ServeSloViolation, class.index() as u32, 1);
+        }
+    }
+
+    /// Resolves a request straight out of the queue (cancelled, shed,
+    /// or drained at shutdown) — it waited but was never admitted.
+    fn resolve_queued(&self, q: Queued, outcome: RequestOutcome) {
+        let metrics = RequestMetrics {
+            queue_wait_ns: q.enqueued_at.elapsed().as_nanos() as u64,
+            ..Default::default()
+        };
+        self.record_request_hists(&metrics);
+        self.account_outcome(q.req.class, &outcome, &metrics);
+        q.slot.resolve(RequestResult {
+            outcome,
+            tokens: Vec::new(),
+            metrics,
+        });
+    }
+
+    /// Per-wave service estimate for the slack predictor, read from
+    /// the server's own latency histograms: TTFT p50, falling back to
+    /// ITL p50, then 0 (an empty history predicts optimistically — the
+    /// controller never sheds without evidence).
+    fn service_estimate_ns(&self) -> u64 {
+        let h = self.hists.lock();
+        h.ttft
+            .percentile(50.0)
+            .filter(|&v| v > 0)
+            .or_else(|| h.itl.percentile(50.0))
+            .unwrap_or(0)
     }
 }
 
@@ -209,8 +338,10 @@ impl Server {
     /// # Errors
     ///
     /// Rejects an invalid configuration (`max_batch == 0`,
-    /// `prefill_chunk == 0`, or `step_token_budget < prefill_chunk`)
-    /// instead of papering over it.
+    /// `prefill_chunk == 0`, `step_token_budget < prefill_chunk`, or
+    /// an [`SloPolicy`] with an unmeetable class target — zero, or a
+    /// TTFT target below the class's ITL target, i.e. below one step's
+    /// worth of budget) instead of papering over it.
     pub fn start(engine: Arc<HybridEngine>, cfg: ServerConfig) -> Result<Server, EngineError> {
         if cfg.max_batch == 0 {
             return Err(EngineError::config("ServerConfig.max_batch must be nonzero"));
@@ -226,6 +357,27 @@ impl Server {
         }
         if cfg.min_prefix_len == 0 {
             return Err(EngineError::config("ServerConfig.min_prefix_len must be nonzero"));
+        }
+        if let Some(policy) = &cfg.slo {
+            for class in SloClass::ALL {
+                let t = policy.target(class);
+                if t.ttft_ns == 0 || t.itl_ns == 0 {
+                    return Err(EngineError::config(format!(
+                        "SloPolicy target for class {:?} must be nonzero (ttft={}, itl={})",
+                        class, t.ttft_ns, t.itl_ns
+                    )));
+                }
+                // A first token needs at least one full step, and the
+                // ITL target is the class's own floor on step time —
+                // a tighter TTFT admits work that can never meet it.
+                if t.ttft_ns < t.itl_ns {
+                    return Err(EngineError::config(format!(
+                        "SloPolicy ttft target for class {:?} ({} ns) is below one step's \
+                         worth of budget (itl target {} ns): the class is unmeetable",
+                        class, t.ttft_ns, t.itl_ns
+                    )));
+                }
+            }
         }
         let mut pool = KvCachePool::for_prototype(&engine.fresh_cache(), cfg.max_batch);
         if cfg.prefix_cache_bytes > 0 {
@@ -243,6 +395,8 @@ impl Server {
             shutdown: AtomicBool::new(false),
             stats: Mutex::new(ServeStats::default()),
             hists: Mutex::new(LatencyHists::default()),
+            class_stats: Mutex::new([ClassCounters::default(); 3]),
+            submit_seq: AtomicU64::new(0),
             cfg,
         });
         let loop_inner = Arc::clone(&inner);
@@ -265,8 +419,14 @@ impl Server {
         let handle = RequestHandle {
             slot: Arc::clone(&slot),
         };
+        self.inner.class_stats.lock()[req.class.index()].submitted += 1;
         if let Err(error) = self.validate(&req) {
-            self.inner.stats.lock().failed += 1;
+            // Never queued: counters only, no queue-wait sample.
+            self.inner.account_outcome(
+                req.class,
+                &RequestOutcome::Failed { error: error.clone() },
+                &RequestMetrics::default(),
+            );
             slot.resolve(RequestResult {
                 outcome: RequestOutcome::Failed { error },
                 tokens: Vec::new(),
@@ -279,7 +439,11 @@ impl Server {
         // stop. Resolve it completed with zero tokens instead of
         // spending prefill on it.
         if req.stop_token.is_some() && req.prompt.last().copied() == req.stop_token {
-            self.inner.stats.lock().completed += 1;
+            self.inner.account_outcome(
+                req.class,
+                &RequestOutcome::Completed,
+                &RequestMetrics::default(),
+            );
             slot.resolve(RequestResult {
                 outcome: RequestOutcome::Completed,
                 tokens: Vec::new(),
@@ -287,11 +451,13 @@ impl Server {
             });
             return handle;
         }
+        let seq_no = self.inner.submit_seq.fetch_add(1, Ordering::Relaxed);
         let mut queue = self.inner.queue.lock();
         queue.push_back(Queued {
             req,
             slot,
             enqueued_at: Instant::now(),
+            seq_no,
         });
         drop(queue);
         self.inner.wakeup.notify_all();
@@ -312,9 +478,17 @@ impl Server {
         s
     }
 
+    /// Per-class outcome and SLO counters, indexed by
+    /// [`SloClass::index`]. Populated whether or not an SLO policy is
+    /// active (violation fields stay zero without one).
+    pub fn class_stats(&self) -> [ClassCounters; 3] {
+        *self.inner.class_stats.lock()
+    }
+
     /// Prometheus-style text exposition of the serving metrics:
     /// request/token/step counters, queue and batch gauges, the
-    /// engine's arena and virtual-GPU launch counters, and the
+    /// engine's arena and virtual-GPU launch counters, the `kt_slo_*`
+    /// SLO counters (shed, violations, per-class outcomes), and the
     /// queue-wait / TTFT / inter-token latency histograms (log₂
     /// buckets, cumulative `_bucket{le=...}` form). Suitable for
     /// serving at a `/metrics` endpoint verbatim.
@@ -334,6 +508,7 @@ impl Server {
         c(&mut out, "kt_requests_completed_total", "Requests that ran to completion.", s.completed);
         c(&mut out, "kt_requests_cancelled_total", "Requests cancelled by their client.", s.cancelled);
         c(&mut out, "kt_requests_failed_total", "Requests that failed with an engine error.", s.failed);
+        c(&mut out, "kt_requests_shed_total", "Requests shed by the admission controller.", s.shed);
         c(&mut out, "kt_tokens_generated_total", "Tokens emitted across all requests.", s.tokens_generated);
         c(&mut out, "kt_steps_total", "Continuous-batching steps executed.", s.steps);
         c(&mut out, "kt_prefill_chunks_total", "Prefill chunks executed.", s.prefill_chunks);
@@ -354,6 +529,43 @@ impl Server {
         c(&mut out, "kt_prefix_insertions_total", "Prefix segments frozen into the cache.", s.prefix_insertions);
         c(&mut out, "kt_prefix_evictions_total", "Prefix segments evicted by the byte budget.", s.prefix_evictions);
         c(&mut out, "kt_prefix_evicted_bytes_total", "Bytes freed by prefix eviction.", s.prefix_evicted_bytes);
+        c(&mut out, "kt_slo_shed_total", "Requests shed for negative predicted slack.", s.shed);
+        c(&mut out, "kt_slo_ttft_violations_total", "Resolved requests that missed their TTFT target.", s.slo_ttft_violations);
+        c(&mut out, "kt_slo_itl_violations_total", "Resolved requests with an inter-token gap over the ITL target.", s.slo_itl_violations);
+        c(&mut out, "kt_slo_met_total", "Completed requests that met both SLO targets.", s.slo_met);
+        // Per-class outcome counters, Prometheus label form.
+        let cs = self.class_stats();
+        for (name, help, pick) in [
+            (
+                "kt_slo_class_submitted_total",
+                "Requests submitted per SLO class.",
+                (|c: &ClassCounters| c.submitted) as fn(&ClassCounters) -> u64,
+            ),
+            (
+                "kt_slo_class_completed_total",
+                "Requests completed per SLO class.",
+                |c: &ClassCounters| c.completed,
+            ),
+            (
+                "kt_slo_class_shed_total",
+                "Requests shed per SLO class.",
+                |c: &ClassCounters| c.shed,
+            ),
+            (
+                "kt_slo_class_slo_met_total",
+                "Completed requests meeting both targets per SLO class.",
+                |c: &ClassCounters| c.slo_met,
+            ),
+        ] {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+            for class in SloClass::ALL {
+                out.push_str(&format!(
+                    "{name}{{class=\"{}\"}} {}\n",
+                    class.as_str(),
+                    pick(&cs[class.index()])
+                ));
+            }
+        }
         g(&mut out, "kt_prefix_resident_bytes", "Bytes resident in frozen prefix segments.", s.prefix_resident_bytes as f64);
         g(&mut out, "kt_prefix_entries", "Prefix segments currently resident.", s.prefix_entries as f64);
         g(&mut out, "kt_kv_leases_in_use", "KV caches currently leased to sequences.", s.kv_leases_in_use as f64);
@@ -369,7 +581,7 @@ impl Server {
         render_histogram(
             &mut out,
             "kt_request_queue_wait_ns",
-            "Queue wait of every resolved request (including those cancelled or failed while queued).",
+            "Queue wait of every resolved request (including those cancelled, shed, or failed while queued).",
             &hists.queue_wait,
         );
         render_histogram(
@@ -450,6 +662,7 @@ impl std::fmt::Debug for Server {
             .field("max_batch", &self.inner.cfg.max_batch)
             .field("prefill_chunk", &self.inner.cfg.prefill_chunk)
             .field("step_token_budget", &self.inner.cfg.step_token_budget)
+            .field("slo", &self.inner.cfg.slo.is_some())
             .field("active", &self.active())
             .field("queued", &self.queued())
             .finish()
@@ -513,33 +726,85 @@ fn scheduler_loop(inner: &ServerInner) {
     drain(inner, active);
 }
 
+/// Sheds queued requests whose predicted slack is negative (policy
+/// permitting). Runs inside the admission loop, before leases are
+/// taken, so shed requests never touch the pool or the engine.
+fn shed_pass(inner: &ServerInner, policy: &SloPolicy, queue: &mut VecDeque<Queued>, active_len: usize) {
+    if !policy.shed || queue.is_empty() {
+        return;
+    }
+    let service = inner.service_estimate_ns();
+    if service == 0 {
+        // No latency evidence yet: the predictor cannot justify
+        // discarding work.
+        return;
+    }
+    // Examine in admission order so each request's `queued_ahead` is
+    // its actual position among the competition.
+    let mut order: Vec<usize> = (0..queue.len()).collect();
+    order.sort_by_key(|&i| (queue[i].req.class.priority(), queue[i].seq_no));
+    let mut to_shed: Vec<(usize, i64)> = Vec::new();
+    for (pos, &i) in order.iter().enumerate() {
+        let q = &queue[i];
+        let class = q.req.class;
+        let inputs = SlackInputs {
+            service_estimate_ns: service,
+            active: active_len,
+            max_batch: inner.cfg.max_batch,
+            queued_ahead: pos,
+            waited_ns: q.enqueued_at.elapsed().as_nanos() as u64,
+        };
+        let slack = slo::slack_ns(policy.target(class), slo::predicted_ttft_ns(&inputs));
+        kt_trace::counter_add(CounterKind::SlackPredictions, 1);
+        if slo::shed_decision(policy, class, slack) {
+            to_shed.push((i, slack));
+        }
+    }
+    // Remove back to front so earlier indices stay valid.
+    to_shed.sort_unstable_by_key(|s| std::cmp::Reverse(s.0));
+    for (i, slack) in to_shed {
+        let q = queue.remove(i).expect("index in bounds");
+        kt_trace::counter_add(CounterKind::SloShed, 1);
+        kt_trace::instant(
+            SpanKind::ServeShed,
+            q.req.class.index() as u32,
+            ((-slack) as u64 / 1_000).min(u32::MAX as u64) as u32,
+        );
+        inner.resolve_queued(q, RequestOutcome::Shed);
+    }
+}
+
 /// Admits queued requests while the batch has room; blocks when there
-/// is nothing to do at all.
+/// is nothing to do at all. With an SLO policy, admission picks the
+/// earliest request of the most urgent class (FIFO within a class)
+/// and sheds negative-slack lower-class work first.
 fn admit(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
+    let priority_aware = inner.cfg.slo.is_some();
     loop {
         let mut queue = inner.queue.lock();
-        while let Some(front) = queue.front() {
-            if front.slot.cancel_requested() {
-                // Cancelled while queued: resolve without admitting.
-                // The queue wait still counts toward the histograms.
-                let q = queue.pop_front().expect("front exists");
-                inner.stats.lock().cancelled += 1;
-                let metrics = RequestMetrics {
-                    queue_wait_ns: q.enqueued_at.elapsed().as_nanos() as u64,
-                    ..Default::default()
-                };
-                inner.record_request_hists(&metrics);
-                q.slot.resolve(RequestResult {
-                    outcome: RequestOutcome::Cancelled,
-                    tokens: Vec::new(),
-                    metrics,
-                });
-                continue;
+        // Resolve cancellations anywhere in the queue — with priority
+        // admission the front is not necessarily next, so the whole
+        // queue is scanned. The queue wait still counts toward the
+        // histograms.
+        let mut i = 0;
+        while i < queue.len() {
+            if queue[i].slot.cancel_requested() {
+                let q = queue.remove(i).expect("index in bounds");
+                inner.resolve_queued(q, RequestOutcome::Cancelled);
+            } else {
+                i += 1;
             }
-            if active.len() >= inner.cfg.max_batch {
-                break;
-            }
-            let Some((mut lease, mut seeded)) = inner.pool.lease_for_prompt(&front.req.prompt)
+        }
+        if let Some(policy) = &inner.cfg.slo {
+            shed_pass(inner, policy, &mut queue, active.len());
+        }
+        while !queue.is_empty() && active.len() < inner.cfg.max_batch {
+            let keys: Vec<(usize, u64)> = queue
+                .iter()
+                .map(|q| (q.req.class.priority(), q.seq_no))
+                .collect();
+            let pick = sched::pick_next(&keys, priority_aware).expect("queue non-empty");
+            let Some((mut lease, mut seeded)) = inner.pool.lease_for_prompt(&queue[pick].req.prompt)
             else {
                 break;
             };
@@ -551,7 +816,7 @@ fn admit(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
                 lease.cache.reset();
                 seeded = 0;
             }
-            let q = queue.pop_front().expect("front exists");
+            let q = queue.remove(pick).expect("pick in bounds");
             let queue_wait_ns = q.enqueued_at.elapsed().as_nanos() as u64;
             kt_trace::instant(
                 SpanKind::ServeAdmit,
@@ -596,7 +861,6 @@ fn retire_cancelled(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
             // Order-preserving removal keeps the surviving batch
             // composition deterministic.
             let seq = active.remove(i);
-            inner.stats.lock().cancelled += 1;
             seq.resolve(RequestOutcome::Cancelled, inner);
         } else {
             i += 1;
@@ -604,60 +868,53 @@ fn retire_cancelled(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
     }
 }
 
-/// Composes the step under the token budget: every decode row first
-/// (one token each, always admitted), then pending prefill chunks of at
-/// most `prefill_chunk` tokens in admission order until the budget is
-/// spent. Returns one `Work` slot per active sequence; `None` idles
-/// the sequence this step.
+/// Composes the step under the token budget via the pure
+/// [`sched::compose_plan`]: every decode row first (one token each,
+/// always admitted), then pending prefill chunks — in admission order
+/// for FIFO, in (class priority, admission) order with at-risk ITL
+/// throttling under an SLO policy. Returns one `Work` slot per active
+/// sequence; `None` idles the sequence this step.
 fn compose(inner: &ServerInner, active: &[ActiveSeq]) -> Vec<Option<Work>> {
-    let mut plan: Vec<Option<Work>> = Vec::with_capacity(active.len());
-    let mut n_decode = 0usize;
-    for seq in active {
-        if seq.prefilled == seq.req.prompt.len() {
-            let t = seq
-                .next_token
-                .expect("active sequence past prefill holds its next token");
-            plan.push(Some(Work::Decode(t)));
-            n_decode += 1;
-        } else {
-            plan.push(None);
-        }
-    }
-    let mut budget = inner.cfg.step_token_budget.saturating_sub(n_decode);
-    let mut granted = false;
-    for (seq, slot) in active.iter().zip(plan.iter_mut()) {
-        if slot.is_some() {
-            continue;
-        }
-        let remaining = seq.req.prompt.len() - seq.prefilled;
-        let take = inner.cfg.prefill_chunk.min(remaining).min(budget);
-        if take == 0 {
-            continue;
-        }
-        budget -= take;
-        granted = true;
-        *slot = Some(Work::Chunk {
-            len: take,
-            last: take == remaining,
-        });
-    }
-    // Anti-starvation: when decode rows alone exhaust the budget, the
-    // oldest pending prompt still advances one chunk — TTFT stays
-    // bounded (the budget is a target, not a liveness hazard).
-    if !granted {
-        for (seq, slot) in active.iter().zip(plan.iter_mut()) {
-            if slot.is_none() {
-                let remaining = seq.req.prompt.len() - seq.prefilled;
-                let take = inner.cfg.prefill_chunk.min(remaining);
-                *slot = Some(Work::Chunk {
-                    len: take,
-                    last: take == remaining,
-                });
-                break;
+    let policy = inner.cfg.slo.as_ref();
+    let views: Vec<SeqView> = active
+        .iter()
+        .map(|seq| {
+            let prompt_remaining = seq.req.prompt.len() - seq.prefilled;
+            // A decode row is at risk when more than half its ITL
+            // target has already elapsed since its last token — the
+            // next step must stay short or the target is gone.
+            let at_risk = policy.is_some_and(|p| {
+                prompt_remaining == 0
+                    && seq.last_token_at.is_some_and(|t| {
+                        (t.elapsed().as_nanos() as u64).saturating_mul(2)
+                            > p.target(seq.req.class).itl_ns
+                    })
+            });
+            SeqView {
+                prompt_remaining,
+                priority: policy.map_or(0, |_| seq.req.class.priority()),
+                at_risk,
             }
-        }
-    }
-    plan
+        })
+        .collect();
+    let cfg = ComposeCfg {
+        prefill_chunk: inner.cfg.prefill_chunk,
+        step_token_budget: inner.cfg.step_token_budget,
+        priority_aware: policy.is_some(),
+    };
+    sched::compose_plan(&cfg, &views)
+        .into_iter()
+        .zip(active)
+        .map(|(work, seq)| {
+            work.map(|w| match w {
+                PlanWork::Decode => Work::Decode(
+                    seq.next_token
+                        .expect("active sequence past prefill holds its next token"),
+                ),
+                PlanWork::Chunk { len, last } => Work::Chunk { len, last },
+            })
+        })
+        .collect()
 }
 
 /// Runs one batched engine step over the composed plan and
@@ -744,7 +1001,6 @@ fn step(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
             while i < active.len() {
                 if active[i].is_done() {
                     let seq = active.remove(i);
-                    inner.stats.lock().completed += 1;
                     seq.resolve(RequestOutcome::Completed, inner);
                 } else {
                     i += 1;
@@ -756,9 +1012,6 @@ fn step(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
             // request fails (but still resolves), caches go back to
             // the pool (release resets them).
             let error = e.to_string();
-            let mut stats = inner.stats.lock();
-            stats.failed += active.len() as u64;
-            drop(stats);
             for seq in active.drain(..) {
                 seq.resolve(
                     RequestOutcome::Failed {
@@ -801,21 +1054,10 @@ fn sample_next(inner: &ServerInner, seq: &mut ActiveSeq, l: Matrix) {
 /// Resolves everything left at shutdown as cancelled.
 fn drain(inner: &ServerInner, active: Vec<ActiveSeq>) {
     for seq in active {
-        inner.stats.lock().cancelled += 1;
         seq.resolve(RequestOutcome::Cancelled, inner);
     }
     let leftovers: Vec<Queued> = inner.queue.lock().drain(..).collect();
     for q in leftovers {
-        inner.stats.lock().cancelled += 1;
-        let metrics = RequestMetrics {
-            queue_wait_ns: q.enqueued_at.elapsed().as_nanos() as u64,
-            ..Default::default()
-        };
-        inner.record_request_hists(&metrics);
-        q.slot.resolve(RequestResult {
-            outcome: RequestOutcome::Cancelled,
-            tokens: Vec::new(),
-            metrics,
-        });
+        inner.resolve_queued(q, RequestOutcome::Cancelled);
     }
 }

@@ -89,6 +89,9 @@ fn stress_with_cancellations_and_expert_faults() {
                         RequestOutcome::Completed => {
                             assert!(!result.tokens.is_empty());
                         }
+                        RequestOutcome::Shed => {
+                            unreachable!("no SLO policy configured: nothing may shed")
+                        }
                         RequestOutcome::Cancelled => {}
                         RequestOutcome::Failed { error } => {
                             assert!(

@@ -96,6 +96,13 @@ pub enum SpanKind {
     /// Prefix-cache eviction (instant; `a` = bytes freed, saturated;
     /// `b` = segments evicted).
     PrefixEvict,
+    /// A queued request shed by the admission controller (instant;
+    /// `a` = SLO class index, `b` = negative predicted slack in µs,
+    /// saturated).
+    ServeShed,
+    /// A resolved request that missed an SLO target (instant; `a` =
+    /// SLO class index, `b` = 0 for a TTFT miss, 1 for an ITL miss).
+    ServeSloViolation,
 }
 
 impl SpanKind {
@@ -125,12 +132,14 @@ impl SpanKind {
             SpanKind::PrefixLookup => "prefix.lookup",
             SpanKind::PrefixSeed => "prefix.seed",
             SpanKind::PrefixEvict => "prefix.evict",
+            SpanKind::ServeShed => "serve.shed",
+            SpanKind::ServeSloViolation => "serve.slo_violation",
         }
     }
 
     fn from_u32(v: u32) -> Option<SpanKind> {
         use SpanKind::*;
-        const ALL: [SpanKind; 23] = [
+        const ALL: [SpanKind; 25] = [
             EngineStep,
             Embed,
             Attention,
@@ -154,6 +163,8 @@ impl SpanKind {
             PrefixLookup,
             PrefixSeed,
             PrefixEvict,
+            ServeShed,
+            ServeSloViolation,
         ];
         ALL.get(v as usize).copied()
     }
@@ -180,10 +191,19 @@ pub enum CounterKind {
     PrefixHitTokens,
     /// Bytes freed by prefix-cache eviction.
     PrefixEvictedBytes,
+    /// Slack predictions computed by the admission controller.
+    SlackPredictions,
+    /// Queued requests shed by the admission controller.
+    SloShed,
+    /// Resolved requests that missed their TTFT target.
+    SloTtftViolations,
+    /// Resolved requests with at least one inter-token gap over the
+    /// ITL target.
+    SloItlViolations,
 }
 
 /// Number of [`CounterKind`] variants (the counter table's size).
-pub const N_COUNTERS: usize = 5;
+pub const N_COUNTERS: usize = 9;
 
 impl CounterKind {
     /// Every counter, in `repr` order.
@@ -193,6 +213,10 @@ impl CounterKind {
         CounterKind::PrefixMisses,
         CounterKind::PrefixHitTokens,
         CounterKind::PrefixEvictedBytes,
+        CounterKind::SlackPredictions,
+        CounterKind::SloShed,
+        CounterKind::SloTtftViolations,
+        CounterKind::SloItlViolations,
     ];
 
     /// Stable display name (also the Chrome-trace metadata key).
@@ -203,6 +227,10 @@ impl CounterKind {
             CounterKind::PrefixMisses => "prefix.misses",
             CounterKind::PrefixHitTokens => "prefix.hit_tokens",
             CounterKind::PrefixEvictedBytes => "prefix.evicted_bytes",
+            CounterKind::SlackPredictions => "slo.slack_predictions",
+            CounterKind::SloShed => "slo.shed",
+            CounterKind::SloTtftViolations => "slo.ttft_violations",
+            CounterKind::SloItlViolations => "slo.itl_violations",
         }
     }
 }
