@@ -18,8 +18,8 @@ fn main() {
     // timed/artifact-writing runs with their own CI smoke modes.
     // ablation_trace also has a smoke mode but is cheap enough to run
     // in full here (it writes BENCH_trace.json). ablation_prefix and
-    // ablation_slo run in smoke mode under --quick and in full
-    // (artifact-writing) mode otherwise.
+    // ablation_slo and ablation_placement run in smoke mode under
+    // --quick and in full (artifact-writing) mode otherwise.
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
     for bin in bins {
@@ -27,7 +27,11 @@ fn main() {
         if quick && (bin == "table2" || bin == "fig13") {
             cmd.arg("--quick");
         }
-        if quick && (bin == "ablation_prefix" || bin == "ablation_slo") {
+        if quick
+            && (bin == "ablation_prefix"
+                || bin == "ablation_slo"
+                || bin == "ablation_placement")
+        {
             cmd.arg("--smoke");
         }
         let status = cmd.status().unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));

@@ -26,7 +26,9 @@
 
 use kt_kernels::dispatch::Backend;
 use kt_kernels::gemm::gemm_rowwise;
-use kt_kernels::moe::{ExpertWeights, FusedMoE, MoeRouting, MoeWorkspace};
+use kt_kernels::moe::{
+    scatter_bucket_outs, BucketOut, ExpertWeights, FusedMoE, MoeRouting, MoeWorkspace,
+};
 use kt_kernels::schedule::{SchedulePolicy, ThreadPool};
 use kt_model::config::ModelConfig;
 use kt_model::gating::{GateConfig, Router};
@@ -45,6 +47,9 @@ use std::time::{Duration, Instant};
 
 use crate::cpu_backend::CpuBackend;
 use crate::error::EngineError;
+use crate::placement::dynamic::{
+    partition_experts, split_routing, CostModel, ExpertCache, ExpertCacheStats, PlacementPolicy,
+};
 use crate::profiling::ExpertProfile;
 use crate::vgpu::{GraphHandle, LaunchStats, VgpuConfig, VirtualGpu};
 
@@ -52,6 +57,13 @@ use crate::vgpu::{GraphHandle, LaunchStats, VgpuConfig, VirtualGpu};
 /// The layer-boundary marker (`usize::MAX` = none) tells sync mode
 /// where to break the stream.
 type OpEntry = (bool, Arc<dyn Fn() + Send + Sync>, usize);
+
+/// Result payload of the immediate CPU expert task: a scattered sum
+/// (static placement) or unscattered bucket outputs (dynamic).
+enum ImmOut {
+    Scattered(Matrix),
+    Buckets(Vec<BucketOut>),
+}
 
 /// Measured utilization over a [`HybridEngine::measure_utilization`]
 /// window.
@@ -101,6 +113,15 @@ pub struct EngineConfig {
     pub backend: Backend,
     /// Weight initialization seed.
     pub seed: u64,
+    /// Expert placement policy. [`PlacementPolicy::Dynamic`] partitions
+    /// each MoE layer's immediate routing per expert between CPU and
+    /// vGPU by calibrated cost, with a value-aware VRAM expert cache;
+    /// outputs stay bitwise identical to the static all-CPU split.
+    pub placement: PlacementPolicy,
+    /// Byte budget of the simulated-VRAM expert cache used by the
+    /// dynamic placement policy (0 = nothing ever resident: every
+    /// GPU-placed expert pays the PCIe upload term).
+    pub expert_cache_bytes: usize,
 }
 
 impl Default for EngineConfig {
@@ -114,6 +135,8 @@ impl Default for EngineConfig {
             expert_dtype: WeightDtype::F32,
             backend: Backend::HybridAmxAvx512,
             seed: 0,
+            placement: PlacementPolicy::Static,
+            expert_cache_bytes: 0,
         }
     }
 }
@@ -171,6 +194,15 @@ struct StepState {
     /// Routing of GPU-pinned hot experts per layer (consumed by the
     /// shared-experts op of the same layer).
     gpu_routing: Vec<Option<MoeRouting>>,
+    /// Dynamic placement: the immediate-routing slice assigned to the
+    /// vGPU this step, per layer (consumed by the GPU-experts op).
+    dyn_routing: Vec<Option<MoeRouting>>,
+    /// Dynamic placement: unscattered bucket outputs of the CPU
+    /// immediate task, per layer (from `ws_imm`).
+    cpu_buckets: Vec<Option<Vec<BucketOut>>>,
+    /// Dynamic placement: unscattered bucket outputs of the vGPU
+    /// expert op, per layer (from `ws_gpu.moe`).
+    gpu_buckets: Vec<Option<Vec<BucketOut>>>,
     /// Per-sequence KV caches, indexed like `seq_rows`. Outside a
     /// batched forward this holds exactly the engine-owned default
     /// cache at index 0 (the single-session legacy path).
@@ -244,10 +276,28 @@ struct EngineShared {
     /// Workspace of the deferred-expert CPU task (may overlap the next
     /// layer's immediate task, hence its own workspace).
     ws_def: Mutex<MoeWorkspace>,
+    /// Dynamic-placement state: the value-aware expert cache plus the
+    /// calibrated cost model. `None` under the static policy — the
+    /// static op sequence and task bodies are then byte-for-byte the
+    /// pre-dynamic ones.
+    dynamic: Option<DynamicState>,
+    /// Optional routing override consulted before the router on every
+    /// MoE submit (benchmarks impose synthetic routing skew this way).
+    routing_override: Mutex<Option<RoutingHook>>,
+}
+
+/// Per-engine dynamic-placement state.
+struct DynamicState {
+    cache: Mutex<ExpertCache>,
+    cost: CostModel,
 }
 
 impl EngineShared {
-    fn new(cfg: &ModelConfig, cache_specs: &[(usize, usize)]) -> Result<Arc<Self>, EngineError> {
+    fn new(
+        cfg: &ModelConfig,
+        cache_specs: &[(usize, usize)],
+        dynamic: Option<DynamicState>,
+    ) -> Result<Arc<Self>, EngineError> {
         Ok(Arc::new(EngineShared {
             state: Mutex::new(StepState {
                 tokens: Vec::new(),
@@ -259,6 +309,9 @@ impl EngineShared {
                 imm_out: vec![None; cfg.n_layers],
                 def_out: vec![None; cfg.n_layers],
                 gpu_routing: vec![None; cfg.n_layers],
+                dyn_routing: vec![None; cfg.n_layers],
+                cpu_buckets: (0..cfg.n_layers).map(|_| None).collect(),
+                gpu_buckets: (0..cfg.n_layers).map(|_| None).collect(),
                 caches: vec![KvCache::new(cache_specs, cfg.max_seq)],
                 logits: None,
                 error: None,
@@ -271,6 +324,8 @@ impl EngineShared {
             ws_gpu: Mutex::new(GpuWorkspace::new()),
             ws_imm: Mutex::new(MoeWorkspace::new()),
             ws_def: Mutex::new(MoeWorkspace::new()),
+            dynamic,
+            routing_override: Mutex::new(None),
         }))
     }
 }
@@ -278,6 +333,41 @@ impl EngineShared {
 /// A fault-injection hook: given a module path such as
 /// `model.layers.3.mlp.experts`, decides whether to inject a failure.
 pub type FaultHook = Arc<dyn Fn(&str) -> bool + Send + Sync>;
+
+/// A routing-override hook: `(layer, n_tokens) -> Some(routing)`
+/// replaces the gate's output for that layer's MoE submit. The routing
+/// must be valid for the layer: one assignment row per token, expert
+/// indices within range.
+pub type RoutingHook = Arc<dyn Fn(usize, usize) -> Option<MoeRouting> + Send + Sync>;
+
+/// Builds the dynamic-placement state (cost model + expert cache) when
+/// the policy asks for it and the model has routed experts.
+fn dynamic_state(
+    cfg: &ModelConfig,
+    econfig: &EngineConfig,
+    layers: &[Arc<EngineLayer>],
+) -> Option<DynamicState> {
+    if econfig.placement != PlacementPolicy::Dynamic {
+        return None;
+    }
+    let routed = layers.iter().find_map(|l| match &l.ffn {
+        EngineFfn::Moe { routed, .. } => Some(routed),
+        EngineFfn::Dense(_) => None,
+    })?;
+    Some(DynamicState {
+        cache: Mutex::new(ExpertCache::new(
+            econfig.expert_cache_bytes,
+            cfg.n_layers,
+            cfg.n_routed_experts,
+        )),
+        cost: CostModel {
+            calibration: kt_hwsim::Calibration::default(),
+            platform: kt_hwsim::Platform::a100_dual_xeon(),
+            flops_per_token: 2.0 * 3.0 * cfg.hidden as f64 * cfg.moe_inter as f64,
+            expert_bytes: routed.expert(0).stored_bytes(),
+        },
+    })
+}
 
 /// One sequence's slot in a batched forward
 /// ([`HybridEngine::forward_batch`]): its KV cache plus the new tokens
@@ -499,7 +589,7 @@ impl HybridEngine {
 
         let cache_specs: Vec<(usize, usize)> =
             layers.iter().map(|l| l.attn.cache_spec()).collect();
-        let shared = EngineShared::new(cfg, &cache_specs)?;
+        let shared = EngineShared::new(cfg, &cache_specs, dynamic_state(cfg, &econfig, &layers))?;
 
         Ok(HybridEngine {
             cfg: cfg.clone(),
@@ -627,7 +717,8 @@ impl HybridEngine {
         let rope = Arc::new(Rope::new(cfg.head_dim, cfg.max_seq, cfg.rope_theta));
         let cache_specs: Vec<(usize, usize)> =
             layers.iter().map(|l| l.attn.cache_spec()).collect();
-        let shared = EngineShared::new(&cfg, &cache_specs)?;
+        let shared =
+            EngineShared::new(&cfg, &cache_specs, dynamic_state(&cfg, &econfig, &layers))?;
         Ok(HybridEngine {
             inference_lock: Mutex::new(()),
             vgpu: VirtualGpu::new(econfig.vgpu)?,
@@ -815,6 +906,42 @@ impl HybridEngine {
         *self.shared.gpu_masks.lock() = vec![Vec::new(); n_layers];
     }
 
+    /// Stored weight bytes of one routed expert — the minimum viable
+    /// `expert_cache_bytes`. `None` for models without routed experts.
+    pub fn expert_weight_bytes(&self) -> Option<usize> {
+        self.layers.iter().find_map(|l| match &l.ffn {
+            EngineFfn::Moe { routed, .. } => Some(routed.expert(0).stored_bytes()),
+            EngineFfn::Dense(_) => None,
+        })
+    }
+
+    /// Snapshot of the dynamic-placement expert-cache counters; `None`
+    /// under the static policy.
+    pub fn expert_cache_stats(&self) -> Option<ExpertCacheStats> {
+        self.shared
+            .dynamic
+            .as_ref()
+            .map(|d| d.cache.lock().stats())
+    }
+
+    /// Installs a routing override consulted before the router on every
+    /// MoE submit: `hook(layer, n_tokens)` returning `Some(routing)`
+    /// replaces the gate's output for that layer (benchmarks impose
+    /// synthetic routing skew this way). The routing must be valid for
+    /// the layer: one assignment row per token, expert indices within
+    /// range.
+    pub fn set_routing_override(
+        &self,
+        hook: impl Fn(usize, usize) -> Option<MoeRouting> + Send + Sync + 'static,
+    ) {
+        *self.shared.routing_override.lock() = Some(Arc::new(hook));
+    }
+
+    /// Removes any installed routing override.
+    pub fn clear_routing_override(&self) {
+        *self.shared.routing_override.lock() = None;
+    }
+
     /// Builds the per-forward op list. Each op is a `Fn` closure over
     /// the shared state, so the identical list can be launched op-by-op
     /// (sync mode) or captured once and replayed (graph mode).
@@ -989,7 +1116,9 @@ impl HybridEngine {
                             let routing = {
                                 let _span =
                                     kt_trace::span_ab(SpanKind::Gating, li as u32, 0);
-                                router.route(&ffn_in)
+                                let hook = shared.routing_override.lock().clone();
+                                hook.and_then(|h| h(li, ffn_in.rows()))
+                                    .unwrap_or_else(|| router.route(&ffn_in))
                             };
                             (ffn_in, routing, st.decode_row.clone())
                         };
@@ -1006,8 +1135,13 @@ impl HybridEngine {
                             }
                         }
                         // Record activation statistics for popularity
-                        // profiling (§1's Fiddler-style placement path).
+                        // profiling (§1's Fiddler-style placement path)
+                        // and, under dynamic placement, fold this step's
+                        // gating mass into the cache's EWMA value model.
                         shared.profile.lock().record(li, &routing);
+                        if let Some(dy) = &shared.dynamic {
+                            dy.cache.lock().record_gating(li, &routing);
+                        }
 
                         // Partition off GPU-pinned hot experts; they run
                         // in this layer's shared-experts op instead of
@@ -1066,6 +1200,57 @@ impl HybridEngine {
                         };
                         let has_def = def.n_activations() > 0;
 
+                        // Dynamic placement: partition the IMMEDIATE
+                        // routing per expert by calibrated cost — CPU
+                        // roofline vs vGPU compute plus a PCIe upload
+                        // term when the expert is not cache-resident —
+                        // via greedy makespan assignment, so the two
+                        // devices overlap. Deferred routing always
+                        // stays on CPU (it merges a layer later and
+                        // never gates this layer's critical path).
+                        let (imm, use_buckets) = if let Some(dy) = &shared.dynamic {
+                            let mut dyn_gpu = None;
+                            let mut imm = imm;
+                            let mut tokens: std::collections::BTreeMap<usize, usize> =
+                                std::collections::BTreeMap::new();
+                            for row in &imm.assignments {
+                                for &(e, _) in row {
+                                    *tokens.entry(e).or_insert(0) += 1;
+                                }
+                            }
+                            if !tokens.is_empty() {
+                                let mut cache = dy.cache.lock();
+                                let choices: Vec<_> = tokens
+                                    .iter()
+                                    .map(|(&e, &t)| {
+                                        dy.cost.choice(e, t, cache.is_resident(li, e))
+                                    })
+                                    .collect();
+                                let part = partition_experts(&choices);
+                                if !part.gpu.is_empty() {
+                                    for &e in &part.gpu {
+                                        if cache.is_resident(li, e) {
+                                            cache.touch(li, e);
+                                        } else {
+                                            cache.request(li, e, dy.cost.expert_bytes);
+                                        }
+                                    }
+                                    let (c, g) = split_routing(&imm, &part.gpu);
+                                    imm = c;
+                                    dyn_gpu = Some(g);
+                                }
+                            }
+                            // When the partition sends nothing to the
+                            // device this step, fall back to the static
+                            // scattered fast path — no bucket machinery,
+                            // no merge overhead.
+                            let use_buckets = dyn_gpu.is_some();
+                            shared.state.lock().dyn_routing[li] = dyn_gpu;
+                            (imm, use_buckets)
+                        } else {
+                            (imm, false)
+                        };
+
                         // Arm counters BEFORE submitting so the merge
                         // kernel can never observe a stale zero.
                         shared.imm_pending[li].store(1, Ordering::Release);
@@ -1076,6 +1261,13 @@ impl HybridEngine {
                         // Immediate experts. The counter clears even if
                         // the expert computation panics — a poisoned
                         // request must fail, not wedge the merge spin.
+                        // When dynamic placement sent experts to the
+                        // device this step, the task produces
+                        // unscattered bucket outputs (the merge op
+                        // scatters both devices' buckets in canonical
+                        // expert order); otherwise — static policy OR a
+                        // step whose partition kept everything on CPU —
+                        // the scattered-sum fast path runs untouched.
                         {
                             let shared = Arc::clone(&shared);
                             let layer = Arc::clone(&layer);
@@ -1102,13 +1294,27 @@ impl HybridEngine {
                                             // (see `EngineShared::ws_gpu`
                                             // lock discipline).
                                             let mut ws = shared.ws_imm.lock();
-                                            routed.forward_with(
-                                                &ffn_in,
-                                                &imm,
-                                                None,
-                                                SchedulePolicy::Dynamic,
-                                                &mut ws,
-                                            )
+                                            if use_buckets {
+                                                routed
+                                                    .forward_buckets(
+                                                        &ffn_in,
+                                                        &imm,
+                                                        None,
+                                                        SchedulePolicy::Dynamic,
+                                                        &mut ws,
+                                                    )
+                                                    .map(ImmOut::Buckets)
+                                            } else {
+                                                routed
+                                                    .forward_with(
+                                                        &ffn_in,
+                                                        &imm,
+                                                        None,
+                                                        SchedulePolicy::Dynamic,
+                                                        &mut ws,
+                                                    )
+                                                    .map(ImmOut::Scattered)
+                                            }
                                         },
                                     ))
                                 };
@@ -1118,7 +1324,10 @@ impl HybridEngine {
                                 drop(ffn_in);
                                 let mut st = shared.state.lock();
                                 match result {
-                                    Ok(Ok(m)) => st.imm_out[li] = Some(m),
+                                    Ok(Ok(ImmOut::Scattered(m))) => st.imm_out[li] = Some(m),
+                                    Ok(Ok(ImmOut::Buckets(b))) => {
+                                        st.cpu_buckets[li] = Some(b)
+                                    }
                                     Ok(Err(e)) => st.error = Some(e.to_string()),
                                     Err(_) => {
                                         st.error = Some("expert task panicked".into())
@@ -1174,6 +1383,50 @@ impl HybridEngine {
                                 drop(st);
                                 shared.def_pending[li].store(0, Ordering::Release);
                             }));
+                        }
+                    }),
+                    usize::MAX,
+                ));
+            }
+
+            // Op: cache-resident routed experts on the vGPU (dynamic
+            // placement only). Runs right after submit, so it overlaps
+            // the CPU immediate task exactly like the shared experts
+            // do; results stay as unscattered bucket outputs until the
+            // merge op folds both devices' buckets in canonical expert
+            // order. Elided entirely under the static policy — the op
+            // sequence (and captured graph) is then unchanged.
+            if self.shared.dynamic.is_some() {
+                let shared = Arc::clone(&self.shared);
+                let layer = Arc::clone(layer);
+                ops.push((
+                    false,
+                    Arc::new(move || {
+                        let mut guard = shared.state.lock();
+                        if guard.error.is_some() {
+                            return;
+                        }
+                        let Some(gr) = guard.dyn_routing[li].take() else {
+                            return;
+                        };
+                        let Some(ffn_in) = guard.ffn_in[li].clone() else {
+                            return;
+                        };
+                        let EngineFfn::Moe { routed, .. } = &layer.ffn else {
+                            return;
+                        };
+                        let _span = kt_trace::span_ab(SpanKind::GpuExperts, li as u32, 0);
+                        let mut ws = shared.ws_gpu.lock();
+                        let st = &mut *guard;
+                        match routed.forward_buckets(
+                            &ffn_in,
+                            &gr,
+                            None,
+                            SchedulePolicy::Dynamic,
+                            &mut ws.moe,
+                        ) {
+                            Ok(b) => st.gpu_buckets[li] = Some(b),
+                            Err(e) => st.error = Some(e.to_string()),
                         }
                     }),
                     usize::MAX,
@@ -1278,6 +1531,84 @@ impl HybridEngine {
                                 *o += v;
                             }
                         }
+                        // Dynamic placement: scatter both devices'
+                        // bucket outputs in ascending expert order into
+                        // a zeroed scratch buffer — the identical
+                        // serial order the static path uses inside
+                        // `forward_with` — then fold elementwise,
+                        // keeping outputs bitwise equal to the all-CPU
+                        // split.
+                        let mut buckets: Option<(
+                            Vec<BucketOut>,
+                            Vec<BucketOut>,
+                            Option<Matrix>,
+                        )> = None;
+                        if shared.dynamic.is_some() {
+                            let cpu_b = st.cpu_buckets[li].take().unwrap_or_default();
+                            let gpu_b = st.gpu_buckets[li].take().unwrap_or_default();
+                            if !(cpu_b.is_empty() && gpu_b.is_empty()) {
+                                let _span =
+                                    kt_trace::span_ab(SpanKind::ScatterAdd, li as u32, 0);
+                                // Device ops may take a workspace lock
+                                // under `state` (see `ws_gpu` lock
+                                // discipline); this layer's CPU task
+                                // has already dropped `ws_imm` — its
+                                // counter reached zero above.
+                                let checkout =
+                                    shared.ws_imm.lock().checkout(st.x.rows(), st.x.cols());
+                                match checkout {
+                                    Ok(mut buf) => {
+                                        // Two-pointer merge of the two
+                                        // ascending, disjoint expert
+                                        // streams.
+                                        let (mut i, mut j) = (0, 0);
+                                        let mut err = None;
+                                        while i < cpu_b.len() || j < gpu_b.len() {
+                                            let from_cpu =
+                                                match (cpu_b.get(i), gpu_b.get(j)) {
+                                                    (Some(c), Some(g)) => {
+                                                        c.expert < g.expert
+                                                    }
+                                                    (Some(_), None) => true,
+                                                    _ => false,
+                                                };
+                                            let b = if from_cpu {
+                                                i += 1;
+                                                &cpu_b[i - 1]
+                                            } else {
+                                                j += 1;
+                                                &gpu_b[j - 1]
+                                            };
+                                            if let Err(e) = scatter_bucket_outs(
+                                                std::slice::from_ref(b),
+                                                &mut buf,
+                                            ) {
+                                                err = Some(e.to_string());
+                                                break;
+                                            }
+                                        }
+                                        match err {
+                                            None => {
+                                                for (o, v) in st
+                                                    .x
+                                                    .as_mut_slice()
+                                                    .iter_mut()
+                                                    .zip(buf.as_slice())
+                                                {
+                                                    *o += v;
+                                                }
+                                            }
+                                            Some(e) => st.error = Some(e),
+                                        }
+                                        buckets = Some((cpu_b, gpu_b, Some(buf)));
+                                    }
+                                    Err(e) => {
+                                        st.error = Some(e.to_string());
+                                        buckets = Some((cpu_b, gpu_b, None));
+                                    }
+                                }
+                            }
+                        }
                         let def_m = prev_moe.and_then(|p| st.def_out[p].take());
                         if let Some(m) = &def_m {
                             let _span = kt_trace::span_ab(
@@ -1296,6 +1627,24 @@ impl HybridEngine {
                         drop(st);
                         if let Some(m) = imm {
                             shared.ws_imm.lock().restore(m);
+                        }
+                        // Buckets retire to the workspace whose arena
+                        // backs them (CPU → ws_imm, GPU → ws_gpu.moe),
+                        // preserving the zero-allocation steady state.
+                        if let Some((cpu_b, gpu_b, buf)) = buckets {
+                            {
+                                let mut ws = shared.ws_imm.lock();
+                                if let Some(b) = buf {
+                                    ws.restore(b);
+                                }
+                                for b in cpu_b {
+                                    ws.retire_bucket_out(b);
+                                }
+                            }
+                            let mut ws = shared.ws_gpu.lock();
+                            for b in gpu_b {
+                                ws.moe.retire_bucket_out(b);
+                            }
                         }
                         if let Some(m) = def_m {
                             shared.ws_def.lock().restore(m);
@@ -1607,13 +1956,29 @@ impl HybridEngine {
             let ffn: Vec<_> = st.ffn_in.iter_mut().filter_map(Option::take).collect();
             let imm: Vec<_> = st.imm_out.iter_mut().filter_map(Option::take).collect();
             let def: Vec<_> = st.def_out.iter_mut().filter_map(Option::take).collect();
+            let cpu_b: Vec<_> = st
+                .cpu_buckets
+                .iter_mut()
+                .filter_map(Option::take)
+                .flatten()
+                .collect();
+            let gpu_b: Vec<_> = st
+                .gpu_buckets
+                .iter_mut()
+                .filter_map(Option::take)
+                .flatten()
+                .collect();
             let logits = st.logits.take();
             st.gpu_routing.iter_mut().for_each(|s| *s = None);
+            st.dyn_routing.iter_mut().for_each(|s| *s = None);
             drop(st);
             {
                 let mut ws = self.shared.ws_imm.lock();
                 for m in imm {
                     ws.restore(m);
+                }
+                for b in cpu_b {
+                    ws.retire_bucket_out(b);
                 }
             }
             {
@@ -1623,6 +1988,9 @@ impl HybridEngine {
                 }
             }
             let mut ws = self.shared.ws_gpu.lock();
+            for b in gpu_b {
+                ws.moe.retire_bucket_out(b);
+            }
             for arc in ffn {
                 match Arc::try_unwrap(arc) {
                     Ok(m) => ws.arena.restore(m),
@@ -2344,5 +2712,158 @@ mod placement_tests {
         let hottest = profile.hottest(layer, 2);
         assert_eq!(hottest.len(), 2);
         assert!(profile.count(layer, hottest[0]) >= profile.count(layer, hottest[1]));
+    }
+}
+
+#[cfg(test)]
+mod dynamic_placement_tests {
+    use super::*;
+    use kt_model::ModelPreset;
+
+    fn build(
+        preset: ModelPreset,
+        policy: PlacementPolicy,
+        cache_bytes: usize,
+        seed: u64,
+    ) -> HybridEngine {
+        let cfg = preset.tiny_config();
+        HybridEngine::random(
+            &cfg,
+            EngineConfig {
+                n_cpu_workers: 2,
+                mode: SchedMode::AsyncGraph,
+                n_deferred: 2,
+                placement: policy,
+                expert_cache_bytes: cache_bytes,
+                seed,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn bits(m: &Matrix) -> Vec<u32> {
+        m.as_slice().iter().map(|v| v.to_bits()).collect()
+    }
+
+    /// Prefill + `steps` greedy decode steps; every logits matrix as
+    /// raw bits so equality below means bitwise identity, not float
+    /// equality (which would conflate +0.0 and -0.0).
+    fn run_trace(e: &HybridEngine, prompt: &[u32], steps: usize) -> Vec<Vec<u32>> {
+        e.reset();
+        let mut out = Vec::new();
+        let l = e.forward(prompt).unwrap();
+        let mut next = kt_model::model::argmax(l.row(l.rows() - 1));
+        out.push(bits(&l));
+        for _ in 0..steps {
+            let l = e.forward(&[next]).unwrap();
+            next = kt_model::model::argmax(l.row(0));
+            out.push(bits(&l));
+        }
+        out
+    }
+
+    #[test]
+    fn dynamic_placement_is_bitwise_identical_for_all_presets() {
+        // Dynamic placement is pure scheduling: partitioning the
+        // immediate routing by whole expert keeps every per-expert
+        // token count (hence kernel class) identical, and the merge
+        // folds buckets in the same serial expert order the CPU path
+        // uses. Logits must match the static split bit for bit.
+        for preset in ModelPreset::all() {
+            let st = build(preset, PlacementPolicy::Static, 0, 71);
+            let dy = build(preset, PlacementPolicy::Dynamic, 64 << 20, 71);
+            let want = run_trace(&st, &[1, 2, 3], 6);
+            let got = run_trace(&dy, &[1, 2, 3], 6);
+            assert_eq!(want, got, "{preset:?}");
+            assert!(st.expert_cache_stats().is_none(), "{preset:?}");
+            let stats = dy.expert_cache_stats().expect("dynamic engine has a cache");
+            assert!(stats.hits + stats.misses > 0, "{preset:?}: cache consulted");
+        }
+    }
+
+    #[test]
+    fn tiny_cache_budget_churns_without_changing_outputs() {
+        // A budget of exactly one expert forces constant
+        // admission-decline / eviction churn mid-sequence; outputs
+        // must not care which experts happen to be resident.
+        let st = build(ModelPreset::DeepSeekV3, PlacementPolicy::Static, 0, 73);
+        let bytes = st.expert_weight_bytes().expect("model has routed experts");
+        let dy = build(ModelPreset::DeepSeekV3, PlacementPolicy::Dynamic, bytes, 73);
+        let want = run_trace(&st, &[4, 5, 6, 7], 8);
+        let got = run_trace(&dy, &[4, 5, 6, 7], 8);
+        assert_eq!(want, got);
+        let stats = dy.expert_cache_stats().unwrap();
+        assert!(stats.misses > 0, "tiny budget must miss");
+        assert!(stats.resident_bytes <= bytes as u64);
+        assert!(stats.resident_entries <= 1);
+    }
+
+    #[test]
+    fn dynamic_batched_decode_is_bitwise_identical() {
+        // Concurrent decode rows share one MoE dispatch per layer, so
+        // the dynamic partition sees multi-row routings here.
+        let prompts: [&[u32]; 2] = [&[1, 2, 3], &[9, 8, 7, 6]];
+        let run = |e: &HybridEngine| -> Vec<Vec<u32>> {
+            e.reset();
+            let mut seqs: Vec<BatchSeq> = prompts
+                .iter()
+                .map(|p| BatchSeq::prefill(e.fresh_cache(), p.to_vec()))
+                .collect();
+            let mut out = Vec::new();
+            let logits = e.forward_batch(&mut seqs).unwrap();
+            let mut next: Vec<u32> = logits
+                .iter()
+                .map(|l| {
+                    let l = l.as_ref().expect("prefill returns logits");
+                    out.push(bits(l));
+                    kt_model::model::argmax(l.row(l.rows() - 1))
+                })
+                .collect();
+            for _ in 0..5 {
+                for (s, seq) in seqs.iter_mut().enumerate() {
+                    seq.tokens = vec![next[s]];
+                    seq.prefill = false;
+                }
+                let logits = e.forward_batch(&mut seqs).unwrap();
+                for (s, l) in logits.iter().enumerate() {
+                    let l = l.as_ref().unwrap();
+                    out.push(bits(l));
+                    next[s] = kt_model::model::argmax(l.row(0));
+                }
+            }
+            out
+        };
+        for preset in [ModelPreset::DeepSeekV3, ModelPreset::Qwen2Moe] {
+            let st = build(preset, PlacementPolicy::Static, 0, 79);
+            let dy = build(preset, PlacementPolicy::Dynamic, 48 << 20, 79);
+            assert_eq!(run(&st), run(&dy), "{preset:?}");
+        }
+    }
+
+    #[test]
+    fn routing_override_redirects_gating() {
+        // The override hook (used by the placement bench to impose
+        // skew) replaces the router's decision wholesale.
+        let e = build(ModelPreset::DeepSeekV3, PlacementPolicy::Dynamic, 64 << 20, 83);
+        let cfg = e.config().clone();
+        let top_k = cfg.top_k;
+        e.set_routing_override(move |_, rows| {
+            Some(MoeRouting::new(
+                (0..rows)
+                    .map(|_| (0..top_k).map(|k| (k, 1.0 / top_k as f32)).collect())
+                    .collect(),
+            ))
+        });
+        let _ = e.forward(&[1, 2, 3]).unwrap();
+        let profile = e.expert_profile();
+        let layer = cfg.n_dense_layers; // first MoE layer
+        assert!(profile.count(layer, 0) > 0, "forced expert 0 must be hit");
+        for ex in top_k..cfg.n_routed_experts {
+            assert_eq!(profile.count(layer, ex), 0, "expert {ex} not routed");
+        }
+        e.clear_routing_override();
+        e.reset();
+        assert!(e.forward(&[1, 2, 3]).is_ok(), "normal routing restored");
     }
 }

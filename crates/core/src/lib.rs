@@ -30,8 +30,11 @@ pub mod profiling;
 pub mod vgpu;
 
 pub use cpu_backend::CpuBackend;
-pub use engine::{BatchSeq, EngineConfig, FaultHook, HybridEngine, SchedMode, UtilizationReport};
+pub use engine::{
+    BatchSeq, EngineConfig, FaultHook, HybridEngine, RoutingHook, SchedMode, UtilizationReport,
+};
 pub use error::EngineError;
+pub use placement::dynamic::{ExpertCache, ExpertCacheStats, PlacementPolicy};
 pub use placement::{DeviceKind, PlacementPlan};
 pub use kt_tensor::ArenaStats;
 pub use profiling::{percentile_ns, ExpertProfile, RequestMetrics, ServeStats};

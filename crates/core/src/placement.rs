@@ -4,7 +4,11 @@
 //! shared experts, router, embeddings and the LM head live on the GPU;
 //! routed experts live in CPU DRAM and execute on the CPU.
 
+use std::collections::HashMap;
+
 use kt_model::ModelConfig;
+
+pub mod dynamic;
 
 /// Execution device of a module.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -16,13 +20,34 @@ pub enum DeviceKind {
 }
 
 /// A module placement plan.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct PlacementPlan {
     /// `(module path, device)` entries, one per placed module class.
     pub entries: Vec<(String, DeviceKind)>,
+    /// Path → device index so `device_of` is O(1) on the hot path.
+    index: HashMap<String, DeviceKind>,
 }
 
+impl PartialEq for PlacementPlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl Eq for PlacementPlan {}
+
 impl PlacementPlan {
+    /// Builds a plan from explicit entries. On duplicate paths the
+    /// first entry wins, preserving the semantics of the old linear
+    /// `find` scan.
+    pub fn new(entries: Vec<(String, DeviceKind)>) -> Self {
+        let mut index = HashMap::with_capacity(entries.len());
+        for (p, d) in &entries {
+            index.entry(p.clone()).or_insert(*d);
+        }
+        PlacementPlan { entries, index }
+    }
+
     /// Builds the paper's default plan for a model config.
     pub fn for_model(cfg: &ModelConfig) -> Self {
         let mut entries = vec![
@@ -45,15 +70,12 @@ impl PlacementPlan {
                 entries.push((format!("model.layers.{layer}.mlp.experts"), DeviceKind::Cpu));
             }
         }
-        PlacementPlan { entries }
+        PlacementPlan::new(entries)
     }
 
-    /// Device for a module path, if placed.
+    /// Device for a module path, if placed. O(1) via the index.
     pub fn device_of(&self, path: &str) -> Option<DeviceKind> {
-        self.entries
-            .iter()
-            .find(|(p, _)| p == path)
-            .map(|&(_, d)| d)
+        self.index.get(path).copied()
     }
 
     /// Count of modules placed on a device.
@@ -95,6 +117,22 @@ mod tests {
         let plan = PlacementPlan::for_model(&cfg);
         assert_eq!(plan.device_of("model.layers.0.mlp"), Some(DeviceKind::Gpu));
         assert_eq!(plan.device_of("model.layers.0.mlp.experts"), None);
+    }
+
+    #[test]
+    fn index_matches_entries_and_first_duplicate_wins() {
+        let plan = PlacementPlan::new(vec![
+            ("a".to_string(), DeviceKind::Cpu),
+            ("a".to_string(), DeviceKind::Gpu),
+            ("b".to_string(), DeviceKind::Gpu),
+        ]);
+        assert_eq!(plan.device_of("a"), Some(DeviceKind::Cpu));
+        assert_eq!(plan.device_of("b"), Some(DeviceKind::Gpu));
+        let cfg = ModelPreset::DeepSeekV3.tiny_config();
+        let plan = PlacementPlan::for_model(&cfg);
+        for (p, d) in &plan.entries {
+            assert_eq!(plan.device_of(p), Some(*d));
+        }
     }
 
     #[test]

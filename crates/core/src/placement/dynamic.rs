@@ -1,0 +1,467 @@
+//! Cost-model-driven dynamic expert placement (ROADMAP item 1).
+//!
+//! The static split (§3.1) leaves simulated VRAM idle as expert
+//! storage even though gating statistics are heavily skewed. This
+//! module treats VRAM as a byte-budgeted [`ExpertCache`] and, per step
+//! and per MoE layer, partitions the routed (immediate) token→expert
+//! assignment between CPU and vGPU execution by comparing calibrated
+//! costs from `kt_hwsim::cost`:
+//!
+//! - CPU side: the hybrid AMX/AVX-512 roofline (`cpu_moe_time` with one
+//!   active expert — tile padding and per-task overhead included),
+//! - GPU side: the same host roofline (the harness vGPU executes on
+//!   host cores at host speed) plus the calibrated PCIe upload term
+//!   when the expert is not resident in the cache.
+//!
+//! Assignment is greedy makespan scheduling: experts are visited in
+//! descending CPU-cost order and each goes to the device with the
+//! smaller finish time (accumulated load + own cost), so the two
+//! devices overlap rather than one of them hoarding all the work.
+//! Ties prefer CPU, which keeps the policy conservative with respect
+//! to the static split.
+//!
+//! Cache admission and eviction are value-driven, not plain LRU: the
+//! value of a (layer, expert) slot is an EWMA of its per-step gating
+//! mass with recency as the tiebreak, so persistently-hot experts stay
+//! resident while one-off activations run on CPU without thrashing.
+//!
+//! Everything here is pure bookkeeping — execution happens in the
+//! engine, which keeps outputs bitwise identical to the all-CPU static
+//! split by merging per-expert bucket outputs through the canonical
+//! serial scatter-add order (see `kt_kernels::scatter_bucket_outs`).
+
+use std::collections::HashMap;
+
+use kt_hwsim::{Calibration, Platform};
+use kt_kernels::MoeRouting;
+use kt_trace::{counter_add, CounterKind};
+
+/// Which expert placement policy the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// The paper's static split: all routed experts execute on CPU.
+    #[default]
+    Static,
+    /// Per-step cost-model-driven CPU/vGPU partitioning with a
+    /// value-aware VRAM expert cache (`EngineConfig.expert_cache_bytes`).
+    Dynamic,
+}
+
+/// EWMA smoothing factor for per-expert gating mass. Small enough to
+/// remember a few hundred steps of history, large enough to adapt when
+/// the routing distribution shifts mid-sequence.
+const EWMA_ALPHA: f64 = 0.05;
+
+/// Snapshot of [`ExpertCache`] counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExpertCacheStats {
+    /// GPU-placed expert lookups that found the expert resident.
+    pub hits: u64,
+    /// GPU-placed expert lookups that missed (upload term paid).
+    pub misses: u64,
+    /// Experts admitted into the cache.
+    pub insertions: u64,
+    /// Experts evicted to make room.
+    pub evictions: u64,
+    /// Total bytes evicted.
+    pub evicted_bytes: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: u64,
+    /// Entries currently resident.
+    pub resident_entries: u64,
+}
+
+/// A byte-budgeted cache of experts "resident" in simulated VRAM.
+///
+/// Residency only affects the cost model (no upload term) and the
+/// counters — the vGPU device thread reads the same host memory either
+/// way, so this is a faithful model of what a real VRAM expert cache
+/// would change about the schedule, without moving bytes.
+#[derive(Debug)]
+pub struct ExpertCache {
+    budget_bytes: usize,
+    /// (layer, expert) → weight bytes of the resident copy.
+    resident: HashMap<(usize, usize), usize>,
+    /// Per-layer, per-expert EWMA of gating mass (sum of routing
+    /// weights each step).
+    ewma: Vec<Vec<f64>>,
+    /// Per-layer, per-expert last step the expert was routed to.
+    last_used: Vec<Vec<u64>>,
+    /// Monotone step counter, advanced per `record_gating` call.
+    step: u64,
+    resident_bytes: usize,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+    evicted_bytes: u64,
+}
+
+impl ExpertCache {
+    /// A cache with `budget_bytes` of simulated VRAM over a model of
+    /// `n_layers` layers with `n_experts` routed experts each.
+    pub fn new(budget_bytes: usize, n_layers: usize, n_experts: usize) -> Self {
+        ExpertCache {
+            budget_bytes,
+            resident: HashMap::new(),
+            ewma: vec![vec![0.0; n_experts]; n_layers],
+            last_used: vec![vec![0; n_experts]; n_layers],
+            step: 0,
+            resident_bytes: 0,
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+            evicted_bytes: 0,
+        }
+    }
+
+    /// Folds one step's routing for `layer` into the EWMA gating-mass
+    /// statistics. Every expert of the layer decays; routed experts
+    /// additionally gain their step mass and refresh recency.
+    pub fn record_gating(&mut self, layer: usize, routing: &MoeRouting) {
+        self.step += 1;
+        let n_experts = self.ewma[layer].len();
+        let mut mass = vec![0.0f64; n_experts];
+        for row in &routing.assignments {
+            for &(e, w) in row {
+                if e < n_experts {
+                    mass[e] += w as f64;
+                }
+            }
+        }
+        for (e, &m) in mass.iter().enumerate() {
+            let v = &mut self.ewma[layer][e];
+            *v = (1.0 - EWMA_ALPHA) * *v + EWMA_ALPHA * m;
+            if m > 0.0 {
+                self.last_used[layer][e] = self.step;
+            }
+        }
+    }
+
+    /// Is this expert resident in simulated VRAM?
+    pub fn is_resident(&self, layer: usize, expert: usize) -> bool {
+        self.resident.contains_key(&(layer, expert))
+    }
+
+    /// Value of a slot: EWMA gating mass with recency as tiebreak.
+    fn value(&self, layer: usize, expert: usize) -> (f64, u64) {
+        (self.ewma[layer][expert], self.last_used[layer][expert])
+    }
+
+    /// Records a GPU-placed execution of a resident expert.
+    pub fn touch(&mut self, layer: usize, expert: usize) {
+        debug_assert!(self.is_resident(layer, expert));
+        self.hits += 1;
+        counter_add(CounterKind::ExpertCacheHits, 1);
+    }
+
+    /// Records a GPU-placed execution of a non-resident expert (the
+    /// upload term was paid) and tries to admit it: residents with
+    /// strictly lower value are evicted until the candidate fits; if
+    /// the remaining residents are all at least as valuable, admission
+    /// is declined and the cache is left untouched.
+    pub fn request(&mut self, layer: usize, expert: usize, bytes: usize) {
+        self.misses += 1;
+        counter_add(CounterKind::ExpertCacheMisses, 1);
+        if bytes > self.budget_bytes {
+            return;
+        }
+        let candidate = self.value(layer, expert);
+        // Evict strictly-lower-value residents, cheapest first, until
+        // the candidate fits or no evictable resident remains.
+        while self.resident_bytes + bytes > self.budget_bytes {
+            let victim = self
+                .resident
+                .keys()
+                .map(|&(l, e)| (self.value(l, e), l, e))
+                .min_by(|a, b| {
+                    (a.0 .0)
+                        .total_cmp(&b.0 .0)
+                        .then(a.0 .1.cmp(&b.0 .1))
+                        .then(a.1.cmp(&b.1))
+                        .then(a.2.cmp(&b.2))
+                })
+                .filter(|&((v, r), _, _)| {
+                    v < candidate.0 || (v == candidate.0 && r < candidate.1)
+                });
+            match victim {
+                Some((_, l, e)) => self.evict(l, e),
+                None => return,
+            }
+        }
+        self.resident.insert((layer, expert), bytes);
+        self.resident_bytes += bytes;
+        self.insertions += 1;
+    }
+
+    fn evict(&mut self, layer: usize, expert: usize) {
+        if let Some(bytes) = self.resident.remove(&(layer, expert)) {
+            self.resident_bytes -= bytes;
+            self.evictions += 1;
+            self.evicted_bytes += bytes as u64;
+            counter_add(CounterKind::ExpertCacheEvictedBytes, bytes as u64);
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ExpertCacheStats {
+        ExpertCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            insertions: self.insertions,
+            evictions: self.evictions,
+            evicted_bytes: self.evicted_bytes,
+            resident_bytes: self.resident_bytes as u64,
+            resident_entries: self.resident.len() as u64,
+        }
+    }
+}
+
+/// One expert's placement decision inputs: routed token count plus the
+/// calibrated per-device costs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpertChoice {
+    /// Routed expert index.
+    pub expert: usize,
+    /// CPU execution time, seconds.
+    pub cpu_s: f64,
+    /// GPU execution time including the upload term if not resident,
+    /// seconds.
+    pub gpu_s: f64,
+}
+
+/// The outcome of partitioning one layer's immediate routing.
+#[derive(Debug, Clone, Default)]
+pub struct Partition {
+    /// Experts assigned to CPU execution (ascending).
+    pub cpu: Vec<usize>,
+    /// Experts assigned to vGPU execution (ascending).
+    pub gpu: Vec<usize>,
+}
+
+/// Greedy makespan partition of one layer's active experts across the
+/// two devices. Experts are visited in descending CPU-cost order (LPT)
+/// and each goes to the device with the smaller finish time; ties
+/// prefer CPU. Deterministic for a given input.
+pub fn partition_experts(choices: &[ExpertChoice]) -> Partition {
+    let mut order: Vec<&ExpertChoice> = choices.iter().collect();
+    order.sort_by(|a, b| {
+        b.cpu_s
+            .partial_cmp(&a.cpu_s)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.expert.cmp(&b.expert))
+    });
+    let mut part = Partition::default();
+    let (mut cpu_load, mut gpu_load) = (0.0f64, 0.0f64);
+    for c in order {
+        if gpu_load + c.gpu_s < cpu_load + c.cpu_s {
+            gpu_load += c.gpu_s;
+            part.gpu.push(c.expert);
+        } else {
+            cpu_load += c.cpu_s;
+            part.cpu.push(c.expert);
+        }
+    }
+    part.cpu.sort_unstable();
+    part.gpu.sort_unstable();
+    part
+}
+
+/// Everything the engine needs to price an expert: the calibration,
+/// the simulated platform, and the per-layer expert shape.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Roofline calibration constants.
+    pub calibration: Calibration,
+    /// Simulated platform (CPU spec, GPU spec, PCIe bandwidth).
+    pub platform: Platform,
+    /// Useful FLOPs per routed token per expert (2·3·hidden·inter).
+    pub flops_per_token: f64,
+    /// Stored bytes of one expert's weights.
+    pub expert_bytes: usize,
+}
+
+impl CostModel {
+    /// Per-expert costs for `tokens` routed rows given residency.
+    ///
+    /// The vGPU in this harness executes kernels on host cores at host
+    /// speed, so a GPU-assigned expert's *service* time is the CPU
+    /// roofline, not the calibrated A100 roofline — pricing it at HBM
+    /// speed would make every expert look near-free on the device and
+    /// the greedy partition would hoard all of them on the single
+    /// device thread, serializing the step. The calibrated PCIe upload
+    /// term is kept for non-resident experts: it preserves the paper's
+    /// decision structure (persistently-hot experts earn residency and
+    /// migrate to the device; one-off cold activations stay on CPU).
+    pub fn choice(&self, expert: usize, tokens: usize, resident: bool) -> ExpertChoice {
+        let cost = self.calibration.expert_placement_cost(
+            tokens as f64,
+            tokens as f64 * self.flops_per_token,
+            self.expert_bytes as f64,
+            &self.platform,
+        );
+        ExpertChoice {
+            expert,
+            cpu_s: cost.cpu_s,
+            gpu_s: if resident {
+                cost.cpu_s
+            } else {
+                cost.cpu_s + cost.pcie_upload_s
+            },
+        }
+    }
+}
+
+/// Splits `routing` by expert assignment: rows keep their position, and
+/// each (token, expert, weight) triple goes to the side that owns the
+/// expert. `gpu_experts` must be sorted ascending.
+pub fn split_routing(routing: &MoeRouting, gpu_experts: &[usize]) -> (MoeRouting, MoeRouting) {
+    let on_gpu = |e: usize| gpu_experts.binary_search(&e).is_ok();
+    let n = routing.assignments.len();
+    let mut cpu = vec![Vec::new(); n];
+    let mut gpu = vec![Vec::new(); n];
+    for (row, assignments) in routing.assignments.iter().enumerate() {
+        for &(e, w) in assignments {
+            if on_gpu(e) {
+                gpu[row].push((e, w));
+            } else {
+                cpu[row].push((e, w));
+            }
+        }
+    }
+    (MoeRouting::new(cpu), MoeRouting::new(gpu))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn routing_of(rows: &[&[(usize, f32)]]) -> MoeRouting {
+        MoeRouting::new(rows.iter().map(|r| r.to_vec()).collect())
+    }
+
+    #[test]
+    fn partition_balances_load_across_devices() {
+        // Four equal-cost experts, GPU as fast as CPU: greedy makespan
+        // should split 2/2 rather than hoarding.
+        let choices: Vec<ExpertChoice> = (0..4)
+            .map(|e| ExpertChoice {
+                expert: e,
+                cpu_s: 1.0,
+                gpu_s: 1.0,
+            })
+            .collect();
+        let part = partition_experts(&choices);
+        assert_eq!(part.cpu.len(), 2);
+        assert_eq!(part.gpu.len(), 2);
+    }
+
+    #[test]
+    fn partition_keeps_expensive_gpu_experts_on_cpu() {
+        // A cold expert whose upload dwarfs everything stays on CPU.
+        let choices = vec![
+            ExpertChoice {
+                expert: 0,
+                cpu_s: 1.0,
+                gpu_s: 100.0,
+            },
+            ExpertChoice {
+                expert: 1,
+                cpu_s: 1.0,
+                gpu_s: 0.1,
+            },
+        ];
+        let part = partition_experts(&choices);
+        assert_eq!(part.cpu, vec![0]);
+        assert_eq!(part.gpu, vec![1]);
+    }
+
+    #[test]
+    fn partition_ties_prefer_cpu_and_empty_is_empty() {
+        let choices = vec![ExpertChoice {
+            expert: 7,
+            cpu_s: 1.0,
+            gpu_s: 1.0,
+        }];
+        let part = partition_experts(&choices);
+        assert_eq!(part.cpu, vec![7]);
+        assert!(part.gpu.is_empty());
+        assert!(partition_experts(&[]).cpu.is_empty());
+    }
+
+    #[test]
+    fn cache_admits_within_budget_and_evicts_by_value() {
+        let mut cache = ExpertCache::new(200, 1, 4);
+        // Make expert 0 hot, expert 1 lukewarm.
+        for _ in 0..50 {
+            cache.record_gating(0, &routing_of(&[&[(0, 1.0), (1, 0.1)]]));
+        }
+        cache.request(0, 0, 100);
+        cache.request(0, 1, 100);
+        assert!(cache.is_resident(0, 0) && cache.is_resident(0, 1));
+        assert_eq!(cache.stats().resident_bytes, 200);
+        // A zero-value expert cannot displace either resident.
+        cache.request(0, 2, 100);
+        assert!(!cache.is_resident(0, 2));
+        assert_eq!(cache.stats().evictions, 0);
+        // Expert 3 becomes the hottest: it displaces the lukewarm
+        // expert 1, not the hot expert 0.
+        for _ in 0..50 {
+            cache.record_gating(0, &routing_of(&[&[(3, 2.0), (0, 1.0)]]));
+        }
+        cache.request(0, 3, 100);
+        assert!(cache.is_resident(0, 3) && cache.is_resident(0, 0));
+        assert!(!cache.is_resident(0, 1));
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.evicted_bytes, 100);
+        assert_eq!(s.resident_bytes, 200);
+        assert_eq!(s.insertions, 3);
+        assert_eq!(s.misses, 4);
+    }
+
+    #[test]
+    fn cache_rejects_oversized_expert_and_counts_hits() {
+        let mut cache = ExpertCache::new(50, 1, 2);
+        cache.request(0, 0, 100); // larger than the whole budget
+        assert!(!cache.is_resident(0, 0));
+        let mut cache = ExpertCache::new(100, 1, 2);
+        cache.record_gating(0, &routing_of(&[&[(0, 1.0)]]));
+        cache.request(0, 0, 100);
+        assert!(cache.is_resident(0, 0));
+        cache.touch(0, 0);
+        cache.touch(0, 0);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+        assert_eq!(s.resident_entries, 1);
+    }
+
+    #[test]
+    fn ewma_decays_unrouted_experts() {
+        let mut cache = ExpertCache::new(0, 1, 2);
+        cache.record_gating(0, &routing_of(&[&[(0, 1.0)]]));
+        let hot = cache.ewma[0][0];
+        assert!(hot > 0.0);
+        for _ in 0..100 {
+            cache.record_gating(0, &routing_of(&[&[(1, 1.0)]]));
+        }
+        assert!(cache.ewma[0][0] < hot / 10.0);
+        assert!(cache.ewma[0][1] > cache.ewma[0][0]);
+    }
+
+    #[test]
+    fn split_routing_partitions_by_expert_preserving_rows() {
+        let routing = routing_of(&[
+            &[(0, 0.5), (2, 0.3), (1, 0.2)],
+            &[(2, 1.0)],
+            &[],
+        ]);
+        let (cpu, gpu) = split_routing(&routing, &[1, 2]);
+        assert_eq!(cpu.assignments, vec![vec![(0, 0.5)], vec![], vec![]]);
+        assert_eq!(
+            gpu.assignments,
+            vec![vec![(2, 0.3), (1, 0.2)], vec![(2, 1.0)], vec![]]
+        );
+    }
+}

@@ -146,6 +146,23 @@ pub struct ServeStats {
     pub prefix_resident_bytes: u64,
     /// Prefix segments currently resident.
     pub prefix_entries: u64,
+    /// Expert-cache lookups that found the expert resident in vGPU
+    /// memory (snapshot of the dynamic-placement expert cache; see
+    /// [`ServeStats::set_expert_cache`]). All zero when the engine
+    /// runs the static placement policy.
+    pub expert_cache_hits: u64,
+    /// Lookups for experts not resident (cold or evicted).
+    pub expert_cache_misses: u64,
+    /// Experts admitted into the cache.
+    pub expert_cache_insertions: u64,
+    /// Experts evicted to make room for higher-value ones.
+    pub expert_cache_evictions: u64,
+    /// Bytes freed by expert eviction.
+    pub expert_cache_evicted_bytes: u64,
+    /// Bytes currently held by resident experts.
+    pub expert_cache_resident_bytes: u64,
+    /// Experts currently resident.
+    pub expert_cache_entries: u64,
 }
 
 impl ServeStats {
@@ -218,6 +235,18 @@ impl ServeStats {
         self.prefix_resident_bytes = s.resident_bytes;
         self.prefix_entries = s.entries;
     }
+
+    /// Overwrites the expert-cache counters from an engine snapshot
+    /// (replace, not accumulate, same as [`ServeStats::set_arena`]).
+    pub fn set_expert_cache(&mut self, s: &crate::placement::dynamic::ExpertCacheStats) {
+        self.expert_cache_hits = s.hits;
+        self.expert_cache_misses = s.misses;
+        self.expert_cache_insertions = s.insertions;
+        self.expert_cache_evictions = s.evictions;
+        self.expert_cache_evicted_bytes = s.evicted_bytes;
+        self.expert_cache_resident_bytes = s.resident_bytes;
+        self.expert_cache_entries = s.resident_entries;
+    }
 }
 
 /// Percentile of a latency sample set by the nearest-rank method
@@ -256,6 +285,11 @@ impl ExpertProfile {
     /// Number of layers tracked.
     pub fn n_layers(&self) -> usize {
         self.counts.len()
+    }
+
+    /// Experts tracked per layer (0 for an empty profile).
+    pub fn n_experts(&self) -> usize {
+        self.counts.first().map_or(0, Vec::len)
     }
 
     /// Records one routing decision for `layer`.
@@ -534,6 +568,29 @@ mod tests {
         assert_eq!(s.prefix_evicted_bytes, 160);
         assert_eq!(s.prefix_resident_bytes, 240);
         assert_eq!(s.prefix_entries, 3);
+    }
+
+    #[test]
+    fn set_expert_cache_overwrites_snapshot() {
+        let mut s = ServeStats::default();
+        let st = crate::placement::dynamic::ExpertCacheStats {
+            hits: 9,
+            misses: 4,
+            insertions: 6,
+            evictions: 2,
+            evicted_bytes: 512,
+            resident_bytes: 1024,
+            resident_entries: 4,
+        };
+        s.set_expert_cache(&st);
+        s.set_expert_cache(&st); // replace, not accumulate
+        assert_eq!(s.expert_cache_hits, 9);
+        assert_eq!(s.expert_cache_misses, 4);
+        assert_eq!(s.expert_cache_insertions, 6);
+        assert_eq!(s.expert_cache_evictions, 2);
+        assert_eq!(s.expert_cache_evicted_bytes, 512);
+        assert_eq!(s.expert_cache_resident_bytes, 1024);
+        assert_eq!(s.expert_cache_entries, 4);
     }
 
     #[test]

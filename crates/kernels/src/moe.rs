@@ -192,6 +192,67 @@ impl MoeRouting {
     }
 }
 
+/// One expert's **unscattered** output from
+/// [`FusedMoE::forward_buckets`]: the down-projected rows plus the
+/// token ids and routing weights needed to scatter them later.
+///
+/// Holding scatter inputs rather than scattered sums lets two devices
+/// (e.g. CPU workers and the vGPU) compute disjoint expert subsets
+/// concurrently and still merge through the canonical serial
+/// scatter-add order ([`scatter_bucket_outs`]) — bitwise identical to
+/// computing every expert on one device. Return the buffers via
+/// [`MoeWorkspace::retire_bucket_out`] when done.
+#[derive(Debug)]
+pub struct BucketOut {
+    /// Expert index within the pool.
+    pub expert: usize,
+    /// Routed token ids, ascending.
+    pub token_ids: Vec<usize>,
+    /// Routing weights, parallel to `token_ids`.
+    pub weights: Vec<f32>,
+    /// Down-projected outputs, `t_e x hidden` (arena-backed).
+    pub d: Matrix,
+}
+
+/// Serially scatter-adds unscattered bucket outputs into `out`, in the
+/// order given: `out[t] += weight * d[row]` per routed token, the exact
+/// loop the serial branch of [`FusedMoE::forward_accumulate_with`]
+/// runs. For bitwise parity with a single-device forward, pass the
+/// outputs sorted ascending by expert index (the order `build_buckets`
+/// visits them).
+///
+/// # Errors
+///
+/// Returns [`KernelError::Shape`] on column mismatches or out-of-range
+/// token ids.
+pub fn scatter_bucket_outs(outs: &[BucketOut], out: &mut Matrix) -> Result<(), KernelError> {
+    for b in outs {
+        if b.d.cols() != out.cols() {
+            return Err(KernelError::shape(format!(
+                "bucket for expert {} has {} cols, out has {}",
+                b.expert,
+                b.d.cols(),
+                out.cols()
+            )));
+        }
+        for (row, (&t, &wgt)) in b.token_ids.iter().zip(&b.weights).enumerate() {
+            if t >= out.rows() {
+                return Err(KernelError::shape(format!(
+                    "bucket for expert {} scatters token {t}, out has {} rows",
+                    b.expert,
+                    out.rows()
+                )));
+            }
+            let src = b.d.row(row);
+            let dst = out.row_mut(t);
+            for (o, s) in dst.iter_mut().zip(src) {
+                *o += wgt * s;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Per-expert gathered workspace used inside one forward call.
 struct Bucket {
     expert: usize,
@@ -271,6 +332,26 @@ impl MoeWorkspace {
     /// Allocation/reuse counters of the backing arena.
     pub fn arena_stats(&self) -> ArenaStats {
         self.arena.stats()
+    }
+
+    /// Returns a [`BucketOut`]'s buffers to this workspace: the output
+    /// matrix to the arena, the id/weight vectors (capacity intact) to
+    /// the gather table. Hand each bucket back to the workspace that
+    /// produced it so per-device working sets stay warm.
+    pub fn retire_bucket_out(&mut self, b: BucketOut) {
+        let BucketOut {
+            expert,
+            mut token_ids,
+            mut weights,
+            d,
+        } = b;
+        token_ids.clear();
+        weights.clear();
+        if let Some(slot) = self.gather.get_mut(expert) {
+            slot.0 = token_ids;
+            slot.1 = weights;
+        }
+        self.arena.restore(d);
     }
 
     /// Fills all pooled buffers with NaN (test hook; see
@@ -436,20 +517,7 @@ impl FusedMoE {
         policy: SchedulePolicy,
         ws: &mut MoeWorkspace,
     ) -> Result<(), KernelError> {
-        if x.cols() != self.hidden {
-            return Err(KernelError::shape(format!(
-                "x has {} cols, expected hidden={}",
-                x.cols(),
-                self.hidden
-            )));
-        }
-        if routing.n_tokens() != x.rows() {
-            return Err(KernelError::shape(format!(
-                "routing covers {} tokens but x has {}",
-                routing.n_tokens(),
-                x.rows()
-            )));
-        }
+        self.validate_forward(x, routing)?;
         if out.rows() != x.rows() || out.cols() != self.hidden {
             return Err(KernelError::shape(format!(
                 "out is {}x{}, expected {}x{}",
@@ -458,16 +526,6 @@ impl FusedMoE {
                 x.rows(),
                 self.hidden
             )));
-        }
-        for (t, a) in routing.assignments.iter().enumerate() {
-            for &(e, _) in a {
-                if e >= self.experts.len() {
-                    return Err(KernelError::shape(format!(
-                        "token {t} routed to expert {e}, pool has {}",
-                        self.experts.len()
-                    )));
-                }
-            }
         }
 
         // Self-heal: if a previous forward panicked mid-flight (e.g. a
@@ -490,6 +548,170 @@ impl FusedMoE {
             return Ok(());
         }
 
+        self.run_phases(pool, policy, buckets, descs);
+
+        // Weighted scatter-add back to token order. With a pool, tasks
+        // own disjoint ranges of output token rows; within each range
+        // buckets are visited in the same order as the serial loop, so
+        // every token's floating-point accumulation order — and thus the
+        // result — is bit-identical to serial execution.
+        match pool {
+            Some(p) => {
+                let n_rows = out.rows();
+                let out_cols = out.cols();
+                // ~8 token rows per task: enough work per task at real
+                // hidden sizes, and decode batches (a handful of rows)
+                // degenerate gracefully to one task.
+                let n_tasks = n_rows.div_ceil(SCATTER_ROWS_PER_TASK);
+                let out_ptr = ScatterPtr(out.as_mut_slice().as_mut_ptr());
+                // Capture the Sync wrapper by reference, not its raw
+                // field (2021 disjoint capture would grab the bare ptr).
+                let out_ptr = &out_ptr;
+                let buckets = &*buckets;
+                let scatter = |task: usize| {
+                    let lo = task * SCATTER_ROWS_PER_TASK;
+                    let hi = (lo + SCATTER_ROWS_PER_TASK).min(n_rows);
+                    for b in buckets {
+                        let s = b.token_ids.partition_point(|&t| t < lo);
+                        let e = b.token_ids.partition_point(|&t| t < hi);
+                        for i in s..e {
+                            let t = b.token_ids[i];
+                            let wgt = b.weights[i];
+                            let src = b.d.row(i);
+                            // SAFETY: rows `lo..hi` are owned exclusively
+                            // by this task; `t` lies in `[lo, hi)`.
+                            let dst = unsafe {
+                                std::slice::from_raw_parts_mut(
+                                    out_ptr.0.add(t * out_cols),
+                                    out_cols,
+                                )
+                            };
+                            for (o, s) in dst.iter_mut().zip(src) {
+                                *o += wgt * s;
+                            }
+                        }
+                    }
+                };
+                p.run(n_tasks, policy, scatter);
+            }
+            None => {
+                for b in buckets.iter() {
+                    for (row, (&t, &wgt)) in b.token_ids.iter().zip(&b.weights).enumerate() {
+                        let src = b.d.row(row);
+                        let dst = out.row_mut(t);
+                        for (o, s) in dst.iter_mut().zip(src) {
+                            *o += wgt * s;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Return every scratch buffer to the workspace for the next call.
+        Self::retire_buckets(gather, buckets, arena);
+        Ok(())
+    }
+
+    /// Computes per-expert **unscattered** outputs for `x` under
+    /// `routing`: the same two fused task batches as
+    /// [`FusedMoE::forward_accumulate_with`] (same kernels, same
+    /// per-bucket kernel class, same task order), stopping before the
+    /// scatter-add. Buckets come back sorted ascending by expert index.
+    ///
+    /// This is the dual-device building block: partition a routing
+    /// table by expert, run each partition on its own device with its
+    /// own workspace, then fold every bucket through one
+    /// [`scatter_bucket_outs`] call — bitwise identical to a
+    /// single-device forward over the unpartitioned routing, because
+    /// each expert's bucket contents and the global scatter order are
+    /// unchanged. Retire each returned bucket to the workspace that
+    /// produced it via [`MoeWorkspace::retire_bucket_out`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KernelError::Shape`] on dimension or routing-index
+    /// mismatches.
+    pub fn forward_buckets(
+        &self,
+        x: &Matrix,
+        routing: &MoeRouting,
+        pool: Option<&ThreadPool>,
+        policy: SchedulePolicy,
+        ws: &mut MoeWorkspace,
+    ) -> Result<Vec<BucketOut>, KernelError> {
+        self.validate_forward(x, routing)?;
+        Self::retire_buckets(&mut ws.gather, &mut ws.buckets, &mut ws.arena);
+        if let Err(e) = self.build_buckets(x, routing, ws) {
+            Self::retire_buckets(&mut ws.gather, &mut ws.buckets, &mut ws.arena);
+            return Err(e);
+        }
+        let MoeWorkspace {
+            arena,
+            buckets,
+            descs,
+            ..
+        } = ws;
+        if buckets.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.run_phases(pool, policy, buckets, descs);
+        // Hand the down-projected rows to the caller; the intermediate
+        // scratch (gathered inputs, gate|up, activations) retires now.
+        let outs = buckets
+            .drain(..)
+            .map(|b| {
+                arena.restore(b.x);
+                arena.restore(b.gu);
+                arena.restore(b.h);
+                BucketOut {
+                    expert: b.expert,
+                    token_ids: b.token_ids,
+                    weights: b.weights,
+                    d: b.d,
+                }
+            })
+            .collect();
+        Ok(outs)
+    }
+
+    /// Shape/range checks shared by the forward entry points.
+    fn validate_forward(&self, x: &Matrix, routing: &MoeRouting) -> Result<(), KernelError> {
+        if x.cols() != self.hidden {
+            return Err(KernelError::shape(format!(
+                "x has {} cols, expected hidden={}",
+                x.cols(),
+                self.hidden
+            )));
+        }
+        if routing.n_tokens() != x.rows() {
+            return Err(KernelError::shape(format!(
+                "routing covers {} tokens but x has {}",
+                routing.n_tokens(),
+                x.rows()
+            )));
+        }
+        for (t, a) in routing.assignments.iter().enumerate() {
+            for &(e, _) in a {
+                if e >= self.experts.len() {
+                    return Err(KernelError::shape(format!(
+                        "token {t} routed to expert {e}, pool has {}",
+                        self.experts.len()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The two fused task batches (Gate+Up, SwiGLU combine, Down) over
+    /// built buckets — everything between gathering and scattering.
+    fn run_phases(
+        &self,
+        pool: Option<&ThreadPool>,
+        policy: SchedulePolicy,
+        buckets: &mut [Bucket],
+        descs: &mut Vec<PanelDesc>,
+    ) {
         // Task batch 1: fused Gate+Up for all experts. Task id encodes
         // (bucket, projection, panel): gate panels first, then up panels
         // per bucket, keeping same-expert tasks adjacent in the queue.
@@ -587,67 +809,6 @@ impl FusedMoE {
             }
         }
         descs.clear();
-
-        // Weighted scatter-add back to token order. With a pool, tasks
-        // own disjoint ranges of output token rows; within each range
-        // buckets are visited in the same order as the serial loop, so
-        // every token's floating-point accumulation order — and thus the
-        // result — is bit-identical to serial execution.
-        match pool {
-            Some(p) => {
-                let n_rows = out.rows();
-                let out_cols = out.cols();
-                // ~8 token rows per task: enough work per task at real
-                // hidden sizes, and decode batches (a handful of rows)
-                // degenerate gracefully to one task.
-                let n_tasks = n_rows.div_ceil(SCATTER_ROWS_PER_TASK);
-                let out_ptr = ScatterPtr(out.as_mut_slice().as_mut_ptr());
-                // Capture the Sync wrapper by reference, not its raw
-                // field (2021 disjoint capture would grab the bare ptr).
-                let out_ptr = &out_ptr;
-                let buckets = &*buckets;
-                let scatter = |task: usize| {
-                    let lo = task * SCATTER_ROWS_PER_TASK;
-                    let hi = (lo + SCATTER_ROWS_PER_TASK).min(n_rows);
-                    for b in buckets {
-                        let s = b.token_ids.partition_point(|&t| t < lo);
-                        let e = b.token_ids.partition_point(|&t| t < hi);
-                        for i in s..e {
-                            let t = b.token_ids[i];
-                            let wgt = b.weights[i];
-                            let src = b.d.row(i);
-                            // SAFETY: rows `lo..hi` are owned exclusively
-                            // by this task; `t` lies in `[lo, hi)`.
-                            let dst = unsafe {
-                                std::slice::from_raw_parts_mut(
-                                    out_ptr.0.add(t * out_cols),
-                                    out_cols,
-                                )
-                            };
-                            for (o, s) in dst.iter_mut().zip(src) {
-                                *o += wgt * s;
-                            }
-                        }
-                    }
-                };
-                p.run(n_tasks, policy, scatter);
-            }
-            None => {
-                for b in buckets.iter() {
-                    for (row, (&t, &wgt)) in b.token_ids.iter().zip(&b.weights).enumerate() {
-                        let src = b.d.row(row);
-                        let dst = out.row_mut(t);
-                        for (o, s) in dst.iter_mut().zip(src) {
-                            *o += wgt * s;
-                        }
-                    }
-                }
-            }
-        }
-
-        // Return every scratch buffer to the workspace for the next call.
-        Self::retire_buckets(gather, buckets, arena);
-        Ok(())
     }
 
     /// Gathers tokens per expert into `ws.buckets`, drawing all scratch
@@ -1052,6 +1213,92 @@ mod tests {
         let mut bad = buf.clone();
         bad[0] = 7;
         assert!(FusedMoE::read_from(&mut bad.as_slice()).is_err());
+    }
+
+    #[test]
+    fn forward_buckets_plus_scatter_matches_forward_bitwise() {
+        let (_, moe) = setup(8, 32, 48, 40);
+        let mut rng = seeded(41);
+        let x = Matrix::random_uniform(7, 32, 1.0, &mut rng).unwrap();
+        let routing = topk_routing(7, 8, 3, 42);
+        let mut ws = MoeWorkspace::new();
+        let expect = moe
+            .forward_with(&x, &routing, None, SchedulePolicy::Dynamic, &mut ws)
+            .unwrap();
+        let outs = moe
+            .forward_buckets(&x, &routing, None, SchedulePolicy::Dynamic, &mut ws)
+            .unwrap();
+        assert!(outs.windows(2).all(|w| w[0].expert < w[1].expert));
+        let mut got = Matrix::zeros(7, 32).unwrap();
+        scatter_bucket_outs(&outs, &mut got).unwrap();
+        assert_eq!(expect.as_slice(), got.as_slice(), "bit-exact");
+        for b in outs {
+            ws.retire_bucket_out(b);
+        }
+        ws.restore(expect);
+        // The workspace is warm and healthy after retirement.
+        let again = moe
+            .forward(&x, &routing, None, SchedulePolicy::Dynamic)
+            .unwrap();
+        let warm = moe
+            .forward_with(&x, &routing, None, SchedulePolicy::Dynamic, &mut ws)
+            .unwrap();
+        assert_eq!(again.as_slice(), warm.as_slice());
+    }
+
+    #[test]
+    fn partitioned_buckets_across_workspaces_match_unpartitioned() {
+        // Split the routing by expert parity across two workspaces (the
+        // dual-device pattern), merge in ascending-expert order: must be
+        // bitwise identical to the single-workspace forward.
+        let (_, moe) = setup(6, 32, 40, 50);
+        let mut rng = seeded(51);
+        let x = Matrix::random_uniform(9, 32, 1.0, &mut rng).unwrap();
+        let routing = topk_routing(9, 6, 3, 52);
+        let expect = moe.forward(&x, &routing, None, SchedulePolicy::Dynamic).unwrap();
+
+        let split = |keep: &dyn Fn(usize) -> bool| {
+            MoeRouting::new(
+                routing
+                    .assignments
+                    .iter()
+                    .map(|a| a.iter().copied().filter(|&(e, _)| keep(e)).collect())
+                    .collect(),
+            )
+        };
+        let (mut ws_a, mut ws_b) = (MoeWorkspace::new(), MoeWorkspace::new());
+        let mut outs = moe
+            .forward_buckets(&x, &split(&|e| e % 2 == 0), None, SchedulePolicy::Dynamic, &mut ws_a)
+            .unwrap();
+        outs.extend(
+            moe.forward_buckets(&x, &split(&|e| e % 2 == 1), None, SchedulePolicy::Dynamic, &mut ws_b)
+                .unwrap(),
+        );
+        outs.sort_by_key(|b| b.expert);
+        let mut got = Matrix::zeros(9, 32).unwrap();
+        scatter_bucket_outs(&outs, &mut got).unwrap();
+        assert_eq!(expect.as_slice(), got.as_slice(), "bit-exact across devices");
+    }
+
+    #[test]
+    fn scatter_bucket_outs_validates_shapes() {
+        let (_, moe) = setup(4, 16, 24, 60);
+        let mut rng = seeded(61);
+        let x = Matrix::random_uniform(2, 16, 1.0, &mut rng).unwrap();
+        let routing = topk_routing(2, 4, 2, 62);
+        let mut ws = MoeWorkspace::new();
+        let outs = moe
+            .forward_buckets(&x, &routing, None, SchedulePolicy::Dynamic, &mut ws)
+            .unwrap();
+        // Wrong column count.
+        let mut narrow = Matrix::zeros(2, 8).unwrap();
+        assert!(scatter_bucket_outs(&outs, &mut narrow).is_err());
+        // Token id out of range.
+        let mut short = Matrix::zeros(1, 16).unwrap();
+        assert!(scatter_bucket_outs(&outs, &mut short).is_err());
+        for b in outs {
+            ws.retire_bucket_out(b);
+        }
     }
 
     #[test]

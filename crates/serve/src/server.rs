@@ -57,7 +57,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use kt_core::{BatchSeq, EngineError, HybridEngine, RequestMetrics, ServeStats};
+use kt_core::{BatchSeq, EngineError, HybridEngine, PlacementPolicy, RequestMetrics, ServeStats};
 use kt_model::kvcache::KvCache;
 use kt_model::pool::{CacheLease, KvCachePool};
 use kt_model::prefix::PrefixCacheConfig;
@@ -358,6 +358,20 @@ impl Server {
         if cfg.min_prefix_len == 0 {
             return Err(EngineError::config("ServerConfig.min_prefix_len must be nonzero"));
         }
+        // Under dynamic placement the expert cache must at least hold
+        // one routed expert, or it can never admit anything and every
+        // step pays miss bookkeeping for a cache that stays empty.
+        if engine.engine_config().placement == PlacementPolicy::Dynamic {
+            let expert = engine.expert_weight_bytes().unwrap_or(0);
+            let budget = engine.engine_config().expert_cache_bytes;
+            if budget < expert {
+                return Err(EngineError::config(format!(
+                    "EngineConfig.expert_cache_bytes ({budget}) cannot hold a single \
+                     routed expert ({expert} bytes): the dynamic-placement cache could \
+                     never admit an expert"
+                )));
+            }
+        }
         if let Some(policy) = &cfg.slo {
             for class in SloClass::ALL {
                 let t = policy.target(class);
@@ -475,6 +489,9 @@ impl Server {
         if let Some(px) = self.inner.pool.prefix_stats() {
             s.set_prefix(&px);
         }
+        if let Some(x) = self.inner.engine.expert_cache_stats() {
+            s.set_expert_cache(&x);
+        }
         s
     }
 
@@ -529,6 +546,31 @@ impl Server {
         c(&mut out, "kt_prefix_insertions_total", "Prefix segments frozen into the cache.", s.prefix_insertions);
         c(&mut out, "kt_prefix_evictions_total", "Prefix segments evicted by the byte budget.", s.prefix_evictions);
         c(&mut out, "kt_prefix_evicted_bytes_total", "Bytes freed by prefix eviction.", s.prefix_evicted_bytes);
+        c(&mut out, "kt_expert_cache_hits_total", "Expert-cache lookups that found the expert resident on the vGPU.", s.expert_cache_hits);
+        c(&mut out, "kt_expert_cache_misses_total", "Expert-cache lookups for non-resident experts.", s.expert_cache_misses);
+        c(&mut out, "kt_expert_cache_insertions_total", "Experts admitted into the vGPU cache.", s.expert_cache_insertions);
+        c(&mut out, "kt_expert_cache_evictions_total", "Experts evicted for higher-value ones.", s.expert_cache_evictions);
+        c(&mut out, "kt_expert_cache_evicted_bytes_total", "Bytes freed by expert eviction.", s.expert_cache_evicted_bytes);
+        // Per-expert gating popularity, label form. Dense (and so far
+        // idle) layers are skipped to bound the exposition size.
+        {
+            let profile = self.inner.engine.expert_profile();
+            out.push_str(
+                "# HELP kt_expert_hits_total Routed-expert activations per (layer, expert).\n\
+                 # TYPE kt_expert_hits_total counter\n",
+            );
+            for layer in 0..profile.n_layers() {
+                if profile.total(layer) == 0 {
+                    continue;
+                }
+                for e in 0..profile.n_experts() {
+                    out.push_str(&format!(
+                        "kt_expert_hits_total{{layer=\"{layer}\",expert=\"{e}\"}} {}\n",
+                        profile.count(layer, e)
+                    ));
+                }
+            }
+        }
         c(&mut out, "kt_slo_shed_total", "Requests shed for negative predicted slack.", s.shed);
         c(&mut out, "kt_slo_ttft_violations_total", "Resolved requests that missed their TTFT target.", s.slo_ttft_violations);
         c(&mut out, "kt_slo_itl_violations_total", "Resolved requests with an inter-token gap over the ITL target.", s.slo_itl_violations);
@@ -568,6 +610,8 @@ impl Server {
         }
         g(&mut out, "kt_prefix_resident_bytes", "Bytes resident in frozen prefix segments.", s.prefix_resident_bytes as f64);
         g(&mut out, "kt_prefix_entries", "Prefix segments currently resident.", s.prefix_entries as f64);
+        g(&mut out, "kt_expert_cache_resident_bytes", "Bytes held by vGPU-resident experts.", s.expert_cache_resident_bytes as f64);
+        g(&mut out, "kt_expert_cache_entries", "Experts currently vGPU-resident.", s.expert_cache_entries as f64);
         g(&mut out, "kt_kv_leases_in_use", "KV caches currently leased to sequences.", s.kv_leases_in_use as f64);
         g(&mut out, "kt_kv_leases_free", "Reset KV caches parked in the pool.", s.kv_leases_free as f64);
         g(&mut out, "kt_kv_leases_peak", "High-water mark of concurrent leases.", s.kv_leases_peak as f64);

@@ -103,6 +103,9 @@ pub enum SpanKind {
     /// A resolved request that missed an SLO target (instant; `a` =
     /// SLO class index, `b` = 0 for a TTFT miss, 1 for an ITL miss).
     ServeSloViolation,
+    /// Cache-resident routed experts executing on the vGPU under
+    /// dynamic placement; `a` = layer.
+    GpuExperts,
 }
 
 impl SpanKind {
@@ -134,12 +137,13 @@ impl SpanKind {
             SpanKind::PrefixEvict => "prefix.evict",
             SpanKind::ServeShed => "serve.shed",
             SpanKind::ServeSloViolation => "serve.slo_violation",
+            SpanKind::GpuExperts => "engine.gpu_experts",
         }
     }
 
     fn from_u32(v: u32) -> Option<SpanKind> {
         use SpanKind::*;
-        const ALL: [SpanKind; 25] = [
+        const ALL: [SpanKind; 26] = [
             EngineStep,
             Embed,
             Attention,
@@ -165,6 +169,7 @@ impl SpanKind {
             PrefixEvict,
             ServeShed,
             ServeSloViolation,
+            GpuExperts,
         ];
         ALL.get(v as usize).copied()
     }
@@ -200,10 +205,18 @@ pub enum CounterKind {
     /// Resolved requests with at least one inter-token gap over the
     /// ITL target.
     SloItlViolations,
+    /// Expert activations served from the VRAM expert cache (dynamic
+    /// placement; see `kt_core::placement::dynamic`).
+    ExpertCacheHits,
+    /// Expert activations that ran without a resident copy (CPU
+    /// execution, or a GPU run paying the PCIe upload).
+    ExpertCacheMisses,
+    /// Bytes freed by expert-cache eviction.
+    ExpertCacheEvictedBytes,
 }
 
 /// Number of [`CounterKind`] variants (the counter table's size).
-pub const N_COUNTERS: usize = 9;
+pub const N_COUNTERS: usize = 12;
 
 impl CounterKind {
     /// Every counter, in `repr` order.
@@ -217,6 +230,9 @@ impl CounterKind {
         CounterKind::SloShed,
         CounterKind::SloTtftViolations,
         CounterKind::SloItlViolations,
+        CounterKind::ExpertCacheHits,
+        CounterKind::ExpertCacheMisses,
+        CounterKind::ExpertCacheEvictedBytes,
     ];
 
     /// Stable display name (also the Chrome-trace metadata key).
@@ -231,6 +247,9 @@ impl CounterKind {
             CounterKind::SloShed => "slo.shed",
             CounterKind::SloTtftViolations => "slo.ttft_violations",
             CounterKind::SloItlViolations => "slo.itl_violations",
+            CounterKind::ExpertCacheHits => "expert_cache.hits",
+            CounterKind::ExpertCacheMisses => "expert_cache.misses",
+            CounterKind::ExpertCacheEvictedBytes => "expert_cache.evicted_bytes",
         }
     }
 }
