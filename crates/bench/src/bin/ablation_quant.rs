@@ -1,0 +1,431 @@
+//! Quantized serving ablation: decode throughput of the fused-dequant
+//! int8/int4 expert hot path against the F32 and Bf16 baselines, on
+//! the real engine.
+//!
+//! The workload is sized to be **weight-bandwidth-bound**, the regime
+//! the paper's CPU expert path lives in: hidden 64 → 128, moe_inter
+//! 48 → 1024, 16 → 64 routed experts, vocab 256 → 512. Each decode
+//! step streams `top_k × 3 × moe_inter × hidden` routed-expert weights
+//! per MoE layer (~25 MB at F32 across the two MoE layers) through
+//! GEMV — far beyond L2, and with 128 (layer, expert) pairs the hot
+//! set exceeds typical L3 slices, so F32 decode is paced by DRAM
+//! bandwidth. Int8 streams 1/4 of those bytes and int4 1/8 (plus one
+//! f32 scale per `group` codes), which is the entire mechanism behind
+//! the speedup: the fused kernels widen codes in-register and fold the
+//! group scale into the FMA, so no dequantized copy of the weights
+//! ever exists in memory.
+//!
+//! Correctness riders, checked before anything is timed:
+//!
+//! * **chunked-prefill bitwise invariance** — for every quantized
+//!   dtype, feeding a prompt in chunks produces bitwise the logits of
+//!   the monolithic prefill (the row-stable kernel contract that PR 5
+//!   established for F32, preserved by the fused-dequant kernels).
+//! * **accuracy gates** — the kt-eval studies: decode-logit KL
+//!   divergence of same-seed quantized models against the F32
+//!   reference (the RNG stream is dtype-independent, so the arms share
+//!   underlying weights), plus synthetic-task accuracy of fake-
+//!   quantized trained MoE nets. Int8 must be near-lossless; int4 must
+//!   stay within a few points.
+//!
+//! Headline metric: single-stream decode tok/s (ablation_hotpath
+//! methodology — 2 warmups, timed steps, median of reps). Gate: int4
+//! decode ≥ 2x the F32 median (full run), ≥ 1.5x in `--smoke` (CI
+//! containers timeshare cores and vary in bandwidth). A decode guard
+//! re-runs the unquantized hotpath configuration against the recorded
+//! BENCH_slo.json baseline so the quantized path cannot buy its
+//! speedup by regressing the F32 path.
+//!
+//! Modes:
+//! * default — all arms, writes `BENCH_quant.json` (run from the repo
+//!   root).
+//! * `--smoke` — CI gate: int4 ≥ 1.5x F32, int8 ≥ 1.2x F32, KL gates,
+//!   decode guard; exits nonzero otherwise.
+
+use kt_bench::{section, table};
+use kt_core::{BatchSeq, EngineConfig, HybridEngine, SchedMode};
+use kt_eval::experiments::{quant_accuracy_study, quant_divergence_study, EvalBudget};
+use kt_eval::TaskKind;
+use kt_model::ModelPreset;
+use kt_tensor::{PrecisionPolicy, WeightDtype};
+use std::time::Instant;
+
+/// Quantization group of the quantized arms (divides hidden 128 and
+/// moe_inter 1024).
+const GROUP: usize = 16;
+/// Timed decode steps per rep and reps per arm.
+const N_DECODE: usize = 48;
+const REPS: usize = 5;
+/// Decode guard: the `ablation_hotpath` configuration BENCH_slo.json's
+/// baseline was recorded on, with the same wide cross-container
+/// tolerance the other ablations use.
+const N_DECODE_GUARD: usize = 448;
+const SLO_BASELINE_TOK_S: f64 = 2183.4;
+const GUARD_TOLERANCE: f64 = 0.6;
+/// Accuracy gates (generous multiples of observed values; see
+/// kt-eval's quant tests for the measured magnitudes).
+const KL_GATE_INT8: f64 = 1e-3;
+const KL_GATE_INT4: f64 = 0.05;
+const ACC_DROP_GATE_PTS: f64 = 5.0;
+
+/// The bandwidth-bound model: expert weights dominate every decode
+/// step and exceed cache capacity at F32.
+fn quant_config() -> kt_model::ModelConfig {
+    let mut cfg = ModelPreset::DeepSeekV3.tiny_config();
+    cfg.vocab = 512;
+    cfg.hidden = 128;
+    cfg.moe_inter = 1024;
+    cfg.dense_inter = 256;
+    cfg.n_routed_experts = 64;
+    cfg.n_layers = 3; // 1 dense + 2 MoE layers
+    cfg.n_heads = 4;
+    cfg.head_dim = 32;
+    cfg
+}
+
+fn mk_engine(dtype: WeightDtype) -> HybridEngine {
+    mk_engine_with(dtype, kt_kernels::dispatch::Backend::default())
+}
+
+fn mk_engine_with(dtype: WeightDtype, backend: kt_kernels::dispatch::Backend) -> HybridEngine {
+    HybridEngine::random(
+        &quant_config(),
+        EngineConfig {
+            n_cpu_workers: 1,
+            mode: SchedMode::AsyncGraph,
+            n_deferred: 2,
+            backend,
+            precision: PrecisionPolicy::experts(dtype),
+            seed: 17,
+            ..Default::default()
+        },
+    )
+    .expect("engine")
+}
+
+fn mk_guard_engine() -> HybridEngine {
+    let mut cfg = ModelPreset::DeepSeekV3.tiny_config();
+    cfg.vocab = 8192;
+    HybridEngine::random(
+        &cfg,
+        EngineConfig {
+            n_cpu_workers: 1,
+            mode: SchedMode::AsyncGraph,
+            n_deferred: 2,
+            seed: 17,
+            ..Default::default()
+        },
+    )
+    .expect("engine")
+}
+
+/// Prefill `prompt` through `engine` in the given chunk sizes (the
+/// serving scheduler's chunked-prefill path: prefill-marked rows, so a
+/// one-token chunk is not a deferral-eligible decode row) and return
+/// the final position's logits as raw bits.
+fn prefill_last_row_bits(engine: &HybridEngine, prompt: &[u32], chunks: &[usize]) -> Vec<u32> {
+    let mut cache = engine.fresh_cache();
+    let mut start = 0;
+    let mut last: Option<Vec<u32>> = None;
+    for (i, &len) in chunks.iter().enumerate() {
+        let tokens = prompt[start..start + len].to_vec();
+        let mut seqs = vec![if i + 1 == chunks.len() {
+            BatchSeq::prefill(cache, tokens)
+        } else {
+            BatchSeq::prefill_chunk(cache, tokens)
+        }];
+        let mut out = engine.forward_batch(&mut seqs).expect("prefill chunk");
+        if let Some(l) = out[0].take() {
+            last = Some(l.row(l.rows() - 1).iter().map(|v| v.to_bits()).collect());
+            engine.recycle_logits(l);
+        }
+        cache = seqs.pop().expect("one sequence").cache;
+        start += len;
+    }
+    assert_eq!(start, prompt.len(), "chunks must cover the prompt");
+    last.expect("final chunk produces logits")
+}
+
+/// Chunked prefill must be bitwise identical to monolithic prefill
+/// under every quantized dtype. The invariant holds per kernel class —
+/// the hybrid dispatcher picks the class by tokens-per-expert, which
+/// chunking changes — so both classes are pinned: Tiled (staged
+/// dequant) and Vector (the fused-dequant GEMV hot path). The check
+/// runs on the unscaled tiny preset (the property is structural, and
+/// `forward_batch` takes external caches, so one engine serves every
+/// split); kernel-level coverage across shapes and groups lives in
+/// kt-kernels' quant proptests.
+fn check_chunked_prefill(dtype: WeightDtype) {
+    use kt_kernels::dispatch::Backend;
+    let prompt: Vec<u32> = (0..12).map(|i| (i * 37 + 5) % 256).collect();
+    for backend in [Backend::TiledOnly, Backend::VectorOnly] {
+        let engine = HybridEngine::random(
+            &ModelPreset::DeepSeekV3.tiny_config(),
+            EngineConfig {
+                n_cpu_workers: 1,
+                mode: SchedMode::AsyncGraph,
+                n_deferred: 2,
+                backend,
+                precision: PrecisionPolicy::experts(dtype),
+                seed: 17,
+                ..Default::default()
+            },
+        )
+        .expect("engine");
+        let want = prefill_last_row_bits(&engine, &prompt, &[12]);
+        for chunks in [vec![4, 4, 4], vec![1, 11], vec![7, 3, 2]] {
+            let got = prefill_last_row_bits(&engine, &prompt, &chunks);
+            assert_eq!(
+                want, got,
+                "chunked prefill changed the bits for {dtype:?}/{backend:?} with chunks {chunks:?}"
+            );
+        }
+    }
+}
+
+/// Single-stream decode throughput (prefill, 2 warmups, `steps` timed
+/// steps), one measurement on an already-constructed engine. The
+/// engine is reused across reps — at this scale constructing the F32
+/// arm draws ~400 MB of weights, and decode is stateless apart from
+/// the growing KV cache (128-dim attention: negligible traffic next
+/// to the expert weights).
+fn decode_tokens_per_s(engine: &HybridEngine, steps: usize) -> f64 {
+    let logits = engine.forward(&[1, 2, 3]).expect("prefill");
+    let mut next = kt_model::model::argmax(logits.row(logits.rows() - 1));
+    engine.recycle_logits(logits);
+    for _ in 0..2 {
+        let l = engine.forward(&[next]).expect("warmup");
+        next = kt_model::model::argmax(l.row(0));
+        engine.recycle_logits(l);
+    }
+    let start = Instant::now();
+    for _ in 0..steps {
+        let l = engine.forward(&[next]).expect("decode");
+        next = kt_model::model::argmax(l.row(0));
+        engine.recycle_logits(l);
+    }
+    steps as f64 / start.elapsed().as_secs_f64()
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn fmt_samples(xs: &[f64]) -> String {
+    let cells: Vec<String> = xs.iter().map(|v| format!("{v:.1}")).collect();
+    format!("[{}]", cells.join(", "))
+}
+
+struct Arm {
+    label: &'static str,
+    samples: Vec<f64>,
+    median: f64,
+    /// Stored routed-expert bytes per expert (the bandwidth driver).
+    expert_bytes: usize,
+}
+
+fn run_arm(label: &'static str, dtype: WeightDtype) -> Arm {
+    let engine = mk_engine(dtype);
+    let expert_bytes = engine.expert_weight_bytes().expect("routed experts");
+    let mut samples: Vec<f64> = (0..REPS).map(|_| decode_tokens_per_s(&engine, N_DECODE)).collect();
+    let median = median(&mut samples);
+    Arm { label, samples, median, expert_bytes }
+}
+
+fn arm_json(a: &Arm) -> String {
+    format!(
+        r#"    "{}": {{"samples": {}, "median": {:.1}, "expert_bytes": {}}}"#,
+        a.label,
+        fmt_samples(&a.samples),
+        a.median,
+        a.expert_bytes
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    section(&format!(
+        "Fused-dequant quantized serving: DS-3 tiny scaled bandwidth-bound \
+         (hidden=128, moe_inter=1024, 64 experts, 2 MoE layers), group {GROUP}"
+    ));
+
+    // Correctness before speed (group 8: the tiny preset's moe_inter
+    // 48 caps the common divisor).
+    for dtype in [
+        WeightDtype::Bf16,
+        WeightDtype::Int8 { group: 8 },
+        WeightDtype::Int4 { group: 8 },
+    ] {
+        check_chunked_prefill(dtype);
+    }
+    println!("bitwise check: chunked prefill == monolithic prefill (bf16, int8, int4; tiled + vector)");
+
+    // Accuracy gates on the kt-eval substrate (tiny model, group 8:
+    // the tiny preset's hidden 24 caps the common divisor).
+    let div = quant_divergence_study(
+        &[WeightDtype::Int8 { group: 8 }, WeightDtype::Int4 { group: 8 }],
+        4,
+        23,
+    )
+    .expect("divergence study");
+    let acc = quant_accuracy_study(
+        &[WeightDtype::Int8 { group: 8 }, WeightDtype::Int4 { group: 8 }],
+        &[TaskKind::Blobs, TaskKind::Xor],
+        &EvalBudget::quick(),
+        29,
+    );
+    let rows: Vec<Vec<String>> = div
+        .iter()
+        .zip(&acc)
+        .map(|(d, a)| {
+            vec![
+                format!("{:?}", d.dtype),
+                format!("{:.2e}", d.kl),
+                format!("{:.2}", d.top1_agree),
+                format!("{:.1}", a.base_acc),
+                format!("{:.1}", a.quant_acc),
+            ]
+        })
+        .collect();
+    table(
+        &["Dtype", "KL vs F32", "top-1 agree", "F32 acc %", "quant acc %"],
+        &rows,
+    );
+
+    let mut failures = Vec::new();
+    if div[0].kl >= KL_GATE_INT8 {
+        failures.push(format!("int8 KL {:.2e} over the {KL_GATE_INT8:.0e} gate", div[0].kl));
+    }
+    if div[1].kl >= KL_GATE_INT4 {
+        failures.push(format!("int4 KL {:.2e} over the {KL_GATE_INT4:.0e} gate", div[1].kl));
+    }
+    for a in &acc {
+        if a.base_acc - a.quant_acc > ACC_DROP_GATE_PTS {
+            failures.push(format!(
+                "{:?} dropped task accuracy {:.1} -> {:.1} (> {ACC_DROP_GATE_PTS} pts)",
+                a.dtype, a.base_acc, a.quant_acc
+            ));
+        }
+    }
+
+    // Throughput arms.
+    let f32_arm = run_arm("f32", WeightDtype::F32);
+    let bf16_arm = run_arm("bf16", WeightDtype::Bf16);
+    let int8_arm = run_arm("int8", WeightDtype::Int8 { group: GROUP });
+    let int4_arm = run_arm("int4", WeightDtype::Int4 { group: GROUP });
+    let arms = [&f32_arm, &bf16_arm, &int8_arm, &int4_arm];
+
+    println!();
+    let rows: Vec<Vec<String>> = arms
+        .iter()
+        .map(|a| {
+            vec![
+                a.label.into(),
+                format!("{:.1}", a.median),
+                format!("{:.2}x", a.median / f32_arm.median),
+                format!("{}", a.expert_bytes),
+                fmt_samples(&a.samples),
+            ]
+        })
+        .collect();
+    table(
+        &["Arm", "Decode tok/s (median)", "vs f32", "Bytes/expert", "Samples"],
+        &rows,
+    );
+
+    let int8_speedup = int8_arm.median / f32_arm.median;
+    let int4_speedup = int4_arm.median / f32_arm.median;
+    // Fresh engine per rep: the tiny preset's RoPE table caps the
+    // sequence, and 5 x 448 decode steps on one cache would run off it.
+    let guard = {
+        let mut samples: Vec<f64> = (0..REPS)
+            .map(|_| decode_tokens_per_s(&mk_guard_engine(), N_DECODE_GUARD))
+            .collect();
+        median(&mut samples)
+    };
+
+    println!();
+    println!("int4_speedup {int4_speedup:.2}x, int8_speedup {int8_speedup:.2}x over f32 decode");
+    println!(
+        "decode_guard {guard:.1} tok/s vs BENCH_slo.json median {SLO_BASELINE_TOK_S} \
+         (tolerance {GUARD_TOLERANCE}x, {} core(s) observed)",
+        std::thread::available_parallelism().map_or(0, |n| n.get()),
+    );
+
+    let int4_gate = if smoke { 1.5 } else { 2.0 };
+    if int4_speedup < int4_gate {
+        failures.push(format!(
+            "int4 decode speedup {int4_speedup:.2}x below the {int4_gate}x gate"
+        ));
+    }
+    if smoke && int8_speedup < 1.05 {
+        failures.push(format!("int8 decode speedup {int8_speedup:.2}x below the 1.05x gate"));
+    }
+    if guard < GUARD_TOLERANCE * SLO_BASELINE_TOK_S {
+        failures.push(format!(
+            "decode guard {guard:.1} tok/s below {GUARD_TOLERANCE}x of the {SLO_BASELINE_TOK_S} baseline"
+        ));
+    }
+
+    if smoke {
+        if failures.is_empty() {
+            println!(
+                "SMOKE OK: int4 {int4_speedup:.2}x >= 1.5x, int8 {int8_speedup:.2}x >= 1.05x, \
+                 KL gates passed, guard {guard:.1} tok/s"
+            );
+        } else {
+            for f in &failures {
+                eprintln!("SMOKE FAIL: {f}");
+            }
+            std::process::exit(1);
+        }
+        return;
+    }
+    for f in &failures {
+        eprintln!("WARNING: {f}");
+    }
+
+    let json = format!(
+        r#"{{
+  "bench": "ablation_quant",
+  "workload": {{
+    "model": "DeepSeekV3 tiny preset scaled bandwidth-bound: hidden=128, moe_inter=1024, n_routed_experts=64, n_layers=3 (2 MoE), vocab=512 (guard arm: unscaled tiny preset, vocab=8192)",
+    "engine": "n_cpu_workers=1, mode=AsyncGraph, n_deferred=2, seed=17, precision=experts(dtype), group={GROUP}"
+  }},
+  "method": "single-stream decode, ablation_hotpath methodology (2 warmups, {N_DECODE} timed steps; guard arm {N_DECODE_GUARD}), {REPS} reps, median; chunked prefill checked bitwise against monolithic for every quantized dtype before timing; kt-eval divergence + fake-quant task-accuracy gates embedded",
+  "cores_observed": {cores},
+  "arms": {{
+{arms_json}
+  }},
+  "int8_speedup": {int8_speedup:.3},
+  "int4_speedup": {int4_speedup:.3},
+  "chunked_prefill_bitwise_identical": true,
+  "accuracy_gates": {{
+    "int8": {{"kl_vs_f32": {kl8:.3e}, "top1_agree": {ag8:.3}, "task_acc_f32": {bacc8:.1}, "task_acc_quant": {qacc8:.1}}},
+    "int4": {{"kl_vs_f32": {kl4:.3e}, "top1_agree": {ag4:.3}, "task_acc_f32": {bacc4:.1}, "task_acc_quant": {qacc4:.1}}},
+    "gates": {{"kl_int8": {KL_GATE_INT8:.0e}, "kl_int4": {KL_GATE_INT4:.0e}, "max_task_acc_drop_pts": {ACC_DROP_GATE_PTS}}}
+  }},
+  "decode_guard": {{
+    "f32_hotpath_median": {guard:.1},
+    "bench_slo_baseline_median": {SLO_BASELINE_TOK_S},
+    "tolerance": {GUARD_TOLERANCE}
+  }}
+}}
+"#,
+        cores = std::thread::available_parallelism().map_or(0, |n| n.get()),
+        arms_json = arms.iter().map(|a| arm_json(a)).collect::<Vec<_>>().join(",\n"),
+        kl8 = div[0].kl,
+        ag8 = div[0].top1_agree,
+        bacc8 = acc[0].base_acc,
+        qacc8 = acc[0].quant_acc,
+        kl4 = div[1].kl,
+        ag4 = div[1].top1_agree,
+        bacc4 = acc[1].base_acc,
+        qacc4 = acc[1].quant_acc,
+    );
+    std::fs::write("BENCH_quant.json", &json).expect("write BENCH_quant.json");
+    println!();
+    println!("wrote BENCH_quant.json");
+}

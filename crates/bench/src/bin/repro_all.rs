@@ -12,14 +12,14 @@ fn main() {
         "ablation_numa", "ablation_graph", "ablation_sched", "ablation_multigpu",
         "ablation_batch", "ablation_kvoffload", "ablation_placement", "ablation_offload",
         "ablation_latency", "ablation_concurrency", "ablation_trace",
-        "ablation_prefix", "ablation_slo", "table2", "fig13",
+        "ablation_prefix", "ablation_slo", "ablation_quant", "table2", "fig13",
     ];
     // ablation_hotpath and ablation_prefill are excluded: they are
     // timed/artifact-writing runs with their own CI smoke modes.
     // ablation_trace also has a smoke mode but is cheap enough to run
-    // in full here (it writes BENCH_trace.json). ablation_prefix and
-    // ablation_slo and ablation_placement run in smoke mode under
-    // --quick and in full (artifact-writing) mode otherwise.
+    // in full here (it writes BENCH_trace.json). ablation_prefix,
+    // ablation_slo, ablation_placement and ablation_quant run in smoke
+    // mode under --quick and in full (artifact-writing) mode otherwise.
     let exe = std::env::current_exe().expect("current exe");
     let dir = exe.parent().expect("bin dir");
     for bin in bins {
@@ -30,7 +30,8 @@ fn main() {
         if quick
             && (bin == "ablation_prefix"
                 || bin == "ablation_slo"
-                || bin == "ablation_placement")
+                || bin == "ablation_placement"
+                || bin == "ablation_quant")
         {
             cmd.arg("--smoke");
         }

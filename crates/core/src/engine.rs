@@ -36,7 +36,7 @@ use kt_model::kvcache::KvCache;
 use kt_model::norm::RmsNorm;
 use kt_model::rope::Rope;
 use kt_model::attention::Attention;
-use kt_tensor::{ArenaStats, Matrix, PackedWeights, ScratchArena, WeightDtype};
+use kt_tensor::{ArenaStats, Matrix, PackedWeights, PrecisionPolicy, ScratchArena};
 use kt_trace::SpanKind;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -103,8 +103,13 @@ pub struct EngineConfig {
     /// [`HybridEngine::refresh_placement`] (0 = shared experts only,
     /// the paper's default for shared-expert models).
     pub n_gpu_experts: usize,
-    /// Storage dtype of routed/shared expert weights.
-    pub expert_dtype: WeightDtype,
+    /// Per-role weight precision (attention, dense FFN, shared experts,
+    /// routed experts, LM head). Replaces the old single global
+    /// `expert_dtype` knob; use [`PrecisionPolicy::experts`] for the
+    /// historical quantize-experts-only behavior or
+    /// [`PrecisionPolicy::quantized_serving`] for the serving preset
+    /// (routed int4, shared/dense int8, attention + head F32).
+    pub precision: PrecisionPolicy,
     /// CPU kernel backend for expert GEMMs. The default hybrid
     /// dispatch picks tiled vs vector kernels by bucket size, which
     /// makes outputs depend (within kernel tolerance) on how many
@@ -132,7 +137,7 @@ impl Default for EngineConfig {
             mode: SchedMode::AsyncGraph,
             n_deferred: 0,
             n_gpu_experts: 0,
-            expert_dtype: WeightDtype::F32,
+            precision: PrecisionPolicy::default(),
             backend: Backend::HybridAmxAvx512,
             seed: 0,
             placement: PlacementPolicy::Static,
@@ -290,6 +295,11 @@ struct EngineShared {
 struct DynamicState {
     cache: Mutex<ExpertCache>,
     cost: CostModel,
+    /// Stored bytes of one routed expert, per layer (0 for dense
+    /// layers). Taken from [`kt_tensor::PackedWeights::stored_bytes`],
+    /// so quantized experts earn their smaller footprint in both cache
+    /// residency sizing and the PCIe upload pricing term.
+    expert_bytes: Vec<usize>,
 }
 
 impl EngineShared {
@@ -350,10 +360,16 @@ fn dynamic_state(
     if econfig.placement != PlacementPolicy::Dynamic {
         return None;
     }
-    let routed = layers.iter().find_map(|l| match &l.ffn {
-        EngineFfn::Moe { routed, .. } => Some(routed),
-        EngineFfn::Dense(_) => None,
-    })?;
+    let expert_bytes: Vec<usize> = layers
+        .iter()
+        .map(|l| match &l.ffn {
+            EngineFfn::Moe { routed, .. } => routed.expert(0).stored_bytes(),
+            EngineFfn::Dense(_) => 0,
+        })
+        .collect();
+    if !expert_bytes.iter().any(|&b| b > 0) {
+        return None;
+    }
     Some(DynamicState {
         cache: Mutex::new(ExpertCache::new(
             econfig.expert_cache_bytes,
@@ -364,8 +380,8 @@ fn dynamic_state(
             calibration: kt_hwsim::Calibration::default(),
             platform: kt_hwsim::Platform::a100_dual_xeon(),
             flops_per_token: 2.0 * 3.0 * cfg.hidden as f64 * cfg.moe_inter as f64,
-            expert_bytes: routed.expert(0).stored_bytes(),
         },
+        expert_bytes,
     })
 }
 
@@ -512,6 +528,10 @@ impl HybridEngine {
     pub fn random(cfg: &ModelConfig, econfig: EngineConfig) -> Result<Self, EngineError> {
         install_trace_hooks();
         cfg.validate().map_err(EngineError::config)?;
+        econfig
+            .precision
+            .validate(cfg.hidden, cfg.dense_inter, cfg.moe_inter)
+            .map_err(|e| EngineError::config(e.to_string()))?;
         let mut rng = StdRng::seed_from_u64(econfig.seed);
         let mut embed = Matrix::zeros(cfg.vocab, cfg.hidden)?;
         kt_tensor::rng::fill_normal(&mut rng, embed.as_mut_slice(), 0.1);
@@ -525,12 +545,16 @@ impl HybridEngine {
                 cfg.n_heads,
                 cfg.head_dim,
                 cfg.attention,
-                WeightDtype::F32,
+                econfig.precision.attention,
                 &mut rng,
             )?;
             let ffn = if layer < cfg.n_dense_layers {
-                let dense =
-                    ExpertWeights::random(cfg.hidden, cfg.dense_inter, WeightDtype::F32, &mut rng)?;
+                let dense = ExpertWeights::random(
+                    cfg.hidden,
+                    cfg.dense_inter,
+                    econfig.precision.dense,
+                    &mut rng,
+                )?;
                 EngineFfn::Dense(FusedMoE::new(vec![dense], econfig.backend)?)
             } else {
                 let gate_cfg = GateConfig {
@@ -549,7 +573,7 @@ impl HybridEngine {
                             ExpertWeights::random(
                                 cfg.hidden,
                                 cfg.moe_inter,
-                                econfig.expert_dtype,
+                                econfig.precision.shared,
                                 &mut rng,
                             )
                         })
@@ -560,7 +584,12 @@ impl HybridEngine {
                 };
                 let experts = (0..cfg.n_routed_experts)
                     .map(|_| {
-                        ExpertWeights::random(cfg.hidden, cfg.moe_inter, econfig.expert_dtype, &mut rng)
+                        ExpertWeights::random(
+                            cfg.hidden,
+                            cfg.moe_inter,
+                            econfig.precision.routed,
+                            &mut rng,
+                        )
                     })
                     .collect::<Result<Vec<_>, _>>()?;
                 EngineFfn::Moe {
@@ -584,7 +613,7 @@ impl HybridEngine {
 
         let mut head = Matrix::zeros(cfg.vocab, cfg.hidden)?;
         kt_tensor::rng::fill_normal(&mut rng, head.as_mut_slice(), 0.05);
-        let lm_head = Arc::new(PackedWeights::pack(&head, WeightDtype::F32)?);
+        let lm_head = Arc::new(PackedWeights::pack(&head, econfig.precision.lm_head)?);
         let rope = Arc::new(Rope::new(cfg.head_dim, cfg.max_seq, cfg.rope_theta));
 
         let cache_specs: Vec<(usize, usize)> =
@@ -663,9 +692,9 @@ impl HybridEngine {
     }
 
     /// Loads an engine from a checkpoint written by
-    /// [`HybridEngine::save`], with fresh runtime settings. The
-    /// checkpoint's `expert_dtype` is whatever was saved; `econfig`'s
-    /// dtype field is ignored.
+    /// [`HybridEngine::save`], with fresh runtime settings. Each packed
+    /// weight carries its own dtype in the checkpoint, so per-role
+    /// precision round-trips as saved; `econfig.precision` is ignored.
     ///
     /// # Errors
     ///
@@ -907,10 +936,23 @@ impl HybridEngine {
     }
 
     /// Stored weight bytes of one routed expert — the minimum viable
-    /// `expert_cache_bytes`. `None` for models without routed experts.
+    /// `expert_cache_bytes`. Read from the packed weights themselves,
+    /// so quantized experts report their post-quantization footprint.
+    /// `None` for models without routed experts.
     pub fn expert_weight_bytes(&self) -> Option<usize> {
         self.layers.iter().find_map(|l| match &l.ffn {
             EngineFfn::Moe { routed, .. } => Some(routed.expert(0).stored_bytes()),
+            EngineFfn::Dense(_) => None,
+        })
+    }
+
+    /// Storage dtype of the routed expert weights, read from the packed
+    /// weights (reliable even after a checkpoint load, where
+    /// `econfig.precision` is ignored). `None` for models without
+    /// routed experts.
+    pub fn expert_weight_dtype(&self) -> Option<kt_tensor::WeightDtype> {
+        self.layers.iter().find_map(|l| match &l.ffn {
+            EngineFfn::Moe { routed, .. } => Some(routed.expert(0).gate.dtype()),
             EngineFfn::Dense(_) => None,
         })
     }
@@ -1220,10 +1262,11 @@ impl HybridEngine {
                             }
                             if !tokens.is_empty() {
                                 let mut cache = dy.cache.lock();
+                                let bytes = dy.expert_bytes[li];
                                 let choices: Vec<_> = tokens
                                     .iter()
                                     .map(|(&e, &t)| {
-                                        dy.cost.choice(e, t, cache.is_resident(li, e))
+                                        dy.cost.choice(e, t, cache.is_resident(li, e), bytes)
                                     })
                                     .collect();
                                 let part = partition_experts(&choices);
@@ -1232,7 +1275,7 @@ impl HybridEngine {
                                         if cache.is_resident(li, e) {
                                             cache.touch(li, e);
                                         } else {
-                                            cache.request(li, e, dy.cost.expert_bytes);
+                                            cache.request(li, e, bytes);
                                         }
                                     }
                                     let (c, g) = split_routing(&imm, &part.gpu);
@@ -2797,6 +2840,64 @@ mod dynamic_placement_tests {
         assert!(stats.misses > 0, "tiny budget must miss");
         assert!(stats.resident_bytes <= bytes as u64);
         assert!(stats.resident_entries <= 1);
+    }
+
+    #[test]
+    fn quantized_expert_bytes_drive_cache_accounting() {
+        // The placement path must price and size experts by their
+        // *stored* (post-quantization) bytes: an int4 expert is ~8x
+        // smaller than F32, so a byte budget far below one F32 expert
+        // still admits quantized experts — and outputs stay bitwise
+        // identical to the static split at the same precision.
+        let build_q = |policy: PlacementPolicy, cache_bytes: usize| {
+            HybridEngine::random(
+                &ModelPreset::DeepSeekV3.tiny_config(),
+                EngineConfig {
+                    n_cpu_workers: 2,
+                    mode: SchedMode::AsyncGraph,
+                    n_deferred: 2,
+                    precision: PrecisionPolicy::experts(kt_tensor::WeightDtype::Int4 {
+                        group: 8,
+                    }),
+                    placement: policy,
+                    expert_cache_bytes: cache_bytes,
+                    seed: 91,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+        };
+        let f32_engine = build(ModelPreset::DeepSeekV3, PlacementPolicy::Static, 0, 91);
+        let f32_bytes = f32_engine.expert_weight_bytes().unwrap();
+        let st = build_q(PlacementPolicy::Static, 0);
+        let q_bytes = st.expert_weight_bytes().unwrap();
+        // Group 8 is the largest group dividing the tiny dims, so the
+        // scale overhead is maximal: 4 code bits + 4 scale bits per
+        // weight = exactly a quarter of F32's 32.
+        assert!(
+            q_bytes * 4 <= f32_bytes,
+            "int4 expert ({q_bytes} B) must be at most a quarter of F32 ({f32_bytes} B)"
+        );
+        assert_eq!(st.expert_weight_dtype().unwrap().name(), "int4");
+
+        // Two quantized experts fit; not even one F32 expert would.
+        let budget = 2 * q_bytes;
+        assert!(budget < f32_bytes);
+        let dy = build_q(PlacementPolicy::Dynamic, budget);
+        let want = run_trace(&st, &[4, 5, 6], 8);
+        let got = run_trace(&dy, &[4, 5, 6], 8);
+        assert_eq!(want, got);
+        let stats = dy.expert_cache_stats().unwrap();
+        assert!(
+            stats.insertions > 0,
+            "quantized experts must be admitted under a sub-F32 budget"
+        );
+        assert_eq!(
+            stats.resident_bytes % q_bytes as u64,
+            0,
+            "residency must be counted in stored (quantized) expert bytes"
+        );
+        assert!(stats.resident_bytes <= budget as u64);
     }
 
     #[test]

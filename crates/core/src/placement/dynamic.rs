@@ -269,7 +269,10 @@ pub fn partition_experts(choices: &[ExpertChoice]) -> Partition {
 }
 
 /// Everything the engine needs to price an expert: the calibration,
-/// the simulated platform, and the per-layer expert shape.
+/// the simulated platform, and the per-layer expert shape. The expert's
+/// stored byte footprint is passed per call — under a quantized
+/// precision policy it varies with the expert's dtype, and int4/int8
+/// experts are 4-8x cheaper across the PCIe upload term than F32.
 #[derive(Debug, Clone)]
 pub struct CostModel {
     /// Roofline calibration constants.
@@ -278,8 +281,6 @@ pub struct CostModel {
     pub platform: Platform,
     /// Useful FLOPs per routed token per expert (2·3·hidden·inter).
     pub flops_per_token: f64,
-    /// Stored bytes of one expert's weights.
-    pub expert_bytes: usize,
 }
 
 impl CostModel {
@@ -294,11 +295,17 @@ impl CostModel {
     /// term is kept for non-resident experts: it preserves the paper's
     /// decision structure (persistently-hot experts earn residency and
     /// migrate to the device; one-off cold activations stay on CPU).
-    pub fn choice(&self, expert: usize, tokens: usize, resident: bool) -> ExpertChoice {
+    pub fn choice(
+        &self,
+        expert: usize,
+        tokens: usize,
+        resident: bool,
+        expert_bytes: usize,
+    ) -> ExpertChoice {
         let cost = self.calibration.expert_placement_cost(
             tokens as f64,
             tokens as f64 * self.flops_per_token,
-            self.expert_bytes as f64,
+            expert_bytes as f64,
             &self.platform,
         );
         ExpertChoice {
@@ -419,6 +426,31 @@ mod tests {
         assert_eq!(s.resident_bytes, 200);
         assert_eq!(s.insertions, 3);
         assert_eq!(s.misses, 4);
+    }
+
+    #[test]
+    fn pcie_upload_term_scales_with_stored_bytes() {
+        // Quantized experts must earn their smaller footprint in the
+        // transfer pricing: the upload surcharge (gpu_s − cpu_s for a
+        // non-resident expert) is linear in the stored byte count, so
+        // an int4 expert (8x smaller than F32) pays an 8x smaller term.
+        let cost = CostModel {
+            calibration: Calibration::default(),
+            platform: Platform::a100_dual_xeon(),
+            flops_per_token: 1.0e6,
+        };
+        let f32_bytes = 1_000_000usize;
+        let int4_bytes = f32_bytes / 8;
+        let f32_choice = cost.choice(0, 4, false, f32_bytes);
+        let int4_choice = cost.choice(0, 4, false, int4_bytes);
+        let f32_upload = f32_choice.gpu_s - f32_choice.cpu_s;
+        let int4_upload = int4_choice.gpu_s - int4_choice.cpu_s;
+        assert!(f32_upload > 0.0 && int4_upload > 0.0);
+        let ratio = f32_upload / int4_upload;
+        assert!((ratio - 8.0).abs() < 1e-6, "upload ratio {ratio}");
+        // Residency removes the term entirely, regardless of bytes.
+        let resident = cost.choice(0, 4, true, f32_bytes);
+        assert_eq!(resident.gpu_s, resident.cpu_s);
     }
 
     #[test]

@@ -163,6 +163,15 @@ pub struct ServeStats {
     pub expert_cache_resident_bytes: u64,
     /// Experts currently resident.
     pub expert_cache_entries: u64,
+    /// Stored bytes of one routed expert's packed weights (gauge; see
+    /// [`ServeStats::set_weight_precision`]). Quantized experts show
+    /// their post-quantization footprint — the bytes each decode-step
+    /// GEMV streams and each PCIe upload pays. Zero for models without
+    /// routed experts.
+    pub expert_weight_bytes: u64,
+    /// Short name of the routed experts' storage dtype ("f32", "bf16",
+    /// "int8", "int4"); empty before the first snapshot.
+    pub expert_weight_dtype: String,
 }
 
 impl ServeStats {
@@ -246,6 +255,13 @@ impl ServeStats {
         self.expert_cache_evicted_bytes = s.evicted_bytes;
         self.expert_cache_resident_bytes = s.resident_bytes;
         self.expert_cache_entries = s.resident_entries;
+    }
+
+    /// Overwrites the weight-precision gauges from an engine snapshot
+    /// (replace, not accumulate, same as [`ServeStats::set_arena`]).
+    pub fn set_weight_precision(&mut self, bytes: u64, dtype: &str) {
+        self.expert_weight_bytes = bytes;
+        self.expert_weight_dtype = dtype.to_string();
     }
 }
 

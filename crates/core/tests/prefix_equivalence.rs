@@ -17,7 +17,7 @@ use kt_core::{BatchSeq, EngineConfig, HybridEngine, SchedMode};
 use kt_kernels::dispatch::Backend;
 use kt_model::prefix::{PrefixCache, PrefixCacheConfig};
 use kt_model::{KvCache, ModelPreset};
-use kt_tensor::WeightDtype;
+use kt_tensor::{PrecisionPolicy, WeightDtype};
 use proptest::prelude::*;
 
 fn dtype_strategy() -> impl Strategy<Value = WeightDtype> {
@@ -66,7 +66,7 @@ proptest! {
                 n_cpu_workers: 2,
                 mode: SchedMode::AsyncGraph,
                 n_deferred: 2,
-                expert_dtype: dtype,
+                precision: PrecisionPolicy::experts(dtype),
                 backend: Backend::TiledOnly,
                 seed,
                 ..Default::default()

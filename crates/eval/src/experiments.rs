@@ -282,6 +282,145 @@ pub fn divergence_study(
     Ok(rows)
 }
 
+/// One row of the quantized-serving divergence gate.
+#[derive(Debug, Clone)]
+pub struct QuantDivergenceRow {
+    /// Expert weight dtype under test.
+    pub dtype: WeightDtype,
+    /// Mean KL(f32 || quantized) over decode logits.
+    pub kl: f64,
+    /// Greedy-token agreement with the F32 reference (fraction).
+    pub top1_agree: f64,
+}
+
+/// Quantized-serving accuracy gate at the transformer level.
+///
+/// `MoeModel`'s RNG stream is dtype-independent (weights are drawn
+/// before packing), so same-seed models under different expert dtypes
+/// share the underlying F32 weights: any logit divergence is purely
+/// quantization error in the fused-dequant serving path. For each
+/// dtype, decode logits are compared against the F32 reference with
+/// KL divergence and greedy-token agreement, mirroring the Expert
+/// Deferral methodology of [`divergence_study`].
+///
+/// # Errors
+///
+/// Propagates model construction/execution errors.
+pub fn quant_divergence_study(
+    dtypes: &[WeightDtype],
+    n_prompts: usize,
+    seed: u64,
+) -> Result<Vec<QuantDivergenceRow>, kt_model::ModelError> {
+    let cfg = ModelPreset::DeepSeekV3.tiny_config();
+    let reference = MoeModel::random(&cfg, WeightDtype::F32, seed)?;
+    let decode_logits = |m: &MoeModel, prompt: &[u32]| -> Result<Vec<f32>, kt_model::ModelError> {
+        let mut cache = m.new_cache();
+        let _ = m.forward(prompt, &mut cache, ExecMode::Standard, None)?;
+        let logits = m.forward(&[7], &mut cache, ExecMode::Standard, None)?;
+        Ok(logits.row(0).to_vec())
+    };
+    let mut rows = Vec::new();
+    for &dtype in dtypes {
+        let model = MoeModel::random(&cfg, dtype, seed)?;
+        let mut kl = 0.0;
+        let mut agree = 0usize;
+        for p in 0..n_prompts {
+            let prompt: Vec<u32> =
+                (0..6).map(|i| (seed as u32 + p as u32 * 37 + i * 11) % 256).collect();
+            let f32_l = decode_logits(&reference, &prompt)?;
+            let q_l = decode_logits(&model, &prompt)?;
+            kl += kl_divergence(&f32_l, &q_l);
+            agree += usize::from(top1_agreement(&f32_l, &q_l));
+        }
+        rows.push(QuantDivergenceRow {
+            dtype,
+            kl: kl / n_prompts as f64,
+            top1_agree: agree as f64 / n_prompts as f64,
+        });
+    }
+    Ok(rows)
+}
+
+/// Rounds every expert weight of `net` through the tile-packed
+/// quantized format (pack → unpack), exactly the dequantized values
+/// the fused int8/int4 kernels serve. Task accuracy of the returned
+/// net therefore measures the quantized serving path's accuracy.
+///
+/// # Panics
+///
+/// Panics if `dtype`'s group does not divide the net's `dim` and
+/// `hidden` (programming error in the study configuration).
+pub fn fake_quantize_net(net: &MoeNet, dtype: WeightDtype) -> MoeNet {
+    use kt_tensor::{Matrix, PackedWeights};
+    let roundtrip = |data: &[f32], rows: usize, cols: usize| -> Vec<f32> {
+        let m = Matrix::from_rows(rows, cols, data).expect("net weight shape");
+        let packed = PackedWeights::pack(&m, dtype).expect("group must divide net dims");
+        packed.unpack().as_slice().to_vec()
+    };
+    let cfg = *net.config();
+    let mut out = net.clone();
+    for block in &mut out.blocks {
+        for w in &mut block.w1 {
+            *w = roundtrip(w, cfg.hidden, cfg.dim);
+        }
+        for w in &mut block.w2 {
+            *w = roundtrip(w, cfg.dim, cfg.hidden);
+        }
+    }
+    out
+}
+
+/// One row of the quantized-serving task-accuracy gate.
+#[derive(Debug, Clone)]
+pub struct QuantAccuracyRow {
+    /// Expert weight dtype under test.
+    pub dtype: WeightDtype,
+    /// Mean F32 accuracy over tasks, %.
+    pub base_acc: f64,
+    /// Mean fake-quantized accuracy over tasks, %.
+    pub quant_acc: f64,
+}
+
+/// Synthetic-task accuracy under quantized experts: trains the DS-3
+/// analog per task in F32, fake-quantizes the trained experts per
+/// dtype ([`fake_quantize_net`]) and compares test accuracy.
+pub fn quant_accuracy_study(
+    dtypes: &[WeightDtype],
+    tasks: &[TaskKind],
+    budget: &EvalBudget,
+    seed: u64,
+) -> Vec<QuantAccuracyRow> {
+    let analog = ModelAnalog::all()[0];
+    let trained: Vec<(MoeNet, Task)> = tasks
+        .iter()
+        .enumerate()
+        .map(|(ti, &kind)| trained_net(&analog, kind, budget, seed + ti as u64))
+        .collect();
+    let base: f64 = trained
+        .iter()
+        .map(|(net, task)| accuracy(net, &task.test, EvalMode::Standard) * 100.0)
+        .sum::<f64>()
+        / trained.len() as f64;
+    dtypes
+        .iter()
+        .map(|&dtype| {
+            let quant: f64 = trained
+                .iter()
+                .map(|(net, task)| {
+                    let q = fake_quantize_net(net, dtype);
+                    accuracy(&q, &task.test, EvalMode::Standard) * 100.0
+                })
+                .sum::<f64>()
+                / trained.len() as f64;
+            QuantAccuracyRow {
+                dtype,
+                base_acc: base,
+                quant_acc: quant,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,6 +476,64 @@ mod tests {
         let p7 = &points[6];
         assert!(p7.skipping_delta_pct < -1.0, "{p7:?}");
         assert!(p7.deferral_delta_pct > p7.skipping_delta_pct, "{p7:?}");
+    }
+
+    #[test]
+    fn quant_divergence_within_serving_thresholds() {
+        let dtypes = [
+            WeightDtype::Bf16,
+            WeightDtype::Int8 { group: 8 },
+            WeightDtype::Int4 { group: 8 },
+        ];
+        let rows = quant_divergence_study(&dtypes, 4, 23).unwrap();
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.kl.is_finite() && r.kl >= 0.0, "{r:?}");
+            eprintln!("quant divergence: {r:?}");
+        }
+        // Precision ordering: more bits, less divergence.
+        assert!(rows[0].kl <= rows[2].kl, "bf16 {rows:?}");
+        assert!(rows[1].kl <= rows[2].kl, "int8 {rows:?}");
+        // Serving gates (generous multiples of observed values).
+        assert!(rows[1].kl < 0.05, "int8 KL too high: {rows:?}");
+        assert!(rows[2].kl < 0.5, "int4 KL too high: {rows:?}");
+        assert!(rows[1].top1_agree >= 0.75, "int8 agreement: {rows:?}");
+    }
+
+    #[test]
+    fn fake_quant_f32_roundtrip_is_exact() {
+        let analog = ModelAnalog::all()[0];
+        let net = MoeNet::random(analog.net_config(16, 4), 31);
+        let q = fake_quantize_net(&net, WeightDtype::F32);
+        let x = vec![0.4f32; 16];
+        assert_eq!(
+            net.forward(&x, EvalMode::Standard),
+            q.forward(&x, EvalMode::Standard),
+            "F32 pack/unpack round-trip must be exact"
+        );
+    }
+
+    #[test]
+    fn quant_accuracy_stays_close_to_f32() {
+        let dtypes = [
+            WeightDtype::Int8 { group: 8 },
+            WeightDtype::Int4 { group: 8 },
+        ];
+        let rows = quant_accuracy_study(&dtypes, &[TaskKind::Blobs], &EvalBudget::quick(), 29);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            eprintln!("quant accuracy: {r:?}");
+            assert!(r.base_acc > 40.0, "base acc too low: {r:?}");
+        }
+        // Int8 must be nearly lossless; int4 within a few points.
+        assert!(
+            (rows[0].base_acc - rows[0].quant_acc).abs() < 5.0,
+            "int8 moved accuracy too much: {rows:?}"
+        );
+        assert!(
+            (rows[1].base_acc - rows[1].quant_acc).abs() < 15.0,
+            "int4 moved accuracy too much: {rows:?}"
+        );
     }
 
     #[test]

@@ -44,6 +44,11 @@ unsafe impl Sync for OutPtr {}
 
 /// Stages (decodes to f32) K-steps `k0..k1` of panel `p` into `buf`,
 /// K-major: `buf[(kk - k0) * NR + j]`.
+///
+/// Quantized dtypes route through the SIMD staging helpers in
+/// [`crate::simd`]; each staged value is the same `widen(code) * scale`
+/// the scalar decode produces, so staged buffers — and hence tiled GEMM
+/// outputs — are bitwise independent of the SIMD level.
 fn stage_panel(w: &PackedWeights, p: usize, k0: usize, k1: usize, buf: &mut [f32]) {
     debug_assert!(buf.len() >= (k1 - k0) * NR);
     match w.dtype() {
@@ -51,51 +56,17 @@ fn stage_panel(w: &PackedWeights, p: usize, k0: usize, k1: usize, buf: &mut [f32
             let panel = w.panel_f32(p);
             buf[..(k1 - k0) * NR].copy_from_slice(&panel[k0 * NR..k1 * NR]);
         }
-        WeightDtype::Bf16 => {
-            let panel = w.panel_bf16(p);
-            for (dst, src) in buf[..(k1 - k0) * NR]
-                .iter_mut()
-                .zip(&panel[k0 * NR..k1 * NR])
-            {
-                *dst = src.to_f32();
-            }
-        }
+        WeightDtype::Bf16 => simd::stage_bf16(w.panel_bf16(p), k0, k1, buf),
         WeightDtype::Int8 { group } => {
-            let bytes = w.panel_bytes(p);
-            let scales = w.panel_scales(p);
-            for kk in k0..k1 {
-                let srow = &scales[(kk / group) * NR..(kk / group) * NR + NR];
-                let brow = &bytes[kk * NR..kk * NR + NR];
-                let drow = &mut buf[(kk - k0) * NR..(kk - k0) * NR + NR];
-                for j in 0..NR {
-                    drow[j] = (brow[j] as i8) as f32 * srow[j];
-                }
-            }
+            simd::stage_int8(w.panel_bytes(p), w.panel_scales(p), group, k0, k1, buf);
         }
         WeightDtype::Int4 { group } => {
-            let bytes = w.panel_bytes(p);
-            let scales = w.panel_scales(p);
-            for kk in k0..k1 {
-                let srow = &scales[(kk / group) * NR..(kk / group) * NR + NR];
-                let brow = &bytes[(kk / 2) * NR..(kk / 2) * NR + NR];
-                let drow = &mut buf[(kk - k0) * NR..(kk - k0) * NR + NR];
-                if kk % 2 == 0 {
-                    for j in 0..NR {
-                        let code = ((brow[j] & 0x0F) as i8) << 4 >> 4;
-                        drow[j] = code as f32 * srow[j];
-                    }
-                } else {
-                    for j in 0..NR {
-                        let code = (brow[j] as i8) >> 4;
-                        drow[j] = code as f32 * srow[j];
-                    }
-                }
-            }
+            simd::stage_int4(w.panel_bytes(p), w.panel_scales(p), group, k0, k1, buf);
         }
     }
 }
 
-use crate::simd::microkernel;
+use crate::simd::{self, microkernel};
 
 /// Executes panel `p` with the given kernel class, writing output
 /// columns `p*NR .. p*NR+valid` of an `a.rows() x out_cols` output.
@@ -297,7 +268,12 @@ pub fn gemv_vector(
 }
 
 /// Computes the 16 partial outputs of panel `p` for activation `x`,
-/// decoding weights inline per dtype.
+/// fusing per-dtype weight decode into the SIMD accumulation.
+///
+/// Bf16/Int8/Int4 use the fused-dequant kernels from [`crate::simd`]
+/// (codes widened in-register, group scale folded into the FMA), which
+/// are bitwise identical across SIMD levels; F32 reuses the staged-form
+/// microkernel directly.
 fn gemv_panel(x: &[f32], w: &PackedWeights, p: usize) -> [f32; NR] {
     let mut acc = [0.0f32; NR];
     match w.dtype() {
@@ -309,44 +285,12 @@ fn gemv_panel(x: &[f32], w: &PackedWeights, p: usize) -> [f32; NR] {
             microkernel::<1>([x], panel, x.len(), &mut tile);
             acc = tile[0];
         }
-        WeightDtype::Bf16 => {
-            let panel = w.panel_bf16(p);
-            for (kk, &xv) in x.iter().enumerate() {
-                let wrow = &panel[kk * NR..kk * NR + NR];
-                for j in 0..NR {
-                    acc[j] += xv * wrow[j].to_f32();
-                }
-            }
-        }
+        WeightDtype::Bf16 => simd::gemv_bf16(x, w.panel_bf16(p), &mut acc),
         WeightDtype::Int8 { group } => {
-            let bytes = w.panel_bytes(p);
-            let scales = w.panel_scales(p);
-            for (kk, &xv) in x.iter().enumerate() {
-                let srow = &scales[(kk / group) * NR..(kk / group) * NR + NR];
-                let brow = &bytes[kk * NR..kk * NR + NR];
-                for j in 0..NR {
-                    acc[j] += xv * (brow[j] as i8) as f32 * srow[j];
-                }
-            }
+            simd::gemv_int8(x, w.panel_bytes(p), w.panel_scales(p), group, &mut acc);
         }
         WeightDtype::Int4 { group } => {
-            let bytes = w.panel_bytes(p);
-            let scales = w.panel_scales(p);
-            for (kk, &xv) in x.iter().enumerate() {
-                let srow = &scales[(kk / group) * NR..(kk / group) * NR + NR];
-                let brow = &bytes[(kk / 2) * NR..(kk / 2) * NR + NR];
-                if kk % 2 == 0 {
-                    for j in 0..NR {
-                        let code = ((brow[j] & 0x0F) as i8) << 4 >> 4;
-                        acc[j] += xv * code as f32 * srow[j];
-                    }
-                } else {
-                    for j in 0..NR {
-                        let code = (brow[j] as i8) >> 4;
-                        acc[j] += xv * code as f32 * srow[j];
-                    }
-                }
-            }
+            simd::gemv_int4(x, w.panel_bytes(p), w.panel_scales(p), group, &mut acc);
         }
     }
     acc

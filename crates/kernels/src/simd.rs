@@ -11,8 +11,26 @@
 //! Dispatch is by runtime detection (cached), with the portable scalar
 //! kernel as both the fallback and the golden reference; results differ
 //! from scalar only by FMA rounding.
+//!
+//! # Fused-dequant GEMV kernels
+//!
+//! The quantized serving hot path decodes packed Int8/Int4 codes (and
+//! BF16 halves) **in-register**: codes are widened with exact integer
+//! conversions, the group scale multiply is a single IEEE `mul`, and
+//! the activation multiply-accumulate is one fused multiply-add. The
+//! scalar golden references perform the *same* per-lane operation
+//! sequence with `f32::mul_add` (correctly rounded, like the hardware
+//! FMA), so the SIMD kernels are **bitwise identical** to scalar at
+//! every level — the property the chunked-prefill and forced-level
+//! proptests pin.
+//!
+//! Tests can cap dispatch on the current thread with
+//! [`with_forced_simd_level`]; the disabled-path cost is one relaxed
+//! atomic load.
 
-use kt_tensor::NR;
+use kt_tensor::{Bf16, NR};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Available instruction level, best first.
@@ -43,6 +61,45 @@ pub fn simd_level() -> SimdLevel {
         }
         SimdLevel::Scalar
     })
+}
+
+/// Count of live [`with_forced_simd_level`] scopes across all threads.
+/// Zero (the overwhelmingly common case) means dispatch can skip the
+/// thread-local lookup entirely.
+static FORCE_SCOPES: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread dispatch cap installed by [`with_forced_simd_level`].
+    static FORCED_LEVEL: Cell<Option<SimdLevel>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with SIMD dispatch on the **calling thread** capped at
+/// `level`. Kernels executed by other threads (e.g. a `ThreadPool`)
+/// are unaffected, so tests that need a pinned level call kernels with
+/// `pool = None`. Scopes nest; the outer cap is restored on exit.
+pub fn with_forced_simd_level<R>(level: SimdLevel, f: impl FnOnce() -> R) -> R {
+    struct Guard(Option<SimdLevel>);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            FORCED_LEVEL.with(|c| c.set(self.0));
+            FORCE_SCOPES.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    let prev = FORCED_LEVEL.with(|c| c.replace(Some(level)));
+    FORCE_SCOPES.fetch_add(1, Ordering::Relaxed);
+    let _restore = Guard(prev);
+    f()
+}
+
+/// The level dispatch actually uses: the detected level, capped by the
+/// current thread's forced level when a forcing scope is active.
+#[inline]
+pub fn effective_simd_level() -> SimdLevel {
+    let detected = simd_level();
+    if FORCE_SCOPES.load(Ordering::Relaxed) == 0 {
+        return detected;
+    }
+    FORCED_LEVEL.with(|c| c.get()).map_or(detected, |l| l.min(detected))
 }
 
 /// Portable scalar microkernel (the golden reference): accumulates `M`
@@ -158,16 +215,563 @@ pub fn microkernel<const M: usize>(
     kb: usize,
     acc: &mut [[f32; NR]; M],
 ) {
-    match simd_level() {
+    match effective_simd_level() {
         #[cfg(target_arch = "x86_64")]
         SimdLevel::Avx512 =>
-        // SAFETY: `simd_level` verified AVX-512F support at runtime.
+        // SAFETY: `effective_simd_level` never exceeds the detected
+        // level, which verified AVX-512F support at runtime.
         unsafe { microkernel_avx512::<M>(a, staged, kb, acc) },
         #[cfg(target_arch = "x86_64")]
         SimdLevel::Avx2Fma =>
-        // SAFETY: `simd_level` verified AVX2+FMA support at runtime.
+        // SAFETY: As above for AVX2+FMA.
         unsafe { microkernel_avx2::<M>(a, staged, kb, acc) },
         _ => microkernel_scalar::<M>(a, staged, kb, acc),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fused-dequant GEMV kernels (quantized serving hot path).
+//
+// Contract shared by every implementation below: for each K-step `kk`
+// and each lane `j`, exactly
+//
+//     w      = widen(code[kk][j])            (exact int/bf16 -> f32)
+//     wv     = w * scale[kk/group][j]        (one IEEE mul; skipped for bf16)
+//     acc[j] = fma(x[kk], wv, acc[j])        (correctly rounded FMA)
+//
+// in ascending `kk` order. `f32::mul_add` is correctly rounded, as are
+// the AVX FMA instructions, and the widenings are exact, so scalar,
+// AVX2 and AVX-512 paths agree bit for bit.
+// ---------------------------------------------------------------------
+
+/// Scalar golden reference: fused-dequant GEMV over one BF16 panel.
+#[allow(clippy::needless_range_loop)]
+pub fn gemv_bf16_scalar(x: &[f32], panel: &[Bf16], acc: &mut [f32; NR]) {
+    debug_assert!(panel.len() >= x.len() * NR);
+    for (kk, &xv) in x.iter().enumerate() {
+        let wrow = &panel[kk * NR..kk * NR + NR];
+        for j in 0..NR {
+            acc[j] = xv.mul_add(wrow[j].to_f32(), acc[j]);
+        }
+    }
+}
+
+/// Scalar golden reference: fused-dequant GEMV over one Int8 panel.
+#[allow(clippy::needless_range_loop)]
+pub fn gemv_int8_scalar(x: &[f32], bytes: &[u8], scales: &[f32], group: usize, acc: &mut [f32; NR]) {
+    debug_assert!(bytes.len() >= x.len() * NR);
+    for (kk, &xv) in x.iter().enumerate() {
+        let srow = &scales[(kk / group) * NR..(kk / group) * NR + NR];
+        let brow = &bytes[kk * NR..kk * NR + NR];
+        for j in 0..NR {
+            let wv = (brow[j] as i8) as f32 * srow[j];
+            acc[j] = xv.mul_add(wv, acc[j]);
+        }
+    }
+}
+
+/// Scalar golden reference: fused-dequant GEMV over one Int4 panel
+/// (two codes per byte: low nibble = even `kk`, high nibble = odd).
+#[allow(clippy::needless_range_loop)]
+pub fn gemv_int4_scalar(x: &[f32], bytes: &[u8], scales: &[f32], group: usize, acc: &mut [f32; NR]) {
+    for (kk, &xv) in x.iter().enumerate() {
+        let srow = &scales[(kk / group) * NR..(kk / group) * NR + NR];
+        let brow = &bytes[(kk / 2) * NR..(kk / 2) * NR + NR];
+        if kk % 2 == 0 {
+            for j in 0..NR {
+                let code = ((brow[j] & 0x0F) as i8) << 4 >> 4;
+                acc[j] = xv.mul_add(code as f32 * srow[j], acc[j]);
+            }
+        } else {
+            for j in 0..NR {
+                let code = (brow[j] as i8) >> 4;
+                acc[j] = xv.mul_add(code as f32 * srow[j], acc[j]);
+            }
+        }
+    }
+}
+
+/// AVX-512 fused-dequant BF16 GEMV: 16 halves are zero-extended to
+/// `i32`, shifted into f32 position (exact) and FMA-accumulated.
+///
+/// # Safety
+///
+/// Caller must ensure AVX-512F is available; `panel` holds at least
+/// `x.len() * NR` values.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+pub unsafe fn gemv_bf16_avx512(x: &[f32], panel: &[Bf16], acc: &mut [f32; NR]) {
+    use std::arch::x86_64::*;
+    debug_assert!(panel.len() >= x.len() * NR);
+    // SAFETY: `Bf16` is repr(transparent) over u16; all loads stay
+    // within `panel` (one 16-lane row per K-step) per the assertion.
+    unsafe {
+        let mut vacc = _mm512_loadu_ps(acc.as_ptr());
+        let wp = panel.as_ptr().cast::<u16>();
+        for (kk, &xv) in x.iter().enumerate() {
+            let h = _mm256_loadu_si256(wp.add(kk * NR).cast());
+            let w = _mm512_castsi512_ps(_mm512_slli_epi32(_mm512_cvtepu16_epi32(h), 16));
+            vacc = _mm512_fmadd_ps(_mm512_set1_ps(xv), w, vacc);
+        }
+        _mm512_storeu_ps(acc.as_mut_ptr(), vacc);
+    }
+}
+
+/// AVX2+FMA fused-dequant BF16 GEMV (two 8-lane halves).
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 and FMA are available; bounds as for
+/// [`gemv_bf16_avx512`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn gemv_bf16_avx2(x: &[f32], panel: &[Bf16], acc: &mut [f32; NR]) {
+    use std::arch::x86_64::*;
+    debug_assert!(panel.len() >= x.len() * NR);
+    // SAFETY: As for `gemv_bf16_avx512`, split into ymm halves.
+    unsafe {
+        let mut lo = _mm256_loadu_ps(acc.as_ptr());
+        let mut hi = _mm256_loadu_ps(acc.as_ptr().add(8));
+        let wp = panel.as_ptr().cast::<u16>();
+        for (kk, &xv) in x.iter().enumerate() {
+            let h = _mm256_loadu_si256(wp.add(kk * NR).cast());
+            let wlo = _mm256_castsi256_ps(_mm256_slli_epi32(
+                _mm256_cvtepu16_epi32(_mm256_castsi256_si128(h)),
+                16,
+            ));
+            let whi = _mm256_castsi256_ps(_mm256_slli_epi32(
+                _mm256_cvtepu16_epi32(_mm256_extracti128_si256(h, 1)),
+                16,
+            ));
+            let ai = _mm256_set1_ps(xv);
+            lo = _mm256_fmadd_ps(ai, wlo, lo);
+            hi = _mm256_fmadd_ps(ai, whi, hi);
+        }
+        _mm256_storeu_ps(acc.as_mut_ptr(), lo);
+        _mm256_storeu_ps(acc.as_mut_ptr().add(8), hi);
+    }
+}
+
+/// AVX-512 fused-dequant Int8 GEMV: 16 codes sign-extend to `i32`
+/// in-register, one scale mul per K-step (scale row reloaded once per
+/// quantization group), FMA accumulate.
+///
+/// # Safety
+///
+/// Caller must ensure AVX-512F is available; `bytes` holds at least
+/// `x.len() * NR` codes and `scales` one 16-wide row per group.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+pub unsafe fn gemv_int8_avx512(
+    x: &[f32],
+    bytes: &[u8],
+    scales: &[f32],
+    group: usize,
+    acc: &mut [f32; NR],
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(bytes.len() >= x.len() * NR);
+    // SAFETY: Row loads are 16 bytes at `kk * NR` and 64 bytes at
+    // `(kk/group) * NR`, both in bounds per the layout contract.
+    unsafe {
+        let mut vacc = _mm512_loadu_ps(acc.as_ptr());
+        let bp = bytes.as_ptr();
+        let sp = scales.as_ptr();
+        let k = x.len();
+        let mut g0 = 0usize;
+        let mut gi = 0usize;
+        while g0 < k {
+            let gend = (g0 + group).min(k);
+            let s = _mm512_loadu_ps(sp.add(gi * NR));
+            for (kk, &xv) in x.iter().enumerate().take(gend).skip(g0) {
+                let codes = _mm_loadu_si128(bp.add(kk * NR).cast());
+                let w = _mm512_cvtepi32_ps(_mm512_cvtepi8_epi32(codes));
+                vacc = _mm512_fmadd_ps(_mm512_set1_ps(xv), _mm512_mul_ps(w, s), vacc);
+            }
+            g0 = gend;
+            gi += 1;
+        }
+        _mm512_storeu_ps(acc.as_mut_ptr(), vacc);
+    }
+}
+
+/// AVX2+FMA fused-dequant Int8 GEMV (two 8-lane halves).
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 and FMA are available; bounds as for
+/// [`gemv_int8_avx512`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn gemv_int8_avx2(
+    x: &[f32],
+    bytes: &[u8],
+    scales: &[f32],
+    group: usize,
+    acc: &mut [f32; NR],
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(bytes.len() >= x.len() * NR);
+    // SAFETY: As for `gemv_int8_avx512`, split into ymm halves.
+    unsafe {
+        let mut lo = _mm256_loadu_ps(acc.as_ptr());
+        let mut hi = _mm256_loadu_ps(acc.as_ptr().add(8));
+        let bp = bytes.as_ptr();
+        let sp = scales.as_ptr();
+        let k = x.len();
+        let mut g0 = 0usize;
+        let mut gi = 0usize;
+        while g0 < k {
+            let gend = (g0 + group).min(k);
+            let slo = _mm256_loadu_ps(sp.add(gi * NR));
+            let shi = _mm256_loadu_ps(sp.add(gi * NR + 8));
+            for (kk, &xv) in x.iter().enumerate().take(gend).skip(g0) {
+                let codes = _mm_loadu_si128(bp.add(kk * NR).cast());
+                let wlo = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(codes));
+                let whi = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_srli_si128(codes, 8)));
+                let ai = _mm256_set1_ps(xv);
+                lo = _mm256_fmadd_ps(ai, _mm256_mul_ps(wlo, slo), lo);
+                hi = _mm256_fmadd_ps(ai, _mm256_mul_ps(whi, shi), hi);
+            }
+            g0 = gend;
+            gi += 1;
+        }
+        _mm256_storeu_ps(acc.as_mut_ptr(), lo);
+        _mm256_storeu_ps(acc.as_mut_ptr().add(8), hi);
+    }
+}
+
+/// AVX-512 fused-dequant Int4 GEMV. Each 16-byte row holds the codes of
+/// two adjacent K-steps; nibbles sign-extend via shift pairs (even:
+/// `<< 28 >> 28`, odd: `<< 24 >> 28`). Int4 groups are even, so both
+/// K-steps of a byte row share one scale row.
+///
+/// # Safety
+///
+/// Caller must ensure AVX-512F is available; `bytes` holds at least
+/// `ceil(x.len()/2) * NR` packed bytes, `scales` one row per group.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+pub unsafe fn gemv_int4_avx512(
+    x: &[f32],
+    bytes: &[u8],
+    scales: &[f32],
+    group: usize,
+    acc: &mut [f32; NR],
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(bytes.len() >= x.len().div_ceil(2) * NR);
+    // SAFETY: Byte-row loads are 16 bytes at `(kk/2) * NR`; scale loads
+    // 64 bytes at the group row — in bounds per the layout contract.
+    unsafe {
+        let mut vacc = _mm512_loadu_ps(acc.as_ptr());
+        let bp = bytes.as_ptr();
+        let sp = scales.as_ptr();
+        let k = x.len();
+        let xp = x.as_ptr();
+        let mut g0 = 0usize;
+        let mut gi = 0usize;
+        while g0 < k {
+            let gend = (g0 + group).min(k);
+            let s = _mm512_loadu_ps(sp.add(gi * NR));
+            let mut kk = g0;
+            while kk + 2 <= gend {
+                let b = _mm_loadu_si128(bp.add((kk / 2) * NR).cast());
+                let w32 = _mm512_cvtepu8_epi32(b);
+                let we = _mm512_srai_epi32(_mm512_slli_epi32(w32, 28), 28);
+                let wo = _mm512_srai_epi32(_mm512_slli_epi32(w32, 24), 28);
+                let wve = _mm512_mul_ps(_mm512_cvtepi32_ps(we), s);
+                let wvo = _mm512_mul_ps(_mm512_cvtepi32_ps(wo), s);
+                vacc = _mm512_fmadd_ps(_mm512_set1_ps(*xp.add(kk)), wve, vacc);
+                vacc = _mm512_fmadd_ps(_mm512_set1_ps(*xp.add(kk + 1)), wvo, vacc);
+                kk += 2;
+            }
+            if kk < gend {
+                // Odd trailing K-step (cannot occur for packed weights,
+                // whose even group divides k — kept for robustness).
+                let b = _mm_loadu_si128(bp.add((kk / 2) * NR).cast());
+                let w32 = _mm512_cvtepu8_epi32(b);
+                let we = _mm512_srai_epi32(_mm512_slli_epi32(w32, 28), 28);
+                let wve = _mm512_mul_ps(_mm512_cvtepi32_ps(we), s);
+                vacc = _mm512_fmadd_ps(_mm512_set1_ps(*xp.add(kk)), wve, vacc);
+            }
+            g0 = gend;
+            gi += 1;
+        }
+        _mm512_storeu_ps(acc.as_mut_ptr(), vacc);
+    }
+}
+
+/// AVX2+FMA fused-dequant Int4 GEMV (two 8-lane halves).
+///
+/// # Safety
+///
+/// Caller must ensure AVX2 and FMA are available; bounds as for
+/// [`gemv_int4_avx512`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+pub unsafe fn gemv_int4_avx2(
+    x: &[f32],
+    bytes: &[u8],
+    scales: &[f32],
+    group: usize,
+    acc: &mut [f32; NR],
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(bytes.len() >= x.len().div_ceil(2) * NR);
+    // SAFETY: As for `gemv_int4_avx512`, split into ymm halves.
+    unsafe {
+        let mut lo = _mm256_loadu_ps(acc.as_ptr());
+        let mut hi = _mm256_loadu_ps(acc.as_ptr().add(8));
+        let bp = bytes.as_ptr();
+        let sp = scales.as_ptr();
+        let k = x.len();
+        let xp = x.as_ptr();
+        let mut g0 = 0usize;
+        let mut gi = 0usize;
+        while g0 < k {
+            let gend = (g0 + group).min(k);
+            let slo = _mm256_loadu_ps(sp.add(gi * NR));
+            let shi = _mm256_loadu_ps(sp.add(gi * NR + 8));
+            let mut kk = g0;
+            while kk < gend {
+                let b = _mm_loadu_si128(bp.add((kk / 2) * NR).cast());
+                let blo = _mm256_cvtepu8_epi32(b);
+                let bhi = _mm256_cvtepu8_epi32(_mm_srli_si128(b, 8));
+                let elo = _mm256_srai_epi32(_mm256_slli_epi32(blo, 28), 28);
+                let ehi = _mm256_srai_epi32(_mm256_slli_epi32(bhi, 28), 28);
+                let ae = _mm256_set1_ps(*xp.add(kk));
+                lo = _mm256_fmadd_ps(ae, _mm256_mul_ps(_mm256_cvtepi32_ps(elo), slo), lo);
+                hi = _mm256_fmadd_ps(ae, _mm256_mul_ps(_mm256_cvtepi32_ps(ehi), shi), hi);
+                if kk + 1 < gend {
+                    let olo = _mm256_srai_epi32(_mm256_slli_epi32(blo, 24), 28);
+                    let ohi = _mm256_srai_epi32(_mm256_slli_epi32(bhi, 24), 28);
+                    let ao = _mm256_set1_ps(*xp.add(kk + 1));
+                    lo = _mm256_fmadd_ps(ao, _mm256_mul_ps(_mm256_cvtepi32_ps(olo), slo), lo);
+                    hi = _mm256_fmadd_ps(ao, _mm256_mul_ps(_mm256_cvtepi32_ps(ohi), shi), hi);
+                }
+                kk += 2;
+            }
+            g0 = gend;
+            gi += 1;
+        }
+        _mm256_storeu_ps(acc.as_mut_ptr(), lo);
+        _mm256_storeu_ps(acc.as_mut_ptr().add(8), hi);
+    }
+}
+
+/// Dispatching fused-dequant BF16 GEMV.
+#[inline]
+pub fn gemv_bf16(x: &[f32], panel: &[Bf16], acc: &mut [f32; NR]) {
+    match effective_simd_level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: level never exceeds the runtime-detected features.
+        SimdLevel::Avx512 => unsafe { gemv_bf16_avx512(x, panel, acc) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: As above.
+        SimdLevel::Avx2Fma => unsafe { gemv_bf16_avx2(x, panel, acc) },
+        _ => gemv_bf16_scalar(x, panel, acc),
+    }
+}
+
+/// Dispatching fused-dequant Int8 GEMV.
+#[inline]
+pub fn gemv_int8(x: &[f32], bytes: &[u8], scales: &[f32], group: usize, acc: &mut [f32; NR]) {
+    match effective_simd_level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: level never exceeds the runtime-detected features.
+        SimdLevel::Avx512 => unsafe { gemv_int8_avx512(x, bytes, scales, group, acc) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: As above.
+        SimdLevel::Avx2Fma => unsafe { gemv_int8_avx2(x, bytes, scales, group, acc) },
+        _ => gemv_int8_scalar(x, bytes, scales, group, acc),
+    }
+}
+
+/// Dispatching fused-dequant Int4 GEMV.
+#[inline]
+pub fn gemv_int4(x: &[f32], bytes: &[u8], scales: &[f32], group: usize, acc: &mut [f32; NR]) {
+    match effective_simd_level() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: level never exceeds the runtime-detected features.
+        SimdLevel::Avx512 => unsafe { gemv_int4_avx512(x, bytes, scales, group, acc) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: As above.
+        SimdLevel::Avx2Fma => unsafe { gemv_int4_avx2(x, bytes, scales, group, acc) },
+        _ => gemv_int4_scalar(x, bytes, scales, group, acc),
+    }
+}
+
+// ---------------------------------------------------------------------
+// SIMD dequant-to-buffer (staging) helpers for the tiled GEMM path.
+//
+// The tiled kernel dequantizes one KC-block of a panel exactly once and
+// reuses it for every activation row — that staging pass is where its
+// dequant cost lives, so it gets the same in-register treatment. Every
+// staged value is exactly `widen(code) * scale` (one IEEE mul), the
+// same value the scalar staging produced, so the staged buffer is
+// bitwise level-independent.
+// ---------------------------------------------------------------------
+
+/// Dequantizes BF16 K-steps `k0..k1` into `buf` (K-major, NR lanes).
+pub fn stage_bf16(panel: &[Bf16], k0: usize, k1: usize, buf: &mut [f32]) {
+    debug_assert!(buf.len() >= (k1 - k0) * NR);
+    #[cfg(target_arch = "x86_64")]
+    if effective_simd_level() >= SimdLevel::Avx2Fma {
+        // SAFETY: AVX2 verified by the level check; bounds per the
+        // debug assertion and the panel layout.
+        unsafe { stage_bf16_avx2(panel, k0, k1, buf) };
+        return;
+    }
+    for (dst, src) in buf[..(k1 - k0) * NR].iter_mut().zip(&panel[k0 * NR..k1 * NR]) {
+        *dst = src.to_f32();
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn stage_bf16_avx2(panel: &[Bf16], k0: usize, k1: usize, buf: &mut [f32]) {
+    use std::arch::x86_64::*;
+    // SAFETY: Caller verified AVX2; each iteration reads one 16-lane
+    // u16 row and writes one 16-lane f32 row, in bounds.
+    unsafe {
+        let wp = panel.as_ptr().cast::<u16>();
+        let dp = buf.as_mut_ptr();
+        for kk in k0..k1 {
+            let h = _mm256_loadu_si256(wp.add(kk * NR).cast());
+            let lo = _mm256_castsi256_ps(_mm256_slli_epi32(
+                _mm256_cvtepu16_epi32(_mm256_castsi256_si128(h)),
+                16,
+            ));
+            let hi = _mm256_castsi256_ps(_mm256_slli_epi32(
+                _mm256_cvtepu16_epi32(_mm256_extracti128_si256(h, 1)),
+                16,
+            ));
+            _mm256_storeu_ps(dp.add((kk - k0) * NR), lo);
+            _mm256_storeu_ps(dp.add((kk - k0) * NR + 8), hi);
+        }
+    }
+}
+
+/// Dequantizes Int8 K-steps `k0..k1` into `buf` (K-major, NR lanes).
+#[allow(clippy::needless_range_loop)]
+pub fn stage_int8(bytes: &[u8], scales: &[f32], group: usize, k0: usize, k1: usize, buf: &mut [f32]) {
+    debug_assert!(buf.len() >= (k1 - k0) * NR);
+    #[cfg(target_arch = "x86_64")]
+    if effective_simd_level() >= SimdLevel::Avx2Fma {
+        // SAFETY: AVX2 verified by the level check; bounds per the
+        // debug assertion and the panel layout.
+        unsafe { stage_int8_avx2(bytes, scales, group, k0, k1, buf) };
+        return;
+    }
+    for kk in k0..k1 {
+        let srow = &scales[(kk / group) * NR..(kk / group) * NR + NR];
+        let brow = &bytes[kk * NR..kk * NR + NR];
+        let drow = &mut buf[(kk - k0) * NR..(kk - k0) * NR + NR];
+        for j in 0..NR {
+            drow[j] = (brow[j] as i8) as f32 * srow[j];
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn stage_int8_avx2(
+    bytes: &[u8],
+    scales: &[f32],
+    group: usize,
+    k0: usize,
+    k1: usize,
+    buf: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    // SAFETY: Caller verified AVX2; loads/stores are one 16-lane row
+    // per K-step, in bounds per the layout contract.
+    unsafe {
+        let bp = bytes.as_ptr();
+        let sp = scales.as_ptr();
+        let dp = buf.as_mut_ptr();
+        for kk in k0..k1 {
+            let codes = _mm_loadu_si128(bp.add(kk * NR).cast());
+            let wlo = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(codes));
+            let whi = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_srli_si128(codes, 8)));
+            let slo = _mm256_loadu_ps(sp.add((kk / group) * NR));
+            let shi = _mm256_loadu_ps(sp.add((kk / group) * NR + 8));
+            _mm256_storeu_ps(dp.add((kk - k0) * NR), _mm256_mul_ps(wlo, slo));
+            _mm256_storeu_ps(dp.add((kk - k0) * NR + 8), _mm256_mul_ps(whi, shi));
+        }
+    }
+}
+
+/// Dequantizes Int4 K-steps `k0..k1` into `buf` (K-major, NR lanes).
+#[allow(clippy::needless_range_loop)]
+pub fn stage_int4(bytes: &[u8], scales: &[f32], group: usize, k0: usize, k1: usize, buf: &mut [f32]) {
+    debug_assert!(buf.len() >= (k1 - k0) * NR);
+    #[cfg(target_arch = "x86_64")]
+    if effective_simd_level() >= SimdLevel::Avx2Fma {
+        // SAFETY: AVX2 verified by the level check; bounds per the
+        // debug assertion and the panel layout.
+        unsafe { stage_int4_avx2(bytes, scales, group, k0, k1, buf) };
+        return;
+    }
+    for kk in k0..k1 {
+        let srow = &scales[(kk / group) * NR..(kk / group) * NR + NR];
+        let brow = &bytes[(kk / 2) * NR..(kk / 2) * NR + NR];
+        let drow = &mut buf[(kk - k0) * NR..(kk - k0) * NR + NR];
+        if kk % 2 == 0 {
+            for j in 0..NR {
+                let code = ((brow[j] & 0x0F) as i8) << 4 >> 4;
+                drow[j] = code as f32 * srow[j];
+            }
+        } else {
+            for j in 0..NR {
+                let code = (brow[j] as i8) >> 4;
+                drow[j] = code as f32 * srow[j];
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn stage_int4_avx2(
+    bytes: &[u8],
+    scales: &[f32],
+    group: usize,
+    k0: usize,
+    k1: usize,
+    buf: &mut [f32],
+) {
+    use std::arch::x86_64::*;
+    // SAFETY: Caller verified AVX2; byte-row loads are 16 bytes at
+    // `(kk/2) * NR`, in bounds per the layout contract.
+    unsafe {
+        let bp = bytes.as_ptr();
+        let sp = scales.as_ptr();
+        let dp = buf.as_mut_ptr();
+        for kk in k0..k1 {
+            let b = _mm_loadu_si128(bp.add((kk / 2) * NR).cast());
+            let blo = _mm256_cvtepu8_epi32(b);
+            let bhi = _mm256_cvtepu8_epi32(_mm_srli_si128(b, 8));
+            let (clo, chi) = if kk % 2 == 0 {
+                (
+                    _mm256_srai_epi32(_mm256_slli_epi32(blo, 28), 28),
+                    _mm256_srai_epi32(_mm256_slli_epi32(bhi, 28), 28),
+                )
+            } else {
+                (
+                    _mm256_srai_epi32(_mm256_slli_epi32(blo, 24), 28),
+                    _mm256_srai_epi32(_mm256_slli_epi32(bhi, 24), 28),
+                )
+            };
+            let slo = _mm256_loadu_ps(sp.add((kk / group) * NR));
+            let shi = _mm256_loadu_ps(sp.add((kk / group) * NR + 8));
+            _mm256_storeu_ps(dp.add((kk - k0) * NR), _mm256_mul_ps(_mm256_cvtepi32_ps(clo), slo));
+            _mm256_storeu_ps(
+                dp.add((kk - k0) * NR + 8),
+                _mm256_mul_ps(_mm256_cvtepi32_ps(chi), shi),
+            );
+        }
     }
 }
 
@@ -270,5 +874,137 @@ mod tests {
         let mut acc = [[2.5f32; NR]; 1];
         microkernel::<1>(a, &staged, 0, &mut acc);
         assert!(acc[0].iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn forced_level_caps_at_detected_and_restores() {
+        let detected = simd_level();
+        assert_eq!(effective_simd_level(), detected);
+        with_forced_simd_level(SimdLevel::Scalar, || {
+            assert_eq!(effective_simd_level(), SimdLevel::Scalar);
+            with_forced_simd_level(SimdLevel::Avx512, || {
+                // Forcing above the host level clamps to detected.
+                assert_eq!(effective_simd_level(), SimdLevel::Avx512.min(detected));
+            });
+            assert_eq!(effective_simd_level(), SimdLevel::Scalar);
+        });
+        assert_eq!(effective_simd_level(), detected);
+    }
+
+    /// Random quantized panel material: codes for `k` K-steps (Int8
+    /// layout k*NR bytes, Int4 ceil(k/2)*NR), scales per group row.
+    fn quant_fixture(k: usize, group: usize, seed: u64) -> (Vec<f32>, Vec<u8>, Vec<f32>) {
+        let mut rng = seeded(seed);
+        let mut x = vec![0.0f32; k];
+        kt_tensor::rng::fill_uniform(&mut rng, &mut x, 1.0);
+        let mut raw = vec![0.0f32; k * NR];
+        kt_tensor::rng::fill_uniform(&mut rng, &mut raw, 128.0);
+        let bytes: Vec<u8> = raw.iter().map(|&v| v as i32 as u8).collect();
+        let groups = k.div_ceil(group);
+        let mut scales = vec![0.0f32; groups * NR];
+        kt_tensor::rng::fill_uniform(&mut rng, &mut scales, 0.1);
+        (x, bytes, scales)
+    }
+
+    fn assert_acc_bits_eq(a: &[f32; NR], b: &[f32; NR], what: &str) {
+        for j in 0..NR {
+            assert_eq!(
+                a[j].to_bits(),
+                b[j].to_bits(),
+                "{what} lane {j}: {} vs {}",
+                a[j],
+                b[j]
+            );
+        }
+    }
+
+    #[test]
+    fn fused_dequant_gemv_bitwise_matches_scalar_at_every_level() {
+        for level in [SimdLevel::Scalar, SimdLevel::Avx2Fma, SimdLevel::Avx512] {
+            if simd_level() < level {
+                continue;
+            }
+            for (k, group) in [(8usize, 8usize), (16, 8), (64, 16), (96, 32), (24, 8)] {
+                let (x, bytes, scales) = quant_fixture(k, group, 11 + k as u64);
+                let halves: Vec<Bf16> = x.iter().map(|&v| Bf16::from_f32(v * 3.0)).collect();
+                let panel: Vec<Bf16> = (0..k * NR).map(|i| halves[i % k]).collect();
+
+                let mut want = [0.25f32; NR];
+                gemv_int8_scalar(&x, &bytes, &scales, group, &mut want);
+                let mut got = [0.25f32; NR];
+                with_forced_simd_level(level, || gemv_int8(&x, &bytes, &scales, group, &mut got));
+                assert_acc_bits_eq(&want, &got, &format!("int8 {level:?} k={k} g={group}"));
+
+                let mut want = [-0.5f32; NR];
+                gemv_int4_scalar(&x, &bytes, &scales, group, &mut want);
+                let mut got = [-0.5f32; NR];
+                with_forced_simd_level(level, || gemv_int4(&x, &bytes, &scales, group, &mut got));
+                assert_acc_bits_eq(&want, &got, &format!("int4 {level:?} k={k} g={group}"));
+
+                let mut want = [1.5f32; NR];
+                gemv_bf16_scalar(&x, &panel, &mut want);
+                let mut got = [1.5f32; NR];
+                with_forced_simd_level(level, || gemv_bf16(&x, &panel, &mut got));
+                assert_acc_bits_eq(&want, &got, &format!("bf16 {level:?} k={k}"));
+            }
+        }
+    }
+
+    #[test]
+    fn staged_dequant_bitwise_matches_scalar_at_every_level() {
+        let k = 64usize;
+        let group = 16usize;
+        let (x, bytes, scales) = quant_fixture(k, group, 99);
+        let panel: Vec<Bf16> = x
+            .iter()
+            .cycle()
+            .take(k * NR)
+            .map(|&v| Bf16::from_f32(v))
+            .collect();
+        for (k0, k1) in [(0usize, k), (16, 48), (8, 24)] {
+            let mut want = vec![0.0f32; (k1 - k0) * NR];
+            with_forced_simd_level(SimdLevel::Scalar, || {
+                stage_int8(&bytes, &scales, group, k0, k1, &mut want)
+            });
+            for level in [SimdLevel::Avx2Fma, SimdLevel::Avx512] {
+                if simd_level() < level {
+                    continue;
+                }
+                let mut got = vec![f32::NAN; (k1 - k0) * NR];
+                with_forced_simd_level(level, || {
+                    stage_int8(&bytes, &scales, group, k0, k1, &mut got)
+                });
+                assert!(
+                    want.iter().zip(&got).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "stage_int8 {level:?} [{k0},{k1})"
+                );
+            }
+
+            let mut want4 = vec![0.0f32; (k1 - k0) * NR];
+            with_forced_simd_level(SimdLevel::Scalar, || {
+                stage_int4(&bytes, &scales, group, k0, k1, &mut want4)
+            });
+            let mut wantb = vec![0.0f32; (k1 - k0) * NR];
+            with_forced_simd_level(SimdLevel::Scalar, || stage_bf16(&panel, k0, k1, &mut wantb));
+            for level in [SimdLevel::Avx2Fma, SimdLevel::Avx512] {
+                if simd_level() < level {
+                    continue;
+                }
+                let mut got4 = vec![f32::NAN; (k1 - k0) * NR];
+                with_forced_simd_level(level, || {
+                    stage_int4(&bytes, &scales, group, k0, k1, &mut got4)
+                });
+                assert!(
+                    want4.iter().zip(&got4).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "stage_int4 {level:?} [{k0},{k1})"
+                );
+                let mut gotb = vec![f32::NAN; (k1 - k0) * NR];
+                with_forced_simd_level(level, || stage_bf16(&panel, k0, k1, &mut gotb));
+                assert!(
+                    wantb.iter().zip(&gotb).all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "stage_bf16 {level:?} [{k0},{k1})"
+                );
+            }
+        }
     }
 }

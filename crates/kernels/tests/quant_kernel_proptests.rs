@@ -1,0 +1,238 @@
+//! Property tests for the fused-dequant GEMV microkernels and the
+//! quantized checkpoint round-trip.
+//!
+//! The serving contract of the int8/int4 hot path is **bitwise**
+//! SIMD-level independence: for every panel, group size, reduction
+//! length and forced SIMD level, the fused-dequant kernels must
+//! produce exactly the bytes of the scalar golden reference (same
+//! widen, one IEEE scale multiply, one correctly-rounded FMA per
+//! K-step, ascending order). That property is what keeps chunked
+//! prefill bitwise-identical to monolithic prefill on quantized
+//! models regardless of which microkernel the dispatcher picks.
+//!
+//! The round-trip property pins the checkpoint format: pack →
+//! write_to → read_from must reproduce the packed payload exactly
+//! (same panel bytes, scales and stored size), so a model loaded from
+//! disk serves bit-identical logits to the freshly packed one.
+
+use kt_kernels::simd::{
+    self, gemv_bf16_scalar, gemv_int4_scalar, gemv_int8_scalar, with_forced_simd_level,
+};
+use kt_kernels::SimdLevel;
+use kt_tensor::rng::{fill_uniform, seeded};
+use kt_tensor::{Matrix, PackedWeights, WeightDtype, NR};
+use proptest::prelude::*;
+
+const LEVELS: [SimdLevel; 3] = [SimdLevel::Scalar, SimdLevel::Avx2Fma, SimdLevel::Avx512];
+
+/// A random matrix packed at `dtype`, plus a random input vector.
+fn packed_fixture(n: usize, k: usize, dtype: WeightDtype, seed: u64) -> (PackedWeights, Vec<f32>) {
+    let mut rng = seeded(seed);
+    let w = Matrix::random_uniform(n, k, 1.0, &mut rng).expect("weights");
+    let packed = PackedWeights::pack(&w, dtype).expect("pack");
+    let mut x = vec![0.0f32; k];
+    fill_uniform(&mut rng, &mut x, 1.0);
+    (packed, x)
+}
+
+/// Dequantized matvec on the unpacked weights (independent reference;
+/// plain mul/add, so compared with a tolerance, not bitwise).
+fn unpacked_matvec(packed: &PackedWeights, x: &[f32]) -> Vec<f32> {
+    let w = packed.unpack();
+    (0..packed.n())
+        .map(|r| {
+            w.row(r)
+                .iter()
+                .zip(x)
+                .map(|(&wv, &xv)| wv as f64 * xv as f64)
+                .sum::<f64>() as f32
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every SIMD level of every fused-dequant GEMV produces exactly
+    /// the scalar golden reference's bytes, across group sizes,
+    /// reduction lengths (including ones that leave an odd int4 tail
+    /// within the last pair) and seeded accumulators; and the shared
+    /// result tracks the unpacked-weight matvec within quantization-
+    /// free rounding error.
+    #[test]
+    fn fused_dequant_gemv_is_bitwise_simd_level_independent(
+        seed in 0u64..1_000,
+        n in 1usize..40,
+        group_sel in 0usize..3,
+        mult in 1usize..5,
+        which in 0usize..3,
+    ) {
+        let group = [8usize, 16, 32][group_sel];
+        let k = group * mult;
+        let dtype = match which {
+            0 => WeightDtype::Bf16,
+            1 => WeightDtype::Int8 { group },
+            _ => WeightDtype::Int4 { group },
+        };
+        let (packed, x) = packed_fixture(n, k, dtype, seed);
+        let reference = unpacked_matvec(&packed, &x);
+
+        for p in 0..packed.n_panels() {
+            // Scalar golden reference for this panel.
+            let mut want = [0.0f32; NR];
+            match dtype {
+                WeightDtype::Bf16 => gemv_bf16_scalar(&x, packed.panel_bf16(p), &mut want),
+                WeightDtype::Int8 { group } => gemv_int8_scalar(
+                    &x, packed.panel_bytes(p), packed.panel_scales(p), group, &mut want,
+                ),
+                WeightDtype::Int4 { group } => gemv_int4_scalar(
+                    &x, packed.panel_bytes(p), packed.panel_scales(p), group, &mut want,
+                ),
+                WeightDtype::F32 => unreachable!(),
+            }
+
+            for level in LEVELS {
+                let mut acc = [0.0f32; NR];
+                with_forced_simd_level(level, || match dtype {
+                    WeightDtype::Bf16 => simd::gemv_bf16(&x, packed.panel_bf16(p), &mut acc),
+                    WeightDtype::Int8 { group } => simd::gemv_int8(
+                        &x, packed.panel_bytes(p), packed.panel_scales(p), group, &mut acc,
+                    ),
+                    WeightDtype::Int4 { group } => simd::gemv_int4(
+                        &x, packed.panel_bytes(p), packed.panel_scales(p), group, &mut acc,
+                    ),
+                    WeightDtype::F32 => unreachable!(),
+                });
+                let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+                let acc_bits: Vec<u32> = acc.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(
+                    &want_bits, &acc_bits,
+                    "panel {} diverged from scalar at {:?} ({:?})", p, level, dtype
+                );
+            }
+
+            // Semantic cross-check against the unpacked weights for the
+            // rows this panel actually covers.
+            for (j, &got) in want.iter().enumerate() {
+                let r = p * NR + j;
+                if r >= packed.n() {
+                    continue;
+                }
+                let err = (got as f64 - reference[r] as f64).abs();
+                let tol = 1e-4 * (1.0 + reference[r].abs() as f64) * k as f64;
+                prop_assert!(
+                    err <= tol,
+                    "row {} off by {} (got {}, want {})", r, err, got, reference[r]
+                );
+            }
+        }
+    }
+
+    /// Staged dequantization (the tiled-GEMM path) is bitwise
+    /// SIMD-level independent over arbitrary `[k0, k1)` windows.
+    #[test]
+    fn staged_dequant_is_bitwise_simd_level_independent(
+        seed in 0u64..1_000,
+        group_sel in 0usize..3,
+        mult in 1usize..5,
+        cut_a in 0usize..160,
+        cut_b in 0usize..160,
+        which in 0usize..3,
+    ) {
+        let group = [8usize, 16, 32][group_sel];
+        let k = group * mult;
+        let (k0, k1) = {
+            let a = cut_a % (k + 1);
+            let b = cut_b % (k + 1);
+            (a.min(b), a.max(b))
+        };
+        let dtype = match which {
+            0 => WeightDtype::Bf16,
+            1 => WeightDtype::Int8 { group },
+            _ => WeightDtype::Int4 { group },
+        };
+        let (packed, _x) = packed_fixture(20, k, dtype, seed);
+
+        for p in 0..packed.n_panels() {
+            let mut want = vec![f32::NAN; (k1 - k0) * NR];
+            with_forced_simd_level(SimdLevel::Scalar, || match dtype {
+                WeightDtype::Bf16 => simd::stage_bf16(packed.panel_bf16(p), k0, k1, &mut want),
+                WeightDtype::Int8 { group } => simd::stage_int8(
+                    packed.panel_bytes(p), packed.panel_scales(p), group, k0, k1, &mut want,
+                ),
+                WeightDtype::Int4 { group } => simd::stage_int4(
+                    packed.panel_bytes(p), packed.panel_scales(p), group, k0, k1, &mut want,
+                ),
+                WeightDtype::F32 => unreachable!(),
+            });
+            for level in LEVELS {
+                let mut buf = vec![f32::NAN; (k1 - k0) * NR];
+                with_forced_simd_level(level, || match dtype {
+                    WeightDtype::Bf16 => simd::stage_bf16(packed.panel_bf16(p), k0, k1, &mut buf),
+                    WeightDtype::Int8 { group } => simd::stage_int8(
+                        packed.panel_bytes(p), packed.panel_scales(p), group, k0, k1, &mut buf,
+                    ),
+                    WeightDtype::Int4 { group } => simd::stage_int4(
+                        packed.panel_bytes(p), packed.panel_scales(p), group, k0, k1, &mut buf,
+                    ),
+                    WeightDtype::F32 => unreachable!(),
+                });
+                let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+                let buf_bits: Vec<u32> = buf.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(
+                    &want_bits, &buf_bits,
+                    "stage window [{}, {}) diverged at {:?} ({:?})", k0, k1, level, dtype
+                );
+            }
+        }
+    }
+
+    /// The checkpoint round-trip of quantized weights is exact: the
+    /// reloaded `PackedWeights` has the same dtype, shape, stored
+    /// size, panel payloads and scales — and therefore serves bitwise
+    /// the same GEMV results.
+    #[test]
+    fn quantized_checkpoint_roundtrip_is_exact(
+        seed in 0u64..1_000,
+        n in 1usize..40,
+        group_sel in 0usize..3,
+        mult in 1usize..5,
+        which in 0usize..4,
+    ) {
+        let group = [8usize, 16, 32][group_sel];
+        let k = group * mult;
+        let dtype = match which {
+            0 => WeightDtype::F32,
+            1 => WeightDtype::Bf16,
+            2 => WeightDtype::Int8 { group },
+            _ => WeightDtype::Int4 { group },
+        };
+        let (packed, x) = packed_fixture(n, k, dtype, seed);
+
+        let mut blob = Vec::new();
+        packed.write_to(&mut blob).expect("serialize");
+        let reloaded = PackedWeights::read_from(&mut blob.as_slice()).expect("deserialize");
+
+        prop_assert_eq!(reloaded.dtype(), packed.dtype());
+        prop_assert_eq!(reloaded.n(), packed.n());
+        prop_assert_eq!(reloaded.k(), packed.k());
+        prop_assert_eq!(reloaded.stored_bytes(), packed.stored_bytes());
+        for p in 0..packed.n_panels() {
+            prop_assert_eq!(reloaded.panel_bytes(p), packed.panel_bytes(p), "panel {} payload", p);
+            prop_assert_eq!(reloaded.panel_scales(p), packed.panel_scales(p), "panel {} scales", p);
+        }
+
+        // The reloaded weights serve the same bits.
+        if let WeightDtype::Int8 { group } = dtype {
+            for p in 0..packed.n_panels() {
+                let mut a = [0.0f32; NR];
+                let mut b = [0.0f32; NR];
+                simd::gemv_int8(&x, packed.panel_bytes(p), packed.panel_scales(p), group, &mut a);
+                simd::gemv_int8(&x, reloaded.panel_bytes(p), reloaded.panel_scales(p), group, &mut b);
+                let a_bits: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+                let b_bits: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(a_bits, b_bits);
+            }
+        }
+    }
+}

@@ -24,7 +24,7 @@ use kt_kernels::dispatch::Backend;
 use kt_kernels::gemm::gemm_rowwise;
 use kt_kernels::moe::{ExpertWeights, FusedMoE, MoeRouting};
 use kt_kernels::schedule::{SchedulePolicy, ThreadPool};
-use kt_tensor::{Matrix, PackedWeights, WeightDtype};
+use kt_tensor::{Matrix, PackedWeights, PrecisionPolicy, WeightDtype};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -92,6 +92,9 @@ impl MoeModel {
     /// expert weights use `expert_dtype` (the paper quantizes experts,
     /// keeping attention in higher precision); everything else is F32.
     ///
+    /// Convenience wrapper over [`MoeModel::random_with`] with
+    /// [`PrecisionPolicy::experts`].
+    ///
     /// # Errors
     ///
     /// Returns [`ModelError::Config`] for invalid configs and propagates
@@ -101,7 +104,31 @@ impl MoeModel {
         expert_dtype: WeightDtype,
         seed: u64,
     ) -> Result<Self, ModelError> {
+        Self::random_with(cfg, &PrecisionPolicy::experts(expert_dtype), seed)
+    }
+
+    /// Builds a model with seeded random weights, packing each weight
+    /// role at the precision the policy assigns it.
+    ///
+    /// The random stream draws full-precision matrices first and packs
+    /// them afterwards, so two models built from the same seed under
+    /// different policies share the exact same underlying weights — the
+    /// foundation for apples-to-apples quantization divergence studies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Config`] for invalid configs or a policy
+    /// whose group sizes do not divide the model dimensions, and
+    /// propagates packing errors.
+    pub fn random_with(
+        cfg: &ModelConfig,
+        precision: &PrecisionPolicy,
+        seed: u64,
+    ) -> Result<Self, ModelError> {
         cfg.validate().map_err(ModelError::config)?;
+        precision
+            .validate(cfg.hidden, cfg.dense_inter, cfg.moe_inter)
+            .map_err(|e| ModelError::config(e.to_string()))?;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut embed = Matrix::zeros(cfg.vocab, cfg.hidden)?;
         kt_tensor::rng::fill_normal(&mut rng, embed.as_mut_slice(), 0.1);
@@ -113,12 +140,12 @@ impl MoeModel {
                 cfg.n_heads,
                 cfg.head_dim,
                 cfg.attention,
-                WeightDtype::F32,
+                precision.attention,
                 &mut rng,
             )?;
             let ffn = if layer < cfg.n_dense_layers {
                 let dense =
-                    ExpertWeights::random(cfg.hidden, cfg.dense_inter, WeightDtype::F32, &mut rng)?;
+                    ExpertWeights::random(cfg.hidden, cfg.dense_inter, precision.dense, &mut rng)?;
                 Ffn::Dense(FusedMoE::new(vec![dense], Backend::HybridAmxAvx512)?)
             } else {
                 let gate_cfg = GateConfig {
@@ -137,7 +164,7 @@ impl MoeModel {
                             ExpertWeights::random(
                                 cfg.hidden,
                                 cfg.moe_inter,
-                                expert_dtype,
+                                precision.shared,
                                 &mut rng,
                             )
                         })
@@ -148,7 +175,7 @@ impl MoeModel {
                 };
                 let experts = (0..cfg.n_routed_experts)
                     .map(|_| {
-                        ExpertWeights::random(cfg.hidden, cfg.moe_inter, expert_dtype, &mut rng)
+                        ExpertWeights::random(cfg.hidden, cfg.moe_inter, precision.routed, &mut rng)
                     })
                     .collect::<Result<Vec<_>, _>>()?;
                 Ffn::Moe {
@@ -167,7 +194,7 @@ impl MoeModel {
 
         let mut head = Matrix::zeros(cfg.vocab, cfg.hidden)?;
         kt_tensor::rng::fill_normal(&mut rng, head.as_mut_slice(), 0.05);
-        let lm_head = PackedWeights::pack(&head, WeightDtype::F32)?;
+        let lm_head = PackedWeights::pack(&head, precision.lm_head)?;
         let rope = Rope::new(cfg.head_dim, cfg.max_seq, cfg.rope_theta);
         Ok(MoeModel {
             cfg: cfg.clone(),

@@ -496,6 +496,38 @@ mod tests {
     }
 
     #[test]
+    fn stats_text_reports_expert_weight_bytes_with_dtype_label() {
+        use kt_tensor::PrecisionPolicy;
+        let cfg_model = ModelPreset::DeepSeekV3.tiny_config();
+        let engine = Arc::new(
+            HybridEngine::random(
+                &cfg_model,
+                EngineConfig {
+                    n_cpu_workers: 2,
+                    backend: kt_kernels::dispatch::Backend::TiledOnly,
+                    precision: PrecisionPolicy::quantized_serving(8),
+                    seed: 21,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
+        let server = Server::start(engine, cfg(2)).unwrap();
+        let result = server.submit(Request::greedy(&[1, 2, 3], 4)).wait();
+        assert!(result.is_completed());
+        let stats = server.stats();
+        assert_eq!(stats.expert_weight_dtype, "int4");
+        assert!(stats.expert_weight_bytes > 0);
+        let text = server.stats_text();
+        let line = format!(
+            "kt_expert_weight_bytes{{dtype=\"int4\"}} {}",
+            stats.expert_weight_bytes
+        );
+        assert!(text.contains(&line), "missing {line:?} in:\n{text}");
+        server.shutdown();
+    }
+
+    #[test]
     fn queue_wait_recorded_for_requests_cancelled_while_queued() {
         let server = Server::start(engine(11), cfg(1)).unwrap();
         // Keep the single batch slot busy so the next request queues.

@@ -341,7 +341,8 @@ impl Server {
     /// `prefill_chunk == 0`, `step_token_budget < prefill_chunk`, or
     /// an [`SloPolicy`] with an unmeetable class target — zero, or a
     /// TTFT target below the class's ITL target, i.e. below one step's
-    /// worth of budget) instead of papering over it.
+    /// worth of budget, or a precision policy whose quantization groups
+    /// do not divide the model dimensions) instead of papering over it.
     pub fn start(engine: Arc<HybridEngine>, cfg: ServerConfig) -> Result<Server, EngineError> {
         if cfg.max_batch == 0 {
             return Err(EngineError::config("ServerConfig.max_batch must be nonzero"));
@@ -357,6 +358,17 @@ impl Server {
         }
         if cfg.min_prefix_len == 0 {
             return Err(EngineError::config("ServerConfig.min_prefix_len must be nonzero"));
+        }
+        // A precision policy whose group sizes do not divide the model
+        // dimensions could never have packed these weights; reject the
+        // inconsistent configuration up front.
+        {
+            let mcfg = engine.config();
+            engine
+                .engine_config()
+                .precision
+                .validate(mcfg.hidden, mcfg.dense_inter, mcfg.moe_inter)
+                .map_err(|e| EngineError::config(e.to_string()))?;
         }
         // Under dynamic placement the expert cache must at least hold
         // one routed expert, or it can never admit anything and every
@@ -492,6 +504,12 @@ impl Server {
         if let Some(x) = self.inner.engine.expert_cache_stats() {
             s.set_expert_cache(&x);
         }
+        if let (Some(bytes), Some(dtype)) = (
+            self.inner.engine.expert_weight_bytes(),
+            self.inner.engine.expert_weight_dtype(),
+        ) {
+            s.set_weight_precision(bytes as u64, dtype.name());
+        }
         s
     }
 
@@ -612,6 +630,17 @@ impl Server {
         g(&mut out, "kt_prefix_entries", "Prefix segments currently resident.", s.prefix_entries as f64);
         g(&mut out, "kt_expert_cache_resident_bytes", "Bytes held by vGPU-resident experts.", s.expert_cache_resident_bytes as f64);
         g(&mut out, "kt_expert_cache_entries", "Experts currently vGPU-resident.", s.expert_cache_entries as f64);
+        // Weight-precision gauge with the routed experts' storage dtype
+        // as a label, so dashboards can key bandwidth/footprint math on
+        // the serving precision.
+        if !s.expert_weight_dtype.is_empty() {
+            out.push_str(&format!(
+                "# HELP kt_expert_weight_bytes Stored bytes of one routed expert's packed weights.\n\
+                 # TYPE kt_expert_weight_bytes gauge\n\
+                 kt_expert_weight_bytes{{dtype=\"{}\"}} {}\n",
+                s.expert_weight_dtype, s.expert_weight_bytes
+            ));
+        }
         g(&mut out, "kt_kv_leases_in_use", "KV caches currently leased to sequences.", s.kv_leases_in_use as f64);
         g(&mut out, "kt_kv_leases_free", "Reset KV caches parked in the pool.", s.kv_leases_free as f64);
         g(&mut out, "kt_kv_leases_peak", "High-water mark of concurrent leases.", s.kv_leases_peak as f64);

@@ -26,6 +26,7 @@ pub mod alloc;
 pub mod bf16;
 pub mod error;
 pub mod matrix;
+pub mod precision;
 pub mod quant;
 pub mod rng;
 pub mod serial;
@@ -36,6 +37,7 @@ pub use alloc::AlignedBuf;
 pub use bf16::Bf16;
 pub use error::TensorError;
 pub use matrix::Matrix;
+pub use precision::PrecisionPolicy;
 pub use quant::{QuantDtype, QuantizedMatrix};
 pub use tile::{PackedWeights, WeightDtype, NR};
 pub use workspace::{set_arena_alloc_hook, ArenaStats, ScratchArena};

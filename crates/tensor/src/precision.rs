@@ -1,0 +1,199 @@
+//! Per-role weight precision policy for quantized serving.
+//!
+//! The paper's deployments quantize the expert weights (which dominate
+//! both the parameter count and the decode-time memory traffic) while
+//! keeping attention and the LM head in full precision. A
+//! [`PrecisionPolicy`] captures that per-role choice explicitly: one
+//! [`WeightDtype`] per weight role (attention projections, dense FFN,
+//! shared experts, routed experts, LM head), replacing a single global
+//! "expert dtype" knob. The policy is validated up front against the
+//! model dimensions so group-size/reduction-dim mismatches fail at
+//! configuration time rather than deep inside weight packing.
+
+use crate::error::TensorError;
+use crate::tile::WeightDtype;
+
+/// Weight dtype per model weight role.
+///
+/// The defaults are full precision everywhere; [`PrecisionPolicy::experts`]
+/// reproduces the historical single-knob behavior (quantize shared +
+/// routed experts, keep the rest F32) and
+/// [`PrecisionPolicy::quantized_serving`] is the serving preset from the
+/// paper's hybrid deployments: routed experts int4, shared experts and
+/// dense FFN int8, attention and LM head full precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrecisionPolicy {
+    /// Attention projection weights (q/k/v/output, MLA latents).
+    pub attention: WeightDtype,
+    /// Dense (non-MoE) FFN layers.
+    pub dense: WeightDtype,
+    /// Always-on shared experts.
+    pub shared: WeightDtype,
+    /// Routed (top-k gated) experts — the decode bandwidth hot spot.
+    pub routed: WeightDtype,
+    /// LM head projection.
+    pub lm_head: WeightDtype,
+}
+
+impl Default for PrecisionPolicy {
+    fn default() -> Self {
+        Self::all(WeightDtype::F32)
+    }
+}
+
+impl PrecisionPolicy {
+    /// Uses `dtype` for every weight role.
+    pub fn all(dtype: WeightDtype) -> Self {
+        PrecisionPolicy {
+            attention: dtype,
+            dense: dtype,
+            shared: dtype,
+            routed: dtype,
+            lm_head: dtype,
+        }
+    }
+
+    /// Quantizes shared + routed experts to `dtype`, keeping attention,
+    /// dense FFN and the LM head in F32 — the semantics of the old
+    /// global `expert_dtype` knob.
+    pub fn experts(dtype: WeightDtype) -> Self {
+        PrecisionPolicy {
+            shared: dtype,
+            routed: dtype,
+            ..Self::default()
+        }
+    }
+
+    /// The quantized-serving preset: routed experts int4, shared experts
+    /// and dense FFN int8 (both with `group`-wise scales), attention and
+    /// LM head full precision.
+    pub fn quantized_serving(group: usize) -> Self {
+        PrecisionPolicy {
+            dense: WeightDtype::Int8 { group },
+            shared: WeightDtype::Int8 { group },
+            routed: WeightDtype::Int4 { group },
+            ..Self::default()
+        }
+    }
+
+    /// The widest-footprint role dtype used for expert weights (routed
+    /// wins ties; shared only matters when routed is full precision).
+    pub fn expert_dtypes(&self) -> [WeightDtype; 2] {
+        [self.routed, self.shared]
+    }
+
+    /// True when any role is stored quantized (Int8/Int4).
+    pub fn any_quantized(&self) -> bool {
+        [self.attention, self.dense, self.shared, self.routed, self.lm_head]
+            .iter()
+            .any(|d| d.group().is_some())
+    }
+
+    /// Validates every role's dtype against the reduction dimensions its
+    /// packed matrices will see: `hidden` feeds all roles, `dense_inter`
+    /// the dense FFN down-projection, `moe_inter` the expert
+    /// down-projections.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::Quant`] when a group size is zero, odd for
+    /// Int4, or does not divide a reduction dimension the role packs.
+    pub fn validate(
+        &self,
+        hidden: usize,
+        dense_inter: usize,
+        moe_inter: usize,
+    ) -> Result<(), TensorError> {
+        let check = |role: &str, dtype: WeightDtype, ks: &[usize]| -> Result<(), TensorError> {
+            let Some(group) = dtype.group() else {
+                return Ok(());
+            };
+            if group == 0 {
+                return Err(TensorError::quant(format!("{role}: group must be nonzero")));
+            }
+            if matches!(dtype, WeightDtype::Int4 { .. }) && group % 2 != 0 {
+                return Err(TensorError::quant(format!(
+                    "{role}: Int4 group must be even, got {group}"
+                )));
+            }
+            for &k in ks {
+                if k % group != 0 {
+                    return Err(TensorError::quant(format!(
+                        "{role}: group {group} does not divide reduction dim {k}"
+                    )));
+                }
+            }
+            Ok(())
+        };
+        check("attention", self.attention, &[hidden])?;
+        check("dense", self.dense, &[hidden, dense_inter])?;
+        check("shared", self.shared, &[hidden, moe_inter])?;
+        check("routed", self.routed, &[hidden, moe_inter])?;
+        check("lm_head", self.lm_head, &[hidden])?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_full_precision() {
+        let p = PrecisionPolicy::default();
+        assert_eq!(p.attention, WeightDtype::F32);
+        assert_eq!(p.routed, WeightDtype::F32);
+        assert!(!p.any_quantized());
+    }
+
+    #[test]
+    fn experts_preset_matches_old_expert_dtype_semantics() {
+        let p = PrecisionPolicy::experts(WeightDtype::Int8 { group: 16 });
+        assert_eq!(p.shared, WeightDtype::Int8 { group: 16 });
+        assert_eq!(p.routed, WeightDtype::Int8 { group: 16 });
+        assert_eq!(p.attention, WeightDtype::F32);
+        assert_eq!(p.dense, WeightDtype::F32);
+        assert_eq!(p.lm_head, WeightDtype::F32);
+        assert!(p.any_quantized());
+    }
+
+    #[test]
+    fn quantized_serving_preset() {
+        let p = PrecisionPolicy::quantized_serving(32);
+        assert_eq!(p.routed, WeightDtype::Int4 { group: 32 });
+        assert_eq!(p.shared, WeightDtype::Int8 { group: 32 });
+        assert_eq!(p.dense, WeightDtype::Int8 { group: 32 });
+        assert_eq!(p.attention, WeightDtype::F32);
+        assert_eq!(p.lm_head, WeightDtype::F32);
+    }
+
+    #[test]
+    fn validate_accepts_divisible_groups() {
+        let p = PrecisionPolicy::quantized_serving(16);
+        assert!(p.validate(64, 128, 96).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_group_not_dividing_hidden() {
+        let p = PrecisionPolicy::experts(WeightDtype::Int4 { group: 16 });
+        let err = p.validate(24, 48, 48).unwrap_err();
+        assert!(err.to_string().contains("does not divide"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_odd_int4_group() {
+        let p = PrecisionPolicy::experts(WeightDtype::Int4 { group: 3 });
+        assert!(p.validate(24, 48, 48).is_err());
+    }
+
+    #[test]
+    fn validate_checks_moe_inter_for_routed_only_roles() {
+        let p = PrecisionPolicy {
+            routed: WeightDtype::Int8 { group: 32 },
+            ..Default::default()
+        };
+        // hidden divisible, moe_inter not.
+        assert!(p.validate(64, 48, 40).is_err());
+        assert!(p.validate(64, 48, 64).is_ok());
+    }
+}

@@ -64,6 +64,17 @@ impl WeightDtype {
         }
     }
 
+    /// Short lowercase name for metric labels and logs ("f32", "bf16",
+    /// "int8", "int4" — group size elided).
+    pub fn name(self) -> &'static str {
+        match self {
+            WeightDtype::F32 => "f32",
+            WeightDtype::Bf16 => "bf16",
+            WeightDtype::Int8 { .. } => "int8",
+            WeightDtype::Int4 { .. } => "int4",
+        }
+    }
+
     /// Quantization group size, if any.
     pub fn group(self) -> Option<usize> {
         match self {

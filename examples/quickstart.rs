@@ -5,7 +5,7 @@
 
 use ktransformers::core::{EngineConfig, HybridEngine, SchedMode};
 use ktransformers::model::ModelPreset;
-use ktransformers::tensor::WeightDtype;
+use ktransformers::tensor::{PrecisionPolicy, WeightDtype};
 
 fn main() {
     // 1. Pick an architecture. `tiny_config` keeps DeepSeek-V3's shape
@@ -25,7 +25,7 @@ fn main() {
             n_cpu_workers: 2,
             mode: SchedMode::AsyncGraph,
             n_deferred: 3,
-            expert_dtype: WeightDtype::Int4 { group: 16 },
+            precision: PrecisionPolicy::experts(WeightDtype::Int4 { group: 16 }),
             seed: 42,
             ..Default::default()
         },

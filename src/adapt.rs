@@ -7,7 +7,7 @@ use kt_core::{EngineConfig, HybridEngine};
 use kt_inject::{inject, InjectError, ModuleTree, OperatorRegistry};
 use kt_kernels::dispatch::Backend;
 use kt_model::ModelConfig;
-use kt_tensor::WeightDtype;
+use kt_tensor::{PrecisionPolicy, WeightDtype};
 
 /// Everything derived from applying a rule file to a model.
 #[derive(Debug)]
@@ -78,11 +78,17 @@ pub fn adapt(cfg: &ModelConfig, yaml_rules: &str) -> Result<AdaptedModel, Inject
     let backend = kwarg("backend")
         .and_then(Backend::parse)
         .unwrap_or_default();
-    let expert_dtype = match kwarg("data_type") {
-        Some("Int4") => WeightDtype::Int4 { group: 16 },
-        Some("Int8") => WeightDtype::Int8 { group: 16 },
-        Some("BF16") => WeightDtype::Bf16,
-        _ => WeightDtype::F32,
+    // `data_type` quantizes the experts (the historical knob);
+    // `precision: "quantized_serving"` selects the full per-role serving
+    // preset (routed int4, shared/dense int8, attention + head F32).
+    let precision = match kwarg("precision") {
+        Some("quantized_serving") => PrecisionPolicy::quantized_serving(16),
+        _ => match kwarg("data_type") {
+            Some("Int4") => PrecisionPolicy::experts(WeightDtype::Int4 { group: 16 }),
+            Some("Int8") => PrecisionPolicy::experts(WeightDtype::Int8 { group: 16 }),
+            Some("BF16") => PrecisionPolicy::experts(WeightDtype::Bf16),
+            _ => PrecisionPolicy::default(),
+        },
     };
     let n_deferred = kwarg("n_deferred_experts")
         .and_then(|v| v.parse().ok())
@@ -95,7 +101,7 @@ pub fn adapt(cfg: &ModelConfig, yaml_rules: &str) -> Result<AdaptedModel, Inject
         engine_config: EngineConfig {
             n_deferred,
             n_gpu_experts,
-            expert_dtype,
+            precision,
             backend,
             ..Default::default()
         },
@@ -148,11 +154,29 @@ mod tests {
         assert_eq!(adapted.engine_config.n_deferred, 2);
         assert_eq!(adapted.engine_config.n_gpu_experts, 3);
         assert!(matches!(
-            adapted.engine_config.expert_dtype,
+            adapted.engine_config.precision.routed,
             WeightDtype::Int8 { .. }
         ));
+        assert!(matches!(
+            adapted.engine_config.precision.shared,
+            WeightDtype::Int8 { .. }
+        ));
+        assert_eq!(adapted.engine_config.precision.attention, WeightDtype::F32);
         assert_eq!(adapted.backend, Backend::HybridAmxAvx512);
         assert_eq!(adapted.replacements, cfg.n_moe_layers());
+    }
+
+    #[test]
+    fn precision_preset_kwarg_selects_serving_policy() {
+        let cfg = ModelPreset::DeepSeekV3.tiny_config();
+        let rules = RULES.replace("data_type: \"Int8\"", "precision: \"quantized_serving\"");
+        let adapted = adapt(&cfg, &rules).unwrap();
+        let p = adapted.engine_config.precision;
+        assert!(matches!(p.routed, WeightDtype::Int4 { .. }));
+        assert!(matches!(p.shared, WeightDtype::Int8 { .. }));
+        assert!(matches!(p.dense, WeightDtype::Int8 { .. }));
+        assert_eq!(p.attention, WeightDtype::F32);
+        assert_eq!(p.lm_head, WeightDtype::F32);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use ktransformers::core::{DeviceKind, EngineConfig, HybridEngine, PlacementPlan,
 use ktransformers::inject::{inject, ModuleTree, OperatorRegistry};
 use ktransformers::kernels::dispatch::Backend;
 use ktransformers::model::{ExecMode, ModelPreset, MoeModel};
-use ktransformers::tensor::WeightDtype;
+use ktransformers::tensor::{PrecisionPolicy, WeightDtype};
 
 /// A quantized-deployment rule file in the paper's format.
 const CONFIG: &str = r#"
@@ -56,7 +56,7 @@ fn engine_config_from_yaml(tree_cfg: &str) -> (EngineConfig, Backend) {
             n_cpu_workers: 2,
             mode: SchedMode::AsyncGraph,
             n_deferred,
-            expert_dtype: dtype,
+            precision: PrecisionPolicy::experts(dtype),
             seed: 99,
             ..Default::default()
         },
@@ -69,7 +69,7 @@ fn yaml_config_drives_the_engine() {
     let (econfig, backend) = engine_config_from_yaml(CONFIG);
     assert_eq!(backend, Backend::HybridAmxAvx512);
     assert_eq!(econfig.n_deferred, 3);
-    assert!(matches!(econfig.expert_dtype, WeightDtype::Int4 { .. }));
+    assert!(matches!(econfig.precision.routed, WeightDtype::Int4 { .. }));
 
     let cfg = ModelPreset::DeepSeekV3.tiny_config();
     let engine = HybridEngine::random(&cfg, econfig).expect("engine");
@@ -193,7 +193,7 @@ fn all_presets_run_end_to_end_with_quantized_experts() {
                 n_cpu_workers: 2,
                 mode: SchedMode::AsyncGraph,
                 n_deferred: 2,
-                expert_dtype: WeightDtype::Int8 { group: 16 },
+                precision: PrecisionPolicy::experts(WeightDtype::Int8 { group: 16 }),
                 seed: 11,
                 ..Default::default()
             },
