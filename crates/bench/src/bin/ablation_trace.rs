@@ -8,17 +8,29 @@
 //! interleave rep by rep — sequential arms would let host-noise drift
 //! masquerade as overhead.
 //!
+//! A fourth child arm, `flight`, exercises the tail-latency flight
+//! recorder end to end: tracing on, a `kt_serve::Server` with
+//! impossible (1 ns) SLO targets so every request violates and must be
+//! captured, reporting how many waterfalls froze and what fraction of
+//! the measured end-to-end time the attributed components explain.
+//!
 //! Modes:
-//! * default — timed run: prints peak tokens/s for all three arms
-//!   over several repetitions plus the relative overheads, and writes
+//! * default — timed run: prints peak tokens/s for the three decode
+//!   arms plus the flight arm's capture/coverage numbers, and writes
 //!   `BENCH_trace.json`.
-//! * `--smoke` — CI gate: short run asserting the disabled-after-enable
-//!   arm stays within 3% of the never-enabled baseline (the "tracing
-//!   off is free" claim); exits nonzero otherwise.
+//! * `--smoke` — CI gate: short run asserting (a) the
+//!   disabled-after-enable arm stays within 3% of the never-enabled
+//!   baseline (the "tracing off is free" claim, with the flight
+//!   recorder compiled in), (b) the recorder captured every induced
+//!   SLO violation, and (c) attribution components sum to at least 90%
+//!   of the measured end-to-end time in aggregate; exits nonzero
+//!   otherwise.
 
 use kt_core::{EngineConfig, HybridEngine, SchedMode};
 use kt_model::{config::ModelConfig, ModelPreset};
+use kt_serve::{Request, Server, ServerConfig, SloPolicy, SloTarget};
 use std::process::Command;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn trace_config() -> ModelConfig {
@@ -69,13 +81,112 @@ fn peak(xs: &[f64]) -> f64 {
     xs.iter().copied().fold(f64::MIN, f64::max)
 }
 
+/// Median per-repetition paired overhead of `arm` vs `base`, in
+/// percent. The arms interleave within each repetition, so the
+/// rep-local ratio cancels host drift that spans repetitions —
+/// comparing each arm's global peak instead lets one lucky baseline
+/// rep fail the gate on a noisy runner. The median then discards
+/// outlier pairs in either direction; a real systematic cost shifts
+/// the whole distribution and survives it.
+fn paired_overhead_pct(base: &[f64], arm: &[f64]) -> f64 {
+    let mut pairs: Vec<f64> = base
+        .iter()
+        .zip(arm)
+        .map(|(b, a)| (b - a) / b * 100.0)
+        .collect();
+    pairs.sort_by(f64::total_cmp);
+    pairs[pairs.len() / 2]
+}
+
+/// Flight-recorder arm: serve a small workload through a server whose
+/// SLO targets (1 ns) no request can meet, with shedding off — every
+/// request completes, violates, and must freeze into the recorder.
+/// Reports serve throughput, how many waterfalls were captured, and
+/// the aggregate attribution coverage (attributed component time over
+/// measured queue-wait + TTFT + decode time).
+fn flight_run(n_decode: usize) {
+    kt_trace::enable();
+    let cfg = trace_config();
+    let engine = Arc::new(
+        HybridEngine::random(
+            &cfg,
+            EngineConfig {
+                n_cpu_workers: 1,
+                mode: SchedMode::AsyncGraph,
+                n_deferred: 2,
+                seed: 17,
+                ..Default::default()
+            },
+        )
+        .expect("engine"),
+    );
+    let policy = SloPolicy {
+        targets: [SloTarget { ttft_ns: 1, itl_ns: 1 }; 3],
+        shed: false,
+    };
+    let server = Server::start(
+        engine,
+        ServerConfig {
+            max_batch: 2,
+            prefill_chunk: 8,
+            step_token_budget: 16,
+            slo: Some(policy),
+            ..Default::default()
+        },
+    )
+    .expect("server");
+    // 4 requests of 16-token prompts (2 chunks each) sharing the
+    // 2-wide batch; generation length scales with the smoke/full knob.
+    let max_new = (n_decode / 8).max(4);
+    let prompts: Vec<Vec<u32>> = (0..4u32)
+        .map(|i| (0..16).map(|t| (t * 5 + i + 1) % 250).collect())
+        .collect();
+    let start = Instant::now();
+    let handles: Vec<_> = prompts
+        .iter()
+        .map(|p| server.submit(Request::greedy(p, max_new)))
+        .collect();
+    let ids: Vec<u64> = handles.iter().map(|h| h.id()).collect();
+    let mut tokens = 0usize;
+    for h in handles {
+        let r = h.wait();
+        assert!(r.is_completed(), "flight workload completes: {:?}", r.outcome);
+        tokens += r.tokens.len();
+    }
+    let tok_s = tokens as f64 / start.elapsed().as_secs_f64();
+    let captured = server.captured_request_ids();
+    let captured_all = ids.iter().filter(|id| captured.contains(id)).count();
+    let (mut attributed, mut measured) = (0u64, 0u64);
+    for &id in &ids {
+        let b = server.breakdown(id).expect("breakdown retained");
+        attributed += b.total_ns();
+        measured += b.measured_total_ns();
+    }
+    let coverage_pct = if measured == 0 {
+        0.0
+    } else {
+        attributed as f64 / measured as f64 * 100.0
+    };
+    println!("child_tokens_per_s {tok_s:.3}");
+    println!("child_captured {captured_all} of {}", ids.len());
+    println!("child_coverage_pct {coverage_pct:.2}");
+    server.shutdown();
+}
+
 /// Child mode: run exactly one arm and report its throughput (and, for
 /// the `on` arm, how many spans survived in the rings) on stdout.
 fn run_child_arm(arm: &str, n_decode: usize) {
     match arm {
+        "flight" => return flight_run(n_decode),
         // Never-enabled: span sites see tracing structurally untouched
-        // — exactly the shipping default.
-        "baseline" => {}
+        // — exactly the shipping default. Runs the same short warmup
+        // engine as the `off` arm (just without ever enabling tracing)
+        // so both arms enter the timed window with identical allocator
+        // history; otherwise the off arm's extra engine lifetime shows
+        // up as a phantom percent or two of "overhead".
+        "baseline" => {
+            decode_run(8);
+        }
         // Disabled after having been enabled: a warmup run records
         // spans, then `disable()` leaves every span site paying one
         // relaxed bool load. This is the arm the 3% gate holds to the
@@ -119,6 +230,37 @@ fn spawn_arm(arm: &str, n_decode: usize) -> (f64, usize) {
     (tok_s.expect("child printed throughput"), spans)
 }
 
+/// Spawns one flight-recorder repetition; returns (tokens/s, captured,
+/// submitted, coverage %).
+fn spawn_flight(n_decode: usize) -> (f64, usize, usize, f64) {
+    let exe = std::env::current_exe().expect("current exe");
+    let out = Command::new(exe)
+        .env("KT_TRACE_BENCH_ARM", "flight")
+        .env("KT_TRACE_BENCH_DECODES", n_decode.to_string())
+        .output()
+        .expect("spawn flight arm");
+    assert!(out.status.success(), "flight arm failed: {out:?}");
+    let stdout = String::from_utf8(out.stdout).expect("child stdout utf8");
+    let (mut tok_s, mut captured, mut total, mut coverage) = (None, 0usize, 0usize, None);
+    for line in stdout.lines() {
+        if let Some(v) = line.strip_prefix("child_tokens_per_s ") {
+            tok_s = Some(v.parse().expect("tokens/s"));
+        } else if let Some(v) = line.strip_prefix("child_captured ") {
+            let (c, t) = v.split_once(" of ").expect("captured form");
+            captured = c.parse().expect("captured count");
+            total = t.parse().expect("submitted count");
+        } else if let Some(v) = line.strip_prefix("child_coverage_pct ") {
+            coverage = Some(v.parse().expect("coverage"));
+        }
+    }
+    (
+        tok_s.expect("flight printed throughput"),
+        captured,
+        total,
+        coverage.expect("flight printed coverage"),
+    )
+}
+
 fn main() {
     if let Ok(arm) = std::env::var("KT_TRACE_BENCH_ARM") {
         let n_decode: usize = std::env::var("KT_TRACE_BENCH_DECODES")
@@ -130,7 +272,12 @@ fn main() {
     }
 
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let (n_decode, reps) = if smoke { (96usize, 7usize) } else { (256usize, 7usize) };
+    // The smoke gate needs enough repetitions that the median paired
+    // overhead resolves 3% against per-child scheduler jitter of a few
+    // percent: 41 pairs put the median's standard error near 1% while
+    // the whole run (children are ~0.1 s each) stays around ten
+    // seconds. The timed full run keeps fewer, longer-lived reps.
+    let (n_decode, reps) = if smoke { (256usize, 41usize) } else { (256usize, 7usize) };
 
     let mut baseline = Vec::with_capacity(reps);
     let mut off = Vec::with_capacity(reps);
@@ -144,11 +291,15 @@ fn main() {
         spans_recorded = spans;
     }
 
+    // The flight arm measures capture completeness and attribution
+    // coverage rather than overhead, so one fresh-process run suffices.
+    let (flight_tok_s, captured, submitted, coverage_pct) = spawn_flight(n_decode);
+
     let base = peak(&baseline);
     let off_m = peak(&off);
     let on_m = peak(&on);
-    let off_overhead = (base - off_m) / base * 100.0;
-    let on_overhead = (base - on_m) / base * 100.0;
+    let off_overhead = paired_overhead_pct(&baseline, &off);
+    let on_overhead = paired_overhead_pct(&baseline, &on);
 
     println!("baseline_tokens_per_s {base:.1}");
     println!("tracing_off_tokens_per_s {off_m:.1}");
@@ -156,11 +307,17 @@ fn main() {
     println!("tracing_off_overhead_pct {off_overhead:.2}");
     println!("tracing_on_overhead_pct {on_overhead:.2}");
     println!("spans_recorded_while_on {spans_recorded}");
+    println!("flight_tokens_per_s {flight_tok_s:.1}");
+    println!("flight_captured {captured} of {submitted}");
+    println!("flight_coverage_pct {coverage_pct:.2}");
     let json = format!(
         "{{\"baseline_tok_s\":{base:.1},\"off_tok_s\":{off_m:.1},\
          \"on_tok_s\":{on_m:.1},\"off_overhead_pct\":{off_overhead:.2},\
-         \"on_overhead_pct\":{on_overhead:.2},\"n_decode\":{n_decode},\
-         \"reps\":{reps}}}"
+         \"on_overhead_pct\":{on_overhead:.2},\
+         \"flight_tok_s\":{flight_tok_s:.1},\"flight_captured\":{captured},\
+         \"flight_submitted\":{submitted},\
+         \"flight_coverage_pct\":{coverage_pct:.2},\
+         \"n_decode\":{n_decode},\"reps\":{reps}}}"
     );
     println!("trace_overhead_json {json}");
     if !smoke {
@@ -169,18 +326,39 @@ fn main() {
 
     assert!(spans_recorded > 0, "tracing-on arm recorded no spans");
     if smoke {
-        // 3% gate on peak-vs-peak: interleaved fresh-process arms plus
-        // the max estimator keep shared-runner noise out of the margin.
+        let mut failed = false;
+        // 3% gate on the best rep-paired overhead: interleaved
+        // fresh-process arms plus the pairing keep shared-runner noise
+        // out of the margin.
         if off_overhead > 3.0 {
             eprintln!(
                 "SMOKE FAIL: tracing-off decode is {off_overhead:.2}% slower than \
                  the never-enabled baseline (gate: 3%)"
             );
+            failed = true;
+        }
+        if captured != submitted {
+            eprintln!(
+                "SMOKE FAIL: flight recorder captured {captured} of {submitted} \
+                 induced SLO violations (gate: all)"
+            );
+            failed = true;
+        }
+        if coverage_pct < 90.0 {
+            eprintln!(
+                "SMOKE FAIL: attribution explains {coverage_pct:.2}% of measured \
+                 end-to-end time (gate: 90%)"
+            );
+            failed = true;
+        }
+        if failed {
             std::process::exit(1);
         }
         println!(
             "SMOKE OK: tracing-off within {off_overhead:.2}% of baseline \
-             (gate 3%); tracing-on overhead {on_overhead:.2}%"
+             (gate 3%); tracing-on overhead {on_overhead:.2}%; flight recorder \
+             captured {captured}/{submitted} violations with {coverage_pct:.2}% \
+             attribution coverage"
         );
     }
 }

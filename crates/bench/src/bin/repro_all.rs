@@ -16,8 +16,11 @@ fn main() {
     ];
     // ablation_hotpath and ablation_prefill are excluded: they are
     // timed/artifact-writing runs with their own CI smoke modes.
-    // ablation_trace also has a smoke mode but is cheap enough to run
-    // in full here (it writes BENCH_trace.json). ablation_prefix,
+    // ablation_trace also has a smoke mode (which additionally gates
+    // flight-recorder capture and attribution coverage) but is cheap
+    // enough to run in full here — its full run also exercises the
+    // flight arm and writes the capture/coverage numbers into
+    // BENCH_trace.json. ablation_prefix,
     // ablation_slo, ablation_placement and ablation_quant run in smoke
     // mode under --quick and in full (artifact-writing) mode otherwise.
     let exe = std::env::current_exe().expect("current exe");

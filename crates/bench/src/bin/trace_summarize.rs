@@ -1,0 +1,281 @@
+//! Summarizes exported per-request trace JSON: "why was this token
+//! slow?" without opening Perfetto.
+//!
+//! Reads a Chrome-trace JSON array produced by
+//! `Server::export_request_trace` / `Server::export_captured_traces`
+//! (or any file containing the flight recorder's per-request track
+//! groups) and prints one table row per request: SLO class, outcome,
+//! violation flag, TTFT, ITL p50/p99, and the top-3 latency components
+//! by attributed time.
+//!
+//! Usage: `trace_summarize <trace.json>` (or `-` / no argument for
+//! stdin).
+//!
+//! The exporter writes one event per line with flat `args`, so the
+//! parsing here is line-oriented string slicing — the same approach
+//! the integration tests use — rather than a JSON dependency.
+
+use std::collections::BTreeMap;
+use std::io::Read;
+
+/// Extracts the string value of `"key":"..."` from a single-line JSON
+/// object.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+/// Extracts a numeric field as an integer at nanosecond scale:
+/// `"ts":1234.567` (exporter microseconds) parses to 1_234_567 when
+/// `scale_us`; `"request_id":7` parses to 7 when not.
+fn num_field(line: &str, key: &str, scale_us: bool) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest: String = line[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    match rest.split_once('.') {
+        Some((us, frac)) => {
+            if !scale_us {
+                return None;
+            }
+            Some(us.parse::<u64>().ok()? * 1_000 + frac.parse::<u64>().ok()?)
+        }
+        None => {
+            let v: u64 = rest.parse().ok()?;
+            Some(if scale_us { v * 1_000 } else { v })
+        }
+    }
+}
+
+/// Everything the table needs about one request, accumulated while
+/// scanning the event lines.
+#[derive(Debug, Default)]
+struct Req {
+    class: Option<u32>,
+    outcome: String,
+    violated: bool,
+    enqueued_ns: Option<u64>,
+    first_token_ns: Option<u64>,
+    /// End time of every sampled step, in event order.
+    sampled_end_ns: Vec<u64>,
+    /// Attributed nanoseconds per component span name.
+    components: BTreeMap<String, u64>,
+}
+
+/// Parses the track-group title the flight recorder writes:
+/// `request <id> [class <c>] <outcome>[ SLO-VIOLATED]`.
+fn parse_title(title: &str) -> Option<(u64, u32, String, bool)> {
+    let rest = title.strip_prefix("request ")?;
+    let (id, rest) = rest.split_once(" [class ")?;
+    let (class, rest) = rest.split_once("] ")?;
+    let violated = rest.ends_with(" SLO-VIOLATED");
+    let outcome = rest.trim_end_matches(" SLO-VIOLATED").to_string();
+    Some((id.parse().ok()?, class.parse().ok()?, outcome, violated))
+}
+
+fn summarize(json: &str) -> BTreeMap<u64, Req> {
+    let mut reqs: BTreeMap<u64, Req> = BTreeMap::new();
+    for raw in json.lines() {
+        let line = raw.trim_end_matches(',');
+        if line.contains("\"ph\":\"M\"") {
+            // Track-group titles carry class/outcome/violation; the
+            // event's own name is "thread_name", so look inside args.
+            let Some(at) = line.find("\"args\":{\"name\":\"") else { continue };
+            let title = &line[at + "\"args\":{\"name\":\"".len()..];
+            let Some(end) = title.find('"') else { continue };
+            if let Some((id, class, outcome, violated)) = parse_title(&title[..end]) {
+                let r = reqs.entry(id).or_default();
+                r.class = Some(class);
+                r.outcome = outcome;
+                r.violated = violated;
+            }
+            continue;
+        }
+        if !line.contains("\"ph\":\"X\"") {
+            continue;
+        }
+        let Some(id) = num_field(line, "request_id", false) else { continue };
+        let Some(name) = str_field(line, "name") else { continue };
+        let Some(ts) = num_field(line, "ts", true) else { continue };
+        let dur = num_field(line, "dur", true).unwrap_or(0);
+        let r = reqs.entry(id).or_default();
+        match name.as_str() {
+            "request.first_token" => r.first_token_ns = Some(ts),
+            "request.step" => {
+                if num_field(line, "sampled", false) == Some(1) {
+                    r.sampled_end_ns.push(ts + dur);
+                }
+            }
+            "queue_wait" => {
+                r.enqueued_ns = Some(ts);
+                *r.components.entry(name).or_default() += dur;
+            }
+            // Component sub-spans: attention, gating, cpu_expert, ...
+            _ => *r.components.entry(name).or_default() += dur,
+        }
+    }
+    reqs
+}
+
+/// Nearest-rank percentile of an unsorted sample, in place.
+fn percentile(xs: &mut [u64], p: f64) -> Option<u64> {
+    if xs.is_empty() {
+        return None;
+    }
+    xs.sort_unstable();
+    let idx = (p / 100.0 * (xs.len() - 1) as f64).round() as usize;
+    Some(xs[idx.min(xs.len() - 1)])
+}
+
+fn ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+fn render(reqs: &BTreeMap<u64, Req>) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>8}  {:>5}  {:<9}  {:<12}  {:>9}  {:>10}  {:>10}  top components\n",
+        "request", "class", "outcome", "flags", "ttft_ms", "itl_p50_ms", "itl_p99_ms"
+    ));
+    for (id, r) in reqs {
+        // Inter-token latencies: gaps between consecutive sampled-step
+        // completions (the first sampled step ends at the first token,
+        // so the gaps start there).
+        let mut itl: Vec<u64> = r
+            .sampled_end_ns
+            .windows(2)
+            .map(|w| w[1].saturating_sub(w[0]))
+            .collect();
+        let p50 = percentile(&mut itl, 50.0);
+        let p99 = percentile(&mut itl, 99.0);
+        let ttft = match (r.enqueued_ns, r.first_token_ns) {
+            (Some(q), Some(f)) => Some(f.saturating_sub(q)),
+            _ => None,
+        };
+        let total: u64 = r.components.values().sum();
+        let mut comps: Vec<(&str, u64)> =
+            r.components.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        comps.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let top: Vec<String> = comps
+            .iter()
+            .take(3)
+            .filter(|(_, v)| *v > 0)
+            .map(|(k, v)| format!("{k} {:.1}%", *v as f64 / total.max(1) as f64 * 100.0))
+            .collect();
+        let na = || "-".to_string();
+        out.push_str(&format!(
+            "{:>8}  {:>5}  {:<9}  {:<12}  {:>9}  {:>10}  {:>10}  {}\n",
+            id,
+            r.class.map_or_else(na, |c| c.to_string()),
+            if r.outcome.is_empty() { "?" } else { &r.outcome },
+            if r.violated { "SLO-VIOLATED" } else { "-" },
+            ttft.map_or_else(na, ms),
+            p50.map_or_else(na, ms),
+            p99.map_or_else(na, ms),
+            top.join(" | "),
+        ));
+    }
+    out
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let json = match arg.as_deref() {
+        None | Some("-") => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf).expect("read stdin");
+            buf
+        }
+        Some("--help") | Some("-h") => {
+            eprintln!("usage: trace_summarize <trace.json>  (- or no arg reads stdin)");
+            return;
+        }
+        Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("trace_summarize: cannot read {path}: {e}");
+            std::process::exit(1);
+        }),
+    };
+    let reqs = summarize(&json);
+    if reqs.is_empty() {
+        eprintln!("trace_summarize: no per-request events found (export with \
+                   Server::export_request_trace / export_captured_traces)");
+        std::process::exit(1);
+    }
+    print!("{}", render(&reqs));
+    println!("{} request(s)", reqs.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kt_trace::{Component, RequestTrace, StepTrace, TraceOutcome, N_COMPONENTS};
+
+    /// A synthetic two-step trace with known numbers, round-tripped
+    /// through the real exporter.
+    fn trace() -> RequestTrace {
+        let mut t = RequestTrace::begin(7, 1, 1_000_000);
+        t.admitted(3_000_000);
+        let mut comps = [0u64; N_COMPONENTS];
+        comps[Component::Attention as usize] = 600_000;
+        comps[Component::CpuExpert as usize] = 300_000;
+        comps[Component::Merge as usize] = 100_000;
+        // Prefill chunk ends (and samples the first token) at 8 ms;
+        // two decode steps end at 9 and 10 ms: ITL gaps of 1 ms each.
+        t.push_step(StepTrace::prefill(0, 3_000_000, 5_000_000, 16, true));
+        t.push_step(StepTrace::decode(1, 8_000_000, 1_000_000, comps, 0));
+        t.push_step(StepTrace::decode(2, 9_000_000, 1_000_000, comps, 0));
+        t.finish(10_000_000, TraceOutcome::Completed, true, 2_000_000, Some(7_000_000), 2_000_000, 3);
+        t
+    }
+
+    #[test]
+    fn summarizes_ttft_itl_and_top_components() {
+        let reqs = summarize(&trace().export_chrome());
+        assert_eq!(reqs.len(), 1);
+        let r = &reqs[&7];
+        assert_eq!(r.class, Some(1));
+        assert_eq!(r.outcome, "completed");
+        assert!(r.violated);
+        // TTFT = first token (8 ms) − enqueue (1 ms) = 7 ms.
+        let ttft = r.first_token_ns.unwrap() - r.enqueued_ns.unwrap();
+        assert_eq!(ttft, 7_000_000);
+        let mut itl: Vec<u64> = r.sampled_end_ns.windows(2).map(|w| w[1] - w[0]).collect();
+        assert_eq!(itl, vec![1_000_000, 1_000_000]);
+        assert_eq!(percentile(&mut itl, 50.0), Some(1_000_000));
+        assert_eq!(r.components["queue_wait"], 2_000_000);
+        assert_eq!(r.components["prefill_chunk"], 5_000_000);
+        assert_eq!(r.components["attention"], 1_200_000, "two decode steps");
+        let table = render(&reqs);
+        assert!(table.contains("SLO-VIOLATED"), "{table}");
+        assert!(table.contains("7.000"), "ttft ms in:\n{table}");
+        assert!(table.contains("prefill_chunk"), "top component in:\n{table}");
+    }
+
+    #[test]
+    fn title_parser_handles_all_outcomes() {
+        assert_eq!(
+            parse_title("request 12 [class 2] shed SLO-VIOLATED"),
+            Some((12, 2, "shed".to_string(), true))
+        );
+        assert_eq!(
+            parse_title("request 3 [class 0] completed"),
+            Some((3, 0, "completed".to_string(), false))
+        );
+        assert_eq!(parse_title("kt-vgpu stream 0"), None);
+    }
+
+    #[test]
+    fn empty_or_foreign_traces_summarize_to_nothing() {
+        assert!(summarize("[\n\n]\n").is_empty());
+        // Engine-level spans without request ids are ignored.
+        let foreign = "[\n{\"ph\":\"X\",\"name\":\"engine.attention\",\"cat\":\"kt\",\
+                       \"pid\":0,\"tid\":3,\"ts\":1.000,\"dur\":2.000,\
+                       \"args\":{\"a\":0,\"b\":0}}\n]\n";
+        assert!(summarize(foreign).is_empty());
+    }
+}

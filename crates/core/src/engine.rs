@@ -184,6 +184,9 @@ struct StepState {
     /// Per sequence (indexed like `seq_rows`): whether the head op
     /// computes logits. Non-final prefill chunks skip the LM head.
     need_logits: Vec<bool>,
+    /// Per sequence: request-scoped trace tag (0 = untagged; see
+    /// [`BatchSeq::tag`]).
+    tags: Vec<u32>,
     /// Residual stream, `tokens x hidden` (checked out of the device
     /// workspace arena each step, restored at the next embed).
     x: Matrix,
@@ -314,6 +317,7 @@ impl EngineShared {
                 seq_rows: Vec::new(),
                 decode_row: Vec::new(),
                 need_logits: Vec::new(),
+                tags: Vec::new(),
                 x: Matrix::zeros(1, cfg.hidden)?,
                 ffn_in: vec![None; cfg.n_layers],
                 imm_out: vec![None; cfg.n_layers],
@@ -408,6 +412,12 @@ pub struct BatchSeq {
     /// [`HybridEngine::forward_batch`] returns `None` in this
     /// sequence's slot.
     pub need_logits: bool,
+    /// Request-scoped trace tag (`kt_trace::TraceCtx::tag()`; 0 =
+    /// untagged). When tracing is on, tagged sequences get a
+    /// per-sequence `engine.seq_attention` span labeled
+    /// `a = tag, b = layer`, correlating engine work back to the
+    /// serving request that caused it.
+    pub tag: u32,
 }
 
 impl BatchSeq {
@@ -419,6 +429,7 @@ impl BatchSeq {
             tokens: vec![token],
             prefill: false,
             need_logits: true,
+            tag: 0,
         }
     }
 
@@ -430,6 +441,7 @@ impl BatchSeq {
             tokens,
             prefill: true,
             need_logits: true,
+            tag: 0,
         }
     }
 
@@ -440,7 +452,14 @@ impl BatchSeq {
             tokens,
             prefill: true,
             need_logits: false,
+            tag: 0,
         }
+    }
+
+    /// Attaches a request-scoped trace tag (builder-style).
+    pub fn with_tag(mut self, tag: u32) -> Self {
+        self.tag = tag;
+        self
     }
 }
 
@@ -1069,6 +1088,13 @@ impl HybridEngine {
                         // attend against its own KV cache.
                         let st = &mut *guard;
                         for (s, &(start, len)) in st.seq_rows.iter().enumerate() {
+                            // Request-scoped causal trace: tagged
+                            // sequences get their own span so a
+                            // request's attention time is separable
+                            // from the rest of the batch.
+                            let tag = st.tags.get(s).copied().unwrap_or(0);
+                            let _seq_span = (tag != 0)
+                                .then(|| kt_trace::span_ab(SpanKind::SeqAttention, tag, li as u32));
                             let mut sub = match ws.arena.checkout(len, cols) {
                                 Ok(m) => m,
                                 Err(e) => {
@@ -1271,14 +1297,26 @@ impl HybridEngine {
                                     .collect();
                                 let part = partition_experts(&choices);
                                 if !part.gpu.is_empty() {
+                                    // The residency/admission pass is
+                                    // where non-resident experts pay
+                                    // the (modeled) PCIe upload; the
+                                    // span carries its real wall time
+                                    // and the miss count so request
+                                    // breakdowns can attribute it.
+                                    let mut up_span =
+                                        kt_trace::span_ab(SpanKind::PcieUpload, li as u32, 0);
+                                    let mut misses = 0u32;
                                     for &e in &part.gpu {
                                         if cache.is_resident(li, e) {
                                             cache.touch(li, e);
                                         } else {
+                                            misses += 1;
                                             cache.request(li, e, bytes);
                                         }
                                     }
                                     let (c, g) = split_routing(&imm, &part.gpu);
+                                    up_span.set_labels(li as u32, misses);
+                                    drop(up_span);
                                     imm = c;
                                     dyn_gpu = Some(g);
                                 }
@@ -1830,6 +1868,7 @@ impl HybridEngine {
             st.seq_rows = vec![(0, tokens.len())];
             st.decode_row = vec![decode; tokens.len()];
             st.need_logits = vec![true];
+            st.tags = vec![0];
         }
         let mut per_seq = self.run_step(decode)?;
         per_seq
@@ -1891,6 +1930,7 @@ impl HybridEngine {
             st.seq_rows = seq_rows;
             st.decode_row = decode_row;
             st.need_logits = need.clone();
+            st.tags = seqs.iter().map(|s| s.tag).collect();
             let incoming: Vec<KvCache> = seqs
                 .iter_mut()
                 .map(|s| std::mem::replace(&mut s.cache, KvCache::new(&[], 0)))

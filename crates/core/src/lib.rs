@@ -37,5 +37,9 @@ pub use error::EngineError;
 pub use placement::dynamic::{ExpertCache, ExpertCacheStats, PlacementPolicy};
 pub use placement::{DeviceKind, PlacementPlan};
 pub use kt_tensor::ArenaStats;
+// Re-exported so downstream crates (kt-serve's `kt_build_info` gauge)
+// can label replicas with the kernel ISA level without a direct
+// kt-kernels dependency.
+pub use kt_kernels::simd::{effective_simd_level, SimdLevel};
 pub use profiling::{percentile_ns, ExpertProfile, RequestMetrics, ServeStats};
 pub use vgpu::{GraphHandle, LaunchStats, StreamId, VgpuConfig, VirtualGpu};

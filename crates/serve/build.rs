@@ -1,0 +1,21 @@
+//! Bakes the git revision into the crate so the `kt_build_info` gauge
+//! can tell replicas apart in multi-instance scrapes. Falls back to
+//! "unknown" outside a git checkout (e.g. a source tarball) — the
+//! gauge must never break the build.
+
+use std::process::Command;
+
+fn main() {
+    let hash = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=KT_GIT_HASH={hash}");
+    // Re-run when HEAD moves so the baked hash tracks the checkout.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

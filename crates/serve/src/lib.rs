@@ -43,6 +43,16 @@
 //!   step composition throttles prefill when decode rows are at risk
 //!   of ITL violations. Without a policy the server is exactly the
 //!   pure-FIFO scheduler described above.
+//! * With tracing enabled (`KT_TRACE=1` or [`kt_trace::enable`]),
+//!   every request is traced end to end: a tail-latency flight
+//!   recorder keeps recent per-request waterfalls — SLO-violating,
+//!   shed, and failed requests frozen so ordinary traffic cannot
+//!   evict them — each decomposed into named latency
+//!   [`Component`]s that sum to the measured end-to-end time.
+//!   Surfaced via [`Server::breakdown`],
+//!   [`Server::export_request_trace`] (a per-request Perfetto track
+//!   group), and the `kt_latency_component_seconds` histogram family
+//!   in [`Server::stats_text`].
 //!
 //! ```
 //! use kt_core::{EngineConfig, HybridEngine};
@@ -69,11 +79,13 @@
 //! server.shutdown();
 //! ```
 
+mod metrics;
 mod request;
 pub mod sched;
 mod server;
 pub mod slo;
 
+pub use kt_trace::{Component, RequestBreakdown};
 pub use request::{Request, RequestHandle, RequestOutcome, RequestResult};
 pub use server::{Server, ServerConfig};
 pub use slo::{ClassCounters, SloClass, SloPolicy, SloTarget};

@@ -72,6 +72,11 @@ pub enum RequestOutcome {
 /// Final state of a resolved request.
 #[derive(Debug, Clone)]
 pub struct RequestResult {
+    /// The server-assigned request id (also the key into the flight
+    /// recorder: `Server::breakdown(id)` / trace exports). Every
+    /// submitted request gets one, starting at 1; 0 means "untagged"
+    /// throughout the trace layer and is never assigned.
+    pub request_id: u64,
     /// How the request ended.
     pub outcome: RequestOutcome,
     /// Tokens generated before resolution (complete output for
@@ -90,14 +95,17 @@ impl RequestResult {
 
 /// Shared slot the scheduler resolves and clients wait on.
 pub(crate) struct RequestSlot {
+    /// Server-assigned id, fixed at submission.
+    pub(crate) id: u64,
     result: Mutex<Option<RequestResult>>,
     resolved: Condvar,
     cancelled: AtomicBool,
 }
 
 impl RequestSlot {
-    pub(crate) fn new() -> Arc<Self> {
+    pub(crate) fn new(id: u64) -> Arc<Self> {
         Arc::new(RequestSlot {
+            id,
             result: Mutex::new(None),
             resolved: Condvar::new(),
             cancelled: AtomicBool::new(false),
@@ -130,6 +138,12 @@ pub struct RequestHandle {
 }
 
 impl RequestHandle {
+    /// The server-assigned request id — the key for
+    /// `Server::breakdown` and flight-recorder exports.
+    pub fn id(&self) -> u64 {
+        self.slot.id
+    }
+
     /// Requests cancellation. The scheduler retires the sequence at
     /// the next step boundary and resolves it as
     /// [`RequestOutcome::Cancelled`] (or lets an already-finished

@@ -57,16 +57,25 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use kt_core::{BatchSeq, EngineError, HybridEngine, PlacementPolicy, RequestMetrics, ServeStats};
+use kt_core::{
+    BatchSeq, EngineError, HybridEngine, PlacementPolicy, RequestMetrics, ServeStats, SimdLevel,
+};
 use kt_model::kvcache::KvCache;
 use kt_model::pool::{CacheLease, KvCachePool};
 use kt_model::prefix::PrefixCacheConfig;
 use kt_tensor::Matrix;
-use kt_trace::{CounterKind, LogHistogram, SpanKind};
+use kt_trace::{
+    step_components, Component, CounterKind, FlightRecorder, LogHistogram, RequestBreakdown,
+    RequestTrace, SpanKind, StepTrace, TraceCtx, TraceOutcome, N_COMPONENTS, N_SPAN_KINDS,
+};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::metrics::{
+    push_counter, push_family, push_gauge, push_histogram, push_histogram_samples_seconds,
+    push_sample,
+};
 use crate::request::{Request, RequestHandle, RequestOutcome, RequestResult, RequestSlot};
 use crate::sched::{self, ComposeCfg, PlanWork, SeqView};
 use crate::slo::{self, ClassCounters, SlackInputs, SloClass, SloPolicy};
@@ -121,9 +130,19 @@ struct Queued {
     req: Request,
     slot: Arc<RequestSlot>,
     enqueued_at: Instant,
+    /// Submit time on the trace clock (sink epoch), anchoring the
+    /// request's flight-recorder waterfall.
+    enqueued_ns: u64,
     /// Process-wide submission counter: FIFO order within a class is
     /// exactly arrival order, whatever the queue's physical layout.
     seq_no: u64,
+}
+
+impl Queued {
+    /// Server-assigned request id (fixed on the slot at submission).
+    fn id(&self) -> u64 {
+        self.slot.id
+    }
 }
 
 /// What one active sequence does in the step being composed.
@@ -153,6 +172,13 @@ struct ActiveSeq {
     metrics: RequestMetrics,
     admitted_at: Instant,
     last_token_at: Option<Instant>,
+    /// Request identity threaded into every span this sequence causes:
+    /// `ctx.tag()` rides in the engine's per-sequence label slots.
+    ctx: TraceCtx,
+    /// Per-request waterfall under construction; `None` when tracing
+    /// was disabled at admission. Boxed: the trace is cold data next to
+    /// the hot scheduling fields.
+    trace: Option<Box<RequestTrace>>,
 }
 
 impl ActiveSeq {
@@ -164,9 +190,12 @@ impl ActiveSeq {
             && !self.tokens.is_empty()
     }
 
-    fn resolve(self, outcome: RequestOutcome, inner: &ServerInner) {
+    fn resolve(mut self, outcome: RequestOutcome, inner: &ServerInner) {
         inner.record_request_hists(&self.metrics);
-        inner.account_outcome(self.req.class, &outcome, &self.metrics);
+        let violated = inner.account_outcome(self.req.class, &outcome, &self.metrics);
+        if let Some(trace) = self.trace.take() {
+            inner.finish_trace(trace, &outcome, violated, &self.metrics, self.tokens.len() as u32);
+        }
         // Release first so the admission valve reopens before any
         // waiter reacts to the result. Completed and cancelled caches
         // hold valid prefix rows (prompt tokens, then fed generations),
@@ -185,6 +214,7 @@ impl ActiveSeq {
             let _ = inner.pool.release_with_prefix(self.lease, &fed);
         }
         self.slot.resolve(RequestResult {
+            request_id: self.ctx.request_id,
             outcome,
             tokens: self.tokens,
             metrics: self.metrics,
@@ -220,6 +250,16 @@ struct ServerInner {
     class_stats: Mutex<[ClassCounters; 3]>,
     /// Monotonic submission counter feeding `Queued::seq_no`.
     submit_seq: AtomicU64,
+    /// Request-id allocator (first id is 1; 0 means "untagged").
+    next_id: AtomicU64,
+    /// Tail-latency flight recorder: per-request waterfalls of recent
+    /// completions, with SLO-violating/shed/failed requests frozen.
+    /// Always present; populated only while tracing is enabled.
+    recorder: FlightRecorder,
+    /// Per-[`Component`] end-to-end latency histograms (with worst
+    /// request-id exemplars), fed one sample per component per traced
+    /// resolution.
+    comp_hists: Mutex<[LogHistogram; N_COMPONENTS]>,
     cfg: ServerConfig,
 }
 
@@ -239,8 +279,10 @@ impl ServerInner {
     /// Single bookkeeping point for every request resolution: outcome
     /// counters (aggregate and per class) and, under an SLO policy,
     /// target-violation accounting. Exactly one outcome per request —
-    /// every resolution path funnels through here once.
-    fn account_outcome(&self, class: SloClass, outcome: &RequestOutcome, m: &RequestMetrics) {
+    /// every resolution path funnels through here once. Returns whether
+    /// the request violated either SLO target (this is what freezes its
+    /// trace into the flight recorder).
+    fn account_outcome(&self, class: SloClass, outcome: &RequestOutcome, m: &RequestMetrics) -> bool {
         // Violations are judged for any request that produced the
         // relevant samples, whatever its outcome; `slo_met` only for
         // completions (a cancelled request that was fast is not
@@ -291,6 +333,46 @@ impl ServerInner {
             kt_trace::counter_add(CounterKind::SloItlViolations, 1);
             kt_trace::instant(SpanKind::ServeSloViolation, class.index() as u32, 1);
         }
+        ttft_viol || itl_viol
+    }
+
+    /// Finalizes a per-request trace at resolution: stamps the outcome
+    /// and measured end-to-end numbers, feeds one sample per component
+    /// into the `kt_latency_component_seconds` histograms (carrying the
+    /// request id as the bucket exemplar), and hands the trace to the
+    /// flight recorder (which freezes it if it violated, shed, or
+    /// failed).
+    fn finish_trace(
+        &self,
+        mut trace: Box<RequestTrace>,
+        outcome: &RequestOutcome,
+        violated: bool,
+        m: &RequestMetrics,
+        tokens: u32,
+    ) {
+        let traced_outcome = match outcome {
+            RequestOutcome::Completed => TraceOutcome::Completed,
+            RequestOutcome::Cancelled => TraceOutcome::Cancelled,
+            RequestOutcome::Shed => TraceOutcome::Shed,
+            RequestOutcome::Failed { .. } => TraceOutcome::Failed,
+        };
+        trace.finish(
+            kt_trace::now_ns(),
+            traced_outcome,
+            violated,
+            m.queue_wait_ns,
+            m.ttft_ns,
+            m.token_latencies_ns.iter().sum(),
+            tokens,
+        );
+        {
+            let mut hists = self.comp_hists.lock();
+            for c in Component::ALL {
+                hists[c as usize]
+                    .record_with_exemplar(trace.breakdown.component_ns(c), trace.request_id);
+            }
+        }
+        self.recorder.record(*trace);
     }
 
     /// Resolves a request straight out of the queue (cancelled, shed,
@@ -301,8 +383,18 @@ impl ServerInner {
             ..Default::default()
         };
         self.record_request_hists(&metrics);
-        self.account_outcome(q.req.class, &outcome, &metrics);
+        let violated = self.account_outcome(q.req.class, &outcome, &metrics);
+        if kt_trace::enabled() {
+            // Never admitted, so the waterfall is just the queue span.
+            let trace = Box::new(RequestTrace::begin(
+                q.id(),
+                q.req.class.index() as u32,
+                q.enqueued_ns,
+            ));
+            self.finish_trace(trace, &outcome, violated, &metrics, 0);
+        }
         q.slot.resolve(RequestResult {
+            request_id: q.id(),
             outcome,
             tokens: Vec::new(),
             metrics,
@@ -423,6 +515,9 @@ impl Server {
             hists: Mutex::new(LatencyHists::default()),
             class_stats: Mutex::new([ClassCounters::default(); 3]),
             submit_seq: AtomicU64::new(0),
+            next_id: AtomicU64::new(1),
+            recorder: FlightRecorder::new(),
+            comp_hists: Mutex::new(std::array::from_fn(|_| LogHistogram::new())),
             cfg,
         });
         let loop_inner = Arc::clone(&inner);
@@ -441,7 +536,8 @@ impl Server {
     /// `max_new` beyond the cache capacity) resolve immediately as
     /// failed instead of poisoning a batch.
     pub fn submit(&self, req: Request) -> RequestHandle {
-        let slot = RequestSlot::new();
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let slot = RequestSlot::new(id);
         let handle = RequestHandle {
             slot: Arc::clone(&slot),
         };
@@ -454,6 +550,7 @@ impl Server {
                 &RequestMetrics::default(),
             );
             slot.resolve(RequestResult {
+                request_id: id,
                 outcome: RequestOutcome::Failed { error },
                 tokens: Vec::new(),
                 metrics: RequestMetrics::default(),
@@ -471,6 +568,7 @@ impl Server {
                 &RequestMetrics::default(),
             );
             slot.resolve(RequestResult {
+                request_id: id,
                 outcome: RequestOutcome::Completed,
                 tokens: Vec::new(),
                 metrics: RequestMetrics::default(),
@@ -483,6 +581,7 @@ impl Server {
             req,
             slot,
             enqueued_at: Instant::now(),
+            enqueued_ns: kt_trace::now_ns(),
             seq_no,
         });
         drop(queue);
@@ -523,76 +622,77 @@ impl Server {
     /// Prometheus-style text exposition of the serving metrics:
     /// request/token/step counters, queue and batch gauges, the
     /// engine's arena and virtual-GPU launch counters, the `kt_slo_*`
-    /// SLO counters (shed, violations, per-class outcomes), and the
-    /// queue-wait / TTFT / inter-token latency histograms (log₂
-    /// buckets, cumulative `_bucket{le=...}` form). Suitable for
-    /// serving at a `/metrics` endpoint verbatim.
+    /// SLO counters (shed, violations, per-class outcomes), the
+    /// `kt_build_info` identity gauge, the queue-wait / TTFT /
+    /// inter-token latency histograms (log₂ buckets, cumulative
+    /// `_bucket{le=...}` form), and the per-component
+    /// `kt_latency_component_seconds` histogram family with worst
+    /// request-id exemplars on its buckets. Formatting goes through
+    /// [`crate::metrics`] so every family carries exactly one
+    /// `# HELP`/`# TYPE` pair and label values are escaped. Suitable
+    /// for serving at a `/metrics` endpoint verbatim.
     pub fn stats_text(&self) -> String {
         let s = self.stats();
         let mut out = String::with_capacity(4096);
-        let c = |out: &mut String, name: &str, help: &str, v: u64| {
-            out.push_str(&format!(
-                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
-            ));
-        };
-        let g = |out: &mut String, name: &str, help: &str, v: f64| {
-            out.push_str(&format!(
-                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"
-            ));
-        };
-        c(&mut out, "kt_requests_completed_total", "Requests that ran to completion.", s.completed);
-        c(&mut out, "kt_requests_cancelled_total", "Requests cancelled by their client.", s.cancelled);
-        c(&mut out, "kt_requests_failed_total", "Requests that failed with an engine error.", s.failed);
-        c(&mut out, "kt_requests_shed_total", "Requests shed by the admission controller.", s.shed);
-        c(&mut out, "kt_tokens_generated_total", "Tokens emitted across all requests.", s.tokens_generated);
-        c(&mut out, "kt_steps_total", "Continuous-batching steps executed.", s.steps);
-        c(&mut out, "kt_prefill_chunks_total", "Prefill chunks executed.", s.prefill_chunks);
-        c(&mut out, "kt_prefill_tokens_total", "Prompt tokens fed through prefill chunks.", s.prefill_tokens);
-        c(&mut out, "kt_gpu_kernel_launches_total", "Kernels launched individually on the virtual GPU.", s.gpu_kernel_launches);
-        c(&mut out, "kt_gpu_host_funcs_total", "Host-function callbacks executed in-stream.", s.gpu_host_funcs);
-        c(&mut out, "kt_gpu_graph_replays_total", "Graph replays (one launch each).", s.gpu_graph_replays);
-        c(&mut out, "kt_gpu_graph_ops_total", "Ops executed via graph replay.", s.gpu_graph_ops);
-        c(&mut out, "kt_gpu_launch_overhead_ns_total", "Simulated launch latency charged on the device.", s.gpu_launch_overhead_ns);
-        c(&mut out, "kt_gpu_busy_ns_total", "Nanoseconds the device spent executing ops.", s.gpu_busy_ns);
-        c(&mut out, "kt_arena_allocations_total", "Fresh heap allocations performed by the step arenas.", s.arena_allocations);
-        c(&mut out, "kt_arena_bytes_allocated_total", "Bytes served by fresh heap allocations.", s.arena_bytes_allocated);
-        c(&mut out, "kt_arena_bytes_served_total", "Bytes served by reusing an existing arena buffer.", s.arena_bytes_served);
-        c(&mut out, "kt_prefix_lookups_total", "Prefix-cache lookups at admission.", s.prefix_lookups);
-        c(&mut out, "kt_prefix_hits_total", "Lookups that matched a reusable prefix.", s.prefix_hits);
-        c(&mut out, "kt_prefix_misses_total", "Lookups that matched nothing reusable.", s.prefix_misses);
-        c(&mut out, "kt_prefix_hit_tokens_total", "Prompt tokens seeded from cached prefixes instead of prefilled.", s.prefix_hit_tokens);
-        c(&mut out, "kt_prefix_insertions_total", "Prefix segments frozen into the cache.", s.prefix_insertions);
-        c(&mut out, "kt_prefix_evictions_total", "Prefix segments evicted by the byte budget.", s.prefix_evictions);
-        c(&mut out, "kt_prefix_evicted_bytes_total", "Bytes freed by prefix eviction.", s.prefix_evicted_bytes);
-        c(&mut out, "kt_expert_cache_hits_total", "Expert-cache lookups that found the expert resident on the vGPU.", s.expert_cache_hits);
-        c(&mut out, "kt_expert_cache_misses_total", "Expert-cache lookups for non-resident experts.", s.expert_cache_misses);
-        c(&mut out, "kt_expert_cache_insertions_total", "Experts admitted into the vGPU cache.", s.expert_cache_insertions);
-        c(&mut out, "kt_expert_cache_evictions_total", "Experts evicted for higher-value ones.", s.expert_cache_evictions);
-        c(&mut out, "kt_expert_cache_evicted_bytes_total", "Bytes freed by expert eviction.", s.expert_cache_evicted_bytes);
+        push_counter(&mut out, "kt_requests_completed_total", "Requests that ran to completion.", s.completed);
+        push_counter(&mut out,"kt_requests_cancelled_total", "Requests cancelled by their client.", s.cancelled);
+        push_counter(&mut out,"kt_requests_failed_total", "Requests that failed with an engine error.", s.failed);
+        push_counter(&mut out,"kt_requests_shed_total", "Requests shed by the admission controller.", s.shed);
+        push_counter(&mut out,"kt_tokens_generated_total", "Tokens emitted across all requests.", s.tokens_generated);
+        push_counter(&mut out,"kt_steps_total", "Continuous-batching steps executed.", s.steps);
+        push_counter(&mut out,"kt_prefill_chunks_total", "Prefill chunks executed.", s.prefill_chunks);
+        push_counter(&mut out,"kt_prefill_tokens_total", "Prompt tokens fed through prefill chunks.", s.prefill_tokens);
+        push_counter(&mut out,"kt_gpu_kernel_launches_total", "Kernels launched individually on the virtual GPU.", s.gpu_kernel_launches);
+        push_counter(&mut out,"kt_gpu_host_funcs_total", "Host-function callbacks executed in-stream.", s.gpu_host_funcs);
+        push_counter(&mut out,"kt_gpu_graph_replays_total", "Graph replays (one launch each).", s.gpu_graph_replays);
+        push_counter(&mut out,"kt_gpu_graph_ops_total", "Ops executed via graph replay.", s.gpu_graph_ops);
+        push_counter(&mut out,"kt_gpu_launch_overhead_ns_total", "Simulated launch latency charged on the device.", s.gpu_launch_overhead_ns);
+        push_counter(&mut out,"kt_gpu_busy_ns_total", "Nanoseconds the device spent executing ops.", s.gpu_busy_ns);
+        push_counter(&mut out,"kt_arena_allocations_total", "Fresh heap allocations performed by the step arenas.", s.arena_allocations);
+        push_counter(&mut out,"kt_arena_bytes_allocated_total", "Bytes served by fresh heap allocations.", s.arena_bytes_allocated);
+        push_counter(&mut out,"kt_arena_bytes_served_total", "Bytes served by reusing an existing arena buffer.", s.arena_bytes_served);
+        push_counter(&mut out,"kt_prefix_lookups_total", "Prefix-cache lookups at admission.", s.prefix_lookups);
+        push_counter(&mut out,"kt_prefix_hits_total", "Lookups that matched a reusable prefix.", s.prefix_hits);
+        push_counter(&mut out,"kt_prefix_misses_total", "Lookups that matched nothing reusable.", s.prefix_misses);
+        push_counter(&mut out,"kt_prefix_hit_tokens_total", "Prompt tokens seeded from cached prefixes instead of prefilled.", s.prefix_hit_tokens);
+        push_counter(&mut out,"kt_prefix_insertions_total", "Prefix segments frozen into the cache.", s.prefix_insertions);
+        push_counter(&mut out,"kt_prefix_evictions_total", "Prefix segments evicted by the byte budget.", s.prefix_evictions);
+        push_counter(&mut out,"kt_prefix_evicted_bytes_total", "Bytes freed by prefix eviction.", s.prefix_evicted_bytes);
+        push_counter(&mut out,"kt_expert_cache_hits_total", "Expert-cache lookups that found the expert resident on the vGPU.", s.expert_cache_hits);
+        push_counter(&mut out,"kt_expert_cache_misses_total", "Expert-cache lookups for non-resident experts.", s.expert_cache_misses);
+        push_counter(&mut out,"kt_expert_cache_insertions_total", "Experts admitted into the vGPU cache.", s.expert_cache_insertions);
+        push_counter(&mut out,"kt_expert_cache_evictions_total", "Experts evicted for higher-value ones.", s.expert_cache_evictions);
+        push_counter(&mut out,"kt_expert_cache_evicted_bytes_total", "Bytes freed by expert eviction.", s.expert_cache_evicted_bytes);
         // Per-expert gating popularity, label form. Dense (and so far
         // idle) layers are skipped to bound the exposition size.
         {
             let profile = self.inner.engine.expert_profile();
-            out.push_str(
-                "# HELP kt_expert_hits_total Routed-expert activations per (layer, expert).\n\
-                 # TYPE kt_expert_hits_total counter\n",
+            push_family(
+                &mut out,
+                "kt_expert_hits_total",
+                "counter",
+                "Routed-expert activations per (layer, expert).",
             );
             for layer in 0..profile.n_layers() {
                 if profile.total(layer) == 0 {
                     continue;
                 }
                 for e in 0..profile.n_experts() {
-                    out.push_str(&format!(
-                        "kt_expert_hits_total{{layer=\"{layer}\",expert=\"{e}\"}} {}\n",
-                        profile.count(layer, e)
-                    ));
+                    let l = layer.to_string();
+                    let x = e.to_string();
+                    push_sample(
+                        &mut out,
+                        "kt_expert_hits_total",
+                        &[("layer", &l), ("expert", &x)],
+                        profile.count(layer, e),
+                    );
                 }
             }
         }
-        c(&mut out, "kt_slo_shed_total", "Requests shed for negative predicted slack.", s.shed);
-        c(&mut out, "kt_slo_ttft_violations_total", "Resolved requests that missed their TTFT target.", s.slo_ttft_violations);
-        c(&mut out, "kt_slo_itl_violations_total", "Resolved requests with an inter-token gap over the ITL target.", s.slo_itl_violations);
-        c(&mut out, "kt_slo_met_total", "Completed requests that met both SLO targets.", s.slo_met);
+        push_counter(&mut out,"kt_slo_shed_total", "Requests shed for negative predicted slack.", s.shed);
+        push_counter(&mut out,"kt_slo_ttft_violations_total", "Resolved requests that missed their TTFT target.", s.slo_ttft_violations);
+        push_counter(&mut out,"kt_slo_itl_violations_total", "Resolved requests with an inter-token gap over the ITL target.", s.slo_itl_violations);
+        push_counter(&mut out,"kt_slo_met_total", "Completed requests that met both SLO targets.", s.slo_met);
         // Per-class outcome counters, Prometheus label form.
         let cs = self.class_stats();
         for (name, help, pick) in [
@@ -617,58 +717,120 @@ impl Server {
                 |c: &ClassCounters| c.slo_met,
             ),
         ] {
-            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+            push_family(&mut out, name, "counter", help);
             for class in SloClass::ALL {
-                out.push_str(&format!(
-                    "{name}{{class=\"{}\"}} {}\n",
-                    class.as_str(),
-                    pick(&cs[class.index()])
-                ));
+                push_sample(
+                    &mut out,
+                    name,
+                    &[("class", class.as_str())],
+                    pick(&cs[class.index()]),
+                );
             }
         }
-        g(&mut out, "kt_prefix_resident_bytes", "Bytes resident in frozen prefix segments.", s.prefix_resident_bytes as f64);
-        g(&mut out, "kt_prefix_entries", "Prefix segments currently resident.", s.prefix_entries as f64);
-        g(&mut out, "kt_expert_cache_resident_bytes", "Bytes held by vGPU-resident experts.", s.expert_cache_resident_bytes as f64);
-        g(&mut out, "kt_expert_cache_entries", "Experts currently vGPU-resident.", s.expert_cache_entries as f64);
+        push_gauge(&mut out,"kt_prefix_resident_bytes", "Bytes resident in frozen prefix segments.", s.prefix_resident_bytes as f64);
+        push_gauge(&mut out,"kt_prefix_entries", "Prefix segments currently resident.", s.prefix_entries as f64);
+        push_gauge(&mut out,"kt_expert_cache_resident_bytes", "Bytes held by vGPU-resident experts.", s.expert_cache_resident_bytes as f64);
+        push_gauge(&mut out,"kt_expert_cache_entries", "Experts currently vGPU-resident.", s.expert_cache_entries as f64);
         // Weight-precision gauge with the routed experts' storage dtype
         // as a label, so dashboards can key bandwidth/footprint math on
         // the serving precision.
         if !s.expert_weight_dtype.is_empty() {
-            out.push_str(&format!(
-                "# HELP kt_expert_weight_bytes Stored bytes of one routed expert's packed weights.\n\
-                 # TYPE kt_expert_weight_bytes gauge\n\
-                 kt_expert_weight_bytes{{dtype=\"{}\"}} {}\n",
-                s.expert_weight_dtype, s.expert_weight_bytes
-            ));
+            push_family(
+                &mut out,
+                "kt_expert_weight_bytes",
+                "gauge",
+                "Stored bytes of one routed expert's packed weights.",
+            );
+            push_sample(
+                &mut out,
+                "kt_expert_weight_bytes",
+                &[("dtype", &s.expert_weight_dtype)],
+                s.expert_weight_bytes,
+            );
         }
-        g(&mut out, "kt_kv_leases_in_use", "KV caches currently leased to sequences.", s.kv_leases_in_use as f64);
-        g(&mut out, "kt_kv_leases_free", "Reset KV caches parked in the pool.", s.kv_leases_free as f64);
-        g(&mut out, "kt_kv_leases_peak", "High-water mark of concurrent leases.", s.kv_leases_peak as f64);
-        g(&mut out, "kt_kv_pooled_bytes", "Heap bytes retained by parked pool caches.", s.kv_pooled_bytes as f64);
-        g(&mut out, "kt_queue_depth", "Requests currently waiting for admission.", self.queued() as f64);
-        g(&mut out, "kt_active_sequences", "Sequences currently admitted (leased caches).", self.active() as f64);
-        g(&mut out, "kt_peak_queue_depth", "Deepest admission queue observed.", s.peak_queue_depth as f64);
-        g(&mut out, "kt_mean_batch_occupancy", "Mean active sequences per step.", s.mean_occupancy());
-        g(&mut out, "kt_arena_high_water_bytes", "High-water mark of bytes held across step arenas.", s.arena_high_water_bytes as f64);
-        let hists = self.inner.hists.lock();
-        render_histogram(
-            &mut out,
-            "kt_request_queue_wait_ns",
-            "Queue wait of every resolved request (including those cancelled, shed, or failed while queued).",
-            &hists.queue_wait,
-        );
-        render_histogram(
-            &mut out,
-            "kt_request_ttft_ns",
-            "Time from admission to first emitted token.",
-            &hists.ttft,
-        );
-        render_histogram(
-            &mut out,
-            "kt_request_inter_token_ns",
-            "Inter-token latencies across all requests.",
-            &hists.itl,
-        );
+        push_gauge(&mut out,"kt_kv_leases_in_use", "KV caches currently leased to sequences.", s.kv_leases_in_use as f64);
+        push_gauge(&mut out,"kt_kv_leases_free", "Reset KV caches parked in the pool.", s.kv_leases_free as f64);
+        push_gauge(&mut out,"kt_kv_leases_peak", "High-water mark of concurrent leases.", s.kv_leases_peak as f64);
+        push_gauge(&mut out,"kt_kv_pooled_bytes", "Heap bytes retained by parked pool caches.", s.kv_pooled_bytes as f64);
+        push_gauge(&mut out,"kt_queue_depth", "Requests currently waiting for admission.", self.queued() as f64);
+        push_gauge(&mut out,"kt_active_sequences", "Sequences currently admitted (leased caches).", self.active() as f64);
+        push_gauge(&mut out,"kt_peak_queue_depth", "Deepest admission queue observed.", s.peak_queue_depth as f64);
+        push_gauge(&mut out,"kt_mean_batch_occupancy", "Mean active sequences per step.", s.mean_occupancy());
+        push_gauge(&mut out,"kt_arena_high_water_bytes", "High-water mark of bytes held across step arenas.", s.arena_high_water_bytes as f64);
+        // Build/runtime identity: which binary, commit, kernel ISA
+        // level, and placement policy produced these numbers. Constant
+        // 1 so dashboards join it onto any other family by instance.
+        {
+            push_family(
+                &mut out,
+                "kt_build_info",
+                "gauge",
+                "Build and runtime identity of this replica (constant 1; the labels are the payload).",
+            );
+            let simd = match kt_core::effective_simd_level() {
+                SimdLevel::Scalar => "scalar",
+                SimdLevel::Avx2Fma => "avx2_fma",
+                SimdLevel::Avx512 => "avx512",
+            };
+            let placement = match self.inner.engine.engine_config().placement {
+                PlacementPolicy::Static => "static",
+                PlacementPolicy::Dynamic => "dynamic",
+            };
+            push_sample(
+                &mut out,
+                "kt_build_info",
+                &[
+                    ("version", env!("CARGO_PKG_VERSION")),
+                    ("git_hash", env!("KT_GIT_HASH")),
+                    ("simd", simd),
+                    ("placement", placement),
+                ],
+                1,
+            );
+        }
+        {
+            let hists = self.inner.hists.lock();
+            push_histogram(
+                &mut out,
+                "kt_request_queue_wait_ns",
+                "Queue wait of every resolved request (including those cancelled, shed, or failed while queued).",
+                &hists.queue_wait,
+            );
+            push_histogram(
+                &mut out,
+                "kt_request_ttft_ns",
+                "Time from admission to first emitted token.",
+                &hists.ttft,
+            );
+            push_histogram(
+                &mut out,
+                "kt_request_inter_token_ns",
+                "Inter-token latencies across all requests.",
+                &hists.itl,
+            );
+        }
+        // Per-component end-to-end latency attribution: one labeled
+        // histogram per Component, in seconds (Prometheus base units),
+        // each bucket carrying the worst request id it has seen as an
+        // OpenMetrics-style exemplar — the bridge from a dashboard's
+        // slowest bucket to `Server::breakdown` / the flight recorder.
+        {
+            push_family(
+                &mut out,
+                "kt_latency_component_seconds",
+                "histogram",
+                "Per-request end-to-end latency attributed to each pipeline component.",
+            );
+            let comp = self.inner.comp_hists.lock();
+            for c in Component::ALL {
+                push_histogram_samples_seconds(
+                    &mut out,
+                    "kt_latency_component_seconds",
+                    &[("component", c.as_str())],
+                    &comp[c as usize],
+                );
+            }
+        }
         out
     }
 
@@ -677,6 +839,42 @@ impl Server {
     pub fn latency_histograms(&self) -> (LogHistogram, LogHistogram, LogHistogram) {
         let h = self.inner.hists.lock();
         (h.queue_wait.clone(), h.ttft.clone(), h.itl.clone())
+    }
+
+    /// The latency attribution of a recently resolved request: where
+    /// its measured queue wait + TTFT + decode time went, by
+    /// [`Component`]. Requires tracing to have been enabled while the
+    /// request ran (`KT_TRACE=1` or [`kt_trace::enable`]); `None` if it
+    /// was not traced or has aged out of the flight recorder.
+    pub fn breakdown(&self, request_id: u64) -> Option<RequestBreakdown> {
+        self.inner.recorder.breakdown(request_id)
+    }
+
+    /// Request ids frozen in the flight recorder (SLO violations,
+    /// sheds, failures), oldest first.
+    pub fn captured_request_ids(&self) -> Vec<u64> {
+        self.inner.recorder.captured_ids()
+    }
+
+    /// Breakdowns of every request still in the recorder's recent
+    /// ring, oldest first.
+    pub fn recent_breakdowns(&self) -> Vec<RequestBreakdown> {
+        self.inner.recorder.recent_breakdowns()
+    }
+
+    /// One request's waterfall as a standalone Chrome-trace JSON array
+    /// (loadable in Perfetto): queue-wait span, per-step spans with
+    /// component sub-spans, first-token instant — all on the request's
+    /// own track, every event labeled with its id.
+    pub fn export_request_trace(&self, request_id: u64) -> Option<String> {
+        self.inner.recorder.export_chrome(request_id)
+    }
+
+    /// Every frozen (violating/shed/failed) waterfall as one
+    /// Chrome-trace JSON array — the artifact `trace_summarize`
+    /// consumes.
+    pub fn export_captured_traces(&self) -> String {
+        self.inner.recorder.export_captured_chrome()
     }
 
     /// Sequences currently admitted (leased caches).
@@ -740,32 +938,6 @@ impl std::fmt::Debug for Server {
             .field("queued", &self.queued())
             .finish()
     }
-}
-
-/// Renders one histogram in Prometheus text format: cumulative
-/// `_bucket{le="..."}` lines (one per log₂ bucket up to the highest
-/// occupied one, then `+Inf`), `_sum`, and `_count`.
-fn render_histogram(out: &mut String, name: &str, help: &str, h: &LogHistogram) {
-    out.push_str(&format!(
-        "# HELP {name} {help}\n# TYPE {name} histogram\n"
-    ));
-    let top_occupied = (0..kt_trace::hist::N_BUCKETS)
-        .rev()
-        .find(|&i| h.bucket_count(i) > 0);
-    let mut cum = 0u64;
-    if let Some(top) = top_occupied {
-        // Bucket 64's upper bound is u64::MAX; it folds into +Inf.
-        for i in 0..=top.min(63) {
-            cum += h.bucket_count(i);
-            out.push_str(&format!(
-                "{name}_bucket{{le=\"{}\"}} {cum}\n",
-                LogHistogram::bucket_upper_bound(i)
-            ));
-        }
-    }
-    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
-    out.push_str(&format!("{name}_sum {}\n", h.sum()));
-    out.push_str(&format!("{name}_count {}\n", h.count()));
 }
 
 fn scheduler_loop(inner: &ServerInner) {
@@ -891,11 +1063,21 @@ fn admit(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
             }
             let q = queue.remove(pick).expect("pick in bounds");
             let queue_wait_ns = q.enqueued_at.elapsed().as_nanos() as u64;
+            let ctx = TraceCtx::for_request(q.id());
             kt_trace::instant(
                 SpanKind::ServeAdmit,
+                ctx.tag(),
                 (queue_wait_ns / 1_000).min(u32::MAX as u64) as u32,
-                seeded as u32,
             );
+            let trace = kt_trace::enabled().then(|| {
+                let mut t = Box::new(RequestTrace::begin(
+                    q.id(),
+                    q.req.class.index() as u32,
+                    q.enqueued_ns,
+                ));
+                t.admitted(kt_trace::now_ns());
+                t
+            });
             active.push(ActiveSeq {
                 slot: q.slot,
                 lease,
@@ -910,6 +1092,8 @@ fn admit(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
                 },
                 admitted_at: Instant::now(),
                 last_token_at: None,
+                ctx,
+                trace,
             });
         }
         // Park only when fully idle; otherwise go run a step.
@@ -1016,25 +1200,68 @@ fn step(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
     for (i, (seq, work)) in active.iter_mut().zip(&plan).enumerate() {
         let Some(work) = work else { continue };
         let cache = std::mem::replace(&mut seq.lease.cache, KvCache::new(&[], 0));
-        batch.push(match *work {
-            Work::Decode(t) => BatchSeq::decode(cache, t),
-            Work::Chunk { len, last } => {
-                let chunk = seq.req.prompt[seq.prefilled..seq.prefilled + len].to_vec();
-                if last {
-                    BatchSeq::prefill(cache, chunk)
-                } else {
-                    BatchSeq::prefill_chunk(cache, chunk)
+        batch.push(
+            match *work {
+                Work::Decode(t) => BatchSeq::decode(cache, t),
+                Work::Chunk { len, last } => {
+                    let chunk = seq.req.prompt[seq.prefilled..seq.prefilled + len].to_vec();
+                    if last {
+                        BatchSeq::prefill(cache, chunk)
+                    } else {
+                        BatchSeq::prefill_chunk(cache, chunk)
+                    }
                 }
             }
-        });
+            .with_tag(seq.ctx.tag()),
+        );
         scheduled.push(i);
     }
     debug_assert!(!batch.is_empty(), "compose schedules at least one sequence");
 
+    // Attribution snapshots bracket the forward: the per-kind phase
+    // deltas across it, mapped through `step_components`, decompose
+    // this step's wall time for every traced request riding in it.
+    let attrib = kt_trace::enabled()
+        .then(|| (kt_trace::now_ns(), kt_trace::sink().phase_snapshot()));
     let result = inner.engine.forward_batch(&mut batch);
     // Caches come back even on error; return them to their leases.
     for (&i, slot) in scheduled.iter().zip(batch.iter_mut()) {
         active[i].lease.cache = std::mem::replace(&mut slot.cache, KvCache::new(&[], 0));
+    }
+    if let Some((start_ns, before)) = attrib {
+        let wall_ns = kt_trace::now_ns().saturating_sub(start_ns);
+        let after = kt_trace::sink().phase_snapshot();
+        let mut deltas = [0u64; N_SPAN_KINDS];
+        for (d, (a, b)) in deltas.iter_mut().zip(after.iter().zip(before.iter())) {
+            *d = a.saturating_sub(*b);
+        }
+        let (components, cpu_busy_ns) = step_components(&deltas, wall_ns);
+        for (seq, work) in active.iter_mut().zip(&plan) {
+            let Some(trace) = seq.trace.as_mut() else { continue };
+            // Scheduled sequences experienced the whole step (batched
+            // rows share every phase), so each gets the full step
+            // attribution; sequences left out of this step aged a
+            // whole step without progress — that wall time is queue
+            // wait from their point of view.
+            match *work {
+                Some(Work::Chunk { len, last }) => trace.push_step(StepTrace::prefill(
+                    trace.steps_total,
+                    start_ns,
+                    wall_ns,
+                    len as u32,
+                    last,
+                )),
+                Some(Work::Decode(_)) => trace.push_step(StepTrace::decode(
+                    trace.steps_total,
+                    start_ns,
+                    wall_ns,
+                    components,
+                    cpu_busy_ns,
+                )),
+                None => trace.add_idle(wall_ns),
+            }
+            seq.ctx.step = trace.steps_total;
+        }
     }
 
     match result {
@@ -1048,7 +1275,7 @@ fn step(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
                 match plan[i].expect("scheduled implies planned") {
                     Work::Chunk { len, last } => {
                         seq.prefilled += len;
-                        kt_trace::instant(SpanKind::ServePrefillChunk, len as u32, last as u32);
+                        kt_trace::instant(SpanKind::ServePrefillChunk, len as u32, seq.ctx.tag());
                         {
                             let mut stats = inner.stats.lock();
                             stats.prefill_chunks += 1;

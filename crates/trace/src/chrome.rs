@@ -13,7 +13,7 @@
 use crate::sink::TraceSnapshot;
 
 /// Escapes a string for a JSON string literal.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -27,7 +27,7 @@ fn escape(s: &str) -> String {
 }
 
 /// Microseconds with nanosecond precision, as a JSON number.
-fn us(ns: u64) -> String {
+pub(crate) fn us(ns: u64) -> String {
     format!("{}.{:03}", ns / 1000, ns % 1000)
 }
 

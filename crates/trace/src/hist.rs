@@ -12,11 +12,24 @@
 /// Number of buckets: one for zero plus one per bit of `u64`.
 pub const N_BUCKETS: usize = 65;
 
+/// An exemplar: the id of a concrete sample representing its bucket
+/// (OpenMetrics-style). Each bucket keeps the exemplar with the
+/// largest value it has seen, so the worst buckets always point at a
+/// real request that can be looked up in the flight recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Identity of the sample's source (a request id in kt-serve).
+    pub id: u64,
+    /// The sample value itself.
+    pub value: u64,
+}
+
 /// A mergeable log₂-bucketed histogram of `u64` samples (typically
 /// nanoseconds).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LogHistogram {
     counts: [u64; N_BUCKETS],
+    exemplars: [Option<Exemplar>; N_BUCKETS],
     count: u64,
     sum: u64,
     min: u64,
@@ -34,6 +47,7 @@ impl LogHistogram {
     pub fn new() -> LogHistogram {
         LogHistogram {
             counts: [0; N_BUCKETS],
+            exemplars: [None; N_BUCKETS],
             count: 0,
             sum: 0,
             min: u64::MAX,
@@ -76,6 +90,32 @@ impl LogHistogram {
         }
     }
 
+    /// Records one sample carrying a source id. The sample's bucket
+    /// keeps whichever exemplar has the larger value, so after any
+    /// stream of records each bucket's exemplar is its observed
+    /// worst case.
+    pub fn record_with_exemplar(&mut self, v: u64, id: u64) {
+        self.record(v);
+        let i = Self::bucket_index(v);
+        let candidate = Exemplar { id, value: v };
+        match self.exemplars[i] {
+            Some(e) if e.value >= v => {}
+            _ => self.exemplars[i] = Some(candidate),
+        }
+    }
+
+    /// Exemplar representing bucket `i`, if any sample with an id
+    /// landed there.
+    pub fn exemplar(&self, i: usize) -> Option<Exemplar> {
+        self.exemplars[i]
+    }
+
+    /// The exemplar from the highest non-empty bucket that has one —
+    /// the request to look at first when the tail regresses.
+    pub fn worst_exemplar(&self) -> Option<Exemplar> {
+        self.exemplars.iter().rev().flatten().next().copied()
+    }
+
     /// Samples recorded.
     pub fn count(&self) -> u64 {
         self.count
@@ -116,6 +156,16 @@ impl LogHistogram {
     pub fn merge(&mut self, other: &LogHistogram) {
         for (c, o) in self.counts.iter_mut().zip(&other.counts) {
             *c += o;
+        }
+        for (e, o) in self.exemplars.iter_mut().zip(&other.exemplars) {
+            // Keep the larger-valued exemplar per bucket (ties broken
+            // by id), so merge stays commutative.
+            *e = match (*e, *o) {
+                (Some(a), Some(b)) => {
+                    Some(if (a.value, a.id) >= (b.value, b.id) { a } else { b })
+                }
+                (a, b) => a.or(b),
+            };
         }
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
@@ -213,6 +263,74 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, both);
+    }
+
+    /// Asserts nearest-rank `p` lands in the same log₂ bucket as the
+    /// exact order statistic over `samples`, and that `max()` is exact.
+    fn assert_tail_within_one_bucket(samples: &[u64], ps: &[f64]) {
+        let mut h = LogHistogram::new();
+        h.record_all(samples.iter().copied());
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        for &p in ps {
+            let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            let exact = sorted[rank.clamp(1, sorted.len()) - 1];
+            let approx = h.percentile(p).unwrap();
+            assert_eq!(
+                LogHistogram::bucket_index(approx),
+                LogHistogram::bucket_index(exact),
+                "p={p}: approx {approx} vs exact {exact}"
+            );
+            assert!(approx >= exact, "bucket upper bound never underestimates");
+        }
+        assert_eq!(h.max(), sorted.last().copied(), "max is exact");
+        assert_eq!(h.percentile(100.0), sorted.last().copied());
+    }
+
+    #[test]
+    fn tail_accuracy_bimodal() {
+        // 2000 fast samples around 50µs, 4 stragglers around 1.3s: the
+        // p999 straddles the modes and p100/max sit deep in the gap.
+        let mut samples: Vec<u64> = (0..2000u64).map(|i| 50_000 + (i * 37) % 4096).collect();
+        samples.extend([1_300_000_000u64, 1_310_000_000, 1_350_000_000, 1_400_000_000]);
+        assert_tail_within_one_bucket(&samples, &[50.0, 99.0, 99.9, 100.0]);
+    }
+
+    #[test]
+    fn tail_accuracy_heavy_tail() {
+        // Deterministic Pareto-like tail: value ~ 1000 * (n/i)^2 spans
+        // six orders of magnitude with most mass at the bottom.
+        let n = 5000u64;
+        let samples: Vec<u64> = (1..=n).map(|i| 1000 * (n / i) * (n / i)).collect();
+        assert_tail_within_one_bucket(&samples, &[50.0, 90.0, 99.0, 99.9, 100.0]);
+    }
+
+    #[test]
+    fn exemplars_track_bucket_worst_case_and_survive_merge() {
+        let mut a = LogHistogram::new();
+        a.record_with_exemplar(100, 1);
+        a.record_with_exemplar(120, 2); // same bucket [64,127], larger value wins
+        a.record_with_exemplar(110, 3); // smaller than 120: ignored
+        a.record_with_exemplar(5_000, 4);
+        let b7 = LogHistogram::bucket_index(120);
+        assert_eq!(a.exemplar(b7), Some(Exemplar { id: 2, value: 120 }));
+        assert_eq!(a.worst_exemplar(), Some(Exemplar { id: 4, value: 5_000 }));
+
+        let mut b = LogHistogram::new();
+        b.record_with_exemplar(90, 9); // same bucket as 120, smaller value
+        b.record_with_exemplar(1 << 40, 10);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "exemplar merge is commutative");
+        assert_eq!(ab.exemplar(b7), Some(Exemplar { id: 2, value: 120 }), "larger value survives merge");
+        assert_eq!(ab.worst_exemplar(), Some(Exemplar { id: 10, value: 1 << 40 }));
+        // Plain record leaves exemplars untouched.
+        let mut plain = LogHistogram::new();
+        plain.record(42);
+        assert_eq!(plain.exemplar(LogHistogram::bucket_index(42)), None);
+        assert_eq!(plain.worst_exemplar(), None);
     }
 
     #[test]

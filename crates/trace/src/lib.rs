@@ -17,22 +17,38 @@
 //!   per vGPU stream, so CPU expert execution visibly overlapping the
 //!   GPU stream is an *artifact*, not an assertion.
 //! * [`hist`] — [`LogHistogram`], a log₂-bucketed mergeable latency
-//!   histogram with nearest-rank percentile queries; the serving layer
-//!   and the bench binaries aggregate queue-wait/TTFT/inter-token
-//!   samples through it instead of hoarding raw `Vec<u64>`s.
+//!   histogram with nearest-rank percentile queries and per-bucket
+//!   [`Exemplar`]s; the serving layer and the bench binaries aggregate
+//!   queue-wait/TTFT/inter-token samples through it instead of
+//!   hoarding raw `Vec<u64>`s.
+//! * [`ctx`] — request-scoped trace context ([`TraceCtx`]) and latency
+//!   attribution: per-[`SpanKind`] phase deltas around a step map onto
+//!   named [`Component`]s whose sum is bounded by the step wall time,
+//!   accumulating into a per-request [`RequestBreakdown`].
+//! * [`flight`] — the tail-latency [`FlightRecorder`]: a bounded ring
+//!   of recently completed per-request span sets in which any request
+//!   resolving with an SLO violation (or shed/failed) is frozen, each
+//!   exportable as a per-request Perfetto track group.
 //!
 //! Enable tracing programmatically ([`enable`]) or by setting
 //! `KT_TRACE=1` in the environment ([`enable_from_env`] is called on
 //! engine and server construction).
 
 pub mod chrome;
+pub mod ctx;
+pub mod flight;
 pub mod hist;
 pub mod sink;
 
 pub use chrome::chrome_trace;
-pub use hist::LogHistogram;
+pub use ctx::{step_components, Component, RequestBreakdown, TraceCtx, N_COMPONENTS};
+pub use flight::{
+    FlightRecorder, RequestTrace, StepTrace, TraceOutcome, DEFAULT_CAPTURED_CAP,
+    DEFAULT_RECENT_CAP, REQUEST_TRACK_BASE,
+};
+pub use hist::{Exemplar, LogHistogram};
 pub use sink::{
     counter_add, disable, enable, enable_from_env, enabled, instant, now_ns, record_on, sink,
     span, span_ab, stream_track, CounterKind, Ring, Span, SpanGuard, SpanKind, TraceSink,
-    TraceSnapshot, DEFAULT_RING_SPANS, N_COUNTERS, STREAM_TRACK_BASE,
+    TraceSnapshot, DEFAULT_RING_SPANS, N_COUNTERS, N_SPAN_KINDS, STREAM_TRACK_BASE,
 };

@@ -81,9 +81,12 @@ pub enum SpanKind {
     VgpuGraphReplay,
     /// One scheduler step (`a` = scheduled sequences, `b` = tokens).
     ServeStep,
-    /// Request admission (instant; `a` = queue wait in µs, saturated).
+    /// Request admission (instant; `a` = request tag — the low 32 bits
+    /// of the server-assigned request id — `b` = queue wait in µs,
+    /// saturated).
     ServeAdmit,
-    /// One prefill chunk fed through a step (`a` = chunk tokens).
+    /// One prefill chunk fed through a step (`a` = chunk tokens,
+    /// `b` = request tag).
     ServePrefillChunk,
     /// Fresh arena allocation (instant; `a` = bytes, saturated).
     ArenaAlloc,
@@ -106,7 +109,22 @@ pub enum SpanKind {
     /// Cache-resident routed experts executing on the vGPU under
     /// dynamic placement; `a` = layer.
     GpuExperts,
+    /// Per-sequence attention inside the batched attention op, emitted
+    /// only for tagged (request-scoped) sequences; `a` = request tag
+    /// (low 32 bits of the request id), `b` = layer.
+    SeqAttention,
+    /// Residency bookkeeping for the VRAM expert cache inside the
+    /// dispatch callback — the touch/request/split pass that decides
+    /// which experts pay the (modeled) PCIe upload; `a` = layer,
+    /// `b` = non-resident experts admitted this step. In the harness
+    /// the upload itself is a cost-model term with no wall time, so
+    /// this span carries the real bookkeeping cost and reserves the
+    /// attribution slot a real-GPU port would fill with copy time.
+    PcieUpload,
 }
+
+/// Number of [`SpanKind`] variants (the phase table's size).
+pub const N_SPAN_KINDS: usize = 28;
 
 impl SpanKind {
     /// Stable display name (also the Chrome-trace event name).
@@ -138,40 +156,45 @@ impl SpanKind {
             SpanKind::ServeShed => "serve.shed",
             SpanKind::ServeSloViolation => "serve.slo_violation",
             SpanKind::GpuExperts => "engine.gpu_experts",
+            SpanKind::SeqAttention => "engine.seq_attention",
+            SpanKind::PcieUpload => "vgpu.pcie_upload",
         }
     }
 
+    /// Every span kind, in `repr` order (index = `kind as usize`).
+    pub const ALL: [SpanKind; N_SPAN_KINDS] = [
+        SpanKind::EngineStep,
+        SpanKind::Embed,
+        SpanKind::Attention,
+        SpanKind::Gating,
+        SpanKind::ExpertDispatch,
+        SpanKind::CpuExpertImmediate,
+        SpanKind::CpuExpertDeferred,
+        SpanKind::SharedExperts,
+        SpanKind::MergeSpin,
+        SpanKind::ScatterAdd,
+        SpanKind::DeferralFlush,
+        SpanKind::LmHead,
+        SpanKind::VgpuLaunch,
+        SpanKind::VgpuKernel,
+        SpanKind::VgpuHostFunc,
+        SpanKind::VgpuGraphReplay,
+        SpanKind::ServeStep,
+        SpanKind::ServeAdmit,
+        SpanKind::ServePrefillChunk,
+        SpanKind::ArenaAlloc,
+        SpanKind::PrefixLookup,
+        SpanKind::PrefixSeed,
+        SpanKind::PrefixEvict,
+        SpanKind::ServeShed,
+        SpanKind::ServeSloViolation,
+        SpanKind::GpuExperts,
+        SpanKind::SeqAttention,
+        SpanKind::PcieUpload,
+    ];
+
     fn from_u32(v: u32) -> Option<SpanKind> {
-        use SpanKind::*;
-        const ALL: [SpanKind; 26] = [
-            EngineStep,
-            Embed,
-            Attention,
-            Gating,
-            ExpertDispatch,
-            CpuExpertImmediate,
-            CpuExpertDeferred,
-            SharedExperts,
-            MergeSpin,
-            ScatterAdd,
-            DeferralFlush,
-            LmHead,
-            VgpuLaunch,
-            VgpuKernel,
-            VgpuHostFunc,
-            VgpuGraphReplay,
-            ServeStep,
-            ServeAdmit,
-            ServePrefillChunk,
-            ArenaAlloc,
-            PrefixLookup,
-            PrefixSeed,
-            PrefixEvict,
-            ServeShed,
-            ServeSloViolation,
-            GpuExperts,
-        ];
-        ALL.get(v as usize).copied()
+        SpanKind::ALL.get(v as usize).copied()
     }
 }
 
@@ -423,6 +446,12 @@ pub struct TraceSink {
     extra_tracks: Mutex<Vec<(u32, String)>>,
     /// Monotonic counter table, indexed by [`CounterKind`].
     counters: [AtomicU64; N_COUNTERS],
+    /// Cumulative span-kind durations in nanoseconds, indexed by
+    /// [`SpanKind`]. Fed by every armed [`SpanGuard`] on drop; readers
+    /// difference two [`TraceSink::phase_snapshot`]s around a region to
+    /// get per-kind time spent inside it (the per-step latency
+    /// attribution in `kt-serve` is built on exactly that).
+    phases: [AtomicU64; N_SPAN_KINDS],
 }
 
 impl Default for TraceSink {
@@ -441,6 +470,7 @@ impl TraceSink {
             rings: Mutex::new(Vec::new()),
             extra_tracks: Mutex::new(Vec::new()),
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            phases: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -498,6 +528,28 @@ impl TraceSink {
     /// Current total of one counter.
     pub fn counter(&self, kind: CounterKind) -> u64 {
         self.counters[kind as usize].load(Ordering::Relaxed)
+    }
+
+    /// Adds `dur_ns` to one span kind's cumulative phase time (called
+    /// by every armed span guard on drop; one relaxed `fetch_add`).
+    #[inline]
+    pub fn add_phase(&self, kind: SpanKind, dur_ns: u64) {
+        self.phases[kind as usize].fetch_add(dur_ns, Ordering::Relaxed);
+    }
+
+    /// Cumulative nanoseconds spent in spans of `kind` since process
+    /// start (only windows where tracing was enabled accumulate).
+    pub fn phase_ns(&self, kind: SpanKind) -> u64 {
+        self.phases[kind as usize].load(Ordering::Relaxed)
+    }
+
+    /// Copies the whole phase table, [`SpanKind::ALL`] order. Two
+    /// snapshots differenced around a region give per-kind time inside
+    /// it; loads are relaxed, so concurrent writers may leak a few
+    /// nanoseconds across the boundary — callers absorb that in their
+    /// attribution tolerance.
+    pub fn phase_snapshot(&self) -> [u64; N_SPAN_KINDS] {
+        std::array::from_fn(|i| self.phases[i].load(Ordering::Relaxed))
     }
 
     /// Snapshots every ring (skipping slots mid-overwrite) plus the
@@ -609,15 +661,10 @@ impl Drop for SpanGuard {
             return;
         }
         let end = sink().now_ns();
+        let dur = end.saturating_sub(self.start_ns);
+        sink().add_phase(self.kind, dur);
         with_thread_ring(|r| {
-            r.record(
-                self.kind,
-                None,
-                self.start_ns,
-                end.saturating_sub(self.start_ns),
-                self.a,
-                self.b,
-            );
+            r.record(self.kind, None, self.start_ns, dur, self.a, self.b);
         });
     }
 }
@@ -781,6 +828,30 @@ mod tests {
         assert!(s(5, 10).overlaps(&s(0, 10)));
         assert!(!s(0, 10).overlaps(&s(10, 10)), "half-open: touching is not overlap");
         assert!(s(0, 100).overlaps(&s(40, 1)));
+    }
+
+    #[test]
+    fn span_kind_all_round_trips_repr() {
+        assert_eq!(SpanKind::ALL.len(), N_SPAN_KINDS);
+        for (i, &k) in SpanKind::ALL.iter().enumerate() {
+            assert_eq!(k as usize, i, "{} repr out of order", k.as_str());
+            assert_eq!(SpanKind::from_u32(i as u32), Some(k));
+        }
+        assert_eq!(SpanKind::from_u32(N_SPAN_KINDS as u32), None);
+    }
+
+    #[test]
+    fn phase_table_accumulates_per_kind() {
+        let sink = TraceSink::new();
+        sink.add_phase(SpanKind::Attention, 100);
+        sink.add_phase(SpanKind::Attention, 50);
+        sink.add_phase(SpanKind::LmHead, 7);
+        assert_eq!(sink.phase_ns(SpanKind::Attention), 150);
+        assert_eq!(sink.phase_ns(SpanKind::LmHead), 7);
+        assert_eq!(sink.phase_ns(SpanKind::Embed), 0);
+        let snap = sink.phase_snapshot();
+        assert_eq!(snap[SpanKind::Attention as usize], 150);
+        assert_eq!(snap[SpanKind::LmHead as usize], 7);
     }
 
     #[test]
