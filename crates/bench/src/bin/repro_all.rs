@@ -12,7 +12,8 @@ fn main() {
         "ablation_numa", "ablation_graph", "ablation_sched", "ablation_multigpu",
         "ablation_batch", "ablation_kvoffload", "ablation_placement", "ablation_offload",
         "ablation_latency", "ablation_concurrency", "ablation_trace",
-        "ablation_prefix", "ablation_slo", "ablation_quant", "table2", "fig13",
+        "ablation_prefix", "ablation_slo", "ablation_quant", "ablation_paged",
+        "table2", "fig13",
     ];
     // ablation_hotpath and ablation_prefill are excluded: they are
     // timed/artifact-writing runs with their own CI smoke modes.
@@ -34,7 +35,8 @@ fn main() {
             && (bin == "ablation_prefix"
                 || bin == "ablation_slo"
                 || bin == "ablation_placement"
-                || bin == "ablation_quant")
+                || bin == "ablation_quant"
+                || bin == "ablation_paged")
         {
             cmd.arg("--smoke");
         }

@@ -445,6 +445,22 @@ impl BatchSeq {
         }
     }
 
+    /// A replayed decode row: deferral-eligible exactly like
+    /// [`BatchSeq::decode`] — so it rebuilds the same KV bits the
+    /// original decode step wrote — but produces no logits, because
+    /// the token it feeds was sampled and reported before its KV rows
+    /// were dropped. Preemption recovery re-feeds evicted generations
+    /// through this path.
+    pub fn replay(cache: KvCache, token: u32) -> Self {
+        BatchSeq {
+            cache,
+            tokens: vec![token],
+            prefill: false,
+            need_logits: false,
+            tag: 0,
+        }
+    }
+
     /// A non-final prompt chunk: prefill rows, no logits produced.
     pub fn prefill_chunk(cache: KvCache, tokens: Vec<u32>) -> Self {
         BatchSeq {

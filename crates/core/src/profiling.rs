@@ -127,6 +127,23 @@ pub struct ServeStats {
     pub kv_leases_peak: u64,
     /// Heap bytes retained by parked pool caches.
     pub kv_pooled_bytes: u64,
+    /// KV pages the block allocator can hand out in total (snapshot of
+    /// the paged pool; see [`ServeStats::set_pages`]). All zero when
+    /// the server runs monolithic (flat) leases.
+    pub kv_pages_total: u64,
+    /// KV pages currently free in the allocator.
+    pub kv_pages_free: u64,
+    /// Allocated pages referenced by more than one holder (prefix
+    /// sharing between the index and leases, or between leases).
+    pub kv_pages_shared: u64,
+    /// Pages' worth of KV rows currently swapped out to the host tier
+    /// by preemption (maintained by the scheduler, not snapshotted:
+    /// swapped rows live outside the allocator).
+    pub kv_pages_swapped: u64,
+    /// Sequences preempted with their pages swapped to the host tier.
+    pub preempt_swap: u64,
+    /// Sequences preempted with their pages dropped for recompute.
+    pub preempt_recompute: u64,
     /// Prefix-cache lookups at admission (snapshot of the prefix
     /// cache's counters; see [`ServeStats::set_prefix`]).
     pub prefix_lookups: u64,
@@ -229,6 +246,16 @@ impl ServeStats {
         self.kv_leases_free = o.free as u64;
         self.kv_leases_peak = o.peak as u64;
         self.kv_pooled_bytes = o.pooled_bytes as u64;
+    }
+
+    /// Overwrites the page-allocator gauges from a paged-pool snapshot
+    /// (replace, not accumulate, same as [`ServeStats::set_arena`]).
+    /// `kv_pages_swapped` is *not* touched: swapped rows live outside
+    /// the allocator, so the scheduler maintains that gauge directly.
+    pub fn set_pages(&mut self, s: &kt_model::paged::PageStats) {
+        self.kv_pages_total = s.total as u64;
+        self.kv_pages_free = s.free as u64;
+        self.kv_pages_shared = s.shared as u64;
     }
 
     /// Overwrites the prefix-cache counters from a cache snapshot
@@ -584,6 +611,27 @@ mod tests {
         assert_eq!(s.prefix_evicted_bytes, 160);
         assert_eq!(s.prefix_resident_bytes, 240);
         assert_eq!(s.prefix_entries, 3);
+    }
+
+    #[test]
+    fn set_pages_overwrites_allocator_gauges_but_not_swapped() {
+        let mut s = ServeStats { kv_pages_swapped: 7, ..Default::default() };
+        let ps = kt_model::paged::PageStats {
+            total: 64,
+            allocated: 40,
+            free: 24,
+            peak: 48,
+            shared: 6,
+            alloc_total: 100,
+            freed_total: 60,
+            exhausted_total: 2,
+        };
+        s.set_pages(&ps);
+        s.set_pages(&ps); // replace, not accumulate
+        assert_eq!(s.kv_pages_total, 64);
+        assert_eq!(s.kv_pages_free, 24);
+        assert_eq!(s.kv_pages_shared, 6);
+        assert_eq!(s.kv_pages_swapped, 7, "scheduler-owned gauge untouched");
     }
 
     #[test]

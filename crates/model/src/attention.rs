@@ -278,7 +278,7 @@ impl Attention {
     pub fn forward(
         &self,
         x: &Matrix,
-        cache: &mut impl KvStore,
+        cache: &mut dyn KvStore,
         rope: &Rope,
         pool: Option<&ThreadPool>,
     ) -> Result<Matrix, ModelError> {
@@ -386,6 +386,15 @@ impl Attention {
         let group = self.n_heads / kv_heads_eff;
         let mut ctx = Matrix::zeros(t_new, qdim)?;
         let mut scores_buf = vec![0.0f32; total];
+        // Resolve every visible position's K/V slices once, up front:
+        // the scores loop touches each position `n_heads` times per
+        // query row, and a per-touch lookup pays virtual dispatch plus
+        // (on the paged store) a page-table walk every time. The slice
+        // tables make that a flat index regardless of the KV backend —
+        // arithmetic order is untouched, so outputs stay bitwise
+        // identical.
+        let krows: Vec<&[f32]> = (0..total).map(|pos| rows.key(pos)).collect();
+        let vrows: Vec<&[f32]> = (0..total).map(|pos| rows.val(pos)).collect();
         for t in 0..t_new {
             let visible = start + t + 1;
             let qrow = q.row(t);
@@ -394,15 +403,13 @@ impl Attention {
                 let kvh = h / group;
                 let qh = &qrow[h * self.head_dim..(h + 1) * self.head_dim];
                 for (pos, s) in scores.iter_mut().enumerate() {
-                    let krow = rows.key(pos);
-                    let kh = &krow[kvh * self.head_dim..(kvh + 1) * self.head_dim];
+                    let kh = &krows[pos][kvh * self.head_dim..(kvh + 1) * self.head_dim];
                     *s = qh.iter().zip(kh).map(|(a, b)| a * b).sum::<f32>() * scale;
                 }
                 softmax_inplace(scores);
                 let out = &mut ctx.row_mut(t)[h * self.head_dim..(h + 1) * self.head_dim];
                 for (pos, &w) in scores.iter().enumerate() {
-                    let vrow = rows.val(pos);
-                    let vh = &vrow[kvh * self.head_dim..(kvh + 1) * self.head_dim];
+                    let vh = &vrows[pos][kvh * self.head_dim..(kvh + 1) * self.head_dim];
                     for (o, &vv) in out.iter_mut().zip(vh) {
                         *o += w * vv;
                     }

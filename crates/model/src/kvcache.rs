@@ -5,18 +5,32 @@
 //! that makes DeepSeek's attention GPU-resident even at long contexts).
 
 use crate::error::ModelError;
+use crate::paged::{BlockAllocator, PagedKvStore};
 
 /// Abstract per-layer KV storage: what attention needs from a cache.
 ///
-/// Implemented by the flat [`LayerCache`] and by the two-tier
+/// Implemented by the flat [`LayerCache`], the two-tier
 /// [`OffloadedLayerCache`] (§5 lists KV-cache offloading among the
-/// techniques the injection framework enables).
+/// techniques the injection framework enables), and the
+/// [`PagedKvStore`] page table.
 pub trait KvStore {
     /// Number of cached positions.
     fn len(&self) -> usize;
     /// Whether no positions are cached.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+    /// Key (or latent) row width in floats.
+    fn k_width(&self) -> usize;
+    /// Value row width in floats.
+    fn v_width(&self) -> usize;
+    /// Maximum positions this store will accept.
+    fn capacity(&self) -> usize;
+    /// Bytes of authoritative cached rows (the state that must persist
+    /// or transfer on placement changes; excludes memos and unused
+    /// allocation).
+    fn bytes(&self) -> usize {
+        self.len() * (self.k_width() + self.v_width()) * std::mem::size_of::<f32>()
     }
     /// Appends one position.
     ///
@@ -46,6 +60,12 @@ pub trait KvStore {
 
     /// Positions currently present in the decoded-row memo.
     fn memo_len(&self) -> usize {
+        0
+    }
+
+    /// Decoded-row memo width in floats (0 = memo unconfigured or not
+    /// kept by this store).
+    fn memo_width(&self) -> usize {
         0
     }
 
@@ -262,6 +282,26 @@ impl KvStore for LayerCache {
         LayerCache::len(self)
     }
 
+    fn k_width(&self) -> usize {
+        LayerCache::k_width(self)
+    }
+
+    fn v_width(&self) -> usize {
+        LayerCache::v_width(self)
+    }
+
+    fn capacity(&self) -> usize {
+        LayerCache::capacity(self)
+    }
+
+    fn bytes(&self) -> usize {
+        LayerCache::bytes(self)
+    }
+
+    fn memo_width(&self) -> usize {
+        LayerCache::memo_width(self)
+    }
+
     fn push(&mut self, k_row: &[f32], v_row: &[f32]) -> Result<(), ModelError> {
         LayerCache::push(self, k_row, v_row)
     }
@@ -395,6 +435,18 @@ impl KvStore for OffloadedLayerCache {
         self.offloaded + self.gpu.len()
     }
 
+    fn k_width(&self) -> usize {
+        self.gpu.k_width()
+    }
+
+    fn v_width(&self) -> usize {
+        self.gpu.v_width()
+    }
+
+    fn capacity(&self) -> usize {
+        self.gpu.capacity()
+    }
+
     fn push(&mut self, k_row: &[f32], v_row: &[f32]) -> Result<(), ModelError> {
         self.gpu.push(k_row, v_row)?;
         self.maybe_evict()
@@ -417,19 +469,69 @@ impl KvStore for OffloadedLayerCache {
     }
 }
 
+/// One layer's backing store inside a [`KvCache`]: flat (one
+/// `max_seq`-sized buffer per layer) or paged (a page table over a
+/// shared [`BlockAllocator`]).
+#[derive(Debug, Clone)]
+enum LayerStore {
+    Flat(LayerCache),
+    Paged(PagedKvStore),
+}
+
+impl LayerStore {
+    fn store(&self) -> &dyn KvStore {
+        match self {
+            LayerStore::Flat(l) => l,
+            LayerStore::Paged(p) => p,
+        }
+    }
+
+    fn store_mut(&mut self) -> &mut dyn KvStore {
+        match self {
+            LayerStore::Flat(l) => l,
+            LayerStore::Paged(p) => p,
+        }
+    }
+}
+
 /// All layers' caches for one sequence.
+///
+/// Layers are either all flat ([`KvCache::new`]) or all paged
+/// ([`KvCache::new_paged`]); both expose the same [`KvStore`] view, so
+/// attention, the engine, and the prefix cache never branch on the
+/// backing representation.
 #[derive(Debug, Clone)]
 pub struct KvCache {
-    layers: Vec<LayerCache>,
+    layers: Vec<LayerStore>,
 }
 
 impl KvCache {
-    /// Builds caches from per-layer `(k_width, v_width)` specs.
+    /// Builds flat caches from per-layer `(k_width, v_width)` specs.
     pub fn new(specs: &[(usize, usize)], capacity: usize) -> Self {
         KvCache {
             layers: specs
                 .iter()
-                .map(|&(kw, vw)| LayerCache::new(kw, vw, capacity))
+                .map(|&(kw, vw)| LayerStore::Flat(LayerCache::new(kw, vw, capacity)))
+                .collect(),
+        }
+    }
+
+    /// Builds paged caches drawing pages of `page_rows` positions from
+    /// `alloc`. `capacity` stays the logical per-sequence limit (the
+    /// engine validates it against `max_seq`); actual memory is
+    /// allocated page-by-page as positions arrive.
+    pub fn new_paged(
+        specs: &[(usize, usize)],
+        capacity: usize,
+        alloc: &BlockAllocator,
+        page_rows: usize,
+    ) -> Self {
+        KvCache {
+            layers: specs
+                .iter()
+                .map(|&(kw, vw)| {
+                    LayerStore::Paged(PagedKvStore::new(kw, vw, capacity, page_rows, alloc))
+                })
                 .collect(),
         }
     }
@@ -441,41 +543,110 @@ impl KvCache {
 
     /// Sequence length (positions cached in layer 0).
     pub fn seq_len(&self) -> usize {
-        self.layers.first().map_or(0, LayerCache::len)
+        self.layers.first().map_or(0, |l| l.store().len())
+    }
+
+    /// Whether layers are page-table backed.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.layers.first(), Some(LayerStore::Paged(_)))
+    }
+
+    /// Positions per page when paged.
+    pub fn page_rows(&self) -> Option<usize> {
+        match self.layers.first() {
+            Some(LayerStore::Paged(p)) => Some(p.page_rows()),
+            _ => None,
+        }
     }
 
     /// Mutable access to one layer's cache.
-    pub fn layer_mut(&mut self, i: usize) -> &mut LayerCache {
-        &mut self.layers[i]
+    pub fn layer_mut(&mut self, i: usize) -> &mut dyn KvStore {
+        self.layers[i].store_mut()
     }
 
     /// Shared access to one layer's cache.
-    pub fn layer(&self, i: usize) -> &LayerCache {
-        &self.layers[i]
+    pub fn layer(&self, i: usize) -> &dyn KvStore {
+        self.layers[i].store()
     }
 
-    /// Clears all layers.
+    /// One layer's page table, when paged.
+    pub fn layer_paged(&self, i: usize) -> Option<&PagedKvStore> {
+        match &self.layers[i] {
+            LayerStore::Paged(p) => Some(p),
+            LayerStore::Flat(_) => None,
+        }
+    }
+
+    /// Mutable page table for one layer, when paged.
+    pub fn layer_paged_mut(&mut self, i: usize) -> Option<&mut PagedKvStore> {
+        match &mut self.layers[i] {
+            LayerStore::Paged(p) => Some(p),
+            LayerStore::Flat(_) => None,
+        }
+    }
+
+    /// Clears all layers (paged layers return their uniquely-held
+    /// pages to the allocator).
     pub fn reset(&mut self) {
         for l in &mut self.layers {
-            l.reset();
+            match l {
+                LayerStore::Flat(c) => c.reset(),
+                LayerStore::Paged(p) => p.reset(),
+            }
         }
+    }
+
+    /// Pages this cache's page tables currently reference (0 for flat
+    /// caches). Shared pages count once per referencing cache.
+    pub fn pages_held(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                LayerStore::Flat(_) => 0,
+                LayerStore::Paged(p) => p.pages().len(),
+            })
+            .sum()
+    }
+
+    /// Pages only this cache references — what a release actually
+    /// returns to the allocator (shared pages just lose a reference).
+    pub fn pages_owned(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| match l {
+                LayerStore::Flat(_) => 0,
+                LayerStore::Paged(p) => p.owned_pages(),
+            })
+            .sum()
     }
 
     /// Total cached bytes across layers (authoritative rows only).
     pub fn bytes(&self) -> usize {
-        self.layers.iter().map(LayerCache::bytes).sum()
+        self.layers.iter().map(|l| l.store().bytes()).sum()
     }
 
     /// Total decoded-row memo bytes across layers (reconstructible
     /// scratch, kept separate from [`KvCache::bytes`]).
     pub fn memo_bytes(&self) -> usize {
-        self.layers.iter().map(LayerCache::memo_bytes).sum()
+        self.layers
+            .iter()
+            .map(|l| match l {
+                LayerStore::Flat(c) => c.memo_bytes(),
+                LayerStore::Paged(p) => p.memo_bytes(),
+            })
+            .sum()
     }
 
     /// Heap bytes retained across layers, including unused capacity
     /// and memos (see [`LayerCache::allocated_bytes`]).
     pub fn allocated_bytes(&self) -> usize {
-        self.layers.iter().map(LayerCache::allocated_bytes).sum()
+        self.layers
+            .iter()
+            .map(|l| match l {
+                LayerStore::Flat(c) => c.allocated_bytes(),
+                LayerStore::Paged(p) => p.allocated_bytes(),
+            })
+            .sum()
     }
 }
 

@@ -15,6 +15,9 @@
 //!   softmax/sigmoid scoring and routed scaling, as used by
 //!   DeepSeek-V2/V3 and Qwen2.
 //! * [`kvcache`] — per-layer KV caches.
+//! * [`paged`] — fixed-size KV pages behind a pool-wide ref-counted
+//!   block allocator (admission by pages actually needed, copy-on-write
+//!   sharing, swap tier for preemption).
 //! * [`pool`] — a bounded lease/release pool of per-sequence caches
 //!   (the admission-control valve of the serving layer).
 //! * [`prefix`] — a token-keyed radix index of frozen KV snapshots for
@@ -32,6 +35,7 @@ pub mod gating;
 pub mod kvcache;
 pub mod model;
 pub mod norm;
+pub mod paged;
 pub mod pool;
 pub mod prefix;
 pub mod rope;
@@ -43,5 +47,6 @@ pub use error::ModelError;
 pub use gating::{GateConfig, Router, ScoreFunc};
 pub use kvcache::{KvCache, KvStore, LayerCache, OffloadedLayerCache};
 pub use model::{ExecMode, MoeModel};
+pub use paged::{BlockAllocator, PageStats, PagedKvStore, SwappedKv, DEFAULT_PAGE_ROWS};
 pub use pool::{CacheLease, KvCachePool, PoolOccupancy};
 pub use prefix::{PrefixCache, PrefixCacheConfig, PrefixMatch, PrefixStats};

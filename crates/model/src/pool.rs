@@ -17,6 +17,7 @@ use std::sync::Mutex;
 
 use crate::error::ModelError;
 use crate::kvcache::KvCache;
+use crate::paged::{pages_for_rows, BlockAllocator, PageStats};
 use crate::prefix::{PrefixCache, PrefixCacheConfig, PrefixStats};
 
 /// Source of process-unique pool tags, so a lease can never be released
@@ -81,6 +82,11 @@ pub struct KvCachePool {
     tag: u64,
     state: Mutex<PoolState>,
     prefix: Option<PrefixCache>,
+    /// Page mode: the shared block allocator and rows per page. When
+    /// set, leases are page-table backed and
+    /// [`KvCachePool::lease_for_prompt`] admits by pages actually
+    /// needed instead of reserving `capacity` rows up front.
+    paged: Option<(BlockAllocator, usize)>,
 }
 
 impl KvCachePool {
@@ -101,7 +107,19 @@ impl KvCachePool {
                 constructed: 0,
             }),
             prefix: None,
+            paged: None,
         }
+    }
+
+    /// Switches the pool to paged mode: leases draw pages of
+    /// `page_rows` positions from one shared allocator of
+    /// `total_pages` pages (across all layers and leases), and
+    /// admission counts pages actually needed. `max_leases` still
+    /// bounds concurrency, but page supply is the real valve.
+    pub fn with_paged(mut self, total_pages: usize, page_rows: usize) -> Self {
+        assert!(page_rows > 0, "page_rows must be nonzero");
+        self.paged = Some((BlockAllocator::new(total_pages), page_rows));
+        self
     }
 
     /// Attaches a shared-prefix cache: [`KvCachePool::lease_for_prompt`]
@@ -149,7 +167,12 @@ impl KvCachePool {
         }
         let cache = st.free.pop().unwrap_or_else(|| {
             st.constructed += 1;
-            KvCache::new(&self.specs, self.capacity)
+            match &self.paged {
+                Some((alloc, page_rows)) => {
+                    KvCache::new_paged(&self.specs, self.capacity, alloc, *page_rows)
+                }
+                None => KvCache::new(&self.specs, self.capacity),
+            }
         });
         let id = st.next_id;
         st.next_id += 1;
@@ -170,22 +193,38 @@ impl KvCachePool {
     /// The match is capped at `prompt.len() - 1`: the final prompt
     /// position is always left to prefill so the step that feeds it
     /// produces the logits the first sampled token needs.
+    ///
+    /// In paged mode admission additionally requires enough free pages
+    /// for the rows the prompt will actually allocate — the whole
+    /// prompt minus the page-aligned shared region (shared pages are
+    /// references, not allocations), plus one row of headroom for the
+    /// first sampled token. `None` then means "queue", exactly like
+    /// lease exhaustion.
     pub fn lease_for_prompt(&self, prompt: &[u32]) -> Option<(CacheLease, usize)> {
         let mut lease = self.lease()?;
-        let Some(px) = &self.prefix else {
-            return Some((lease, 0));
+        let m = if prompt.len() >= 2 {
+            self.prefix
+                .as_ref()
+                .and_then(|px| px.lookup(&prompt[..prompt.len() - 1]))
+        } else {
+            None
         };
-        if prompt.len() < 2 {
-            return Some((lease, 0));
+        if let Some((alloc, page_rows)) = &self.paged {
+            let shared = m.as_ref().map_or(0, |m| m.page_aligned_len(*page_rows));
+            let new_rows = prompt.len().saturating_sub(shared) + 1;
+            if self.pages_needed(new_rows) > alloc.free_pages() {
+                let _ = self.release(lease);
+                return None;
+            }
         }
-        let Some(m) = px.lookup(&prompt[..prompt.len() - 1]) else {
+        let Some(m) = m else {
             return Some((lease, 0));
         };
         match m.seed_into(&mut lease.cache) {
             Ok(()) => Some((lease, m.len())),
             Err(_) => {
-                // A layout mismatch means the snapshot cannot serve
-                // this pool's caches; fall back to a cold lease.
+                // A layout mismatch (or page exhaustion mid-seed) means
+                // the snapshot cannot serve this lease; fall back cold.
                 lease.cache.reset();
                 Some((lease, 0))
             }
@@ -217,9 +256,10 @@ impl KvCachePool {
         }
         let mut cache = lease.cache;
         cache.reset();
-        // Only recycle caches that still match the pool's shape; a
-        // cache swapped out for a foreign one is simply dropped.
-        if cache.n_layers() == self.specs.len() {
+        // Only recycle caches that still match the pool's shape and
+        // backing mode; a cache swapped out for a foreign one is simply
+        // dropped.
+        if cache.n_layers() == self.specs.len() && cache.is_paged() == self.paged.is_some() {
             st.free.push(cache);
         } else {
             st.constructed = st.constructed.saturating_sub(1);
@@ -312,6 +352,65 @@ impl KvCachePool {
     /// Token capacity of each cache.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Rows per page when the pool is in paged mode.
+    pub fn page_rows(&self) -> Option<usize> {
+        self.paged.as_ref().map(|(_, r)| *r)
+    }
+
+    /// The shared block allocator when the pool is in paged mode.
+    pub fn block_allocator(&self) -> Option<&BlockAllocator> {
+        self.paged.as_ref().map(|(a, _)| a)
+    }
+
+    /// Pages required to store `rows` new positions across every layer
+    /// (0 in flat mode, where admission reserves whole caches instead).
+    pub fn pages_needed(&self, rows: usize) -> usize {
+        match &self.paged {
+            Some((_, page_rows)) => self.specs.len() * pages_for_rows(rows, *page_rows),
+            None => 0,
+        }
+    }
+
+    /// Pages a paged lease must newly allocate to grow from `rows` to
+    /// `rows + growth` positions, across every layer (0 in flat mode).
+    /// Exact for append-only growth: pushes only allocate when they
+    /// cross a page boundary, and seeding never leaves a partially
+    /// filled *shared* page (the sub-page tail is always row-copied
+    /// into an owned page), so appends never copy-on-write.
+    pub fn pages_needed_growth(&self, rows: usize, growth: usize) -> usize {
+        match &self.paged {
+            Some((_, r)) => {
+                self.specs.len() * (pages_for_rows(rows + growth, *r) - pages_for_rows(rows, *r))
+            }
+            None => 0,
+        }
+    }
+
+    /// Pages still available in the allocator (0 in flat mode).
+    pub fn free_pages(&self) -> usize {
+        self.paged.as_ref().map_or(0, |(a, _)| a.free_pages())
+    }
+
+    /// Allocator occupancy in paged mode, with the shared gauge filled
+    /// from the prefix index (the allocator itself cannot enumerate
+    /// references — see [`PageStats::shared`]).
+    pub fn page_stats(&self) -> Option<PageStats> {
+        let (alloc, _) = self.paged.as_ref()?;
+        let mut stats = alloc.stats();
+        if let Some(px) = &self.prefix {
+            stats.shared = px.shared_pages();
+        }
+        Some(stats)
+    }
+
+    /// Drops every frozen prefix segment, releasing the index's page
+    /// references (pressure relief: the allocator reclaims each page
+    /// as soon as no lease still shares it). Returns the bytes
+    /// released, 0 when no prefix cache is attached.
+    pub fn clear_prefix(&self) -> u64 {
+        self.prefix.as_ref().map_or(0, PrefixCache::clear)
     }
 }
 
@@ -430,6 +529,55 @@ mod tests {
         let (lease, seeded) = bare.lease_for_prompt(&prompt).unwrap();
         assert_eq!(seeded, 0);
         bare.release_with_prefix(lease, &prompt).unwrap();
+    }
+
+    #[test]
+    fn paged_pool_admits_by_pages_needed() {
+        use crate::prefix::PrefixCacheConfig;
+        // 2 layers, page_rows 4, 8 pages total. A 6-token prompt needs
+        // ceil(7/4)=2 pages per layer = 4 pages.
+        let p = KvCachePool::new(&[(4, 4), (4, 4)], 32, 8)
+            .with_prefix_cache(PrefixCacheConfig {
+                capacity_bytes: 1 << 20,
+                min_prefix_len: 2,
+            })
+            .with_paged(8, 4);
+        assert_eq!(p.page_rows(), Some(4));
+        assert_eq!(p.pages_needed(7), 4);
+        let prompt = [1u32, 2, 3, 4, 5, 6];
+
+        let (mut a, seeded) = p.lease_for_prompt(&prompt).unwrap();
+        assert_eq!(seeded, 0);
+        assert!(a.cache.is_paged());
+        for (pos, &t) in prompt.iter().enumerate() {
+            let row = [pos as f32, t as f32, 0.0, 0.0];
+            a.cache.layer_mut(0).push(&row, &row).unwrap();
+            a.cache.layer_mut(1).push(&row, &row).unwrap();
+        }
+        // 6 rows -> 2 pages x 2 layers allocated.
+        assert_eq!(p.free_pages(), 4);
+        // A second identical prompt cannot fit: needs 4 pages free but
+        // sharing is impossible (nothing frozen yet)... 4 are free, so
+        // it would fit; a *longer* prompt cannot.
+        assert!(p.lease_for_prompt(&[9u32; 12]).is_none(), "queue signal");
+
+        // Freeze the first sequence; its pages move to the index.
+        p.release_with_prefix(a, &prompt).unwrap();
+        assert_eq!(p.free_pages(), 4, "frozen pages stay resident");
+
+        // Warm re-admission: the aligned 4 rows are shared (free), so
+        // only rows 4..6+1 allocate -> 1 page per layer.
+        let (b, seeded) = p.lease_for_prompt(&prompt).unwrap();
+        assert_eq!(seeded, prompt.len() - 1);
+        assert_eq!(p.free_pages(), 2);
+        let stats = p.page_stats().unwrap();
+        assert_eq!(stats.total, 8);
+        assert_eq!(stats.shared, 2, "one aligned page per layer shared");
+        p.release(b).unwrap();
+
+        // Pressure relief: clearing the prefix index frees its pages.
+        assert!(p.clear_prefix() > 0);
+        assert_eq!(p.free_pages(), 8);
     }
 
     #[test]

@@ -11,10 +11,27 @@
 //! scheduler only prefills the uncached suffix.
 //!
 //! Copy-on-write contract: snapshot rows are immutable and shared
-//! (`Arc<Segment>`); a lease *copies* the matched rows into its own
-//! private cache and appends privately from there. Eviction can
-//! therefore drop any segment at any time — in-flight seedings hold
-//! their own `Arc` and finish safely.
+//! (`Arc<Segment>`); a lease either *copies* the matched rows into its
+//! own private cache (flat caches) or — when both donor and target are
+//! page-table backed — takes *references* to whole frozen pages and
+//! appends privately from the first page boundary past the match
+//! ([`PrefixMatch::seed_into`]'s paged path). Either way the snapshot
+//! stays immutable: a paged lease that must overwrite a shared page
+//! copies it first ([`crate::paged::PagedKvStore`]'s copy-on-write).
+//! Eviction can therefore drop any segment at any time — in-flight
+//! seedings hold their own `Arc` and finish safely.
+//!
+//! Page-alignment invariant: shared pages are taken whole or not at
+//! all. [`PrefixMatch::page_aligned_len`] rounds the match down to a
+//! page boundary, seeding shares exactly that many rows by reference,
+//! and the remaining matched rows (fewer than one page) are row-copied
+//! — so sharing never splits mid-page, and
+//! [`crate::paged::PagedKvStore::share_page`] enforces it. This also
+//! resolves the historical lookup asymmetry: admission probes
+//! `prompt[..len-1]` (at least one token must be prefilled to produce
+//! logits) while inserts freeze full fed sequences, so a match length
+//! is rarely page-aligned on its own; rounding down, not up, keeps the
+//! shared region independent of that off-by-one.
 //!
 //! Bitwise equality: cached K/V rows are position-dependent only on the
 //! tokens at or before them (causal attention; RoPE is applied at push
@@ -31,10 +48,12 @@
 //! interior prefix valid: a parent's rows never reference its
 //! children).
 
+use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use crate::error::ModelError;
 use crate::kvcache::{KvCache, KvStore};
+use crate::paged::PageData;
 
 /// Configuration for a [`PrefixCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,41 +75,117 @@ impl Default for PrefixCacheConfig {
 }
 
 /// One layer's frozen rows for a radix-edge token span.
+///
+/// Flat donors freeze into owned row buffers (`Rows`); paged donors
+/// freeze into references to the donor's immutable pages (`Pages`) —
+/// zero bytes copied, and the pages become sharable with later leases.
 #[derive(Debug)]
-struct LayerSeg {
-    k: Vec<f32>,
-    v: Vec<f32>,
-    /// Decoded-row memo for the span — captured only when the donor
-    /// memo covered every position of the span, empty otherwise, so a
-    /// present memo is always contiguous from the span start.
-    memo: Vec<f32>,
-    k_width: usize,
-    v_width: usize,
-    memo_width: usize,
+enum LayerSeg {
+    Rows {
+        k: Vec<f32>,
+        v: Vec<f32>,
+        /// Decoded-row memo for the span — captured only when the donor
+        /// memo covered every position of the span, empty otherwise, so
+        /// a present memo is always contiguous from the span start.
+        memo: Vec<f32>,
+        k_width: usize,
+        v_width: usize,
+        memo_width: usize,
+    },
+    Pages {
+        /// Pages covering the span, in order. The first and last may
+        /// extend beyond the span (a span rarely starts or ends on a
+        /// page boundary); `start` is the span's row offset within
+        /// `pages[0]`. The offset always equals the span's absolute
+        /// position mod `page_rows`, because segments are frozen at
+        /// their absolute positions and splits preserve them — that is
+        /// what lets a later lease share these pages at the same
+        /// absolute positions.
+        pages: Vec<Arc<PageData>>,
+        start: usize,
+        k_width: usize,
+        v_width: usize,
+        page_rows: usize,
+        /// Decoded-row memo for the span (same capture rule as `Rows`).
+        /// The memo is per-store flat scratch, never page-backed, so it
+        /// is the one part of a paged span that still freezes by copy:
+        /// reseeding it costs O(span bytes) but saves the seeded lease
+        /// from re-decoding every shared position through the MLA
+        /// up-projections on its first forward — bit-identical either
+        /// way (`gemm_rowwise` row invariance), so this is purely a
+        /// latency trade.
+        memo: Vec<f32>,
+        memo_width: usize,
+    },
 }
 
 impl LayerSeg {
     fn k_row(&self, r: usize) -> &[f32] {
-        &self.k[r * self.k_width..(r + 1) * self.k_width]
+        match self {
+            LayerSeg::Rows { k, k_width, .. } => &k[r * k_width..(r + 1) * k_width],
+            LayerSeg::Pages {
+                pages,
+                start,
+                page_rows,
+                ..
+            } => pages[(start + r) / page_rows].k_row((start + r) % page_rows),
+        }
     }
 
     fn v_row(&self, r: usize) -> &[f32] {
-        &self.v[r * self.v_width..(r + 1) * self.v_width]
+        match self {
+            LayerSeg::Rows { v, v_width, .. } => &v[r * v_width..(r + 1) * v_width],
+            LayerSeg::Pages {
+                pages,
+                start,
+                page_rows,
+                ..
+            } => pages[(start + r) / page_rows].v_row((start + r) % page_rows),
+        }
+    }
+
+    fn memo_width(&self) -> usize {
+        match self {
+            LayerSeg::Rows { memo_width, .. } | LayerSeg::Pages { memo_width, .. } => *memo_width,
+        }
     }
 
     fn memo_row(&self, r: usize) -> &[f32] {
-        &self.memo[r * self.memo_width..(r + 1) * self.memo_width]
+        match self {
+            LayerSeg::Rows {
+                memo, memo_width, ..
+            }
+            | LayerSeg::Pages {
+                memo, memo_width, ..
+            } => &memo[r * memo_width..(r + 1) * memo_width],
+        }
     }
 
     fn memo_rows(&self) -> usize {
-        self.memo
-            .len()
-            .checked_div(self.memo_width)
-            .unwrap_or_default()
+        match self {
+            LayerSeg::Rows {
+                memo, memo_width, ..
+            }
+            | LayerSeg::Pages {
+                memo, memo_width, ..
+            } => memo.len().checked_div(*memo_width).unwrap_or_default(),
+        }
     }
 
     fn bytes(&self) -> usize {
-        (self.k.len() + self.v.len() + self.memo.len()) * std::mem::size_of::<f32>()
+        match self {
+            LayerSeg::Rows { k, v, memo, .. } => {
+                (k.len() + v.len() + memo.len()) * std::mem::size_of::<f32>()
+            }
+            // Whole pages, conservatively: that is what holding these
+            // references keeps alive in the allocator (a page straddling
+            // a split boundary is counted by both halves). The memo
+            // rides on top: it is copied, not page-backed.
+            LayerSeg::Pages { pages, memo, .. } => {
+                pages.iter().map(|p| p.bytes()).sum::<usize>()
+                    + memo.len() * std::mem::size_of::<f32>()
+            }
+        }
     }
 }
 
@@ -108,19 +203,18 @@ pub struct Segment {
 }
 
 impl Segment {
-    /// Freezes positions `start..end` of every layer of `cache`.
+    /// Freezes positions `start..end` of every layer of `cache` —
+    /// copying rows out of flat caches, taking page references from
+    /// paged ones (zero copy; the donor's pages are immutable once it
+    /// releases, and any still-active writer copies-on-write).
     fn from_cache(cache: &KvCache, start: usize, end: usize) -> Segment {
         let rows = end - start;
         let layers: Vec<LayerSeg> = (0..cache.n_layers())
             .map(|i| {
                 let lc = cache.layer(i);
-                let (kw, vw) = (lc.k_width(), lc.v_width());
-                let mut k = Vec::with_capacity(rows * kw);
-                let mut v = Vec::with_capacity(rows * vw);
-                for pos in start..end {
-                    k.extend_from_slice(lc.k_row(pos));
-                    v.extend_from_slice(lc.v_row(pos));
-                }
+                // Memo capture (both variants): only when the donor's
+                // memo covered every position of the span, so a present
+                // memo is always contiguous from the span start.
                 let mw = lc.memo_width();
                 let memo = if mw > 0 && lc.memo_len() >= end {
                     let mut m = Vec::with_capacity(rows * mw);
@@ -131,10 +225,32 @@ impl Segment {
                 } else {
                     Vec::new()
                 };
-                LayerSeg {
+                let memo_width = if memo.is_empty() { 0 } else { mw };
+                if let Some(ps) = cache.layer_paged(i) {
+                    let pr = ps.page_rows();
+                    let first = start / pr;
+                    let last = (end - 1) / pr;
+                    return LayerSeg::Pages {
+                        pages: ps.pages()[first..=last].to_vec(),
+                        start: start % pr,
+                        k_width: ps.k_width(),
+                        v_width: ps.v_width(),
+                        page_rows: pr,
+                        memo,
+                        memo_width,
+                    };
+                }
+                let (kw, vw) = (lc.k_width(), lc.v_width());
+                let mut k = Vec::with_capacity(rows * kw);
+                let mut v = Vec::with_capacity(rows * vw);
+                for pos in start..end {
+                    k.extend_from_slice(lc.k_row(pos));
+                    v.extend_from_slice(lc.v_row(pos));
+                }
+                LayerSeg::Rows {
                     k,
                     v,
-                    memo_width: if memo.is_empty() { 0 } else { mw },
+                    memo_width,
                     memo,
                     k_width: kw,
                     v_width: vw,
@@ -146,27 +262,72 @@ impl Segment {
     }
 
     /// Splits into the first `m` rows and the rest (for edge splits).
+    /// Page-backed layers split zero-copy: both halves reference the
+    /// same immutable pages (a page straddling the boundary appears in
+    /// both halves' tables), with adjusted row windows.
     fn split(&self, m: usize) -> (Segment, Segment) {
         let part = |range: std::ops::Range<usize>| -> Segment {
             let layers: Vec<LayerSeg> = self
                 .layers
                 .iter()
-                .map(|ls| {
-                    let memo_rows = ls.memo_rows();
-                    // Both halves inherit the memo (it covered the whole
-                    // span, so it covers each half contiguously).
-                    let memo = if memo_rows >= self.rows && ls.memo_width > 0 {
-                        ls.memo[range.start * ls.memo_width..range.end * ls.memo_width].to_vec()
-                    } else {
-                        Vec::new()
-                    };
-                    LayerSeg {
-                        k: ls.k[range.start * ls.k_width..range.end * ls.k_width].to_vec(),
-                        v: ls.v[range.start * ls.v_width..range.end * ls.v_width].to_vec(),
-                        memo_width: if memo.is_empty() { 0 } else { ls.memo_width },
+                .map(|ls| match ls {
+                    LayerSeg::Rows {
+                        k,
+                        v,
                         memo,
-                        k_width: ls.k_width,
-                        v_width: ls.v_width,
+                        k_width,
+                        v_width,
+                        memo_width,
+                    } => {
+                        let memo_rows = ls.memo_rows();
+                        // Both halves inherit the memo (it covered the
+                        // whole span, so it covers each half
+                        // contiguously).
+                        let memo = if memo_rows >= self.rows && *memo_width > 0 {
+                            memo[range.start * memo_width..range.end * memo_width].to_vec()
+                        } else {
+                            Vec::new()
+                        };
+                        LayerSeg::Rows {
+                            k: k[range.start * k_width..range.end * k_width].to_vec(),
+                            v: v[range.start * v_width..range.end * v_width].to_vec(),
+                            memo_width: if memo.is_empty() { 0 } else { *memo_width },
+                            memo,
+                            k_width: *k_width,
+                            v_width: *v_width,
+                        }
+                    }
+                    LayerSeg::Pages {
+                        pages,
+                        start,
+                        k_width,
+                        v_width,
+                        page_rows,
+                        memo,
+                        memo_width,
+                    } => {
+                        // Span row r lives at page-table row `start + r`.
+                        let lo = start + range.start;
+                        let hi = start + range.end; // exclusive
+                        let first = lo / page_rows;
+                        let last = (hi - 1) / page_rows;
+                        // Both halves inherit the memo (it covered the
+                        // whole span, so it covers each half
+                        // contiguously).
+                        let memo = if ls.memo_rows() >= self.rows && *memo_width > 0 {
+                            memo[range.start * memo_width..range.end * memo_width].to_vec()
+                        } else {
+                            Vec::new()
+                        };
+                        LayerSeg::Pages {
+                            pages: pages[first..=last].to_vec(),
+                            start: lo % page_rows,
+                            k_width: *k_width,
+                            v_width: *v_width,
+                            page_rows: *page_rows,
+                            memo_width: if memo.is_empty() { 0 } else { *memo_width },
+                            memo,
+                        }
                     }
                 })
                 .collect();
@@ -233,12 +394,18 @@ impl PrefixMatch {
                 store.push(ls.k_row(r), ls.v_row(r))?;
             }
         }
-        // Memo: must stay contiguous from position 0, so stop at the
-        // first part without one (or with a different width).
+        self.seed_memo(layer, store)
+    }
+
+    /// Seeds the decoded-row memo for one layer. The memo must stay
+    /// contiguous from position 0, so seeding stops at the first part
+    /// without one (or with a different width); the attention memo
+    /// rebuilds the rest incrementally.
+    fn seed_memo(&self, layer: usize, store: &mut dyn KvStore) -> Result<(), ModelError> {
         let Some(width) = self
             .parts
             .first()
-            .map(|(seg, _)| seg.layers[layer].memo_width)
+            .map(|(seg, _)| seg.layers[layer].memo_width())
         else {
             return Ok(());
         };
@@ -247,7 +414,7 @@ impl PrefixMatch {
         }
         for (seg, rows) in &self.parts {
             let ls = &seg.layers[layer];
-            if ls.memo_width != width || ls.memo_rows() < *rows {
+            if ls.memo_width() != width || ls.memo_rows() < *rows {
                 break;
             }
             for r in 0..*rows {
@@ -257,14 +424,127 @@ impl PrefixMatch {
         Ok(())
     }
 
-    /// Seeds every layer of an empty `cache` from the snapshot chain
-    /// (the copy half of copy-on-write: the lease owns the copied rows
-    /// and appends privately; the snapshot stays frozen and shared).
+    /// The match length rounded down to a page boundary — the longest
+    /// region seeding may take by whole-page reference (the
+    /// page-alignment invariant: sharing never splits mid-page). The
+    /// unaligned remainder is row-copied instead.
+    pub fn page_aligned_len(&self, page_rows: usize) -> usize {
+        if page_rows == 0 {
+            return 0;
+        }
+        self.len - self.len % page_rows
+    }
+
+    /// Builds the per-layer table of sharable whole pages for the first
+    /// [`PrefixMatch::page_aligned_len`] rows, walking the part chain
+    /// at absolute positions.
+    ///
+    /// Later parts overwrite earlier assignments for a page straddling
+    /// a part boundary: the earlier part's copy of that page may carry
+    /// rows from a *different* branch beyond the boundary (radix edges
+    /// split mid-page), while the later part's copy is the one whose
+    /// donor actually matched those rows — and the rows below the
+    /// boundary are bitwise identical across donors by the prefix
+    /// determinism argument in the module docs. A full page assigned by
+    /// the last part touching it therefore carries exactly the matched
+    /// bits. Rows-backed or misaligned parts poison the pages they
+    /// touch, and the map is cut at the first unsharable page.
+    fn shared_page_map(&self, layer: usize, page_rows: usize) -> Vec<Arc<PageData>> {
+        let n_full = self.page_aligned_len(page_rows) / page_rows.max(1);
+        if n_full == 0 {
+            return Vec::new();
+        }
+        let mut map: Vec<Option<Arc<PageData>>> = vec![None; n_full];
+        let mut abs = 0usize;
+        for (seg, used) in &self.parts {
+            match &seg.layers[layer] {
+                LayerSeg::Pages {
+                    pages,
+                    start,
+                    page_rows: pr,
+                    ..
+                } if *pr == page_rows && *start == abs % page_rows => {
+                    // Absolute row of pages[0]'s row 0 (a multiple of
+                    // page_rows by the alignment guard above).
+                    let base = abs - start;
+                    for (pi, page) in pages.iter().enumerate() {
+                        let page_lo = base + pi * page_rows;
+                        if page_lo >= abs + used {
+                            break;
+                        }
+                        let g = page_lo / page_rows;
+                        if g < n_full {
+                            map[g] = Some(Arc::clone(page));
+                        }
+                    }
+                }
+                _ => {
+                    // Not page-sharable: poison every page this part
+                    // touches.
+                    let g0 = abs / page_rows;
+                    let g1 = (abs + used - 1) / page_rows;
+                    for slot in map.iter_mut().take(n_full.min(g1 + 1)).skip(g0) {
+                        *slot = None;
+                    }
+                }
+            }
+            abs += used;
+        }
+        map.into_iter().map_while(|p| p).collect()
+    }
+
+    /// Seeds one paged layer: shares the maximal aligned run of whole
+    /// pages by reference, then row-copies the remaining matched rows.
+    fn seed_layer_paged(
+        &self,
+        layer: usize,
+        store: &mut crate::paged::PagedKvStore,
+    ) -> Result<usize, ModelError> {
+        if !store.is_empty() {
+            return Err(ModelError::exec(
+                "prefix seeding requires an empty KV store",
+            ));
+        }
+        let map = self.shared_page_map(layer, store.page_rows());
+        for page in &map {
+            store.share_page(page)?;
+        }
+        let shared_rows = store.len();
+        // Row-copy the matched tail (fewer than one page past the last
+        // shared page, plus anything the map could not share).
+        let mut abs = 0usize;
+        for (seg, used) in &self.parts {
+            let ls = &seg.layers[layer];
+            for r in 0..*used {
+                if abs + r >= shared_rows {
+                    store.push(ls.k_row(r), ls.v_row(r))?;
+                }
+            }
+            abs += used;
+        }
+        // The memo is flat scratch, never page-backed, so it seeds by
+        // copy even here — without it the lease would re-decode every
+        // shared position through the MLA up-projections on its first
+        // forward, which costs far more than the copy.
+        self.seed_memo(layer, store)?;
+        Ok(shared_rows)
+    }
+
+    /// Seeds every layer of an empty `cache` from the snapshot chain.
+    ///
+    /// Flat caches get the copy half of copy-on-write: the lease owns
+    /// the copied rows and appends privately; the snapshot stays
+    /// frozen and shared. Paged caches share whole frozen pages by
+    /// reference — O(1) per page instead of O(bytes) — and row-copy
+    /// only the sub-page remainder; the lease appends privately from
+    /// there, copying a shared page first if it ever must overwrite
+    /// one.
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError::Exec`] when the cache is not empty or its
-    /// layout does not match the snapshot.
+    /// Returns [`ModelError::Exec`] when the cache is not empty, its
+    /// layout does not match the snapshot, or (paged) the page
+    /// allocator is exhausted mid-seed.
     pub fn seed_into(&self, cache: &mut KvCache) -> Result<(), ModelError> {
         let n_layers = self.parts.first().map_or(0, |(s, _)| s.layers.len());
         if cache.n_layers() != n_layers {
@@ -279,6 +559,20 @@ impl PrefixMatch {
             self.len.min(u32::MAX as usize) as u32,
             n_layers.min(u32::MAX as usize) as u32,
         );
+        if cache.is_paged() {
+            let mut shared_rows = 0usize;
+            for i in 0..n_layers {
+                let store = cache
+                    .layer_paged_mut(i)
+                    .expect("is_paged checked above");
+                shared_rows = self.seed_layer_paged(i, store)?;
+            }
+            kt_trace::counter_add(
+                kt_trace::CounterKind::PrefixSharedRows,
+                shared_rows as u64,
+            );
+            return Ok(());
+        }
         for i in 0..n_layers {
             self.seed_layer(i, cache.layer_mut(i))?;
         }
@@ -546,6 +840,56 @@ impl PrefixCache {
     pub fn stats(&self) -> PrefixStats {
         self.lock().stats
     }
+
+    /// Distinct frozen pages currently shared beyond the index itself
+    /// (referenced by at least one lease or in-flight seeding). A page
+    /// may legitimately appear in several segments (splits share the
+    /// straddling page), so "shared" means strong references exceed
+    /// the index's own occurrence count.
+    pub fn shared_pages(&self) -> usize {
+        let inner = self.lock();
+        let mut occurrences: HashMap<usize, (usize, usize)> = HashMap::new();
+        fn walk(nodes: &[Node], occ: &mut HashMap<usize, (usize, usize)>) {
+            for n in nodes {
+                for ls in &n.seg.layers {
+                    if let LayerSeg::Pages { pages, .. } = ls {
+                        for p in pages {
+                            let e = occ
+                                .entry(Arc::as_ptr(p) as usize)
+                                .or_insert((0, Arc::strong_count(p)));
+                            e.0 += 1;
+                        }
+                    }
+                }
+            }
+            for n in nodes {
+                walk(&n.children, occ);
+            }
+        }
+        walk(&inner.children, &mut occurrences);
+        occurrences
+            .values()
+            .filter(|&&(in_index, strong)| strong > in_index)
+            .count()
+    }
+
+    /// Drops every frozen segment, returning the bytes released. Used
+    /// under page pressure: prefix residency is an optimization, and
+    /// releasing the index's page references lets the allocator
+    /// reclaim them as soon as no lease shares them.
+    pub fn clear(&self) -> u64 {
+        let mut inner = self.lock();
+        inner.children.clear();
+        let freed = inner.stats.resident_bytes;
+        inner.stats.evictions += inner.stats.entries;
+        inner.stats.evicted_bytes += freed;
+        inner.stats.resident_bytes = 0;
+        inner.stats.entries = 0;
+        if freed > 0 {
+            kt_trace::counter_add(kt_trace::CounterKind::PrefixEvictedBytes, freed);
+        }
+        freed
+    }
 }
 
 /// Smallest `last_touch` over every leaf in the forest.
@@ -722,6 +1066,124 @@ mod tests {
         assert!(m.seed_into(&mut busy).is_err(), "non-empty cache");
         let mut wrong = KvCache::new(&[(3, 2), (3, 2)], 64);
         assert!(m.seed_into(&mut wrong).is_err(), "layer-count mismatch");
+    }
+
+    /// A paged single-layer cache whose rows encode their position and
+    /// token, mirroring `donor` bit for bit.
+    fn paged_donor(
+        tokens: &[u32],
+        alloc: &crate::paged::BlockAllocator,
+        page_rows: usize,
+    ) -> KvCache {
+        let mut c = KvCache::new_paged(&[(3, 2)], 64, alloc, page_rows);
+        for (pos, &t) in tokens.iter().enumerate() {
+            let k = [pos as f32, t as f32, 0.25];
+            let v = [pos as f32 * 10.0, t as f32 * 10.0];
+            c.layer_mut(0).push(&k, &v).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn paged_seed_shares_whole_pages_and_copies_tail() {
+        let alloc = crate::paged::BlockAllocator::new(64);
+        let px = PrefixCache::new(cfg(1 << 20, 1));
+        let tokens: Vec<u32> = (100..110).collect(); // 10 rows, R=4
+        let cache = paged_donor(&tokens, &alloc, 4);
+        px.insert(&tokens, &cache);
+        drop(cache); // donor releases; frozen pages keep its state alive
+
+        let m = px.lookup(&tokens).expect("hit");
+        assert_eq!(m.len(), 10);
+        assert_eq!(m.page_aligned_len(4), 8, "rounded down to a page boundary");
+
+        let before = alloc.allocated_pages();
+        let mut seeded = KvCache::new_paged(&[(3, 2)], 64, &alloc, 4);
+        m.seed_into(&mut seeded).unwrap();
+        assert_eq!(seeded.seq_len(), 10);
+        // Two pages shared by reference, one fresh page for the 2-row tail.
+        assert_eq!(alloc.allocated_pages(), before + 1);
+        assert_eq!(seeded.layer_paged(0).unwrap().shared_pages(), 2);
+        assert_eq!(px.shared_pages(), 2);
+
+        let reference = donor(&tokens, 0);
+        for pos in 0..10 {
+            assert_eq!(seeded.layer(0).k_row(pos), reference.layer(0).k_row(pos));
+            assert_eq!(seeded.layer(0).v_row(pos), reference.layer(0).v_row(pos));
+        }
+
+        // Appending past the seed lands in private pages.
+        seeded.layer_mut(0).push(&[9.0; 3], &[9.0; 2]).unwrap();
+        assert_eq!(seeded.layer_paged(0).unwrap().shared_pages(), 2);
+    }
+
+    #[test]
+    fn paged_branch_straddling_page_comes_from_the_matching_branch() {
+        // Two branches diverge mid-page: the page straddling the split
+        // exists in both donors with different rows past the branch
+        // point. The shared-page map must take it from the *branch*
+        // part (the last part touching it), not the head.
+        let alloc = crate::paged::BlockAllocator::new(64);
+        let px = PrefixCache::new(cfg(1 << 20, 1));
+        let a: Vec<u32> = (1..=10).collect();
+        let mut b: Vec<u32> = (1..=6).collect();
+        b.extend([90, 91, 92, 93]);
+        px.insert(&a, &paged_donor(&a, &alloc, 4));
+        px.insert(&b, &paged_donor(&b, &alloc, 4));
+
+        for want in [&a, &b] {
+            let m = px.lookup(want).expect("hit");
+            assert_eq!(m.len(), 10);
+            let mut seeded = KvCache::new_paged(&[(3, 2)], 64, &alloc, 4);
+            m.seed_into(&mut seeded).unwrap();
+            let reference = donor(want, 0);
+            for pos in 0..10 {
+                assert_eq!(
+                    seeded.layer(0).k_row(pos),
+                    reference.layer(0).k_row(pos),
+                    "k row {pos} of {want:?}"
+                );
+                assert_eq!(
+                    seeded.layer(0).v_row(pos),
+                    reference.layer(0).v_row(pos),
+                    "v row {pos} of {want:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_snapshots_row_copy_into_paged_leases() {
+        // Mixed mode: a flat donor's snapshot seeds a paged lease by
+        // row copy (nothing sharable), still bit-exact.
+        let alloc = crate::paged::BlockAllocator::new(64);
+        let px = PrefixCache::new(cfg(1 << 20, 1));
+        let tokens: Vec<u32> = (7..16).collect();
+        let flat = donor(&tokens, 0);
+        px.insert(&tokens, &flat);
+        let m = px.lookup(&tokens).expect("hit");
+        let mut seeded = KvCache::new_paged(&[(3, 2)], 64, &alloc, 4);
+        m.seed_into(&mut seeded).unwrap();
+        assert_eq!(seeded.seq_len(), tokens.len());
+        assert_eq!(seeded.layer_paged(0).unwrap().shared_pages(), 0);
+        for pos in 0..tokens.len() {
+            assert_eq!(seeded.layer(0).k_row(pos), flat.layer(0).k_row(pos));
+            assert_eq!(seeded.layer(0).v_row(pos), flat.layer(0).v_row(pos));
+        }
+    }
+
+    #[test]
+    fn clearing_the_index_releases_page_references() {
+        let alloc = crate::paged::BlockAllocator::new(64);
+        let px = PrefixCache::new(cfg(1 << 20, 1));
+        let tokens: Vec<u32> = (0..8).collect();
+        px.insert(&tokens, &paged_donor(&tokens, &alloc, 4));
+        assert_eq!(alloc.allocated_pages(), 2, "index keeps frozen pages");
+        let freed = px.clear();
+        assert!(freed > 0);
+        assert_eq!(px.stats().entries, 0);
+        assert_eq!(alloc.allocated_pages(), 0, "pages reclaimed");
+        assert!(px.lookup(&tokens).is_none());
     }
 
     #[test]

@@ -48,7 +48,7 @@ fn kind_strategy() -> impl Strategy<Value = AttentionKind> {
 }
 
 /// Asserts two KV stores hold bitwise-identical K/V rows.
-fn assert_same_cache(a: &impl KvStore, b: &impl KvStore) {
+fn assert_same_cache(a: &(impl KvStore + ?Sized), b: &(impl KvStore + ?Sized)) {
     assert_eq!(a.len(), b.len(), "cache lengths diverged");
     for pos in 0..a.len() {
         assert_eq!(a.k_row(pos), b.k_row(pos), "k row {pos} diverged");

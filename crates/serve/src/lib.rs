@@ -81,12 +81,14 @@
 
 mod metrics;
 mod request;
+pub mod preempt;
 pub mod sched;
 mod server;
 pub mod slo;
 
 pub use kt_trace::{Component, RequestBreakdown};
 pub use request::{Request, RequestHandle, RequestOutcome, RequestResult};
+pub use preempt::{PreemptCostModel, PreemptMode, PreemptPolicy};
 pub use server::{Server, ServerConfig};
 pub use slo::{ClassCounters, SloClass, SloPolicy, SloTarget};
 

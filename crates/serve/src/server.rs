@@ -61,6 +61,7 @@ use kt_core::{
     BatchSeq, EngineError, HybridEngine, PlacementPolicy, RequestMetrics, ServeStats, SimdLevel,
 };
 use kt_model::kvcache::KvCache;
+use kt_model::paged::{SwappedKv, DEFAULT_PAGE_ROWS};
 use kt_model::pool::{CacheLease, KvCachePool};
 use kt_model::prefix::PrefixCacheConfig;
 use kt_tensor::Matrix;
@@ -76,6 +77,7 @@ use crate::metrics::{
     push_counter, push_family, push_gauge, push_histogram, push_histogram_samples_seconds,
     push_sample,
 };
+use crate::preempt::{self, PreemptCostModel, PreemptMode, PreemptPolicy, VictimView};
 use crate::request::{Request, RequestHandle, RequestOutcome, RequestResult, RequestSlot};
 use crate::sched::{self, ComposeCfg, PlanWork, SeqView};
 use crate::slo::{self, ClassCounters, SlackInputs, SloClass, SloPolicy};
@@ -110,6 +112,26 @@ pub struct ServerConfig {
     /// composition. Each class's targets must be nonzero with
     /// `ttft >= itl` (the first token needs at least one full step).
     pub slo: Option<SloPolicy>,
+    /// Rows per KV page. Nonzero turns on the paged KV backend: leases
+    /// allocate fixed-size pages on demand from a pool-wide block
+    /// allocator, admission charges the pages a prompt actually needs
+    /// instead of reserving a whole `max_seq` cache, warm prefix hits
+    /// share frozen pages zero-copy (copy-on-write at the first
+    /// divergence), and page pressure preempts running sequences
+    /// (swap-or-recompute) instead of failing the step. `0` keeps the
+    /// legacy monolithic (flat) leases. Outputs are bitwise identical
+    /// either way.
+    pub page_rows: usize,
+    /// Total pages in the block allocator (paged mode only). `0` sizes
+    /// it automatically: `max_batch` full-capacity sequences plus an
+    /// allowance covering the prefix cache's byte budget. Pages are
+    /// admission accounting units — page memory is allocated lazily —
+    /// so a generous total costs nothing up front.
+    pub kv_pool_pages: usize,
+    /// How page-pressure preemption reclaims a victim's pages: swap to
+    /// the host tier, drop-and-recompute, or per-victim by the
+    /// hwsim-calibrated cost model (the default).
+    pub preempt_policy: PreemptPolicy,
 }
 
 impl Default for ServerConfig {
@@ -121,6 +143,9 @@ impl Default for ServerConfig {
             prefix_cache_bytes: 32 << 20,
             min_prefix_len: 4,
             slo: None,
+            page_rows: DEFAULT_PAGE_ROWS,
+            kv_pool_pages: 0,
+            preempt_policy: PreemptPolicy::Auto,
         }
     }
 }
@@ -151,8 +176,15 @@ enum Work {
     /// Decode one token (the sequence's next sampled token).
     Decode(u32),
     /// Prefill the next `len` prompt tokens; `last` marks the chunk
-    /// that completes the prompt (it samples the first token).
+    /// that completes the feed (it samples the first token).
     Chunk { len: usize, last: bool },
+    /// Re-feed one already-emitted generation as a sampling-suppressed
+    /// decode row, rebuilding KV dropped by a recompute preemption.
+    /// Expert Deferral is decode-row-only, so replaying a generation
+    /// as a prefill chunk would write different KV bits; a replay row
+    /// goes through the exact decode path the original token took,
+    /// minus the LM head (its sample was already reported).
+    Replay(u32),
 }
 
 /// A sequence currently in the batch.
@@ -161,11 +193,23 @@ struct ActiveSeq {
     lease: CacheLease,
     req: Request,
     rng: StdRng,
-    /// Prompt tokens already fed to the engine. The prompt is consumed
-    /// in chunks; the sequence becomes a decode row once this reaches
-    /// `req.prompt.len()`.
+    /// The token stream this activation feeds: the prompt on first
+    /// admission; the prompt plus already-emitted generations on a
+    /// recompute-resume. Prompt positions rebuild through the same
+    /// chunked prefill (bitwise identical by the chunk invariance
+    /// contract); generation positions replay as sampling-suppressed
+    /// decode rows ([`Work::Replay`]), reproducing the exact bits the
+    /// original decode steps wrote even with Expert Deferral on.
+    feed: Vec<u32>,
+    /// Feed tokens already in the cache (fed by the engine, restored
+    /// from a swap, or seeded from the prefix cache). The sequence
+    /// becomes a decode row once this reaches `feed.len()`.
     prefilled: usize,
-    /// Next token to decode once the prompt is fully prefilled.
+    /// Sampled-but-not-yet-fed token carried across a preemption: fed
+    /// as a plain decode (no fresh sampling) once `feed` completes.
+    /// `None` outside a recompute-resume.
+    resume_decode: Option<u32>,
+    /// Next token to decode once the feed is fully prefilled.
     /// `None` before the first sample and after the last one.
     next_token: Option<u32>,
     tokens: Vec<u32>,
@@ -179,13 +223,17 @@ struct ActiveSeq {
     /// was disabled at admission. Boxed: the trace is cold data next to
     /// the hot scheduling fields.
     trace: Option<Box<RequestTrace>>,
+    /// Process-wide admission counter: victim selection preempts the
+    /// newest admission within the least urgent class first.
+    admit_seq: u64,
 }
 
 impl ActiveSeq {
     /// Whether generation ended (stop token or length) and the slot is
     /// ready to resolve.
     fn is_done(&self) -> bool {
-        self.prefilled == self.req.prompt.len()
+        self.prefilled == self.feed.len()
+            && self.resume_decode.is_none()
             && self.next_token.is_none()
             && !self.tokens.is_empty()
     }
@@ -205,12 +253,18 @@ impl ActiveSeq {
         if matches!(outcome, RequestOutcome::Failed { .. }) {
             let _ = inner.pool.release(self.lease);
         } else {
+            // The token stream the cache rows encode: the fed feed
+            // prefix, then generations decoded after the feed (the
+            // feed itself already contains generations re-fed by a
+            // recompute-resume, so those are not double counted).
             let len = self.lease.cache.seq_len();
-            let from_prompt = len.min(self.prefilled);
-            let from_gen = (len - from_prompt).min(self.tokens.len());
-            let mut fed: Vec<u32> = Vec::with_capacity(from_prompt + from_gen);
-            fed.extend_from_slice(&self.req.prompt[..from_prompt]);
-            fed.extend_from_slice(&self.tokens[..from_gen]);
+            let from_feed = len.min(self.prefilled);
+            let gen_in_feed = self.feed.len().saturating_sub(self.req.prompt.len());
+            let from_gen =
+                (len - from_feed).min(self.tokens.len().saturating_sub(gen_in_feed));
+            let mut fed: Vec<u32> = Vec::with_capacity(from_feed + from_gen);
+            fed.extend_from_slice(&self.feed[..from_feed]);
+            fed.extend_from_slice(&self.tokens[gen_in_feed..gen_in_feed + from_gen]);
             let _ = inner.pool.release_with_prefix(self.lease, &fed);
         }
         self.slot.resolve(RequestResult {
@@ -220,6 +274,42 @@ impl ActiveSeq {
             metrics: self.metrics,
         });
     }
+}
+
+/// How a preempted sequence's KV state comes back at resume.
+enum ResumeState {
+    /// Rows captured to host buffers; restored bit-for-bit into a
+    /// fresh lease.
+    Swapped(SwappedKv),
+    /// Rows dropped; the feed re-prefills through the chunked path.
+    Recompute,
+}
+
+/// A sequence evicted from the batch under page pressure, holding no
+/// lease (its pages went back to the allocator). Everything needed to
+/// resume bitwise — sampling RNG, emitted tokens, the pending decode
+/// token, latency metrics, the trace — is carried across.
+struct PreemptedSeq {
+    slot: Arc<RequestSlot>,
+    req: Request,
+    rng: StdRng,
+    /// Full logical feed at resume: prompt plus every generation whose
+    /// row the cache held (or would have held) before eviction.
+    feed: Vec<u32>,
+    /// Sampled-but-not-fed token to decode once the feed is rebuilt.
+    pending: Option<u32>,
+    tokens: Vec<u32>,
+    metrics: RequestMetrics,
+    admitted_at: Instant,
+    last_token_at: Option<Instant>,
+    ctx: TraceCtx,
+    trace: Option<Box<RequestTrace>>,
+    admit_seq: u64,
+    resume: ResumeState,
+    /// Pages' worth of rows held on the host tier (0 for recompute);
+    /// keeps the `kv_pages_swapped` gauge symmetric across swap-in,
+    /// resolution, and drain.
+    swapped_pages: u64,
 }
 
 /// Server-side latency histograms, fed at request resolution.
@@ -260,6 +350,10 @@ struct ServerInner {
     /// request-id exemplars), fed one sample per component per traced
     /// resolution.
     comp_hists: Mutex<[LogHistogram; N_COMPONENTS]>,
+    /// Swap-vs-recompute pricing for [`PreemptPolicy::Auto`],
+    /// calibrated once at startup from the model shape and the hwsim
+    /// platform anchors.
+    preempt_cost: PreemptCostModel,
     cfg: ServerConfig,
 }
 
@@ -401,6 +495,27 @@ impl ServerInner {
         });
     }
 
+    /// Resolves a preempted sequence without resuming it (cancelled,
+    /// drained at shutdown, or unresumable). It holds no lease; a
+    /// swapped host copy is dropped here and un-accounted from the
+    /// swapped-pages gauge.
+    fn resolve_preempted(&self, mut p: PreemptedSeq, outcome: RequestOutcome) {
+        self.record_request_hists(&p.metrics);
+        let violated = self.account_outcome(p.req.class, &outcome, &p.metrics);
+        if let Some(trace) = p.trace.take() {
+            self.finish_trace(trace, &outcome, violated, &p.metrics, p.tokens.len() as u32);
+        }
+        if p.swapped_pages > 0 {
+            self.stats.lock().kv_pages_swapped -= p.swapped_pages;
+        }
+        p.slot.resolve(RequestResult {
+            request_id: p.ctx.request_id,
+            outcome,
+            tokens: p.tokens,
+            metrics: p.metrics,
+        });
+    }
+
     /// Per-wave service estimate for the slack predictor, read from
     /// the server's own latency histograms: TTFT p50, falling back to
     /// ITL p50, then 0 (an empty history predicts optimistically — the
@@ -497,13 +612,50 @@ impl Server {
                 }
             }
         }
-        let mut pool = KvCachePool::for_prototype(&engine.fresh_cache(), cfg.max_batch);
+        let fresh = engine.fresh_cache();
+        let mut pool = KvCachePool::for_prototype(&fresh, cfg.max_batch);
         if cfg.prefix_cache_bytes > 0 {
             pool = pool.with_prefix_cache(PrefixCacheConfig {
                 capacity_bytes: cfg.prefix_cache_bytes,
                 min_prefix_len: cfg.min_prefix_len,
             });
         }
+        if cfg.page_rows > 0 {
+            let total = if cfg.kv_pool_pages > 0 {
+                cfg.kv_pool_pages
+            } else {
+                // Auto: every batch slot at full capacity, plus pages
+                // for the prefix index's byte budget (frozen segments
+                // hold page references, so index residency competes
+                // with leases for the allocator). Pages are lazily
+                // materialized, so generosity here reserves no memory.
+                let capacity = if fresh.n_layers() > 0 { fresh.layer(0).capacity() } else { 0 };
+                let per_seq = fresh.n_layers() * capacity.div_ceil(cfg.page_rows);
+                let min_row_bytes = (0..fresh.n_layers())
+                    .map(|i| {
+                        let l = fresh.layer(i);
+                        (l.k_width() + l.v_width()) * std::mem::size_of::<f32>()
+                    })
+                    .min()
+                    .unwrap_or(1)
+                    .max(1);
+                let prefix_pages = cfg
+                    .prefix_cache_bytes
+                    .div_ceil(cfg.page_rows * min_row_bytes);
+                cfg.max_batch * per_seq + prefix_pages
+            };
+            pool = pool.with_paged(total, cfg.page_rows);
+        }
+        // Swap-vs-recompute pricing from the model shape and the hwsim
+        // calibration (same anchors as dynamic placement's CostModel).
+        let preempt_cost = {
+            let mcfg = engine.config();
+            PreemptCostModel::calibrated(preempt::flops_per_token(
+                mcfg.n_layers,
+                mcfg.hidden,
+                mcfg.dense_inter.max(mcfg.moe_inter),
+            ))
+        };
         kt_trace::enable_from_env();
         let inner = Arc::new(ServerInner {
             engine,
@@ -518,6 +670,7 @@ impl Server {
             next_id: AtomicU64::new(1),
             recorder: FlightRecorder::new(),
             comp_hists: Mutex::new(std::array::from_fn(|_| LogHistogram::new())),
+            preempt_cost,
             cfg,
         });
         let loop_inner = Arc::clone(&inner);
@@ -599,6 +752,9 @@ impl Server {
         s.set_pool(&self.inner.pool.occupancy());
         if let Some(px) = self.inner.pool.prefix_stats() {
             s.set_prefix(&px);
+        }
+        if let Some(pages) = self.inner.pool.page_stats() {
+            s.set_pages(&pages);
         }
         if let Some(x) = self.inner.engine.expert_cache_stats() {
             s.set_expert_cache(&x);
@@ -747,6 +903,26 @@ impl Server {
                 &[("dtype", &s.expert_weight_dtype)],
                 s.expert_weight_bytes,
             );
+        }
+        // Paged-KV allocator gauges and preemption counters (all zero
+        // when the server runs monolithic flat leases).
+        push_gauge(&mut out, "kt_kv_pages_total", "KV pages the block allocator can hand out in total.", s.kv_pages_total as f64);
+        push_gauge(&mut out, "kt_kv_pages_free", "KV pages currently free in the allocator.", s.kv_pages_free as f64);
+        push_gauge(&mut out, "kt_kv_pages_shared", "Allocated KV pages referenced by more than one holder (prefix sharing).", s.kv_pages_shared as f64);
+        push_gauge(&mut out, "kt_kv_pages_swapped", "Pages' worth of KV rows swapped out to the host tier by preemption.", s.kv_pages_swapped as f64);
+        {
+            push_family(
+                &mut out,
+                "kt_preempt_total",
+                "counter",
+                "Sequences preempted under KV page pressure, by reclaim mode.",
+            );
+            for (mode, n) in [
+                (PreemptMode::Swap, s.preempt_swap),
+                (PreemptMode::Recompute, s.preempt_recompute),
+            ] {
+                push_sample(&mut out, "kt_preempt_total", &[("mode", mode.as_str())], n);
+            }
         }
         push_gauge(&mut out,"kt_kv_leases_in_use", "KV caches currently leased to sequences.", s.kv_leases_in_use as f64);
         push_gauge(&mut out,"kt_kv_leases_free", "Reset KV caches parked in the pool.", s.kv_leases_free as f64);
@@ -917,6 +1093,22 @@ impl Server {
                 req.max_new
             ));
         }
+        // Paged admission: the request must fit the page pool even
+        // with every other sequence preempted, or it could never run
+        // to completion (preemption keeps at least one survivor, so a
+        // too-big request would wedge the scheduler, not just fail).
+        if let Some(alloc) = self.inner.pool.block_allocator() {
+            let needed = self.inner.pool.pages_needed(req.prompt.len() + req.max_new);
+            if needed > alloc.total_pages() {
+                return Err(format!(
+                    "prompt ({}) + max_new ({}) needs {needed} KV pages but the pool \
+                     holds {}",
+                    req.prompt.len(),
+                    req.max_new,
+                    alloc.total_pages()
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -942,9 +1134,15 @@ impl std::fmt::Debug for Server {
 
 fn scheduler_loop(inner: &ServerInner) {
     let mut active: Vec<ActiveSeq> = Vec::new();
+    // Sequences evicted under page pressure, waiting for pages to
+    // resume. Owned by the scheduler thread: preemption is pure
+    // scheduling state, invisible outside the loop except through the
+    // gauges and the (unchanged) request outcomes.
+    let mut preempted: Vec<PreemptedSeq> = Vec::new();
     loop {
-        // Join arrivals (and park while idle).
-        admit(inner, &mut active);
+        // Join arrivals and resume preempted work (and park while
+        // idle).
+        admit(inner, &mut active, &mut preempted);
         if inner.shutdown.load(Ordering::Acquire) {
             break;
         }
@@ -966,9 +1164,9 @@ fn scheduler_loop(inner: &ServerInner) {
             stats.peak_queue_depth = stats.peak_queue_depth.max(depth);
         }
 
-        step(inner, &mut active);
+        step(inner, &mut active, &mut preempted);
     }
-    drain(inner, active);
+    drain(inner, active, preempted);
 }
 
 /// Sheds queued requests whose predicted slack is negative (policy
@@ -1022,8 +1220,11 @@ fn shed_pass(inner: &ServerInner, policy: &SloPolicy, queue: &mut VecDeque<Queue
 /// Admits queued requests while the batch has room; blocks when there
 /// is nothing to do at all. With an SLO policy, admission picks the
 /// earliest request of the most urgent class (FIFO within a class)
-/// and sheds negative-slack lower-class work first.
-fn admit(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
+/// and sheds negative-slack lower-class work first. Preempted
+/// sequences resume ahead of new admissions: they already consumed
+/// queue wait and prefill, so re-admitting fresh work over them would
+/// invert the priority order that chose them as victims.
+fn admit(inner: &ServerInner, active: &mut Vec<ActiveSeq>, preempted: &mut Vec<PreemptedSeq>) {
     let priority_aware = inner.cfg.slo.is_some();
     loop {
         let mut queue = inner.queue.lock();
@@ -1040,9 +1241,20 @@ fn admit(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
                 i += 1;
             }
         }
+        // Cancellations among the preempted, same contract.
+        let mut i = 0;
+        while i < preempted.len() {
+            if preempted[i].slot.cancel_requested() {
+                let p = preempted.remove(i);
+                inner.resolve_preempted(p, RequestOutcome::Cancelled);
+            } else {
+                i += 1;
+            }
+        }
         if let Some(policy) = &inner.cfg.slo {
             shed_pass(inner, policy, &mut queue, active.len());
         }
+        resume_preempted(inner, active, preempted);
         while !queue.is_empty() && active.len() < inner.cfg.max_batch {
             let keys: Vec<(usize, u64)> = queue
                 .iter()
@@ -1082,8 +1294,10 @@ fn admit(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
                 slot: q.slot,
                 lease,
                 rng: StdRng::seed_from_u64(q.req.seed),
+                feed: q.req.prompt.clone(),
                 req: q.req,
                 prefilled: seeded,
+                resume_decode: None,
                 next_token: None,
                 tokens: Vec::new(),
                 metrics: RequestMetrics {
@@ -1094,20 +1308,156 @@ fn admit(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
                 last_token_at: None,
                 ctx,
                 trace,
+                admit_seq: q.seq_no,
             });
         }
         // Park only when fully idle; otherwise go run a step.
         if !active.is_empty() || inner.shutdown.load(Ordering::Acquire) {
             return;
         }
-        if !queue.is_empty() {
-            // Idle but queue non-empty can only mean foreign leases
-            // hold the pool; yield and retry rather than spin.
+        if !preempted.is_empty() {
+            // Nothing active yet preempted work cannot resume: the
+            // page pool must be clogged by the prefix index (no lease
+            // holds pages). Dump the index and retry; if a sequence
+            // still cannot fit the empty pool, it never will — fail it
+            // rather than wedge the scheduler.
             drop(queue);
+            let freed = inner.pool.clear_prefix();
+            resume_preempted(inner, active, preempted);
+            if active.is_empty() && freed == 0 {
+                if let Some(i) = next_resume(preempted) {
+                    let p = preempted.remove(i);
+                    inner.resolve_preempted(
+                        p,
+                        RequestOutcome::Failed {
+                            error: "KV page pool too small to resume preempted sequence"
+                                .into(),
+                        },
+                    );
+                }
+            }
+            continue;
+        }
+        if !queue.is_empty() {
+            // Idle but queue non-empty: foreign leases hold the pool,
+            // or the prefix index holds the allocator's pages. Release
+            // the index (nothing active shares it profitably right
+            // now) and retry rather than spin.
+            drop(queue);
+            inner.pool.clear_prefix();
             std::thread::yield_now();
             continue;
         }
         inner.wakeup.wait(&mut queue);
+    }
+}
+
+/// Index of the next preempted sequence to resume: most urgent class
+/// first, earliest admission within it — the mirror of victim
+/// selection, so the last sequence preempted is the first back in.
+fn next_resume(preempted: &[PreemptedSeq]) -> Option<usize> {
+    preempted
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, p)| (p.req.class.priority(), p.admit_seq))
+        .map(|(i, _)| i)
+}
+
+/// Resumes preempted sequences while batch slots and pages allow, in
+/// [`next_resume`] order. Stops at the first sequence that does not
+/// fit — resuming a smaller, less urgent one instead would starve it.
+fn resume_preempted(inner: &ServerInner, active: &mut Vec<ActiveSeq>, preempted: &mut Vec<PreemptedSeq>) {
+    while active.len() < inner.cfg.max_batch {
+        let Some(i) = next_resume(preempted) else { return };
+        let swap_rows = match &preempted[i].resume {
+            ResumeState::Swapped(s) => Some(s.rows()),
+            ResumeState::Recompute => None,
+        };
+        let seq = match swap_rows {
+            Some(rows) => {
+                // Swap-in: the captured rows restore bit-for-bit into
+                // a fresh lease; the sequence continues exactly where
+                // it stopped.
+                if inner.pool.page_rows().is_some()
+                    && inner.pool.pages_needed(rows) > inner.pool.free_pages()
+                {
+                    return;
+                }
+                let Some(mut lease) = inner.pool.lease() else { return };
+                let p = preempted.remove(i);
+                let ResumeState::Swapped(swapped) = &p.resume else { unreachable!() };
+                {
+                    let _span = kt_trace::span_ab(
+                        SpanKind::KvSwapIn,
+                        p.ctx.tag(),
+                        (swapped.bytes() / 1024).min(u32::MAX as usize) as u32,
+                    );
+                    swapped
+                        .restore(&mut lease.cache)
+                        .expect("swap-in restores into a fresh lease of the same shape");
+                }
+                if p.swapped_pages > 0 {
+                    inner.stats.lock().kv_pages_swapped -= p.swapped_pages;
+                }
+                let prefilled = lease.cache.seq_len();
+                build_resumed(p, lease, prefilled)
+            }
+            None => {
+                // Drop-and-recompute: re-admit the feed. The prefix
+                // cache may seed part of the *prompt* — donor rows
+                // there were prefill-produced like ours, so the bits
+                // match. Generations past the prompt are never seeded:
+                // a donor entry covering them could hold
+                // prefill-produced rows, which differ from our
+                // decode-produced originals under Expert Deferral.
+                // They replay as decode rows instead (Work::Replay).
+                let prompt_len = preempted[i].req.prompt.len();
+                let Some((mut lease, mut seeded)) =
+                    inner.pool.lease_for_prompt(&preempted[i].feed[..prompt_len])
+                else {
+                    return;
+                };
+                if seeded > 0 && inner.engine.validate_cache(&lease.cache).is_err() {
+                    lease.cache.reset();
+                    seeded = 0;
+                }
+                let p = preempted.remove(i);
+                build_resumed(p, lease, seeded)
+            }
+        };
+        active.push(seq);
+    }
+}
+
+/// Rebuilds an [`ActiveSeq`] from a preempted sequence and its fresh
+/// lease. `prefilled` is how many feed rows the cache already holds
+/// (all of them after a swap-in; the seeded prefix after a recompute
+/// re-admission). The pending decode token goes back to `next_token`
+/// when the feed is already complete, or waits in `resume_decode` for
+/// the feed to finish (fed without fresh sampling either way — the
+/// token was already sampled and reported before eviction).
+fn build_resumed(p: PreemptedSeq, lease: CacheLease, prefilled: usize) -> ActiveSeq {
+    let (next_token, resume_decode) = if prefilled == p.feed.len() {
+        (p.pending, None)
+    } else {
+        (None, p.pending)
+    };
+    ActiveSeq {
+        slot: p.slot,
+        lease,
+        req: p.req,
+        rng: p.rng,
+        feed: p.feed,
+        prefilled,
+        resume_decode,
+        next_token,
+        tokens: p.tokens,
+        metrics: p.metrics,
+        admitted_at: p.admitted_at,
+        last_token_at: p.last_token_at,
+        ctx: p.ctx,
+        trace: p.trace,
+        admit_seq: p.admit_seq,
     }
 }
 
@@ -1136,7 +1486,7 @@ fn compose(inner: &ServerInner, active: &[ActiveSeq]) -> Vec<Option<Work>> {
     let views: Vec<SeqView> = active
         .iter()
         .map(|seq| {
-            let prompt_remaining = seq.req.prompt.len() - seq.prefilled;
+            let prompt_remaining = seq.feed.len() - seq.prefilled;
             // A decode row is at risk when more than half its ITL
             // target has already elapsed since its last token — the
             // next step must stay short or the target is gone.
@@ -1168,21 +1518,154 @@ fn compose(inner: &ServerInner, active: &[ActiveSeq]) -> Vec<Option<Work>> {
                     seq.next_token
                         .expect("active sequence past prefill holds its next token"),
                 ),
-                PlanWork::Chunk { len, last } => Work::Chunk { len, last },
+                PlanWork::Chunk { len, .. } => {
+                    // Feed positions past the prompt are generations a
+                    // recompute preemption dropped: they were decode
+                    // rows originally, so they replay one per step as
+                    // decode rows (Work::Replay) — and prompt chunks
+                    // never cross into them.
+                    let bound = seq.req.prompt.len();
+                    if seq.prefilled >= bound {
+                        Work::Replay(seq.feed[seq.prefilled])
+                    } else {
+                        let len = len.min(bound - seq.prefilled);
+                        let last = seq.prefilled + len == seq.feed.len();
+                        Work::Chunk { len, last }
+                    }
+                }
             })
         })
         .collect()
 }
 
+/// Evicts one sequence from the batch under page pressure: picks the
+/// reclaim mode by the cost model (swap bytes vs recompute tokens),
+/// captures the rows for a swap, releases the lease (its uniquely
+/// owned pages return to the allocator), and parks the sequence on the
+/// preempted list with everything needed to resume bitwise.
+fn preempt_seq(inner: &ServerInner, mut seq: ActiveSeq, preempted: &mut Vec<PreemptedSeq>) {
+    let rows = seq.lease.cache.seq_len();
+    let bytes = seq.lease.cache.bytes();
+    let mode = inner.preempt_cost.mode(inner.cfg.preempt_policy, bytes, rows);
+    kt_trace::instant(SpanKind::ServePreempt, seq.ctx.tag(), rows as u32);
+    // The pending token: sampled and reported, but its row is not in
+    // the cache yet. Re-fed as a plain decode after resume.
+    let pending = seq.next_token.take().or(seq.resume_decode.take());
+    // Full logical feed at resume: the prompt plus every generation
+    // the cache logically holds (all emitted tokens except the
+    // pending one). `feed` may currently be mid-rebuild from an
+    // earlier preemption; this reconstruction is invariant to that.
+    let gens = seq.tokens.len() - pending.is_some() as usize;
+    let mut feed = Vec::with_capacity(seq.req.prompt.len() + gens);
+    feed.extend_from_slice(&seq.req.prompt);
+    feed.extend_from_slice(&seq.tokens[..gens]);
+    let (resume, swapped_pages) = match mode {
+        PreemptMode::Swap => {
+            let _span = kt_trace::span_ab(
+                SpanKind::KvSwapOut,
+                seq.ctx.tag(),
+                (bytes / 1024).min(u32::MAX as usize) as u32,
+            );
+            let swapped = SwappedKv::capture(&seq.lease.cache);
+            let pages = inner.pool.pages_needed(rows) as u64;
+            kt_trace::counter_add(CounterKind::PreemptSwap, 1);
+            let mut stats = inner.stats.lock();
+            stats.preempt_swap += 1;
+            stats.kv_pages_swapped += pages;
+            (ResumeState::Swapped(swapped), pages)
+        }
+        PreemptMode::Recompute => {
+            kt_trace::counter_add(CounterKind::PreemptRecompute, 1);
+            inner.stats.lock().preempt_recompute += 1;
+            (ResumeState::Recompute, 0)
+        }
+    };
+    // Plain release — NOT release_with_prefix: freezing the victim's
+    // rows into the prefix index would keep its pages resident, and
+    // the whole point is giving them back.
+    let _ = inner.pool.release(seq.lease);
+    preempted.push(PreemptedSeq {
+        slot: seq.slot,
+        req: seq.req,
+        rng: seq.rng,
+        feed,
+        pending,
+        tokens: seq.tokens,
+        metrics: seq.metrics,
+        admitted_at: seq.admitted_at,
+        last_token_at: seq.last_token_at,
+        ctx: seq.ctx,
+        trace: seq.trace,
+        admit_seq: seq.admit_seq,
+        resume,
+        swapped_pages,
+    });
+}
+
+/// Preempts until the composed plan's KV growth fits in free pages.
+/// Victims go least-urgent-class-first, newest admission first, always
+/// keeping at least one survivor; once down to one sequence the prefix
+/// index is cleared as the last pressure valve. Returns the (re)made
+/// plan for the surviving batch.
+fn relieve_pressure(
+    inner: &ServerInner,
+    active: &mut Vec<ActiveSeq>,
+    preempted: &mut Vec<PreemptedSeq>,
+) -> Vec<Option<Work>> {
+    let mut plan = compose(inner, active);
+    if inner.pool.page_rows().is_none() {
+        return plan;
+    }
+    loop {
+        let needed: usize = plan
+            .iter()
+            .zip(active.iter())
+            .filter_map(|(work, seq)| {
+                work.map(|w| {
+                    let growth = match w {
+                        Work::Decode(_) | Work::Replay(_) => 1,
+                        Work::Chunk { len, .. } => len,
+                    };
+                    inner.pool.pages_needed_growth(seq.lease.cache.seq_len(), growth)
+                })
+            })
+            .sum();
+        if needed <= inner.pool.free_pages() {
+            return plan;
+        }
+        if active.len() > 1 {
+            let views: Vec<VictimView> = active
+                .iter()
+                .map(|s| VictimView {
+                    priority: s.req.class.priority(),
+                    admit_seq: s.admit_seq,
+                })
+                .collect();
+            let i = preempt::select_victim(&views).expect("active non-empty");
+            let victim = active.remove(i);
+            preempt_seq(inner, victim, preempted);
+            plan = compose(inner, active);
+            continue;
+        }
+        // One survivor and still short: release the prefix index's
+        // page references. If even that is not enough the step runs
+        // anyway — a genuine overflow fails the batch, which the
+        // submit-time page validation makes unreachable.
+        if inner.pool.clear_prefix() == 0 {
+            return plan;
+        }
+    }
+}
+
 /// Runs one batched engine step over the composed plan and
 /// post-processes every scheduled sequence.
-fn step(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
-    let plan = compose(inner, active);
+fn step(inner: &ServerInner, active: &mut Vec<ActiveSeq>, preempted: &mut Vec<PreemptedSeq>) {
+    let plan = relieve_pressure(inner, active, preempted);
     let step_tokens: usize = plan
         .iter()
         .flatten()
         .map(|w| match w {
-            Work::Decode(_) => 1,
+            Work::Decode(_) | Work::Replay(_) => 1,
             Work::Chunk { len, .. } => *len,
         })
         .sum();
@@ -1203,9 +1686,13 @@ fn step(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
         batch.push(
             match *work {
                 Work::Decode(t) => BatchSeq::decode(cache, t),
+                Work::Replay(t) => BatchSeq::replay(cache, t),
                 Work::Chunk { len, last } => {
-                    let chunk = seq.req.prompt[seq.prefilled..seq.prefilled + len].to_vec();
-                    if last {
+                    let chunk = seq.feed[seq.prefilled..seq.prefilled + len].to_vec();
+                    // A resumed sequence's final chunk needs no logits:
+                    // its next token was sampled before eviction and
+                    // waits in `resume_decode`.
+                    if last && seq.resume_decode.is_none() {
                         BatchSeq::prefill(cache, chunk)
                     } else {
                         BatchSeq::prefill_chunk(cache, chunk)
@@ -1251,6 +1738,13 @@ fn step(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
                     len as u32,
                     last,
                 )),
+                Some(Work::Replay(_)) => trace.push_step(StepTrace::prefill(
+                    trace.steps_total,
+                    start_ns,
+                    wall_ns,
+                    1,
+                    false,
+                )),
                 Some(Work::Decode(_)) => trace.push_step(StepTrace::decode(
                     trace.steps_total,
                     start_ns,
@@ -1282,10 +1776,36 @@ fn step(inner: &ServerInner, active: &mut Vec<ActiveSeq>) {
                             stats.prefill_tokens += len as u64;
                         }
                         if last {
-                            let l = l.expect("final chunk requested logits");
-                            sample_next(inner, seq, l);
+                            if let Some(t) = seq.resume_decode.take() {
+                                // Feed rebuilt: the pre-eviction sample
+                                // resumes decoding, no fresh sampling.
+                                debug_assert!(l.is_none(), "resume chunk requests no logits");
+                                seq.next_token = Some(t);
+                            } else {
+                                let l = l.expect("final chunk requested logits");
+                                sample_next(inner, seq, l);
+                            }
                         } else {
                             debug_assert!(l.is_none(), "mid-chunk produces no logits");
+                        }
+                    }
+                    Work::Replay(_) => {
+                        debug_assert!(l.is_none(), "replay row requests no logits");
+                        seq.prefilled += 1;
+                        kt_trace::instant(SpanKind::ServePrefillChunk, 1, seq.ctx.tag());
+                        {
+                            let mut stats = inner.stats.lock();
+                            stats.prefill_chunks += 1;
+                            stats.prefill_tokens += 1;
+                        }
+                        if seq.prefilled == seq.feed.len() {
+                            // Feed rebuilt: the pre-eviction sample
+                            // resumes decoding, no fresh sampling.
+                            seq.next_token = Some(
+                                seq.resume_decode
+                                    .take()
+                                    .expect("a replaying sequence parks its pending token"),
+                            );
                         }
                     }
                     Work::Decode(_) => {
@@ -1352,9 +1872,12 @@ fn sample_next(inner: &ServerInner, seq: &mut ActiveSeq, l: Matrix) {
 }
 
 /// Resolves everything left at shutdown as cancelled.
-fn drain(inner: &ServerInner, active: Vec<ActiveSeq>) {
+fn drain(inner: &ServerInner, active: Vec<ActiveSeq>, preempted: Vec<PreemptedSeq>) {
     for seq in active {
         seq.resolve(RequestOutcome::Cancelled, inner);
+    }
+    for p in preempted {
+        inner.resolve_preempted(p, RequestOutcome::Cancelled);
     }
     let leftovers: Vec<Queued> = inner.queue.lock().drain(..).collect();
     for q in leftovers {

@@ -14,7 +14,8 @@ use kt_core::{EngineConfig, HybridEngine, SchedMode};
 use kt_inject::Pattern;
 use kt_model::ModelPreset;
 use kt_serve::{
-    Request, RequestHandle, RequestOutcome, Server, ServerConfig, SloClass, SloPolicy, SloTarget,
+    PreemptPolicy, Request, RequestHandle, RequestOutcome, Server, ServerConfig, SloClass,
+    SloPolicy, SloTarget,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -237,6 +238,137 @@ fn overload_with_faults_never_wedges_or_leaks() {
     engine.clear_fault_injector();
     let clean = server
         .submit(request_for(0, SloClass::Interactive))
+        .wait_timeout(RESOLVE_TIMEOUT)
+        .expect("clean request resolves");
+    assert!(clean.is_completed(), "{:?}", clean.outcome);
+    server.shutdown();
+}
+
+#[test]
+fn preemption_storm_with_faults_conserves_outcomes_and_pages() {
+    // Page-pressure variant: the KV pool holds barely more pages than
+    // the single largest request, so a saturated batch preempts
+    // constantly (swap and recompute both, via the Auto cost model)
+    // while the fault injector keeps poisoning steps and a slice of
+    // requests cancels mid-flight — including while parked on the
+    // preempted list. The contract is the same: exactly one outcome
+    // per request, only injected faults fail anything, and when the
+    // dust settles every page is back in the allocator with nothing
+    // stranded in the host swap tier.
+    const N: usize = 90;
+    const PAGE_ROWS: usize = 4;
+    let model_cfg = ModelPreset::DeepSeekV3.tiny_config();
+    let engine = Arc::new(
+        HybridEngine::random(
+            &model_cfg,
+            EngineConfig {
+                n_cpu_workers: 2,
+                mode: SchedMode::AsyncGraph,
+                n_deferred: 2,
+                seed: 59,
+                ..Default::default()
+            },
+        )
+        .unwrap(),
+    );
+    let pattern = Pattern::compile(r"^model\.layers\..*\.mlp\.experts$").unwrap();
+    let strikes = Arc::new(AtomicU64::new(0));
+    let counter = Arc::clone(&strikes);
+    engine.set_fault_injector(move |path| {
+        pattern.is_match(path) && counter.fetch_add(1, Ordering::Relaxed) % 97 == 96
+    });
+
+    // Just above the largest admissible request (Batch: 24 prompt + 8
+    // new = 32 rows), so any resume eventually fits once the batch
+    // drains but two concurrent growers always collide.
+    let largest = model_cfg.n_layers * 32usize.div_ceil(PAGE_ROWS);
+    let pool_pages = largest + largest / 5;
+    let server = Server::start(
+        Arc::clone(&engine),
+        ServerConfig {
+            max_batch: MAX_BATCH,
+            prefill_chunk: 2,
+            step_token_budget: 8,
+            // No prefix retention: at the end, free == total exactly.
+            prefix_cache_bytes: 0,
+            page_rows: PAGE_ROWS,
+            kv_pool_pages: pool_pages,
+            preempt_policy: PreemptPolicy::Auto,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let classes: Vec<SloClass> = assign_classes(3, N, &[0.4, 0.3, 0.3])
+        .into_iter()
+        .map(|c| SloClass::ALL[c])
+        .collect();
+    let handles: Vec<RequestHandle> = (0..N)
+        .map(|i| {
+            let h = server.submit(request_for(i, classes[i]));
+            if i % 11 == 7 {
+                h.cancel();
+            }
+            h
+        })
+        .collect();
+
+    let (mut completed, mut cancelled, mut failed) = (0u64, 0u64, 0u64);
+    for (i, h) in handles.iter().enumerate() {
+        let r = h
+            .wait_timeout(RESOLVE_TIMEOUT)
+            .unwrap_or_else(|| panic!("request {i} never resolved — scheduler wedged"));
+        match r.outcome {
+            RequestOutcome::Completed => {
+                completed += 1;
+                assert!(!r.tokens.is_empty());
+            }
+            RequestOutcome::Cancelled => cancelled += 1,
+            RequestOutcome::Shed => panic!("no SLO policy, nothing may shed"),
+            RequestOutcome::Failed { ref error } => {
+                failed += 1;
+                assert!(
+                    error.contains("injected fault"),
+                    "only injected faults may fail requests: {error}"
+                );
+            }
+        }
+        assert_eq!(
+            h.try_result().expect("still resolved").outcome,
+            r.outcome,
+            "request {i} changed outcome after resolution"
+        );
+    }
+    assert_eq!(completed + cancelled + failed, N as u64);
+    assert!(completed > 0, "nothing completed under the storm");
+    assert!(cancelled > 0, "cancellation slice never landed");
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.active() != 0 || server.queued() != 0 {
+        assert!(
+            Instant::now() < deadline,
+            "leases leaked: active={} queued={}",
+            server.active(),
+            server.queued()
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let stats = server.stats();
+    assert!(
+        stats.preempt_swap + stats.preempt_recompute > 0,
+        "a pool this tight must have preempted something"
+    );
+    assert_eq!(stats.kv_pages_total, pool_pages as u64);
+    assert_eq!(
+        stats.kv_pages_free, stats.kv_pages_total,
+        "pages leaked: {stats:?}"
+    );
+    assert_eq!(stats.kv_pages_swapped, 0, "rows stranded in the swap tier");
+
+    // Still serviceable afterwards.
+    engine.clear_fault_injector();
+    let clean = server
+        .submit(request_for(1, SloClass::Interactive))
         .wait_timeout(RESOLVE_TIMEOUT)
         .expect("clean request resolves");
     assert!(clean.is_completed(), "{:?}", clean.outcome);

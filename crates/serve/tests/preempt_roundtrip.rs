@@ -1,0 +1,153 @@
+//! Preemption is pure scheduling: a server forced into page-pressure
+//! preemption — swap, recompute, or the cost model's per-victim choice
+//! — must emit token streams bitwise identical to an unpressured run,
+//! complete every request, and hand every page back to the allocator.
+//!
+//! The pressured pool is sized just above the largest single request,
+//! so concurrent growth overflows it quickly and sequences bounce
+//! through preempt/resume round trips (including nested ones: a
+//! resumed victim is the newest admission, hence the next victim).
+
+use kt_core::{EngineConfig, HybridEngine, SchedMode};
+use kt_kernels::dispatch::Backend;
+use kt_model::ModelPreset;
+use kt_serve::{PreemptPolicy, Request, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const N_NEW: usize = 8;
+const PAGE_ROWS: usize = 4;
+
+fn engine(seed: u64) -> HybridEngine {
+    let cfg = ModelPreset::DeepSeekV3.tiny_config();
+    HybridEngine::random(
+        &cfg,
+        EngineConfig {
+            n_cpu_workers: 2,
+            mode: SchedMode::AsyncGraph,
+            n_deferred: 2,
+            // Batch-size-invariant expert GEMMs, so streams compare
+            // exactly across different batching histories (same choice
+            // as the equivalence suite).
+            backend: Backend::TiledOnly,
+            seed,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+fn prompts() -> Vec<Vec<u32>> {
+    // Mixed lengths: long prompts create the pressure, short ones
+    // keep admission interleaving (and victim churn) nontrivial.
+    vec![
+        (0..12).map(|j| (j * 7 + 3) as u32).collect(),
+        vec![9, 8, 7, 6, 5, 4],
+        (0..10).map(|j| (j * 13 + 1) as u32).collect(),
+        vec![42, 41, 40, 39, 38, 37, 36, 35],
+        vec![200, 100, 50, 25],
+        (0..11).map(|j| (j * 5 + 2) as u32).collect(),
+    ]
+}
+
+fn run(cfg: ServerConfig) -> (Vec<Vec<u32>>, kt_core::ServeStats) {
+    let server = Server::start(Arc::new(engine(7)), cfg).unwrap();
+    let handles: Vec<_> = prompts()
+        .iter()
+        .map(|p| server.submit(Request::greedy(p, N_NEW)))
+        .collect();
+    let results: Vec<_> = handles.iter().map(|h| h.wait()).collect();
+    for (i, r) in results.iter().enumerate() {
+        assert!(r.is_completed(), "request {i}: {:?}", r.outcome);
+    }
+    // Resolution races lease release by a hair; wait for the scheduler
+    // to fully drain before snapshotting page gauges.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.active() != 0 || server.queued() != 0 {
+        assert!(Instant::now() < deadline, "scheduler failed to drain");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let stats = server.stats();
+    server.shutdown();
+    (results.into_iter().map(|r| r.tokens).collect(), stats)
+}
+
+#[test]
+fn preempted_streams_match_unpressured_run_bitwise() {
+    let model = ModelPreset::DeepSeekV3.tiny_config();
+    let longest = prompts().iter().map(Vec::len).max().unwrap() + N_NEW;
+    // Just above one full-length sequence: any two concurrent growers
+    // must collide and trigger preemption.
+    let pool_pages = model.n_layers * longest.div_ceil(PAGE_ROWS) + 1;
+
+    let base = ServerConfig {
+        max_batch: 3,
+        prefill_chunk: 4,
+        step_token_budget: 8,
+        // No prefix retention: at drain, every page must be free.
+        prefix_cache_bytes: 0,
+        ..Default::default()
+    };
+
+    // Reference: auto-sized pool (max_batch full-capacity sequences)
+    // never comes under pressure.
+    let (reference, ref_stats) = run(base.clone());
+    assert_eq!(ref_stats.preempt_swap + ref_stats.preempt_recompute, 0);
+
+    for policy in [
+        PreemptPolicy::AlwaysSwap,
+        PreemptPolicy::AlwaysRecompute,
+        PreemptPolicy::Auto,
+    ] {
+        let (tokens, stats) = run(ServerConfig {
+            page_rows: PAGE_ROWS,
+            kv_pool_pages: pool_pages,
+            preempt_policy: policy,
+            ..base.clone()
+        });
+        assert_eq!(
+            tokens, reference,
+            "{policy:?}: preemption changed the token streams"
+        );
+        let preemptions = stats.preempt_swap + stats.preempt_recompute;
+        assert!(preemptions > 0, "{policy:?}: pool never came under pressure");
+        match policy {
+            PreemptPolicy::AlwaysSwap => assert_eq!(stats.preempt_recompute, 0),
+            PreemptPolicy::AlwaysRecompute => assert_eq!(stats.preempt_swap, 0),
+            PreemptPolicy::Auto => {}
+        }
+        // Every page handed back, nothing stranded in the host tier.
+        assert_eq!(stats.kv_pages_total, pool_pages as u64, "{policy:?}");
+        assert_eq!(stats.kv_pages_free, stats.kv_pages_total, "{policy:?}");
+        assert_eq!(stats.kv_pages_swapped, 0, "{policy:?}");
+        assert_eq!(stats.kv_pages_shared, 0, "{policy:?}");
+    }
+}
+
+#[test]
+fn warm_prefix_resume_still_deduplicates_recompute() {
+    // A recompute victim whose prompt is in the prefix cache resumes by
+    // seeding shared pages, then re-prefilling only the generated
+    // suffix — the round trip must stay bitwise faithful with sharing
+    // in play (CoW on the divergent tail page).
+    let model = ModelPreset::DeepSeekV3.tiny_config();
+    let longest = prompts().iter().map(Vec::len).max().unwrap() + N_NEW;
+    let pool_pages = 2 * model.n_layers * longest.div_ceil(PAGE_ROWS);
+
+    let base = ServerConfig {
+        max_batch: 3,
+        prefill_chunk: 4,
+        step_token_budget: 8,
+        min_prefix_len: 4,
+        ..Default::default()
+    };
+    let (reference, _) = run(base.clone());
+    let (tokens, stats) = run(ServerConfig {
+        page_rows: PAGE_ROWS,
+        kv_pool_pages: pool_pages,
+        preempt_policy: PreemptPolicy::AlwaysRecompute,
+        ..base
+    });
+    assert_eq!(tokens, reference, "prefix-seeded resume diverged");
+    assert!(stats.preempt_recompute > 0, "pool never came under pressure");
+}

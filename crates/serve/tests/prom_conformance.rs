@@ -312,4 +312,29 @@ fn stats_text_conforms_to_the_exposition_format() {
             build.labels
         );
     }
+
+    // Paged-KV families: the four page gauges and the preemption
+    // counter. Both preempt modes are always exported (zero-valued
+    // when the pool never came under pressure) so dashboards can rate()
+    // them without series appearing mid-flight.
+    for g in [
+        "kt_kv_pages_total",
+        "kt_kv_pages_free",
+        "kt_kv_pages_shared",
+        "kt_kv_pages_swapped",
+    ] {
+        assert_eq!(kind.get(g).map(String::as_str), Some("gauge"), "{g}");
+        assert!(samples.iter().any(|s| s.name == g), "{g} sample present");
+    }
+    assert_eq!(
+        kind.get("kt_preempt_total").map(String::as_str),
+        Some("counter")
+    );
+    for mode in ["swap", "recompute"] {
+        assert!(
+            samples.iter().any(|s| s.name == "kt_preempt_total"
+                && s.labels.iter().any(|(k, v)| k == "mode" && v == mode)),
+            "kt_preempt_total carries mode={mode}"
+        );
+    }
 }

@@ -121,10 +121,19 @@ pub enum SpanKind {
     /// this span carries the real bookkeeping cost and reserves the
     /// attribution slot a real-GPU port would fill with copy time.
     PcieUpload,
+    /// A running sequence preempted by the scheduler under KV page
+    /// pressure (instant; `a` = request tag, `b` = pages released).
+    ServePreempt,
+    /// A preempted sequence's KV pages copied to the swap tier;
+    /// `a` = bytes (saturated), `b` = request tag.
+    KvSwapOut,
+    /// A swapped sequence's KV rows restored into a fresh lease;
+    /// `a` = bytes (saturated), `b` = request tag.
+    KvSwapIn,
 }
 
 /// Number of [`SpanKind`] variants (the phase table's size).
-pub const N_SPAN_KINDS: usize = 28;
+pub const N_SPAN_KINDS: usize = 31;
 
 impl SpanKind {
     /// Stable display name (also the Chrome-trace event name).
@@ -158,6 +167,9 @@ impl SpanKind {
             SpanKind::GpuExperts => "engine.gpu_experts",
             SpanKind::SeqAttention => "engine.seq_attention",
             SpanKind::PcieUpload => "vgpu.pcie_upload",
+            SpanKind::ServePreempt => "serve.preempt",
+            SpanKind::KvSwapOut => "kv.swap_out",
+            SpanKind::KvSwapIn => "kv.swap_in",
         }
     }
 
@@ -191,6 +203,9 @@ impl SpanKind {
         SpanKind::GpuExperts,
         SpanKind::SeqAttention,
         SpanKind::PcieUpload,
+        SpanKind::ServePreempt,
+        SpanKind::KvSwapOut,
+        SpanKind::KvSwapIn,
     ];
 
     fn from_u32(v: u32) -> Option<SpanKind> {
@@ -236,10 +251,17 @@ pub enum CounterKind {
     ExpertCacheMisses,
     /// Bytes freed by expert-cache eviction.
     ExpertCacheEvictedBytes,
+    /// Sequences preempted by swapping their KV pages out.
+    PreemptSwap,
+    /// Sequences preempted by dropping their KV pages for recompute.
+    PreemptRecompute,
+    /// Prompt rows seeded by whole-page reference instead of row copy
+    /// (the zero-copy half of a paged prefix hit).
+    PrefixSharedRows,
 }
 
 /// Number of [`CounterKind`] variants (the counter table's size).
-pub const N_COUNTERS: usize = 12;
+pub const N_COUNTERS: usize = 15;
 
 impl CounterKind {
     /// Every counter, in `repr` order.
@@ -256,6 +278,9 @@ impl CounterKind {
         CounterKind::ExpertCacheHits,
         CounterKind::ExpertCacheMisses,
         CounterKind::ExpertCacheEvictedBytes,
+        CounterKind::PreemptSwap,
+        CounterKind::PreemptRecompute,
+        CounterKind::PrefixSharedRows,
     ];
 
     /// Stable display name (also the Chrome-trace metadata key).
@@ -273,6 +298,9 @@ impl CounterKind {
             CounterKind::ExpertCacheHits => "expert_cache.hits",
             CounterKind::ExpertCacheMisses => "expert_cache.misses",
             CounterKind::ExpertCacheEvictedBytes => "expert_cache.evicted_bytes",
+            CounterKind::PreemptSwap => "preempt.swap",
+            CounterKind::PreemptRecompute => "preempt.recompute",
+            CounterKind::PrefixSharedRows => "prefix.shared_rows",
         }
     }
 }
